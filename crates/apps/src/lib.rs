@@ -1,0 +1,49 @@
+//! # intersect-apps
+//!
+//! The applications motivating Brody et al. (PODC 2014): once the
+//! intersection of two remote sets can be recovered with `O(k)` bits and
+//! very few messages, a family of distributed-database primitives follows
+//! at the same cost.
+//!
+//! * [`similarity`] — exact union size, distinct-element count, Jaccard
+//!   similarity, Hamming distance, and the 1-/2-rarity of \[DM02\], all from
+//!   one intersection run plus one size exchange.
+//! * [`join`] — distributed equi-join: intersect key sets, then ship only
+//!   the matching rows.
+//! * [`dedup`] — cross-server duplicate detection on content fingerprints.
+//! * [`sketch`] — the one-message *approximate* alternative (bottom-k
+//!   min-wise sketches, after Pagh–Stöckel–Woodruff), the related-work
+//!   contrast the paper draws in its introduction.
+//!
+//! # Examples
+//!
+//! ```
+//! use intersect_apps::similarity::SimilarityProtocol;
+//! use intersect_core::sets::{ElementSet, ProblemSpec};
+//! use intersect_comm::runner::{run_two_party, RunConfig, Side};
+//!
+//! let spec = ProblemSpec::new(1 << 20, 8);
+//! let s = ElementSet::from_iter([1u64, 2, 3]);
+//! let t = ElementSet::from_iter([2u64, 3, 4]);
+//! let proto = SimilarityProtocol::default();
+//! let out = run_two_party(
+//!     &RunConfig::with_seed(0),
+//!     |chan, coins| proto.run(chan, coins, Side::Alice, spec, &s),
+//!     |chan, coins| proto.run(chan, coins, Side::Bob, spec, &t),
+//! )?;
+//! assert_eq!(out.alice.jaccard.to_string(), "2/4");
+//! # Ok::<(), intersect_comm::error::ProtocolError>(())
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod dedup;
+pub mod join;
+pub mod similarity;
+pub mod sketch;
+
+pub use dedup::{DedupProtocol, Document};
+pub use join::{JoinProtocol, JoinedRow, Row, Table};
+pub use similarity::{ExactRatio, SetStatistics, SimilarityProtocol};
+pub use sketch::{JaccardSketch, SketchEstimate};

@@ -1,0 +1,75 @@
+//! Wall-clock benchmarks of the application layer (E11).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use intersect_apps::join::{JoinProtocol, Row, Table};
+use intersect_apps::similarity::SimilarityProtocol;
+use intersect_apps::sketch::JaccardSketch;
+use intersect_core::api::execute;
+use intersect_core::reconcile::IbltReconcile;
+use intersect_bench::workload::Workload;
+use intersect_comm::runner::{run_two_party, RunConfig, Side};
+
+fn bench_apps(c: &mut Criterion) {
+    let mut group = c.benchmark_group("apps");
+    group.sample_size(10);
+    for k in [256u64, 1024] {
+        let w = Workload::new(1 << 30, k, 0.4, 0xB11);
+        let pair = w.pair(0);
+        let sim = SimilarityProtocol::default();
+        group.bench_with_input(BenchmarkId::new("similarity", k), &k, |b, _| {
+            b.iter(|| {
+                run_two_party(
+                    &RunConfig::with_seed(1),
+                    |chan, coins| sim.run(chan, coins, Side::Alice, w.spec, &pair.s),
+                    |chan, coins| sim.run(chan, coins, Side::Bob, w.spec, &pair.t),
+                )
+                .unwrap()
+            })
+        });
+        let left: Table = pair
+            .s
+            .iter()
+            .map(|key| Row { key, fields: vec![key * 3, key * 7] })
+            .collect();
+        let right: Table = pair
+            .t
+            .iter()
+            .map(|key| Row { key, fields: vec![key + 1] })
+            .collect();
+        let join = JoinProtocol::default();
+        group.bench_with_input(BenchmarkId::new("join", k), &k, |b, _| {
+            b.iter(|| {
+                run_two_party(
+                    &RunConfig::with_seed(2),
+                    |chan, coins| join.run(chan, coins, Side::Alice, w.spec, &left),
+                    |chan, coins| join.run(chan, coins, Side::Bob, w.spec, &right),
+                )
+                .unwrap()
+            })
+        });
+    }
+    // Approximate sketches and difference-proportional reconciliation.
+    for k in [1024u64, 4096] {
+        let w = Workload::new(1 << 40, k, 0.9, 0xB13);
+        let pair = w.pair(0);
+        let sketch = JaccardSketch::new(256);
+        group.bench_with_input(BenchmarkId::new("sketch256", k), &k, |b, _| {
+            b.iter(|| {
+                run_two_party(
+                    &RunConfig::with_seed(3),
+                    |chan, coins| sketch.run(chan, coins, Side::Alice, w.spec, &pair.s),
+                    |chan, coins| sketch.run(chan, coins, Side::Bob, w.spec, &pair.t),
+                )
+                .unwrap()
+            })
+        });
+        let iblt = IbltReconcile::default();
+        group.bench_with_input(BenchmarkId::new("iblt_reconcile", k), &k, |b, _| {
+            b.iter(|| execute(&iblt, w.spec, &pair, 4).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_apps);
+criterion_main!(benches);

@@ -1,0 +1,39 @@
+//! Wall-clock benchmarks of the disjointness baselines (E5, E6).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use intersect_bench::workload::Workload;
+use intersect_comm::runner::{run_two_party, RunConfig, Side};
+use intersect_core::api::SetDisjointness;
+use intersect_core::hw07::HwDisjointness;
+use intersect_core::st13::SparseDisjointness;
+
+fn bench_disjointness(c: &mut Criterion) {
+    let mut group = c.benchmark_group("disjointness");
+    group.sample_size(10);
+    for k in [256u64, 1024] {
+        let w = Workload::new(1 << 40, k, 0.0, 0xBE5);
+        let pair = w.pair(0);
+        let run = |proto: &dyn SetDisjointness| {
+            run_two_party(
+                &RunConfig::with_seed(1),
+                |chan, coins| proto.run(chan, coins, Side::Alice, w.spec, &pair.s),
+                |chan, coins| proto.run(chan, coins, Side::Bob, w.spec, &pair.t),
+            )
+            .unwrap()
+        };
+        let hw = HwDisjointness::default();
+        group.bench_with_input(BenchmarkId::new("hw07", k), &k, |b, _| {
+            b.iter(|| run(&hw))
+        });
+        for r in [2u32, 3] {
+            let st = SparseDisjointness::new(r);
+            group.bench_with_input(BenchmarkId::new(format!("st13_r{r}"), k), &k, |b, _| {
+                b.iter(|| run(&st))
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_disjointness);
+criterion_main!(benches);

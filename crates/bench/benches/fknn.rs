@@ -1,0 +1,43 @@
+//! Wall-clock benchmarks of the amortized-equality engine (Theorem 3.2, E7).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use intersect_comm::bits::BitBuf;
+use intersect_comm::runner::{run_two_party, RunConfig, Side};
+use intersect_core::fknn::AmortizedEquality;
+
+fn strings(k: usize, shift: u64) -> Vec<BitBuf> {
+    (0..k as u64)
+        .map(|i| {
+            let mut b = BitBuf::new();
+            b.push_bits((i + shift).wrapping_mul(0x9e3779b97f4a7c15) >> 3, 61);
+            b
+        })
+        .collect()
+}
+
+fn bench_fknn(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fknn");
+    group.sample_size(10);
+    for k in [256usize, 1024] {
+        let xs = strings(k, 0);
+        let equal = xs.clone();
+        let unequal = strings(k, 1 << 40);
+        for (label, ys) in [("all_equal", &equal), ("all_unequal", &unequal)] {
+            group.bench_with_input(BenchmarkId::new(label, k), &k, |b, _| {
+                b.iter(|| {
+                    let eq = AmortizedEquality::new();
+                    run_two_party(
+                        &RunConfig::with_seed(1),
+                        |chan, coins| eq.run(chan, &coins.fork("b"), Side::Alice, &xs),
+                        |chan, coins| eq.run(chan, &coins.fork("b"), Side::Bob, ys),
+                    )
+                    .unwrap()
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fknn);
+criterion_main!(benches);

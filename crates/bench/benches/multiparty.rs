@@ -1,0 +1,28 @@
+//! Wall-clock benchmarks of the multi-party protocols (E9, E10).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use intersect_bench::workload::Workload;
+use intersect_multiparty::average::AverageCase;
+use intersect_multiparty::worst_case::WorstCase;
+
+fn bench_multiparty(c: &mut Criterion) {
+    let mut group = c.benchmark_group("multiparty");
+    group.sample_size(10);
+    let k = 16u64;
+    for m in [8usize, 32] {
+        let w = Workload::new(1 << 30, k, 0.0, 0xBE9);
+        let sets = w.multiparty_sets(m, 4, 0);
+        let avg = AverageCase::new(w.spec, 2);
+        group.bench_with_input(BenchmarkId::new("average", m), &m, |b, _| {
+            b.iter(|| avg.execute(&sets, 1).unwrap())
+        });
+        let wc = WorstCase::new(w.spec, 2);
+        group.bench_with_input(BenchmarkId::new("worst_case", m), &m, |b, _| {
+            b.iter(|| wc.execute(&sets, 1).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_multiparty);
+criterion_main!(benches);

@@ -1,0 +1,28 @@
+//! Wall-clock benchmarks of the √k-round protocol (Theorem 3.1, E3).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use intersect_bench::workload::Workload;
+use intersect_core::api::execute;
+use intersect_core::newman::PrivateCoin;
+use intersect_core::sqrt::SqrtProtocol;
+
+fn bench_sqrt(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sqrt");
+    group.sample_size(10);
+    for k in [256u64, 1024] {
+        let w = Workload::new(1 << 40, k, 0.5, 0xBE3);
+        let pair = w.pair(0);
+        let shared = SqrtProtocol::default();
+        group.bench_with_input(BenchmarkId::new("shared", k), &k, |b, _| {
+            b.iter(|| execute(&shared, w.spec, &pair, 1).unwrap())
+        });
+        let private = PrivateCoin::new(SqrtProtocol::default());
+        group.bench_with_input(BenchmarkId::new("private", k), &k, |b, _| {
+            b.iter(|| execute(&private, w.spec, &pair, 1).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_sqrt);
+criterion_main!(benches);

@@ -1,0 +1,66 @@
+//! Wall-clock benchmarks of the substrates: bit codecs, hashing, FKS.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use intersect_comm::bits::BitBuf;
+use intersect_comm::encode::{BinomialSubsetCodec, RiceSubsetCodec};
+use intersect_core::sets::ElementSet;
+use intersect_hash::fks::FksTable;
+use intersect_hash::pairwise::PairwiseHash;
+use intersect_hash::prime::{is_prime, next_prime};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+fn bench_substrate(c: &mut Criterion) {
+    let mut rng = ChaCha8Rng::seed_from_u64(7);
+    let set = ElementSet::random(&mut rng, 1 << 30, 1024);
+    let elems: Vec<u64> = set.iter().collect();
+
+    c.bench_function("bitbuf_push_1k_words", |b| {
+        b.iter(|| {
+            let mut buf = BitBuf::with_capacity(64 * 1024);
+            for i in 0..1024u64 {
+                buf.push_bits(black_box(i), 61);
+            }
+            buf
+        })
+    });
+
+    let rice = RiceSubsetCodec::new(1 << 30, 1024);
+    c.bench_function("rice_encode_1k", |b| b.iter(|| rice.encode(&elems)));
+    let encoded = rice.encode(&elems);
+    c.bench_function("rice_decode_1k", |b| {
+        b.iter(|| rice.decode(&mut encoded.reader()).unwrap())
+    });
+
+    let small: Vec<u64> = elems.iter().take(64).map(|x| x % 4096).collect();
+    let small_set: ElementSet = small.iter().copied().collect();
+    let small_sorted: Vec<u64> = small_set.iter().collect();
+    let binom = BinomialSubsetCodec::new(4096, 64);
+    c.bench_function("binomial_encode_64_of_4096", |b| {
+        b.iter(|| binom.encode(&small_sorted))
+    });
+
+    c.bench_function("pairwise_hash_1k_evals", |b| {
+        let h = PairwiseHash::sample(&mut rng, 1 << 30, 1 << 20);
+        b.iter(|| elems.iter().map(|&x| h.eval(x)).sum::<u64>())
+    });
+
+    c.bench_function("fks_build_1k", |b| {
+        let mut r = ChaCha8Rng::seed_from_u64(8);
+        b.iter(|| FksTable::build(&mut r, 1 << 30, &elems))
+    });
+    let table = FksTable::build(&mut rng, 1 << 30, &elems);
+    c.bench_function("fks_probe_1k", |b| {
+        b.iter(|| elems.iter().filter(|&&x| table.contains(x)).count())
+    });
+
+    c.bench_function("miller_rabin_u61", |b| {
+        b.iter(|| is_prime(black_box((1 << 61) - 1)))
+    });
+    c.bench_function("next_prime_from_2_40", |b| {
+        b.iter(|| next_prime(black_box((1 << 40) + 1)))
+    });
+}
+
+criterion_group!(benches, bench_substrate);
+criterion_main!(benches);

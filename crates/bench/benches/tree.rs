@@ -1,0 +1,37 @@
+//! Wall-clock benchmarks of the verification-tree protocol (Theorem 1.1),
+//! one per E1/E2 configuration.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use intersect_bench::workload::Workload;
+use intersect_core::api::execute;
+use intersect_core::tree::TreeProtocol;
+use intersect_core::tree_pipelined::PipelinedTree;
+
+fn bench_tree(c: &mut Criterion) {
+    let mut group = c.benchmark_group("tree");
+    group.sample_size(10);
+    for k in [256u64, 1024, 4096] {
+        let w = Workload::new(1 << 40, k, 0.5, 0xBE);
+        let pair = w.pair(0);
+        for r in [1u32, 2, 4] {
+            let proto = TreeProtocol::new(r);
+            group.bench_with_input(
+                BenchmarkId::new(format!("r{r}"), k),
+                &k,
+                |b, _| b.iter(|| execute(&proto, w.spec, &pair, 1).unwrap()),
+            );
+        }
+        let star = TreeProtocol::log_star(k);
+        group.bench_with_input(BenchmarkId::new("log_star", k), &k, |b, _| {
+            b.iter(|| execute(&star, w.spec, &pair, 1).unwrap())
+        });
+        let piped = PipelinedTree::log_star(k);
+        group.bench_with_input(BenchmarkId::new("pipelined_log_star", k), &k, |b, _| {
+            b.iter(|| execute(&piped, w.spec, &pair, 1).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_tree);
+criterion_main!(benches);

@@ -1,0 +1,66 @@
+//! The experiment report generator.
+//!
+//! Prints the paper-reproduction tables (DESIGN.md §3) as markdown.
+
+use intersect_bench::experiments;
+use std::time::Instant;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: report [--exp <ID>]... [--all] [--quick] [--list]\n\
+         \n\
+         --exp <ID>   run one experiment (E1..E12, A1..A3); repeatable\n\
+         --all        run every experiment\n\
+         --quick      smaller sweeps and trial counts\n\
+         --list       list experiment ids and claims"
+    );
+    std::process::exit(2);
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut quick = false;
+    let mut run_all = false;
+    let mut ids: Vec<String> = Vec::new();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--quick" => quick = true,
+            "--all" => run_all = true,
+            "--list" => {
+                for e in experiments::all() {
+                    println!("{:4} {}", e.id, e.claim);
+                }
+                return;
+            }
+            "--exp" => match it.next() {
+                Some(id) => ids.push(id.clone()),
+                None => usage(),
+            },
+            _ => usage(),
+        }
+    }
+    if run_all {
+        ids = experiments::all().iter().map(|e| e.id.to_string()).collect();
+    }
+    if ids.is_empty() {
+        usage();
+    }
+    for id in ids {
+        let Some(exp) = experiments::find(&id) else {
+            eprintln!("unknown experiment {id}; use --list");
+            std::process::exit(2);
+        };
+        println!("## {} — {}\n", exp.id, exp.claim);
+        let start = Instant::now();
+        for table in (exp.run)(quick) {
+            println!("{}", table.to_markdown());
+        }
+        println!(
+            "_({} completed in {:.1}s{})_\n",
+            exp.id,
+            start.elapsed().as_secs_f64(),
+            if quick { ", quick mode" } else { "" }
+        );
+    }
+}

@@ -1,0 +1,500 @@
+//! Two-party experiments: E1–E6, E8, E12, E14, E15.
+
+use crate::measure::{measure_disjointness, measure_intersection};
+use crate::table::{fmt_failures, fmt_per, Table};
+use crate::workload::Workload;
+use intersect_comm::runner::{run_two_party, RunConfig, Side};
+use intersect_core::fknn::AmortizedEquality;
+use intersect_core::hw07::HwDisjointness;
+use intersect_core::iterlog::{iter_log, log_star};
+use intersect_core::newman::PrivateCoin;
+use intersect_core::one_round::OneRoundHash;
+use intersect_core::reduction::equalities_via_intersection;
+use intersect_core::sqrt::SqrtProtocol;
+use intersect_core::st13::SparseDisjointness;
+use intersect_core::tree::TreeProtocol;
+use intersect_core::trivial::TrivialExchange;
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+fn k_sweep(quick: bool) -> Vec<u64> {
+    if quick {
+        vec![1 << 8, 1 << 10]
+    } else {
+        vec![1 << 8, 1 << 10, 1 << 12, 1 << 14]
+    }
+}
+
+fn trials(quick: bool) -> usize {
+    if quick {
+        5
+    } else {
+        20
+    }
+}
+
+/// E1 — Theorem 1.1/3.6: the round/communication trade-off
+/// `O(k·log^{(r)} k)` bits within `6r` rounds, success `1 − 1/poly(k)`.
+pub fn e1(quick: bool) -> Vec<Table> {
+    let mut table = Table::new(
+        "E1 — Theorem 1.1: tree protocol, bits/k and rounds vs round budget r \
+         (n = 2^40, overlap 0.5; claim: bits/k ∝ log^(r) k, rounds ≤ 6r)",
+        &[
+            "k",
+            "r",
+            "log^(r) k",
+            "bits/k",
+            "max rounds",
+            "6r cap",
+            "failures",
+        ],
+    );
+    for k in k_sweep(quick) {
+        let w = Workload::new(1 << 40, k, 0.5, 0xE1);
+        for r in 1..=4u32 {
+            let s = measure_intersection(&TreeProtocol::new(r), &w, trials(quick)).unwrap();
+            table.push_row(vec![
+                k.to_string(),
+                r.to_string(),
+                iter_log(r, k).to_string(),
+                fmt_per(s.bits_per(k)),
+                s.max_rounds.to_string(),
+                (6 * r).to_string(),
+                fmt_failures(s.failures, s.trials),
+            ]);
+        }
+    }
+    let mut overlap_table = Table::new(
+        "E1b — cost stability across overlap fractions (k = 2^10, r = 3)",
+        &["overlap", "bits/k", "mean rounds", "failures"],
+    );
+    let k = 1 << 10;
+    for overlap in [0.0, 0.25, 0.5, 0.75, 1.0] {
+        let w = Workload::new(1 << 40, k, overlap, 0xE1B);
+        let s = measure_intersection(&TreeProtocol::new(3), &w, trials(quick)).unwrap();
+        overlap_table.push_row(vec![
+            format!("{overlap:.2}"),
+            fmt_per(s.bits_per(k)),
+            format!("{:.1}", s.mean_rounds),
+            fmt_failures(s.failures, s.trials),
+        ]);
+    }
+    vec![table, overlap_table]
+}
+
+/// E2 — the headline: `r = log* k` gives `O(k)` bits, `O(log* k)` rounds.
+pub fn e2(quick: bool) -> Vec<Table> {
+    let mut table = Table::new(
+        "E2 — headline: r = log* k ⇒ O(k) bits, O(log* k) rounds \
+         (claim: bits/k flat in k; rounds ≤ 6·log* k)",
+        &["k", "log* k", "bits/k", "max rounds", "failures"],
+    );
+    let ks = if quick {
+        vec![1 << 6, 1 << 9, 1 << 12]
+    } else {
+        vec![1 << 6, 1 << 8, 1 << 10, 1 << 12, 1 << 14]
+    };
+    for k in ks {
+        let w = Workload::new(1 << 40, k, 0.5, 0xE2);
+        let s =
+            measure_intersection(&TreeProtocol::log_star(k), &w, trials(quick)).unwrap();
+        table.push_row(vec![
+            k.to_string(),
+            log_star(k).to_string(),
+            fmt_per(s.bits_per(k)),
+            s.max_rounds.to_string(),
+            fmt_failures(s.failures, s.trials),
+        ]);
+    }
+    vec![table]
+}
+
+/// E3 — Theorem 3.1: `O(√k)` rounds, `O(k)` bits; private coins add
+/// `O(log k + log log n)` bits.
+pub fn e3(quick: bool) -> Vec<Table> {
+    let mut table = Table::new(
+        "E3 — Theorem 3.1: sqrt protocol (shared vs constructive private coins; \
+         claim: bits/k flat, rounds = O(√k), private-coin overhead O(log k + loglog n))",
+        &[
+            "k",
+            "coins",
+            "bits/k",
+            "mean rounds",
+            "√k",
+            "failures",
+        ],
+    );
+    for k in k_sweep(quick) {
+        let w = Workload::new(1 << 40, k, 0.5, 0xE3);
+        let shared = measure_intersection(&SqrtProtocol::default(), &w, trials(quick)).unwrap();
+        let private = measure_intersection(
+            &PrivateCoin::new(SqrtProtocol::default()),
+            &w,
+            trials(quick),
+        )
+        .unwrap();
+        for (label, s) in [("shared", shared), ("private", private)] {
+            table.push_row(vec![
+                k.to_string(),
+                label.to_string(),
+                fmt_per(s.bits_per(k)),
+                format!("{:.0}", s.mean_rounds),
+                format!("{:.0}", (k as f64).sqrt()),
+                fmt_failures(s.failures, s.trials),
+            ]);
+        }
+    }
+    vec![table]
+}
+
+/// E4 — the one-round landscape: deterministic `O(k log(n/k))` vs
+/// randomized `O(k log k)`, with the crossover as `n/k` varies.
+pub fn e4(quick: bool) -> Vec<Table> {
+    let mut table = Table::new(
+        "E4 — one-round protocols (k = 256): deterministic k·log(n/k) vs randomized \
+         k·log k (claim: randomized wins once log(n/k) ≫ log k; crossover near n/k ≈ k²·2^e/k)",
+        &[
+            "n/k",
+            "trivial bits/k",
+            "one-round bits/k",
+            "winner",
+            "1r failures",
+        ],
+    );
+    let k = 256u64;
+    let ratios: Vec<u32> = if quick {
+        vec![4, 12, 20, 28]
+    } else {
+        vec![2, 6, 10, 14, 18, 22, 26, 30]
+    };
+    // Error 1/k² (the paper's 1 − 1/k^C with C = 2): range k²·2^(2·log k),
+    // so the randomized protocol's cost is pinned at ≈ 4·log k per element
+    // regardless of n.
+    let one_round = OneRoundHash::new(2 * intersect_core::iterlog::ceil_log2(k) as usize);
+    for log_ratio in ratios {
+        let n = k << log_ratio;
+        let w = Workload::new(n, k, 0.3, 0xE4);
+        let t = measure_intersection(&TrivialExchange::default(), &w, trials(quick)).unwrap();
+        let o = measure_intersection(&one_round, &w, trials(quick)).unwrap();
+        table.push_row(vec![
+            format!("2^{log_ratio}"),
+            fmt_per(t.bits_per(k)),
+            fmt_per(o.bits_per(k)),
+            if t.mean_bits <= o.mean_bits {
+                "trivial"
+            } else {
+                "one-round"
+            }
+            .to_string(),
+            fmt_failures(o.failures, o.trials),
+        ]);
+    }
+    vec![table]
+}
+
+/// E5 — \[HW07\] baseline: disjointness at `O(k)` / `O(log k)` rounds, and
+/// the paper's point that full intersection now costs only a constant
+/// factor more.
+pub fn e5(quick: bool) -> Vec<Table> {
+    let mut table = Table::new(
+        "E5 — disjointness vs full intersection (claim: INT via Theorem 1.1 is within a \
+         constant factor of the HW07 DISJ baseline — recovering everything ≈ as cheap as \
+         deciding emptiness)",
+        &[
+            "k",
+            "overlap",
+            "hw07 bits/k",
+            "hw07 rounds",
+            "tree(log*) bits/k",
+            "tree rounds",
+            "INT/DISJ ratio",
+        ],
+    );
+    for k in k_sweep(quick) {
+        for overlap in [0.0, 0.5] {
+            let w = Workload::new(1 << 40, k, overlap, 0xE5);
+            let d = measure_disjointness(&HwDisjointness::default(), &w, trials(quick)).unwrap();
+            let i =
+                measure_intersection(&TreeProtocol::log_star(k), &w, trials(quick)).unwrap();
+            table.push_row(vec![
+                k.to_string(),
+                format!("{overlap:.1}"),
+                fmt_per(d.bits_per(k)),
+                format!("{:.0}", d.mean_rounds),
+                fmt_per(i.bits_per(k)),
+                format!("{:.0}", i.mean_rounds),
+                format!("{:.2}", i.mean_bits / d.mean_bits),
+            ]);
+        }
+    }
+    vec![table]
+}
+
+/// E6 — the \[ST13\] lower-bound curve: `r`-round disjointness costs
+/// `Θ(k·log^{(r)} k)`, and the paper's intersection protocol tracks it.
+pub fn e6(quick: bool) -> Vec<Table> {
+    let mut table = Table::new(
+        "E6 — r-round trade-off vs the ST13 curve (claim: tree INT cost tracks the \
+         DISJ lower-bound shape k·log^(r) k within a constant factor at every r)",
+        &[
+            "k",
+            "r",
+            "log^(r) k",
+            "st13 bits/k",
+            "tree bits/k",
+            "ratio",
+        ],
+    );
+    let ks = if quick {
+        vec![1 << 10]
+    } else {
+        vec![1 << 10, 1 << 12]
+    };
+    for k in ks {
+        for r in 1..=4u32 {
+            let w = Workload::new(1 << 40, k, 0.0, 0xE6);
+            let d =
+                measure_disjointness(&SparseDisjointness::new(r), &w, trials(quick)).unwrap();
+            let i = measure_intersection(&TreeProtocol::new(r), &w, trials(quick)).unwrap();
+            table.push_row(vec![
+                k.to_string(),
+                r.to_string(),
+                iter_log(r, k).to_string(),
+                fmt_per(d.bits_per(k)),
+                fmt_per(i.bits_per(k)),
+                format!("{:.2}", i.mean_bits / d.mean_bits),
+            ]);
+        }
+    }
+    vec![table]
+}
+
+/// E8 — Fact 2.1: `EQ^n_k` solved through the intersection protocol,
+/// compared with the direct amortized-equality engine — the paper's
+/// round-complexity improvement over \[FKNN95\].
+pub fn e8(quick: bool) -> Vec<Table> {
+    let mut table = Table::new(
+        "E8 — Fact 2.1: k equality instances via INT vs direct amortized equality \
+         (claim: INT matches O(k) bits while cutting rounds from O(√k) to O(log* k))",
+        &[
+            "k",
+            "method",
+            "bits/k",
+            "mean rounds",
+            "errors",
+        ],
+    );
+    let ks = if quick { vec![256usize] } else { vec![256, 1024, 4096] };
+    let trial_count = trials(quick).min(10);
+    for k in ks {
+        let mut via_bits = 0f64;
+        let mut via_rounds = 0f64;
+        let mut via_errors = 0usize;
+        let mut direct_bits = 0f64;
+        let mut direct_rounds = 0f64;
+        let mut direct_errors = 0usize;
+        for t in 0..trial_count {
+            let mut rng = ChaCha8Rng::seed_from_u64(0xE8 ^ (t as u64) << 9);
+            let xs: Vec<u64> = (0..k).map(|_| rng.gen_range(0..1u64 << 30)).collect();
+            let ys: Vec<u64> = xs
+                .iter()
+                .map(|&x| if rng.gen_bool(0.5) { x } else { x ^ 0x5a5a5a } )
+                .collect();
+            let truth: Vec<bool> = xs.iter().zip(&ys).map(|(a, b)| a == b).collect();
+
+            // Via the intersection protocol (Fact 2.1).
+            let tree = TreeProtocol::log_star(k as u64);
+            let out = run_two_party(
+                &RunConfig::with_seed(1000 + t as u64),
+                |chan, coins| {
+                    equalities_via_intersection(&tree, chan, coins, Side::Alice, &xs, 30)
+                },
+                |chan, coins| {
+                    equalities_via_intersection(&tree, chan, coins, Side::Bob, &ys, 30)
+                },
+            )
+            .unwrap();
+            via_bits += out.report.total_bits() as f64;
+            via_rounds += out.report.rounds as f64;
+            via_errors += out
+                .alice
+                .iter()
+                .zip(&truth)
+                .filter(|(a, b)| a != b)
+                .count();
+
+            // Direct amortized equality (Theorem 3.2 engine).
+            let encode = |v: u64| {
+                let mut b = intersect_comm::bits::BitBuf::new();
+                b.push_bits(v, 32);
+                b
+            };
+            let ax: Vec<_> = xs.iter().map(|&v| encode(v)).collect();
+            let by: Vec<_> = ys.iter().map(|&v| encode(v)).collect();
+            let eq = AmortizedEquality::new();
+            let out = run_two_party(
+                &RunConfig::with_seed(2000 + t as u64),
+                |chan, coins| eq.run(chan, &coins.fork("d"), Side::Alice, &ax),
+                |chan, coins| eq.run(chan, &coins.fork("d"), Side::Bob, &by),
+            )
+            .unwrap();
+            direct_bits += out.report.total_bits() as f64;
+            direct_rounds += out.report.rounds as f64;
+            direct_errors += out
+                .alice
+                .iter()
+                .zip(&truth)
+                .filter(|(a, b)| a != b)
+                .count();
+        }
+        let denom = (trial_count * k) as f64;
+        table.push_row(vec![
+            k.to_string(),
+            "via INT (tree log*)".into(),
+            fmt_per(via_bits / denom),
+            format!("{:.0}", via_rounds / trial_count as f64),
+            via_errors.to_string(),
+        ]);
+        table.push_row(vec![
+            k.to_string(),
+            "direct EQ^k engine".into(),
+            fmt_per(direct_bits / denom),
+            format!("{:.0}", direct_rounds / trial_count as f64),
+            direct_errors.to_string(),
+        ]);
+    }
+    vec![table]
+}
+
+/// E12 — the contrast claim: union/symmetric difference need
+/// `Ω(k·log(n/k))` for any number of rounds, while intersection escapes to
+/// `O(k)` — so the gap must GROW with `n/k` for union but stay flat for
+/// intersection.
+pub fn e12(quick: bool) -> Vec<Table> {
+    let mut table = Table::new(
+        "E12 — recovering the union vs the intersection as n/k grows \
+         (claim: union recovery is pinned to k·log(n/k) for any r; INT is flat)",
+        &[
+            "n/k",
+            "union bits/k (exchange)",
+            "INT bits/k (tree log*)",
+            "gap ×",
+        ],
+    );
+    let k = 1024u64;
+    let ratios: Vec<u32> = if quick {
+        vec![4, 16, 30]
+    } else {
+        vec![2, 8, 14, 20, 26, 32, 40]
+    };
+    for log_ratio in ratios {
+        let n = k << log_ratio;
+        let w = Workload::new(n, k, 0.5, 0xE12);
+        // Recovering S ∪ T requires learning the peer's set: the trivial
+        // optimal-code exchange is the benchmark (its cost is the lower
+        // bound's order).
+        let u = measure_intersection(&TrivialExchange::default(), &w, trials(quick)).unwrap();
+        let i = measure_intersection(&TreeProtocol::log_star(k), &w, trials(quick)).unwrap();
+        table.push_row(vec![
+            format!("2^{log_ratio}"),
+            fmt_per(u.bits_per(k)),
+            fmt_per(i.bits_per(k)),
+            format!("{:.2}", u.mean_bits / i.mean_bits),
+        ]);
+    }
+    vec![table]
+}
+
+
+/// E14 — worst-case optimality vs input-adaptivity: the paper's
+/// cardinality-proportional `O(k)` bound against difference-proportional
+/// IBLT reconciliation (`O(d·log n)`), sweeping the difference `d`.
+pub fn e14(quick: bool) -> Vec<Table> {
+    use intersect_core::reconcile::IbltReconcile;
+    let mut table = Table::new(
+        "E14 — paper protocol (O(k), any input) vs IBLT reconciliation (O(d·log n), \
+         d = |SΔT|): reconciliation wins for near-equal sets, degrades past the \
+         crossover d ≈ k/log n, and the paper's bound is the worst-case floor",
+        &[
+            "k",
+            "d = |SΔT|",
+            "iblt bits/k",
+            "tree(log*) bits/k",
+            "winner",
+            "iblt failures",
+        ],
+    );
+    let k = if quick { 1024u64 } else { 4096 };
+    let n = 1u64 << 40;
+    let fracs: &[f64] = if quick {
+        &[0.999, 0.9, 0.5]
+    } else {
+        &[1.0, 0.999, 0.99, 0.95, 0.9, 0.75, 0.5, 0.0]
+    };
+    for &overlap in fracs {
+        let w = Workload::new(n, k, overlap, 0xE14);
+        let d = 2 * (k - w.overlap_count() as u64);
+        let iblt = measure_intersection(&IbltReconcile::default(), &w, trials(quick)).unwrap();
+        let tree = measure_intersection(&TreeProtocol::log_star(k), &w, trials(quick)).unwrap();
+        table.push_row(vec![
+            k.to_string(),
+            d.to_string(),
+            fmt_per(iblt.bits_per(k)),
+            fmt_per(tree.bits_per(k)),
+            if iblt.mean_bits < tree.mean_bits {
+                "iblt"
+            } else {
+                "tree"
+            }
+            .to_string(),
+            fmt_failures(iblt.failures, iblt.trials),
+        ]);
+    }
+    vec![table]
+}
+
+/// E15 — toward the paper's open problem ("does an r-round protocol with
+/// O(k·log^(r) k) exist?"): the pipelined tree runs Algorithm 1 in
+/// `2r + 1` messages instead of `4r − 2`, at the same cost.
+pub fn e15(quick: bool) -> Vec<Table> {
+    use intersect_core::tree_pipelined::PipelinedTree;
+    let mut table = Table::new(
+        "E15 — message-schedule compression (open problem): plain Algorithm 1 \
+         (≤ 6r; ours 4r−2) vs the pipelined variant (2r+1 messages), same \
+         asymptotic cost and reliability",
+        &[
+            "k",
+            "r",
+            "plain bits/k",
+            "piped bits/k",
+            "plain rounds",
+            "piped rounds",
+            "2r+1",
+            "piped failures",
+        ],
+    );
+    let ks: Vec<u64> = if quick {
+        vec![1 << 10]
+    } else {
+        vec![1 << 10, 1 << 12, 1 << 14]
+    };
+    for k in ks {
+        let w = Workload::new(1 << 40, k, 0.5, 0xE15);
+        for r in 2..=4u32 {
+            let plain = measure_intersection(&TreeProtocol::new(r), &w, trials(quick)).unwrap();
+            let piped =
+                measure_intersection(&PipelinedTree::new(r), &w, trials(quick)).unwrap();
+            table.push_row(vec![
+                k.to_string(),
+                r.to_string(),
+                fmt_per(plain.bits_per(k)),
+                fmt_per(piped.bits_per(k)),
+                format!("{:.0}", plain.mean_rounds),
+                format!("{:.0}", piped.mean_rounds),
+                (2 * r + 1).to_string(),
+                fmt_failures(piped.failures, piped.trials),
+            ]);
+        }
+    }
+    vec![table]
+}

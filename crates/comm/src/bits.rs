@@ -1,0 +1,470 @@
+//! Bit-level message buffers.
+//!
+//! Communication complexity is measured in *bits*, so every message a
+//! protocol sends is a [`BitBuf`]: an append-only sequence of bits with an
+//! exact length. Protocols build messages by pushing fixed-width values and
+//! decode them with a [`BitReader`] cursor.
+//!
+//! Bits are addressed LSB-first: `push_bits(v, w)` appends bit `0` of `v`
+//! first, so a round-trip through `read_bits(w)` returns `v` exactly.
+
+use crate::error::CodecError;
+use std::fmt;
+
+/// An append-only buffer of bits, the payload type of every message.
+///
+/// # Examples
+///
+/// ```
+/// use intersect_comm::bits::BitBuf;
+///
+/// let mut buf = BitBuf::new();
+/// buf.push_bits(0b1011, 4);
+/// buf.push_bit(true);
+/// assert_eq!(buf.len(), 5);
+///
+/// let mut r = buf.reader();
+/// assert_eq!(r.read_bits(4).unwrap(), 0b1011);
+/// assert!(r.read_bit().unwrap());
+/// ```
+#[derive(Clone, Default, PartialEq, Eq, Hash)]
+pub struct BitBuf {
+    words: Vec<u64>,
+    len: usize,
+}
+
+impl BitBuf {
+    /// Creates an empty buffer.
+    pub fn new() -> Self {
+        BitBuf {
+            words: Vec::new(),
+            len: 0,
+        }
+    }
+
+    /// Creates an empty buffer with room for `bits` bits.
+    pub fn with_capacity(bits: usize) -> Self {
+        BitBuf {
+            words: Vec::with_capacity(bits.div_ceil(64)),
+            len: 0,
+        }
+    }
+
+    /// Number of bits in the buffer.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Returns `true` if the buffer holds no bits.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Appends a single bit.
+    pub fn push_bit(&mut self, bit: bool) {
+        let word = self.len / 64;
+        let off = self.len % 64;
+        if word == self.words.len() {
+            self.words.push(0);
+        }
+        if bit {
+            self.words[word] |= 1u64 << off;
+        }
+        self.len += 1;
+    }
+
+    /// Appends the low `width` bits of `value`, LSB first.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width > 64`, or if `value` has bits set above `width`
+    /// (that would silently lose information).
+    pub fn push_bits(&mut self, value: u64, width: usize) {
+        assert!(width <= 64, "width {width} exceeds 64");
+        if width < 64 {
+            assert!(
+                value < (1u64 << width),
+                "value {value} does not fit in {width} bits"
+            );
+        }
+        if width == 0 {
+            return;
+        }
+        let off = self.len % 64;
+        let word = self.len / 64;
+        if word == self.words.len() {
+            self.words.push(0);
+        }
+        self.words[word] |= value.checked_shl(off as u32).unwrap_or(0);
+        let spill = off + width;
+        if spill > 64 {
+            // Bits that did not fit in the current word.
+            self.words.push(value >> (64 - off));
+        }
+        self.len += width;
+    }
+
+    /// Appends every bit of `other` to `self`.
+    pub fn extend_from(&mut self, other: &BitBuf) {
+        // Fast path: word-aligned append.
+        if self.len.is_multiple_of(64) {
+            self.words.extend_from_slice(&other.words);
+            self.len += other.len;
+            // Trim any excess capacity-words beyond the new length.
+            let need = self.len.div_ceil(64);
+            self.words.truncate(need);
+            return;
+        }
+        let mut remaining = other.len;
+        let mut idx = 0;
+        while remaining > 0 {
+            let take = remaining.min(64);
+            let value = other.word_bits(idx, take);
+            self.push_bits(value, take);
+            idx += take;
+            remaining -= take;
+        }
+    }
+
+    /// Returns the bit at position `idx`, or `None` if out of bounds.
+    pub fn get(&self, idx: usize) -> Option<bool> {
+        if idx >= self.len {
+            return None;
+        }
+        Some((self.words[idx / 64] >> (idx % 64)) & 1 == 1)
+    }
+
+    /// Reads up to 64 bits starting at bit `start`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range `[start, start + width)` is out of bounds or
+    /// `width > 64`.
+    fn word_bits(&self, start: usize, width: usize) -> u64 {
+        assert!(width <= 64);
+        assert!(start + width <= self.len, "bit range out of bounds");
+        if width == 0 {
+            return 0;
+        }
+        let word = start / 64;
+        let off = start % 64;
+        let lo = self.words[word] >> off;
+        let value = if off + width > 64 {
+            lo | (self.words[word + 1] << (64 - off))
+        } else {
+            lo
+        };
+        if width == 64 {
+            value
+        } else {
+            value & ((1u64 << width) - 1)
+        }
+    }
+
+    /// Returns a cursor that reads the buffer from the beginning.
+    pub fn reader(&self) -> BitReader<'_> {
+        BitReader { buf: self, pos: 0 }
+    }
+
+    /// The underlying 64-bit words (bits beyond [`len`](Self::len) are zero).
+    ///
+    /// Intended for word-at-a-time consumers such as fingerprinting; the
+    /// exact word layout is little-endian in bit order and stable.
+    pub fn words(&self) -> &[u64] {
+        &self.words
+    }
+
+    /// Iterates over the bits in order.
+    pub fn iter(&self) -> impl Iterator<Item = bool> + '_ {
+        (0..self.len).map(move |i| self.get(i).unwrap())
+    }
+}
+
+impl fmt::Debug for BitBuf {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "BitBuf[{} bits: ", self.len)?;
+        for (i, b) in self.iter().enumerate() {
+            if i == 64 {
+                write!(f, "…")?;
+                break;
+            }
+            write!(f, "{}", if b { '1' } else { '0' })?;
+        }
+        write!(f, "]")
+    }
+}
+
+impl FromIterator<bool> for BitBuf {
+    fn from_iter<I: IntoIterator<Item = bool>>(iter: I) -> Self {
+        let mut buf = BitBuf::new();
+        for b in iter {
+            buf.push_bit(b);
+        }
+        buf
+    }
+}
+
+impl Extend<bool> for BitBuf {
+    fn extend<I: IntoIterator<Item = bool>>(&mut self, iter: I) {
+        for b in iter {
+            self.push_bit(b);
+        }
+    }
+}
+
+/// A read cursor over a [`BitBuf`].
+#[derive(Debug, Clone)]
+pub struct BitReader<'a> {
+    buf: &'a BitBuf,
+    pos: usize,
+}
+
+impl<'a> BitReader<'a> {
+    /// Number of unread bits.
+    pub fn remaining(&self) -> usize {
+        self.buf.len - self.pos
+    }
+
+    /// Current position (bits consumed so far).
+    pub fn position(&self) -> usize {
+        self.pos
+    }
+
+    /// Reads a single bit.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CodecError::UnexpectedEnd`] if the buffer is exhausted.
+    pub fn read_bit(&mut self) -> Result<bool, CodecError> {
+        match self.buf.get(self.pos) {
+            Some(b) => {
+                self.pos += 1;
+                Ok(b)
+            }
+            None => Err(CodecError::UnexpectedEnd {
+                wanted: 1,
+                available: 0,
+            }),
+        }
+    }
+
+    /// Reads `width` bits as the low bits of a `u64`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CodecError::WidthTooLarge`] if `width > 64` and
+    /// [`CodecError::UnexpectedEnd`] if fewer than `width` bits remain.
+    pub fn read_bits(&mut self, width: usize) -> Result<u64, CodecError> {
+        if width > 64 {
+            return Err(CodecError::WidthTooLarge(width));
+        }
+        if self.remaining() < width {
+            return Err(CodecError::UnexpectedEnd {
+                wanted: width,
+                available: self.remaining(),
+            });
+        }
+        let v = self.buf.word_bits(self.pos, width);
+        self.pos += width;
+        Ok(v)
+    }
+
+    /// Reads `width` bits into a fresh [`BitBuf`], where `width` may exceed 64.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CodecError::UnexpectedEnd`] if fewer than `width` bits remain.
+    pub fn read_buf(&mut self, width: usize) -> Result<BitBuf, CodecError> {
+        if self.remaining() < width {
+            return Err(CodecError::UnexpectedEnd {
+                wanted: width,
+                available: self.remaining(),
+            });
+        }
+        let mut out = BitBuf::with_capacity(width);
+        let mut left = width;
+        while left > 0 {
+            let take = left.min(64);
+            out.push_bits(self.buf.word_bits(self.pos, take), take);
+            self.pos += take;
+            left -= take;
+        }
+        Ok(out)
+    }
+}
+
+/// Minimum number of bits needed to address any value in `[0, bound)`.
+///
+/// `bit_width_for(1)` is 0: a one-value domain needs no bits at all.
+///
+/// # Examples
+///
+/// ```
+/// use intersect_comm::bits::bit_width_for;
+/// assert_eq!(bit_width_for(1), 0);
+/// assert_eq!(bit_width_for(2), 1);
+/// assert_eq!(bit_width_for(1000), 10);
+/// ```
+///
+/// # Panics
+///
+/// Panics if `bound == 0` (an empty domain has no encodable values).
+pub fn bit_width_for(bound: u64) -> usize {
+    assert!(bound > 0, "cannot address an empty domain");
+    64 - (bound - 1).leading_zeros() as usize
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_buffer() {
+        let buf = BitBuf::new();
+        assert!(buf.is_empty());
+        assert_eq!(buf.len(), 0);
+        assert_eq!(buf.get(0), None);
+        assert_eq!(buf.reader().remaining(), 0);
+    }
+
+    #[test]
+    fn single_bits_round_trip() {
+        let mut buf = BitBuf::new();
+        let pattern = [true, false, true, true, false, false, true];
+        for &b in &pattern {
+            buf.push_bit(b);
+        }
+        assert_eq!(buf.len(), pattern.len());
+        let mut r = buf.reader();
+        for &b in &pattern {
+            assert_eq!(r.read_bit().unwrap(), b);
+        }
+        assert!(r.read_bit().is_err());
+    }
+
+    #[test]
+    fn push_bits_round_trip_across_word_boundary() {
+        let mut buf = BitBuf::new();
+        // Offset the buffer so the 64-bit value straddles a word boundary.
+        buf.push_bits(0b101, 3);
+        buf.push_bits(u64::MAX, 64);
+        buf.push_bits(0x1234_5678_9abc_def0, 61);
+        let mut r = buf.reader();
+        assert_eq!(r.read_bits(3).unwrap(), 0b101);
+        assert_eq!(r.read_bits(64).unwrap(), u64::MAX);
+    }
+
+    #[test]
+    fn zero_width_pushes_nothing() {
+        let mut buf = BitBuf::new();
+        buf.push_bits(0, 0);
+        assert!(buf.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "does not fit")]
+    fn push_bits_rejects_oversized_value() {
+        let mut buf = BitBuf::new();
+        buf.push_bits(8, 3);
+    }
+
+    #[test]
+    fn extend_from_aligned_and_unaligned() {
+        let mut a = BitBuf::new();
+        a.push_bits(0xdead, 16);
+        let mut b = BitBuf::new();
+        b.push_bits(0xbeef, 16);
+        b.push_bit(true);
+
+        // Unaligned: 16 % 64 != 0 is still within one word; force a longer case.
+        let mut big = BitBuf::new();
+        for i in 0..130 {
+            big.push_bit(i % 3 == 0);
+        }
+        let mut c = a.clone();
+        c.extend_from(&b);
+        c.extend_from(&big);
+        assert_eq!(c.len(), 16 + 17 + 130);
+
+        let mut r = c.reader();
+        assert_eq!(r.read_bits(16).unwrap(), 0xdead);
+        assert_eq!(r.read_bits(16).unwrap(), 0xbeef);
+        assert!(r.read_bit().unwrap());
+        for i in 0..130 {
+            assert_eq!(r.read_bit().unwrap(), i % 3 == 0, "bit {i}");
+        }
+    }
+
+    #[test]
+    fn extend_from_word_aligned_fast_path() {
+        let mut a = BitBuf::new();
+        a.push_bits(u64::MAX, 64);
+        let mut b = BitBuf::new();
+        b.push_bits(0b11, 2);
+        a.extend_from(&b);
+        assert_eq!(a.len(), 66);
+        let mut r = a.reader();
+        assert_eq!(r.read_bits(64).unwrap(), u64::MAX);
+        assert_eq!(r.read_bits(2).unwrap(), 0b11);
+    }
+
+    #[test]
+    fn read_buf_extracts_sub_buffer() {
+        let mut buf = BitBuf::new();
+        for i in 0..200u64 {
+            buf.push_bit(i % 2 == 0);
+        }
+        let mut r = buf.reader();
+        let _ = r.read_bits(7).unwrap();
+        let sub = r.read_buf(100).unwrap();
+        assert_eq!(sub.len(), 100);
+        for i in 0..100usize {
+            assert_eq!(sub.get(i).unwrap(), (i + 7) % 2 == 0);
+        }
+        assert_eq!(r.position(), 107);
+    }
+
+    #[test]
+    fn bit_width_for_bounds() {
+        assert_eq!(bit_width_for(1), 0);
+        assert_eq!(bit_width_for(2), 1);
+        assert_eq!(bit_width_for(3), 2);
+        assert_eq!(bit_width_for(4), 2);
+        assert_eq!(bit_width_for(5), 3);
+        assert_eq!(bit_width_for(u64::MAX), 64);
+        // Every bound fits.
+        for bound in 1..2000u64 {
+            let w = bit_width_for(bound);
+            if w < 64 {
+                assert!(bound <= (1u64 << w));
+            }
+            assert!(bound - 1 < (1u128 << w) as u64 || w == 64);
+        }
+    }
+
+    #[test]
+    fn from_iterator_and_extend() {
+        let buf: BitBuf = [true, false, true].into_iter().collect();
+        assert_eq!(buf.len(), 3);
+        let mut buf2 = buf.clone();
+        buf2.extend([false, true]);
+        assert_eq!(buf2.len(), 5);
+        assert_eq!(buf2.get(3), Some(false));
+        assert_eq!(buf2.get(4), Some(true));
+    }
+
+    #[test]
+    fn debug_is_never_empty() {
+        let buf = BitBuf::new();
+        assert!(!format!("{buf:?}").is_empty());
+    }
+
+    #[test]
+    fn equality_ignores_capacity() {
+        let mut a = BitBuf::with_capacity(1000);
+        let mut b = BitBuf::new();
+        a.push_bits(0x55, 8);
+        b.push_bits(0x55, 8);
+        assert_eq!(a, b);
+    }
+}

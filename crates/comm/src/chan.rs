@@ -1,0 +1,260 @@
+//! Two-party channels with exact bit accounting.
+
+use crate::bits::BitBuf;
+use crate::error::ProtocolError;
+use crate::stats::ChannelStats;
+use crossbeam_channel::{Receiver, Sender};
+use std::time::Duration;
+
+/// A frame on the wire: a bit payload stamped with the sender's causal clock.
+#[derive(Debug, Clone)]
+pub(crate) struct Frame {
+    pub depth: u64,
+    pub payload: BitBuf,
+}
+
+/// The transport used by every protocol implementation.
+///
+/// A `Chan` counts the exact number of bits sent and received and maintains
+/// the causal round clock (see [`crate::stats`]). Protocols are written
+/// against this trait so the same code runs over a dedicated two-party link
+/// ([`Endpoint`]) or over a pairwise link inside a multi-party network.
+pub trait Chan {
+    /// Sends one message to the peer.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ProtocolError::ChannelClosed`] if the peer hung up and
+    /// [`ProtocolError::BudgetExceeded`] if a communication budget is set
+    /// and this message would cross it.
+    fn send(&mut self, msg: BitBuf) -> Result<(), ProtocolError>;
+
+    /// Receives one message from the peer, blocking until it arrives.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ProtocolError::ChannelClosed`] if the peer hung up,
+    /// [`ProtocolError::Timeout`] if the configured timeout elapses, and
+    /// [`ProtocolError::BudgetExceeded`] on budget overrun.
+    fn recv(&mut self) -> Result<BitBuf, ProtocolError>;
+
+    /// Snapshot of this endpoint's counters.
+    fn stats(&self) -> ChannelStats;
+
+    /// Sends `msg` and then receives the peer's message.
+    ///
+    /// Both parties may call `exchange` simultaneously: sends are buffered,
+    /// so this realizes a simultaneous-message round without deadlock.
+    ///
+    /// # Errors
+    ///
+    /// Propagates errors from [`send`](Chan::send) / [`recv`](Chan::recv).
+    fn exchange(&mut self, msg: BitBuf) -> Result<BitBuf, ProtocolError> {
+        self.send(msg)?;
+        self.recv()
+    }
+}
+
+impl<C: Chan + ?Sized> Chan for &mut C {
+    fn send(&mut self, msg: BitBuf) -> Result<(), ProtocolError> {
+        (**self).send(msg)
+    }
+
+    fn recv(&mut self) -> Result<BitBuf, ProtocolError> {
+        (**self).recv()
+    }
+
+    fn stats(&self) -> ChannelStats {
+        (**self).stats()
+    }
+}
+
+/// One side of a dedicated two-party channel.
+///
+/// Created in pairs by [`Endpoint::pair`]; typically you use
+/// [`crate::runner::run_two_party`] instead of constructing these directly.
+#[derive(Debug)]
+pub struct Endpoint {
+    tx: Sender<Frame>,
+    rx: Receiver<Frame>,
+    stats: ChannelStats,
+    budget: Option<u64>,
+    timeout: Duration,
+}
+
+impl Endpoint {
+    /// Creates a connected pair of endpoints.
+    ///
+    /// `budget` bounds the *total* bits observed by one endpoint (sent plus
+    /// received — i.e. the total communication of the protocol); `timeout`
+    /// bounds each blocking receive.
+    pub fn pair(budget: Option<u64>, timeout: Duration) -> (Endpoint, Endpoint) {
+        let (tx_ab, rx_ab) = crossbeam_channel::unbounded();
+        let (tx_ba, rx_ba) = crossbeam_channel::unbounded();
+        let a = Endpoint {
+            tx: tx_ab,
+            rx: rx_ba,
+            stats: ChannelStats::default(),
+            budget,
+            timeout,
+        };
+        let b = Endpoint {
+            tx: tx_ba,
+            rx: rx_ab,
+            stats: ChannelStats::default(),
+            budget,
+            timeout,
+        };
+        (a, b)
+    }
+
+    fn check_budget(&self) -> Result<(), ProtocolError> {
+        if let Some(limit) = self.budget {
+            if self.stats.total_bits() > limit {
+                return Err(ProtocolError::BudgetExceeded { limit_bits: limit });
+            }
+        }
+        Ok(())
+    }
+}
+
+impl Chan for Endpoint {
+    fn send(&mut self, msg: BitBuf) -> Result<(), ProtocolError> {
+        self.stats.bits_sent += msg.len() as u64;
+        self.stats.messages_sent += 1;
+        self.check_budget()?;
+        let frame = Frame {
+            depth: self.stats.clock + 1,
+            payload: msg,
+        };
+        self.tx
+            .send(frame)
+            .map_err(|_| ProtocolError::ChannelClosed)
+    }
+
+    fn recv(&mut self) -> Result<BitBuf, ProtocolError> {
+        let frame = self.rx.recv_timeout(self.timeout).map_err(|e| match e {
+            crossbeam_channel::RecvTimeoutError::Timeout => ProtocolError::Timeout,
+            crossbeam_channel::RecvTimeoutError::Disconnected => ProtocolError::ChannelClosed,
+        })?;
+        self.stats.clock = self.stats.clock.max(frame.depth);
+        self.stats.bits_received += frame.payload.len() as u64;
+        self.stats.messages_received += 1;
+        self.check_budget()?;
+        Ok(frame.payload)
+    }
+
+    fn stats(&self) -> ChannelStats {
+        self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pair() -> (Endpoint, Endpoint) {
+        Endpoint::pair(None, Duration::from_secs(5))
+    }
+
+    fn msg(bits: usize) -> BitBuf {
+        let mut b = BitBuf::new();
+        for i in 0..bits {
+            b.push_bit(i % 2 == 0);
+        }
+        b
+    }
+
+    #[test]
+    fn send_recv_counts_bits_and_messages() {
+        let (mut a, mut b) = pair();
+        a.send(msg(10)).unwrap();
+        a.send(msg(7)).unwrap();
+        let m1 = b.recv().unwrap();
+        let m2 = b.recv().unwrap();
+        assert_eq!(m1.len(), 10);
+        assert_eq!(m2.len(), 7);
+        assert_eq!(a.stats().bits_sent, 17);
+        assert_eq!(a.stats().messages_sent, 2);
+        assert_eq!(b.stats().bits_received, 17);
+        assert_eq!(b.stats().messages_received, 2);
+    }
+
+    #[test]
+    fn consecutive_one_direction_messages_are_one_round() {
+        let (mut a, mut b) = pair();
+        a.send(msg(1)).unwrap();
+        a.send(msg(1)).unwrap();
+        a.send(msg(1)).unwrap();
+        for _ in 0..3 {
+            b.recv().unwrap();
+        }
+        assert_eq!(a.stats().clock, 0); // Alice never received anything
+        assert_eq!(b.stats().clock, 1); // all three messages share one round
+    }
+
+    #[test]
+    fn alternation_advances_rounds() {
+        let (mut a, mut b) = pair();
+        a.send(msg(1)).unwrap(); // round 1
+        b.recv().unwrap();
+        b.send(msg(1)).unwrap(); // round 2
+        a.recv().unwrap();
+        a.send(msg(1)).unwrap(); // round 3
+        b.recv().unwrap();
+        assert_eq!(b.stats().clock, 3);
+        assert_eq!(a.stats().clock, 2);
+    }
+
+    #[test]
+    fn simultaneous_exchange_is_one_round_each_way() {
+        let (mut a, mut b) = pair();
+        // Both send before either receives: a simultaneous round.
+        a.send(msg(4)).unwrap();
+        b.send(msg(4)).unwrap();
+        a.recv().unwrap();
+        b.recv().unwrap();
+        assert_eq!(a.stats().clock, 1);
+        assert_eq!(b.stats().clock, 1);
+    }
+
+    #[test]
+    fn budget_is_enforced() {
+        let (mut a, mut b) = Endpoint::pair(Some(16), Duration::from_secs(5));
+        a.send(msg(10)).unwrap();
+        let err = a.send(msg(10)).unwrap_err();
+        assert!(matches!(err, ProtocolError::BudgetExceeded { limit_bits: 16 }));
+        // Receiver also trips its own budget once it has seen too much.
+        b.recv().unwrap();
+        let _ = b.recv(); // second frame was sent before the error; may exceed
+    }
+
+    #[test]
+    fn disconnect_is_reported() {
+        let (mut a, b) = pair();
+        drop(b);
+        assert_eq!(a.recv().unwrap_err(), ProtocolError::ChannelClosed);
+        assert_eq!(a.send(msg(1)).unwrap_err(), ProtocolError::ChannelClosed);
+    }
+
+    #[test]
+    fn timeout_is_reported() {
+        let (mut a, _b) = Endpoint::pair(None, Duration::from_millis(10));
+        assert_eq!(a.recv().unwrap_err(), ProtocolError::Timeout);
+    }
+
+    #[test]
+    fn exchange_round_trips() {
+        let (mut a, mut b) = pair();
+        let h = std::thread::spawn(move || {
+            let got = b.exchange(msg(3)).unwrap();
+            (got.len(), b)
+        });
+        let got = a.exchange(msg(5)).unwrap();
+        assert_eq!(got.len(), 3);
+        let (len_b, b) = h.join().unwrap();
+        assert_eq!(len_b, 5);
+        assert_eq!(a.stats().clock, 1);
+        assert_eq!(b.stats().clock, 1);
+    }
+}

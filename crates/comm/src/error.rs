@@ -1,0 +1,141 @@
+//! Error types for the communication substrate.
+
+use std::error::Error;
+use std::fmt;
+
+/// An error produced while encoding or decoding bit-level messages.
+///
+/// Codec errors indicate that a message could not be interpreted as the
+/// structure the receiver expected — either because the sender and receiver
+/// disagree about the protocol state (a bug) or because a message was
+/// truncated by a communication budget.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CodecError {
+    /// The reader ran out of bits while decoding a value.
+    UnexpectedEnd {
+        /// Number of bits the decoder asked for.
+        wanted: usize,
+        /// Number of bits that were actually available.
+        available: usize,
+    },
+    /// A decoded value exceeded the range the decoder was told to expect.
+    ValueOutOfRange {
+        /// The offending value.
+        value: u64,
+        /// The exclusive upper bound the decoder expected.
+        bound: u64,
+    },
+    /// A requested bit width was larger than the 64-bit limit of the codec.
+    WidthTooLarge(usize),
+    /// The encoded stream violated a structural invariant of the code.
+    Malformed(&'static str),
+}
+
+impl fmt::Display for CodecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CodecError::UnexpectedEnd { wanted, available } => write!(
+                f,
+                "unexpected end of bit stream: wanted {wanted} bits, {available} available"
+            ),
+            CodecError::ValueOutOfRange { value, bound } => {
+                write!(f, "decoded value {value} out of range (bound {bound})")
+            }
+            CodecError::WidthTooLarge(w) => write!(f, "bit width {w} exceeds 64"),
+            CodecError::Malformed(what) => write!(f, "malformed encoding: {what}"),
+        }
+    }
+}
+
+impl Error for CodecError {}
+
+/// An error produced while running a communication protocol.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ProtocolError {
+    /// The peer hung up: its endpoint was dropped before this receive.
+    ChannelClosed,
+    /// A receive waited longer than the configured network timeout.
+    Timeout,
+    /// The protocol exceeded its communication budget and was aborted.
+    ///
+    /// Budgets turn expected-cost protocols into worst-case protocols, as in
+    /// the paper's remark that expected communication "can be made worst-case
+    /// by terminating the protocol if it consumes more than a constant factor
+    /// times its expected communication cost".
+    BudgetExceeded {
+        /// The budget, in bits.
+        limit_bits: u64,
+    },
+    /// A message failed to decode.
+    Codec(CodecError),
+    /// The caller passed inputs that violate the protocol's preconditions.
+    InvalidInput(String),
+    /// The protocol reached an internal state that should be unreachable.
+    Internal(String),
+}
+
+impl fmt::Display for ProtocolError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ProtocolError::ChannelClosed => write!(f, "peer closed the channel"),
+            ProtocolError::Timeout => write!(f, "receive timed out"),
+            ProtocolError::BudgetExceeded { limit_bits } => {
+                write!(f, "communication budget of {limit_bits} bits exceeded")
+            }
+            ProtocolError::Codec(e) => write!(f, "codec failure: {e}"),
+            ProtocolError::InvalidInput(msg) => write!(f, "invalid input: {msg}"),
+            ProtocolError::Internal(msg) => write!(f, "internal protocol error: {msg}"),
+        }
+    }
+}
+
+impl Error for ProtocolError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            ProtocolError::Codec(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<CodecError> for ProtocolError {
+    fn from(e: CodecError) -> Self {
+        ProtocolError::Codec(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn codec_error_display_is_informative() {
+        let e = CodecError::UnexpectedEnd {
+            wanted: 8,
+            available: 3,
+        };
+        let s = e.to_string();
+        assert!(s.contains('8') && s.contains('3'));
+    }
+
+    #[test]
+    fn protocol_error_wraps_codec_error() {
+        let inner = CodecError::Malformed("gamma code missing terminator");
+        let outer: ProtocolError = inner.clone().into();
+        assert_eq!(outer, ProtocolError::Codec(inner));
+        assert!(outer.source().is_some());
+    }
+
+    #[test]
+    fn errors_are_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<CodecError>();
+        assert_send_sync::<ProtocolError>();
+    }
+
+    #[test]
+    fn budget_display_mentions_limit() {
+        let e = ProtocolError::BudgetExceeded { limit_bits: 4096 };
+        assert!(e.to_string().contains("4096"));
+    }
+}

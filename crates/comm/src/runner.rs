@@ -1,0 +1,281 @@
+//! Executes two-party protocols and collects their cost.
+
+use crate::chan::{Chan, Endpoint};
+use crate::coins::CoinSource;
+use crate::error::ProtocolError;
+use crate::stats::CostReport;
+use std::time::Duration;
+
+/// Which side of a two-party protocol a piece of code is playing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Side {
+    /// The first player (holds `S`).
+    Alice,
+    /// The second player (holds `T`).
+    Bob,
+}
+
+impl Side {
+    /// The other side.
+    pub fn peer(self) -> Side {
+        match self {
+            Side::Alice => Side::Bob,
+            Side::Bob => Side::Alice,
+        }
+    }
+
+    /// A stable label for coin forking.
+    pub fn label(self) -> &'static str {
+        match self {
+            Side::Alice => "alice",
+            Side::Bob => "bob",
+        }
+    }
+
+    /// `true` for [`Side::Alice`].
+    pub fn is_alice(self) -> bool {
+        matches!(self, Side::Alice)
+    }
+}
+
+impl std::fmt::Display for Side {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Configuration for a two-party run.
+#[derive(Debug, Clone)]
+pub struct RunConfig {
+    /// Seed of the common random string.
+    pub seed: u64,
+    /// Abort the protocol if total communication exceeds this many bits.
+    pub bit_budget: Option<u64>,
+    /// How long a blocked receive may wait before failing the run.
+    pub timeout: Duration,
+}
+
+impl RunConfig {
+    /// A configuration with the given shared-randomness seed, no budget,
+    /// and a 30-second receive timeout.
+    pub fn with_seed(seed: u64) -> Self {
+        RunConfig {
+            seed,
+            bit_budget: None,
+            timeout: Duration::from_secs(30),
+        }
+    }
+
+    /// Sets the communication budget in bits.
+    pub fn bit_budget(mut self, bits: u64) -> Self {
+        self.bit_budget = Some(bits);
+        self
+    }
+}
+
+impl Default for RunConfig {
+    fn default() -> Self {
+        RunConfig::with_seed(0)
+    }
+}
+
+/// The result of a successful two-party run.
+#[derive(Debug, Clone)]
+pub struct RunOutcome<A, B> {
+    /// Alice's return value.
+    pub alice: A,
+    /// Bob's return value.
+    pub bob: B,
+    /// Exact communication cost of the run.
+    pub report: CostReport,
+}
+
+/// Runs a two-party protocol: `alice` and `bob` execute concurrently,
+/// connected by a bit-metered channel and sharing a common random string.
+///
+/// Returns both parties' outputs and the exact [`CostReport`].
+///
+/// # Errors
+///
+/// If either party returns an error the run fails. When one party's failure
+/// causes the other to observe a closed channel, the original failure is
+/// reported rather than the secondary [`ProtocolError::ChannelClosed`].
+///
+/// # Examples
+///
+/// ```
+/// use intersect_comm::runner::{run_two_party, RunConfig};
+/// use intersect_comm::chan::Chan;
+/// use intersect_comm::bits::BitBuf;
+///
+/// let out = run_two_party(
+///     &RunConfig::with_seed(7),
+///     |chan, _coins| {
+///         let mut m = BitBuf::new();
+///         m.push_bits(0b1010, 4);
+///         chan.send(m)?;
+///         Ok(chan.recv()?.len())
+///     },
+///     |chan, _coins| {
+///         let got = chan.recv()?;
+///         chan.send(got.clone())?;
+///         Ok(got.len())
+///     },
+/// )?;
+/// assert_eq!(out.alice, 4);
+/// assert_eq!(out.bob, 4);
+/// assert_eq!(out.report.total_bits(), 8);
+/// assert_eq!(out.report.rounds, 2);
+/// # Ok::<(), intersect_comm::error::ProtocolError>(())
+/// ```
+pub fn run_two_party<FA, FB, A, B>(
+    cfg: &RunConfig,
+    alice: FA,
+    bob: FB,
+) -> Result<RunOutcome<A, B>, ProtocolError>
+where
+    FA: FnOnce(&mut Endpoint, &CoinSource) -> Result<A, ProtocolError> + Send,
+    FB: FnOnce(&mut Endpoint, &CoinSource) -> Result<B, ProtocolError> + Send,
+    A: Send,
+    B: Send,
+{
+    let (mut ep_a, mut ep_b) = Endpoint::pair(cfg.bit_budget, cfg.timeout);
+    let coins = CoinSource::from_seed(cfg.seed);
+    let coins_b = coins.clone();
+
+    let (res_a, res_b, stats_a, stats_b) = std::thread::scope(|scope| {
+        let handle = scope.spawn(move || {
+            let r = bob(&mut ep_b, &coins_b);
+            (r, ep_b.stats())
+        });
+        let res_a = alice(&mut ep_a, &coins);
+        let stats_a = ep_a.stats();
+        // Drop Alice's endpoint so a blocked Bob sees a hangup rather than a
+        // timeout if Alice failed early.
+        drop(ep_a);
+        let (res_b, stats_b) = handle.join().expect("bob panicked");
+        (res_a, res_b, stats_a, stats_b)
+    });
+
+    let report = CostReport {
+        bits_alice: stats_a.bits_sent,
+        bits_bob: stats_b.bits_sent,
+        messages: stats_a.messages_sent + stats_b.messages_sent,
+        rounds: stats_a.clock.max(stats_b.clock),
+    };
+
+    match (res_a, res_b) {
+        (Ok(alice), Ok(bob)) => Ok(RunOutcome { alice, bob, report }),
+        (Err(e), Ok(_)) | (Ok(_), Err(e)) => Err(e),
+        (Err(ea), Err(eb)) => {
+            // Prefer the root cause over a secondary hangup/timeout.
+            let secondary = |e: &ProtocolError| {
+                matches!(e, ProtocolError::ChannelClosed | ProtocolError::Timeout)
+            };
+            if secondary(&ea) && !secondary(&eb) {
+                Err(eb)
+            } else {
+                Err(ea)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bits::BitBuf;
+
+    fn bits(n: usize) -> BitBuf {
+        let mut b = BitBuf::new();
+        for _ in 0..n {
+            b.push_bit(true);
+        }
+        b
+    }
+
+    #[test]
+    fn ping_pong_counts_rounds_and_bits() {
+        let out = run_two_party(
+            &RunConfig::with_seed(1),
+            |chan, _| {
+                chan.send(bits(8))?;
+                chan.recv()?;
+                chan.send(bits(4))?;
+                Ok(())
+            },
+            |chan, _| {
+                chan.recv()?;
+                chan.send(bits(2))?;
+                chan.recv()?;
+                Ok(())
+            },
+        )
+        .unwrap();
+        assert_eq!(out.report.bits_alice, 12);
+        assert_eq!(out.report.bits_bob, 2);
+        assert_eq!(out.report.total_bits(), 14);
+        assert_eq!(out.report.messages, 3);
+        assert_eq!(out.report.rounds, 3);
+    }
+
+    #[test]
+    fn shared_coins_agree_across_parties() {
+        let out = run_two_party(
+            &RunConfig::with_seed(99),
+            |_, coins| {
+                use rand::Rng;
+                Ok(coins.rng_for("h").gen::<u64>())
+            },
+            |_, coins| {
+                use rand::Rng;
+                Ok(coins.rng_for("h").gen::<u64>())
+            },
+        )
+        .unwrap();
+        assert_eq!(out.alice, out.bob);
+    }
+
+    #[test]
+    fn primary_error_wins_over_secondary_hangup() {
+        let err = run_two_party(
+            &RunConfig::with_seed(1),
+            |chan, _| {
+                chan.recv()?; // Bob never sends: sees hangup after Bob fails
+                Ok(())
+            },
+            |_, _| -> Result<(), ProtocolError> {
+                Err(ProtocolError::InvalidInput("bad set".into()))
+            },
+        )
+        .unwrap_err();
+        assert_eq!(err, ProtocolError::InvalidInput("bad set".into()));
+    }
+
+    #[test]
+    fn budget_aborts_runaway_protocol() {
+        let err = run_two_party(
+            &RunConfig::with_seed(1).bit_budget(100),
+            |chan, _| -> Result<(), ProtocolError> {
+                loop {
+                    chan.send(bits(64))?;
+                }
+            },
+            |chan, _| -> Result<(), ProtocolError> {
+                loop {
+                    chan.recv()?;
+                }
+            },
+        )
+        .unwrap_err();
+        assert!(matches!(err, ProtocolError::BudgetExceeded { .. }));
+    }
+
+    #[test]
+    fn side_basics() {
+        assert_eq!(Side::Alice.peer(), Side::Bob);
+        assert_eq!(Side::Bob.peer(), Side::Alice);
+        assert!(Side::Alice.is_alice());
+        assert_eq!(Side::Bob.to_string(), "bob");
+    }
+}

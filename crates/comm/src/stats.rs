@@ -1,0 +1,160 @@
+//! Communication accounting.
+//!
+//! Every quantity the paper bounds — total bits, per-player bits, messages,
+//! rounds — is metered here. *Rounds* are measured with causal (Lamport)
+//! clocks: each message carries `sender_clock + 1` and a receiver advances
+//! its clock to the maximum it has seen. The round complexity of a run is
+//! the largest clock at termination, i.e. the longest chain of causally
+//! dependent messages. For strictly alternating two-party protocols this is
+//! exactly the "number of messages" definition used by the paper, and it
+//! correctly credits only *two* rounds to a stage in which many equality
+//! tests run "in parallel" inside one batched message each way.
+
+/// Per-endpoint communication counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ChannelStats {
+    /// Bits this endpoint sent.
+    pub bits_sent: u64,
+    /// Bits this endpoint received.
+    pub bits_received: u64,
+    /// Messages this endpoint sent.
+    pub messages_sent: u64,
+    /// Messages this endpoint received.
+    pub messages_received: u64,
+    /// Causal round clock (see module docs).
+    pub clock: u64,
+}
+
+impl ChannelStats {
+    /// Total bits that crossed this endpoint in either direction.
+    pub fn total_bits(&self) -> u64 {
+        self.bits_sent + self.bits_received
+    }
+}
+
+/// The cost of one complete two-party protocol execution.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CostReport {
+    /// Bits sent by Alice.
+    pub bits_alice: u64,
+    /// Bits sent by Bob.
+    pub bits_bob: u64,
+    /// Total messages exchanged.
+    pub messages: u64,
+    /// Round complexity: the longest causal chain of messages.
+    pub rounds: u64,
+}
+
+impl CostReport {
+    /// Total communication in bits.
+    pub fn total_bits(&self) -> u64 {
+        self.bits_alice + self.bits_bob
+    }
+
+    /// Combines two sequential protocol executions: bits and messages add,
+    /// rounds add (the second execution starts after the first finishes).
+    pub fn then(&self, later: &CostReport) -> CostReport {
+        CostReport {
+            bits_alice: self.bits_alice + later.bits_alice,
+            bits_bob: self.bits_bob + later.bits_bob,
+            messages: self.messages + later.messages,
+            rounds: self.rounds + later.rounds,
+        }
+    }
+}
+
+/// The cost of one multi-party protocol execution.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct NetworkReport {
+    /// Bits sent per player, indexed by player id.
+    pub bits_sent: Vec<u64>,
+    /// Bits received per player, indexed by player id.
+    pub bits_received: Vec<u64>,
+    /// Total messages delivered.
+    pub messages: u64,
+    /// Round complexity: the longest causal chain of messages.
+    pub rounds: u64,
+}
+
+impl NetworkReport {
+    /// Total communication across all players, counting each message once.
+    pub fn total_bits(&self) -> u64 {
+        self.bits_sent.iter().sum()
+    }
+
+    /// Mean bits sent per player.
+    pub fn average_bits_per_player(&self) -> f64 {
+        if self.bits_sent.is_empty() {
+            return 0.0;
+        }
+        self.total_bits() as f64 / self.bits_sent.len() as f64
+    }
+
+    /// The largest per-player communication (sent + received): the paper's
+    /// "worst-case communication per player".
+    pub fn max_bits_per_player(&self) -> u64 {
+        self.bits_sent
+            .iter()
+            .zip(&self.bits_received)
+            .map(|(s, r)| s + r)
+            .max()
+            .unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cost_report_totals() {
+        let r = CostReport {
+            bits_alice: 10,
+            bits_bob: 32,
+            messages: 3,
+            rounds: 3,
+        };
+        assert_eq!(r.total_bits(), 42);
+    }
+
+    #[test]
+    fn cost_report_sequencing_adds_rounds() {
+        let a = CostReport {
+            bits_alice: 5,
+            bits_bob: 5,
+            messages: 2,
+            rounds: 2,
+        };
+        let b = CostReport {
+            bits_alice: 1,
+            bits_bob: 0,
+            messages: 1,
+            rounds: 1,
+        };
+        let c = a.then(&b);
+        assert_eq!(c.total_bits(), 11);
+        assert_eq!(c.messages, 3);
+        assert_eq!(c.rounds, 3);
+    }
+
+    #[test]
+    fn network_report_aggregates() {
+        let r = NetworkReport {
+            bits_sent: vec![100, 0, 50],
+            bits_received: vec![0, 120, 30],
+            messages: 4,
+            rounds: 2,
+        };
+        assert_eq!(r.total_bits(), 150);
+        assert!((r.average_bits_per_player() - 50.0).abs() < 1e-9);
+        assert_eq!(r.max_bits_per_player(), 120);
+    }
+
+    #[test]
+    fn empty_network_report_is_safe() {
+        let r = NetworkReport::default();
+        assert_eq!(r.total_bits(), 0);
+        assert_eq!(r.average_bits_per_player(), 0.0);
+        assert_eq!(r.max_bits_per_player(), 0);
+    }
+}

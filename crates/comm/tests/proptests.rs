@@ -1,0 +1,172 @@
+//! Property-based tests for the communication substrate.
+
+use intersect_comm::bignat::{binomial, BigNat};
+use intersect_comm::bits::{bit_width_for, BitBuf};
+use intersect_comm::encode::{
+    get_delta, get_gamma, get_gamma0, get_rice, put_delta, put_gamma, put_gamma0, put_rice,
+    BinomialSubsetCodec, RiceSubsetCodec,
+};
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn bitbuf_push_read_round_trip(values in prop::collection::vec((any::<u64>(), 0usize..=64), 0..50)) {
+        let mut buf = BitBuf::new();
+        let mut expected = Vec::new();
+        for (v, w) in values {
+            let v = if w == 64 { v } else { v & ((1u64 << w) - 1) };
+            buf.push_bits(v, w);
+            expected.push((v, w));
+        }
+        let mut r = buf.reader();
+        for (v, w) in expected {
+            prop_assert_eq!(r.read_bits(w).unwrap(), v);
+        }
+        prop_assert_eq!(r.remaining(), 0);
+    }
+
+    #[test]
+    fn bitbuf_extend_matches_concat(a in prop::collection::vec(any::<bool>(), 0..200),
+                                    b in prop::collection::vec(any::<bool>(), 0..200)) {
+        let buf_a: BitBuf = a.iter().copied().collect();
+        let buf_b: BitBuf = b.iter().copied().collect();
+        let mut joined = buf_a.clone();
+        joined.extend_from(&buf_b);
+        let direct: BitBuf = a.iter().chain(b.iter()).copied().collect();
+        prop_assert_eq!(joined, direct);
+    }
+
+    #[test]
+    fn gamma_round_trip(v in 1u64..=u64::MAX / 4) {
+        let mut buf = BitBuf::new();
+        put_gamma(&mut buf, v);
+        prop_assert_eq!(get_gamma(&mut buf.reader()).unwrap(), v);
+    }
+
+    #[test]
+    fn gamma0_round_trip(v in 0u64..=u64::MAX / 4) {
+        let mut buf = BitBuf::new();
+        put_gamma0(&mut buf, v);
+        prop_assert_eq!(get_gamma0(&mut buf.reader()).unwrap(), v);
+    }
+
+    #[test]
+    fn delta_round_trip(v in 1u64..u64::MAX) {
+        let mut buf = BitBuf::new();
+        put_delta(&mut buf, v);
+        prop_assert_eq!(get_delta(&mut buf.reader()).unwrap(), v);
+    }
+
+    #[test]
+    fn rice_round_trip(v in 0u64..1_000_000, b in 0usize..20) {
+        // Keep the quotient bounded as the encoder requires.
+        prop_assume!((v >> b) < (1 << 20));
+        let mut buf = BitBuf::new();
+        put_rice(&mut buf, v, b);
+        prop_assert_eq!(get_rice(&mut buf.reader(), b).unwrap(), v);
+    }
+
+    #[test]
+    fn mixed_code_stream_round_trips(items in prop::collection::vec((0u64..3, 1u64..1_000_000), 0..40)) {
+        let mut buf = BitBuf::new();
+        for (kind, v) in &items {
+            match kind {
+                0 => put_gamma(&mut buf, *v),
+                1 => put_delta(&mut buf, *v),
+                _ => put_rice(&mut buf, *v, 8),
+            }
+        }
+        let mut r = buf.reader();
+        for (kind, v) in &items {
+            let got = match kind {
+                0 => get_gamma(&mut r).unwrap(),
+                1 => get_delta(&mut r).unwrap(),
+                _ => get_rice(&mut r, 8).unwrap(),
+            };
+            prop_assert_eq!(got, *v);
+        }
+    }
+
+    #[test]
+    fn bignat_add_sub_matches_u128(a in 0u128..u128::MAX / 2, b in 0u128..u128::MAX / 2) {
+        let mut x = BigNat::from(a);
+        x.add_assign(&BigNat::from(b));
+        prop_assert_eq!(x.to_u128(), Some(a + b));
+        x.sub_assign(&BigNat::from(b));
+        prop_assert_eq!(x.to_u128(), Some(a));
+    }
+
+    #[test]
+    fn bignat_mul_div_matches_u128(a in any::<u64>(), m in 1u64..=u32::MAX as u64) {
+        let mut x = BigNat::from(a);
+        x.mul_assign_u64(m);
+        prop_assert_eq!(x.to_u128(), Some(a as u128 * m as u128));
+        let rem = x.div_assign_rem_u64(m);
+        prop_assert_eq!(rem, 0);
+        prop_assert_eq!(x.to_u64(), Some(a));
+    }
+
+    #[test]
+    fn bignat_bits_round_trip(a in any::<u128>(), extra in 0usize..10) {
+        let v = BigNat::from(a);
+        let width = v.bit_len() + extra;
+        let mut buf = BitBuf::new();
+        v.write_bits(&mut buf, width);
+        prop_assert_eq!(buf.len(), width);
+        let back = BigNat::read_bits(&mut buf.reader(), width).unwrap();
+        prop_assert_eq!(back, v);
+    }
+
+    #[test]
+    fn bignat_ordering_matches_u128(a in any::<u128>(), b in any::<u128>()) {
+        prop_assert_eq!(BigNat::from(a).cmp_nat(&BigNat::from(b)), a.cmp(&b));
+    }
+
+    #[test]
+    fn binomial_symmetry(n in 0u64..60, k in 0u64..60) {
+        prop_assume!(k <= n);
+        prop_assert_eq!(binomial(n, k), binomial(n, n - k));
+    }
+
+    #[test]
+    fn binomial_subset_round_trip(raw in prop::collection::btree_set(0u64..200, 0..12)) {
+        let set: Vec<u64> = raw.into_iter().collect();
+        let codec = BinomialSubsetCodec::new(200, 12);
+        let buf = codec.encode(&set);
+        prop_assert_eq!(codec.decode(&mut buf.reader()).unwrap(), set);
+    }
+
+    #[test]
+    fn binomial_subset_encoding_is_injective(
+        a in prop::collection::btree_set(0u64..60, 0..8),
+        b in prop::collection::btree_set(0u64..60, 0..8),
+    ) {
+        let codec = BinomialSubsetCodec::new(60, 8);
+        let sa: Vec<u64> = a.iter().copied().collect();
+        let sb: Vec<u64> = b.iter().copied().collect();
+        let ea = codec.encode(&sa);
+        let eb = codec.encode(&sb);
+        prop_assert_eq!(ea == eb, sa == sb);
+    }
+
+    #[test]
+    fn rice_subset_round_trip(raw in prop::collection::btree_set(0u64..1_000_000, 0..64)) {
+        let set: Vec<u64> = raw.into_iter().collect();
+        let codec = RiceSubsetCodec::new(1_000_000, 64);
+        let buf = codec.encode(&set);
+        prop_assert_eq!(codec.decode(&mut buf.reader()).unwrap(), set);
+    }
+
+    #[test]
+    fn bit_width_is_minimal(bound in 1u64..u64::MAX) {
+        let w = bit_width_for(bound);
+        // Every value in [0, bound) fits in w bits…
+        if w < 64 {
+            prop_assert!(bound - 1 < (1u64 << w));
+        }
+        // …and w-1 bits would not suffice (for bound ≥ 2).
+        if bound >= 2 {
+            prop_assert!(bound > (1u64 << (w - 1)));
+        }
+    }
+}

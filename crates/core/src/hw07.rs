@@ -1,0 +1,372 @@
+//! The Håstad–Wigderson disjointness baseline: `R(DISJ_k) = O(k)` in
+//! `O(log k)` rounds \[HW07\].
+//!
+//! The original protocol interprets the common random string as a sequence
+//! of sets `Z_1, Z_2, …` and has a player announce the index of the first
+//! set containing her *whole* input — an `|S|`-bit message (the index is
+//! geometric with mean `2^{|S|}`) after which the other player's set
+//! shrinks by half. Cost halves each sweep: `k + k/2 + … = O(k)`.
+//!
+//! Announcing one index for the whole set requires searching `~2^{|S|}`
+//! public sets, which is communication-optimal but computationally
+//! infeasible. We keep the mechanism but make it computable: a *shared*
+//! hash splits the sender's set into groups of ~12 elements, the sender
+//! announces one superset index per group (`~2^{12}` candidates searched,
+//! ≈ 2 bits per element on the wire), and the receiver keeps `y` iff `y`
+//! lies in the announced set *of `y`'s own group* — which it can determine
+//! because the grouping hash is shared. Intersection elements always
+//! survive (their group's set contains them by construction); others
+//! survive with probability ½ per sweep. The cost and round behaviour —
+//! `O(k)` bits, `O(log k)` sweeps — match \[HW07\]; only the constant in the
+//! bits-per-element differs (≈ 2.2 vs 1). Documented in DESIGN.md §1.1.
+
+use crate::iterlog::ceil_log2;
+use crate::sets::{ElementSet, ProblemSpec};
+use intersect_comm::bits::BitBuf;
+use intersect_comm::chan::Chan;
+use intersect_comm::coins::CoinSource;
+use intersect_comm::encode::{get_gamma, get_gamma0, put_gamma, put_gamma0};
+use intersect_comm::error::ProtocolError;
+use intersect_comm::runner::Side;
+use intersect_hash::pairwise::PairwiseHash;
+
+/// The grouped Håstad–Wigderson disjointness protocol.
+///
+/// Returns `true` iff the inputs are judged disjoint; both parties return
+/// the same verdict. One-sided error: a `true` verdict can only be wrong
+/// with the final-check probability `2^{-final_check_bits}`; `false` on
+/// disjoint inputs is similarly unlikely… in fact a `false` verdict implies
+/// a fingerprint match in the final check, so both error directions are
+/// bounded by the final check.
+///
+/// # Examples
+///
+/// ```
+/// use intersect_core::hw07::HwDisjointness;
+/// use intersect_core::sets::{ElementSet, ProblemSpec};
+/// use intersect_comm::runner::{run_two_party, RunConfig, Side};
+///
+/// let spec = ProblemSpec::new(1 << 20, 8);
+/// let s = ElementSet::from_iter([1u64, 3, 5, 7]);
+/// let t = ElementSet::from_iter([0u64, 2, 4, 6]);
+/// let proto = HwDisjointness::default();
+/// let out = run_two_party(
+///     &RunConfig::with_seed(1),
+///     |chan, coins| proto.run(chan, &coins.fork("hw"), Side::Alice, spec, &s),
+///     |chan, coins| proto.run(chan, &coins.fork("hw"), Side::Bob, spec, &t),
+/// )?;
+/// assert!(out.alice && out.bob);
+/// # Ok::<(), intersect_comm::error::ProtocolError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HwDisjointness {
+    /// Target elements per announced superset (the searched space is
+    /// `~2^target`, so keep this modest).
+    pub group_target: usize,
+    /// Error exponent of the final verification.
+    pub final_check_bits: usize,
+}
+
+impl Default for HwDisjointness {
+    fn default() -> Self {
+        HwDisjointness {
+            group_target: 12,
+            final_check_bits: 20,
+        }
+    }
+}
+
+/// Search horizon for superset indices: `Pr[miss] ≤ (1 − 2^{-cap})^{2^22}`
+/// is negligible for subchunks of ≤ `cap` elements.
+const SEARCH_LIMIT: u64 = 1 << 22;
+/// A sentinel index meaning "no set found — treat `Z` as the full universe"
+/// (keeps correctness; costs a wasted sweep with negligible probability).
+const SENTINEL: u64 = SEARCH_LIMIT + 1;
+
+impl HwDisjointness {
+    /// Runs the protocol; see [module docs](self).
+    ///
+    /// # Errors
+    ///
+    /// Fails on invalid inputs or transport errors.
+    pub fn run(
+        &self,
+        chan: &mut dyn Chan,
+        coins: &CoinSource,
+        side: Side,
+        spec: ProblemSpec,
+        input: &ElementSet,
+    ) -> Result<bool, ProtocolError> {
+        spec.validate(input).map_err(ProtocolError::InvalidInput)?;
+        let cap = self.group_target.clamp(1, 16);
+        let mut mine: Vec<u64> = input.iter().collect();
+        let max_sweeps = 2 * ceil_log2(spec.k.max(2)) + 6;
+        // Sizes announced at each sweep — known to BOTH parties, so both
+        // apply the same stop rule and stay in lockstep.
+        let mut announced: Vec<u64> = Vec::new();
+
+        for sweep in 0..max_sweeps {
+            let sweep_coins = coins.fork(&format!("sweep{sweep}"));
+            let i_send = (sweep % 2 == 0) == side.is_alice();
+            if i_send {
+                if mine.is_empty() {
+                    let mut msg = BitBuf::new();
+                    put_gamma0(&mut msg, 0);
+                    chan.send(msg)?;
+                    return Ok(true);
+                }
+                announced.push(mine.len() as u64);
+                let msg = self.announce(&sweep_coins, spec, &mine, cap);
+                chan.send(msg)?;
+            } else {
+                let msg = chan.recv()?;
+                let mut r = msg.reader();
+                let sender_size = get_gamma0(&mut r)?;
+                if sender_size == 0 {
+                    return Ok(true);
+                }
+                announced.push(sender_size);
+                mine = self.filter(&sweep_coins, spec, &mine, sender_size, &msg, r)?;
+            }
+            // Shared stop rule: once each side announces the same size
+            // twice in a row, the shrink has stalled at the intersection.
+            let t = announced.len();
+            if t >= 4
+                && announced[t - 1] == announced[t - 3]
+                && announced[t - 2] == announced[t - 4]
+            {
+                break;
+            }
+        }
+
+        // Final check: compare fingerprints of the survivors.
+        self.final_check(chan, &coins.fork("final"), side, spec, &mine)
+    }
+
+    /// Builds a sweep announcement: own size, then per-group subchunk
+    /// counts and superset indices.
+    fn announce(
+        &self,
+        sweep_coins: &CoinSource,
+        spec: ProblemSpec,
+        mine: &[u64],
+        cap: usize,
+    ) -> BitBuf {
+        let groups = (mine.len().div_ceil(cap)).max(1) as u64;
+        let gh = PairwiseHash::sample(&mut sweep_coins.fork("group").rng(), spec.n, groups);
+        let mut grouped: Vec<Vec<u64>> = vec![Vec::new(); groups as usize];
+        for &x in mine {
+            grouped[gh.eval(x) as usize].push(x);
+        }
+        let mut msg = BitBuf::new();
+        put_gamma0(&mut msg, mine.len() as u64);
+        for (gamma_idx, group) in grouped.iter().enumerate() {
+            let chunks: Vec<&[u64]> = group.chunks(cap).collect();
+            put_gamma0(&mut msg, chunks.len() as u64);
+            for (c, chunk) in chunks.iter().enumerate() {
+                let j = self.find_superset(sweep_coins, gamma_idx as u64, c as u64, chunk);
+                put_gamma(&mut msg, j);
+            }
+        }
+        msg
+    }
+
+    /// Smallest `j` with `chunk ⊆ Z_{γ,c,j}`, or the sentinel.
+    fn find_superset(&self, sweep_coins: &CoinSource, gamma: u64, c: u64, chunk: &[u64]) -> u64 {
+        let ctx = gamma << 20 | c;
+        'search: for j in 1..=SEARCH_LIMIT {
+            for &x in chunk {
+                if sweep_coins.mix64(ctx.wrapping_mul(SEARCH_LIMIT).wrapping_add(j), x) & 1 == 0 {
+                    continue 'search;
+                }
+            }
+            return j;
+        }
+        SENTINEL
+    }
+
+    /// Applies a received announcement to the local set.
+    fn filter(
+        &self,
+        sweep_coins: &CoinSource,
+        spec: ProblemSpec,
+        mine: &[u64],
+        sender_size: u64,
+        _msg: &BitBuf,
+        mut r: intersect_comm::bits::BitReader<'_>,
+    ) -> Result<Vec<u64>, ProtocolError> {
+        let cap = self.group_target.clamp(1, 16);
+        let groups = ((sender_size as usize).div_ceil(cap)).max(1) as u64;
+        let gh = PairwiseHash::sample(&mut sweep_coins.fork("group").rng(), spec.n, groups);
+        let mut indices: Vec<Vec<u64>> = Vec::with_capacity(groups as usize);
+        for _ in 0..groups {
+            let chunk_count = get_gamma0(&mut r)?;
+            let mut js = Vec::with_capacity(chunk_count as usize);
+            for _ in 0..chunk_count {
+                js.push(get_gamma(&mut r)?);
+            }
+            indices.push(js);
+        }
+        Ok(mine
+            .iter()
+            .copied()
+            .filter(|&y| {
+                let gamma = gh.eval(y);
+                let ctx = gamma << 20;
+                indices[gamma as usize].iter().enumerate().any(|(c, &j)| {
+                    j == SENTINEL
+                        || sweep_coins
+                            .mix64((ctx | c as u64).wrapping_mul(SEARCH_LIMIT).wrapping_add(j), y)
+                            & 1
+                            == 1
+                })
+            })
+            .collect())
+    }
+
+    /// Compares the surviving sets with fingerprint precision
+    /// `2^{-final_check_bits}`; returns `true` iff judged disjoint.
+    fn final_check(
+        &self,
+        chan: &mut dyn Chan,
+        coins: &CoinSource,
+        side: Side,
+        spec: ProblemSpec,
+        mine: &[u64],
+    ) -> Result<bool, ProtocolError> {
+        let e = self.final_check_bits.max(8);
+        let range = 1u64 << e.min(60);
+        let h = PairwiseHash::sample(&mut coins.fork("h").rng(), spec.n, range);
+        match side {
+            Side::Alice => {
+                let mut msg = BitBuf::new();
+                put_gamma0(&mut msg, mine.len() as u64);
+                for &x in mine {
+                    msg.push_bits(h.eval(x), e.min(60));
+                }
+                chan.send(msg)?;
+                let reply = chan.recv()?;
+                Ok(reply.get(0).unwrap_or(false))
+            }
+            Side::Bob => {
+                let msg = chan.recv()?;
+                let mut r = msg.reader();
+                let count = get_gamma0(&mut r)?;
+                let mut theirs = std::collections::HashSet::new();
+                for _ in 0..count {
+                    theirs.insert(r.read_bits(e.min(60))?);
+                }
+                let disjoint = !mine.iter().any(|&y| theirs.contains(&h.eval(y)));
+                let mut verdict = BitBuf::new();
+                verdict.push_bit(disjoint);
+                chan.send(verdict)?;
+                Ok(disjoint)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sets::InputPair;
+    use intersect_comm::runner::{run_two_party, RunConfig};
+    use intersect_comm::stats::CostReport;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn run_hw(
+        seed: u64,
+        spec: ProblemSpec,
+        s: &ElementSet,
+        t: &ElementSet,
+    ) -> (bool, bool, CostReport) {
+        let proto = HwDisjointness::default();
+        let out = run_two_party(
+            &RunConfig::with_seed(seed),
+            |chan, coins| proto.run(chan, &coins.fork("hw"), Side::Alice, spec, s),
+            |chan, coins| proto.run(chan, &coins.fork("hw"), Side::Bob, spec, t),
+        )
+        .unwrap();
+        (out.alice, out.bob, out.report)
+    }
+
+    #[test]
+    fn disjoint_inputs_judged_disjoint() {
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let spec = ProblemSpec::new(1 << 24, 64);
+        for seed in 0..20 {
+            let pair = InputPair::random_with_overlap(&mut rng, spec, 64, 0);
+            let (a, b, _) = run_hw(seed, spec, &pair.s, &pair.t);
+            assert_eq!(a, b);
+            assert!(a, "seed {seed}: disjoint inputs misjudged");
+        }
+    }
+
+    #[test]
+    fn intersecting_inputs_judged_intersecting() {
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        let spec = ProblemSpec::new(1 << 24, 64);
+        for overlap in [1usize, 2, 32, 64] {
+            let pair = InputPair::random_with_overlap(&mut rng, spec, 64, overlap);
+            let (a, b, _) = run_hw(overlap as u64, spec, &pair.s, &pair.t);
+            assert_eq!(a, b);
+            assert!(!a, "overlap {overlap} misjudged as disjoint");
+        }
+    }
+
+    #[test]
+    fn cost_is_linear_in_k_for_disjoint_inputs() {
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let mut per_k = Vec::new();
+        for k in [128usize, 512] {
+            let spec = ProblemSpec::new(1 << 40, k as u64);
+            let pair = InputPair::random_with_overlap(&mut rng, spec, k, 0);
+            let (a, _, report) = run_hw(1, spec, &pair.s, &pair.t);
+            assert!(a);
+            per_k.push(report.total_bits() as f64 / k as f64);
+        }
+        assert!(per_k[1] < per_k[0] * 1.8, "per-element cost grew: {per_k:?}");
+        assert!(per_k[1] < 20.0, "per-element cost too high: {per_k:?}");
+    }
+
+    #[test]
+    fn rounds_are_logarithmic() {
+        let mut rng = ChaCha8Rng::seed_from_u64(4);
+        let spec = ProblemSpec::new(1 << 30, 256);
+        let pair = InputPair::random_with_overlap(&mut rng, spec, 256, 0);
+        let (_, _, report) = run_hw(1, spec, &pair.s, &pair.t);
+        assert!(
+            report.rounds <= 2 * 8 + 10,
+            "rounds = {} for k = 256",
+            report.rounds
+        );
+    }
+
+    #[test]
+    fn empty_sets_are_disjoint() {
+        let spec = ProblemSpec::new(100, 4);
+        let empty = ElementSet::new();
+        let t = ElementSet::from_iter([1u64, 2]);
+        let (a, b, _) = run_hw(1, spec, &empty, &t);
+        assert!(a && b);
+        let (a, b, _) = run_hw(2, spec, &t, &empty);
+        assert!(a && b);
+    }
+
+    #[test]
+    fn single_shared_element_is_found() {
+        // The hardest case: exactly one common element among many.
+        let mut rng = ChaCha8Rng::seed_from_u64(5);
+        let spec = ProblemSpec::new(1 << 30, 128);
+        let mut wrong = 0;
+        for seed in 0..20 {
+            let pair = InputPair::random_with_overlap(&mut rng, spec, 128, 1);
+            let (a, _, _) = run_hw(seed, spec, &pair.s, &pair.t);
+            if a {
+                wrong += 1;
+            }
+        }
+        assert_eq!(wrong, 0, "{wrong}/20 single-element intersections missed");
+    }
+}

@@ -1,0 +1,238 @@
+//! Constructive private-coin protocols (§3.1 of the paper).
+//!
+//! Newman's theorem converts any shared-coin protocol into a private-coin
+//! one at `+O(log log T)` bits, but non-constructively. The paper instead
+//! gives a *constructive* recipe, implemented here as a wrapper:
+//!
+//! 1. Alice uses her **private** randomness to sample the FKS mod-prime
+//!    universe reduction `x ↦ x mod q` (\[FKS84\], [`intersect_hash::reduce`])
+//!    and transmits its seed — `O(log k + log log n)` bits — shrinking the
+//!    effective universe to `Õ(k² log n)`.
+//! 2. Alice samples and transmits a session seed of
+//!    `O(log k + log log n)` bits from which both parties derive every
+//!    hash function the inner protocol needs over the *reduced* universe
+//!    (where seeds of that length suffice to describe a pairwise-
+//!    independent function).
+//!
+//! Total overhead: `O(log k + log log n)` bits and one extra message,
+//! matching Theorem 3.1's private-randomness claim. The inner protocol
+//! never touches the original common random string.
+
+use crate::api::SetIntersection;
+use crate::sets::{ElementSet, ProblemSpec};
+use intersect_comm::bits::BitBuf;
+use intersect_comm::chan::Chan;
+use intersect_comm::coins::CoinSource;
+use intersect_comm::error::ProtocolError;
+use intersect_comm::runner::Side;
+use intersect_hash::reduce::ModPrimeReduction;
+use rand::Rng;
+use std::collections::HashMap;
+
+/// Wraps a shared-coin [`SetIntersection`] protocol into a constructive
+/// private-coin protocol.
+///
+/// # Examples
+///
+/// ```
+/// use intersect_core::newman::PrivateCoin;
+/// use intersect_core::api::execute;
+/// use intersect_core::sets::{InputPair, ProblemSpec};
+/// use intersect_core::tree::TreeProtocol;
+/// use rand::SeedableRng;
+///
+/// let spec = ProblemSpec::new(1 << 40, 32);
+/// let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(9);
+/// let pair = InputPair::random_with_overlap(&mut rng, spec, 32, 8);
+/// let proto = PrivateCoin::new(TreeProtocol::new(2));
+/// let run = execute(&proto, spec, &pair, 1)?;
+/// assert!(run.matches(&pair.ground_truth()));
+/// # Ok::<(), intersect_comm::error::ProtocolError>(())
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct PrivateCoin<P> {
+    /// The shared-coin protocol being wrapped.
+    pub inner: P,
+}
+
+impl<P> PrivateCoin<P> {
+    /// Wraps `inner`.
+    pub fn new(inner: P) -> Self {
+        PrivateCoin { inner }
+    }
+
+    /// The transmitted session-seed width for a given spec:
+    /// `O(log k + log log n)` bits.
+    pub fn session_seed_bits(spec: ProblemSpec) -> usize {
+        let log_k = crate::iterlog::ceil_log2(spec.k.max(2)) as usize;
+        let loglog_n =
+            crate::iterlog::ceil_log2(crate::iterlog::ceil_log2(spec.n.max(4)).max(2)) as usize;
+        (2 * (log_k + loglog_n) + 16).min(64)
+    }
+}
+
+impl<P: SetIntersection> SetIntersection for PrivateCoin<P> {
+    fn name(&self) -> String {
+        format!("private-coin({})", self.inner.name())
+    }
+
+    fn run(
+        &self,
+        chan: &mut dyn Chan,
+        coins: &CoinSource,
+        side: Side,
+        spec: ProblemSpec,
+        input: &ElementSet,
+    ) -> Result<ElementSet, ProtocolError> {
+        spec.validate(input).map_err(ProtocolError::InvalidInput)?;
+        let seed_w = Self::session_seed_bits(spec);
+        let (_lo, hi) = ModPrimeReduction::window(spec.n, spec.k);
+        // Reduction helps only if it shrinks the universe.
+        let reduce = spec.n > hi;
+
+        // One extra message: Alice's private choices.
+        let (reduction, session) = match side {
+            Side::Alice => {
+                // Alice's private randomness: a fork Bob never reads and the
+                // inner protocol never sees — private for accounting
+                // purposes, reproducible for experiments.
+                let mut rng = coins.fork("newman/alice-private").rng();
+                let mut msg = BitBuf::new();
+                let reduction = if reduce {
+                    let red = ModPrimeReduction::sample(&mut rng, spec.n, spec.k);
+                    red.write_seed(&mut msg);
+                    Some(red)
+                } else {
+                    None
+                };
+                let session: u64 = rng.gen::<u64>() & ((1u128 << seed_w) - 1) as u64;
+                msg.push_bits(session, seed_w);
+                chan.send(msg)?;
+                (reduction, session)
+            }
+            Side::Bob => {
+                let msg = chan.recv()?;
+                let mut r = msg.reader();
+                let reduction = if reduce {
+                    Some(ModPrimeReduction::read_seed(&mut r, spec.n, spec.k)?)
+                } else {
+                    None
+                };
+                let session = r.read_bits(seed_w)?;
+                (reduction, session)
+            }
+        };
+
+        // Map inputs into the reduced universe (merging own-set collisions,
+        // keeping the smallest original — part of the failure budget).
+        let (work_set, back_map, inner_spec) = match &reduction {
+            None => {
+                let map: HashMap<u64, u64> = input.iter().map(|x| (x, x)).collect();
+                (input.clone(), map, spec)
+            }
+            Some(red) => {
+                let mut map = HashMap::with_capacity(input.len());
+                for x in input.iter() {
+                    map.entry(red.map(x)).or_insert(x);
+                }
+                let set: ElementSet = map.keys().copied().collect();
+                let inner_spec = ProblemSpec {
+                    n: red.reduced_universe(),
+                    k: spec.k,
+                };
+                (set, map, inner_spec)
+            }
+        };
+
+        // The inner protocol runs on coins derived ONLY from the
+        // transmitted session seed.
+        let session_coins = CoinSource::from_seed(session).fork("newman/session");
+        let out = self
+            .inner
+            .run(chan, &session_coins, side, inner_spec, &work_set)?;
+        Ok(out
+            .iter()
+            .map(|m| *back_map.get(&m).expect("output is a subset of the input"))
+            .collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::api::execute;
+    use crate::sets::InputPair;
+    use crate::sqrt::SqrtProtocol;
+    use crate::tree::TreeProtocol;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn private_coin_tree_is_correct() {
+        let spec = ProblemSpec::new(1 << 40, 64);
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let proto = PrivateCoin::new(TreeProtocol::new(3));
+        let mut exact = 0;
+        for seed in 0..30 {
+            let pair = InputPair::random_with_overlap(&mut rng, spec, 64, 20);
+            if execute(&proto, spec, &pair, seed)
+                .unwrap()
+                .matches(&pair.ground_truth())
+            {
+                exact += 1;
+            }
+        }
+        assert!(exact >= 28, "{exact}/30");
+    }
+
+    #[test]
+    fn private_coin_sqrt_is_correct() {
+        let spec = ProblemSpec::new(1 << 36, 32);
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        let proto = PrivateCoin::new(SqrtProtocol::default());
+        let pair = InputPair::random_with_overlap(&mut rng, spec, 32, 16);
+        let run = execute(&proto, spec, &pair, 3).unwrap();
+        assert!(run.matches(&pair.ground_truth()));
+    }
+
+    #[test]
+    fn overhead_is_loglog_in_n() {
+        // The extra cost vs the shared-coin protocol is the seed message:
+        // O(log k + log log n) bits — compare n = 2^30 vs n = 2^60.
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let mut overheads = Vec::new();
+        for log_n in [30u32, 60] {
+            let spec = ProblemSpec::new(1 << log_n, 64);
+            let pair = InputPair::random_with_overlap(&mut rng, spec, 64, 32);
+            let shared = execute(&TreeProtocol::new(2), spec, &pair, 7).unwrap();
+            let private =
+                execute(&PrivateCoin::new(TreeProtocol::new(2)), spec, &pair, 7).unwrap();
+            assert!(private.matches(&pair.ground_truth()));
+            overheads.push(
+                private.report.total_bits() as i64 - shared.report.total_bits() as i64,
+            );
+        }
+        // Overheads are small and grow by O(1) bits when n squares.
+        for &o in &overheads {
+            assert!(o.unsigned_abs() < 600, "overhead {o} too large");
+        }
+    }
+
+    #[test]
+    fn seed_width_is_modest() {
+        let spec = ProblemSpec::new(1 << 60, 1 << 14);
+        assert!(PrivateCoin::<TreeProtocol>::session_seed_bits(spec) <= 64);
+        let small = ProblemSpec::new(1 << 16, 16);
+        assert!(PrivateCoin::<TreeProtocol>::session_seed_bits(small) <= 40);
+    }
+
+    #[test]
+    fn small_universe_skips_reduction() {
+        let spec = ProblemSpec::new(1000, 8);
+        let mut rng = ChaCha8Rng::seed_from_u64(4);
+        let pair = InputPair::random_with_overlap(&mut rng, spec, 8, 3);
+        let proto = PrivateCoin::new(TreeProtocol::new(2));
+        let run = execute(&proto, spec, &pair, 5).unwrap();
+        assert!(run.matches(&pair.ground_truth()));
+    }
+}

@@ -1,0 +1,171 @@
+//! The `EQ^n_k → INT_k` reduction (Fact 2.1).
+//!
+//! Given `k` equality instances `(x₁,…,x_k)` vs `(y₁,…,y_k)`, build the
+//! sets `{(i, xᵢ)}` and `{(i, yᵢ)}` — encoded as `i·2^w + value` over the
+//! universe `[k·2^w]` — and compute their intersection: `(i, xᵢ)` survives
+//! iff `xᵢ = yᵢ`. Any intersection protocol therefore solves `k` copies of
+//! equality at the same cost, which is how the paper concludes that its
+//! protocols "significantly improve the round complexity of Feder et
+//! al." — experiment E8 measures exactly this.
+
+use crate::api::SetIntersection;
+use crate::sets::{ElementSet, ProblemSpec};
+use intersect_comm::bits::bit_width_for;
+use intersect_comm::chan::Chan;
+use intersect_comm::coins::CoinSource;
+use intersect_comm::error::ProtocolError;
+use intersect_comm::runner::Side;
+
+/// Solves `k = values.len()` equality instances with the given
+/// intersection protocol. `values[i]` must fit in `value_bits` bits.
+///
+/// Returns a verdict per instance (`true` = judged equal); both parties
+/// return the same vector whenever the protocol succeeds.
+///
+/// # Errors
+///
+/// Fails if a value exceeds `value_bits`, or on protocol failure.
+///
+/// # Examples
+///
+/// ```
+/// use intersect_core::reduction::equalities_via_intersection;
+/// use intersect_core::tree::TreeProtocol;
+/// use intersect_comm::runner::{run_two_party, RunConfig, Side};
+///
+/// let xs = [5u64, 6, 7];
+/// let ys = [5u64, 0, 7];
+/// let proto = TreeProtocol::new(2);
+/// let out = run_two_party(
+///     &RunConfig::with_seed(2),
+///     |chan, coins| equalities_via_intersection(&proto, chan, coins, Side::Alice, &xs, 16),
+///     |chan, coins| equalities_via_intersection(&proto, chan, coins, Side::Bob, &ys, 16),
+/// )?;
+/// assert_eq!(out.alice, vec![true, false, true]);
+/// assert_eq!(out.alice, out.bob);
+/// # Ok::<(), intersect_comm::error::ProtocolError>(())
+/// ```
+pub fn equalities_via_intersection(
+    protocol: &dyn SetIntersection,
+    chan: &mut dyn Chan,
+    coins: &CoinSource,
+    side: Side,
+    values: &[u64],
+    value_bits: usize,
+) -> Result<Vec<bool>, ProtocolError> {
+    let k = values.len() as u64;
+    if k == 0 {
+        return Ok(Vec::new());
+    }
+    if value_bits == 0 || value_bits > 48 {
+        return Err(ProtocolError::InvalidInput(format!(
+            "value_bits must be in 1..=48, got {value_bits}"
+        )));
+    }
+    let index_bits = bit_width_for(k).max(1);
+    if index_bits + value_bits > 62 {
+        return Err(ProtocolError::InvalidInput(
+            "k · 2^value_bits exceeds the supported universe".into(),
+        ));
+    }
+    for (i, &v) in values.iter().enumerate() {
+        if value_bits < 64 && v >> value_bits != 0 {
+            return Err(ProtocolError::InvalidInput(format!(
+                "value {v} at index {i} exceeds {value_bits} bits"
+            )));
+        }
+    }
+    let spec = ProblemSpec::new(k << value_bits, k);
+    let set: ElementSet = values
+        .iter()
+        .enumerate()
+        .map(|(i, &v)| ((i as u64) << value_bits) | v)
+        .collect();
+    let out = protocol.run(chan, &coins.fork("fact2.1"), side, spec, &set)?;
+    Ok((0..values.len())
+        .map(|i| out.contains(((i as u64) << value_bits) | values[i]))
+        .collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sqrt::SqrtProtocol;
+    use crate::tree::TreeProtocol;
+    use intersect_comm::runner::{run_two_party, RunConfig};
+    use rand::{Rng, SeedableRng};
+    use rand_chacha::ChaCha8Rng;
+
+    fn solve(
+        proto: &dyn SetIntersection,
+        seed: u64,
+        xs: &[u64],
+        ys: &[u64],
+        bits: usize,
+    ) -> (Vec<bool>, Vec<bool>) {
+        let out = run_two_party(
+            &RunConfig::with_seed(seed),
+            |chan, coins| equalities_via_intersection(proto, chan, coins, Side::Alice, xs, bits),
+            |chan, coins| equalities_via_intersection(proto, chan, coins, Side::Bob, ys, bits),
+        )
+        .unwrap();
+        (out.alice, out.bob)
+    }
+
+    #[test]
+    fn random_instances_get_correct_verdicts() {
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let proto = TreeProtocol::new(2);
+        for seed in 0..10 {
+            let k = 32;
+            let xs: Vec<u64> = (0..k).map(|_| rng.gen_range(0..1 << 20)).collect();
+            let ys: Vec<u64> = xs
+                .iter()
+                .map(|&x| if rng.gen_bool(0.5) { x } else { x ^ 1 })
+                .collect();
+            let (a, b) = solve(&proto, seed, &xs, &ys, 20);
+            assert_eq!(a, b);
+            let expect: Vec<bool> = xs.iter().zip(&ys).map(|(x, y)| x == y).collect();
+            assert_eq!(a, expect, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn works_with_sqrt_protocol_too() {
+        let proto = SqrtProtocol::default();
+        let xs = [1u64, 2, 3, 4];
+        let ys = [1u64, 9, 3, 8];
+        let (a, _) = solve(&proto, 3, &xs, &ys, 8);
+        assert_eq!(a, vec![true, false, true, false]);
+    }
+
+    #[test]
+    fn duplicate_values_across_indices_do_not_confuse() {
+        // Same value at different indices must be independent instances.
+        let proto = TreeProtocol::new(2);
+        let xs = [7u64, 7, 7];
+        let ys = [7u64, 8, 7];
+        let (a, _) = solve(&proto, 4, &xs, &ys, 8);
+        assert_eq!(a, vec![true, false, true]);
+    }
+
+    #[test]
+    fn rejects_oversized_values() {
+        let proto = TreeProtocol::new(2);
+        let out = run_two_party(
+            &RunConfig::with_seed(1),
+            |chan, coins| {
+                equalities_via_intersection(&proto, chan, coins, Side::Alice, &[256], 8)
+            },
+            |chan, coins| equalities_via_intersection(&proto, chan, coins, Side::Bob, &[1], 8),
+        );
+        assert!(out.is_err());
+    }
+
+    #[test]
+    fn empty_instance_list() {
+        let proto = TreeProtocol::new(2);
+        let (a, b) = solve(&proto, 5, &[], &[], 8);
+        assert!(a.is_empty() && b.is_empty());
+    }
+}

@@ -1,0 +1,262 @@
+//! FKS perfect hashing (Fredman–Komlós–Szemerédi, JACM 1984).
+//!
+//! The paper uses \[FKS84\] for its universe-reduction trick (see
+//! [`crate::reduce`]); this module implements the data structure itself — a
+//! static two-level hash table with worst-case `O(1)` lookups and `O(|K|)`
+//! space — which the local computation steps of the protocols use to
+//! answer "is this candidate in my set?" queries, exactly the "storing a
+//! sparse table" role the original paper gave it.
+//!
+//! Level one hashes the key set into `|K|` buckets; bucket `i` with `bᵢ`
+//! keys gets a private collision-free level-two table of size `bᵢ²`. The
+//! classic argument shows a random level-one function achieves
+//! `Σ bᵢ² ≤ 4|K|` with probability ≥ 1/2, so expected construction time is
+//! linear.
+
+use crate::pairwise::PairwiseHash;
+use rand::Rng;
+
+/// A static perfect hash table over a set of `u64` keys.
+///
+/// # Examples
+///
+/// ```
+/// use intersect_hash::fks::FksTable;
+/// use rand::SeedableRng;
+///
+/// let keys = [3u64, 17, 99, 4096, 70_000];
+/// let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(5);
+/// let table = FksTable::build(&mut rng, 100_000, &keys);
+/// assert!(table.contains(17));
+/// assert!(!table.contains(18));
+/// assert_eq!(table.len(), 5);
+/// ```
+#[derive(Debug, Clone)]
+pub struct FksTable {
+    universe: u64,
+    top: Option<PairwiseHash>,
+    buckets: Vec<Bucket>,
+    len: usize,
+}
+
+#[derive(Debug, Clone)]
+struct Bucket {
+    hash: Option<PairwiseHash>,
+    /// `slots[j] = Some(key)` iff `key` hashes to slot `j`.
+    slots: Vec<Option<u64>>,
+}
+
+impl FksTable {
+    /// Builds a table for `keys ⊆ [universe]`.
+    ///
+    /// Expected construction time is `O(|keys|)`; space is `O(|keys|)`
+    /// words by the `Σ bᵢ² ≤ 4|keys|` level-one acceptance criterion.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `keys` contains duplicates or an element `≥ universe`.
+    pub fn build<R: Rng + ?Sized>(rng: &mut R, universe: u64, keys: &[u64]) -> Self {
+        {
+            let mut sorted = keys.to_vec();
+            sorted.sort_unstable();
+            assert!(
+                sorted.windows(2).all(|w| w[0] != w[1]),
+                "keys must be distinct"
+            );
+            if let Some(&max) = sorted.last() {
+                assert!(max < universe, "key {max} outside universe [{universe}]");
+            }
+        }
+        if keys.is_empty() {
+            return FksTable {
+                universe,
+                top: None,
+                buckets: Vec::new(),
+                len: 0,
+            };
+        }
+        let b = keys.len() as u64;
+        // Level one: retry until Σ bᵢ² ≤ 4·|keys| (succeeds w.p. ≥ 1/2).
+        let (top, groups) = loop {
+            let h = PairwiseHash::sample(rng, universe, b);
+            let mut groups: Vec<Vec<u64>> = vec![Vec::new(); b as usize];
+            for &k in keys {
+                groups[h.eval(k) as usize].push(k);
+            }
+            let cost: u64 = groups.iter().map(|g| (g.len() * g.len()) as u64).sum();
+            if cost <= 4 * b {
+                break (h, groups);
+            }
+        };
+        // Level two: per-bucket injective functions into bᵢ² slots.
+        let buckets = groups
+            .into_iter()
+            .map(|group| match group.len() {
+                0 => Bucket {
+                    hash: None,
+                    slots: Vec::new(),
+                },
+                1 => Bucket {
+                    hash: None,
+                    slots: vec![Some(group[0])],
+                },
+                s => {
+                    let range = (s * s) as u64;
+                    let h = PairwiseHash::sample_injective_on(rng, universe, range, &group);
+                    let mut slots = vec![None; range as usize];
+                    for &k in &group {
+                        slots[h.eval(k) as usize] = Some(k);
+                    }
+                    Bucket {
+                        hash: Some(h),
+                        slots,
+                    }
+                }
+            })
+            .collect();
+        FksTable {
+            universe,
+            top: Some(top),
+            buckets,
+            len: keys.len(),
+        }
+    }
+
+    /// Number of keys stored.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Returns `true` if the table is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Worst-case `O(1)` membership query.
+    ///
+    /// Keys outside the build universe are simply absent (no panic), so the
+    /// table can be probed with arbitrary candidates.
+    pub fn contains(&self, key: u64) -> bool {
+        if key >= self.universe {
+            return false;
+        }
+        let Some(top) = &self.top else {
+            return false;
+        };
+        let bucket = &self.buckets[top.eval(key) as usize];
+        match (&bucket.hash, bucket.slots.len()) {
+            (None, 0) => false,
+            (None, _) => bucket.slots[0] == Some(key),
+            (Some(h), _) => bucket.slots[h.eval(key) as usize] == Some(key),
+        }
+    }
+
+    /// Total number of level-two slots: the space bound `Σ bᵢ² ≤ 4|K|`.
+    pub fn slot_count(&self) -> usize {
+        self.buckets.iter().map(|b| b.slots.len()).sum()
+    }
+
+    /// Iterates over the stored keys in arbitrary order.
+    pub fn iter(&self) -> impl Iterator<Item = u64> + '_ {
+        self.buckets
+            .iter()
+            .flat_map(|b| b.slots.iter().flatten().copied())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn rng(seed: u64) -> ChaCha8Rng {
+        ChaCha8Rng::seed_from_u64(seed)
+    }
+
+    #[test]
+    fn empty_table() {
+        let t = FksTable::build(&mut rng(1), 100, &[]);
+        assert!(t.is_empty());
+        assert!(!t.contains(5));
+        assert_eq!(t.slot_count(), 0);
+        assert_eq!(t.iter().count(), 0);
+    }
+
+    #[test]
+    fn singleton_table() {
+        let t = FksTable::build(&mut rng(1), 100, &[42]);
+        assert!(t.contains(42));
+        assert!(!t.contains(41));
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn membership_is_exact_for_dense_keys() {
+        let keys: Vec<u64> = (0..500).map(|i| i * 2).collect();
+        let t = FksTable::build(&mut rng(2), 1000, &keys);
+        for x in 0..1000 {
+            assert_eq!(t.contains(x), x % 2 == 0, "x = {x}");
+        }
+    }
+
+    #[test]
+    fn membership_is_exact_for_sparse_keys() {
+        let keys: Vec<u64> = (0..200u64).map(|i| i.wrapping_mul(2_654_435_761) % (1 << 40)).collect();
+        let mut distinct = keys.clone();
+        distinct.sort_unstable();
+        distinct.dedup();
+        let t = FksTable::build(&mut rng(3), 1 << 40, &distinct);
+        for &k in &distinct {
+            assert!(t.contains(k));
+        }
+        for probe in [0u64, 1, 999_999_999, (1 << 40) - 1] {
+            assert_eq!(t.contains(probe), distinct.contains(&probe));
+        }
+    }
+
+    #[test]
+    fn space_is_linear() {
+        let keys: Vec<u64> = (0..2000u64).map(|i| i * 7 + 1).collect();
+        let t = FksTable::build(&mut rng(4), 1 << 20, &keys);
+        assert!(
+            t.slot_count() <= 4 * keys.len() + keys.len(),
+            "slots {} for {} keys",
+            t.slot_count(),
+            keys.len()
+        );
+    }
+
+    #[test]
+    fn probes_outside_universe_are_absent() {
+        let t = FksTable::build(&mut rng(5), 100, &[1, 2, 3]);
+        assert!(!t.contains(1 << 50));
+    }
+
+    #[test]
+    fn iter_returns_exactly_the_keys() {
+        let keys = [5u64, 10, 20, 40, 80];
+        let t = FksTable::build(&mut rng(6), 1000, &keys);
+        let mut got: Vec<u64> = t.iter().collect();
+        got.sort_unstable();
+        assert_eq!(got, keys);
+    }
+
+    #[test]
+    #[should_panic(expected = "distinct")]
+    fn duplicate_keys_rejected() {
+        FksTable::build(&mut rng(7), 100, &[1, 1]);
+    }
+
+    #[test]
+    fn adversarial_clustered_keys_still_work() {
+        // Consecutive keys stress the level-one balance criterion.
+        let keys: Vec<u64> = (1000..1512).collect();
+        let t = FksTable::build(&mut rng(8), 1 << 30, &keys);
+        for &k in &keys {
+            assert!(t.contains(k));
+        }
+        assert!(!t.contains(999));
+        assert!(!t.contains(1512));
+    }
+}

@@ -1,0 +1,189 @@
+//! `k`-wise independent hashing via random polynomials.
+//!
+//! A degree-`(k-1)` polynomial with uniform coefficients over a prime field
+//! is a `k`-wise independent function. The protocols in this project mostly
+//! need pairwise independence, but the equality tests of Fact 3.5 use
+//! fingerprints whose error analysis is cleanest with higher independence,
+//! and the FKS table builder benefits from it on adversarial key sets.
+
+use crate::prime::{mul_mod, next_prime};
+use intersect_comm::bits::{bit_width_for, BitBuf, BitReader};
+use intersect_comm::error::CodecError;
+use rand::Rng;
+
+/// A `k`-wise independent hash function `[universe] → [range]`.
+///
+/// # Examples
+///
+/// ```
+/// use intersect_hash::kwise::KWiseHash;
+/// use rand::SeedableRng;
+///
+/// let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(3);
+/// let h = KWiseHash::sample(&mut rng, 4, 1 << 20, 256);
+/// assert!(h.eval(999) < 256);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct KWiseHash {
+    p: u64,
+    /// Coefficients, constant term first; length = independence.
+    coeffs: Vec<u64>,
+    universe: u64,
+    range: u64,
+}
+
+impl KWiseHash {
+    /// Samples a `k`-wise independent function (`k = independence ≥ 1`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `independence == 0`, `universe == 0`, or `range == 0`.
+    pub fn sample<R: Rng + ?Sized>(
+        rng: &mut R,
+        independence: usize,
+        universe: u64,
+        range: u64,
+    ) -> Self {
+        assert!(independence >= 1, "independence must be at least 1");
+        assert!(universe > 0 && range > 0, "domain and range must be non-empty");
+        let p = next_prime(universe.max(2));
+        let coeffs = (0..independence).map(|_| rng.gen_range(0..p)).collect();
+        KWiseHash {
+            p,
+            coeffs,
+            universe,
+            range,
+        }
+    }
+
+    /// Evaluates the polynomial by Horner's rule and reduces into the range.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x` lies outside the universe.
+    pub fn eval(&self, x: u64) -> u64 {
+        assert!(x < self.universe, "{x} outside universe [{}]", self.universe);
+        let mut acc = 0u64;
+        for &c in self.coeffs.iter().rev() {
+            acc = (mul_mod(acc, x, self.p) + c) % self.p;
+        }
+        acc % self.range
+    }
+
+    /// The independence `k` of the family this function was drawn from.
+    pub fn independence(&self) -> usize {
+        self.coeffs.len()
+    }
+
+    /// Number of seed bits: `independence · ⌈log₂ p⌉`.
+    pub fn seed_bits(independence: usize, universe: u64) -> usize {
+        independence * bit_width_for(next_prime(universe.max(2)))
+    }
+
+    /// Serializes the coefficient vector.
+    pub fn write_seed(&self, buf: &mut BitBuf) {
+        let w = bit_width_for(self.p);
+        for &c in &self.coeffs {
+            buf.push_bits(c, w);
+        }
+    }
+
+    /// Reconstructs a function from a transmitted seed.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`CodecError`] if the stream is short or a coefficient is
+    /// out of field range.
+    pub fn read_seed(
+        r: &mut BitReader<'_>,
+        independence: usize,
+        universe: u64,
+        range: u64,
+    ) -> Result<Self, CodecError> {
+        let p = next_prime(universe.max(2));
+        let w = bit_width_for(p);
+        let mut coeffs = Vec::with_capacity(independence);
+        for _ in 0..independence {
+            let c = r.read_bits(w)?;
+            if c >= p {
+                return Err(CodecError::ValueOutOfRange { value: c, bound: p });
+            }
+            coeffs.push(c);
+        }
+        Ok(KWiseHash {
+            p,
+            coeffs,
+            universe,
+            range,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn eval_is_deterministic_and_in_range() {
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let h = KWiseHash::sample(&mut rng, 5, 100_000, 77);
+        for x in (0..100_000).step_by(111) {
+            let v = h.eval(x);
+            assert!(v < 77);
+            assert_eq!(v, h.eval(x));
+        }
+    }
+
+    #[test]
+    fn degree_one_matches_affine_behavior() {
+        // independence 2 = affine = pairwise; spot-check Horner's rule.
+        let h = KWiseHash {
+            p: 101,
+            coeffs: vec![7, 3], // 7 + 3x mod 101
+            universe: 101,
+            range: 101,
+        };
+        assert_eq!(h.eval(0), 7);
+        assert_eq!(h.eval(1), 10);
+        assert_eq!(h.eval(50), (7 + 150) % 101);
+    }
+
+    #[test]
+    fn four_wise_quadruple_collisions_are_rare() {
+        let mut rng = ChaCha8Rng::seed_from_u64(9);
+        let t = 32u64;
+        let mut all_equal = 0;
+        let trials = 4000;
+        for _ in 0..trials {
+            let h = KWiseHash::sample(&mut rng, 4, 1 << 20, t);
+            let vals = [h.eval(1), h.eval(2), h.eval(3)];
+            if vals[0] == vals[1] && vals[1] == vals[2] {
+                all_equal += 1;
+            }
+        }
+        // Pr[3-way collision] ≈ 1/t² = 1/1024; allow generous slack.
+        assert!(
+            (all_equal as f64) < trials as f64 * 4.0 / (t * t) as f64 + 8.0,
+            "{all_equal} three-way collisions in {trials}"
+        );
+    }
+
+    #[test]
+    fn seed_round_trip() {
+        let mut rng = ChaCha8Rng::seed_from_u64(4);
+        let h = KWiseHash::sample(&mut rng, 6, 54_321, 99);
+        let mut buf = BitBuf::new();
+        h.write_seed(&mut buf);
+        assert_eq!(buf.len(), KWiseHash::seed_bits(6, 54_321));
+        let h2 = KWiseHash::read_seed(&mut buf.reader(), 6, 54_321, 99).unwrap();
+        assert_eq!(h, h2);
+    }
+
+    #[test]
+    fn independence_is_reported() {
+        let mut rng = ChaCha8Rng::seed_from_u64(4);
+        assert_eq!(KWiseHash::sample(&mut rng, 3, 10, 10).independence(), 3);
+    }
+}

@@ -1,0 +1,149 @@
+//! Simple tabulation hashing.
+//!
+//! Splits a 64-bit key into 8 bytes and XORs one random table entry per
+//! byte. The family is 3-independent, and — by the celebrated analysis of
+//! Pătrașcu–Thorup — behaves like a fully random function for hash tables,
+//! linear probing, and min-wise estimation. The protocols' *transmittable*
+//! hash needs are served by [`crate::pairwise`] (whose seeds are
+//! `O(log n)` bits); tabulation is the substrate's **fast local** family,
+//! used where a party hashes privately at volume (e.g. sketch building)
+//! with shared-coin seeds that never cross the wire — its 16 KiB of tables
+//! would be absurd to transmit but are free to derive from the common
+//! random string.
+
+use rand::Rng;
+
+/// A simple-tabulation hash function for 64-bit keys.
+///
+/// # Examples
+///
+/// ```
+/// use intersect_hash::tabulation::TabulationHash;
+/// use rand::SeedableRng;
+///
+/// let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(1);
+/// let h = TabulationHash::sample(&mut rng);
+/// assert_eq!(h.eval(42), h.eval(42));
+/// assert_ne!(h.eval(42), h.eval(43)); // almost surely
+/// ```
+#[derive(Clone)]
+pub struct TabulationHash {
+    tables: Box<[[u64; 256]; 8]>,
+}
+
+impl std::fmt::Debug for TabulationHash {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "TabulationHash({:016x}…)", self.tables[0][0])
+    }
+}
+
+impl TabulationHash {
+    /// Samples a function from the family (draws 2048 random words).
+    pub fn sample<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        let mut tables = Box::new([[0u64; 256]; 8]);
+        for table in tables.iter_mut() {
+            for slot in table.iter_mut() {
+                *slot = rng.gen();
+            }
+        }
+        TabulationHash { tables }
+    }
+
+    /// Evaluates the hash on a 64-bit key.
+    #[inline]
+    pub fn eval(&self, key: u64) -> u64 {
+        let mut acc = 0u64;
+        for (i, table) in self.tables.iter().enumerate() {
+            acc ^= table[((key >> (8 * i)) & 0xff) as usize];
+        }
+        acc
+    }
+
+    /// Evaluates and reduces into `[range)` by multiply-shift.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `range == 0`.
+    #[inline]
+    pub fn eval_range(&self, key: u64, range: u64) -> u64 {
+        assert!(range > 0, "range must be non-empty");
+        ((self.eval(key) as u128 * range as u128) >> 64) as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn hash(seed: u64) -> TabulationHash {
+        TabulationHash::sample(&mut ChaCha8Rng::seed_from_u64(seed))
+    }
+
+    #[test]
+    fn deterministic_and_seed_sensitive() {
+        let h1 = hash(1);
+        let h2 = hash(2);
+        assert_eq!(h1.eval(777), h1.eval(777));
+        assert_ne!(h1.eval(777), h2.eval(777));
+    }
+
+    #[test]
+    fn no_collisions_on_small_dense_set() {
+        let h = hash(3);
+        let mut seen = std::collections::HashSet::new();
+        for x in 0..10_000u64 {
+            assert!(seen.insert(h.eval(x)), "collision at {x}");
+        }
+    }
+
+    #[test]
+    fn output_bits_are_balanced() {
+        let h = hash(4);
+        let mut ones = [0u32; 64];
+        let samples = 4096;
+        for x in 0..samples {
+            let v = h.eval(x * 2_654_435_761);
+            for (b, count) in ones.iter_mut().enumerate() {
+                *count += ((v >> b) & 1) as u32;
+            }
+        }
+        for (b, &count) in ones.iter().enumerate() {
+            let frac = count as f64 / samples as f64;
+            assert!(
+                (0.42..0.58).contains(&frac),
+                "bit {b} biased: {frac:.3}"
+            );
+        }
+    }
+
+    #[test]
+    fn range_reduction_is_roughly_uniform() {
+        let h = hash(5);
+        let range = 16u64;
+        let mut counts = vec![0u32; range as usize];
+        let samples = 1 << 14;
+        for x in 0..samples {
+            counts[h.eval_range(x, range) as usize] += 1;
+        }
+        let expect = samples as f64 / range as f64;
+        for (bucket, &c) in counts.iter().enumerate() {
+            assert!(
+                (c as f64) > expect * 0.8 && (c as f64) < expect * 1.2,
+                "bucket {bucket}: {c} vs {expect}"
+            );
+        }
+    }
+
+    #[test]
+    fn single_byte_change_avalanches() {
+        let h = hash(6);
+        let base = h.eval(0x0123_4567_89ab_cdef);
+        for byte in 0..8 {
+            let flipped = 0x0123_4567_89ab_cdefu64 ^ (0xff << (8 * byte));
+            let diff = (base ^ h.eval(flipped)).count_ones();
+            assert!(diff >= 10, "byte {byte} changed only {diff} bits");
+        }
+    }
+}

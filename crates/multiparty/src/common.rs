@@ -1,0 +1,108 @@
+//! Shared machinery for the multi-party protocols: group partitioning and
+//! certified pairwise intersection.
+
+use intersect_comm::chan::Chan;
+use intersect_comm::coins::CoinSource;
+use intersect_comm::error::ProtocolError;
+use intersect_comm::runner::Side;
+use intersect_core::amplify::Amplified;
+use intersect_core::api::SetIntersection;
+use intersect_core::sets::{ElementSet, ProblemSpec};
+use intersect_core::tree::TreeProtocol;
+
+/// Splits the active player list into consecutive groups of at most
+/// `group_size` (the paper's "groups of size at most 2k").
+pub fn partition(actives: &[usize], group_size: usize) -> Vec<Vec<usize>> {
+    assert!(group_size >= 2, "groups must pair at least two players");
+    actives
+        .chunks(group_size)
+        .map(|c| c.to_vec())
+        .collect()
+}
+
+/// Parameters of the certified two-party intersection every multi-party
+/// protocol runs along its edges.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PairwiseConfig {
+    /// Round budget `r` of the inner verification-tree protocol.
+    pub tree_rounds: u32,
+    /// Certificate strength of the repeat-until-certified wrapper
+    /// (the paper's `2k`-bit checks).
+    pub certificate_bits: usize,
+    /// Repetition cap.
+    pub max_attempts: u32,
+}
+
+impl PairwiseConfig {
+    /// The paper's parameters for cardinality bound `k`.
+    pub fn for_spec(spec: ProblemSpec, tree_rounds: u32) -> Self {
+        PairwiseConfig {
+            tree_rounds,
+            certificate_bits: (2 * spec.k as usize).clamp(16, 4096),
+            max_attempts: 16,
+        }
+    }
+}
+
+/// Runs one certified two-party intersection over `chan`.
+///
+/// Coins must be forked identically by both endpoints (e.g. from the level
+/// and the pair of player ids).
+///
+/// # Errors
+///
+/// Propagates transport and protocol failures.
+pub fn certified_pairwise(
+    cfg: PairwiseConfig,
+    chan: &mut dyn Chan,
+    coins: &CoinSource,
+    side: Side,
+    spec: ProblemSpec,
+    input: &ElementSet,
+) -> Result<ElementSet, ProtocolError> {
+    let proto = Amplified {
+        inner: TreeProtocol::new(cfg.tree_rounds),
+        certificate_bits: Some(cfg.certificate_bits),
+        max_attempts: cfg.max_attempts,
+    };
+    proto.run(chan, coins, side, spec, input)
+}
+
+/// A deterministic label for the coins of a pairwise run, identical on
+/// both endpoints.
+pub fn pair_label(scope: &str, level: usize, a: usize, b: usize) -> String {
+    let (lo, hi) = if a < b { (a, b) } else { (b, a) };
+    format!("mp/{scope}/level{level}/{lo}-{hi}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn partition_respects_group_size() {
+        let actives: Vec<usize> = (0..11).collect();
+        let groups = partition(&actives, 4);
+        assert_eq!(groups.len(), 3);
+        assert_eq!(groups[0], vec![0, 1, 2, 3]);
+        assert_eq!(groups[2], vec![8, 9, 10]);
+        let flat: Vec<usize> = groups.concat();
+        assert_eq!(flat, actives);
+    }
+
+    #[test]
+    fn pair_label_is_symmetric() {
+        assert_eq!(pair_label("avg", 2, 7, 3), pair_label("avg", 2, 3, 7));
+        assert_ne!(pair_label("avg", 2, 7, 3), pair_label("avg", 1, 3, 7));
+        assert_ne!(pair_label("avg", 2, 7, 3), pair_label("wc", 2, 3, 7));
+    }
+
+    #[test]
+    fn pairwise_config_scales_with_k() {
+        let spec = ProblemSpec::new(1 << 20, 64);
+        let cfg = PairwiseConfig::for_spec(spec, 2);
+        assert_eq!(cfg.certificate_bits, 128);
+        let tiny = ProblemSpec::new(100, 2);
+        assert_eq!(PairwiseConfig::for_spec(tiny, 2).certificate_bits, 16);
+    }
+}

@@ -1,0 +1,186 @@
+//! Multi-party set disjointness in the message-passing model.
+//!
+//! The paper's Section 4 lower bounds (\[PVZ12\], \[BEO+13\]) cover *both*
+//! "Set Intersection and Set Disjointness in the message passing model":
+//! `Ω(mk)` total communication is necessary for either. This module
+//! provides the decision problem — is `⋂ᵢ Sᵢ` empty? — on top of the
+//! average-case intersection protocol, with the verdict broadcast so all
+//! `m` players output it.
+
+use crate::average::AverageCase;
+use intersect_comm::bits::BitBuf;
+use intersect_comm::error::ProtocolError;
+use intersect_comm::net::{run_network, NetworkConfig, PlayerCtx};
+use intersect_comm::stats::NetworkReport;
+use intersect_core::sets::{ElementSet, ProblemSpec};
+
+/// Multi-party disjointness: all players learn whether the global
+/// intersection is empty.
+///
+/// # Examples
+///
+/// ```
+/// use intersect_multiparty::disjointness::MultipartyDisjointness;
+/// use intersect_core::sets::{ElementSet, ProblemSpec};
+///
+/// let spec = ProblemSpec::new(1 << 20, 8);
+/// let sets: Vec<ElementSet> = (0..5u64)
+///     .map(|p| ElementSet::from_iter((0..8u64).map(|i| p * 100 + i)))
+///     .collect();
+/// let out = MultipartyDisjointness::new(spec, 2).execute(&sets, 3)?;
+/// assert!(out.disjoint);
+/// assert!(out.verdicts.iter().all(|&v| v));
+/// # Ok::<(), intersect_comm::error::ProtocolError>(())
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct MultipartyDisjointness {
+    inner: AverageCase,
+}
+
+/// The outcome of a multi-party disjointness run.
+#[derive(Debug, Clone)]
+pub struct DisjointnessOutcome {
+    /// The global verdict (`true` = judged disjoint).
+    pub disjoint: bool,
+    /// Every player's local verdict (all equal on success).
+    pub verdicts: Vec<bool>,
+    /// Exact communication accounting.
+    pub report: NetworkReport,
+}
+
+impl MultipartyDisjointness {
+    /// The paper's parameterization (groups of `2k`, tree round budget `r`).
+    pub fn new(spec: ProblemSpec, tree_rounds: u32) -> Self {
+        MultipartyDisjointness {
+            inner: AverageCase::new(spec, tree_rounds),
+        }
+    }
+
+    /// Per-player behavior: compute the intersection via Corollary 4.1,
+    /// then the final holder broadcasts the 1-bit verdict.
+    ///
+    /// # Errors
+    ///
+    /// Propagates transport and protocol failures.
+    pub fn run(&self, ctx: &mut PlayerCtx, input: &ElementSet) -> Result<bool, ProtocolError> {
+        let result = self.inner.run(ctx, input)?;
+        // Exactly one player holds Some(result); it broadcasts the verdict.
+        match result {
+            Some(intersection) => {
+                let verdict = intersection.is_empty();
+                let me = ctx.id();
+                for p in (0..ctx.players()).filter(|&p| p != me) {
+                    let mut bit = BitBuf::new();
+                    bit.push_bit(verdict);
+                    ctx.send_to(p, bit)?;
+                }
+                Ok(verdict)
+            }
+            None => {
+                // The holder is always player 0 (the recursive coordinator).
+                let msg = ctx.recv_from(0)?;
+                Ok(msg.get(0).unwrap_or(false))
+            }
+        }
+    }
+
+    /// Convenience executor over an in-process network.
+    ///
+    /// # Errors
+    ///
+    /// Propagates player failures.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sets` is empty.
+    pub fn execute(
+        &self,
+        sets: &[ElementSet],
+        seed: u64,
+    ) -> Result<DisjointnessOutcome, ProtocolError> {
+        assert!(!sets.is_empty(), "need at least one player");
+        let cfg = NetworkConfig::new(sets.len(), seed);
+        let out = run_network(&cfg, |ctx| self.run(ctx, &sets[ctx.id()]))?;
+        let disjoint = out.outputs[0];
+        Ok(DisjointnessOutcome {
+            disjoint,
+            verdicts: out.outputs,
+            report: out.report,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{Rng, SeedableRng};
+    use rand_chacha::ChaCha8Rng;
+
+    fn sets_with_common(seed: u64, spec: ProblemSpec, m: usize, common: usize) -> Vec<ElementSet> {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let core = ElementSet::random(&mut rng, spec.n / 2, common);
+        (0..m)
+            .map(|_| {
+                let mut elems: Vec<u64> = core.iter().collect();
+                while elems.len() < spec.k as usize {
+                    let x = rng.gen_range(spec.n / 2..spec.n);
+                    if !elems.contains(&x) {
+                        elems.push(x);
+                    }
+                }
+                elems.into_iter().collect()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn all_players_agree_on_the_verdict() {
+        let spec = ProblemSpec::new(1 << 20, 16);
+        for (m, common, expect_disjoint) in
+            [(3usize, 0usize, true), (3, 1, false), (12, 0, true), (12, 5, false)]
+        {
+            let sets = sets_with_common(m as u64 * 7 + common as u64, spec, m, common);
+            let out = MultipartyDisjointness::new(spec, 2)
+                .execute(&sets, 9)
+                .unwrap();
+            assert_eq!(out.disjoint, expect_disjoint, "m={m} common={common}");
+            assert!(
+                out.verdicts.iter().all(|&v| v == expect_disjoint),
+                "verdicts diverge: {:?}",
+                out.verdicts
+            );
+        }
+    }
+
+    #[test]
+    fn pairwise_disjoint_but_globally_disjoint_sets() {
+        // Every pair overlaps, yet the GLOBAL intersection is empty — the
+        // case a naive pairwise reduction would get wrong.
+        let spec = ProblemSpec::new(1 << 16, 4);
+        let sets = vec![
+            ElementSet::from_iter([1u64, 2, 3]),
+            ElementSet::from_iter([1u64, 2, 4]),
+            ElementSet::from_iter([3u64, 4, 5]),
+        ];
+        let out = MultipartyDisjointness::new(spec, 2)
+            .execute(&sets, 1)
+            .unwrap();
+        assert!(out.disjoint);
+    }
+
+    #[test]
+    fn broadcast_adds_only_m_bits() {
+        let spec = ProblemSpec::new(1 << 20, 8);
+        let sets = sets_with_common(4, spec, 10, 2);
+        let avg = AverageCase::new(spec, 2).execute(&sets, 5).unwrap();
+        let disj = MultipartyDisjointness::new(spec, 2)
+            .execute(&sets, 5)
+            .unwrap();
+        assert!(
+            disj.report.total_bits() <= avg.report.total_bits() + 10,
+            "disj {} vs avg {} bits",
+            disj.report.total_bits(),
+            avg.report.total_bits()
+        );
+    }
+}

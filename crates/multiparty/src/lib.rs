@@ -1,0 +1,50 @@
+//! # intersect-multiparty
+//!
+//! Multi-party set intersection in the message-passing model — Section 4
+//! of Brody et al. (PODC 2014). `m` players each hold a set `Sᵢ ⊆ [n]`
+//! (`|Sᵢ| ≤ k`) and want to compute `⋂ᵢ Sᵢ`, exchanging point-to-point
+//! messages.
+//!
+//! * [`average`] — Corollary 4.1: coordinator groups of `2k`, recursing;
+//!   expected **average** communication `O(k·log^{(r)} k)` per player,
+//!   expected `O(r·max(1, log m / log k))` rounds, error `2^{-Ω(k)}`.
+//! * [`worst_case`] — Corollary 4.2: balanced in-group tournaments with an
+//!   apex certificate, bounding the **worst-case** per-player load.
+//! * [`disjointness`] — the decision problem (`⋂ᵢ Sᵢ = ∅`?) with a
+//!   verdict broadcast, matching the \[PVZ12\]/\[BEO+13\] lower-bound
+//!   setting.
+//! * [`common`] — group partitioning and the certified pairwise runs both
+//!   protocols share.
+//!
+//! # Examples
+//!
+//! ```
+//! use intersect_multiparty::average::AverageCase;
+//! use intersect_core::sets::{ElementSet, ProblemSpec};
+//!
+//! let spec = ProblemSpec::new(1 << 20, 8);
+//! let sets: Vec<ElementSet> = (0..7u64)
+//!     .map(|p| ElementSet::from_iter([10u64, 20, 300 + p]))
+//!     .collect();
+//! let out = AverageCase::new(spec, 2).execute(&sets, 1)?;
+//! assert_eq!(out.result.as_slice(), &[10, 20]);
+//! println!(
+//!     "{} players, avg {:.0} bits/player, {} rounds",
+//!     sets.len(),
+//!     out.report.average_bits_per_player(),
+//!     out.report.rounds,
+//! );
+//! # Ok::<(), intersect_comm::error::ProtocolError>(())
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod average;
+pub mod common;
+pub mod disjointness;
+pub mod worst_case;
+
+pub use average::{AverageCase, MultipartyOutcome};
+pub use disjointness::MultipartyDisjointness;
+pub use worst_case::WorstCase;

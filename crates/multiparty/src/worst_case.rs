@@ -1,0 +1,375 @@
+//! The worst-case-balanced multi-party protocol (Corollary 4.2).
+//!
+//! Corollary 4.1's coordinator performs `Θ(k)` pairwise runs per level, so
+//! its *worst-case* per-player communication is `Θ(k²·log^{(r)} k)` even
+//! though the average is `O(k·log^{(r)} k)`. Corollary 4.2 amortizes the
+//! coordinator's load: within each group of `≤ 2k` players, members are
+//! placed at the leaves of a binary tree and run the two-party protocol
+//! *in pairs*, the lower-indexed player of each match carrying the
+//! pairwise intersection upward. When the top two nodes finish, they
+//! certify the group result with a `k`-bit equality check; on failure the
+//! whole group tournament repeats (an expected `O(1)` event). The group
+//! winner then recurses with the other group winners, as in Corollary 4.1.
+//!
+//! In our balanced tournament a player participates in at most
+//! `log₂(2k)` matches per level, so worst-case communication per player is
+//! `O(k·log k·log^{(r)} k·max(1, log m / log k))` — within the paper's
+//! stated `O(k²·log^{(r)} k·max(1, log(m)/k))` bound (the paper describes a
+//! depth-`k` tree; a balanced one strictly improves the same construction;
+//! see DESIGN.md §1.1).
+
+use crate::common::{pair_label, partition, PairwiseConfig};
+use crate::average::MultipartyOutcome;
+use intersect_comm::bits::BitBuf;
+use intersect_comm::error::ProtocolError;
+use intersect_comm::net::{run_network, NetworkConfig, PlayerCtx};
+use intersect_comm::runner::Side;
+use intersect_core::equality::{encode_for_equality, EqualityTest};
+use intersect_core::sets::{ElementSet, ProblemSpec};
+use intersect_core::tree::TreeProtocol;
+
+/// The tournament protocol of Corollary 4.2.
+///
+/// # Examples
+///
+/// ```
+/// use intersect_multiparty::worst_case::WorstCase;
+/// use intersect_core::sets::{ElementSet, ProblemSpec};
+///
+/// let spec = ProblemSpec::new(1 << 20, 8);
+/// let sets: Vec<ElementSet> = (0..6u64)
+///     .map(|p| ElementSet::from_iter([7u64, 8, 200 + p]))
+///     .collect();
+/// let proto = WorstCase::new(spec, 2);
+/// let out = proto.execute(&sets, 5)?;
+/// assert_eq!(out.result.as_slice(), &[7, 8]);
+/// # Ok::<(), intersect_comm::error::ProtocolError>(())
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct WorstCase {
+    /// Problem parameters (shared by all players).
+    pub spec: ProblemSpec,
+    /// Pairwise-protocol parameters (tournament matches run the plain
+    /// tree protocol; only the group apex is certified).
+    pub pairwise: PairwiseConfig,
+    /// Group size; defaults to `2k` as in the paper.
+    pub group_size: usize,
+    /// Cap on whole-group tournament repetitions.
+    pub max_group_attempts: u32,
+}
+
+impl WorstCase {
+    /// The paper's parameterization.
+    pub fn new(spec: ProblemSpec, tree_rounds: u32) -> Self {
+        WorstCase {
+            spec,
+            pairwise: PairwiseConfig::for_spec(spec, tree_rounds),
+            group_size: (2 * spec.k as usize).max(2),
+            max_group_attempts: 8,
+        }
+    }
+
+    /// Per-player behavior; returns `Some(result)` only at the final winner.
+    ///
+    /// # Errors
+    ///
+    /// Propagates transport and protocol failures.
+    pub fn run(
+        &self,
+        ctx: &mut PlayerCtx,
+        input: &ElementSet,
+    ) -> Result<Option<ElementSet>, ProtocolError> {
+        self.spec
+            .validate(input)
+            .map_err(ProtocolError::InvalidInput)?;
+        let me = ctx.id();
+        let mut actives: Vec<usize> = (0..ctx.players()).collect();
+        let mut current = input.clone();
+        let mut level = 0usize;
+
+        while actives.len() > 1 {
+            let groups = partition(&actives, self.group_size.max(2));
+            let my_group = groups
+                .iter()
+                .find(|g| g.contains(&me))
+                .expect("active player must be in a group")
+                .clone();
+            match self.group_tournament(ctx, level, &my_group, &current)? {
+                Some(group_result) => current = group_result,
+                None => return Ok(None), // eliminated in the tournament
+            }
+            actives = groups.into_iter().map(|g| g[0]).collect();
+            level += 1;
+        }
+        Ok(Some(current))
+    }
+
+    /// Runs one group's (possibly repeated) tournament. Returns
+    /// `Some(result)` at the group winner, `None` at eliminated members.
+    fn group_tournament(
+        &self,
+        ctx: &mut PlayerCtx,
+        level: usize,
+        group: &[usize],
+        input: &ElementSet,
+    ) -> Result<Option<ElementSet>, ProtocolError> {
+        let me = ctx.id();
+        let winner = group[0];
+        if group.len() == 1 {
+            return Ok(Some(input.clone()));
+        }
+        let my_rank = group.iter().position(|&p| p == me).expect("in group");
+        for attempt in 0..self.max_group_attempts.max(1) {
+            let scope = format!("wc-a{attempt}");
+            let mut holding = input.clone();
+            let mut alive = true;
+            let mut partner_at_top: Option<usize> = None;
+            // Balanced tournament: at step d, rank i with i % 2^{d+1} == 0
+            // plays rank i + 2^d (if present).
+            let mut step_size = 1usize;
+            while step_size < group.len() {
+                let last_step = step_size * 2 >= group.len();
+                if alive {
+                    if my_rank % (2 * step_size) == 0 {
+                        // I host: play group[my_rank + step] if it exists.
+                        if my_rank + step_size < group.len() {
+                            let peer = group[my_rank + step_size];
+                            holding =
+                                self.play_match(ctx, level, &scope, peer, Side::Alice, &holding)?;
+                            if last_step {
+                                partner_at_top = Some(peer);
+                            }
+                        }
+                    } else if my_rank % (2 * step_size) == step_size {
+                        let host = group[my_rank - step_size];
+                        holding =
+                            self.play_match(ctx, level, &scope, host, Side::Bob, &holding)?;
+                        if last_step {
+                            partner_at_top = Some(host);
+                        }
+                        alive = false; // eliminated after this match
+                    }
+                }
+                step_size *= 2;
+            }
+            // Apex certification: the top pair runs a k-bit equality check
+            // on the group result, then the winner broadcasts the verdict.
+            let verdict = self.certify_apex(ctx, level, &scope, group, partner_at_top, &holding)?;
+            if verdict {
+                return Ok(if me == winner { Some(holding) } else { None });
+            }
+            // Repeat the whole tournament with fresh coins.
+        }
+        // Cap reached (probability 2^{-Ω(k·attempts)}): accept the result.
+        Ok(if me == winner {
+            Some(input.clone())
+        } else {
+            None
+        })
+    }
+
+    /// One tournament match over the plain tree protocol.
+    fn play_match(
+        &self,
+        ctx: &mut PlayerCtx,
+        level: usize,
+        scope: &str,
+        peer: usize,
+        side: Side,
+        input: &ElementSet,
+    ) -> Result<ElementSet, ProtocolError> {
+        let label = pair_label(scope, level, ctx.id(), peer);
+        let coins = ctx.coins().fork(&label);
+        let proto = TreeProtocol::new(self.pairwise.tree_rounds);
+        let mut chan = ctx.link(peer);
+        proto.run(&mut chan, &coins, side, self.spec, input)
+    }
+
+    /// The apex equality check and verdict broadcast. Every group member
+    /// returns the same verdict.
+    fn certify_apex(
+        &self,
+        ctx: &mut PlayerCtx,
+        level: usize,
+        scope: &str,
+        group: &[usize],
+        partner_at_top: Option<usize>,
+        holding: &ElementSet,
+    ) -> Result<bool, ProtocolError> {
+        let me = ctx.id();
+        let winner = group[0];
+        let verdict = if me == winner {
+            let verdict = match partner_at_top {
+                // Groups of one pair or more: certify with the top partner.
+                Some(peer) => {
+                    let coins = ctx
+                        .coins()
+                        .fork(&pair_label(&format!("{scope}/cert"), level, me, peer));
+                    let eq = EqualityTest::new(self.pairwise.certificate_bits);
+                    let mut chan = ctx.link(peer);
+                    eq.run(
+                        &mut chan,
+                        &coins,
+                        Side::Alice,
+                        &encode_for_equality(holding.as_slice()),
+                    )?
+                }
+                None => true,
+            };
+            // Broadcast to the rest of the group.
+            for &p in group.iter().filter(|&&p| p != me && Some(p) != partner_at_top) {
+                let mut bit = BitBuf::new();
+                bit.push_bit(verdict);
+                ctx.send_to(p, bit)?;
+            }
+            if let Some(peer) = partner_at_top {
+                let mut bit = BitBuf::new();
+                bit.push_bit(verdict);
+                ctx.send_to(peer, bit)?;
+            }
+            verdict
+        } else if partner_at_top == Some(winner) {
+            // I played the apex match against the winner: join the check,
+            // then receive the verdict bit.
+            let coins = ctx
+                .coins()
+                .fork(&pair_label(&format!("{scope}/cert"), level, me, winner));
+            let eq = EqualityTest::new(self.pairwise.certificate_bits);
+            {
+                let mut chan = ctx.link(winner);
+                eq.run(
+                    &mut chan,
+                    &coins,
+                    Side::Bob,
+                    &encode_for_equality(holding.as_slice()),
+                )?;
+            }
+            ctx.recv_from(winner)?.get(0).unwrap_or(false)
+        } else {
+            ctx.recv_from(winner)?.get(0).unwrap_or(false)
+        };
+        Ok(verdict)
+    }
+
+    /// Convenience executor: runs the whole network in-process.
+    ///
+    /// # Errors
+    ///
+    /// Propagates player failures; fails if no player ended up holding a
+    /// result.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sets` is empty.
+    pub fn execute(&self, sets: &[ElementSet], seed: u64) -> Result<MultipartyOutcome, ProtocolError> {
+        assert!(!sets.is_empty(), "need at least one player");
+        let cfg = NetworkConfig::new(sets.len(), seed);
+        let out = run_network(&cfg, |ctx| self.run(ctx, &sets[ctx.id()]))?;
+        let (holder, result) = out
+            .outputs
+            .iter()
+            .enumerate()
+            .find_map(|(i, r)| r.clone().map(|set| (i, set)))
+            .ok_or_else(|| ProtocolError::Internal("no player holds a result".into()))?;
+        Ok(MultipartyOutcome {
+            result,
+            holder,
+            report: out.report,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{Rng, SeedableRng};
+    use rand_chacha::ChaCha8Rng;
+
+    fn ground_truth(sets: &[ElementSet]) -> ElementSet {
+        sets.iter()
+            .skip(1)
+            .fold(sets[0].clone(), |acc, s| acc.intersection(s))
+    }
+
+    fn random_sets(
+        rng: &mut ChaCha8Rng,
+        spec: ProblemSpec,
+        m: usize,
+        common: usize,
+    ) -> Vec<ElementSet> {
+        let shared = ElementSet::random(rng, spec.n / 2, common);
+        (0..m)
+            .map(|_| {
+                let mut elems: Vec<u64> = shared.iter().collect();
+                while elems.len() < spec.k as usize {
+                    let x = rng.gen_range(spec.n / 2..spec.n);
+                    if !elems.contains(&x) {
+                        elems.push(x);
+                    }
+                }
+                elems.into_iter().collect()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn tournament_computes_global_intersection() {
+        let spec = ProblemSpec::new(1 << 20, 16);
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        for m in [2usize, 3, 7, 16, 40] {
+            let sets = random_sets(&mut rng, spec, m, 5);
+            let out = WorstCase::new(spec, 2).execute(&sets, m as u64).unwrap();
+            assert_eq!(out.result, ground_truth(&sets), "m = {m}");
+            assert_eq!(out.holder, 0);
+        }
+    }
+
+    #[test]
+    fn worst_case_load_is_balanced_vs_average_case() {
+        use crate::average::AverageCase;
+        let spec = ProblemSpec::new(1 << 24, 16);
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        // One full group: 2k = 32 players.
+        let sets = random_sets(&mut rng, spec, 32, 6);
+        let avg = AverageCase::new(spec, 2).execute(&sets, 9).unwrap();
+        let wc = WorstCase::new(spec, 2).execute(&sets, 9).unwrap();
+        assert_eq!(avg.result, wc.result);
+        // The tournament's most-loaded player carries ~log(2k) matches; the
+        // coordinator carries 2k-1. The max per-player load must improve.
+        assert!(
+            wc.report.max_bits_per_player() < avg.report.max_bits_per_player(),
+            "wc {} vs avg {}",
+            wc.report.max_bits_per_player(),
+            avg.report.max_bits_per_player()
+        );
+    }
+
+    #[test]
+    fn empty_intersection() {
+        let spec = ProblemSpec::new(1 << 16, 8);
+        let sets: Vec<ElementSet> = (0..10u64)
+            .map(|p| ElementSet::from_iter((0..8u64).map(|i| p * 100 + i)))
+            .collect();
+        let out = WorstCase::new(spec, 2).execute(&sets, 3).unwrap();
+        assert!(out.result.is_empty());
+    }
+
+    #[test]
+    fn single_player() {
+        let spec = ProblemSpec::new(100, 4);
+        let s = ElementSet::from_iter([3u64]);
+        let out = WorstCase::new(spec, 2).execute(std::slice::from_ref(&s), 1).unwrap();
+        assert_eq!(out.result, s);
+    }
+
+    #[test]
+    fn odd_group_sizes_work() {
+        let spec = ProblemSpec::new(1 << 16, 4);
+        let s = ElementSet::from_iter([1u64, 2, 3]);
+        for m in [3usize, 5, 9, 11] {
+            let sets = vec![s.clone(); m];
+            let out = WorstCase::new(spec, 2).execute(&sets, m as u64).unwrap();
+            assert_eq!(out.result, s, "m = {m}");
+        }
+    }
+}

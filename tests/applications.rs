@@ -1,0 +1,149 @@
+//! Integration tests for the application layer against local oracles.
+
+use intersect::apps::dedup::{DedupProtocol, Document};
+use intersect::apps::join::{JoinProtocol, Row, Table};
+use intersect::apps::similarity::SimilarityProtocol;
+use intersect::prelude::*;
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+#[test]
+fn similarity_statistics_are_exact_for_every_protocol_backend() {
+    let spec = ProblemSpec::new(1 << 30, 64);
+    let mut rng = ChaCha8Rng::seed_from_u64(1);
+    let pair = InputPair::random_with_overlap(&mut rng, spec, 64, 21);
+    let backends: Vec<Box<dyn SetIntersection>> = vec![
+        Box::new(TreeProtocol::new(2)),
+        Box::new(TreeProtocol::log_star(64)),
+        Box::new(SqrtProtocol::default()),
+        Box::new(TrivialExchange::default()),
+    ];
+    for backend in backends {
+        let name = backend.name();
+        let proto = SimilarityProtocol::new(backend);
+        let out = run_two_party(
+            &RunConfig::with_seed(2),
+            |chan, coins| proto.run(chan, coins, Side::Alice, spec, &pair.s),
+            |chan, coins| proto.run(chan, coins, Side::Bob, spec, &pair.t),
+        )
+        .unwrap();
+        assert_eq!(out.alice, out.bob, "{name}");
+        assert_eq!(out.alice.intersection_size, 21, "{name}");
+        assert_eq!(
+            out.alice.union_size,
+            pair.s.union(&pair.t).len() as u64,
+            "{name}"
+        );
+        assert_eq!(out.alice.jaccard.num, 21, "{name}");
+    }
+}
+
+// SimilarityProtocol::new takes P: SetIntersection; Box<dyn SetIntersection>
+// implements SetIntersection via the blanket impl checked here.
+
+#[test]
+fn join_handles_heterogeneous_field_counts() {
+    let spec = ProblemSpec::new(1 << 20, 16);
+    let mut left = Table::new();
+    let mut right = Table::new();
+    left.insert(Row { key: 1, fields: vec![] });
+    left.insert(Row { key: 2, fields: vec![10, 20, 30] });
+    left.insert(Row { key: 3, fields: vec![7] });
+    right.insert(Row { key: 2, fields: vec![99] });
+    right.insert(Row { key: 3, fields: vec![] });
+    right.insert(Row { key: 4, fields: vec![1] });
+    let proto = JoinProtocol::default();
+    let out = run_two_party(
+        &RunConfig::with_seed(3),
+        |chan, coins| proto.run(chan, coins, Side::Alice, spec, &left),
+        |chan, coins| proto.run(chan, coins, Side::Bob, spec, &right),
+    )
+    .unwrap();
+    assert_eq!(out.alice, out.bob);
+    assert_eq!(out.alice.len(), 2);
+    assert_eq!(out.alice[0].key, 2);
+    assert_eq!(out.alice[0].left, vec![10, 20, 30]);
+    assert_eq!(out.alice[0].right, vec![99]);
+    assert_eq!(out.alice[1].key, 3);
+    assert!(out.alice[1].right.is_empty());
+}
+
+#[test]
+fn join_with_random_tables_matches_oracle_repeatedly() {
+    let spec = ProblemSpec::new(1 << 30, 256);
+    let mut rng = ChaCha8Rng::seed_from_u64(4);
+    for trial in 0..5u64 {
+        let mut left = Table::new();
+        let mut right = Table::new();
+        for _ in 0..200 {
+            left.insert(Row {
+                key: rng.gen_range(0..2000),
+                fields: vec![rng.gen()],
+            });
+            right.insert(Row {
+                key: rng.gen_range(0..2000),
+                fields: vec![rng.gen(), rng.gen()],
+            });
+        }
+        let proto = JoinProtocol::default();
+        let out = run_two_party(
+            &RunConfig::with_seed(trial),
+            |chan, coins| proto.run(chan, coins, Side::Alice, spec, &left),
+            |chan, coins| proto.run(chan, coins, Side::Bob, spec, &right),
+        )
+        .unwrap();
+        let mut expect = Vec::new();
+        for row in left.iter() {
+            if let Some(rf) = right.get(row.key) {
+                expect.push((row.key, row.fields.clone(), rf.to_vec()));
+            }
+        }
+        let got: Vec<(u64, Vec<u64>, Vec<u64>)> = out
+            .alice
+            .iter()
+            .map(|r| (r.key, r.left.clone(), r.right.clone()))
+            .collect();
+        assert_eq!(got, expect, "trial {trial}");
+    }
+}
+
+#[test]
+fn dedup_is_symmetric_and_exact() {
+    let mk = |bodies: &[&str]| -> Vec<Document> {
+        bodies
+            .iter()
+            .enumerate()
+            .map(|(i, b)| Document::new(format!("d{i}"), b.as_bytes().to_vec()))
+            .collect()
+    };
+    let a = mk(&["x", "y", "z", "w", "x"]);
+    let b = mk(&["z", "q", "x"]);
+    let proto = DedupProtocol::default();
+    let out = run_two_party(
+        &RunConfig::with_seed(5),
+        |chan, coins| proto.run(chan, coins, Side::Alice, &a, 16),
+        |chan, coins| proto.run(chan, coins, Side::Bob, &b, 16),
+    )
+    .unwrap();
+    assert_eq!(out.alice.duplicated, vec![0, 2, 4]); // x, z, x-copy
+    assert_eq!(out.bob.duplicated, vec![0, 2]); // z, x
+}
+
+#[test]
+fn rarities_partition_the_union() {
+    let spec = ProblemSpec::new(1 << 20, 32);
+    let mut rng = ChaCha8Rng::seed_from_u64(6);
+    for overlap in [0usize, 5, 32] {
+        let pair = InputPair::random_with_overlap(&mut rng, spec, 32, overlap);
+        let proto = SimilarityProtocol::default();
+        let out = run_two_party(
+            &RunConfig::with_seed(7),
+            |chan, coins| proto.run(chan, coins, Side::Alice, spec, &pair.s),
+            |chan, coins| proto.run(chan, coins, Side::Bob, spec, &pair.t),
+        )
+        .unwrap();
+        let s = out.alice;
+        assert_eq!(s.rarity1.num + s.rarity2.num, s.union_size);
+        assert_eq!(s.rarity2.num, s.intersection_size);
+    }
+}

@@ -1,0 +1,115 @@
+//! End-to-end tests of the `intersect-cli` binary.
+
+use std::io::Write;
+use std::process::Command;
+
+fn write_set(dir: &std::path::Path, name: &str, lines: &str) -> String {
+    let path = dir.join(name);
+    let mut f = std::fs::File::create(&path).unwrap();
+    f.write_all(lines.as_bytes()).unwrap();
+    path.to_string_lossy().into_owned()
+}
+
+fn cli() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_intersect-cli"))
+}
+
+fn temp_dir(tag: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("intersect-cli-test-{tag}-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+#[test]
+fn computes_intersection_from_files() {
+    let dir = temp_dir("basic");
+    let a = write_set(&dir, "a.txt", "1\n5\n9\n42\n# comment\n0x10\n");
+    let b = write_set(&dir, "b.txt", "5\n16\n42\n100\n");
+    let out = cli().args(["--a", &a, "--b", &b, "--quiet"]).output().unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    let got: Vec<u64> = stdout.lines().map(|l| l.parse().unwrap()).collect();
+    assert_eq!(got, vec![5, 16, 42]);
+}
+
+#[test]
+fn all_protocols_agree_via_cli() {
+    let dir = temp_dir("protocols");
+    let a_lines: String = (0..200u64).map(|i| format!("{}\n", i * 7)).collect();
+    let b_lines: String = (0..200u64).map(|i| format!("{}\n", i * 3)).collect();
+    let a = write_set(&dir, "a.txt", &a_lines);
+    let b = write_set(&dir, "b.txt", &b_lines);
+    let mut outputs = Vec::new();
+    for proto in ["tree", "tree-pipelined", "sqrt", "trivial", "one-round", "basic", "iblt"] {
+        let out = cli()
+            .args(["--a", &a, "--b", &b, "--quiet", "--protocol", proto, "--seed", "3"])
+            .output()
+            .unwrap();
+        assert!(
+            out.status.success(),
+            "{proto}: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        outputs.push((proto, String::from_utf8(out.stdout).unwrap()));
+    }
+    for (proto, text) in &outputs[1..] {
+        assert_eq!(text, &outputs[0].1, "{proto} disagrees with tree");
+    }
+    // Ground truth: multiples of 21 below 1400 and of 3·7 overlap …
+    let first: Vec<u64> = outputs[0].1.lines().map(|l| l.parse().unwrap()).collect();
+    let expect: Vec<u64> = (0..200u64)
+        .map(|i| i * 7)
+        .filter(|x| x % 3 == 0 && *x < 600)
+        .collect();
+    assert_eq!(first, expect);
+}
+
+#[test]
+fn stats_are_reported_on_stderr() {
+    let dir = temp_dir("stats");
+    let a = write_set(&dir, "a.txt", "1\n2\n3\n");
+    let b = write_set(&dir, "b.txt", "2\n3\n4\n");
+    let out = cli().args(["--a", &a, "--b", &b]).output().unwrap();
+    assert!(out.status.success());
+    let stderr = String::from_utf8(out.stderr).unwrap();
+    assert!(stderr.contains("bits total"), "{stderr}");
+    assert!(stderr.contains("rounds"), "{stderr}");
+    assert!(stderr.contains("intersection: 2 elements"), "{stderr}");
+}
+
+#[test]
+fn bad_inputs_fail_cleanly() {
+    let dir = temp_dir("bad");
+    let a = write_set(&dir, "a.txt", "not-a-number\n");
+    let b = write_set(&dir, "b.txt", "1\n");
+    let out = cli().args(["--a", &a, "--b", &b]).output().unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("not an integer"));
+
+    let out = cli()
+        .args(["--a", "/nonexistent/x", "--b", &b])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+
+    let a = write_set(&dir, "a2.txt", "100\n");
+    let out = cli()
+        .args(["--a", &a, "--b", &b, "--universe", "50"])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("outside universe"));
+}
+
+#[test]
+fn universe_accepts_power_notation() {
+    let dir = temp_dir("pow");
+    let a = write_set(&dir, "a.txt", "7\n1000000\n");
+    let b = write_set(&dir, "b.txt", "7\n");
+    let out = cli()
+        .args(["--a", &a, "--b", &b, "--universe", "2^30", "--protocol", "trivial"])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert_eq!(String::from_utf8(out.stdout).unwrap().trim(), "7");
+}

@@ -1,0 +1,138 @@
+//! Failure-injection tests: force the repair paths and error paths that a
+//! healthy run rarely exercises.
+
+use intersect::core::tree::{ErrorPolicy, TreeProtocol};
+use intersect::prelude::*;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+fn pair_with(spec: ProblemSpec, size: usize, overlap: usize, seed: u64) -> InputPair {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    InputPair::random_with_overlap(&mut rng, spec, size, overlap)
+}
+
+#[test]
+fn hot_error_schedule_exercises_rerun_path_and_amplification_repairs_it() {
+    // FlatLoose runs every equality test at error 2^-4, so false "equal"
+    // verdicts and re-runs are frequent. The protocol must stay safe
+    // (outputs ⊆ inputs) and Amplified must restore correctness.
+    let spec = ProblemSpec::new(1 << 24, 256);
+    let loose = TreeProtocol {
+        error_policy: ErrorPolicy::FlatLoose,
+        ..TreeProtocol::new(3)
+    };
+    let amplified = Amplified::new(loose);
+    let mut loose_failures = 0;
+    for seed in 0..30u64 {
+        let pair = pair_with(spec, 256, 128, seed);
+        let truth = pair.ground_truth();
+        let run = execute(&loose, spec, &pair, seed).unwrap();
+        assert!(run.alice.iter().all(|x| pair.s.contains(x)));
+        if !run.matches(&truth) {
+            loose_failures += 1;
+        }
+        let fixed = execute(&amplified, spec, &pair, seed).unwrap();
+        assert!(fixed.matches(&truth), "amplified failed on seed {seed}");
+    }
+    assert!(
+        loose_failures > 0,
+        "injection ineffective: loose schedule never failed"
+    );
+}
+
+#[test]
+fn timeouts_surface_instead_of_hanging() {
+    use intersect::comm::chan::Chan;
+    use std::time::Duration;
+    let mut cfg = RunConfig::with_seed(1);
+    cfg.timeout = Duration::from_millis(50);
+    let err = run_two_party(
+        &cfg,
+        |chan, _| chan.recv().map(|_| ()),
+        |chan, _| chan.recv().map(|_| ()), // both wait: deadlock by design
+    )
+    .unwrap_err();
+    // One side times out; the other may observe either its own timeout or
+    // the hangup caused by the first. Both surface the deadlock.
+    assert!(
+        matches!(err, ProtocolError::Timeout | ProtocolError::ChannelClosed),
+        "{err:?}"
+    );
+}
+
+#[test]
+fn malformed_peer_messages_error_cleanly() {
+    // A party that speaks garbage must produce a codec/internal error on
+    // the other side, not a panic or a wrong answer.
+    let spec = ProblemSpec::new(1 << 20, 8);
+    let s = ElementSet::from_iter([1u64, 2, 3]);
+    let proto = TreeProtocol::new(2);
+    let result = run_two_party(
+        &RunConfig::with_seed(2),
+        |chan, coins| proto.run(chan, coins, Side::Alice, spec, &s),
+        |chan, _| {
+            // Bob sends a single junk frame and quits.
+            let mut junk = intersect::comm::bits::BitBuf::new();
+            junk.push_bits(0b1011, 4);
+            chan.send(junk)?;
+            Ok(ElementSet::new())
+        },
+    );
+    assert!(result.is_err());
+}
+
+#[test]
+fn mismatched_specs_are_rejected_not_miscomputed() {
+    let s = ElementSet::from_iter(0..20u64);
+    let spec = ProblemSpec::new(1 << 20, 8); // bound k = 8 < |s| = 20
+    let proto = TreeProtocol::new(2);
+    let err = run_two_party(
+        &RunConfig::with_seed(3),
+        |chan, coins| proto.run(chan, coins, Side::Alice, spec, &s),
+        |chan, coins| proto.run(chan, coins, Side::Bob, spec, &ElementSet::new()),
+    )
+    .unwrap_err();
+    assert!(matches!(err, ProtocolError::InvalidInput(_)));
+}
+
+#[test]
+fn skewed_buckets_do_not_break_the_tree() {
+    // All elements in a tight cluster: bucket hashing sees adversarial
+    // input correlations.
+    let spec = ProblemSpec::new(1 << 40, 512);
+    let s: ElementSet = (0..512u64).map(|i| (1 << 39) + i).collect();
+    let t: ElementSet = (256..768u64).map(|i| (1 << 39) + i).collect();
+    let truth = s.intersection(&t);
+    let pair = InputPair { s, t };
+    for r in 1..=4 {
+        let run = execute(&TreeProtocol::new(r), spec, &pair, 9).unwrap();
+        assert!(run.matches(&truth), "r = {r}");
+    }
+}
+
+#[test]
+fn huge_universe_and_max_elements() {
+    // Elements at the top of a 2^61 universe stress the field arithmetic.
+    let n = 1u64 << 61;
+    let spec = ProblemSpec::new(n, 16);
+    let s: ElementSet = (0..16u64).map(|i| n - 1 - i * 7).collect();
+    let t: ElementSet = (0..16u64).map(|i| n - 1 - i * 14).collect();
+    let truth = s.intersection(&t);
+    let pair = InputPair { s, t };
+    for choice in ProtocolChoice::all(3) {
+        let proto = choice.build(spec);
+        let run = execute(proto.as_ref(), spec, &pair, 4).unwrap();
+        assert!(run.matches(&truth), "{}", proto.name());
+    }
+}
+
+#[test]
+fn repeated_seeds_are_deterministic() {
+    // The whole stack (workload, coins, protocols) must be replayable.
+    let spec = ProblemSpec::new(1 << 30, 64);
+    let pair = pair_with(spec, 64, 20, 5);
+    let a = execute(&TreeProtocol::new(3), spec, &pair, 123).unwrap();
+    let b = execute(&TreeProtocol::new(3), spec, &pair, 123).unwrap();
+    assert_eq!(a.alice, b.alice);
+    assert_eq!(a.report, b.report);
+}

@@ -1,0 +1,133 @@
+//! Cross-crate integration tests for the message-passing protocols.
+
+use intersect::prelude::*;
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+fn ground_truth(sets: &[ElementSet]) -> ElementSet {
+    sets.iter()
+        .skip(1)
+        .fold(sets[0].clone(), |acc, s| acc.intersection(s))
+}
+
+fn random_sets(seed: u64, spec: ProblemSpec, m: usize, common: usize) -> Vec<ElementSet> {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let core = ElementSet::random(&mut rng, spec.n / 2, common);
+    (0..m)
+        .map(|_| {
+            let mut elems: Vec<u64> = core.iter().collect();
+            while elems.len() < spec.k as usize {
+                let x = rng.gen_range(spec.n / 2..spec.n);
+                if !elems.contains(&x) {
+                    elems.push(x);
+                }
+            }
+            elems.into_iter().collect()
+        })
+        .collect()
+}
+
+#[test]
+fn two_player_network_matches_two_party_protocol() {
+    let spec = ProblemSpec::new(1 << 24, 32);
+    let sets = random_sets(1, spec, 2, 9);
+    let truth = ground_truth(&sets);
+    let net = AverageCase::new(spec, 2).execute(&sets, 5).unwrap();
+    assert_eq!(net.result, truth);
+
+    let pair = InputPair {
+        s: sets[0].clone(),
+        t: sets[1].clone(),
+    };
+    let direct = execute(&TreeProtocol::new(2), spec, &pair, 5).unwrap();
+    assert_eq!(direct.alice, truth);
+}
+
+#[test]
+fn both_schemes_agree_across_m_and_k() {
+    for (m, k, common) in [(3usize, 8u64, 2usize), (10, 16, 5), (40, 8, 3)] {
+        let spec = ProblemSpec::new(1 << 24, k);
+        let sets = random_sets(m as u64 * 31 + k, spec, m, common);
+        let truth = ground_truth(&sets);
+        let avg = AverageCase::new(spec, 2).execute(&sets, 77).unwrap();
+        let wc = WorstCase::new(spec, 2).execute(&sets, 77).unwrap();
+        assert_eq!(avg.result, truth, "avg m={m} k={k}");
+        assert_eq!(wc.result, truth, "wc m={m} k={k}");
+    }
+}
+
+#[test]
+fn average_bits_per_player_stays_bounded_as_m_grows() {
+    let spec = ProblemSpec::new(1 << 24, 16);
+    let mut per_player = Vec::new();
+    for m in [4usize, 16, 64] {
+        let sets = random_sets(9, spec, m, 4);
+        let out = AverageCase::new(spec, 2).execute(&sets, 3).unwrap();
+        assert_eq!(out.result, ground_truth(&sets));
+        per_player.push(out.report.average_bits_per_player());
+    }
+    // O(k log^(r) k) per player, independent of m (within noise).
+    assert!(
+        per_player[2] < per_player[0] * 2.5,
+        "per-player cost grew with m: {per_player:?}"
+    );
+}
+
+#[test]
+fn tournament_bounds_the_busiest_player() {
+    let spec = ProblemSpec::new(1 << 24, 16);
+    let m = 32; // one full group of 2k
+    let sets = random_sets(4, spec, m, 4);
+    let avg = AverageCase::new(spec, 2).execute(&sets, 8).unwrap();
+    let wc = WorstCase::new(spec, 2).execute(&sets, 8).unwrap();
+    assert!(
+        wc.report.max_bits_per_player() * 2 < avg.report.max_bits_per_player(),
+        "tournament max {} vs coordinator max {}",
+        wc.report.max_bits_per_player(),
+        avg.report.max_bits_per_player()
+    );
+}
+
+#[test]
+fn rounds_grow_with_recursion_depth_not_m_linearly() {
+    let spec = ProblemSpec::new(1 << 24, 8);
+    let shallow = AverageCase::new(spec, 2)
+        .execute(&random_sets(5, spec, 8, 2), 1)
+        .unwrap();
+    let deep = AverageCase::new(spec, 2)
+        .execute(&random_sets(6, spec, 64, 2), 1)
+        .unwrap();
+    // 64 players = 8x more than 8, but only ~log_{2k}(m) extra levels.
+    assert!(
+        deep.report.rounds < shallow.report.rounds * 4,
+        "rounds {} vs {}",
+        deep.report.rounds,
+        shallow.report.rounds
+    );
+}
+
+#[test]
+fn disjoint_players_yield_empty_intersection() {
+    let spec = ProblemSpec::new(1 << 20, 8);
+    let sets: Vec<ElementSet> = (0..12u64)
+        .map(|p| ((p * 100)..(p * 100 + 8)).collect())
+        .collect();
+    for (label, result) in [
+        ("avg", AverageCase::new(spec, 2).execute(&sets, 2).unwrap()),
+        ("wc", WorstCase::new(spec, 2).execute(&sets, 2).unwrap()),
+    ] {
+        assert!(result.result.is_empty(), "{label}");
+    }
+}
+
+#[test]
+fn network_accounting_is_consistent() {
+    let spec = ProblemSpec::new(1 << 20, 8);
+    let sets = random_sets(8, spec, 6, 2);
+    let out = AverageCase::new(spec, 2).execute(&sets, 4).unwrap();
+    // Every bit sent is received by someone: totals balance.
+    let sent: u64 = out.report.bits_sent.iter().sum();
+    let received: u64 = out.report.bits_received.iter().sum();
+    assert_eq!(sent, received);
+    assert!(out.report.max_bits_per_player() >= (sent + received) / (2 * 6));
+}

@@ -1,0 +1,211 @@
+//! End-to-end integration tests: every protocol in the catalogue against
+//! shared workloads, with cost-envelope regression guards.
+
+use intersect::prelude::*;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+fn pair_with(spec: ProblemSpec, size: usize, overlap: usize, seed: u64) -> InputPair {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    InputPair::random_with_overlap(&mut rng, spec, size, overlap)
+}
+
+#[test]
+fn all_protocols_agree_on_shared_workloads() {
+    let spec = ProblemSpec::new(1 << 34, 128);
+    for seed in 0..5u64 {
+        for overlap in [0usize, 1, 64, 128] {
+            let pair = pair_with(spec, 128, overlap, seed);
+            let truth = pair.ground_truth();
+            for choice in ProtocolChoice::all(4) {
+                let proto = choice.build(spec);
+                let run = execute(proto.as_ref(), spec, &pair, seed ^ 0xABCD).unwrap();
+                assert!(
+                    run.matches(&truth),
+                    "{} wrong on seed {seed} overlap {overlap}",
+                    proto.name()
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn wrapped_variants_agree_too() {
+    let spec = ProblemSpec::new(1 << 40, 64);
+    let pair = pair_with(spec, 64, 20, 3);
+    let truth = pair.ground_truth();
+    let wrapped: Vec<Box<dyn SetIntersection>> = vec![
+        Box::new(PrivateCoin::new(TreeProtocol::log_star(64))),
+        Box::new(Amplified::new(TreeProtocol::new(2))),
+        Box::new(PrivateCoin::new(SqrtProtocol::default())),
+        Box::new(Amplified::new(SqrtProtocol::default())),
+    ];
+    for proto in wrapped {
+        let run = execute(proto.as_ref(), spec, &pair, 11).unwrap();
+        assert!(run.matches(&truth), "{} wrong", proto.name());
+    }
+}
+
+#[test]
+fn tree_cost_envelope_is_o_k_iterlog_k() {
+    // Regression guard: measured cost within a generous constant of the
+    // theoretical envelope c·k·(log^(r) k + r) bits, for every r.
+    let spec = ProblemSpec::new(1 << 40, 1024);
+    let pair = pair_with(spec, 1024, 512, 7);
+    for r in 1..=4u32 {
+        let run = execute(&TreeProtocol::new(r), spec, &pair, 5).unwrap();
+        let envelope = 16 * 1024 * (iter_log(r, 1024) + r as u64) + 4096;
+        assert!(
+            run.report.total_bits() < envelope,
+            "r={r}: {} bits exceeds envelope {envelope}",
+            run.report.total_bits()
+        );
+        assert!(run.report.rounds <= 6 * r as u64);
+    }
+}
+
+#[test]
+fn trivial_is_optimal_to_within_a_few_bits_per_element() {
+    let spec = ProblemSpec::new(1 << 20, 64);
+    let pair = pair_with(spec, 64, 0, 1);
+    let run = execute(&TrivialExchange::new(intersect::core::trivial::SubsetCode::Binomial), spec, &pair, 1)
+        .unwrap();
+    // First message = ⌈log2 C(2^20, ≤64)⌉ + 7 header bits ≈ 64·(14+1.44).
+    let entropy = 64.0 * ((1u64 << 20) as f64 / 64.0).log2() + 64.0 * 1.5;
+    assert!(
+        (run.report.bits_alice as f64) < entropy + 80.0,
+        "{} bits vs entropy {entropy:.0}",
+        run.report.bits_alice
+    );
+}
+
+#[test]
+fn disjointness_protocols_match_ground_truth() {
+    let spec = ProblemSpec::new(1 << 30, 64);
+    for seed in 0..5u64 {
+        for overlap in [0usize, 1, 32] {
+            let pair = pair_with(spec, 64, overlap, seed);
+            let protos: Vec<Box<dyn SetDisjointness>> = vec![
+                Box::new(HwDisjointness::default()),
+                Box::new(SparseDisjointness::new(2)),
+                Box::new(SparseDisjointness::new(4)),
+                Box::new(DisjointnessViaIntersection(TreeProtocol::new(2))),
+            ];
+            for proto in protos {
+                let out = run_two_party(
+                    &RunConfig::with_seed(seed ^ 0x99),
+                    |chan, coins| proto.run(chan, coins, Side::Alice, spec, &pair.s),
+                    |chan, coins| proto.run(chan, coins, Side::Bob, spec, &pair.t),
+                )
+                .unwrap();
+                assert_eq!(out.alice, out.bob, "{}", proto.name());
+                assert_eq!(
+                    out.alice,
+                    overlap == 0,
+                    "{} wrong (seed {seed}, overlap {overlap})",
+                    proto.name()
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn failure_rate_of_tree_is_tiny_over_many_seeds() {
+    let spec = ProblemSpec::new(1 << 24, 256);
+    let proto = TreeProtocol::log_star(256);
+    let mut failures = 0;
+    for seed in 0..100u64 {
+        let pair = pair_with(spec, 256, 77, seed);
+        let run = execute(&proto, spec, &pair, seed).unwrap();
+        if !run.matches(&pair.ground_truth()) {
+            failures += 1;
+        }
+    }
+    // 1 - 1/poly(k) with k = 256: allow at most a couple of flukes.
+    assert!(failures <= 2, "{failures}/100 failures");
+}
+
+#[test]
+fn budget_converts_expected_cost_to_worst_case() {
+    // The paper's remark: abort at a constant multiple of the expected
+    // cost. A generous budget never triggers; a tiny one always does.
+    let spec = ProblemSpec::new(1 << 30, 128);
+    let pair = pair_with(spec, 128, 64, 2);
+    let proto = TreeProtocol::new(2);
+    let generous = run_two_party(
+        &RunConfig::with_seed(1).bit_budget(1 << 20),
+        |chan, coins| proto.run(chan, coins, Side::Alice, spec, &pair.s),
+        |chan, coins| proto.run(chan, coins, Side::Bob, spec, &pair.t),
+    );
+    assert!(generous.is_ok());
+    let tiny = run_two_party(
+        &RunConfig::with_seed(1).bit_budget(64),
+        |chan, coins| proto.run(chan, coins, Side::Alice, spec, &pair.s),
+        |chan, coins| proto.run(chan, coins, Side::Bob, spec, &pair.t),
+    );
+    assert!(matches!(
+        tiny.unwrap_err(),
+        intersect::comm::error::ProtocolError::BudgetExceeded { .. }
+    ));
+}
+
+#[test]
+fn outputs_are_always_subsets_of_inputs() {
+    // Deterministic safety property, even on failing seeds.
+    let spec = ProblemSpec::new(1 << 20, 64);
+    for seed in 0..10u64 {
+        let pair = pair_with(spec, 64, 13, seed);
+        for choice in ProtocolChoice::all(3) {
+            let proto = choice.build(spec);
+            let run = execute(proto.as_ref(), spec, &pair, seed).unwrap();
+            assert!(
+                run.alice.iter().all(|x| pair.s.contains(x)),
+                "{}: alice output escaped her input",
+                proto.name()
+            );
+            assert!(
+                run.bob.iter().all(|x| pair.t.contains(x)),
+                "{}: bob output escaped his input",
+                proto.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn adversarial_clustered_inputs() {
+    // Consecutive elements stress bucketing and codecs.
+    let spec = ProblemSpec::new(1 << 30, 256);
+    let s: ElementSet = (1000u64..1256).collect();
+    let t: ElementSet = (1128u64..1384).collect();
+    let pair = InputPair { s: s.clone(), t: t.clone() };
+    let truth = s.intersection(&t);
+    for choice in ProtocolChoice::all(4) {
+        let proto = choice.build(spec);
+        let run = execute(proto.as_ref(), spec, &pair, 77).unwrap();
+        assert!(run.matches(&truth), "{} wrong on clustered input", proto.name());
+    }
+}
+
+#[test]
+fn extreme_small_parameters() {
+    // k = 1 and tiny universes must work across the catalogue.
+    for (n, k) in [(2u64, 1u64), (4, 2), (16, 4)] {
+        let spec = ProblemSpec::new(n, k);
+        let s: ElementSet = (0..k).collect();
+        let t: ElementSet = (k - 1..2 * k - 1).filter(|&x| x < n).take(k as usize).collect();
+        let pair = InputPair { s: s.clone(), t: t.clone() };
+        let truth = s.intersection(&t);
+        for choice in ProtocolChoice::all(2) {
+            let proto = choice.build(spec);
+            let run = execute(proto.as_ref(), spec, &pair, 3).unwrap();
+            assert!(
+                run.matches(&truth),
+                "{} wrong on n={n} k={k}",
+                proto.name()
+            );
+        }
+    }
+}
