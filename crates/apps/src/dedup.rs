@@ -130,7 +130,9 @@ impl<P: SetIntersection> DedupProtocol<P> {
             .collect();
         let set: ElementSet = fingerprints.iter().copied().collect();
         let spec = ProblemSpec::new(M61, capacity.max(1));
-        let matched = self.inner.run(chan, &coins.fork("dedup"), side, spec, &set)?;
+        let matched = self
+            .inner
+            .run(chan, &coins.fork("dedup"), side, spec, &set)?;
         let duplicated = fingerprints
             .iter()
             .enumerate()

@@ -171,7 +171,9 @@ impl<P: SetIntersection> JoinProtocol<P> {
         let keys = table.key_set();
         spec.validate(&keys).map_err(ProtocolError::InvalidInput)?;
         // Phase 1: key intersection at communication-optimal cost.
-        let matched = self.inner.run(chan, &coins.fork("join"), side, spec, &keys)?;
+        let matched = self
+            .inner
+            .run(chan, &coins.fork("join"), side, spec, &keys)?;
 
         // Phase 2: exchange payloads of matching rows only, in key order.
         let mut msg = BitBuf::new();
@@ -226,7 +228,11 @@ mod tests {
         spec: ProblemSpec,
         left: &Table,
         right: &Table,
-    ) -> (Vec<JoinedRow>, Vec<JoinedRow>, intersect_comm::stats::CostReport) {
+    ) -> (
+        Vec<JoinedRow>,
+        Vec<JoinedRow>,
+        intersect_comm::stats::CostReport,
+    ) {
         let proto = JoinProtocol::default();
         let out = run_two_party(
             &RunConfig::with_seed(seed),
@@ -303,8 +309,14 @@ mod tests {
         }
         // Insert 3 shared keys.
         for key in [7u64, 8, 9] {
-            left.insert(Row { key, fields: vec![1, 2, 3, 4] });
-            right.insert(Row { key, fields: vec![5, 6, 7, 8] });
+            left.insert(Row {
+                key,
+                fields: vec![1, 2, 3, 4],
+            });
+            right.insert(Row {
+                key,
+                fields: vec![5, 6, 7, 8],
+            });
         }
         let (a, _, report) = run_join(4, spec, &left, &right);
         assert_eq!(a.len(), 3);
@@ -328,8 +340,14 @@ mod tests {
     fn table_semantics() {
         let mut t = Table::new();
         assert!(t.is_empty());
-        t.insert(Row { key: 5, fields: vec![1] });
-        let old = t.insert(Row { key: 5, fields: vec![2] });
+        t.insert(Row {
+            key: 5,
+            fields: vec![1],
+        });
+        let old = t.insert(Row {
+            key: 5,
+            fields: vec![2],
+        });
         assert_eq!(old, Some(vec![1]));
         assert_eq!(t.len(), 1);
         assert_eq!(t.get(5), Some(&[2u64][..]));

@@ -161,8 +161,8 @@ impl<P: SetIntersection> SimilarityProtocol<P> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use intersect_core::sets::InputPair;
     use intersect_comm::runner::{run_two_party, RunConfig};
+    use intersect_core::sets::InputPair;
     use rand::SeedableRng;
     use rand_chacha::ChaCha8Rng;
 
@@ -171,7 +171,11 @@ mod tests {
         spec: ProblemSpec,
         s: &ElementSet,
         t: &ElementSet,
-    ) -> (SetStatistics, SetStatistics, intersect_comm::stats::CostReport) {
+    ) -> (
+        SetStatistics,
+        SetStatistics,
+        intersect_comm::stats::CostReport,
+    ) {
         let proto = SimilarityProtocol::default();
         let out = run_two_party(
             &RunConfig::with_seed(seed),

@@ -101,7 +101,9 @@ impl JaccardSketch {
         }
     }
 
-    fn decode_sketch(r: &mut intersect_comm::bits::BitReader<'_>) -> Result<Vec<u64>, ProtocolError> {
+    fn decode_sketch(
+        r: &mut intersect_comm::bits::BitReader<'_>,
+    ) -> Result<Vec<u64>, ProtocolError> {
         let count = get_gamma0(r)?;
         let b = get_gamma0(r)? as usize;
         let mut out = Vec::with_capacity(count as usize);
@@ -186,7 +188,11 @@ impl JaccardSketch {
         };
         let total = (size_a + size_b) as f64;
         // |S∩T| = J/(1+J) · (|S|+|T|);  |S∪T| = (|S|+|T|) / (1+J).
-        let inter = if total == 0.0 { 0.0 } else { j / (1.0 + j) * total };
+        let inter = if total == 0.0 {
+            0.0
+        } else {
+            j / (1.0 + j) * total
+        };
         SketchEstimate {
             jaccard: j,
             intersection_size: inter,
@@ -200,8 +206,8 @@ impl JaccardSketch {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use intersect_core::sets::InputPair;
     use intersect_comm::runner::{run_two_party, RunConfig};
+    use intersect_core::sets::InputPair;
     use rand::SeedableRng;
     use rand_chacha::ChaCha8Rng;
 

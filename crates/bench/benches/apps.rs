@@ -4,10 +4,10 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use intersect_apps::join::{JoinProtocol, Row, Table};
 use intersect_apps::similarity::SimilarityProtocol;
 use intersect_apps::sketch::JaccardSketch;
-use intersect_core::api::execute;
-use intersect_core::reconcile::IbltReconcile;
 use intersect_bench::workload::Workload;
 use intersect_comm::runner::{run_two_party, RunConfig, Side};
+use intersect_core::api::execute;
+use intersect_core::reconcile::IbltReconcile;
 
 fn bench_apps(c: &mut Criterion) {
     let mut group = c.benchmark_group("apps");
@@ -29,12 +29,18 @@ fn bench_apps(c: &mut Criterion) {
         let left: Table = pair
             .s
             .iter()
-            .map(|key| Row { key, fields: vec![key * 3, key * 7] })
+            .map(|key| Row {
+                key,
+                fields: vec![key * 3, key * 7],
+            })
             .collect();
         let right: Table = pair
             .t
             .iter()
-            .map(|key| Row { key, fields: vec![key + 1] })
+            .map(|key| Row {
+                key,
+                fields: vec![key + 1],
+            })
             .collect();
         let join = JoinProtocol::default();
         group.bench_with_input(BenchmarkId::new("join", k), &k, |b, _| {

@@ -22,9 +22,7 @@ fn bench_disjointness(c: &mut Criterion) {
             .unwrap()
         };
         let hw = HwDisjointness::default();
-        group.bench_with_input(BenchmarkId::new("hw07", k), &k, |b, _| {
-            b.iter(|| run(&hw))
-        });
+        group.bench_with_input(BenchmarkId::new("hw07", k), &k, |b, _| b.iter(|| run(&hw)));
         for r in [2u32, 3] {
             let st = SparseDisjointness::new(r);
             group.bench_with_input(BenchmarkId::new(format!("st13_r{r}"), k), &k, |b, _| {

@@ -15,11 +15,9 @@ fn bench_tree(c: &mut Criterion) {
         let pair = w.pair(0);
         for r in [1u32, 2, 4] {
             let proto = TreeProtocol::new(r);
-            group.bench_with_input(
-                BenchmarkId::new(format!("r{r}"), k),
-                &k,
-                |b, _| b.iter(|| execute(&proto, w.spec, &pair, 1).unwrap()),
-            );
+            group.bench_with_input(BenchmarkId::new(format!("r{r}"), k), &k, |b, _| {
+                b.iter(|| execute(&proto, w.spec, &pair, 1).unwrap())
+            });
         }
         let star = TreeProtocol::log_star(k);
         group.bench_with_input(BenchmarkId::new("log_star", k), &k, |b, _| {

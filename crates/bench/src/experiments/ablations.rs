@@ -19,7 +19,11 @@ pub fn a1(quick: bool) -> Vec<Table> {
         &["k", "r", "degrees", "bits/k", "failures"],
     );
     let trials = if quick { 5 } else { 15 };
-    let ks: Vec<u64> = if quick { vec![1 << 10] } else { vec![1 << 10, 1 << 12] };
+    let ks: Vec<u64> = if quick {
+        vec![1 << 10]
+    } else {
+        vec![1 << 10, 1 << 12]
+    };
     for k in ks {
         for r in [2u32, 3] {
             for (label, policy) in [
@@ -56,11 +60,7 @@ pub fn a2(quick: bool) -> Vec<Table> {
     let k = if quick { 256usize } else { 1024 };
     let trials = if quick { 3 } else { 10 };
     let sqrt_k = (k as f64).sqrt().ceil() as usize;
-    for (label, block) in [
-        ("4", 4usize),
-        ("√k", sqrt_k),
-        ("k", k),
-    ] {
+    for (label, block) in [("4", 4usize), ("√k", sqrt_k), ("k", k)] {
         let mut bits = 0f64;
         let mut rounds = 0f64;
         let mut wrong = 0usize;
@@ -76,7 +76,11 @@ pub fn a2(quick: bool) -> Vec<Table> {
                 .map(|i| {
                     let mut b = BitBuf::new();
                     // Half equal, half unequal.
-                    let v = if i % 2 == 0 { i as u64 } else { i as u64 + (1 << 20) };
+                    let v = if i % 2 == 0 {
+                        i as u64
+                    } else {
+                        i as u64 + (1 << 20)
+                    };
                     b.push_bits(v, 32);
                     b
                 })
@@ -165,7 +169,10 @@ pub fn a4(quick: bool) -> Vec<Table> {
         table.push_row(vec![
             k.to_string(),
             c.to_string(),
-            format!("2^{}", (proto.reduced_universe(k) as f64).log2().round() as u32),
+            format!(
+                "2^{}",
+                (proto.reduced_universe(k) as f64).log2().round() as u32
+            ),
             fmt_per(s.bits_per(k)),
             fmt_failures(s.failures, s.trials),
         ]);

@@ -29,7 +29,11 @@ pub fn e11(quick: bool) -> Vec<Table> {
         ],
     );
     let trials = if quick { 3 } else { 10 };
-    let ks: Vec<u64> = if quick { vec![256] } else { vec![256, 1024, 4096] };
+    let ks: Vec<u64> = if quick {
+        vec![256]
+    } else {
+        vec![256, 1024, 4096]
+    };
     for k in ks.clone() {
         for log_ratio in [10u32, 30] {
             let n = k << log_ratio;
@@ -93,10 +97,24 @@ pub fn e11(quick: bool) -> Vec<Table> {
         let mut right = DbTable::new();
         for i in 0..rows {
             let shared = i < matches;
-            let lkey = if shared { i as u64 } else { (1 << 20) + rng.gen_range(0..1u64 << 39) };
-            let rkey = if shared { i as u64 } else { (1 << 39) + rng.gen_range(0..1u64 << 38) };
-            left.insert(Row { key: lkey, fields: vec![rng.gen(), rng.gen()] });
-            right.insert(Row { key: rkey, fields: vec![rng.gen()] });
+            let lkey = if shared {
+                i as u64
+            } else {
+                (1 << 20) + rng.gen_range(0..1u64 << 39)
+            };
+            let rkey = if shared {
+                i as u64
+            } else {
+                (1 << 39) + rng.gen_range(0..1u64 << 38)
+            };
+            left.insert(Row {
+                key: lkey,
+                fields: vec![rng.gen(), rng.gen()],
+            });
+            right.insert(Row {
+                key: rkey,
+                fields: vec![rng.gen()],
+            });
         }
         let proto = JoinProtocol::default();
         let out = run_two_party(
@@ -173,8 +191,7 @@ pub fn e13(quick: bool) -> Vec<Table> {
             let mut i_err = 0f64;
             for t in 0..trials {
                 let pair = w.pair(t as u64);
-                let truth_j =
-                    truth_overlap / (pair.s.union(&pair.t).len() as f64);
+                let truth_j = truth_overlap / (pair.s.union(&pair.t).len() as f64);
                 let proto = JaccardSketch::new(s);
                 let out = run_two_party(
                     &RunConfig::with_seed(0x130 + t as u64),

@@ -1,0 +1,68 @@
+//! E16: the session engine under load — throughput vs worker-pool size.
+
+use crate::table::{fmt_bits, Table};
+use intersect_core::sets::ProblemSpec;
+use intersect_engine::prelude::*;
+use std::time::Instant;
+
+/// A fixed mixed-shape batch; identical across pool sizes so the
+/// deterministic columns must come out identical row to row.
+fn batch(sessions: u64) -> Vec<SessionRequest> {
+    let shapes = [
+        (1u64 << 18, 16u64),
+        (1 << 18, 32),
+        (1 << 20, 64),
+        (1 << 20, 32),
+    ];
+    (0..sessions)
+        .map(|id| {
+            let (n, k) = shapes[(id % shapes.len() as u64) as usize];
+            let mut req = SessionRequest::new(id, ProblemSpec::new(n, k), (k / 3) as usize);
+            req.seed = id.wrapping_mul(0xE16) + 1;
+            req
+        })
+        .collect()
+}
+
+/// E16 — serving a fixed batch over pools of increasing size: wall-clock
+/// throughput changes with the pool, while the deterministic aggregate
+/// (sessions completed, total bits) is invariant.
+pub fn e16(quick: bool) -> Vec<Table> {
+    let sessions = if quick { 120 } else { 600 };
+    let mut table = Table::new(
+        "E16 — session-engine throughput vs workers (claim: a bounded worker \
+         pool scales concurrent sessions; the deterministic per-session costs \
+         are invariant under pool size)",
+        &[
+            "workers",
+            "sessions",
+            "completed",
+            "total bits",
+            "wall ms",
+            "sessions/s",
+            "p50 µs",
+            "p99 µs",
+        ],
+    );
+    for workers in [2usize, 4, 8] {
+        let engine = Engine::start(EngineConfig::new(workers));
+        let start = Instant::now();
+        for req in batch(sessions) {
+            engine.submit(req).expect("engine is accepting");
+        }
+        let report = engine.finish();
+        let wall = start.elapsed();
+        let m = &report.snapshot.metrics;
+        table.push_row(vec![
+            workers.to_string(),
+            sessions.to_string(),
+            m.completed.to_string(),
+            fmt_bits(m.total_bits as f64),
+            format!("{:.0}", wall.as_secs_f64() * 1e3),
+            format!("{:.0}", sessions as f64 / wall.as_secs_f64()),
+            report.snapshot.latency.p50_micros.to_string(),
+            report.snapshot.latency.p99_micros.to_string(),
+        ]);
+    }
+    vec![table]
+}

@@ -13,7 +13,11 @@ fn string_of(v: u64, bits: usize) -> BitBuf {
     let mut x = v.wrapping_mul(0x9e3779b97f4a7c15);
     while left > 0 {
         let take = left.min(64);
-        let val = if take == 64 { x } else { x & ((1u64 << take) - 1) };
+        let val = if take == 64 {
+            x
+        } else {
+            x & ((1u64 << take) - 1)
+        };
         b.push_bits(val, take);
         x = x.rotate_left(29) ^ 0xbf58476d1ce4e5b9;
         left -= take;
@@ -51,10 +55,8 @@ pub fn e7(quick: bool) -> Vec<Table> {
                 let mut wrong = 0usize;
                 for t in 0..trials {
                     let mut rng = ChaCha8Rng::seed_from_u64(0xE7 ^ (t as u64) << 8 ^ k as u64);
-                    let xs: Vec<BitBuf> =
-                        (0..k).map(|i| string_of(i as u64, n_bits)).collect();
-                    let equal_mask: Vec<bool> =
-                        (0..k).map(|_| rng.gen_bool(frac)).collect();
+                    let xs: Vec<BitBuf> = (0..k).map(|i| string_of(i as u64, n_bits)).collect();
+                    let equal_mask: Vec<bool> = (0..k).map(|_| rng.gen_bool(frac)).collect();
                     let ys: Vec<BitBuf> = (0..k)
                         .map(|i| {
                             if equal_mask[i] {

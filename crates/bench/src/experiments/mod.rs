@@ -3,6 +3,7 @@
 
 pub mod ablations;
 pub mod apps_exp;
+pub mod engine_exp;
 pub mod equality_exp;
 pub mod multiparty_exp;
 pub mod two_party;
@@ -104,6 +105,11 @@ pub fn all() -> Vec<Experiment> {
             run: two_party::e15,
         },
         Experiment {
+            id: "E16",
+            claim: "Engine: worker pool scales session throughput; per-session costs invariant",
+            run: engine_exp::e16,
+        },
+        Experiment {
             id: "A1",
             claim: "Ablation: iterated-log degree schedule vs uniform tree",
             run: ablations::a1,
@@ -139,8 +145,8 @@ mod tests {
     fn registry_covers_all_planned_ids() {
         let ids: Vec<&str> = all().iter().map(|e| e.id).collect();
         for want in [
-            "E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "E12", "E13", "E14", "E15",
-            "A1", "A2", "A3", "A4",
+            "E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "E12", "E13",
+            "E14", "E15", "E16", "A1", "A2", "A3", "A4",
         ] {
             assert!(ids.contains(&want), "missing {want}");
         }

@@ -96,8 +96,7 @@ pub fn e2(quick: bool) -> Vec<Table> {
     };
     for k in ks {
         let w = Workload::new(1 << 40, k, 0.5, 0xE2);
-        let s =
-            measure_intersection(&TreeProtocol::log_star(k), &w, trials(quick)).unwrap();
+        let s = measure_intersection(&TreeProtocol::log_star(k), &w, trials(quick)).unwrap();
         table.push_row(vec![
             k.to_string(),
             log_star(k).to_string(),
@@ -115,14 +114,7 @@ pub fn e3(quick: bool) -> Vec<Table> {
     let mut table = Table::new(
         "E3 — Theorem 3.1: sqrt protocol (shared vs constructive private coins; \
          claim: bits/k flat, rounds = O(√k), private-coin overhead O(log k + loglog n))",
-        &[
-            "k",
-            "coins",
-            "bits/k",
-            "mean rounds",
-            "√k",
-            "failures",
-        ],
+        &["k", "coins", "bits/k", "mean rounds", "√k", "failures"],
     );
     for k in k_sweep(quick) {
         let w = Workload::new(1 << 40, k, 0.5, 0xE3);
@@ -214,8 +206,7 @@ pub fn e5(quick: bool) -> Vec<Table> {
         for overlap in [0.0, 0.5] {
             let w = Workload::new(1 << 40, k, overlap, 0xE5);
             let d = measure_disjointness(&HwDisjointness::default(), &w, trials(quick)).unwrap();
-            let i =
-                measure_intersection(&TreeProtocol::log_star(k), &w, trials(quick)).unwrap();
+            let i = measure_intersection(&TreeProtocol::log_star(k), &w, trials(quick)).unwrap();
             table.push_row(vec![
                 k.to_string(),
                 format!("{overlap:.1}"),
@@ -236,14 +227,7 @@ pub fn e6(quick: bool) -> Vec<Table> {
     let mut table = Table::new(
         "E6 — r-round trade-off vs the ST13 curve (claim: tree INT cost tracks the \
          DISJ lower-bound shape k·log^(r) k within a constant factor at every r)",
-        &[
-            "k",
-            "r",
-            "log^(r) k",
-            "st13 bits/k",
-            "tree bits/k",
-            "ratio",
-        ],
+        &["k", "r", "log^(r) k", "st13 bits/k", "tree bits/k", "ratio"],
     );
     let ks = if quick {
         vec![1 << 10]
@@ -253,8 +237,7 @@ pub fn e6(quick: bool) -> Vec<Table> {
     for k in ks {
         for r in 1..=4u32 {
             let w = Workload::new(1 << 40, k, 0.0, 0xE6);
-            let d =
-                measure_disjointness(&SparseDisjointness::new(r), &w, trials(quick)).unwrap();
+            let d = measure_disjointness(&SparseDisjointness::new(r), &w, trials(quick)).unwrap();
             let i = measure_intersection(&TreeProtocol::new(r), &w, trials(quick)).unwrap();
             table.push_row(vec![
                 k.to_string(),
@@ -276,15 +259,13 @@ pub fn e8(quick: bool) -> Vec<Table> {
     let mut table = Table::new(
         "E8 — Fact 2.1: k equality instances via INT vs direct amortized equality \
          (claim: INT matches O(k) bits while cutting rounds from O(√k) to O(log* k))",
-        &[
-            "k",
-            "method",
-            "bits/k",
-            "mean rounds",
-            "errors",
-        ],
+        &["k", "method", "bits/k", "mean rounds", "errors"],
     );
-    let ks = if quick { vec![256usize] } else { vec![256, 1024, 4096] };
+    let ks = if quick {
+        vec![256usize]
+    } else {
+        vec![256, 1024, 4096]
+    };
     let trial_count = trials(quick).min(10);
     for k in ks {
         let mut via_bits = 0f64;
@@ -298,7 +279,7 @@ pub fn e8(quick: bool) -> Vec<Table> {
             let xs: Vec<u64> = (0..k).map(|_| rng.gen_range(0..1u64 << 30)).collect();
             let ys: Vec<u64> = xs
                 .iter()
-                .map(|&x| if rng.gen_bool(0.5) { x } else { x ^ 0x5a5a5a } )
+                .map(|&x| if rng.gen_bool(0.5) { x } else { x ^ 0x5a5a5a })
                 .collect();
             let truth: Vec<bool> = xs.iter().zip(&ys).map(|(a, b)| a == b).collect();
 
@@ -306,22 +287,13 @@ pub fn e8(quick: bool) -> Vec<Table> {
             let tree = TreeProtocol::log_star(k as u64);
             let out = run_two_party(
                 &RunConfig::with_seed(1000 + t as u64),
-                |chan, coins| {
-                    equalities_via_intersection(&tree, chan, coins, Side::Alice, &xs, 30)
-                },
-                |chan, coins| {
-                    equalities_via_intersection(&tree, chan, coins, Side::Bob, &ys, 30)
-                },
+                |chan, coins| equalities_via_intersection(&tree, chan, coins, Side::Alice, &xs, 30),
+                |chan, coins| equalities_via_intersection(&tree, chan, coins, Side::Bob, &ys, 30),
             )
             .unwrap();
             via_bits += out.report.total_bits() as f64;
             via_rounds += out.report.rounds as f64;
-            via_errors += out
-                .alice
-                .iter()
-                .zip(&truth)
-                .filter(|(a, b)| a != b)
-                .count();
+            via_errors += out.alice.iter().zip(&truth).filter(|(a, b)| a != b).count();
 
             // Direct amortized equality (Theorem 3.2 engine).
             let encode = |v: u64| {
@@ -340,12 +312,7 @@ pub fn e8(quick: bool) -> Vec<Table> {
             .unwrap();
             direct_bits += out.report.total_bits() as f64;
             direct_rounds += out.report.rounds as f64;
-            direct_errors += out
-                .alice
-                .iter()
-                .zip(&truth)
-                .filter(|(a, b)| a != b)
-                .count();
+            direct_errors += out.alice.iter().zip(&truth).filter(|(a, b)| a != b).count();
         }
         let denom = (trial_count * k) as f64;
         table.push_row(vec![
@@ -404,7 +371,6 @@ pub fn e12(quick: bool) -> Vec<Table> {
     }
     vec![table]
 }
-
 
 /// E14 — worst-case optimality vs input-adaptivity: the paper's
 /// cardinality-proportional `O(k)` bound against difference-proportional
@@ -482,8 +448,7 @@ pub fn e15(quick: bool) -> Vec<Table> {
         let w = Workload::new(1 << 40, k, 0.5, 0xE15);
         for r in 2..=4u32 {
             let plain = measure_intersection(&TreeProtocol::new(r), &w, trials(quick)).unwrap();
-            let piped =
-                measure_intersection(&PipelinedTree::new(r), &w, trials(quick)).unwrap();
+            let piped = measure_intersection(&PipelinedTree::new(r), &w, trials(quick)).unwrap();
             table.push_row(vec![
                 k.to_string(),
                 r.to_string(),

@@ -2,8 +2,8 @@
 
 use crate::workload::Workload;
 use intersect_comm::error::ProtocolError;
-use intersect_core::api::{execute, SetDisjointness, SetIntersection};
 use intersect_comm::runner::{run_two_party, RunConfig, Side};
+use intersect_core::api::{execute, SetDisjointness, SetIntersection};
 
 /// Aggregate cost statistics over repeated trials.
 #[derive(Debug, Clone, Copy, Default, PartialEq)]
@@ -64,7 +64,12 @@ pub fn measure_intersection(
     for t in 0..trials {
         let pair = workload.pair(t as u64);
         let truth = pair.ground_truth();
-        let run = execute(protocol, workload.spec, &pair, workload.seed ^ (t as u64) << 17)?;
+        let run = execute(
+            protocol,
+            workload.spec,
+            &pair,
+            workload.seed ^ (t as u64) << 17,
+        )?;
         sample.record(
             run.report.total_bits(),
             run.report.rounds,

@@ -1,9 +1,10 @@
 //! Markdown table rendering for experiment reports.
 
+use serde::{Deserialize, Serialize};
 use std::fmt::Write as _;
 
 /// A report table: a caption, a header row, and data rows.
-#[derive(Debug, Clone, Default, PartialEq, Eq)]
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct Table {
     /// The experiment id and claim, e.g. `"E1 — Theorem 1.1 …"`.
     pub caption: String,

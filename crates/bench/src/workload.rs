@@ -39,7 +39,11 @@ impl Workload {
 
     /// Generates the input pair for trial `trial`.
     pub fn pair(&self, trial: u64) -> InputPair {
-        let mut rng = ChaCha8Rng::seed_from_u64(self.seed.wrapping_add(trial).wrapping_mul(0x9e3779b97f4a7c15));
+        let mut rng = ChaCha8Rng::seed_from_u64(
+            self.seed
+                .wrapping_add(trial)
+                .wrapping_mul(0x9e3779b97f4a7c15),
+        );
         InputPair::random_with_overlap(&mut rng, self.spec, self.size, self.overlap_count())
     }
 
@@ -49,7 +53,12 @@ impl Workload {
     /// per-player slices of the universe).
     pub fn multiparty_sets(&self, m: usize, common: usize, trial: u64) -> Vec<ElementSet> {
         assert!(common <= self.size);
-        let mut rng = ChaCha8Rng::seed_from_u64(self.seed.wrapping_add(trial).wrapping_mul(0xc2b2ae3d27d4eb4f) ^ m as u64);
+        let mut rng = ChaCha8Rng::seed_from_u64(
+            self.seed
+                .wrapping_add(trial)
+                .wrapping_mul(0xc2b2ae3d27d4eb4f)
+                ^ m as u64,
+        );
         let n = self.spec.n;
         let core_zone = n / (m as u64 + 1);
         let core = ElementSet::random(&mut rng, core_zone, common);
@@ -57,9 +66,7 @@ impl Workload {
             .map(|p| {
                 let lo = core_zone * (p as u64 + 1);
                 let private = ElementSet::random(&mut rng, core_zone.max(1), self.size - common);
-                core.iter()
-                    .chain(private.iter().map(|x| lo + x))
-                    .collect()
+                core.iter().chain(private.iter().map(|x| lo + x)).collect()
             })
             .collect()
     }

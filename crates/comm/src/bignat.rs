@@ -176,7 +176,11 @@ impl BigNat {
         while written < width {
             let take = (width - written).min(64);
             let limb = self.limbs.get(limb_idx).copied().unwrap_or(0);
-            let value = if take == 64 { limb } else { limb & ((1u64 << take) - 1) };
+            let value = if take == 64 {
+                limb
+            } else {
+                limb & ((1u64 << take) - 1)
+            };
             buf.push_bits(value, take);
             written += take;
             limb_idx += 1;
@@ -397,8 +401,10 @@ mod tests {
     #[test]
     fn display_decimal() {
         assert_eq!(BigNat::zero().to_string(), "0");
-        assert_eq!(nat(1234567890123456789012345678901234567).to_string(),
-                   "1234567890123456789012345678901234567");
+        assert_eq!(
+            nat(1234567890123456789012345678901234567).to_string(),
+            "1234567890123456789012345678901234567"
+        );
     }
 
     #[test]

@@ -223,7 +223,10 @@ mod tests {
         let (mut a, mut b) = Endpoint::pair(Some(16), Duration::from_secs(5));
         a.send(msg(10)).unwrap();
         let err = a.send(msg(10)).unwrap_err();
-        assert!(matches!(err, ProtocolError::BudgetExceeded { limit_bits: 16 }));
+        assert!(matches!(
+            err,
+            ProtocolError::BudgetExceeded { limit_bits: 16 }
+        ));
         // Receiver also trips its own budget once it has seen too much.
         b.recv().unwrap();
         let _ = b.recv(); // second frame was sent before the error; may exceed

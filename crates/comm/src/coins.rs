@@ -77,7 +77,8 @@ impl CoinSource {
                 word |= (b as u64) << (8 * j);
             }
             let lane = i % 4;
-            state[lane] = splitmix(state[lane] ^ word ^ (i as u64).wrapping_mul(0xff51_afd7_ed55_8ccd));
+            state[lane] =
+                splitmix(state[lane] ^ word ^ (i as u64).wrapping_mul(0xff51_afd7_ed55_8ccd));
         }
         // Diffuse across lanes so labels differing in one chunk affect all.
         for round in 0..2u64 {

@@ -106,7 +106,10 @@ pub fn get_delta(r: &mut BitReader<'_>) -> Result<u64, CodecError> {
 pub fn put_rice(buf: &mut BitBuf, v: u64, b: usize) {
     assert!(b < 64, "Rice parameter must be below 64");
     let q = v >> b;
-    assert!(q < 1 << 20, "Rice quotient unreasonably large; wrong parameter?");
+    assert!(
+        q < 1 << 20,
+        "Rice quotient unreasonably large; wrong parameter?"
+    );
     for _ in 0..q {
         buf.push_bit(true);
     }
@@ -613,7 +616,7 @@ mod tests {
         let set: Vec<u64> = (0..k).map(|i| i * 7 + 3).collect();
         let buf = codec.encode(&set);
         let optimal = binomial(n, k).bit_len(); // ≈ log2 C(64,8) ≈ 32.9 -> 33
-        // size header (4 bits) + rank ≤ optimal + 1
+                                                // size header (4 bits) + rank ≤ optimal + 1
         assert!(buf.len() <= optimal + 4 + 1, "{} vs {}", buf.len(), optimal);
     }
 
@@ -703,7 +706,12 @@ mod tests {
     #[test]
     fn elias_fano_edge_cases() {
         let codec = EliasFanoSubsetCodec::new(10, 10);
-        for set in [vec![], vec![0u64], vec![9u64], (0..10u64).collect::<Vec<_>>()] {
+        for set in [
+            vec![],
+            vec![0u64],
+            vec![9u64],
+            (0..10u64).collect::<Vec<_>>(),
+        ] {
             let buf = codec.encode(&set);
             assert_eq!(codec.decode(&mut buf.reader()).unwrap(), set, "{set:?}");
         }

@@ -65,6 +65,8 @@ pub mod prelude {
     pub use crate::coins::CoinSource;
     pub use crate::error::{CodecError, ProtocolError};
     pub use crate::net::{run_network, NetOutcome, NetworkConfig, PlayerCtx};
-    pub use crate::runner::{run_two_party, RunConfig, RunOutcome, Side};
+    pub use crate::runner::{
+        assemble_report, linked_pair, run_two_party, RunConfig, RunOutcome, Side,
+    };
     pub use crate::stats::{ChannelStats, CostReport, NetworkReport};
 }

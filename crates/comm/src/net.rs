@@ -103,7 +103,9 @@ impl Chan for Link {
         let bits = frame.payload.len() as u64;
         self.stats.bits_received += bits;
         self.stats.messages_received += 1;
-        self.counters.bits_received.fetch_add(bits, Ordering::Relaxed);
+        self.counters
+            .bits_received
+            .fetch_add(bits, Ordering::Relaxed);
         self.counters
             .messages_received
             .fetch_add(1, Ordering::Relaxed);
@@ -319,12 +321,10 @@ where
     assert!(m >= 1, "network needs at least one player");
 
     // Build the full mesh: one channel per ordered pair.
-    let mut txs: Vec<Vec<Option<Sender<NetFrame>>>> = (0..m)
-        .map(|_| (0..m).map(|_| None).collect())
-        .collect();
-    let mut rxs: Vec<Vec<Option<Receiver<NetFrame>>>> = (0..m)
-        .map(|_| (0..m).map(|_| None).collect())
-        .collect();
+    let mut txs: Vec<Vec<Option<Sender<NetFrame>>>> =
+        (0..m).map(|_| (0..m).map(|_| None).collect()).collect();
+    let mut rxs: Vec<Vec<Option<Receiver<NetFrame>>>> =
+        (0..m).map(|_| (0..m).map(|_| None).collect()).collect();
     for a in 0..m {
         for b in 0..m {
             if a == b {
@@ -337,8 +337,9 @@ where
     }
 
     let coins = CoinSource::from_seed(cfg.seed);
-    let counters: Vec<Arc<PlayerCounters>> =
-        (0..m).map(|_| Arc::new(PlayerCounters::default())).collect();
+    let counters: Vec<Arc<PlayerCounters>> = (0..m)
+        .map(|_| Arc::new(PlayerCounters::default()))
+        .collect();
     let mut ctxs: Vec<PlayerCtx> = Vec::with_capacity(m);
     for (id, (tx_row, rx_row)) in txs.into_iter().zip(rxs).enumerate() {
         let links: Vec<Option<Link>> = tx_row
@@ -400,8 +401,7 @@ where
         match res {
             Ok(v) => outputs.push(v),
             Err(e) => {
-                let secondary =
-                    matches!(e, ProtocolError::ChannelClosed | ProtocolError::Timeout);
+                let secondary = matches!(e, ProtocolError::ChannelClosed | ProtocolError::Timeout);
                 if !secondary && primary_err.is_none() {
                     primary_err = Some(e.clone());
                 }
@@ -495,8 +495,7 @@ mod tests {
         // of ONE ping-pong series (10), not four of them (40).
         let out = run_network(&NetworkConfig::new(5, 0), |ctx| {
             if ctx.id() == 0 {
-                let links: Vec<(usize, Link)> =
-                    (1..5).map(|p| (p, ctx.take_link(p))).collect();
+                let links: Vec<(usize, Link)> = (1..5).map(|p| (p, ctx.take_link(p))).collect();
                 let done: Vec<(usize, Link)> = std::thread::scope(|s| {
                     links
                         .into_iter()

@@ -79,6 +79,50 @@ impl Default for RunConfig {
     }
 }
 
+/// Builds the substrate of one two-party session: a connected endpoint
+/// pair and the common random string, from one configuration.
+///
+/// This is the single place where a session's transport and randomness
+/// are constructed. [`run_two_party`] uses it, and so does any harness
+/// that schedules the two halves itself (e.g. a worker pool running many
+/// sessions concurrently): going through the same constructor guarantees
+/// that a scheduled session is bit-for-bit identical to a dedicated
+/// [`run_two_party`] call with the same config.
+///
+/// # Examples
+///
+/// ```
+/// use intersect_comm::runner::{linked_pair, RunConfig};
+/// use intersect_comm::chan::Chan;
+/// use intersect_comm::bits::BitBuf;
+///
+/// let (mut a, mut b, coins) = linked_pair(&RunConfig::with_seed(9));
+/// let mut m = BitBuf::new();
+/// m.push_bits(0b110, 3);
+/// a.send(m)?;
+/// assert_eq!(b.recv()?.len(), 3);
+/// assert_eq!(coins, intersect_comm::coins::CoinSource::from_seed(9));
+/// # Ok::<(), intersect_comm::error::ProtocolError>(())
+/// ```
+pub fn linked_pair(cfg: &RunConfig) -> (Endpoint, Endpoint, CoinSource) {
+    let (ep_a, ep_b) = Endpoint::pair(cfg.bit_budget, cfg.timeout);
+    (ep_a, ep_b, CoinSource::from_seed(cfg.seed))
+}
+
+/// Assembles the cost of one two-party run from the two endpoints' final
+/// counters, exactly as [`run_two_party`] reports it.
+pub fn assemble_report(
+    stats_alice: crate::stats::ChannelStats,
+    stats_bob: crate::stats::ChannelStats,
+) -> CostReport {
+    CostReport {
+        bits_alice: stats_alice.bits_sent,
+        bits_bob: stats_bob.bits_sent,
+        messages: stats_alice.messages_sent + stats_bob.messages_sent,
+        rounds: stats_alice.clock.max(stats_bob.clock),
+    }
+}
+
 /// The result of a successful two-party run.
 #[derive(Debug, Clone)]
 pub struct RunOutcome<A, B> {
@@ -139,8 +183,7 @@ where
     A: Send,
     B: Send,
 {
-    let (mut ep_a, mut ep_b) = Endpoint::pair(cfg.bit_budget, cfg.timeout);
-    let coins = CoinSource::from_seed(cfg.seed);
+    let (mut ep_a, mut ep_b, coins) = linked_pair(cfg);
     let coins_b = coins.clone();
 
     let (res_a, res_b, stats_a, stats_b) = std::thread::scope(|scope| {
@@ -157,12 +200,7 @@ where
         (res_a, res_b, stats_a, stats_b)
     });
 
-    let report = CostReport {
-        bits_alice: stats_a.bits_sent,
-        bits_bob: stats_b.bits_sent,
-        messages: stats_a.messages_sent + stats_b.messages_sent,
-        rounds: stats_a.clock.max(stats_b.clock),
-    };
+    let report = assemble_report(stats_a, stats_b);
 
     match (res_a, res_b) {
         (Ok(alice), Ok(bob)) => Ok(RunOutcome { alice, bob, report }),

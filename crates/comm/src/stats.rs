@@ -10,8 +10,10 @@
 //! correctly credits only *two* rounds to a stage in which many equality
 //! tests run "in parallel" inside one batched message each way.
 
+use serde::{Deserialize, Serialize};
+
 /// Per-endpoint communication counters.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct ChannelStats {
     /// Bits this endpoint sent.
     pub bits_sent: u64,
@@ -33,7 +35,7 @@ impl ChannelStats {
 }
 
 /// The cost of one complete two-party protocol execution.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct CostReport {
     /// Bits sent by Alice.
     pub bits_alice: u64,
@@ -64,7 +66,7 @@ impl CostReport {
 }
 
 /// The cost of one multi-party protocol execution.
-#[derive(Debug, Clone, Default, PartialEq, Eq)]
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct NetworkReport {
     /// Bits sent per player, indexed by player id.
     pub bits_sent: Vec<u64>,
@@ -148,6 +150,32 @@ mod tests {
         assert_eq!(r.total_bits(), 150);
         assert!((r.average_bits_per_player() - 50.0).abs() < 1e-9);
         assert_eq!(r.max_bits_per_player(), 120);
+    }
+
+    #[test]
+    fn reports_round_trip_through_serde() {
+        let r = CostReport {
+            bits_alice: 10,
+            bits_bob: 32,
+            messages: 3,
+            rounds: 3,
+        };
+        assert_eq!(CostReport::from_value(&r.to_value()), Ok(r));
+        let s = ChannelStats {
+            bits_sent: 1,
+            bits_received: 2,
+            messages_sent: 3,
+            messages_received: 4,
+            clock: 5,
+        };
+        assert_eq!(ChannelStats::from_value(&s.to_value()), Ok(s));
+        let n = NetworkReport {
+            bits_sent: vec![7, 8],
+            bits_received: vec![8, 7],
+            messages: 2,
+            rounds: 1,
+        };
+        assert_eq!(NetworkReport::from_value(&n.to_value()), Ok(n.clone()));
     }
 
     #[test]

@@ -148,7 +148,10 @@ mod tests {
         // The loose inner protocol should fail at least sometimes, or this
         // test isn't exercising the repair path. (It fails on a decent
         // fraction of seeds empirically.)
-        assert!(plain_failures > 0, "inner protocol never failed — weak test");
+        assert!(
+            plain_failures > 0,
+            "inner protocol never failed — weak test"
+        );
     }
 
     #[test]

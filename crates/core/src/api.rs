@@ -288,9 +288,7 @@ impl ProtocolChoice {
             ProtocolChoice::TreeLogStar => Box::new(TreeProtocol::log_star(spec.k)),
             ProtocolChoice::TreePipelined(r) => Box::new(PipelinedTree::new(r)),
             ProtocolChoice::Sqrt => Box::new(SqrtProtocol::default()),
-            ProtocolChoice::IbltReconcile => {
-                Box::new(crate::reconcile::IbltReconcile::default())
-            }
+            ProtocolChoice::IbltReconcile => Box::new(crate::reconcile::IbltReconcile::default()),
         }
     }
 
@@ -311,6 +309,58 @@ impl ProtocolChoice {
             }
         }
         v
+    }
+}
+
+impl std::fmt::Display for ProtocolChoice {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ProtocolChoice::Trivial => f.write_str("trivial"),
+            ProtocolChoice::OneRound => f.write_str("one-round"),
+            ProtocolChoice::Basic => f.write_str("basic"),
+            ProtocolChoice::Tree(r) => write!(f, "tree:{r}"),
+            ProtocolChoice::TreeLogStar => f.write_str("tree-log-star"),
+            ProtocolChoice::TreePipelined(r) => write!(f, "tree-pipelined:{r}"),
+            ProtocolChoice::Sqrt => f.write_str("sqrt"),
+            ProtocolChoice::IbltReconcile => f.write_str("iblt"),
+        }
+    }
+}
+
+impl std::str::FromStr for ProtocolChoice {
+    type Err = String;
+
+    /// Parses the names printed by [`Display`](std::fmt::Display):
+    /// `trivial`, `one-round`, `basic`, `tree:<r>`, `tree-log-star`,
+    /// `tree-pipelined:<r>`, `sqrt`, `iblt`. `tree` without a round
+    /// budget is accepted as an alias for `tree-log-star`.
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let rounds = |spec: &str| -> Result<u32, String> {
+            spec.parse::<u32>()
+                .ok()
+                .filter(|r| (1..=64).contains(r))
+                .ok_or_else(|| format!("bad round budget {spec:?} (want 1..=64)"))
+        };
+        match s {
+            "trivial" => Ok(ProtocolChoice::Trivial),
+            "one-round" => Ok(ProtocolChoice::OneRound),
+            "basic" => Ok(ProtocolChoice::Basic),
+            "tree" | "tree-log-star" => Ok(ProtocolChoice::TreeLogStar),
+            "sqrt" => Ok(ProtocolChoice::Sqrt),
+            "iblt" => Ok(ProtocolChoice::IbltReconcile),
+            other => {
+                if let Some(spec) = other.strip_prefix("tree-pipelined:") {
+                    Ok(ProtocolChoice::TreePipelined(rounds(spec)?))
+                } else if let Some(spec) = other.strip_prefix("tree:") {
+                    Ok(ProtocolChoice::Tree(rounds(spec)?))
+                } else {
+                    Err(format!(
+                        "unknown protocol {other:?}; expected trivial, one-round, basic, \
+                         tree:<r>, tree-log-star, tree-pipelined:<r>, sqrt, or iblt"
+                    ))
+                }
+            }
+        }
     }
 }
 
@@ -402,7 +452,25 @@ mod tests {
     fn names_are_informative() {
         let spec = ProblemSpec::new(1 << 20, 32);
         assert!(ProtocolChoice::Tree(3).build(spec).name().contains("r=3"));
-        assert!(ProtocolChoice::Trivial.build(spec).name().contains("trivial"));
+        assert!(ProtocolChoice::Trivial
+            .build(spec)
+            .name()
+            .contains("trivial"));
+    }
+
+    #[test]
+    fn protocol_names_round_trip_through_parse() {
+        for choice in ProtocolChoice::all(4) {
+            let parsed: ProtocolChoice = choice.to_string().parse().unwrap();
+            assert_eq!(parsed, choice, "via {:?}", choice.to_string());
+        }
+        assert_eq!(
+            "tree".parse::<ProtocolChoice>(),
+            Ok(ProtocolChoice::TreeLogStar)
+        );
+        assert!("tree:0".parse::<ProtocolChoice>().is_err());
+        assert!("tree:nope".parse::<ProtocolChoice>().is_err());
+        assert!("warp-drive".parse::<ProtocolChoice>().is_err());
     }
 
     #[test]
@@ -414,9 +482,7 @@ mod tests {
             let proto = DisjointnessViaIntersection(TreeProtocol::new(2));
             let out = run_two_party(
                 &RunConfig::with_seed(3),
-                |chan, coins| {
-                    SetDisjointness::run(&proto, chan, coins, Side::Alice, spec, &pair.s)
-                },
+                |chan, coins| SetDisjointness::run(&proto, chan, coins, Side::Alice, spec, &pair.s),
                 |chan, coins| SetDisjointness::run(&proto, chan, coins, Side::Bob, spec, &pair.t),
             )
             .unwrap();

@@ -114,8 +114,7 @@ impl BasicIntersection {
         inputs: &[ElementSet],
     ) -> Result<Vec<ElementSet>, ProtocolError> {
         for input in inputs {
-            spec.validate(input)
-                .map_err(ProtocolError::InvalidInput)?;
+            spec.validate(input).map_err(ProtocolError::InvalidInput)?;
         }
         if inputs.is_empty() {
             return Ok(Vec::new());
@@ -144,11 +143,7 @@ impl BasicIntersection {
         for (i, input) in inputs.iter().enumerate() {
             let m = input.len() as u64 + their_sizes[i];
             let t = self.hash_range(m);
-            let h = PairwiseHash::sample(
-                &mut coins.fork_index(i as u64).rng(),
-                spec.n.max(1),
-                t,
-            );
+            let h = PairwiseHash::sample(&mut coins.fork_index(i as u64).rng(), spec.n.max(1), t);
             let mut hashed: Vec<u64> = input.iter().map(|x| h.eval(x)).collect();
             hashed.sort_unstable();
             hashed.dedup();

@@ -1,0 +1,181 @@
+//! A calibrated cost model for the protocol catalogue.
+//!
+//! Adaptive harnesses (the session engine's router, capacity planners)
+//! need to predict what a protocol will cost on a given [`ProblemSpec`]
+//! *without running it*. The asymptotic bounds of the paper fix the
+//! shape of each formula — `O(k·log(n/k))` for the trivial exchange,
+//! `O(k·log^{(r)} k)` for the verification tree, `O(k)` bits in
+//! `O(√k)` rounds for the bucketed protocol — and the constants here
+//! are calibrated against this repository's measured bit costs (the
+//! sweeps behind experiments E1–E6; see `predictions_track_measurements`
+//! in this module for the enforced tolerance).
+//!
+//! Predictions are intentionally coarse: the router only needs the
+//! *ranking* of candidates to be right in each regime, not the exact
+//! bit count.
+
+use crate::api::ProtocolChoice;
+use crate::iterlog::{ceil_log2, iter_log, log_star};
+use crate::sets::ProblemSpec;
+
+/// A predicted execution cost: expected bits on the wire and expected
+/// round complexity (longest causal message chain).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PredictedCost {
+    /// Predicted total communication in bits.
+    pub bits: f64,
+    /// Predicted round complexity.
+    pub rounds: f64,
+}
+
+impl PredictedCost {
+    /// Collapses the two axes into one comparable score: bits, plus a
+    /// per-round toll. `round_penalty` is "how many bits of extra
+    /// communication I would pay to save one round" — large values favor
+    /// few-round protocols (WAN deployments), zero ranks by bits alone.
+    pub fn score(&self, round_penalty: f64) -> f64 {
+        self.bits + round_penalty * self.rounds
+    }
+}
+
+/// `⌈log₂ x⌉` as f64, clamped below at 1 so formulas stay monotone.
+fn lg(x: u64) -> f64 {
+    ceil_log2(x.max(2)) as f64
+}
+
+impl ProtocolChoice {
+    /// Predicts the cost of this protocol on `spec`.
+    ///
+    /// `expected_overlap` is the caller's estimate of `|S ∩ T|` if one is
+    /// available (workload generators know it; live traffic may not).
+    /// Only difference-proportional protocols ([`ProtocolChoice::IbltReconcile`])
+    /// read it; pass `None` to assume the worst case (empty overlap).
+    pub fn predicted_cost(self, spec: ProblemSpec, expected_overlap: Option<u64>) -> PredictedCost {
+        let n = spec.n;
+        let k = spec.k.max(1) as f64;
+        match self {
+            // One optimal-code exchange each way: ≈ 2·log₂ C(n,k) bits.
+            ProtocolChoice::Trivial => PredictedCost {
+                bits: 1.35 * k * (lg(n) - lg(spec.k) + 2.0),
+                rounds: 2.0,
+            },
+            // Hashing into [k⁴] then exchanging over the reduced universe:
+            // the effective universe is min(n, k⁴).
+            ProtocolChoice::OneRound => {
+                let eff = (4.0 * lg(spec.k)).min(lg(n));
+                PredictedCost {
+                    bits: 1.35 * k * (eff - lg(spec.k) + 2.0),
+                    rounds: 2.0,
+                }
+            }
+            // Lemma 3.3 alone, at the catalogue's fixed 20-bit error
+            // parameter: per-element cost dominated by the error budget.
+            ProtocolChoice::Basic => PredictedCost {
+                bits: k * (50.0 + 1.4 * lg(spec.k)),
+                rounds: 2.0,
+            },
+            // Θ(k·log^{(r)} k) with a per-stage overhead; the slopes and
+            // intercepts per r are fitted to the measured sweeps.
+            ProtocolChoice::Tree(r) => PredictedCost {
+                bits: k * tree_bits_per_element(r, spec.k),
+                rounds: if r <= 1 { 2.0 } else { 3.0 * r as f64 },
+            },
+            ProtocolChoice::TreeLogStar => {
+                ProtocolChoice::Tree(log_star(spec.k.max(2)).max(1)).predicted_cost(spec, None)
+            }
+            // Same per-stage work as the tree, on the 2r+1-message schedule.
+            ProtocolChoice::TreePipelined(r) => PredictedCost {
+                bits: k * tree_bits_per_element(r, spec.k) * 0.95,
+                rounds: 2.0 * r.max(1) as f64,
+            },
+            // Theorem 3.1: Θ(k) bits with a small-k floor, Θ(√k) rounds.
+            ProtocolChoice::Sqrt => PredictedCost {
+                bits: k * 14.0 + 96.0,
+                rounds: 11.0 * k.sqrt(),
+            },
+            // Difference-proportional: Θ(d·log n) for d = |S △ T|.
+            ProtocolChoice::IbltReconcile => {
+                let overlap = expected_overlap.unwrap_or(0).min(spec.k) as f64;
+                let diff = (2.0 * (k - overlap)).max(1.0);
+                PredictedCost {
+                    bits: diff * (6.0 * lg(n) + 50.0),
+                    rounds: 2.0 * (lg(spec.k) - 2.0).max(1.0),
+                }
+            }
+        }
+    }
+}
+
+/// Fitted bits-per-element for the verification tree at round budget `r`.
+fn tree_bits_per_element(r: u32, k: u64) -> f64 {
+    let x = iter_log(r, k.max(2)) as f64;
+    match r {
+        0 | 1 => 8.0 + 3.65 * lg(k),
+        2 => 6.0 + 13.4 * x,
+        _ => 22.0 + 10.0 * x,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::api::execute;
+    use crate::sets::InputPair;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    /// Every prediction lands within a factor of two of a measured run —
+    /// coarse on purpose, but tight enough that rankings are meaningful.
+    #[test]
+    fn predictions_track_measurements() {
+        for (n, k) in [(1u64 << 16, 16u64), (1 << 20, 64), (1 << 24, 256)] {
+            let spec = ProblemSpec::new(n, k);
+            let mut rng = ChaCha8Rng::seed_from_u64(5);
+            let overlap = (k / 3) as usize;
+            let pair = InputPair::random_with_overlap(&mut rng, spec, k as usize, overlap);
+            for choice in ProtocolChoice::all(3) {
+                let proto = choice.build(spec);
+                let run = execute(proto.as_ref(), spec, &pair, 9).unwrap();
+                let predicted = choice.predicted_cost(spec, Some(overlap as u64));
+                let measured = run.report.total_bits() as f64;
+                let ratio = predicted.bits / measured;
+                assert!(
+                    (0.5..=2.0).contains(&ratio),
+                    "{}: predicted {:.0} bits, measured {measured} (ratio {ratio:.2}) at n={n} k={k}",
+                    proto.name(),
+                    predicted.bits,
+                );
+                let round_ratio = predicted.rounds / run.report.rounds as f64;
+                assert!(
+                    (0.3..=3.5).contains(&round_ratio),
+                    "{}: predicted {:.0} rounds, measured {} at n={n} k={k}",
+                    proto.name(),
+                    predicted.rounds,
+                    run.report.rounds,
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn score_trades_bits_for_rounds() {
+        let spec = ProblemSpec::new(1 << 30, 1024);
+        let sqrt = ProtocolChoice::Sqrt.predicted_cost(spec, None);
+        let tree = ProtocolChoice::TreeLogStar.predicted_cost(spec, None);
+        // Ranked by bits alone the bucketed protocol wins; with a stiff
+        // per-round toll the tree's O(log* k) schedule wins.
+        assert!(sqrt.score(0.0) < tree.score(0.0));
+        assert!(sqrt.score(1000.0) > tree.score(1000.0));
+    }
+
+    #[test]
+    fn overlap_hint_only_helps_difference_proportional_protocols() {
+        let spec = ProblemSpec::new(1 << 30, 1024);
+        let cold = ProtocolChoice::IbltReconcile.predicted_cost(spec, None);
+        let warm = ProtocolChoice::IbltReconcile.predicted_cost(spec, Some(1020));
+        assert!(warm.bits < cold.bits / 50.0);
+        let t_cold = ProtocolChoice::TreeLogStar.predicted_cost(spec, None);
+        let t_warm = ProtocolChoice::TreeLogStar.predicted_cost(spec, Some(1020));
+        assert_eq!(t_cold, t_warm);
+    }
+}

@@ -129,13 +129,8 @@ impl AmortizedEquality {
                 let cycle_coins = block_coins.fork_index(cycle);
                 cycle += 1;
                 // (1) Elimination pass: 2-bit tests per alive instance.
-                let dead = self.elimination_pass(
-                    chan,
-                    &cycle_coins.fork("elim"),
-                    side,
-                    items,
-                    &alive,
-                )?;
+                let dead =
+                    self.elimination_pass(chan, &cycle_coins.fork("elim"), side, items, &alive)?;
                 for &idx in &dead {
                     verdicts[idx] = false;
                 }
@@ -277,11 +272,7 @@ mod tests {
         b
     }
 
-    fn run_fknn(
-        seed: u64,
-        alice: &[BitBuf],
-        bob: &[BitBuf],
-    ) -> (Vec<bool>, CostReport) {
+    fn run_fknn(seed: u64, alice: &[BitBuf], bob: &[BitBuf]) -> (Vec<bool>, CostReport) {
         let proto = AmortizedEquality::new();
         let out = run_two_party(
             &RunConfig::with_seed(seed),
@@ -299,7 +290,11 @@ mod tests {
         let (verdicts, report) = run_fknn(1, &items, &items.clone());
         assert!(verdicts.iter().all(|&v| v));
         // Cost ≈ k + overheads, far below k · 256 (exchanging the strings).
-        assert!(report.total_bits() < 100 * 40, "{} bits", report.total_bits());
+        assert!(
+            report.total_bits() < 100 * 40,
+            "{} bits",
+            report.total_bits()
+        );
     }
 
     #[test]

@@ -215,9 +215,10 @@ impl HwDisjointness {
                 let ctx = gamma << 20;
                 indices[gamma as usize].iter().enumerate().any(|(c, &j)| {
                     j == SENTINEL
-                        || sweep_coins
-                            .mix64((ctx | c as u64).wrapping_mul(SEARCH_LIMIT).wrapping_add(j), y)
-                            & 1
+                        || sweep_coins.mix64(
+                            (ctx | c as u64).wrapping_mul(SEARCH_LIMIT).wrapping_add(j),
+                            y,
+                        ) & 1
                             == 1
                 })
             })
@@ -326,7 +327,10 @@ mod tests {
             assert!(a);
             per_k.push(report.total_bits() as f64 / k as f64);
         }
-        assert!(per_k[1] < per_k[0] * 1.8, "per-element cost grew: {per_k:?}");
+        assert!(
+            per_k[1] < per_k[0] * 1.8,
+            "per-element cost grew: {per_k:?}"
+        );
         assert!(per_k[1] < 20.0, "per-element cost too high: {per_k:?}");
     }
 

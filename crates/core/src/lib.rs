@@ -56,6 +56,7 @@
 pub mod amplify;
 pub mod api;
 pub mod basic;
+pub mod cost;
 pub mod equality;
 pub mod fknn;
 pub mod hw07;
@@ -90,6 +91,7 @@ pub mod prelude {
         SetIntersection,
     };
     pub use crate::basic::BasicIntersection;
+    pub use crate::cost::PredictedCost;
     pub use crate::equality::EqualityTest;
     pub use crate::fknn::AmortizedEquality;
     pub use crate::hw07::HwDisjointness;

@@ -205,12 +205,9 @@ mod tests {
             let spec = ProblemSpec::new(1 << log_n, 64);
             let pair = InputPair::random_with_overlap(&mut rng, spec, 64, 32);
             let shared = execute(&TreeProtocol::new(2), spec, &pair, 7).unwrap();
-            let private =
-                execute(&PrivateCoin::new(TreeProtocol::new(2)), spec, &pair, 7).unwrap();
+            let private = execute(&PrivateCoin::new(TreeProtocol::new(2)), spec, &pair, 7).unwrap();
             assert!(private.matches(&pair.ground_truth()));
-            overheads.push(
-                private.report.total_bits() as i64 - shared.report.total_bits() as i64,
-            );
+            overheads.push(private.report.total_bits() as i64 - shared.report.total_bits() as i64);
         }
         // Overheads are small and grow by O(1) bits when n squares.
         for &o in &overheads {

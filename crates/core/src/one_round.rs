@@ -68,7 +68,9 @@ impl OneRoundHash {
     pub fn hash_range(&self, spec: ProblemSpec) -> u64 {
         let k2 = spec.k.saturating_mul(spec.k).max(4);
         let shift = (self.error_bits as u32).min(61 - ceil_log2(k2).min(60) as u32);
-        k2.saturating_mul(1 << shift).clamp(16, 1 << 61).min(spec.n.max(16))
+        k2.saturating_mul(1 << shift)
+            .clamp(16, 1 << 61)
+            .min(spec.n.max(16))
     }
 
     /// Runs the protocol; see [module docs](self).
@@ -185,8 +187,7 @@ mod tests {
         for log_n in [30u32, 40, 60] {
             let spec = ProblemSpec::new(1 << log_n, k as u64);
             let pair = InputPair::random_with_overlap(&mut rng, spec, k, 0);
-            let (_, _, report) =
-                run_one_round(3, OneRoundHash::new(10), spec, &pair.s, &pair.t);
+            let (_, _, report) = run_one_round(3, OneRoundHash::new(10), spec, &pair.s, &pair.t);
             costs.push(report.bits_alice);
         }
         // First-message cost must not grow with n.

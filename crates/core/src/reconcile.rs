@@ -105,8 +105,7 @@ impl Iblt {
     fn slots(&self, h: &IbltHasher, key: u64) -> [usize; SUBTABLES] {
         let mut out = [0usize; SUBTABLES];
         for (i, slot) in out.iter_mut().enumerate() {
-            *slot = i * self.per_table
-                + h.index[i].eval_range(key, self.per_table as u64) as usize;
+            *slot = i * self.per_table + h.index[i].eval_range(key, self.per_table as u64) as usize;
         }
         out
     }
@@ -238,7 +237,9 @@ impl Iblt {
             let cell = table
                 .cells
                 .get_mut(idx as usize)
-                .ok_or(ProtocolError::Internal("iblt cell index out of range".into()))?;
+                .ok_or(ProtocolError::Internal(
+                    "iblt cell index out of range".into(),
+                ))?;
             *cell = Cell {
                 count,
                 key_sum,
@@ -362,11 +363,8 @@ impl SetIntersection for IbltReconcile {
                         {
                             reply.push_bit(true);
                             let codec = RiceSubsetCodec::new(spec.n, spec.k);
-                            let valid: Vec<u64> = alice_only
-                                .iter()
-                                .copied()
-                                .filter(|&x| x < spec.n)
-                                .collect();
+                            let valid: Vec<u64> =
+                                alice_only.iter().copied().filter(|&x| x < spec.n).collect();
                             reply.extend_from(&codec.encode(&valid));
                             chan.send(reply)?;
                             let bob_only: ElementSet = bob_only.into_iter().collect();
@@ -496,12 +494,14 @@ mod tests {
         // constant in k.
         let spec = ProblemSpec::new(1 << 30, 1024);
         let s: ElementSet = (0..1024u64).map(|i| i * 331).collect();
-        let pair = InputPair { s: s.clone(), t: s.clone() };
+        let pair = InputPair {
+            s: s.clone(),
+            t: s.clone(),
+        };
         let run = execute(&IbltReconcile::default(), spec, &pair, 2).unwrap();
         assert_eq!(run.alice, s);
         let proto = IbltReconcile::default();
-        let floor = (3 * proto.initial_cells) as u64
-            * (30 + proto.checksum_bits as u64 + 25);
+        let floor = (3 * proto.initial_cells) as u64 * (30 + proto.checksum_bits as u64 + 25);
         assert!(
             run.report.total_bits() < floor,
             "{} vs floor {floor}",

@@ -154,9 +154,7 @@ mod tests {
         let proto = TreeProtocol::new(2);
         let out = run_two_party(
             &RunConfig::with_seed(1),
-            |chan, coins| {
-                equalities_via_intersection(&proto, chan, coins, Side::Alice, &[256], 8)
-            },
+            |chan, coins| equalities_via_intersection(&proto, chan, coins, Side::Alice, &[256], 8),
             |chan, coins| equalities_via_intersection(&proto, chan, coins, Side::Bob, &[1], 8),
         );
         assert!(out.is_err());

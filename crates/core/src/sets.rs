@@ -230,7 +230,11 @@ impl ProblemSpec {
     /// Returns a human-readable description of the violation.
     pub fn validate(&self, set: &ElementSet) -> Result<(), String> {
         if set.len() as u64 > self.k {
-            return Err(format!("set has {} elements, bound is k = {}", set.len(), self.k));
+            return Err(format!(
+                "set has {} elements, bound is k = {}",
+                set.len(),
+                self.k
+            ));
         }
         if let Some(max) = set.max_element() {
             if max >= self.n {

@@ -109,8 +109,7 @@ impl SparseDisjointness {
                 // Precision: spread the round budget over my elements, with
                 // a log|A| floor so matches identify elements sensibly.
                 let e = self.precision(mine.len() as u64, budget);
-                let h =
-                    PairwiseHash::sample(&mut round_coins.fork("h").rng(), spec.n, 1u64 << e);
+                let h = PairwiseHash::sample(&mut round_coins.fork("h").rng(), spec.n, 1u64 << e);
                 let mut msg = BitBuf::new();
                 put_gamma0(&mut msg, mine.len() as u64);
                 let mut vals: Vec<u64> = mine.iter().map(|&x| h.eval(x)).collect();
@@ -129,8 +128,7 @@ impl SparseDisjointness {
                     return Ok(true);
                 }
                 let e = self.precision(sender_size, budget);
-                let h =
-                    PairwiseHash::sample(&mut round_coins.fork("h").rng(), spec.n, 1u64 << e);
+                let h = PairwiseHash::sample(&mut round_coins.fork("h").rng(), spec.n, 1u64 << e);
                 let distinct = get_gamma0(&mut r)?;
                 let mut announced = std::collections::HashSet::new();
                 for _ in 0..distinct {

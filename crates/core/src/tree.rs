@@ -184,14 +184,16 @@ impl TreeProtocol {
             let set: ElementSet = map.keys().copied().collect();
             (set, map)
         };
-        let reduced_spec = ProblemSpec { n: big_n, k: spec.k };
+        let reduced_spec = ProblemSpec {
+            n: big_n,
+            k: spec.k,
+        };
 
         // Special case r = 1: the direct k^c-range hash exchange.
         let mapped = if self.stages == 1 {
-            let error_bits =
-                ((self.reduction_exponent.saturating_sub(2)).max(1) as usize
-                    * ceil_log2(k) as usize)
-                    .max(4);
+            let error_bits = ((self.reduction_exponent.saturating_sub(2)).max(1) as usize
+                * ceil_log2(k) as usize)
+                .max(4);
             BasicIntersection::new(error_bits).run(
                 chan,
                 &coins.fork("r1"),
@@ -412,11 +414,20 @@ mod tests {
             for overlap in [0usize, 1, 32, 64] {
                 let pair = InputPair::random_with_overlap(&mut rng, spec, 64, overlap);
                 let truth = pair.ground_truth();
-                let (a, b, report) =
-                    run_tree(100 * r as u64 + overlap as u64, TreeProtocol::new(r), spec, &pair.s, &pair.t);
+                let (a, b, report) = run_tree(
+                    100 * r as u64 + overlap as u64,
+                    TreeProtocol::new(r),
+                    spec,
+                    &pair.s,
+                    &pair.t,
+                );
                 assert_eq!(a, truth, "r={r} overlap={overlap}");
                 assert_eq!(b, truth, "r={r} overlap={overlap}");
-                assert!(report.rounds <= 6 * r as u64, "r={r}: {} rounds", report.rounds);
+                assert!(
+                    report.rounds <= 6 * r as u64,
+                    "r={r}: {} rounds",
+                    report.rounds
+                );
             }
         }
     }
@@ -470,7 +481,11 @@ mod tests {
         for r in 1..=3u32 {
             // Average a few seeds to smooth re-run noise.
             let total: u64 = (0..5)
-                .map(|s| run_tree(s, TreeProtocol::new(r), spec, &pair.s, &pair.t).2.total_bits())
+                .map(|s| {
+                    run_tree(s, TreeProtocol::new(r), spec, &pair.s, &pair.t)
+                        .2
+                        .total_bits()
+                })
                 .sum();
             costs.push(total / 5);
         }

@@ -155,8 +155,7 @@ impl PipelinedTree {
             (set, map)
         };
 
-        let mapped =
-            self.run_pipeline(chan, coins, side, big_n, k, &work_set)?;
+        let mapped = self.run_pipeline(chan, coins, side, big_n, k, &work_set)?;
         Ok(mapped
             .iter()
             .map(|m| *back_map.get(&m).expect("output is a subset of the input"))
@@ -410,11 +409,7 @@ impl PipelinedTree {
             my_reported[leaf] = mine.len() as u64;
             let m = mine.len() as u64 + peer_sizes[leaf];
             let t = basic.hash_range(m);
-            let h = PairwiseHash::sample(
-                &mut repair_coins.fork_index(leaf as u64).rng(),
-                big_n,
-                t,
-            );
+            let h = PairwiseHash::sample(&mut repair_coins.fork_index(leaf as u64).rng(), big_n, t);
             let mut hashed: Vec<u64> = mine.iter().map(|x| h.eval(x)).collect();
             hashed.sort_unstable();
             hashed.dedup();
@@ -444,11 +439,7 @@ impl PipelinedTree {
             let peer_size = get_gamma0(r)?;
             let m = peer_size + my_reported[leaf];
             let t = basic.hash_range(m);
-            let h = PairwiseHash::sample(
-                &mut repair_coins.fork_index(leaf as u64).rng(),
-                big_n,
-                t,
-            );
+            let h = PairwiseHash::sample(&mut repair_coins.fork_index(leaf as u64).rng(), big_n, t);
             let codec = RiceSubsetCodec::new(t, peer_size.max(1));
             let their_hashed = codec.decode(r)?;
             let lookup: std::collections::HashSet<u64> = their_hashed.into_iter().collect();
@@ -484,10 +475,7 @@ mod tests {
             for overlap in [0usize, 1, 32, 64] {
                 let pair = InputPair::random_with_overlap(&mut rng, spec, 64, overlap);
                 let run = run_pipelined(100 * r as u64 + overlap as u64, r, spec, &pair);
-                assert!(
-                    run.matches(&pair.ground_truth()),
-                    "r={r} overlap={overlap}"
-                );
+                assert!(run.matches(&pair.ground_truth()), "r={r} overlap={overlap}");
             }
         }
     }
@@ -557,7 +545,10 @@ mod tests {
     fn identical_and_empty_inputs() {
         let spec = ProblemSpec::new(1 << 20, 32);
         let s: ElementSet = (0..32u64).map(|i| i * 101).collect();
-        let pair = InputPair { s: s.clone(), t: s.clone() };
+        let pair = InputPair {
+            s: s.clone(),
+            t: s.clone(),
+        };
         let run = run_pipelined(5, 3, spec, &pair);
         assert_eq!(run.alice, s);
         let empty_pair = InputPair {

@@ -84,9 +84,7 @@ impl TrivialExchange {
 
     fn encode(&self, spec: ProblemSpec, set: &ElementSet) -> BitBuf {
         match self.code {
-            SubsetCode::Binomial => {
-                BinomialSubsetCodec::new(spec.n, spec.k).encode(set.as_slice())
-            }
+            SubsetCode::Binomial => BinomialSubsetCodec::new(spec.n, spec.k).encode(set.as_slice()),
             SubsetCode::Rice => RiceSubsetCodec::new(spec.n, spec.k).encode(set.as_slice()),
             SubsetCode::EliasFano => {
                 EliasFanoSubsetCodec::new(spec.n, spec.k).encode(set.as_slice())
@@ -169,7 +167,11 @@ mod tests {
     fn always_exact_for_both_codes() {
         let mut rng = ChaCha8Rng::seed_from_u64(1);
         let spec = ProblemSpec::new(4096, 32);
-        for code in [SubsetCode::Binomial, SubsetCode::Rice, SubsetCode::EliasFano] {
+        for code in [
+            SubsetCode::Binomial,
+            SubsetCode::Rice,
+            SubsetCode::EliasFano,
+        ] {
             for overlap in [0usize, 5, 32] {
                 let pair = InputPair::random_with_overlap(&mut rng, spec, 32, overlap);
                 let (a, b, _) = run_trivial(TrivialExchange::new(code), spec, &pair.s, &pair.t);

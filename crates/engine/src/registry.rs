@@ -1,0 +1,314 @@
+//! The session registry: aggregate accounting for an engine run.
+//!
+//! Every admitted session deposits its [`CostReport`] here; the registry
+//! folds them into engine-wide metrics (total bits, a rounds histogram,
+//! per-protocol tallies, rejection counts) and wall-clock latency
+//! percentiles. Snapshots split cleanly in two: [`EngineMetrics`] is a
+//! pure function of the admitted workload — byte-identical across runs
+//! and worker counts — while [`LatencySummary`] is wall-clock and
+//! inherently nondeterministic. Tests that pin down engine determinism
+//! compare only the former.
+
+use intersect_comm::stats::CostReport;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::sync::Mutex;
+
+/// Aggregate communication cost of all sessions served by one protocol.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ProtocolTally {
+    /// Sessions completed with this protocol.
+    pub sessions: u64,
+    /// Total bits across those sessions.
+    pub bits: u64,
+    /// Worst round complexity observed.
+    pub max_rounds: u64,
+}
+
+/// Deterministic engine-wide counters: a pure fold over the per-session
+/// [`CostReport`]s, independent of scheduling order and worker count.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct EngineMetrics {
+    /// Sessions admitted into the queue.
+    pub submitted: u64,
+    /// Sessions that finished with both parties agreeing on the output.
+    pub completed: u64,
+    /// Sessions that finished with a protocol error.
+    pub failed: u64,
+    /// Sessions turned away by admission control (queue full).
+    pub rejected: u64,
+    /// Total bits on the wire across all finished sessions.
+    pub total_bits: u64,
+    /// Total messages across all finished sessions.
+    pub total_messages: u64,
+    /// Finished sessions by round complexity.
+    pub rounds_histogram: BTreeMap<u64, u64>,
+    /// Finished sessions grouped by protocol name.
+    pub per_protocol: BTreeMap<String, ProtocolTally>,
+}
+
+/// Wall-clock latency percentiles over finished sessions, in microseconds
+/// from admission to outcome. Nondeterministic by nature; kept separate
+/// from [`EngineMetrics`] so determinism tests can ignore it.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LatencySummary {
+    /// Median session latency.
+    pub p50_micros: u64,
+    /// 99th-percentile session latency.
+    pub p99_micros: u64,
+    /// Slowest session.
+    pub max_micros: u64,
+}
+
+/// A point-in-time view of an engine's accounting.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct EngineSnapshot {
+    /// Size of the worker pool that produced the snapshot.
+    pub workers: u64,
+    /// Deterministic aggregate counters.
+    pub metrics: EngineMetrics,
+    /// Wall-clock latency percentiles.
+    pub latency: LatencySummary,
+}
+
+impl EngineSnapshot {
+    /// Renders the snapshot as aligned markdown tables (the same layout
+    /// conventions as the experiment reports in `intersect-bench`).
+    pub fn to_markdown(&self) -> String {
+        let m = &self.metrics;
+        let mut out = format!("### engine snapshot — {} workers\n\n", self.workers);
+        out.push_str(&render_table(
+            &[
+                "submitted",
+                "completed",
+                "failed",
+                "rejected",
+                "total bits",
+                "messages",
+            ],
+            &[vec![
+                m.submitted.to_string(),
+                m.completed.to_string(),
+                m.failed.to_string(),
+                m.rejected.to_string(),
+                m.total_bits.to_string(),
+                m.total_messages.to_string(),
+            ]],
+        ));
+        out.push('\n');
+        out.push_str(&render_table(
+            &["protocol", "sessions", "bits", "max rounds"],
+            &m.per_protocol
+                .iter()
+                .map(|(name, t)| {
+                    vec![
+                        name.clone(),
+                        t.sessions.to_string(),
+                        t.bits.to_string(),
+                        t.max_rounds.to_string(),
+                    ]
+                })
+                .collect::<Vec<_>>(),
+        ));
+        out.push('\n');
+        out.push_str(&render_table(
+            &["rounds", "sessions"],
+            &m.rounds_histogram
+                .iter()
+                .map(|(rounds, count)| vec![rounds.to_string(), count.to_string()])
+                .collect::<Vec<_>>(),
+        ));
+        out.push('\n');
+        out.push_str(&render_table(
+            &["latency p50", "p99", "max"],
+            &[vec![
+                format!("{}µs", self.latency.p50_micros),
+                format!("{}µs", self.latency.p99_micros),
+                format!("{}µs", self.latency.max_micros),
+            ]],
+        ));
+        out
+    }
+
+    /// Renders the snapshot as pretty-printed JSON.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("snapshot is serializable")
+    }
+}
+
+/// Right-aligned markdown table, matching `intersect-bench`'s layout.
+fn render_table(headers: &[&str], rows: &[Vec<String>]) -> String {
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (w, cell) in widths.iter_mut().zip(row) {
+            *w = (*w).max(cell.len());
+        }
+    }
+    let fmt_row = |cells: &[String]| -> String {
+        let padded: Vec<String> = cells
+            .iter()
+            .zip(&widths)
+            .map(|(c, w)| format!("{c:>w$}", w = *w))
+            .collect();
+        format!("| {} |\n", padded.join(" | "))
+    };
+    let mut out = fmt_row(&headers.iter().map(|h| h.to_string()).collect::<Vec<_>>());
+    out.push_str(&fmt_row(
+        &widths.iter().map(|w| "-".repeat(*w)).collect::<Vec<_>>(),
+    ));
+    for row in rows {
+        out.push_str(&fmt_row(row));
+    }
+    out
+}
+
+/// Thread-safe accumulator shared by the dispatcher and the workers.
+#[derive(Debug, Default)]
+pub(crate) struct Registry {
+    inner: Mutex<RegistryInner>,
+}
+
+#[derive(Debug, Default)]
+struct RegistryInner {
+    metrics: EngineMetrics,
+    latencies_micros: Vec<u64>,
+}
+
+impl Registry {
+    pub(crate) fn record_submitted(&self) {
+        self.lock().metrics.submitted += 1;
+    }
+
+    pub(crate) fn record_rejected(&self) {
+        self.lock().metrics.rejected += 1;
+    }
+
+    pub(crate) fn record_outcome(
+        &self,
+        protocol_name: &str,
+        report: &CostReport,
+        succeeded: bool,
+        latency_micros: u64,
+    ) {
+        let mut inner = self.lock();
+        let m = &mut inner.metrics;
+        if succeeded {
+            m.completed += 1;
+        } else {
+            m.failed += 1;
+        }
+        m.total_bits += report.total_bits();
+        m.total_messages += report.messages;
+        *m.rounds_histogram.entry(report.rounds).or_insert(0) += 1;
+        let tally = m.per_protocol.entry(protocol_name.to_string()).or_default();
+        tally.sessions += 1;
+        tally.bits += report.total_bits();
+        tally.max_rounds = tally.max_rounds.max(report.rounds);
+        inner.latencies_micros.push(latency_micros);
+    }
+
+    pub(crate) fn snapshot(&self, workers: u64) -> EngineSnapshot {
+        let inner = self.lock();
+        let mut sorted = inner.latencies_micros.clone();
+        sorted.sort_unstable();
+        let percentile = |p: f64| -> u64 {
+            if sorted.is_empty() {
+                return 0;
+            }
+            let idx = ((sorted.len() as f64 * p).ceil() as usize).max(1) - 1;
+            sorted[idx.min(sorted.len() - 1)]
+        };
+        EngineSnapshot {
+            workers,
+            metrics: inner.metrics.clone(),
+            latency: LatencySummary {
+                p50_micros: percentile(0.50),
+                p99_micros: percentile(0.99),
+                max_micros: sorted.last().copied().unwrap_or(0),
+            },
+        }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, RegistryInner> {
+        self.inner.lock().expect("registry poisoned")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_report(bits: u64, rounds: u64) -> CostReport {
+        CostReport {
+            bits_alice: bits / 2,
+            bits_bob: bits - bits / 2,
+            messages: rounds,
+            rounds,
+        }
+    }
+
+    #[test]
+    fn registry_folds_outcomes_into_metrics() {
+        let reg = Registry::default();
+        for _ in 0..3 {
+            reg.record_submitted();
+        }
+        reg.record_rejected();
+        reg.record_outcome("tree(r=2)", &sample_report(100, 6), true, 40);
+        reg.record_outcome("tree(r=2)", &sample_report(50, 8), true, 10);
+        reg.record_outcome("sqrt-fknn", &sample_report(30, 40), false, 90);
+        let snap = reg.snapshot(4);
+        assert_eq!(snap.workers, 4);
+        assert_eq!(snap.metrics.submitted, 3);
+        assert_eq!(snap.metrics.rejected, 1);
+        assert_eq!(snap.metrics.completed, 2);
+        assert_eq!(snap.metrics.failed, 1);
+        assert_eq!(snap.metrics.total_bits, 180);
+        assert_eq!(snap.metrics.rounds_histogram[&6], 1);
+        assert_eq!(snap.metrics.rounds_histogram[&8], 1);
+        let tree = &snap.metrics.per_protocol["tree(r=2)"];
+        assert_eq!(tree.sessions, 2);
+        assert_eq!(tree.bits, 150);
+        assert_eq!(tree.max_rounds, 8);
+        assert_eq!(snap.latency.p50_micros, 40);
+        assert_eq!(snap.latency.p99_micros, 90);
+        assert_eq!(snap.latency.max_micros, 90);
+    }
+
+    #[test]
+    fn empty_snapshot_is_safe() {
+        let snap = Registry::default().snapshot(1);
+        assert_eq!(snap.latency, LatencySummary::default());
+        assert!(snap.to_markdown().contains("| 0 |") || snap.to_markdown().contains("0"));
+    }
+
+    #[test]
+    fn snapshot_round_trips_through_json() {
+        let reg = Registry::default();
+        reg.record_submitted();
+        reg.record_outcome("trivial", &sample_report(64, 2), true, 5);
+        let snap = reg.snapshot(2);
+        let json = snap.to_json();
+        let back: EngineSnapshot = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, snap);
+    }
+
+    #[test]
+    fn markdown_tables_are_aligned() {
+        let reg = Registry::default();
+        reg.record_submitted();
+        reg.record_outcome("tree(r=2)", &sample_report(12345, 6), true, 77);
+        let md = reg.snapshot(8).to_markdown();
+        assert!(md.starts_with("### engine snapshot — 8 workers"));
+        // Within each table, all pipe-rows have equal width (in chars:
+        // the formatter pads by char count, and "µ" is two bytes).
+        for block in md.split("\n\n").filter(|b| b.contains('|')) {
+            let lens: Vec<usize> = block
+                .lines()
+                .filter(|l| l.starts_with('|'))
+                .map(|l| l.chars().count())
+                .collect();
+            assert!(lens.windows(2).all(|w| w[0] == w[1]), "misaligned: {block}");
+        }
+    }
+}

@@ -1,0 +1,224 @@
+//! Session requests: what a client asks the engine to compute.
+//!
+//! A request describes one two-party intersection session by its
+//! workload parameters — universe, cardinality bound, set size, overlap,
+//! and a seed — rather than by explicit sets, so a single text line can
+//! describe a session and the engine (or any reference harness) can
+//! regenerate the identical inputs deterministically.
+
+use intersect_core::api::ProtocolChoice;
+use intersect_core::sets::{InputPair, ProblemSpec};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+/// One session to serve: workload parameters plus scheduling metadata.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SessionRequest {
+    /// Client-assigned session id (echoed in the outcome).
+    pub id: u64,
+    /// Seed for both the input generator and the session's common
+    /// random string; sessions with distinct seeds share no randomness.
+    pub seed: u64,
+    /// The `INT_k` instance parameters.
+    pub spec: ProblemSpec,
+    /// Size of each party's set (`≤ spec.k`).
+    pub size: usize,
+    /// Exact intersection size of the generated inputs.
+    pub overlap: usize,
+    /// Per-session protocol override; `None` defers to the engine's
+    /// routing policy.
+    pub protocol: Option<ProtocolChoice>,
+}
+
+impl SessionRequest {
+    /// A request with `size = k`, `seed = id`, and routed protocol.
+    pub fn new(id: u64, spec: ProblemSpec, overlap: usize) -> Self {
+        SessionRequest {
+            id,
+            seed: id,
+            spec,
+            size: spec.k as usize,
+            overlap,
+            protocol: None,
+        }
+    }
+
+    /// Checks the generator constraints (`overlap ≤ size ≤ k`,
+    /// `2·size − overlap ≤ n`).
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable description of the violation.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.size == 0 {
+            return Err("size must be positive".into());
+        }
+        if self.overlap > self.size {
+            return Err(format!(
+                "overlap {} exceeds set size {}",
+                self.overlap, self.size
+            ));
+        }
+        if self.size as u64 > self.spec.k {
+            return Err(format!(
+                "size {} exceeds cardinality bound k = {}",
+                self.size, self.spec.k
+            ));
+        }
+        let distinct = 2 * self.size - self.overlap;
+        if distinct as u64 > self.spec.n {
+            return Err(format!(
+                "need {distinct} distinct elements but universe has {}",
+                self.spec.n
+            ));
+        }
+        Ok(())
+    }
+
+    /// Deterministically regenerates this session's input sets.
+    ///
+    /// Anyone holding the request can reproduce the exact inputs; this is
+    /// what makes engine runs auditable against single-session reruns.
+    pub fn input_pair(&self) -> InputPair {
+        let mut rng = ChaCha8Rng::seed_from_u64(self.seed);
+        InputPair::random_with_overlap(&mut rng, self.spec, self.size, self.overlap)
+    }
+
+    /// Parses the line format emitted by [`to_line`](Self::to_line):
+    /// whitespace-separated `key=value` tokens with keys `id`, `seed`,
+    /// `n`, `k`, `size`, `overlap`, `protocol`. `n` and `k` are required
+    /// (`2^<e>` accepted); the rest default as in [`new`](Self::new).
+    /// Returns `Ok(None)` for blank lines and `#` comments.
+    ///
+    /// # Errors
+    ///
+    /// Rejects unknown keys, malformed values, and infeasible parameters.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use intersect_engine::SessionRequest;
+    ///
+    /// let req = SessionRequest::parse_line("id=3 n=2^20 k=64 overlap=16 seed=7")?
+    ///     .expect("not a comment");
+    /// assert_eq!(req.id, 3);
+    /// assert_eq!(req.spec.n, 1 << 20);
+    /// assert_eq!(req.size, 64);
+    /// assert!(req.protocol.is_none());
+    /// # Ok::<(), String>(())
+    /// ```
+    pub fn parse_line(line: &str) -> Result<Option<SessionRequest>, String> {
+        let line = line.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            return Ok(None);
+        }
+        let mut id = None;
+        let mut seed = None;
+        let mut n = None;
+        let mut k = None;
+        let mut size = None;
+        let mut overlap = 0usize;
+        let mut protocol = None;
+        for token in line.split_whitespace() {
+            let (key, value) = token
+                .split_once('=')
+                .ok_or_else(|| format!("expected key=value, got {token:?}"))?;
+            let int = || -> Result<u64, String> {
+                parse_u64(value).ok_or_else(|| format!("bad integer for {key}: {value:?}"))
+            };
+            match key {
+                "id" => id = Some(int()?),
+                "seed" => seed = Some(int()?),
+                "n" => n = Some(int()?),
+                "k" => k = Some(int()?),
+                "size" => size = Some(int()? as usize),
+                "overlap" => overlap = int()? as usize,
+                "protocol" => protocol = Some(value.parse::<ProtocolChoice>()?),
+                other => return Err(format!("unknown key {other:?}")),
+            }
+        }
+        let n = n.ok_or("missing required key n")?;
+        let k = k.ok_or("missing required key k")?;
+        if k == 0 || k > n {
+            return Err(format!("infeasible spec: n={n} k={k}"));
+        }
+        let id = id.unwrap_or(0);
+        let req = SessionRequest {
+            id,
+            seed: seed.unwrap_or(id),
+            spec: ProblemSpec::new(n, k),
+            size: size.unwrap_or(k as usize),
+            overlap,
+            protocol,
+        };
+        req.validate()?;
+        Ok(Some(req))
+    }
+
+    /// Renders the request in the [`parse_line`](Self::parse_line) format.
+    pub fn to_line(&self) -> String {
+        let mut out = format!(
+            "id={} seed={} n={} k={} size={} overlap={}",
+            self.id, self.seed, self.spec.n, self.spec.k, self.size, self.overlap
+        );
+        if let Some(p) = self.protocol {
+            out.push_str(&format!(" protocol={p}"));
+        }
+        out
+    }
+}
+
+fn parse_u64(s: &str) -> Option<u64> {
+    if let Some(exp) = s.strip_prefix("2^") {
+        return 1u64.checked_shl(exp.parse().ok()?);
+    }
+    s.parse().ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lines_round_trip() {
+        let spec = ProblemSpec::new(1 << 20, 64);
+        let mut req = SessionRequest::new(9, spec, 16);
+        req.protocol = Some(ProtocolChoice::TreePipelined(3));
+        let parsed = SessionRequest::parse_line(&req.to_line()).unwrap().unwrap();
+        assert_eq!(parsed, req);
+    }
+
+    #[test]
+    fn comments_and_blanks_are_skipped() {
+        assert_eq!(SessionRequest::parse_line(""), Ok(None));
+        assert_eq!(SessionRequest::parse_line("   # note"), Ok(None));
+        let req = SessionRequest::parse_line("n=1024 k=8 # trailing comment")
+            .unwrap()
+            .unwrap();
+        assert_eq!(req.spec.k, 8);
+        assert_eq!(req.size, 8);
+        assert_eq!(req.seed, 0);
+    }
+
+    #[test]
+    fn malformed_lines_are_rejected() {
+        assert!(SessionRequest::parse_line("n=1024").is_err()); // missing k
+        assert!(SessionRequest::parse_line("n=16 k=64").is_err()); // k > n
+        assert!(SessionRequest::parse_line("n=1024 k=8 overlap=9").is_err());
+        assert!(SessionRequest::parse_line("n=1024 k=8 bogus=1").is_err());
+        assert!(SessionRequest::parse_line("n=1024 k=8 protocol=warp").is_err());
+        assert!(SessionRequest::parse_line("nonsense").is_err());
+    }
+
+    #[test]
+    fn input_pairs_are_deterministic_and_honor_overlap() {
+        let req = SessionRequest::parse_line("n=2^16 k=32 overlap=10 seed=5")
+            .unwrap()
+            .unwrap();
+        let a = req.input_pair();
+        let b = req.input_pair();
+        assert_eq!(a, b);
+        assert_eq!(a.ground_truth().len(), 10);
+        assert_eq!(a.s.len(), 32);
+    }
+}

@@ -1,0 +1,640 @@
+//! The session scheduler: many concurrent two-party sessions on a
+//! bounded worker pool.
+//!
+//! # Architecture
+//!
+//! ```text
+//! submit ──▶ [admission queue, bounded] ──▶ dispatcher ──▶ [work queue] ──▶ W workers
+//!                 │ full? Rejected              │ gates in-flight ≤ M
+//!                 ▼                             ▼
+//!             registry.rejected            half-tasks, enqueued adjacently
+//! ```
+//!
+//! Each admitted session becomes **two half-tasks** — Alice's side and
+//! Bob's side of the same protocol run, connected by the same metered
+//! endpoint pair a dedicated [`run_two_party`] call would use — so a
+//! pool of `W` workers multiplexes up to `⌊W/2⌋`-plus-change sessions
+//! without a thread per session.
+//!
+//! # Deadlock freedom
+//!
+//! A half-task blocks inside `recv` until its peer half runs, so naive
+//! scheduling can deadlock (every worker holding a first half). Two
+//! invariants rule that out:
+//!
+//! 1. the dispatcher enqueues the two halves of a session **adjacently**
+//!    into a strict-FIFO work queue, so the set of claimed half-tasks is
+//!    always a queue prefix, which can contain at most one session with
+//!    only one half claimed; and
+//! 2. the pool has at least two workers, so any claimed prefix contains
+//!    a fully-claimed session, which runs to completion (protocol
+//!    timeouts backstop it) and frees a worker to claim the missing
+//!    half at the queue head.
+//!
+//! # Determinism
+//!
+//! Session substrate comes from [`linked_pair`] and costs from
+//! [`assemble_report`] — the exact constructor and fold used by
+//! [`run_two_party`] — and every session gets its own [`CoinSource`]
+//! derived from its request seed, never shared across sessions. A
+//! session served by the engine is therefore bit-for-bit identical to
+//! the same request served by a dedicated `execute` call, and the
+//! deterministic half of the registry is independent of worker count.
+
+use crate::registry::{EngineSnapshot, Registry};
+use crate::request::SessionRequest;
+use crate::router::{route, RoutePolicy};
+use crossbeam_channel::{bounded, unbounded, Receiver, Sender, TrySendError};
+use intersect_comm::chan::{Chan, Endpoint};
+use intersect_comm::coins::CoinSource;
+use intersect_comm::error::ProtocolError;
+use intersect_comm::runner::{assemble_report, linked_pair, RunConfig, Side};
+use intersect_comm::stats::{ChannelStats, CostReport};
+use intersect_comm::trace::{Direction, PhaseSummary, Traced};
+use intersect_core::api::{ProtocolChoice, SetIntersection};
+use intersect_core::sets::ElementSet;
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+/// Tuning knobs for an [`Engine`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EngineConfig {
+    /// Worker threads in the pool (clamped to at least 2: each session
+    /// needs both of its halves running to make progress).
+    pub workers: usize,
+    /// Admission-queue depth; a full queue rejects further submissions.
+    pub queue_capacity: usize,
+    /// Sessions allowed in flight at once. The dispatcher withholds new
+    /// sessions beyond this, which is what lets the admission queue back
+    /// up and exercise rejection.
+    pub max_in_flight: usize,
+    /// Protocol selection for requests without an override.
+    pub policy: RoutePolicy,
+    /// If set, the session with this id records a phase-by-phase bit
+    /// breakdown (from Alice's perspective) into its outcome.
+    pub debug_session: Option<u64>,
+}
+
+impl EngineConfig {
+    /// A configuration with `workers` workers, in-flight cap equal to
+    /// the worker count, a 64-deep admission queue, and auto routing.
+    pub fn new(workers: usize) -> Self {
+        EngineConfig {
+            workers,
+            queue_capacity: 64,
+            max_in_flight: workers,
+            policy: RoutePolicy::default(),
+            debug_session: None,
+        }
+    }
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig::new(4)
+    }
+}
+
+/// Why a submission was not admitted.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SubmitError {
+    /// Admission control turned the session away.
+    Rejected {
+        /// `true` when the admission queue was at capacity (backpressure);
+        /// `false` when the engine is shutting down.
+        queue_full: bool,
+    },
+    /// The request's parameters are infeasible.
+    Invalid(String),
+}
+
+impl std::fmt::Display for SubmitError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SubmitError::Rejected { queue_full: true } => f.write_str("rejected: queue full"),
+            SubmitError::Rejected { queue_full: false } => f.write_str("rejected: shutting down"),
+            SubmitError::Invalid(why) => write!(f, "invalid request: {why}"),
+        }
+    }
+}
+
+impl std::error::Error for SubmitError {}
+
+/// The final record of one session.
+#[derive(Debug, Clone)]
+pub struct SessionOutcome {
+    /// The request that produced this session.
+    pub request: SessionRequest,
+    /// The protocol the router (or an override) selected.
+    pub protocol: ProtocolChoice,
+    /// The instantiated protocol's display name.
+    pub protocol_name: String,
+    /// Alice's output, if her half succeeded.
+    pub alice: Option<ElementSet>,
+    /// Bob's output, if his half succeeded.
+    pub bob: Option<ElementSet>,
+    /// The primary failure, if any (secondary hangups are suppressed
+    /// exactly as in [`run_two_party`]).
+    pub error: Option<ProtocolError>,
+    /// Exact communication cost, identical to what a dedicated
+    /// [`run_two_party`] call would report for this session.
+    pub report: CostReport,
+    /// Wall-clock admission-to-outcome latency in microseconds.
+    pub latency_micros: u64,
+    /// Phase-by-phase bit breakdown, present only for the configured
+    /// [`EngineConfig::debug_session`].
+    pub trace: Option<Vec<PhaseSummary>>,
+}
+
+impl SessionOutcome {
+    /// `true` iff both parties finished and agree on the intersection.
+    pub fn succeeded(&self) -> bool {
+        match (&self.alice, &self.bob) {
+            (Some(a), Some(b)) => a == b,
+            _ => false,
+        }
+    }
+}
+
+/// Everything an engine run produced: the final snapshot plus every
+/// session outcome, sorted by request id.
+#[derive(Debug, Clone)]
+pub struct EngineReport {
+    /// Final registry snapshot.
+    pub snapshot: EngineSnapshot,
+    /// One outcome per admitted session.
+    pub outcomes: Vec<SessionOutcome>,
+}
+
+/// One side of one session, ready to run on any worker.
+struct HalfTask {
+    side: Side,
+    endpoint: Endpoint,
+    input: ElementSet,
+    coins: CoinSource,
+    shared: Arc<SessionShared>,
+}
+
+/// The result of running one half.
+struct HalfDone {
+    side: Side,
+    result: Result<ElementSet, ProtocolError>,
+    stats: ChannelStats,
+    events: Option<Vec<intersect_comm::trace::TraceEvent>>,
+}
+
+/// State the two halves of a session share; whichever half finishes
+/// second assembles the outcome.
+struct SessionShared {
+    request: SessionRequest,
+    choice: ProtocolChoice,
+    protocol: Arc<dyn SetIntersection>,
+    admitted_at: Instant,
+    traced: bool,
+    first_half: Mutex<Option<HalfDone>>,
+    registry: Arc<Registry>,
+    outcome_tx: Sender<SessionOutcome>,
+    done_tx: Sender<()>,
+}
+
+impl SessionShared {
+    fn complete(&self, half: HalfDone) {
+        let earlier = {
+            let mut cell = self.first_half.lock().expect("session cell poisoned");
+            match cell.take() {
+                None => {
+                    *cell = Some(half);
+                    return;
+                }
+                Some(earlier) => earlier,
+            }
+        };
+        self.finish(earlier, half);
+    }
+
+    fn finish(&self, one: HalfDone, two: HalfDone) {
+        let (a, b) = if one.side.is_alice() {
+            (one, two)
+        } else {
+            (two, one)
+        };
+        debug_assert!(a.side.is_alice() && b.side == Side::Bob);
+        let report = assemble_report(a.stats, b.stats);
+        let error = match (&a.result, &b.result) {
+            (Ok(_), Ok(_)) => None,
+            (Err(e), Ok(_)) | (Ok(_), Err(e)) => Some(e.clone()),
+            (Err(ea), Err(eb)) => {
+                // Same tie-break as run_two_party: the root cause beats a
+                // secondary hangup/timeout on the other side.
+                let secondary = |e: &ProtocolError| {
+                    matches!(e, ProtocolError::ChannelClosed | ProtocolError::Timeout)
+                };
+                if secondary(ea) && !secondary(eb) {
+                    Some(eb.clone())
+                } else {
+                    Some(ea.clone())
+                }
+            }
+        };
+        let trace = a.events.as_deref().map(round_summaries);
+        let outcome = SessionOutcome {
+            request: self.request.clone(),
+            protocol: self.choice,
+            protocol_name: self.protocol.name(),
+            alice: a.result.ok(),
+            bob: b.result.ok(),
+            error,
+            report,
+            latency_micros: self.admitted_at.elapsed().as_micros() as u64,
+            trace,
+        };
+        self.registry.record_outcome(
+            &outcome.protocol_name,
+            &report,
+            outcome.succeeded(),
+            outcome.latency_micros,
+        );
+        let _ = self.outcome_tx.send(outcome);
+        // The dispatcher may already be gone during drain; that's fine.
+        let _ = self.done_tx.send(());
+    }
+}
+
+/// Folds a raw event log into per-round bit totals for the debug dump.
+fn round_summaries(events: &[intersect_comm::trace::TraceEvent]) -> Vec<PhaseSummary> {
+    let mut out: Vec<PhaseSummary> = Vec::new();
+    for ev in events {
+        let label = format!("round {}", ev.clock);
+        let entry = match out.iter_mut().find(|p| p.label == label) {
+            Some(e) => e,
+            None => {
+                out.push(PhaseSummary {
+                    label,
+                    bits_sent: 0,
+                    bits_received: 0,
+                    messages: 0,
+                });
+                out.last_mut().expect("just pushed")
+            }
+        };
+        entry.messages += 1;
+        match ev.direction {
+            Direction::Sent => entry.bits_sent += ev.bits as u64,
+            Direction::Received => entry.bits_received += ev.bits as u64,
+        }
+    }
+    out
+}
+
+fn run_half(task: HalfTask) {
+    let HalfTask {
+        side,
+        endpoint,
+        input,
+        coins,
+        shared,
+    } = task;
+    let spec = shared.request.spec;
+    let (result, stats, events) = if shared.traced && side.is_alice() {
+        let mut traced = Traced::new(endpoint);
+        let result = shared.protocol.run(&mut traced, &coins, side, spec, &input);
+        let stats = traced.stats();
+        (result, stats, Some(traced.into_events()))
+    } else {
+        let mut endpoint = endpoint;
+        let result = shared
+            .protocol
+            .run(&mut endpoint, &coins, side, spec, &input);
+        let stats = endpoint.stats();
+        (result, stats, None)
+        // endpoint drops here, so a peer blocked mid-protocol sees a
+        // hangup instead of waiting out the timeout.
+    };
+    shared.complete(HalfDone {
+        side,
+        result,
+        stats,
+        events,
+    });
+}
+
+/// A running session engine. Submit requests from any thread; call
+/// [`finish`](Engine::finish) to drain and collect the outcomes.
+///
+/// # Examples
+///
+/// ```
+/// use intersect_core::sets::ProblemSpec;
+/// use intersect_engine::{Engine, EngineConfig, SessionRequest};
+///
+/// let engine = Engine::start(EngineConfig::new(2));
+/// for id in 0..4 {
+///     let req = SessionRequest::new(id, ProblemSpec::new(1 << 16, 16), 5);
+///     engine.submit(req)?;
+/// }
+/// let report = engine.finish();
+/// assert_eq!(report.outcomes.len(), 4);
+/// assert!(report.outcomes.iter().all(|o| o.succeeded()));
+/// assert_eq!(report.snapshot.metrics.completed, 4);
+/// # Ok::<(), intersect_engine::SubmitError>(())
+/// ```
+#[derive(Debug)]
+pub struct Engine {
+    admit_tx: Sender<SessionRequest>,
+    outcome_rx: Receiver<SessionOutcome>,
+    registry: Arc<Registry>,
+    workers: usize,
+    dispatcher: JoinHandle<()>,
+    worker_handles: Vec<JoinHandle<()>>,
+}
+
+impl Engine {
+    /// Spawns the worker pool and dispatcher and starts admitting.
+    pub fn start(config: EngineConfig) -> Engine {
+        let workers = config.workers.max(2);
+        let max_in_flight = config.max_in_flight.max(1);
+        let (admit_tx, admit_rx) = bounded::<SessionRequest>(config.queue_capacity.max(1));
+        let (work_tx, work_rx) = unbounded::<HalfTask>();
+        let (outcome_tx, outcome_rx) = unbounded::<SessionOutcome>();
+        let (done_tx, done_rx) = unbounded::<()>();
+        let registry = Arc::new(Registry::default());
+
+        let worker_handles: Vec<JoinHandle<()>> = (0..workers)
+            .map(|_| {
+                let work_rx = work_rx.clone();
+                std::thread::spawn(move || {
+                    for task in work_rx.iter() {
+                        run_half(task);
+                    }
+                })
+            })
+            .collect();
+        drop(work_rx);
+
+        let dispatcher = {
+            let registry = Arc::clone(&registry);
+            let policy = config.policy;
+            let debug_session = config.debug_session;
+            std::thread::spawn(move || {
+                let mut in_flight = 0usize;
+                for request in admit_rx.iter() {
+                    while in_flight >= max_in_flight {
+                        if done_rx.recv().is_err() {
+                            return; // all workers gone
+                        }
+                        in_flight -= 1;
+                    }
+                    let choice = route(&request, policy);
+                    let protocol: Arc<dyn SetIntersection> = Arc::from(choice.build(request.spec));
+                    let pair = request.input_pair();
+                    // The same substrate constructor run_two_party uses,
+                    // seeded per session: bit-for-bit parity with a
+                    // dedicated single-session run.
+                    let (ep_a, ep_b, coins) = linked_pair(&RunConfig::with_seed(request.seed));
+                    let shared = Arc::new(SessionShared {
+                        traced: debug_session == Some(request.id),
+                        request,
+                        choice,
+                        protocol,
+                        admitted_at: Instant::now(),
+                        first_half: Mutex::new(None),
+                        registry: Arc::clone(&registry),
+                        outcome_tx: outcome_tx.clone(),
+                        done_tx: done_tx.clone(),
+                    });
+                    // Both halves enqueued adjacently: see the module docs
+                    // on deadlock freedom.
+                    let half = |side: Side, endpoint, input| HalfTask {
+                        side,
+                        endpoint,
+                        input,
+                        coins: coins.clone(),
+                        shared: Arc::clone(&shared),
+                    };
+                    if work_tx.send(half(Side::Alice, ep_a, pair.s)).is_err() {
+                        return;
+                    }
+                    if work_tx.send(half(Side::Bob, ep_b, pair.t)).is_err() {
+                        return;
+                    }
+                    in_flight += 1;
+                }
+            })
+        };
+
+        Engine {
+            admit_tx,
+            outcome_rx,
+            registry,
+            workers,
+            dispatcher,
+            worker_handles,
+        }
+    }
+
+    /// Non-blocking admission: rejects immediately when the queue is full.
+    ///
+    /// # Errors
+    ///
+    /// [`SubmitError::Rejected`] with `queue_full: true` under
+    /// backpressure, and [`SubmitError::Invalid`] for infeasible requests
+    /// (which never reach the queue).
+    pub fn try_submit(&self, request: SessionRequest) -> Result<(), SubmitError> {
+        request.validate().map_err(SubmitError::Invalid)?;
+        match self.admit_tx.try_send(request) {
+            Ok(()) => {
+                self.registry.record_submitted();
+                Ok(())
+            }
+            Err(TrySendError::Full(_)) => {
+                self.registry.record_rejected();
+                Err(SubmitError::Rejected { queue_full: true })
+            }
+            Err(TrySendError::Disconnected(_)) => Err(SubmitError::Rejected { queue_full: false }),
+        }
+    }
+
+    /// Blocking admission: waits for queue space instead of rejecting.
+    ///
+    /// # Errors
+    ///
+    /// [`SubmitError::Invalid`] for infeasible requests;
+    /// [`SubmitError::Rejected`] only if the engine is shutting down.
+    pub fn submit(&self, request: SessionRequest) -> Result<(), SubmitError> {
+        request.validate().map_err(SubmitError::Invalid)?;
+        self.admit_tx
+            .send(request)
+            .map_err(|_| SubmitError::Rejected { queue_full: false })?;
+        self.registry.record_submitted();
+        Ok(())
+    }
+
+    /// A live view of the aggregate metrics (sessions may still be in
+    /// flight; use [`finish`](Engine::finish) for the settled totals).
+    pub fn snapshot(&self) -> EngineSnapshot {
+        self.registry.snapshot(self.workers as u64)
+    }
+
+    /// Outcomes that have already settled, in completion order. Mostly
+    /// useful for streaming consumers; [`finish`](Engine::finish) returns
+    /// everything sorted.
+    pub fn drain_outcomes(&self) -> Vec<SessionOutcome> {
+        self.outcome_rx.try_iter().collect()
+    }
+
+    /// Stops admitting, drains every in-flight session, joins the pool,
+    /// and returns the settled report. Outcomes are sorted by request id.
+    pub fn finish(self) -> EngineReport {
+        let Engine {
+            admit_tx,
+            outcome_rx,
+            registry,
+            workers,
+            dispatcher,
+            worker_handles,
+        } = self;
+        drop(admit_tx);
+        dispatcher.join().expect("dispatcher panicked");
+        for handle in worker_handles {
+            handle.join().expect("worker panicked");
+        }
+        let mut outcomes: Vec<SessionOutcome> = outcome_rx.try_iter().collect();
+        outcomes.sort_by_key(|o| o.request.id);
+        EngineReport {
+            snapshot: registry.snapshot(workers as u64),
+            outcomes,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use intersect_core::api::execute;
+    use intersect_core::sets::ProblemSpec;
+
+    fn mixed_requests(count: u64) -> Vec<SessionRequest> {
+        let shapes = [
+            (1u64 << 16, 16u64),
+            (1 << 18, 32),
+            (1 << 20, 64),
+            (1 << 16, 8),
+        ];
+        (0..count)
+            .map(|id| {
+                let (n, k) = shapes[(id % shapes.len() as u64) as usize];
+                let mut req = SessionRequest::new(id, ProblemSpec::new(n, k), (id % k) as usize);
+                req.seed = id.wrapping_mul(0x9e37_79b9) + 1;
+                req
+            })
+            .collect()
+    }
+
+    #[test]
+    fn engine_outcomes_match_dedicated_runs_bit_for_bit() {
+        let engine = Engine::start(EngineConfig::new(4));
+        let requests = mixed_requests(24);
+        for req in &requests {
+            engine.submit(req.clone()).unwrap();
+        }
+        let report = engine.finish();
+        assert_eq!(report.outcomes.len(), 24);
+        for outcome in &report.outcomes {
+            let req = &outcome.request;
+            let pair = req.input_pair();
+            let reference = execute(
+                outcome.protocol.build(req.spec).as_ref(),
+                req.spec,
+                &pair,
+                req.seed,
+            )
+            .unwrap();
+            assert!(outcome.succeeded(), "session {} failed", req.id);
+            assert_eq!(outcome.alice.as_ref().unwrap(), &pair.ground_truth());
+            assert_eq!(outcome.report, reference.report, "session {}", req.id);
+        }
+    }
+
+    #[test]
+    fn backpressure_rejects_when_queue_and_pool_are_full() {
+        // Two workers serve exactly one session at a time; the queue holds
+        // one more. A burst must therefore overflow into rejections.
+        let mut config = EngineConfig::new(2);
+        config.max_in_flight = 1;
+        config.queue_capacity = 1;
+        let engine = Engine::start(config);
+        let mut rejected = 0;
+        let mut admitted = 0;
+        for req in mixed_requests(64) {
+            match engine.try_submit(req) {
+                Ok(()) => admitted += 1,
+                Err(SubmitError::Rejected { queue_full }) => {
+                    assert!(queue_full);
+                    rejected += 1;
+                }
+                Err(other) => panic!("unexpected: {other}"),
+            }
+        }
+        assert!(
+            rejected > 0,
+            "burst of 64 into a depth-1 queue never rejected"
+        );
+        let report = engine.finish();
+        assert_eq!(report.snapshot.metrics.rejected, rejected);
+        assert_eq!(report.snapshot.metrics.submitted, admitted);
+        assert_eq!(report.outcomes.len() as u64, admitted);
+        assert!(report.outcomes.iter().all(|o| o.succeeded()));
+    }
+
+    #[test]
+    fn invalid_requests_never_reach_the_queue() {
+        let engine = Engine::start(EngineConfig::new(2));
+        let mut bad = SessionRequest::new(0, ProblemSpec::new(1 << 16, 16), 0);
+        bad.size = 17; // exceeds k
+        assert!(matches!(
+            engine.try_submit(bad),
+            Err(SubmitError::Invalid(_))
+        ));
+        let report = engine.finish();
+        assert_eq!(report.snapshot.metrics.submitted, 0);
+        assert_eq!(report.snapshot.metrics.rejected, 0);
+    }
+
+    #[test]
+    fn debug_session_records_a_phase_breakdown() {
+        let mut config = EngineConfig::new(2);
+        config.debug_session = Some(7);
+        let engine = Engine::start(config);
+        for req in mixed_requests(9) {
+            engine.submit(req).unwrap();
+        }
+        let report = engine.finish();
+        for outcome in &report.outcomes {
+            if outcome.request.id == 7 {
+                let trace = outcome.trace.as_ref().expect("flagged session traced");
+                assert!(!trace.is_empty());
+                let traced_bits: u64 = trace.iter().map(|p| p.bits_sent + p.bits_received).sum();
+                assert_eq!(traced_bits, outcome.report.total_bits());
+            } else {
+                assert!(outcome.trace.is_none(), "only the flagged session traces");
+            }
+        }
+    }
+
+    #[test]
+    fn fixed_policy_and_overrides_reach_the_outcomes() {
+        let mut config = EngineConfig::new(2);
+        config.policy = RoutePolicy::Fixed(ProtocolChoice::Trivial);
+        let engine = Engine::start(config);
+        let spec = ProblemSpec::new(1 << 16, 16);
+        engine.submit(SessionRequest::new(0, spec, 4)).unwrap();
+        let mut pinned = SessionRequest::new(1, spec, 4);
+        pinned.protocol = Some(ProtocolChoice::Sqrt);
+        engine.submit(pinned).unwrap();
+        let report = engine.finish();
+        assert_eq!(report.outcomes[0].protocol, ProtocolChoice::Trivial);
+        assert_eq!(report.outcomes[1].protocol, ProtocolChoice::Sqrt);
+        assert_eq!(report.snapshot.metrics.per_protocol.len(), 2);
+    }
+}

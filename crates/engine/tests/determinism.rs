@@ -1,0 +1,69 @@
+//! Worker-count invariance: the deterministic half of an engine snapshot
+//! is a pure function of the admitted workload. Two engines serving the
+//! identical request sequence with different pool sizes must produce
+//! byte-identical metrics.
+
+use intersect_core::sets::ProblemSpec;
+use intersect_engine::prelude::*;
+use proptest::prelude::*;
+
+fn run_batch(requests: &[SessionRequest], workers: usize) -> EngineReport {
+    let engine = Engine::start(EngineConfig::new(workers));
+    for req in requests {
+        engine.submit(req.clone()).unwrap();
+    }
+    engine.finish()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    #[test]
+    fn metrics_are_invariant_under_worker_count(
+        sessions in prop::collection::vec(
+            (0usize..4, 0u64..=16, any::<u64>()),
+            5..25,
+        ),
+        workers_a in 2usize..5,
+        workers_b in 5usize..9,
+    ) {
+        let shapes = [
+            (1u64 << 16, 8u64),
+            (1 << 16, 16),
+            (1 << 18, 16),
+            (1 << 18, 32),
+        ];
+        let requests: Vec<SessionRequest> = sessions
+            .iter()
+            .enumerate()
+            .map(|(id, &(shape, overlap, seed))| {
+                let (n, k) = shapes[shape];
+                let mut req =
+                    SessionRequest::new(id as u64, ProblemSpec::new(n, k), (overlap % (k + 1)) as usize);
+                req.seed = seed;
+                req
+            })
+            .collect();
+
+        let narrow = run_batch(&requests, workers_a);
+        let wide = run_batch(&requests, workers_b);
+
+        // The deterministic half of the snapshot is identical down to the
+        // serialized bytes; only wall-clock latency may differ.
+        prop_assert_eq!(&narrow.snapshot.metrics, &wide.snapshot.metrics);
+        prop_assert_eq!(
+            serde_json::to_string(&narrow.snapshot.metrics).unwrap(),
+            serde_json::to_string(&wide.snapshot.metrics).unwrap()
+        );
+
+        // Stronger: every individual session settled identically.
+        prop_assert_eq!(narrow.outcomes.len(), wide.outcomes.len());
+        for (a, b) in narrow.outcomes.iter().zip(&wide.outcomes) {
+            prop_assert_eq!(&a.request, &b.request);
+            prop_assert_eq!(a.protocol, b.protocol);
+            prop_assert_eq!(a.report, b.report);
+            prop_assert_eq!(&a.alice, &b.alice);
+            prop_assert_eq!(&a.bob, &b.bob);
+        }
+    }
+}

@@ -202,7 +202,9 @@ mod tests {
 
     #[test]
     fn membership_is_exact_for_sparse_keys() {
-        let keys: Vec<u64> = (0..200u64).map(|i| i.wrapping_mul(2_654_435_761) % (1 << 40)).collect();
+        let keys: Vec<u64> = (0..200u64)
+            .map(|i| i.wrapping_mul(2_654_435_761) % (1 << 40))
+            .collect();
         let mut distinct = keys.clone();
         distinct.sort_unstable();
         distinct.dedup();

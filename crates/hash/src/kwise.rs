@@ -45,7 +45,10 @@ impl KWiseHash {
         range: u64,
     ) -> Self {
         assert!(independence >= 1, "independence must be at least 1");
-        assert!(universe > 0 && range > 0, "domain and range must be non-empty");
+        assert!(
+            universe > 0 && range > 0,
+            "domain and range must be non-empty"
+        );
         let p = next_prime(universe.max(2));
         let coeffs = (0..independence).map(|_| rng.gen_range(0..p)).collect();
         KWiseHash {
@@ -62,7 +65,11 @@ impl KWiseHash {
     ///
     /// Panics if `x` lies outside the universe.
     pub fn eval(&self, x: u64) -> u64 {
-        assert!(x < self.universe, "{x} outside universe [{}]", self.universe);
+        assert!(
+            x < self.universe,
+            "{x} outside universe [{}]",
+            self.universe
+        );
         let mut acc = 0u64;
         for &c in self.coeffs.iter().rev() {
             acc = (mul_mod(acc, x, self.p) + c) % self.p;

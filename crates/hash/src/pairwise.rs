@@ -69,7 +69,11 @@ impl PairwiseHash {
     ///
     /// Panics if `x` lies outside the universe.
     pub fn eval(&self, x: u64) -> u64 {
-        assert!(x < self.universe, "{x} outside universe [{}]", self.universe);
+        assert!(
+            x < self.universe,
+            "{x} outside universe [{}]",
+            self.universe
+        );
         (mul_mod(self.a, x, self.p) + self.b) % self.p % self.range
     }
 
@@ -105,11 +109,7 @@ impl PairwiseHash {
     ///
     /// Returns a [`CodecError`] if the stream is short or the seed is out of
     /// range for the field.
-    pub fn read_seed(
-        r: &mut BitReader<'_>,
-        universe: u64,
-        range: u64,
-    ) -> Result<Self, CodecError> {
+    pub fn read_seed(r: &mut BitReader<'_>, universe: u64, range: u64) -> Result<Self, CodecError> {
         let p = Self::field_prime(universe);
         let w = bit_width_for(p);
         let a = r.read_bits(w)?;

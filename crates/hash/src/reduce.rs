@@ -116,11 +116,7 @@ impl ModPrimeReduction {
     /// # Errors
     ///
     /// Returns a [`CodecError`] if the stream is short.
-    pub fn read_seed(
-        r: &mut BitReader<'_>,
-        universe: u64,
-        k: u64,
-    ) -> Result<Self, CodecError> {
+    pub fn read_seed(r: &mut BitReader<'_>, universe: u64, k: u64) -> Result<Self, CodecError> {
         let (lo, hi) = Self::window(universe, k);
         let width = bit_width_for(hi - lo);
         let offset = r.read_bits(width)?;

@@ -111,10 +111,7 @@ mod tests {
         }
         for (b, &count) in ones.iter().enumerate() {
             let frac = count as f64 / samples as f64;
-            assert!(
-                (0.42..0.58).contains(&frac),
-                "bit {b} biased: {frac:.3}"
-            );
+            assert!((0.42..0.58).contains(&frac), "bit {b} biased: {frac:.3}");
         }
     }
 

@@ -1,12 +1,12 @@
 //! Property-based tests for the hashing substrate.
 
+use intersect_comm::bits::BitBuf;
 use intersect_hash::fks::FksTable;
 use intersect_hash::kwise::KWiseHash;
 use intersect_hash::pairwise::PairwiseHash;
 use intersect_hash::prime::{is_prime, mul_mod, next_prime, pow_mod};
 use intersect_hash::reduce::ModPrimeReduction;
 use intersect_hash::tabulation::TabulationHash;
-use intersect_comm::bits::BitBuf;
 use proptest::prelude::*;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;

@@ -100,9 +100,7 @@ impl AverageCase {
                 current = self.coordinate(ctx, level, &my_group, &current)?;
             } else {
                 // Run the member side, then retire.
-                let coins = ctx
-                    .coins()
-                    .fork(&pair_label("avg", level, coordinator, me));
+                let coins = ctx.coins().fork(&pair_label("avg", level, coordinator, me));
                 let mut chan = ctx.link(coordinator);
                 certified_pairwise(
                     self.pairwise,
@@ -188,7 +186,11 @@ impl AverageCase {
     /// # Panics
     ///
     /// Panics if `sets` is empty.
-    pub fn execute(&self, sets: &[ElementSet], seed: u64) -> Result<MultipartyOutcome, ProtocolError> {
+    pub fn execute(
+        &self,
+        sets: &[ElementSet],
+        seed: u64,
+    ) -> Result<MultipartyOutcome, ProtocolError> {
         assert!(!sets.is_empty(), "need at least one player");
         let cfg = NetworkConfig::new(sets.len(), seed);
         let out = run_network(&cfg, |ctx| self.run(ctx, &sets[ctx.id()]))?;
@@ -283,7 +285,9 @@ mod tests {
     fn single_player_returns_own_set() {
         let spec = ProblemSpec::new(100, 4);
         let s = ElementSet::from_iter([1u64, 2]);
-        let out = AverageCase::new(spec, 2).execute(std::slice::from_ref(&s), 1).unwrap();
+        let out = AverageCase::new(spec, 2)
+            .execute(std::slice::from_ref(&s), 1)
+            .unwrap();
         assert_eq!(out.result, s);
         assert_eq!(out.report.total_bits(), 0);
     }

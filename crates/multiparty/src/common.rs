@@ -14,10 +14,7 @@ use intersect_core::tree::TreeProtocol;
 /// `group_size` (the paper's "groups of size at most 2k").
 pub fn partition(actives: &[usize], group_size: usize) -> Vec<Vec<usize>> {
     assert!(group_size >= 2, "groups must pair at least two players");
-    actives
-        .chunks(group_size)
-        .map(|c| c.to_vec())
-        .collect()
+    actives.chunks(group_size).map(|c| c.to_vec()).collect()
 }
 
 /// Parameters of the certified two-party intersection every multi-party

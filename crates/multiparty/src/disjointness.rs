@@ -136,9 +136,12 @@ mod tests {
     #[test]
     fn all_players_agree_on_the_verdict() {
         let spec = ProblemSpec::new(1 << 20, 16);
-        for (m, common, expect_disjoint) in
-            [(3usize, 0usize, true), (3, 1, false), (12, 0, true), (12, 5, false)]
-        {
+        for (m, common, expect_disjoint) in [
+            (3usize, 0usize, true),
+            (3, 1, false),
+            (12, 0, true),
+            (12, 5, false),
+        ] {
             let sets = sets_with_common(m as u64 * 7 + common as u64, spec, m, common);
             let out = MultipartyDisjointness::new(spec, 2)
                 .execute(&sets, 9)

@@ -18,8 +18,8 @@
 //! depth-`k` tree; a balanced one strictly improves the same construction;
 //! see DESIGN.md §1.1).
 
-use crate::common::{pair_label, partition, PairwiseConfig};
 use crate::average::MultipartyOutcome;
+use crate::common::{pair_label, partition, PairwiseConfig};
 use intersect_comm::bits::BitBuf;
 use intersect_comm::error::ProtocolError;
 use intersect_comm::net::{run_network, NetworkConfig, PlayerCtx};
@@ -142,8 +142,7 @@ impl WorstCase {
                         }
                     } else if my_rank % (2 * step_size) == step_size {
                         let host = group[my_rank - step_size];
-                        holding =
-                            self.play_match(ctx, level, &scope, host, Side::Bob, &holding)?;
+                        holding = self.play_match(ctx, level, &scope, host, Side::Bob, &holding)?;
                         if last_step {
                             partner_at_top = Some(host);
                         }
@@ -202,9 +201,9 @@ impl WorstCase {
             let verdict = match partner_at_top {
                 // Groups of one pair or more: certify with the top partner.
                 Some(peer) => {
-                    let coins = ctx
-                        .coins()
-                        .fork(&pair_label(&format!("{scope}/cert"), level, me, peer));
+                    let coins =
+                        ctx.coins()
+                            .fork(&pair_label(&format!("{scope}/cert"), level, me, peer));
                     let eq = EqualityTest::new(self.pairwise.certificate_bits);
                     let mut chan = ctx.link(peer);
                     eq.run(
@@ -217,7 +216,10 @@ impl WorstCase {
                 None => true,
             };
             // Broadcast to the rest of the group.
-            for &p in group.iter().filter(|&&p| p != me && Some(p) != partner_at_top) {
+            for &p in group
+                .iter()
+                .filter(|&&p| p != me && Some(p) != partner_at_top)
+            {
                 let mut bit = BitBuf::new();
                 bit.push_bit(verdict);
                 ctx.send_to(p, bit)?;
@@ -261,7 +263,11 @@ impl WorstCase {
     /// # Panics
     ///
     /// Panics if `sets` is empty.
-    pub fn execute(&self, sets: &[ElementSet], seed: u64) -> Result<MultipartyOutcome, ProtocolError> {
+    pub fn execute(
+        &self,
+        sets: &[ElementSet],
+        seed: u64,
+    ) -> Result<MultipartyOutcome, ProtocolError> {
         assert!(!sets.is_empty(), "need at least one player");
         let cfg = NetworkConfig::new(sets.len(), seed);
         let out = run_network(&cfg, |ctx| self.run(ctx, &sets[ctx.id()]))?;
@@ -358,7 +364,9 @@ mod tests {
     fn single_player() {
         let spec = ProblemSpec::new(100, 4);
         let s = ElementSet::from_iter([3u64]);
-        let out = WorstCase::new(spec, 2).execute(std::slice::from_ref(&s), 1).unwrap();
+        let out = WorstCase::new(spec, 2)
+            .execute(std::slice::from_ref(&s), 1)
+            .unwrap();
         assert_eq!(out.result, s);
     }
 

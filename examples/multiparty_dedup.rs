@@ -55,7 +55,12 @@ fn main() -> Result<(), ProtocolError> {
         .map(|i| Document::new(format!("a/{i}.txt"), format!("document body #{}", i % 120)))
         .collect();
     let library_b: Vec<Document> = (0..200)
-        .map(|i| Document::new(format!("b/{i}.txt"), format!("document body #{}", i % 150 + 60)))
+        .map(|i| {
+            Document::new(
+                format!("b/{i}.txt"),
+                format!("document body #{}", i % 150 + 60),
+            )
+        })
         .collect();
     let proto = DedupProtocol::new(TreeProtocol::log_star(256));
     let out = run_two_party(

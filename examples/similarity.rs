@@ -15,7 +15,11 @@ fn main() -> Result<(), ProtocolError> {
     let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(99);
 
     println!("exact statistics for three overlap regimes (k = 2048, n = 2^35):\n");
-    for (label, overlap) in [("near-disjoint", 64), ("half-shared", 1024), ("near-equal", 1984)] {
+    for (label, overlap) in [
+        ("near-disjoint", 64),
+        ("half-shared", 1024),
+        ("near-equal", 1984),
+    ] {
         let pair = InputPair::random_with_overlap(&mut rng, spec, 2048, overlap);
         let proto = SimilarityProtocol::new(TreeProtocol::log_star(spec.k));
         let out = run_two_party(

@@ -23,9 +23,16 @@ fn inspect(name: &str, proto: &dyn SetIntersection, spec: ProblemSpec, pair: &In
     .expect("protocol run");
     let (result, events) = out.alice;
     assert_eq!(result, pair.ground_truth());
-    println!("\n=== {name}: {} messages, {} rounds, {} bits total ===", 
-        events.len(), out.report.rounds, out.report.total_bits());
-    println!("{:>4} {:>10} {:>10} {:>7}", "#", "direction", "bits", "round");
+    println!(
+        "\n=== {name}: {} messages, {} rounds, {} bits total ===",
+        events.len(),
+        out.report.rounds,
+        out.report.total_bits()
+    );
+    println!(
+        "{:>4} {:>10} {:>10} {:>7}",
+        "#", "direction", "bits", "round"
+    );
     for (i, ev) in events.iter().enumerate() {
         let dir = match ev.direction {
             Direction::Sent => "A -> B",

@@ -1,0 +1,16 @@
+#!/usr/bin/env bash
+# Full pre-merge gate: formatting, lints (warnings are errors), all tests.
+# Run from anywhere; operates on the workspace that contains this script.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo fmt --check"
+cargo fmt --all --check
+
+echo "==> cargo clippy --workspace -- -D warnings"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "==> cargo test --workspace"
+cargo test -q --workspace
+
+echo "==> all checks passed"

@@ -77,9 +77,7 @@ fn parse_args() -> Options {
             "--a" => opts.a_path = value("--a"),
             "--b" => opts.b_path = value("--b"),
             "--protocol" => opts.protocol = value("--protocol"),
-            "--rounds" => {
-                opts.rounds = value("--rounds").parse().unwrap_or_else(|_| usage())
-            }
+            "--rounds" => opts.rounds = value("--rounds").parse().unwrap_or_else(|_| usage()),
             "--universe" => {
                 opts.universe = Some(parse_u64(&value("--universe")).unwrap_or_else(|| usage()))
             }
@@ -99,8 +97,8 @@ fn parse_args() -> Options {
 }
 
 fn load_set(path: &str) -> Result<ElementSet, String> {
-    let text = std::fs::read_to_string(Path::new(path))
-        .map_err(|e| format!("cannot read {path}: {e}"))?;
+    let text =
+        std::fs::read_to_string(Path::new(path)).map_err(|e| format!("cannot read {path}: {e}"))?;
     let mut elems = Vec::new();
     for (lineno, line) in text.lines().enumerate() {
         let line = line.split('#').next().unwrap_or("").trim();

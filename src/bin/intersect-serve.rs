@@ -1,0 +1,298 @@
+//! Serve many intersection sessions from one process: the front end of
+//! the `intersect-engine` session scheduler.
+//!
+//! ```text
+//! intersect-serve [--file <path>] [options]      # line-delimited requests
+//! intersect-serve --batch <count> [options]      # generated workload
+//! ```
+//!
+//! Request lines are whitespace-separated `key=value` tokens — e.g.
+//! `id=3 n=2^20 k=64 overlap=16 seed=7 protocol=tree-log-star` — with
+//! blank lines and `#` comments ignored; see
+//! [`SessionRequest::parse_line`]. Without `--file`, requests are read
+//! from stdin. Batch mode generates `count` sessions from the
+//! `--n/--k/--overlap/--seed` generator parameters instead.
+
+use intersect::engine::prelude::*;
+use std::io::{BufRead, Write as _};
+use std::process::ExitCode;
+
+struct Options {
+    file: Option<String>,
+    batch: Option<u64>,
+    n: u64,
+    k: u64,
+    overlap: Option<usize>,
+    seed: u64,
+    workers: usize,
+    queue: usize,
+    in_flight: Option<usize>,
+    protocol: Option<String>,
+    round_penalty: f64,
+    debug_session: Option<u64>,
+    no_wait: bool,
+    json: bool,
+    quiet: bool,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: intersect-serve [--file <path>] [options]\n\
+         \n\
+         input (default: read request lines from stdin):\n\
+           --file <path>       read request lines from a file\n\
+           --batch <count>     generate <count> sessions instead of reading;\n\
+                               shaped by --n, --k, --overlap, --seed\n\
+           --n <n>             batch universe size (default 2^20; accepts 2^<e>)\n\
+           --k <k>             batch cardinality bound (default 64)\n\
+           --overlap <o>       batch intersection size (default k/4)\n\
+           --seed <s>          batch base seed; session i uses s + i (default 1)\n\
+         \n\
+         engine:\n\
+           --workers <w>       worker threads (default 4, min 2)\n\
+           --queue <c>         admission queue capacity (default 64)\n\
+           --in-flight <m>     max concurrent sessions (default: workers)\n\
+           --protocol <name>   pin every session to one protocol (default:\n\
+                               cost-model routing; per-line overrides still win)\n\
+           --round-penalty <b> bits one round is worth to the router (default 0)\n\
+           --debug-session <i> dump a phase-by-phase bit breakdown for session i\n\
+           --no-wait           reject when the queue is full instead of waiting\n\
+         \n\
+         output:\n\
+           --json              emit the final snapshot as JSON\n\
+           --quiet             suppress per-session result lines"
+    );
+    std::process::exit(2);
+}
+
+fn parse_u64(s: &str) -> Option<u64> {
+    if let Some(exp) = s.strip_prefix("2^") {
+        let e: u32 = exp.parse().ok()?;
+        return 1u64.checked_shl(e);
+    }
+    s.parse().ok()
+}
+
+fn parse_args() -> Options {
+    let mut opts = Options {
+        file: None,
+        batch: None,
+        n: 1 << 20,
+        k: 64,
+        overlap: None,
+        seed: 1,
+        workers: 4,
+        queue: 64,
+        in_flight: None,
+        protocol: None,
+        round_penalty: 0.0,
+        debug_session: None,
+        no_wait: false,
+        json: false,
+        quiet: false,
+    };
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut value = |name: &str| -> String {
+            match it.next() {
+                Some(v) => v.clone(),
+                None => {
+                    eprintln!("missing value for {name}");
+                    usage()
+                }
+            }
+        };
+        let int = |name: &str, v: String| -> u64 {
+            parse_u64(&v).unwrap_or_else(|| {
+                eprintln!("bad integer for {name}: {v:?}");
+                usage()
+            })
+        };
+        match arg.as_str() {
+            "--file" => opts.file = Some(value("--file")),
+            "--batch" => opts.batch = Some(int("--batch", value("--batch"))),
+            "--n" => opts.n = int("--n", value("--n")),
+            "--k" => opts.k = int("--k", value("--k")),
+            "--overlap" => opts.overlap = Some(int("--overlap", value("--overlap")) as usize),
+            "--seed" => opts.seed = int("--seed", value("--seed")),
+            "--workers" => opts.workers = int("--workers", value("--workers")) as usize,
+            "--queue" => opts.queue = int("--queue", value("--queue")) as usize,
+            "--in-flight" => {
+                opts.in_flight = Some(int("--in-flight", value("--in-flight")) as usize)
+            }
+            "--protocol" => opts.protocol = Some(value("--protocol")),
+            "--round-penalty" => {
+                opts.round_penalty = value("--round-penalty").parse().unwrap_or_else(|_| usage())
+            }
+            "--debug-session" => {
+                opts.debug_session = Some(int("--debug-session", value("--debug-session")))
+            }
+            "--no-wait" => opts.no_wait = true,
+            "--json" => opts.json = true,
+            "--quiet" => opts.quiet = true,
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("unknown argument {other}");
+                usage()
+            }
+        }
+    }
+    opts
+}
+
+fn requests(opts: &Options) -> Result<Vec<SessionRequest>, String> {
+    if let Some(count) = opts.batch {
+        let spec = intersect::core::sets::ProblemSpec::new(opts.n, opts.k.clamp(1, opts.n));
+        let overlap = opts.overlap.unwrap_or((opts.k / 4) as usize);
+        return Ok((0..count)
+            .map(|i| {
+                let mut req = SessionRequest::new(i, spec, overlap);
+                req.seed = opts.seed.wrapping_add(i);
+                req
+            })
+            .collect());
+    }
+    let text = match &opts.file {
+        Some(path) => {
+            std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?
+        }
+        None => {
+            let mut buf = String::new();
+            for line in std::io::stdin().lock().lines() {
+                buf.push_str(&line.map_err(|e| format!("stdin: {e}"))?);
+                buf.push('\n');
+            }
+            buf
+        }
+    };
+    let mut out = Vec::new();
+    for (lineno, line) in text.lines().enumerate() {
+        match SessionRequest::parse_line(line) {
+            Ok(Some(mut req)) => {
+                // Default ids to the request's position so outcomes stay
+                // attributable when the input omits them.
+                if req.id == 0 && req.seed == 0 {
+                    req.id = lineno as u64;
+                    req.seed = lineno as u64;
+                }
+                out.push(req);
+            }
+            Ok(None) => {}
+            Err(e) => return Err(format!("line {}: {e}", lineno + 1)),
+        }
+    }
+    Ok(out)
+}
+
+fn print_outcome(out: &mut impl std::io::Write, outcome: &SessionOutcome) {
+    let status = if outcome.succeeded() {
+        "ok".to_string()
+    } else {
+        match &outcome.error {
+            Some(e) => format!("error: {e}"),
+            None => "disagree".to_string(),
+        }
+    };
+    let _ = writeln!(
+        out,
+        "id={} protocol={} bits={} messages={} rounds={} latency_us={} {}",
+        outcome.request.id,
+        outcome.protocol,
+        outcome.report.total_bits(),
+        outcome.report.messages,
+        outcome.report.rounds,
+        outcome.latency_micros,
+        status,
+    );
+    if let Some(trace) = &outcome.trace {
+        let _ = writeln!(out, "# session {} phase breakdown:", outcome.request.id);
+        for phase in trace {
+            let _ = writeln!(
+                out,
+                "#   {:>10}: {:>8} bits sent, {:>8} bits received, {} messages",
+                phase.label, phase.bits_sent, phase.bits_received, phase.messages
+            );
+        }
+    }
+}
+
+fn main() -> ExitCode {
+    let opts = parse_args();
+    let requests = match requests(&opts) {
+        Ok(reqs) => reqs,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let policy = match &opts.protocol {
+        None => RoutePolicy::Auto {
+            round_penalty: opts.round_penalty,
+        },
+        Some(name) => match name.parse() {
+            Ok(choice) => RoutePolicy::Fixed(choice),
+            Err(e) => {
+                eprintln!("error: {e}");
+                return ExitCode::FAILURE;
+            }
+        },
+    };
+    let config = EngineConfig {
+        workers: opts.workers,
+        queue_capacity: opts.queue,
+        max_in_flight: opts.in_flight.unwrap_or(opts.workers),
+        policy,
+        debug_session: opts.debug_session,
+    };
+
+    let engine = Engine::start(config);
+    let mut invalid = 0u64;
+    for req in requests {
+        let result = if opts.no_wait {
+            engine.try_submit(req)
+        } else {
+            engine.submit(req)
+        };
+        match result {
+            Ok(()) => {}
+            Err(SubmitError::Rejected { queue_full }) => {
+                // Counted in the snapshot's rejected column; nothing to do
+                // per session unless the engine is gone entirely.
+                if !queue_full {
+                    eprintln!("error: engine stopped accepting sessions");
+                    return ExitCode::FAILURE;
+                }
+            }
+            Err(SubmitError::Invalid(why)) => {
+                eprintln!("skipping invalid request: {why}");
+                invalid += 1;
+            }
+        }
+    }
+    let report = engine.finish();
+
+    let stdout = std::io::stdout();
+    let mut out = stdout.lock();
+    if !opts.quiet {
+        for outcome in &report.outcomes {
+            print_outcome(&mut out, outcome);
+        }
+        let _ = writeln!(out);
+    }
+    if opts.json {
+        let _ = writeln!(out, "{}", report.snapshot.to_json());
+    } else {
+        let _ = write!(out, "{}", report.snapshot.to_markdown());
+    }
+    if invalid > 0 {
+        eprintln!("{invalid} invalid request(s) skipped");
+    }
+
+    let failed = report.outcomes.iter().any(|o| !o.succeeded());
+    if failed || invalid > 0 {
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}

@@ -21,6 +21,8 @@
 //! * [`core`] — the protocols (see [`core::tree`] for the headline result).
 //! * [`multiparty`] — the message-passing-model extensions.
 //! * [`apps`] — joins, similarity statistics, duplicate detection.
+//! * [`engine`] — the concurrent session engine (scheduler, router,
+//!   aggregate metrics; see the `intersect-serve` binary).
 //!
 //! # Examples
 //!
@@ -46,6 +48,7 @@
 pub use intersect_apps as apps;
 pub use intersect_comm as comm;
 pub use intersect_core as core;
+pub use intersect_engine as engine;
 pub use intersect_multiparty as multiparty;
 
 /// Re-export of the hashing substrate.
@@ -56,5 +59,6 @@ pub mod prelude {
     pub use intersect_apps::{DedupProtocol, JoinProtocol, SimilarityProtocol};
     pub use intersect_comm::prelude::*;
     pub use intersect_core::prelude::*;
+    pub use intersect_engine::prelude::*;
     pub use intersect_multiparty::{AverageCase, WorstCase};
 }

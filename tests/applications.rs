@@ -46,12 +46,30 @@ fn join_handles_heterogeneous_field_counts() {
     let spec = ProblemSpec::new(1 << 20, 16);
     let mut left = Table::new();
     let mut right = Table::new();
-    left.insert(Row { key: 1, fields: vec![] });
-    left.insert(Row { key: 2, fields: vec![10, 20, 30] });
-    left.insert(Row { key: 3, fields: vec![7] });
-    right.insert(Row { key: 2, fields: vec![99] });
-    right.insert(Row { key: 3, fields: vec![] });
-    right.insert(Row { key: 4, fields: vec![1] });
+    left.insert(Row {
+        key: 1,
+        fields: vec![],
+    });
+    left.insert(Row {
+        key: 2,
+        fields: vec![10, 20, 30],
+    });
+    left.insert(Row {
+        key: 3,
+        fields: vec![7],
+    });
+    right.insert(Row {
+        key: 2,
+        fields: vec![99],
+    });
+    right.insert(Row {
+        key: 3,
+        fields: vec![],
+    });
+    right.insert(Row {
+        key: 4,
+        fields: vec![1],
+    });
     let proto = JoinProtocol::default();
     let out = run_two_party(
         &RunConfig::with_seed(3),

@@ -25,8 +25,15 @@ fn computes_intersection_from_files() {
     let dir = temp_dir("basic");
     let a = write_set(&dir, "a.txt", "1\n5\n9\n42\n# comment\n0x10\n");
     let b = write_set(&dir, "b.txt", "5\n16\n42\n100\n");
-    let out = cli().args(["--a", &a, "--b", &b, "--quiet"]).output().unwrap();
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let out = cli()
+        .args(["--a", &a, "--b", &b, "--quiet"])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let stdout = String::from_utf8(out.stdout).unwrap();
     let got: Vec<u64> = stdout.lines().map(|l| l.parse().unwrap()).collect();
     assert_eq!(got, vec![5, 16, 42]);
@@ -40,9 +47,27 @@ fn all_protocols_agree_via_cli() {
     let a = write_set(&dir, "a.txt", &a_lines);
     let b = write_set(&dir, "b.txt", &b_lines);
     let mut outputs = Vec::new();
-    for proto in ["tree", "tree-pipelined", "sqrt", "trivial", "one-round", "basic", "iblt"] {
+    for proto in [
+        "tree",
+        "tree-pipelined",
+        "sqrt",
+        "trivial",
+        "one-round",
+        "basic",
+        "iblt",
+    ] {
         let out = cli()
-            .args(["--a", &a, "--b", &b, "--quiet", "--protocol", proto, "--seed", "3"])
+            .args([
+                "--a",
+                &a,
+                "--b",
+                &b,
+                "--quiet",
+                "--protocol",
+                proto,
+                "--seed",
+                "3",
+            ])
             .output()
             .unwrap();
         assert!(
@@ -107,9 +132,22 @@ fn universe_accepts_power_notation() {
     let a = write_set(&dir, "a.txt", "7\n1000000\n");
     let b = write_set(&dir, "b.txt", "7\n");
     let out = cli()
-        .args(["--a", &a, "--b", &b, "--universe", "2^30", "--protocol", "trivial"])
+        .args([
+            "--a",
+            &a,
+            "--b",
+            &b,
+            "--universe",
+            "2^30",
+            "--protocol",
+            "trivial",
+        ])
         .output()
         .unwrap();
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     assert_eq!(String::from_utf8(out.stdout).unwrap().trim(), "7");
 }

@@ -39,7 +39,12 @@ fn protocol_costs_are_replayable() {
         // And a different seed must (almost surely) change randomized
         // protocols' transcripts.
         let c = execute(proto.as_ref(), spec, &pair, 0xBEEF + 1).unwrap();
-        assert_eq!(c.alice, a.alice, "{}: output must not depend on seed", proto.name());
+        assert_eq!(
+            c.alice,
+            a.alice,
+            "{}: output must not depend on seed",
+            proto.name()
+        );
     }
 }
 

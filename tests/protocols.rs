@@ -69,8 +69,13 @@ fn tree_cost_envelope_is_o_k_iterlog_k() {
 fn trivial_is_optimal_to_within_a_few_bits_per_element() {
     let spec = ProblemSpec::new(1 << 20, 64);
     let pair = pair_with(spec, 64, 0, 1);
-    let run = execute(&TrivialExchange::new(intersect::core::trivial::SubsetCode::Binomial), spec, &pair, 1)
-        .unwrap();
+    let run = execute(
+        &TrivialExchange::new(intersect::core::trivial::SubsetCode::Binomial),
+        spec,
+        &pair,
+        1,
+    )
+    .unwrap();
     // First message = ⌈log2 C(2^20, ≤64)⌉ + 7 header bits ≈ 64·(14+1.44).
     let entropy = 64.0 * ((1u64 << 20) as f64 / 64.0).log2() + 64.0 * 1.5;
     assert!(
@@ -180,12 +185,19 @@ fn adversarial_clustered_inputs() {
     let spec = ProblemSpec::new(1 << 30, 256);
     let s: ElementSet = (1000u64..1256).collect();
     let t: ElementSet = (1128u64..1384).collect();
-    let pair = InputPair { s: s.clone(), t: t.clone() };
+    let pair = InputPair {
+        s: s.clone(),
+        t: t.clone(),
+    };
     let truth = s.intersection(&t);
     for choice in ProtocolChoice::all(4) {
         let proto = choice.build(spec);
         let run = execute(proto.as_ref(), spec, &pair, 77).unwrap();
-        assert!(run.matches(&truth), "{} wrong on clustered input", proto.name());
+        assert!(
+            run.matches(&truth),
+            "{} wrong on clustered input",
+            proto.name()
+        );
     }
 }
 
@@ -195,17 +207,19 @@ fn extreme_small_parameters() {
     for (n, k) in [(2u64, 1u64), (4, 2), (16, 4)] {
         let spec = ProblemSpec::new(n, k);
         let s: ElementSet = (0..k).collect();
-        let t: ElementSet = (k - 1..2 * k - 1).filter(|&x| x < n).take(k as usize).collect();
-        let pair = InputPair { s: s.clone(), t: t.clone() };
+        let t: ElementSet = (k - 1..2 * k - 1)
+            .filter(|&x| x < n)
+            .take(k as usize)
+            .collect();
+        let pair = InputPair {
+            s: s.clone(),
+            t: t.clone(),
+        };
         let truth = s.intersection(&t);
         for choice in ProtocolChoice::all(2) {
             let proto = choice.build(spec);
             let run = execute(proto.as_ref(), spec, &pair, 3).unwrap();
-            assert!(
-                run.matches(&truth),
-                "{} wrong on n={n} k={k}",
-                proto.name()
-            );
+            assert!(run.matches(&truth), "{} wrong on n={n} k={k}", proto.name());
         }
     }
 }

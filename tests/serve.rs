@@ -1,0 +1,153 @@
+//! End-to-end tests of the `intersect-serve` binary.
+
+use std::io::Write;
+use std::process::Command;
+
+fn serve() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_intersect-serve"))
+}
+
+fn temp_dir(tag: &str) -> std::path::PathBuf {
+    let dir =
+        std::env::temp_dir().join(format!("intersect-serve-test-{tag}-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+#[test]
+fn serves_a_request_file() {
+    let dir = temp_dir("file");
+    let path = dir.join("requests.txt");
+    let mut f = std::fs::File::create(&path).unwrap();
+    writeln!(f, "# three sessions, one pinned to the trivial protocol").unwrap();
+    writeln!(f, "id=1 n=2^16 k=16 overlap=4 seed=11").unwrap();
+    writeln!(f, "id=2 n=2^18 k=32 overlap=8 seed=12 protocol=trivial").unwrap();
+    writeln!(f, "id=3 n=2^16 k=8 overlap=0 seed=13 protocol=tree:2").unwrap();
+    drop(f);
+
+    let out = serve()
+        .args(["--file", path.to_str().unwrap(), "--workers", "2"])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(stdout.contains("id=1"), "{stdout}");
+    assert!(stdout.contains("id=2 protocol=trivial"), "{stdout}");
+    assert!(stdout.contains("id=3 protocol=tree:2"), "{stdout}");
+    assert!(
+        stdout.contains("### engine snapshot — 2 workers"),
+        "{stdout}"
+    );
+    assert_eq!(stdout.matches(" ok").count(), 3, "{stdout}");
+}
+
+#[test]
+fn batch_mode_emits_json_snapshot() {
+    let out = serve()
+        .args([
+            "--batch",
+            "20",
+            "--n",
+            "2^18",
+            "--k",
+            "32",
+            "--overlap",
+            "10",
+            "--workers",
+            "4",
+            "--quiet",
+            "--json",
+        ])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    let snapshot: intersect::engine::EngineSnapshot = serde_json::from_str(&stdout).unwrap();
+    assert_eq!(snapshot.workers, 4);
+    assert_eq!(snapshot.metrics.submitted, 20);
+    assert_eq!(snapshot.metrics.completed, 20);
+    assert_eq!(snapshot.metrics.rejected, 0);
+    assert!(snapshot.metrics.total_bits > 0);
+}
+
+#[test]
+fn debug_session_dumps_a_phase_breakdown() {
+    let out = serve()
+        .args([
+            "--batch",
+            "4",
+            "--n",
+            "2^16",
+            "--k",
+            "16",
+            "--debug-session",
+            "2",
+            "--workers",
+            "2",
+        ])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(stdout.contains("# session 2 phase breakdown:"), "{stdout}");
+    assert!(stdout.contains("round "), "{stdout}");
+}
+
+#[test]
+fn stdin_requests_and_bad_lines_fail_cleanly() {
+    use std::process::Stdio;
+    let mut child = serve()
+        .args(["--workers", "2", "--quiet"])
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .unwrap();
+    child
+        .stdin
+        .take()
+        .unwrap()
+        .write_all(b"n=2^16 k=8 overlap=2 seed=5\nn=16 k=64\n")
+        .unwrap();
+    let out = child.wait_with_output().unwrap();
+    assert!(!out.status.success());
+    let stderr = String::from_utf8(out.stderr).unwrap();
+    assert!(stderr.contains("line 2"), "{stderr}");
+}
+
+#[test]
+fn fixed_protocol_pin_applies_to_all_sessions() {
+    let out = serve()
+        .args([
+            "--batch",
+            "6",
+            "--n",
+            "2^16",
+            "--k",
+            "16",
+            "--protocol",
+            "sqrt",
+        ])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert_eq!(stdout.matches("protocol=sqrt").count(), 6, "{stdout}");
+    assert!(stdout.contains("sqrt-fknn"), "{stdout}");
+}

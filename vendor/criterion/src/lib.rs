@@ -1,0 +1,203 @@
+//! Offline stand-in for [`criterion`](https://crates.io/crates/criterion).
+//!
+//! Implements the harness subset this workspace's benches use:
+//! [`Criterion::bench_function`], [`Criterion::benchmark_group`] with
+//! `sample_size`/`bench_with_input`/`finish`, [`Bencher::iter`],
+//! [`BenchmarkId::new`], [`black_box`], and the `criterion_group!` /
+//! `criterion_main!` macros.
+//!
+//! Unlike upstream there is no statistical analysis, warm-up, outlier
+//! rejection, or HTML report: each benchmark runs `samples × iters`
+//! closure invocations and prints the mean time per invocation. That is
+//! enough for the benches to compile, run under `cargo bench`, and give
+//! rough relative numbers offline.
+
+// Offline stand-in crate: style lints are not enforced here; the
+// workspace gate (-D warnings) applies to the real crates.
+#![allow(clippy::all)]
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier; prevents the optimizer from deleting work.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// An identifier combining a function name and an input parameter.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    name: String,
+    parameter: String,
+}
+
+impl BenchmarkId {
+    /// A benchmark id rendered as `name/parameter`.
+    pub fn new(name: impl Into<String>, parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            name: name.into(),
+            parameter: parameter.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}/{}", self.name, self.parameter)
+    }
+}
+
+/// Timing context passed to benchmark closures.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `routine` over the configured number of iterations.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+fn run_one(label: &str, samples: u64, f: impl FnOnce(&mut Bencher)) {
+    let mut b = Bencher {
+        iters: samples.max(1),
+        elapsed: Duration::ZERO,
+    };
+    f(&mut b);
+    let per_iter = b.elapsed.as_nanos() / u128::from(b.iters);
+    println!(
+        "bench {label:<40} {:>12} ns/iter ({} iters)",
+        per_iter, b.iters
+    );
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: u64,
+    _parent: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets how many iterations each benchmark closure is timed over.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1) as u64;
+        self
+    }
+
+    /// Benchmarks `f` with the given input.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let label = format!("{}/{}", self.name, id);
+        run_one(&label, self.sample_size, |b| f(b, input));
+        self
+    }
+
+    /// Benchmarks `f` under the given id.
+    pub fn bench_function<F>(&mut self, id: impl fmt::Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let label = format!("{}/{}", self.name, id);
+        run_one(&label, self.sample_size, |b| f(b));
+        self
+    }
+
+    /// Ends the group (upstream flushes reports here; here it is a no-op).
+    pub fn finish(self) {}
+}
+
+/// The benchmark harness entry point.
+pub struct Criterion {
+    sample_size: u64,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // Upstream defaults to 100 samples; keep runs quick offline.
+        Criterion { sample_size: 20 }
+    }
+}
+
+impl Criterion {
+    /// Starts a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let sample_size = self.sample_size;
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size,
+            _parent: self,
+        }
+    }
+
+    /// Benchmarks `f` as a stand-alone function.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(name, self.sample_size, |b| f(b));
+        self
+    }
+}
+
+/// Declares a group of benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the benchmark `main` that runs each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_times_iterations() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("g");
+        group.sample_size(10);
+        let mut count = 0u64;
+        group.bench_with_input(BenchmarkId::new("f", 1), &1u64, |b, &x| {
+            b.iter(|| {
+                count += x;
+            })
+        });
+        group.finish();
+        assert_eq!(count, 10);
+    }
+
+    #[test]
+    fn bench_function_runs() {
+        let mut c = Criterion::default();
+        let mut ran = false;
+        c.bench_function("solo", |b| b.iter(|| ran = true));
+        assert!(ran);
+    }
+}

@@ -1,0 +1,431 @@
+//! Offline stand-in for [`proptest`](https://crates.io/crates/proptest).
+//!
+//! Supports the subset of the proptest API this workspace uses: the
+//! [`proptest!`] macro with an optional `#![proptest_config(..)]` header,
+//! [`Strategy`] with `prop_map`, `any::<T>()`, integer-range strategies,
+//! tuple strategies, `prop::collection::{vec, btree_set}`, and the
+//! `prop_assert!`/`prop_assert_eq!`/`prop_assume!` macros.
+//!
+//! Differences from upstream, by design:
+//!
+//! * **No shrinking** — a failing case panics with the drawn values'
+//!   case index; re-running is deterministic (cases are seeded from
+//!   `(file, line, case index)`), so failures reproduce exactly.
+//! * `prop_assume!` skips the remainder of the case instead of re-drawing,
+//!   so heavily-filtered properties test fewer effective cases.
+//! * `*.proptest-regressions` files are ignored.
+
+// Offline stand-in crate: style lints are not enforced here; the
+// workspace gate (-D warnings) applies to the real crates.
+#![allow(clippy::all)]
+
+use rand::prelude::*;
+
+/// Run-time configuration: number of cases per property.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ProptestConfig {
+    /// Number of cases to run per property.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+/// Marker returned (via `Err`) by [`prop_assume!`] to skip a case.
+#[derive(Debug, Clone, Copy)]
+pub struct TestCaseReject;
+
+/// A generator of values of an associated type.
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+
+    /// Draws one value.
+    fn sample(&self, rng: &mut StdRng) -> Self::Value;
+
+    /// Maps the generated values through `f`.
+    fn prop_map<U, F: Fn(Self::Value) -> U>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+}
+
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+
+    fn sample(&self, rng: &mut StdRng) -> Self::Value {
+        (**self).sample(rng)
+    }
+}
+
+/// Strategy returned by [`Strategy::prop_map`].
+#[derive(Debug, Clone)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, U, F: Fn(S::Value) -> U> Strategy for Map<S, F> {
+    type Value = U;
+
+    fn sample(&self, rng: &mut StdRng) -> U {
+        (self.f)(self.inner.sample(rng))
+    }
+}
+
+/// A strategy producing always the same value.
+#[derive(Debug, Clone, Copy)]
+pub struct Just<T>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn sample(&self, _rng: &mut StdRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Types with a canonical "any value" strategy.
+pub trait Arbitrary: Sized {
+    /// Draws an arbitrary value.
+    fn arbitrary(rng: &mut StdRng) -> Self;
+}
+
+macro_rules! arbitrary_via_standard {
+    ($($t:ty),* $(,)?) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut StdRng) -> Self {
+                rng.gen()
+            }
+        }
+    )*};
+}
+arbitrary_via_standard!(bool, u8, u16, u32, u64, u128, usize, i8, i16, i32, i64, isize, f64);
+
+/// Strategy for any value of `T`; see [`any`].
+#[derive(Debug, Clone, Copy)]
+pub struct Any<T>(std::marker::PhantomData<T>);
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+
+    fn sample(&self, rng: &mut StdRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// The strategy of all values of `T`.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(std::marker::PhantomData)
+}
+
+macro_rules! range_strategy {
+    ($($t:ty),* $(,)?) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+
+            fn sample(&self, rng: &mut StdRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+
+        impl Strategy for std::ops::RangeInclusive<$t> {
+            type Value = $t;
+
+            fn sample(&self, rng: &mut StdRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+
+        impl Strategy for std::ops::RangeFrom<$t> {
+            type Value = $t;
+
+            fn sample(&self, rng: &mut StdRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+range_strategy!(u8, u16, u32, u64, u128, usize, i8, i16, i32, i64, isize);
+
+macro_rules! tuple_strategy {
+    ($(($($s:ident $idx:tt),+))*) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+
+            fn sample(&self, rng: &mut StdRng) -> Self::Value {
+                ($(self.$idx.sample(rng),)+)
+            }
+        }
+    )*};
+}
+tuple_strategy! {
+    (A 0, B 1)
+    (A 0, B 1, C 2)
+    (A 0, B 1, C 2, D 3)
+    (A 0, B 1, C 2, D 3, E 4)
+}
+
+/// A size specification for collection strategies.
+#[derive(Debug, Clone, Copy)]
+pub struct SizeRange {
+    lo: usize,
+    hi: usize, // inclusive
+}
+
+impl From<usize> for SizeRange {
+    fn from(n: usize) -> Self {
+        SizeRange { lo: n, hi: n }
+    }
+}
+
+impl From<std::ops::Range<usize>> for SizeRange {
+    fn from(r: std::ops::Range<usize>) -> Self {
+        assert!(r.start < r.end, "empty size range");
+        SizeRange {
+            lo: r.start,
+            hi: r.end - 1,
+        }
+    }
+}
+
+impl From<std::ops::RangeInclusive<usize>> for SizeRange {
+    fn from(r: std::ops::RangeInclusive<usize>) -> Self {
+        SizeRange {
+            lo: *r.start(),
+            hi: *r.end(),
+        }
+    }
+}
+
+pub mod collection {
+    //! Collection strategies.
+
+    use super::{SizeRange, Strategy};
+    use rand::rngs::StdRng;
+    use rand::Rng as _;
+
+    /// Strategy for `Vec<T>` with sizes drawn from `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    /// Strategy for `BTreeSet<T>` with sizes drawn from `size`.
+    ///
+    /// Duplicates are retried a bounded number of times; under heavy
+    /// saturation the set may come out smaller than the drawn size (all
+    /// workspace properties tolerate any size within the range's lower
+    /// bound of zero — they never require an exact size).
+    pub fn btree_set<S: Strategy>(element: S, size: impl Into<SizeRange>) -> BTreeSetStrategy<S>
+    where
+        S::Value: Ord,
+    {
+        BTreeSetStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    /// Strategy returned by [`vec`].
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn sample(&self, rng: &mut StdRng) -> Vec<S::Value> {
+            let len = rng.gen_range(self.size.lo..=self.size.hi);
+            (0..len).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+
+    /// Strategy returned by [`btree_set`].
+    #[derive(Debug, Clone)]
+    pub struct BTreeSetStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for BTreeSetStrategy<S>
+    where
+        S::Value: Ord,
+    {
+        type Value = std::collections::BTreeSet<S::Value>;
+
+        fn sample(&self, rng: &mut StdRng) -> Self::Value {
+            let target = rng.gen_range(self.size.lo..=self.size.hi);
+            let mut out = std::collections::BTreeSet::new();
+            let mut attempts = 0usize;
+            while out.len() < target && attempts < target.saturating_mul(10) + 16 {
+                out.insert(self.element.sample(rng));
+                attempts += 1;
+            }
+            out
+        }
+    }
+}
+
+pub mod strategy {
+    //! Strategy re-exports (upstream module layout).
+    pub use super::{Just, Map, Strategy};
+}
+
+pub mod test_runner {
+    //! Test-runner types (upstream module layout).
+    pub use super::ProptestConfig as Config;
+}
+
+/// The `prop::` namespace used inside `proptest!` bodies.
+pub mod prop {
+    pub use super::collection;
+    pub use super::strategy;
+}
+
+/// Deterministic per-case RNG: seeded from `(file, line, case)`.
+pub fn rng_for_case(file: &str, line: u32, case: u32) -> StdRng {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in file.bytes() {
+        h = (h ^ b as u64).wrapping_mul(0x1000_0000_01b3);
+    }
+    h ^= (line as u64) << 32 | case as u64;
+    h = (h ^ (h >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    StdRng::seed_from_u64(h)
+}
+
+/// Defines property tests. See the crate docs for supported syntax.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@expand ($cfg); $($rest)*);
+    };
+    (@expand ($cfg:expr); $(
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:pat in $strat:expr),+ $(,)?) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::ProptestConfig = $cfg;
+            for case in 0..config.cases {
+                let mut proptest_rng = $crate::rng_for_case(file!(), line!(), case);
+                $(let $arg = $crate::Strategy::sample(&($strat), &mut proptest_rng);)+
+                let outcome: ::std::result::Result<(), $crate::TestCaseReject> =
+                    (|| { $body ::std::result::Result::Ok(()) })();
+                let _ = outcome;
+            }
+        }
+    )*};
+    ($($rest:tt)*) => {
+        $crate::proptest!(@expand ($crate::ProptestConfig::default()); $($rest)*);
+    };
+}
+
+/// Asserts inside a property; panics (no shrinking) on failure.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// Equality assert inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// Inequality assert inside a property.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}
+
+/// Skips the rest of the case when `cond` is false.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::TestCaseReject);
+        }
+    };
+}
+
+/// The glob import used by every property-test file.
+pub mod prelude {
+    pub use super::{
+        any, prop, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest, Any, Just,
+        ProptestConfig, Strategy,
+    };
+    pub use rand::rngs::StdRng;
+}
+
+pub use rand::rngs::StdRng;
+pub use rand::SeedableRng;
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn ranges_are_respected(x in 3u64..10, y in 0usize..=4, z in 1u64..) {
+            prop_assert!((3..10).contains(&x));
+            prop_assert!(y <= 4);
+            prop_assert!(z >= 1);
+        }
+
+        #[test]
+        fn collections_honor_size_bounds(
+            v in prop::collection::vec(any::<bool>(), 2..6),
+            s in prop::collection::btree_set(0u64..1000, 0..=8),
+        ) {
+            prop_assert!((2..6).contains(&v.len()));
+            prop_assert!(s.len() <= 8);
+        }
+
+        #[test]
+        fn prop_map_applies(x in (0u64..100).prop_map(|v| v * 2)) {
+            prop_assert_eq!(x % 2, 0);
+            prop_assert!(x < 200);
+        }
+
+        #[test]
+        fn assume_skips_cleanly(x in 0u64..10) {
+            prop_assume!(x % 2 == 0);
+            prop_assert_eq!(x % 2, 0);
+        }
+
+        #[test]
+        fn tuples_compose(pair in (any::<u64>(), 0u64..3)) {
+            prop_assert!(pair.1 < 3);
+        }
+    }
+
+    #[test]
+    fn cases_are_deterministic() {
+        let mut a = super::rng_for_case("f.rs", 10, 3);
+        let mut b = super::rng_for_case("f.rs", 10, 3);
+        let mut c = super::rng_for_case("f.rs", 10, 4);
+        use rand::Rng as _;
+        let (x, y, z): (u64, u64, u64) = (a.gen(), b.gen(), c.gen());
+        assert_eq!(x, y);
+        assert_ne!(x, z);
+    }
+}

@@ -1,0 +1,461 @@
+//! Offline stand-in for [`rand`](https://crates.io/crates/rand) 0.8.
+//!
+//! Provides the subset of the `rand` 0.8 API this workspace uses — the
+//! [`Rng`] extension trait (`gen`, `gen_range`, `gen_bool`, `gen_ratio`),
+//! the [`distributions::Standard`] distribution, [`seq::SliceRandom`], and
+//! [`rngs::StdRng`] — over the vendored `rand_core`/`rand_chacha` crates.
+//! Deterministic given a seed; streams are stable within this workspace but
+//! not bit-identical to upstream `rand`. See README.md ("Offline builds").
+
+// Offline stand-in crate: style lints are not enforced here; the
+// workspace gate (-D warnings) applies to the real crates.
+#![allow(clippy::all)]
+
+pub use rand_core::{RngCore, SeedableRng};
+
+pub mod distributions {
+    //! Sampling distributions: `Standard` and uniform ranges.
+
+    use crate::RngCore;
+
+    /// A distribution over values of type `T`.
+    pub trait Distribution<T> {
+        /// Draws one value.
+        fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> T;
+    }
+
+    /// The "natural" distribution of a type: uniform over all values for
+    /// integers, uniform in `[0, 1)` for floats.
+    #[derive(Debug, Clone, Copy, Default)]
+    pub struct Standard;
+
+    macro_rules! standard_int {
+        ($($t:ty => $via:ident),* $(,)?) => {$(
+            impl Distribution<$t> for Standard {
+                fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> $t {
+                    rng.$via() as $t
+                }
+            }
+        )*};
+    }
+    standard_int!(
+        u8 => next_u32, u16 => next_u32, u32 => next_u32,
+        u64 => next_u64, usize => next_u64,
+        i8 => next_u32, i16 => next_u32, i32 => next_u32,
+        i64 => next_u64, isize => next_u64,
+    );
+
+    impl Distribution<u128> for Standard {
+        fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> u128 {
+            let lo = rng.next_u64() as u128;
+            let hi = rng.next_u64() as u128;
+            (hi << 64) | lo
+        }
+    }
+
+    impl Distribution<i128> for Standard {
+        fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> i128 {
+            let v: u128 = Standard.sample(rng);
+            v as i128
+        }
+    }
+
+    impl Distribution<bool> for Standard {
+        fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> bool {
+            rng.next_u32() & 1 == 1
+        }
+    }
+
+    impl Distribution<f64> for Standard {
+        fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f64 {
+            // 53 uniform mantissa bits in [0, 1).
+            (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+        }
+    }
+
+    impl Distribution<f32> for Standard {
+        fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f32 {
+            (rng.next_u32() >> 8) as f32 * (1.0 / (1u32 << 24) as f32)
+        }
+    }
+
+    impl<T, const N: usize> Distribution<[T; N]> for Standard
+    where
+        Standard: Distribution<T>,
+    {
+        fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> [T; N] {
+            std::array::from_fn(|_| Standard.sample(rng))
+        }
+    }
+
+    impl<A, B> Distribution<(A, B)> for Standard
+    where
+        Standard: Distribution<A> + Distribution<B>,
+    {
+        fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> (A, B) {
+            (Standard.sample(rng), Standard.sample(rng))
+        }
+    }
+
+    impl<A, B, C> Distribution<(A, B, C)> for Standard
+    where
+        Standard: Distribution<A> + Distribution<B> + Distribution<C>,
+    {
+        fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> (A, B, C) {
+            (
+                Standard.sample(rng),
+                Standard.sample(rng),
+                Standard.sample(rng),
+            )
+        }
+    }
+
+    /// Types supporting uniform sampling from a range.
+    pub trait SampleUniform: Sized + Copy + PartialOrd {
+        /// Uniform draw from `[lo, hi]`, inclusive on both ends.
+        fn sample_inclusive<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self;
+        /// The largest representable value (for open-ended ranges).
+        const MAX_VALUE: Self;
+    }
+
+    /// Rejection sampling of `[0, width)` from a full-width word, zone-based
+    /// so every value is exactly equally likely.
+    fn uniform_u64_below<R: RngCore + ?Sized>(rng: &mut R, width: u64) -> u64 {
+        debug_assert!(width > 0);
+        if width.is_power_of_two() {
+            return rng.next_u64() & (width - 1);
+        }
+        // Largest multiple of `width` that fits in u64, minus one.
+        let zone = u64::MAX - (u64::MAX % width + 1) % width;
+        loop {
+            let v = rng.next_u64();
+            if v <= zone {
+                return v % width;
+            }
+        }
+    }
+
+    fn uniform_u128_below<R: RngCore + ?Sized>(rng: &mut R, width: u128) -> u128 {
+        debug_assert!(width > 0);
+        if width.is_power_of_two() {
+            let v: u128 = Standard.sample(rng);
+            return v & (width - 1);
+        }
+        let zone = u128::MAX - (u128::MAX % width + 1) % width;
+        loop {
+            let v: u128 = Standard.sample(rng);
+            if v <= zone {
+                return v % width;
+            }
+        }
+    }
+
+    macro_rules! sample_uniform_uint {
+        ($($t:ty),* $(,)?) => {$(
+            impl SampleUniform for $t {
+                const MAX_VALUE: $t = <$t>::MAX;
+
+                fn sample_inclusive<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self {
+                    debug_assert!(lo <= hi);
+                    let span = (hi as u64).wrapping_sub(lo as u64);
+                    if span == u64::MAX {
+                        return rng.next_u64() as $t;
+                    }
+                    lo.wrapping_add(uniform_u64_below(rng, span + 1) as $t)
+                }
+            }
+        )*};
+    }
+    sample_uniform_uint!(u8, u16, u32, u64, usize);
+
+    macro_rules! sample_uniform_int {
+        ($($t:ty),* $(,)?) => {$(
+            impl SampleUniform for $t {
+                const MAX_VALUE: $t = <$t>::MAX;
+
+                fn sample_inclusive<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self {
+                    debug_assert!(lo <= hi);
+                    let span = (hi as i64 as u64).wrapping_sub(lo as i64 as u64);
+                    if span == u64::MAX {
+                        return rng.next_u64() as $t;
+                    }
+                    lo.wrapping_add(uniform_u64_below(rng, span + 1) as $t)
+                }
+            }
+        )*};
+    }
+    sample_uniform_int!(i8, i16, i32, i64, isize);
+
+    impl SampleUniform for u128 {
+        const MAX_VALUE: u128 = u128::MAX;
+
+        fn sample_inclusive<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self {
+            debug_assert!(lo <= hi);
+            let span = hi.wrapping_sub(lo);
+            if span == u128::MAX {
+                return Standard.sample(rng);
+            }
+            lo.wrapping_add(uniform_u128_below(rng, span + 1))
+        }
+    }
+
+    impl SampleUniform for f64 {
+        const MAX_VALUE: f64 = f64::MAX;
+
+        fn sample_inclusive<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self {
+            let unit: f64 = Standard.sample(rng);
+            lo + unit * (hi - lo)
+        }
+    }
+
+    /// Ranges accepted by [`crate::Rng::gen_range`].
+    pub trait SampleRange<T> {
+        /// Draws a value uniformly from the range.
+        ///
+        /// # Panics
+        ///
+        /// Panics if the range is empty.
+        fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+    }
+
+    impl<T: SampleUniform + One> SampleRange<T> for std::ops::Range<T> {
+        fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+            assert!(self.start < self.end, "cannot sample empty range");
+            T::sample_inclusive(rng, self.start, self.end.minus_one())
+        }
+    }
+
+    impl<T: SampleUniform> SampleRange<T> for std::ops::RangeInclusive<T> {
+        fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+            let (lo, hi) = self.into_inner();
+            assert!(lo <= hi, "cannot sample empty range");
+            T::sample_inclusive(rng, lo, hi)
+        }
+    }
+
+    impl<T: SampleUniform> SampleRange<T> for std::ops::RangeFrom<T> {
+        fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+            T::sample_inclusive(rng, self.start, T::MAX_VALUE)
+        }
+    }
+
+    /// Decrement-by-one for half-open integer ranges (and the float no-op).
+    pub trait One {
+        /// `self - 1` for integers; identity for floats (half-open range).
+        fn minus_one(self) -> Self;
+    }
+
+    macro_rules! one_int {
+        ($($t:ty),* $(,)?) => {$(
+            impl One for $t {
+                fn minus_one(self) -> Self {
+                    self - 1
+                }
+            }
+        )*};
+    }
+    one_int!(u8, u16, u32, u64, u128, usize, i8, i16, i32, i64, isize);
+
+    impl One for f64 {
+        fn minus_one(self) -> Self {
+            self
+        }
+    }
+}
+
+/// Extension methods over any [`RngCore`].
+pub trait Rng: RngCore {
+    /// Draws a value via the [`distributions::Standard`] distribution.
+    fn gen<T>(&mut self) -> T
+    where
+        distributions::Standard: distributions::Distribution<T>,
+    {
+        use distributions::Distribution as _;
+        distributions::Standard.sample(self)
+    }
+
+    /// Draws a value uniformly from `range`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
+    fn gen_range<T, R>(&mut self, range: R) -> T
+    where
+        R: distributions::SampleRange<T>,
+    {
+        range.sample_single(self)
+    }
+
+    /// Bernoulli draw with success probability `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 ≤ p ≤ 1`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "p = {p} out of [0, 1]");
+        let unit: f64 = self.gen();
+        unit < p
+    }
+
+    /// Bernoulli draw with probability `numerator / denominator`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `denominator == 0` or `numerator > denominator`.
+    fn gen_ratio(&mut self, numerator: u32, denominator: u32) -> bool {
+        assert!(denominator > 0, "zero denominator");
+        assert!(numerator <= denominator, "ratio above one");
+        self.gen_range(0..denominator) < numerator
+    }
+
+    /// Draws a value from an explicit distribution.
+    fn sample<T, D: distributions::Distribution<T>>(&mut self, distr: D) -> T {
+        distr.sample(self)
+    }
+
+    /// Fills a byte slice with random data.
+    fn fill(&mut self, dest: &mut [u8]) {
+        self.fill_bytes(dest);
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+pub mod rngs {
+    //! Named RNG types.
+
+    /// The standard (non-portable upstream, fixed here) RNG: ChaCha12.
+    pub type StdRng = rand_chacha::ChaCha12Rng;
+
+    /// A small fast RNG; this vendored copy aliases ChaCha8.
+    pub type SmallRng = rand_chacha::ChaCha8Rng;
+}
+
+pub mod seq {
+    //! Sequence-related extensions: shuffling and choosing.
+
+    use crate::distributions::SampleUniform;
+    use crate::{Rng, RngCore};
+
+    /// Extension methods on slices.
+    pub trait SliceRandom {
+        /// The element type.
+        type Item;
+
+        /// Fisher–Yates shuffle in place.
+        fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R);
+
+        /// Uniformly chooses one element, or `None` if empty.
+        fn choose<R: RngCore + ?Sized>(&self, rng: &mut R) -> Option<&Self::Item>;
+    }
+
+    impl<T> SliceRandom for [T] {
+        type Item = T;
+
+        fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R) {
+            for i in (1..self.len()).rev() {
+                let j = usize::sample_inclusive(rng, 0, i);
+                self.swap(i, j);
+            }
+        }
+
+        fn choose<R: RngCore + ?Sized>(&self, rng: &mut R) -> Option<&T> {
+            if self.is_empty() {
+                None
+            } else {
+                Some(&self[rng.gen_range(0..self.len())])
+            }
+        }
+    }
+}
+
+pub mod prelude {
+    //! The convenient glob import.
+    pub use crate::distributions::Distribution;
+    pub use crate::rngs::{SmallRng, StdRng};
+    pub use crate::seq::SliceRandom;
+    pub use crate::{Rng, RngCore, SeedableRng};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn gen_range_respects_bounds() {
+        let mut rng = ChaCha8Rng::seed_from_u64(0);
+        for _ in 0..1000 {
+            let v = rng.gen_range(10u64..20);
+            assert!((10..20).contains(&v));
+            let w = rng.gen_range(0u64..=5);
+            assert!(w <= 5);
+            let x = rng.gen_range(3usize..4);
+            assert_eq!(x, 3);
+            let y: u128 = rng.gen_range(7u128..1 << 90);
+            assert!((7..1 << 90).contains(&y));
+            let z = rng.gen_range(1u64..);
+            assert!(z >= 1);
+        }
+    }
+
+    #[test]
+    fn gen_range_covers_small_ranges_uniformly() {
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let mut counts = [0u32; 4];
+        for _ in 0..4000 {
+            counts[rng.gen_range(0usize..4)] += 1;
+        }
+        for c in counts {
+            assert!((700..1300).contains(&c), "skewed: {counts:?}");
+        }
+    }
+
+    #[test]
+    fn gen_bool_tracks_probability() {
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        let hits = (0..10_000).filter(|_| rng.gen_bool(0.25)).count();
+        assert!((2200..2800).contains(&hits), "{hits}");
+        assert!(!rng.gen_bool(0.0));
+        assert!(rng.gen_bool(1.0));
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let mut v: Vec<u64> = (0..100).collect();
+        v.shuffle(&mut rng);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..100).collect::<Vec<_>>());
+        assert_ne!(
+            v, sorted,
+            "shuffle left the slice sorted (astronomically unlikely)"
+        );
+    }
+
+    #[test]
+    fn standard_draws_all_needed_types() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let _: bool = rng.gen();
+        let _: u64 = rng.gen();
+        let _: u128 = rng.gen();
+        let _: [u64; 4] = rng.gen();
+        let f: f64 = rng.gen();
+        assert!((0.0..1.0).contains(&f));
+        let (_a, _b): (u64, bool) = rng.gen();
+    }
+
+    #[test]
+    fn floats_fill_the_unit_interval() {
+        let mut rng = ChaCha8Rng::seed_from_u64(5);
+        let mut min = 1.0f64;
+        let mut max = 0.0f64;
+        for _ in 0..10_000 {
+            let f: f64 = rng.gen();
+            min = min.min(f);
+            max = max.max(f);
+        }
+        assert!(min < 0.01 && max > 0.99, "min={min} max={max}");
+    }
+}

@@ -1,0 +1,246 @@
+//! Offline stand-in for [`serde_derive`](https://crates.io/crates/serde_derive).
+//!
+//! Derives the Value-tree `serde::Serialize` / `serde::Deserialize`
+//! traits of the companion `serde` stand-in. Supports exactly what the
+//! workspace uses:
+//!
+//! * **named-field structs** — each field's type must itself implement
+//!   the trait (field types are never named in the expansion; inference
+//!   from the struct literal resolves them, via `serde::from_field`);
+//! * **fieldless enums** — serialized as the variant-name string.
+//!
+//! Tuple structs, generic types, and `#[serde(...)]` attributes are
+//! deliberately out of scope and fail with a compile error. Tokens are
+//! parsed by hand (no `syn`/`quote`) because this build is offline.
+
+// Offline stand-in crate: style lints are not enforced here; the
+// workspace gate (-D warnings) applies to the real crates.
+#![allow(clippy::all)]
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+enum Shape {
+    /// Struct name + field names in declaration order.
+    Struct(String, Vec<String>),
+    /// Enum name + unit-variant names.
+    Enum(String, Vec<String>),
+}
+
+/// Parses `struct Name { fields }` or `enum Name { variants }` out of
+/// the derive input, skipping attributes and visibility modifiers.
+fn parse_input(input: TokenStream) -> Result<Shape, String> {
+    let mut tokens = input.into_iter().peekable();
+    let mut kind: Option<String> = None;
+    let mut name: Option<String> = None;
+    let mut body: Option<TokenStream> = None;
+
+    while let Some(tt) = tokens.next() {
+        match &tt {
+            // Outer attribute: `#` followed by a bracketed group.
+            TokenTree::Punct(p) if p.as_char() == '#' => {
+                tokens.next();
+            }
+            TokenTree::Ident(id) => {
+                let word = id.to_string();
+                match word.as_str() {
+                    "pub" | "crate" => {
+                        // Swallow a following `(crate)`-style restriction.
+                        if let Some(TokenTree::Group(g)) = tokens.peek() {
+                            if g.delimiter() == Delimiter::Parenthesis {
+                                tokens.next();
+                            }
+                        }
+                    }
+                    "struct" | "enum" if kind.is_none() => kind = Some(word),
+                    "union" => return Err("serde stand-in: unions are not supported".into()),
+                    _ if kind.is_some() && name.is_none() => name = Some(word),
+                    _ => {}
+                }
+            }
+            TokenTree::Punct(p) if p.as_char() == '<' && name.is_some() => {
+                return Err("serde stand-in: generic types are not supported".into());
+            }
+            TokenTree::Group(g) if g.delimiter() == Delimiter::Brace && name.is_some() => {
+                body = Some(g.stream());
+                break;
+            }
+            TokenTree::Punct(p) if p.as_char() == ';' && name.is_some() => {
+                return Err("serde stand-in: tuple/unit structs are not supported".into());
+            }
+            _ => {}
+        }
+    }
+
+    let kind = kind.ok_or("serde stand-in: expected `struct` or `enum`")?;
+    let name = name.ok_or("serde stand-in: missing type name")?;
+    let body = body.ok_or("serde stand-in: missing `{ ... }` body")?;
+
+    if kind == "struct" {
+        Ok(Shape::Struct(name, parse_struct_fields(body)?))
+    } else {
+        Ok(Shape::Enum(name, parse_enum_variants(body)?))
+    }
+}
+
+/// Extracts field names from a struct body. The first identifier of
+/// each field (after attributes/visibility) is the name; everything up
+/// to the next comma at angle-bracket depth zero is its type.
+fn parse_struct_fields(body: TokenStream) -> Result<Vec<String>, String> {
+    let mut fields = Vec::new();
+    let mut tokens = body.into_iter().peekable();
+
+    'fields: while tokens.peek().is_some() {
+        // Skip attributes and visibility before the field name.
+        let name = loop {
+            match tokens.next() {
+                Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                    tokens.next();
+                }
+                Some(TokenTree::Ident(id)) => {
+                    let word = id.to_string();
+                    if word == "pub" {
+                        if let Some(TokenTree::Group(g)) = tokens.peek() {
+                            if g.delimiter() == Delimiter::Parenthesis {
+                                tokens.next();
+                            }
+                        }
+                    } else {
+                        break word;
+                    }
+                }
+                Some(other) => {
+                    return Err(format!(
+                        "serde stand-in: unexpected `{other}` where a field name was expected \
+                         (only named-field structs are supported)"
+                    ));
+                }
+                None => break 'fields,
+            }
+        };
+        fields.push(name);
+
+        // Skip `: Type,` — commas inside generics sit at the same token
+        // level, so track angle-bracket depth to find the field's end.
+        let mut angle_depth = 0i32;
+        for tt in tokens.by_ref() {
+            match tt {
+                TokenTree::Punct(p) => match p.as_char() {
+                    '<' => angle_depth += 1,
+                    '>' => angle_depth -= 1,
+                    ',' if angle_depth == 0 => break,
+                    _ => {}
+                },
+                _ => {}
+            }
+        }
+    }
+    Ok(fields)
+}
+
+/// Extracts unit-variant names from an enum body; any payload is an error.
+fn parse_enum_variants(body: TokenStream) -> Result<Vec<String>, String> {
+    let mut variants = Vec::new();
+    let mut tokens = body.into_iter().peekable();
+    while let Some(tt) = tokens.next() {
+        match tt {
+            TokenTree::Punct(p) if p.as_char() == '#' => {
+                tokens.next();
+            }
+            TokenTree::Ident(id) => variants.push(id.to_string()),
+            TokenTree::Punct(p) if p.as_char() == ',' => {}
+            TokenTree::Group(_) => {
+                return Err("serde stand-in: only fieldless enum variants are supported".into());
+            }
+            other => {
+                return Err(format!("serde stand-in: unexpected `{other}` in enum body"));
+            }
+        }
+    }
+    Ok(variants)
+}
+
+fn compile_error(msg: &str) -> TokenStream {
+    format!("compile_error!({msg:?});").parse().unwrap()
+}
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let code = match parse_input(input) {
+        Err(msg) => return compile_error(&msg),
+        Ok(Shape::Struct(name, fields)) => {
+            let pushes: String = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "fields.push(({f:?}.to_string(), \
+                         ::serde::Serialize::to_value(&self.{f})));\n"
+                    )
+                })
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{\n\
+                         let mut fields: Vec<(String, ::serde::Value)> = Vec::new();\n\
+                         {pushes}\
+                         ::serde::Value::Object(fields)\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Ok(Shape::Enum(name, variants)) => {
+            let arms: String = variants
+                .iter()
+                .map(|v| format!("{name}::{v} => {v:?},\n"))
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{\n\
+                         ::serde::Value::String(match self {{ {arms} }}.to_string())\n\
+                     }}\n\
+                 }}"
+            )
+        }
+    };
+    code.parse().unwrap()
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let code = match parse_input(input) {
+        Err(msg) => return compile_error(&msg),
+        Ok(Shape::Struct(name, fields)) => {
+            let inits: String = fields
+                .iter()
+                .map(|f| format!("{f}: ::serde::from_field(v, {f:?})?,\n"))
+                .collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn from_value(v: &::serde::Value) -> Result<Self, ::serde::Error> {{\n\
+                         Ok({name} {{ {inits} }})\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Ok(Shape::Enum(name, variants)) => {
+            let arms: String = variants
+                .iter()
+                .map(|v| format!("{v:?} => Ok({name}::{v}),\n"))
+                .collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn from_value(v: &::serde::Value) -> Result<Self, ::serde::Error> {{\n\
+                         match v {{\n\
+                             ::serde::Value::String(s) => match s.as_str() {{\n\
+                                 {arms}\
+                                 other => Err(::serde::Error::custom(format!(\n\
+                                     \"unknown {name} variant `{{other}}`\"))),\n\
+                             }},\n\
+                             _ => Err(::serde::Error::custom(\"expected string variant\")),\n\
+                         }}\n\
+                     }}\n\
+                 }}"
+            )
+        }
+    };
+    code.parse().unwrap()
+}
