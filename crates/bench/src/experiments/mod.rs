@@ -6,6 +6,7 @@ pub mod apps_exp;
 pub mod engine_exp;
 pub mod equality_exp;
 pub mod multiparty_exp;
+pub mod obs_exp;
 pub mod two_party;
 
 use crate::table::Table;
@@ -110,6 +111,11 @@ pub fn all() -> Vec<Experiment> {
             run: engine_exp::e16,
         },
         Experiment {
+            id: "E17",
+            claim: "Observability: tracing changes zero bits; bounded wall-clock overhead",
+            run: obs_exp::e17,
+        },
+        Experiment {
             id: "A1",
             claim: "Ablation: iterated-log degree schedule vs uniform tree",
             run: ablations::a1,
@@ -146,7 +152,7 @@ mod tests {
         let ids: Vec<&str> = all().iter().map(|e| e.id).collect();
         for want in [
             "E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "E12", "E13",
-            "E14", "E15", "E16", "A1", "A2", "A3", "A4",
+            "E14", "E15", "E16", "E17", "A1", "A2", "A3", "A4",
         ] {
             assert!(ids.contains(&want), "missing {want}");
         }

@@ -1,0 +1,80 @@
+//! E17: observability overhead — tracing changes no bits, and the
+//! wall-clock cost of emitting spans and message events stays small.
+//!
+//! Runs the same seeded workload twice, subscriber off then on, and
+//! compares both the exact bit totals (which must be identical — the
+//! instrumentation only *observes* the channel) and the per-run time.
+//!
+//! When a subscriber is already installed process-wide (e.g. `report
+//! --metrics-out`), the baseline runs are instrumented too and the
+//! overhead column collapses toward zero; run `--exp E17` on its own for
+//! the honest comparison.
+
+use crate::table::{fmt_bits, Table};
+use intersect_core::api::execute;
+use intersect_core::sets::{InputPair, ProblemSpec};
+use intersect_core::tree::TreeProtocol;
+use intersect_obs as obs;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use std::time::Instant;
+
+/// E17 — the subscriber-on run must spend exactly the same bits as the
+/// subscriber-off run (asserted, not just tabulated); the time delta is
+/// the full price of tracing every phase span and wire message.
+pub fn e17(quick: bool) -> Vec<Table> {
+    let trials = if quick { 8u64 } else { 32 };
+    let ks: &[u64] = if quick { &[64, 256] } else { &[64, 256, 1024] };
+    let mut table = Table::new(
+        "E17 — observability overhead (claim: an installed subscriber changes \
+         no communication bits; span + message events cost little wall-clock)",
+        &[
+            "k",
+            "trials",
+            "bits off",
+            "bits on",
+            "identical",
+            "µs/run off",
+            "µs/run on",
+            "overhead",
+        ],
+    );
+    for &k in ks {
+        let spec = ProblemSpec::new(1 << 30, k);
+        let mut rng = ChaCha8Rng::seed_from_u64(0xE17 + k);
+        let pair = InputPair::random_with_overlap(&mut rng, spec, k as usize, (k / 3) as usize);
+        let proto = TreeProtocol::log_star(k);
+
+        let run_batch = || {
+            // One untimed warm-up so neither arm pays first-touch costs.
+            execute(&proto, spec, &pair, 0xE17).expect("protocol succeeds");
+            let start = Instant::now();
+            let mut bits = 0u64;
+            for t in 0..trials {
+                let run = execute(&proto, spec, &pair, 0xE17 + t).expect("protocol succeeds");
+                bits += run.report.total_bits();
+            }
+            (bits, start.elapsed().as_secs_f64() * 1e6 / trials as f64)
+        };
+
+        let (bits_off, us_off) = run_batch();
+        let sub = obs::Subscriber::new();
+        let guard = (!obs::enabled()).then(|| sub.install());
+        let (bits_on, us_on) = run_batch();
+        drop(guard);
+        drop(sub.take_events());
+        assert_eq!(bits_off, bits_on, "tracing must not change communication");
+
+        table.push_row(vec![
+            k.to_string(),
+            trials.to_string(),
+            fmt_bits(bits_off as f64),
+            fmt_bits(bits_on as f64),
+            "yes".to_string(),
+            format!("{us_off:.0}"),
+            format!("{us_on:.0}"),
+            format!("{:+.1}%", (us_on - us_off) / us_off * 100.0),
+        ]);
+    }
+    vec![table]
+}

@@ -127,9 +127,17 @@ impl Chan for Endpoint {
             depth: self.stats.clock + 1,
             payload: msg,
         };
+        let bits = frame.payload.len() as u64;
         self.tx
             .send(frame)
-            .map_err(|_| ProtocolError::ChannelClosed)
+            .map_err(|_| ProtocolError::ChannelClosed)?;
+        intersect_obs::message(
+            "comm",
+            intersect_obs::Direction::Sent,
+            bits,
+            self.stats.clock,
+        );
+        Ok(())
     }
 
     fn recv(&mut self) -> Result<BitBuf, ProtocolError> {
@@ -141,6 +149,12 @@ impl Chan for Endpoint {
         self.stats.bits_received += frame.payload.len() as u64;
         self.stats.messages_received += 1;
         self.check_budget()?;
+        intersect_obs::message(
+            "comm",
+            intersect_obs::Direction::Received,
+            frame.payload.len() as u64,
+            self.stats.clock,
+        );
         Ok(frame.payload)
     }
 

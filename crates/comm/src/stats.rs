@@ -32,6 +32,17 @@ impl ChannelStats {
     pub fn total_bits(&self) -> u64 {
         self.bits_sent + self.bits_received
     }
+
+    /// The observability cost delta accrued between an `earlier` snapshot
+    /// and this one — what a protocol phase attaches to its span guard
+    /// (`rounds` is the causal-clock advance).
+    pub fn delta_since(&self, earlier: &ChannelStats) -> intersect_obs::CostDelta {
+        intersect_obs::CostDelta {
+            bits_sent: self.bits_sent.saturating_sub(earlier.bits_sent),
+            bits_received: self.bits_received.saturating_sub(earlier.bits_received),
+            rounds: self.clock.saturating_sub(earlier.clock),
+        }
+    }
 }
 
 /// The cost of one complete two-party protocol execution.

@@ -6,6 +6,14 @@
 //! how the repository's message-schedule claims (e.g. "a whole stage
 //! batches into one exchange") can be inspected directly; see
 //! `examples/transcript_inspector.rs`.
+//!
+//! Labels live in the shared `intersect_obs` phase stack rather than a
+//! private field: [`Traced::set_label`] writes a
+//! [`intersect_obs::phase::LabelSlot`], and each recorded event reads the
+//! innermost label at record time. Protocol-internal phase spans (the
+//! `intersect_obs::phase::span` guards the core protocols hold) therefore
+//! take precedence over the caller's label while they live, so a
+//! transcript of a real protocol run shows the protocol's own phases.
 
 use crate::bits::BitBuf;
 use crate::chan::Chan;
@@ -83,7 +91,7 @@ pub struct PhaseSummary {
 pub struct Traced<C> {
     inner: C,
     events: Vec<TraceEvent>,
-    label: String,
+    slot: intersect_obs::phase::LabelSlot,
 }
 
 impl<C: Chan> Traced<C> {
@@ -92,13 +100,16 @@ impl<C: Chan> Traced<C> {
         Traced {
             inner,
             events: Vec::new(),
-            label: String::new(),
+            slot: intersect_obs::phase::LabelSlot::register(),
         }
     }
 
     /// Sets the phase label attached to subsequent events.
+    ///
+    /// This writes the tracer's base slot in the thread's phase stack; a
+    /// protocol-internal span keeps precedence until it exits.
     pub fn set_label(&mut self, label: impl Into<String>) {
-        self.label = label.into();
+        self.slot.set(label.into());
     }
 
     /// The recorded events, in order.
@@ -150,7 +161,7 @@ impl<C: Chan> Chan for Traced<C> {
             direction: Direction::Sent,
             bits,
             clock: self.inner.stats().clock,
-            label: self.label.clone(),
+            label: intersect_obs::phase::current_label_or_empty(),
         });
         Ok(())
     }
@@ -161,7 +172,7 @@ impl<C: Chan> Chan for Traced<C> {
             direction: Direction::Received,
             bits: msg.len(),
             clock: self.inner.stats().clock,
-            label: self.label.clone(),
+            label: intersect_obs::phase::current_label_or_empty(),
         });
         Ok(msg)
     }

@@ -121,6 +121,8 @@ impl BasicIntersection {
         }
 
         // Exchange 1: all input sizes.
+        let sizes_span = intersect_obs::phase::span("core", "sizes");
+        let before = chan.stats();
         let mut size_msg = BitBuf::new();
         for input in inputs {
             put_gamma0(&mut size_msg, input.len() as u64);
@@ -136,8 +138,11 @@ impl BasicIntersection {
                 "size exchange has trailing bits".into(),
             ));
         }
+        sizes_span.finish(chan.stats().delta_since(&before));
 
         // Exchange 2: hashed sets, one sub-codec per instance.
+        let hashes_span = intersect_obs::phase::span("core", "hashes");
+        let before = chan.stats();
         let mut hashes = Vec::with_capacity(inputs.len());
         let mut hash_msg = BitBuf::new();
         for (i, input) in inputs.iter().enumerate() {
@@ -166,6 +171,7 @@ impl BasicIntersection {
                 "hash exchange has trailing bits".into(),
             ));
         }
+        hashes_span.finish(chan.stats().delta_since(&before));
         Ok(outputs)
     }
 }

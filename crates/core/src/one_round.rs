@@ -110,16 +110,18 @@ impl OneRoundHash {
             v.dedup();
             v
         };
-        match side {
+        let span = intersect_obs::phase::span("core", "fingerprint");
+        let before = chan.stats();
+        let out = match side {
             Side::Alice => {
                 chan.send(codec.encode(&my_hashes(input)))?;
                 if self.echo {
                     let reply = chan.recv()?;
                     let candidates: std::collections::HashSet<u64> =
                         codec.decode(&mut reply.reader())?.into_iter().collect();
-                    Ok(input.filtered(|x| candidates.contains(&g(x))))
+                    input.filtered(|x| candidates.contains(&g(x)))
                 } else {
-                    Ok(input.clone())
+                    input.clone()
                 }
             }
             Side::Bob => {
@@ -130,9 +132,11 @@ impl OneRoundHash {
                 if self.echo {
                     chan.send(codec.encode(&my_hashes(&candidates)))?;
                 }
-                Ok(candidates)
+                candidates
             }
-        }
+        };
+        span.finish(chan.stats().delta_since(&before));
+        Ok(out)
     }
 }
 

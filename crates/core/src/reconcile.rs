@@ -315,6 +315,10 @@ impl SetIntersection for IbltReconcile {
         let check_bits = self.checksum_bits.clamp(8, 64);
         let mut per_table = self.initial_cells.max(1);
         for attempt in 0..self.max_attempts.max(1) {
+            // Early returns drop the guard, emitting duration without a
+            // delta; the fall-through (failed attempt) finishes with one.
+            let attempt_span = intersect_obs::phase::span("core", "attempt");
+            let before = chan.stats();
             let hasher =
                 IbltHasher::from_coins(&coins.fork(&format!("iblt/a{attempt}")), check_bits);
             match side {
@@ -377,6 +381,7 @@ impl SetIntersection for IbltReconcile {
                     }
                 }
             }
+            attempt_span.finish(chan.stats().delta_since(&before));
             per_table *= 2;
         }
         Err(ProtocolError::Internal(

@@ -100,6 +100,8 @@ impl SqrtProtocol {
         let k = spec.k.max(2);
 
         // Step 1: universe reduction (shared coins; free).
+        let reduce_span = intersect_obs::phase::span("core", "reduce");
+        let before = chan.stats();
         let big_n = self.reduced_universe(k);
         let (work_set, back_map) = if spec.n <= big_n {
             let map: HashMap<u64, u64> = input.iter().map(|x| (x, x)).collect();
@@ -113,8 +115,11 @@ impl SqrtProtocol {
             let set: ElementSet = map.keys().copied().collect();
             (set, map)
         };
+        reduce_span.finish(chan.stats().delta_since(&before));
 
-        // Step 2: bucket into k preimages.
+        // Step 2: bucket into k preimages (plus the size-vector exchange).
+        let bucket_span = intersect_obs::phase::span("core", "bucket");
+        let before = chan.stats();
         let bucket_hash = PairwiseHash::sample(&mut coins.fork("bucket").rng(), big_n, k);
         let mut buckets: Vec<Vec<u64>> = vec![Vec::new(); k as usize];
         for x in work_set.iter() {
@@ -135,6 +140,7 @@ impl SqrtProtocol {
         for _ in 0..k {
             their_sizes.push(get_gamma0(&mut r)? as usize);
         }
+        bucket_span.finish(chan.stats().delta_since(&before));
 
         // Step 3: the equality collection E = ⊔ S_i × T_i, ordered by
         // (bucket, my index, their index) — identical on both sides because
@@ -167,9 +173,12 @@ impl SqrtProtocol {
         }
 
         // Step 4: one amortized-equality run over the whole collection.
+        let verify_span = intersect_obs::phase::span("core", "verify");
+        let before = chan.stats();
         let verdicts = self
             .equality
             .run(chan, &coins.fork("eqk"), side, &instances)?;
+        verify_span.finish(chan.stats().delta_since(&before));
 
         // Step 5: an element is in the intersection iff some pair matched.
         let mut hits: Vec<u64> = owners

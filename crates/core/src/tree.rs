@@ -171,6 +171,8 @@ impl TreeProtocol {
         // communication. Collisions inside one party's own set are merged
         // (kept as the smallest original element) — part of the 1/poly(k)
         // failure budget.
+        let reduce_span = intersect_obs::phase::span("core", "reduce");
+        let before = chan.stats();
         let big_n = self.reduced_universe(k);
         let (work_set, back_map) = if spec.n <= big_n {
             let map: HashMap<u64, u64> = input.iter().map(|x| (x, x)).collect();
@@ -188,19 +190,24 @@ impl TreeProtocol {
             n: big_n,
             k: spec.k,
         };
+        reduce_span.finish(chan.stats().delta_since(&before));
 
         // Special case r = 1: the direct k^c-range hash exchange.
         let mapped = if self.stages == 1 {
+            let basic_span = intersect_obs::phase::span("core", "basic");
+            let before = chan.stats();
             let error_bits = ((self.reduction_exponent.saturating_sub(2)).max(1) as usize
                 * ceil_log2(k) as usize)
                 .max(4);
-            BasicIntersection::new(error_bits).run(
+            let out = BasicIntersection::new(error_bits).run(
                 chan,
                 &coins.fork("r1"),
                 side,
                 reduced_spec,
                 &work_set,
-            )?
+            )?;
+            basic_span.finish(chan.stats().delta_since(&before));
+            out
         } else {
             self.run_tree(chan, coins, side, reduced_spec, &work_set)?
         };
@@ -225,6 +232,8 @@ impl TreeProtocol {
         let shape = TreeShape::build(self.stages, k, self.degree_policy);
 
         // Phase 2: bucket into k leaves.
+        let bucket_span = intersect_obs::phase::span("core", "bucket");
+        let before = chan.stats();
         let bucket_hash = PairwiseHash::sample(&mut coins.fork("bucket").rng(), spec.n, k);
         let mut buckets: Vec<Vec<u64>> = vec![Vec::new(); k as usize];
         for x in work_set.iter() {
@@ -237,6 +246,7 @@ impl TreeProtocol {
                 ElementSet::from_sorted(b)
             })
             .collect();
+        bucket_span.finish(chan.stats().delta_since(&before));
 
         // Phase 3: r stages of verify-then-repair.
         for stage in 0..self.stages {
@@ -244,6 +254,8 @@ impl TreeProtocol {
             let stage_coins = coins.fork(&format!("stage{stage}"));
 
             // Verify: one parallel equality batch over this level's nodes.
+            let verify_span = intersect_obs::phase::span("core", "verify");
+            let before = chan.stats();
             let nodes = shape.level(stage as usize);
             let items: Vec<BitBuf> = nodes
                 .iter()
@@ -261,6 +273,7 @@ impl TreeProtocol {
                 side,
                 &items,
             )?;
+            verify_span.finish(chan.stats().delta_since(&before));
 
             // Repair: both parties derive the same failed-leaf list and
             // re-run Basic-Intersection there, all in one parallel batch.
@@ -273,6 +286,8 @@ impl TreeProtocol {
             if failed_leaves.is_empty() {
                 continue;
             }
+            let repair_span = intersect_obs::phase::span("core", "repair");
+            let before = chan.stats();
             let inputs: Vec<ElementSet> = failed_leaves
                 .iter()
                 .map(|&leaf| assignments[leaf].clone())
@@ -287,6 +302,7 @@ impl TreeProtocol {
             for (&leaf, new_assignment) in failed_leaves.iter().zip(repaired) {
                 assignments[leaf] = new_assignment;
             }
+            repair_span.finish(chan.stats().delta_since(&before));
         }
 
         // Output: union of leaf assignments.

@@ -141,6 +141,8 @@ impl PipelinedTree {
         if self.stages == 1 {
             return self.as_plain().run(chan, coins, side, spec, input);
         }
+        let reduce_span = intersect_obs::phase::span("core", "reduce");
+        let before = chan.stats();
         let big_n = self.as_plain().reduced_universe(k);
         let (work_set, back_map) = if spec.n <= big_n {
             let map: HashMap<u64, u64> = input.iter().map(|x| (x, x)).collect();
@@ -154,6 +156,7 @@ impl PipelinedTree {
             let set: ElementSet = map.keys().copied().collect();
             (set, map)
         };
+        reduce_span.finish(chan.stats().delta_since(&before));
 
         let mapped = self.run_pipeline(chan, coins, side, big_n, k, &work_set)?;
         Ok(mapped
@@ -173,6 +176,8 @@ impl PipelinedTree {
         work_set: &ElementSet,
     ) -> Result<ElementSet, ProtocolError> {
         let shape = TreeShape::build(self.stages, k, self.degree_policy);
+        let bucket_span = intersect_obs::phase::span("core", "bucket");
+        let before = chan.stats();
         let bucket_hash = PairwiseHash::sample(&mut coins.fork("bucket").rng(), big_n, k);
         let mut buckets: Vec<Vec<u64>> = vec![Vec::new(); k as usize];
         for x in work_set.iter() {
@@ -194,6 +199,7 @@ impl PipelinedTree {
         let mut my_reported: Vec<u64> = assignments.iter().map(|a| a.len() as u64).collect();
         // Leaves failed at the previous stage, awaiting the repair flush.
         let mut pending: Vec<usize> = Vec::new();
+        bucket_span.finish(chan.stats().delta_since(&before));
 
         let fingerprints = |assignments: &[ElementSet],
                             nodes: &[(usize, usize)],
@@ -213,6 +219,8 @@ impl PipelinedTree {
         };
 
         for stage in 0..self.stages {
+            let stage_span = intersect_obs::phase::span("core", "stage");
+            let before = chan.stats();
             let err_bits = self.stage_error_bits(stage, k);
             let prev_err_bits = if stage > 0 {
                 self.stage_error_bits(stage - 1, k)
@@ -338,10 +346,13 @@ impl PipelinedTree {
                     chan.send(reply)?;
                 }
             }
+            stage_span.finish(chan.stats().delta_since(&before));
         }
 
         // Final flush: Alice sends her halves for the last stage's failures
         // so Bob can complete his repairs too.
+        let flush_span = intersect_obs::phase::span("core", "flush");
+        let before = chan.stats();
         let last_err = self.stage_error_bits(self.stages - 1, k);
         let flush_coins = coins.fork(&format!("prepair{}", self.stages - 1));
         match side {
@@ -378,6 +389,7 @@ impl PipelinedTree {
                 }
             }
         }
+        flush_span.finish(chan.stats().delta_since(&before));
 
         Ok(assignments
             .into_iter()

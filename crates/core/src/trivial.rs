@@ -119,13 +119,15 @@ impl TrivialExchange {
         input: &ElementSet,
     ) -> Result<ElementSet, ProtocolError> {
         spec.validate(input).map_err(ProtocolError::InvalidInput)?;
-        match side {
+        let span = intersect_obs::phase::span("core", "exchange");
+        let before = chan.stats();
+        let out = match side {
             Side::Alice => {
                 chan.send(self.encode(spec, input))?;
                 if self.echo {
-                    self.decode(spec, &chan.recv()?)
+                    self.decode(spec, &chan.recv()?)?
                 } else {
-                    Ok(input.clone())
+                    input.clone()
                 }
             }
             Side::Bob => {
@@ -134,9 +136,11 @@ impl TrivialExchange {
                 if self.echo {
                     chan.send(self.encode(spec, &intersection))?;
                 }
-                Ok(intersection)
+                intersection
             }
-        }
+        };
+        span.finish(chan.stats().delta_since(&before));
+        Ok(out)
     }
 }
 

@@ -1,0 +1,148 @@
+//! Protocol phase spans account for every bit on the wire.
+//!
+//! With a subscriber installed, the spans a protocol emits (reduce,
+//! bucket, verify, repair, …) tile its execution: summing their bit and
+//! round deltas per party must reproduce that party's final channel
+//! stats exactly. Lives in its own test binary so no sibling test
+//! installs a competing subscriber.
+
+use intersect_comm::runner::{run_two_party, RunConfig, Side};
+use intersect_core::sets::{ElementSet, InputPair, ProblemSpec};
+use intersect_core::tree::TreeProtocol;
+use intersect_core::tree_pipelined::PipelinedTree;
+use intersect_obs as obs;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+/// Sums the top-level span deltas for one party's thread. Nested spans
+/// (Basic-Intersection's `sizes`/`hashes` under `verify`/`repair`) are
+/// excluded by only counting spans whose enclosing phase is empty.
+fn summed(events: &[obs::Event], party: obs::Party) -> (u64, u64, u64) {
+    let mut sent = 0;
+    let mut received = 0;
+    let mut rounds = 0;
+    for ev in events {
+        if ev.party != Some(party) || !ev.phase.is_empty() {
+            continue;
+        }
+        if let Some(d) = ev.delta() {
+            sent += d.bits_sent;
+            received += d.bits_received;
+            rounds += d.rounds;
+        }
+    }
+    (sent, received, rounds)
+}
+
+fn assert_spans_tile(events: &[obs::Event], report: &intersect_comm::stats::CostReport) {
+    let (a_sent, a_recv, a_rounds) = summed(events, obs::Party::Alice);
+    let (b_sent, b_recv, b_rounds) = summed(events, obs::Party::Bob);
+    assert_eq!(a_sent, report.bits_alice, "alice sent bits");
+    assert_eq!(b_sent, report.bits_bob, "bob sent bits");
+    assert_eq!(a_recv, report.bits_bob, "alice received = bob sent");
+    assert_eq!(b_recv, report.bits_alice, "bob received = alice sent");
+    // Phases run back-to-back, so clock deltas telescope to the final
+    // clock; the report's round count is the max over both parties.
+    assert_eq!(a_rounds.max(b_rounds), report.rounds, "rounds");
+}
+
+fn run_instrumented<F>(seed: u64, run: F) -> (Vec<obs::Event>, intersect_comm::stats::CostReport)
+where
+    F: Fn(
+            &mut dyn intersect_comm::chan::Chan,
+            &intersect_comm::coins::CoinSource,
+            Side,
+        ) -> Result<ElementSet, intersect_comm::error::ProtocolError>
+        + Send
+        + Sync,
+{
+    let sub = obs::Subscriber::new();
+    let guard = sub.install();
+    let out = run_two_party(
+        &RunConfig::with_seed(seed),
+        |chan, coins| {
+            let _scope = obs::phase::SessionScope::enter(seed, obs::Party::Alice);
+            run(chan, coins, Side::Alice)
+        },
+        |chan, coins| {
+            let _scope = obs::phase::SessionScope::enter(seed, obs::Party::Bob);
+            run(chan, coins, Side::Bob)
+        },
+    )
+    .unwrap();
+    drop(guard);
+    (sub.take_events(), out.report)
+}
+
+#[test]
+fn tree_phase_spans_sum_to_cost_report() {
+    let mut rng = ChaCha8Rng::seed_from_u64(1);
+    let spec = ProblemSpec::new(1 << 30, 64);
+    let pair = InputPair::random_with_overlap(&mut rng, spec, 64, 20);
+    for r in 1..=3u32 {
+        let proto = TreeProtocol::new(r);
+        let (events, report) = run_instrumented(10 + r as u64, |chan, coins, side| {
+            let input = if side == Side::Alice {
+                &pair.s
+            } else {
+                &pair.t
+            };
+            proto.run(chan, &coins.fork("tree"), side, spec, input)
+        });
+        assert!(report.total_bits() > 0);
+        assert_spans_tile(&events, &report);
+        // The expected phases all appear.
+        let names: Vec<&str> = events.iter().map(|e| e.name.as_str()).collect();
+        assert!(names.contains(&"reduce"), "r={r}: {names:?}");
+        if r > 1 {
+            assert!(names.contains(&"bucket") && names.contains(&"verify"));
+        }
+    }
+}
+
+#[test]
+fn pipelined_tree_phase_spans_sum_to_cost_report() {
+    let mut rng = ChaCha8Rng::seed_from_u64(2);
+    let spec = ProblemSpec::new(1 << 30, 128);
+    let pair = InputPair::random_with_overlap(&mut rng, spec, 128, 50);
+    let proto = PipelinedTree::new(3);
+    let (events, report) = run_instrumented(77, |chan, coins, side| {
+        let input = if side == Side::Alice {
+            &pair.s
+        } else {
+            &pair.t
+        };
+        proto.run(chan, &coins.fork("pt"), side, spec, input)
+    });
+    assert_spans_tile(&events, &report);
+}
+
+#[test]
+fn message_events_carry_phase_labels() {
+    let mut rng = ChaCha8Rng::seed_from_u64(3);
+    let spec = ProblemSpec::new(1 << 30, 32);
+    let pair = InputPair::random_with_overlap(&mut rng, spec, 32, 10);
+    let proto = TreeProtocol::new(2);
+    let (events, _) = run_instrumented(5, |chan, coins, side| {
+        let input = if side == Side::Alice {
+            &pair.s
+        } else {
+            &pair.t
+        };
+        proto.run(chan, &coins.fork("tree"), side, spec, input)
+    });
+    let messages: Vec<&obs::Event> = events
+        .iter()
+        .filter(|e| matches!(e.kind, obs::EventKind::Message { .. }))
+        .collect();
+    assert!(!messages.is_empty());
+    // Every wire message lands inside some protocol phase.
+    assert!(
+        messages.iter().all(|e| !e.phase.is_empty()),
+        "unlabelled message events: {:?}",
+        messages
+            .iter()
+            .filter(|e| e.phase.is_empty())
+            .collect::<Vec<_>>()
+    );
+}

@@ -10,6 +10,7 @@
 //! compare only the former.
 
 use intersect_comm::stats::CostReport;
+use intersect_obs::LogHistogram;
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 use std::sync::Mutex;
@@ -50,10 +51,18 @@ pub struct EngineMetrics {
 /// Wall-clock latency percentiles over finished sessions, in microseconds
 /// from admission to outcome. Nondeterministic by nature; kept separate
 /// from [`EngineMetrics`] so determinism tests can ignore it.
+///
+/// Percentiles come from a streaming [`LogHistogram`] rather than an
+/// exact sort: constant memory however many sessions run, at most 6.25 %
+/// overshoot per quantile, and `min`/`max` stay exact.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct LatencySummary {
+    /// Fastest session.
+    pub min_micros: u64,
     /// Median session latency.
     pub p50_micros: u64,
+    /// 90th-percentile session latency.
+    pub p90_micros: u64,
     /// 99th-percentile session latency.
     pub p99_micros: u64,
     /// Slowest session.
@@ -120,9 +129,11 @@ impl EngineSnapshot {
         ));
         out.push('\n');
         out.push_str(&render_table(
-            &["latency p50", "p99", "max"],
+            &["latency min", "p50", "p90", "p99", "max"],
             &[vec![
+                format!("{}µs", self.latency.min_micros),
                 format!("{}µs", self.latency.p50_micros),
+                format!("{}µs", self.latency.p90_micros),
                 format!("{}µs", self.latency.p99_micros),
                 format!("{}µs", self.latency.max_micros),
             ]],
@@ -171,7 +182,7 @@ pub(crate) struct Registry {
 #[derive(Debug, Default)]
 struct RegistryInner {
     metrics: EngineMetrics,
-    latencies_micros: Vec<u64>,
+    latency: LogHistogram,
 }
 
 impl Registry {
@@ -204,27 +215,21 @@ impl Registry {
         tally.sessions += 1;
         tally.bits += report.total_bits();
         tally.max_rounds = tally.max_rounds.max(report.rounds);
-        inner.latencies_micros.push(latency_micros);
+        inner.latency.record(latency_micros);
     }
 
     pub(crate) fn snapshot(&self, workers: u64) -> EngineSnapshot {
         let inner = self.lock();
-        let mut sorted = inner.latencies_micros.clone();
-        sorted.sort_unstable();
-        let percentile = |p: f64| -> u64 {
-            if sorted.is_empty() {
-                return 0;
-            }
-            let idx = ((sorted.len() as f64 * p).ceil() as usize).max(1) - 1;
-            sorted[idx.min(sorted.len() - 1)]
-        };
+        let h = &inner.latency;
         EngineSnapshot {
             workers,
             metrics: inner.metrics.clone(),
             latency: LatencySummary {
-                p50_micros: percentile(0.50),
-                p99_micros: percentile(0.99),
-                max_micros: sorted.last().copied().unwrap_or(0),
+                min_micros: h.min(),
+                p50_micros: h.percentile(0.50),
+                p90_micros: h.percentile(0.90),
+                p99_micros: h.percentile(0.99),
+                max_micros: h.max(),
             },
         }
     }
@@ -270,7 +275,11 @@ mod tests {
         assert_eq!(tree.sessions, 2);
         assert_eq!(tree.bits, 150);
         assert_eq!(tree.max_rounds, 8);
-        assert_eq!(snap.latency.p50_micros, 40);
+        // Histogram percentiles: exact at the edges (min/max), within one
+        // sub-bucket elsewhere (40 lands in the [40, 42) bucket → 41).
+        assert_eq!(snap.latency.min_micros, 10);
+        assert_eq!(snap.latency.p50_micros, 41);
+        assert_eq!(snap.latency.p90_micros, 90);
         assert_eq!(snap.latency.p99_micros, 90);
         assert_eq!(snap.latency.max_micros, 90);
     }

@@ -53,9 +53,28 @@ use intersect_comm::stats::{ChannelStats, CostReport};
 use intersect_comm::trace::{Direction, PhaseSummary, Traced};
 use intersect_core::api::{ProtocolChoice, SetIntersection};
 use intersect_core::sets::ElementSet;
+use intersect_obs as obs;
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::Instant;
+
+/// Emits a session-lifecycle instant (`submit`, `reject`, `admit`,
+/// `route`, `complete`, `fail`) attributed to a session id from a thread
+/// that holds no [`obs::phase::SessionScope`]. Free when disabled.
+fn lifecycle(name: &'static str, session: u64) {
+    if !obs::enabled() {
+        return;
+    }
+    obs::emit_with(|ts| obs::Event {
+        ts_micros: ts,
+        target: "engine",
+        name: name.to_string(),
+        session: Some(session),
+        party: None,
+        phase: String::new(),
+        kind: obs::EventKind::Instant,
+    });
+}
 
 /// Tuning knobs for an [`Engine`].
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -255,6 +274,17 @@ impl SessionShared {
             outcome.succeeded(),
             outcome.latency_micros,
         );
+        if outcome.succeeded() {
+            lifecycle("complete", self.request.id);
+            obs::counter_add("engine_sessions_completed", 1);
+        } else {
+            lifecycle("fail", self.request.id);
+            obs::counter_add("engine_sessions_failed", 1);
+        }
+        obs::counter_add("engine_bits_total", report.total_bits());
+        obs::observe("engine_session_latency_micros", outcome.latency_micros);
+        obs::observe("engine_session_bits", report.total_bits());
+        obs::gauge_add("engine_in_flight", -1);
         let _ = self.outcome_tx.send(outcome);
         // The dispatcher may already be gone during drain; that's fine.
         let _ = self.done_tx.send(());
@@ -296,6 +326,18 @@ fn run_half(task: HalfTask) {
         shared,
     } = task;
     let spec = shared.request.spec;
+    // Attribute everything this half emits — the session span, the
+    // protocol's phase spans, every per-message event — to its session
+    // and party. The span's delta is the endpoint's final stats, so the
+    // two session spans of a session sum to exactly its CostReport.
+    let party = if side.is_alice() {
+        obs::Party::Alice
+    } else {
+        obs::Party::Bob
+    };
+    let _scope = obs::phase::SessionScope::enter(shared.request.id, party);
+    obs::gauge_add("engine_workers_busy", 1);
+    let session_span = obs::phase::span("engine", "session");
     let (result, stats, events) = if shared.traced && side.is_alice() {
         let mut traced = Traced::new(endpoint);
         let result = shared.protocol.run(&mut traced, &coins, side, spec, &input);
@@ -311,6 +353,12 @@ fn run_half(task: HalfTask) {
         // endpoint drops here, so a peer blocked mid-protocol sees a
         // hangup instead of waiting out the timeout.
     };
+    session_span.finish(obs::CostDelta {
+        bits_sent: stats.bits_sent,
+        bits_received: stats.bits_received,
+        rounds: stats.clock,
+    });
+    obs::gauge_add("engine_workers_busy", -1);
     shared.complete(HalfDone {
         side,
         result,
@@ -379,6 +427,8 @@ impl Engine {
             std::thread::spawn(move || {
                 let mut in_flight = 0usize;
                 for request in admit_rx.iter() {
+                    lifecycle("admit", request.id);
+                    obs::gauge_add("engine_queue_depth", -1);
                     while in_flight >= max_in_flight {
                         if done_rx.recv().is_err() {
                             return; // all workers gone
@@ -386,6 +436,8 @@ impl Engine {
                         in_flight -= 1;
                     }
                     let choice = route(&request, policy);
+                    lifecycle("route", request.id);
+                    obs::gauge_add("engine_in_flight", 1);
                     let protocol: Arc<dyn SetIntersection> = Arc::from(choice.build(request.spec));
                     let pair = request.input_pair();
                     // The same substrate constructor run_two_party uses,
@@ -442,13 +494,19 @@ impl Engine {
     /// (which never reach the queue).
     pub fn try_submit(&self, request: SessionRequest) -> Result<(), SubmitError> {
         request.validate().map_err(SubmitError::Invalid)?;
+        let id = request.id;
         match self.admit_tx.try_send(request) {
             Ok(()) => {
                 self.registry.record_submitted();
+                lifecycle("submit", id);
+                obs::counter_add("engine_sessions_submitted", 1);
+                obs::gauge_add("engine_queue_depth", 1);
                 Ok(())
             }
             Err(TrySendError::Full(_)) => {
                 self.registry.record_rejected();
+                lifecycle("reject", id);
+                obs::counter_add("engine_sessions_rejected", 1);
                 Err(SubmitError::Rejected { queue_full: true })
             }
             Err(TrySendError::Disconnected(_)) => Err(SubmitError::Rejected { queue_full: false }),
@@ -463,10 +521,14 @@ impl Engine {
     /// [`SubmitError::Rejected`] only if the engine is shutting down.
     pub fn submit(&self, request: SessionRequest) -> Result<(), SubmitError> {
         request.validate().map_err(SubmitError::Invalid)?;
+        let id = request.id;
         self.admit_tx
             .send(request)
             .map_err(|_| SubmitError::Rejected { queue_full: false })?;
         self.registry.record_submitted();
+        lifecycle("submit", id);
+        obs::counter_add("engine_sessions_submitted", 1);
+        obs::gauge_add("engine_queue_depth", 1);
         Ok(())
     }
 

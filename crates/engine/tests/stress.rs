@@ -1,10 +1,18 @@
 //! Engine stress test: ten thousand mixed-shape concurrent sessions,
 //! every one checked for an exact intersection and a communication cost
 //! bit-for-bit identical to a dedicated single-session run.
+//!
+//! The engine runs with an observability subscriber installed, so this
+//! test simultaneously proves (a) instrumentation does not perturb any
+//! session — the dedicated reference runs execute *after* the subscriber
+//! is gone and must match bit-for-bit — and (b) every session's two
+//! `session` spans account for its CostReport exactly.
 
 use intersect_core::api::{execute, ProtocolChoice};
 use intersect_core::sets::ProblemSpec;
 use intersect_engine::prelude::*;
+use intersect_obs as obs;
+use std::collections::BTreeMap;
 
 /// A varied workload: four set sizes, three universes, sweeping overlaps,
 /// per-session seeds, and a sprinkling of explicit protocol overrides so
@@ -44,12 +52,35 @@ fn mixed_workload(count: u64) -> Vec<SessionRequest> {
 #[test]
 fn ten_thousand_sessions_are_exact_and_bit_identical_to_dedicated_runs() {
     const SESSIONS: u64 = 10_000;
+    let sub = obs::Subscriber::new();
+    let installed = sub.install();
     let engine = Engine::start(EngineConfig::new(8));
     for req in mixed_workload(SESSIONS) {
         engine.submit(req).unwrap();
     }
     let report = engine.finish();
+    drop(installed); // reference runs below must be uninstrumented
     assert_eq!(report.outcomes.len() as u64, SESSIONS);
+
+    // Per-session span accounting: each session emits one `session` span
+    // per party whose delta is that endpoint's final stats, so summing
+    // the two spans' sent bits reproduces the session's total cost, and
+    // the larger clock delta is its round count.
+    let mut span_bits: BTreeMap<u64, u64> = BTreeMap::new();
+    let mut span_rounds: BTreeMap<u64, u64> = BTreeMap::new();
+    let mut span_count = 0u64;
+    for ev in sub.take_events() {
+        if ev.target != "engine" || ev.name != "session" {
+            continue;
+        }
+        let session = ev.session.expect("session spans are attributed");
+        let delta = ev.delta().expect("session spans carry deltas");
+        *span_bits.entry(session).or_insert(0) += delta.bits_sent;
+        let r = span_rounds.entry(session).or_insert(0);
+        *r = (*r).max(delta.rounds);
+        span_count += 1;
+    }
+    assert_eq!(span_count, 2 * SESSIONS, "two session spans per session");
 
     let mut per_protocol_seen = std::collections::BTreeSet::new();
     let mut monte_carlo_misses = 0u64;
@@ -91,6 +122,20 @@ fn ten_thousand_sessions_are_exact_and_bit_identical_to_dedicated_runs() {
             outcome.bob.as_ref(),
             Some(&reference.bob),
             "session {}",
+            req.id
+        );
+
+        // Span accounting matches the cost report exactly.
+        assert_eq!(
+            span_bits.get(&req.id).copied(),
+            Some(outcome.report.total_bits()),
+            "session {}: span bit deltas disagree with the report",
+            req.id
+        );
+        assert_eq!(
+            span_rounds.get(&req.id).copied(),
+            Some(outcome.report.rounds),
+            "session {}: span round deltas disagree with the report",
             req.id
         );
 

@@ -1,0 +1,48 @@
+//! A tour of the observability layer: install a subscriber, mark phases
+//! with spans, record metrics, and render every export format.
+//!
+//! ```text
+//! cargo run --example span_demo -p intersect-obs
+//! ```
+
+use intersect_obs as obs;
+
+fn simulated_phase(name: &'static str, bits: u64, rounds: u64) {
+    let span = obs::phase::span("demo", name);
+    // Pretend work: a real protocol reads its channel's stats at entry
+    // and exit and finishes the span with the difference.
+    std::thread::sleep(std::time::Duration::from_millis(2));
+    obs::counter_add("demo_phases_total", 1);
+    obs::observe("demo_phase_bits", bits);
+    span.finish(obs::CostDelta {
+        bits_sent: bits / 2,
+        bits_received: bits - bits / 2,
+        rounds,
+    });
+}
+
+fn main() {
+    let sub = obs::Subscriber::new();
+    let installed = sub.install();
+
+    for session in 0..3u64 {
+        let _scope = obs::phase::SessionScope::enter(session, obs::Party::Alice);
+        obs::instant("demo", "admitted");
+        obs::gauge_add("demo_in_flight", 1);
+        simulated_phase("verify", 96 + session * 40, 2);
+        simulated_phase("repair", 32, 2);
+        obs::gauge_add("demo_in_flight", -1);
+    }
+
+    let events = sub.events();
+    drop(installed);
+
+    println!("== JSONL ({} events) ==", events.len());
+    print!("{}", obs::export::jsonl(&events));
+
+    println!("\n== Chrome trace (load in chrome://tracing) ==");
+    println!("{}", obs::export::chrome_trace(&events));
+
+    println!("\n== Prometheus exposition ==");
+    print!("{}", obs::export::prometheus(&sub.metrics().snapshot()));
+}

@@ -1,0 +1,182 @@
+//! The event model: one flat record type every layer can emit and every
+//! exporter can render.
+
+/// Which party of a two-party session an event belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Party {
+    /// The first player (holds `S`).
+    Alice,
+    /// The second player (holds `T`).
+    Bob,
+}
+
+impl Party {
+    /// A stable lowercase label.
+    pub fn label(self) -> &'static str {
+        match self {
+            Party::Alice => "alice",
+            Party::Bob => "bob",
+        }
+    }
+
+    /// A stable small integer (Alice = 0, Bob = 1), used as a Chrome
+    /// trace `tid`.
+    pub fn index(self) -> u64 {
+        match self {
+            Party::Alice => 0,
+            Party::Bob => 1,
+        }
+    }
+}
+
+/// Direction of a message event, from the emitting endpoint's view.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Direction {
+    /// The endpoint sent this message.
+    Sent,
+    /// The endpoint received this message.
+    Received,
+}
+
+impl Direction {
+    /// A stable lowercase label.
+    pub fn label(self) -> &'static str {
+        match self {
+            Direction::Sent => "sent",
+            Direction::Received => "received",
+        }
+    }
+}
+
+/// The communication cost accrued inside a span, read off
+/// `ChannelStats`-style counters at entry and exit.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CostDelta {
+    /// Bits sent by this endpoint during the span.
+    pub bits_sent: u64,
+    /// Bits received by this endpoint during the span.
+    pub bits_received: u64,
+    /// Causal-clock advance during the span (rounds consumed).
+    pub rounds: u64,
+}
+
+impl CostDelta {
+    /// Total bits that crossed the endpoint during the span.
+    pub fn total_bits(&self) -> u64 {
+        self.bits_sent + self.bits_received
+    }
+}
+
+/// What kind of record an [`Event`] is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EventKind {
+    /// A completed span: wall-clock duration plus, when the span wrapped
+    /// channel work, the bit/round cost it accrued.
+    Span {
+        /// Wall-clock duration in microseconds.
+        dur_micros: u64,
+        /// Communication cost accrued inside the span, if metered.
+        delta: Option<CostDelta>,
+    },
+    /// A point-in-time marker (session admitted, rejected, …).
+    Instant,
+    /// One message on a metered channel.
+    Message {
+        /// Direction from the emitting endpoint's view.
+        dir: Direction,
+        /// Payload size in bits.
+        bits: u64,
+        /// The endpoint's causal clock after the message.
+        clock: u64,
+    },
+}
+
+/// One observability record.
+///
+/// Events are flat on purpose: every exporter (JSONL, Chrome trace,
+/// Prometheus derivation) and every test reads the same fields without
+/// chasing structure.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Event {
+    /// Microseconds since the subscriber was installed.
+    pub ts_micros: u64,
+    /// The emitting layer (`"comm"`, `"core"`, `"engine"`, …).
+    pub target: &'static str,
+    /// The span/event name (static at call sites; owned here so protocol
+    /// display names can flow through).
+    pub name: String,
+    /// The session this event belongs to, when attributable.
+    pub session: Option<u64>,
+    /// The party within the session, when attributable.
+    pub party: Option<Party>,
+    /// The protocol phase label active when the event fired (empty when
+    /// no phase was active).
+    pub phase: String,
+    /// The payload.
+    pub kind: EventKind,
+}
+
+impl Event {
+    /// The span duration, or 0 for non-span events.
+    pub fn dur_micros(&self) -> u64 {
+        match self.kind {
+            EventKind::Span { dur_micros, .. } => dur_micros,
+            _ => 0,
+        }
+    }
+
+    /// The span cost delta, if this is a metered span.
+    pub fn delta(&self) -> Option<CostDelta> {
+        match self.kind {
+            EventKind::Span { delta, .. } => delta,
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_are_stable() {
+        assert_eq!(Party::Alice.label(), "alice");
+        assert_eq!(Party::Bob.index(), 1);
+        assert_eq!(Direction::Sent.label(), "sent");
+        assert_eq!(Direction::Received.label(), "received");
+    }
+
+    #[test]
+    fn cost_delta_totals() {
+        let d = CostDelta {
+            bits_sent: 10,
+            bits_received: 32,
+            rounds: 3,
+        };
+        assert_eq!(d.total_bits(), 42);
+    }
+
+    #[test]
+    fn accessors_distinguish_kinds() {
+        let span = Event {
+            ts_micros: 5,
+            target: "t",
+            name: "n".into(),
+            session: None,
+            party: None,
+            phase: String::new(),
+            kind: EventKind::Span {
+                dur_micros: 7,
+                delta: Some(CostDelta::default()),
+            },
+        };
+        assert_eq!(span.dur_micros(), 7);
+        assert!(span.delta().is_some());
+        let inst = Event {
+            kind: EventKind::Instant,
+            ..span.clone()
+        };
+        assert_eq!(inst.dur_micros(), 0);
+        assert!(inst.delta().is_none());
+    }
+}

@@ -1,0 +1,278 @@
+//! Exporters: JSONL event streams, Chrome trace-event JSON, and
+//! Prometheus text exposition — all hand-rendered, keeping the crate
+//! dependency-free.
+//!
+//! | Function | Format | Typical sink |
+//! |---|---|---|
+//! | [`jsonl`] | one JSON object per line | `--trace-out`, log shippers |
+//! | [`chrome_trace`] | trace-event JSON array | `chrome://tracing`, Perfetto |
+//! | [`prometheus`] | text exposition | `--metrics-out`, scrapers |
+
+use crate::event::{Event, EventKind};
+use crate::metrics::Metric;
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// Escapes a string for embedding in a JSON string literal.
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Renders one event as a single-line JSON object (no trailing newline).
+pub fn event_json(ev: &Event) -> String {
+    let mut out = format!(
+        "{{\"ts_us\":{},\"target\":\"{}\",\"name\":\"{}\"",
+        ev.ts_micros,
+        json_escape(ev.target),
+        json_escape(&ev.name)
+    );
+    if let Some(session) = ev.session {
+        let _ = write!(out, ",\"session\":{session}");
+    }
+    if let Some(party) = ev.party {
+        let _ = write!(out, ",\"party\":\"{}\"", party.label());
+    }
+    if !ev.phase.is_empty() {
+        let _ = write!(out, ",\"phase\":\"{}\"", json_escape(&ev.phase));
+    }
+    match ev.kind {
+        EventKind::Span { dur_micros, delta } => {
+            let _ = write!(out, ",\"kind\":\"span\",\"dur_us\":{dur_micros}");
+            if let Some(d) = delta {
+                let _ = write!(
+                    out,
+                    ",\"bits_sent\":{},\"bits_received\":{},\"rounds\":{}",
+                    d.bits_sent, d.bits_received, d.rounds
+                );
+            }
+        }
+        EventKind::Instant => out.push_str(",\"kind\":\"instant\""),
+        EventKind::Message { dir, bits, clock } => {
+            let _ = write!(
+                out,
+                ",\"kind\":\"message\",\"dir\":\"{}\",\"bits\":{bits},\"clock\":{clock}",
+                dir.label()
+            );
+        }
+    }
+    out.push('}');
+    out
+}
+
+/// Renders events as a JSONL stream: one [`event_json`] line per event.
+pub fn jsonl(events: &[Event]) -> String {
+    let mut out = String::new();
+    for ev in events {
+        out.push_str(&event_json(ev));
+        out.push('\n');
+    }
+    out
+}
+
+/// Renders events in the Chrome trace-event format (the JSON-array form),
+/// loadable by `chrome://tracing` and Perfetto.
+///
+/// Mapping: sessions become `pid`s (unattributed events use pid 0),
+/// parties become `tid`s (Alice 0, Bob 1, unattributed 2). Spans are
+/// complete events (`"ph":"X"`) carrying their cost delta in `args`;
+/// instants are `"ph":"i"`; messages are counter-style instants with the
+/// payload size in `args`.
+pub fn chrome_trace(events: &[Event]) -> String {
+    let mut out = String::from("[");
+    for (i, ev) in events.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let pid = ev.session.unwrap_or(0);
+        let tid = ev.party.map(|p| p.index()).unwrap_or(2);
+        let name = json_escape(&ev.name);
+        let cat = json_escape(ev.target);
+        match ev.kind {
+            EventKind::Span { dur_micros, delta } => {
+                // Complete events are stamped with their *start* time.
+                let start = ev.ts_micros.saturating_sub(dur_micros);
+                let _ = write!(
+                    out,
+                    "{{\"name\":\"{name}\",\"cat\":\"{cat}\",\"ph\":\"X\",\
+                     \"ts\":{start},\"dur\":{dur_micros},\"pid\":{pid},\"tid\":{tid}"
+                );
+                if let Some(d) = delta {
+                    let _ = write!(
+                        out,
+                        ",\"args\":{{\"bits_sent\":{},\"bits_received\":{},\"rounds\":{}}}",
+                        d.bits_sent, d.bits_received, d.rounds
+                    );
+                }
+                out.push('}');
+            }
+            EventKind::Instant => {
+                let _ = write!(
+                    out,
+                    "{{\"name\":\"{name}\",\"cat\":\"{cat}\",\"ph\":\"i\",\"s\":\"t\",\
+                     \"ts\":{},\"pid\":{pid},\"tid\":{tid}}}",
+                    ev.ts_micros
+                );
+            }
+            EventKind::Message { dir, bits, clock } => {
+                let _ = write!(
+                    out,
+                    "{{\"name\":\"{name}\",\"cat\":\"{cat}\",\"ph\":\"i\",\"s\":\"t\",\
+                     \"ts\":{},\"pid\":{pid},\"tid\":{tid},\
+                     \"args\":{{\"dir\":\"{}\",\"bits\":{bits},\"clock\":{clock}}}}}",
+                    ev.ts_micros,
+                    dir.label()
+                );
+            }
+        }
+    }
+    out.push(']');
+    out
+}
+
+/// Renders a metrics snapshot in the Prometheus text exposition format.
+///
+/// Counters and gauges become single samples; histograms become
+/// summary-style quantiles plus `_count`, `_sum`, `_min`, and `_max`
+/// samples.
+pub fn prometheus(metrics: &BTreeMap<String, Metric>) -> String {
+    let mut out = String::new();
+    for (name, metric) in metrics {
+        match metric {
+            Metric::Counter(v) => {
+                let _ = writeln!(out, "# TYPE {name} counter");
+                let _ = writeln!(out, "{name} {v}");
+            }
+            Metric::Gauge(v) => {
+                let _ = writeln!(out, "# TYPE {name} gauge");
+                let _ = writeln!(out, "{name} {v}");
+            }
+            Metric::Histogram(h) => {
+                let _ = writeln!(out, "# TYPE {name} summary");
+                for (q, label) in [(0.5, "0.5"), (0.9, "0.9"), (0.99, "0.99")] {
+                    let _ = writeln!(out, "{name}{{quantile=\"{label}\"}} {}", h.percentile(q));
+                }
+                let _ = writeln!(out, "{name}_sum {}", h.sum());
+                let _ = writeln!(out, "{name}_count {}", h.count());
+                let _ = writeln!(out, "{name}_min {}", h.min());
+                let _ = writeln!(out, "{name}_max {}", h.max());
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::{CostDelta, Direction, Party};
+    use crate::metrics::MetricsRegistry;
+
+    fn span_event() -> Event {
+        Event {
+            ts_micros: 120,
+            target: "core",
+            name: "verify".into(),
+            session: Some(7),
+            party: Some(Party::Alice),
+            phase: "stage".into(),
+            kind: EventKind::Span {
+                dur_micros: 100,
+                delta: Some(CostDelta {
+                    bits_sent: 64,
+                    bits_received: 32,
+                    rounds: 2,
+                }),
+            },
+        }
+    }
+
+    fn message_event() -> Event {
+        Event {
+            ts_micros: 40,
+            target: "comm",
+            name: "msg".into(),
+            session: None,
+            party: None,
+            phase: String::new(),
+            kind: EventKind::Message {
+                dir: Direction::Sent,
+                bits: 9,
+                clock: 3,
+            },
+        }
+    }
+
+    #[test]
+    fn jsonl_emits_one_line_per_event_with_all_fields() {
+        let text = jsonl(&[span_event(), message_event()]);
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].contains("\"ts_us\":120"));
+        assert!(lines[0].contains("\"session\":7"));
+        assert!(lines[0].contains("\"party\":\"alice\""));
+        assert!(lines[0].contains("\"phase\":\"stage\""));
+        assert!(lines[0].contains("\"bits_sent\":64"));
+        assert!(lines[1].contains("\"kind\":\"message\""));
+        assert!(lines[1].contains("\"dir\":\"sent\""));
+        assert!(!lines[1].contains("session"));
+    }
+
+    #[test]
+    fn json_escaping_handles_special_characters() {
+        let mut ev = span_event();
+        ev.name = "a\"b\\c\nd\u{1}".into();
+        let line = event_json(&ev);
+        assert!(line.contains("a\\\"b\\\\c\\nd\\u0001"));
+    }
+
+    #[test]
+    fn chrome_trace_is_an_array_of_well_formed_records() {
+        let text = chrome_trace(&[span_event(), message_event()]);
+        assert!(text.starts_with('[') && text.ends_with(']'));
+        // Spans are complete events stamped at their start time.
+        assert!(text.contains("\"ph\":\"X\""));
+        assert!(text.contains("\"ts\":20,\"dur\":100"));
+        assert!(text.contains("\"pid\":7,\"tid\":0"));
+        // Messages are thread-scoped instants with args.
+        assert!(text.contains("\"ph\":\"i\""));
+        assert!(text.contains("\"args\":{\"dir\":\"sent\",\"bits\":9,\"clock\":3}"));
+    }
+
+    #[test]
+    fn chrome_trace_of_nothing_is_an_empty_array() {
+        assert_eq!(chrome_trace(&[]), "[]");
+    }
+
+    #[test]
+    fn prometheus_renders_every_metric_kind() {
+        let m = MetricsRegistry::new();
+        m.counter_add("sessions_total", 3);
+        m.gauge_set("in_flight", -2);
+        for v in [10u64, 20, 30] {
+            m.observe("latency_micros", v);
+        }
+        let text = prometheus(&m.snapshot());
+        assert!(text.contains("# TYPE sessions_total counter\nsessions_total 3\n"));
+        assert!(text.contains("# TYPE in_flight gauge\nin_flight -2\n"));
+        assert!(text.contains("# TYPE latency_micros summary"));
+        assert!(text.contains("latency_micros{quantile=\"0.5\"}"));
+        assert!(text.contains("latency_micros_count 3"));
+        assert!(text.contains("latency_micros_sum 60"));
+        assert!(text.contains("latency_micros_min 10"));
+        assert!(text.contains("latency_micros_max 30"));
+    }
+}

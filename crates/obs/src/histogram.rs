@@ -1,0 +1,265 @@
+//! A log-bucketed streaming histogram.
+//!
+//! Replaces "collect every sample and sort" percentile computations: each
+//! value lands in one of ~1000 fixed buckets in O(1), memory is constant,
+//! and any percentile reads back in one pass over the buckets. Values
+//! below 16 are exact; above that a bucket spans `2^(m-4)` for magnitude
+//! `m`, so the reported percentile overshoots the true sample by at most
+//! a factor `1/16` (6.25 %). Minimum and maximum are tracked exactly.
+
+/// Linear sub-buckets per power of two (16 → ≤ 6.25 % relative error).
+const SUB: usize = 16;
+/// log2 of [`SUB`].
+const SUB_BITS: u32 = 4;
+/// Bucket count: 16 exact small values plus 16 sub-buckets for each
+/// magnitude 4..=63.
+const BUCKETS: usize = SUB + (64 - SUB_BITS as usize) * SUB;
+
+/// A fixed-memory streaming histogram over `u64` samples.
+///
+/// # Examples
+///
+/// ```
+/// use intersect_obs::LogHistogram;
+///
+/// let mut h = LogHistogram::new();
+/// for v in [10u64, 40, 90] {
+///     h.record(v);
+/// }
+/// assert_eq!(h.min(), 10);
+/// assert_eq!(h.max(), 90);
+/// let p50 = h.percentile(0.50);
+/// assert!((40..=42).contains(&p50)); // within one sub-bucket of the truth
+/// assert_eq!(h.percentile(0.99), 90); // clamped to the exact max
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LogHistogram {
+    counts: Vec<u64>,
+    count: u64,
+    sum: u64,
+    min: u64,
+    max: u64,
+}
+
+impl Default for LogHistogram {
+    fn default() -> Self {
+        LogHistogram::new()
+    }
+}
+
+/// The bucket index for a value.
+fn index(v: u64) -> usize {
+    if v < SUB as u64 {
+        return v as usize;
+    }
+    let m = 63 - v.leading_zeros(); // floor(log2 v), >= SUB_BITS
+    let sub = ((v >> (m - SUB_BITS)) & (SUB as u64 - 1)) as usize;
+    SUB + (m - SUB_BITS) as usize * SUB + sub
+}
+
+/// The largest value that maps into bucket `idx` (the bucket's
+/// representative: percentiles never under-report).
+fn upper(idx: usize) -> u64 {
+    if idx < SUB {
+        return idx as u64;
+    }
+    let m = SUB_BITS + ((idx - SUB) / SUB) as u32;
+    let sub = ((idx - SUB) % SUB) as u64;
+    ((SUB as u64 + sub + 1) << (m - SUB_BITS)).wrapping_sub(1)
+}
+
+impl LogHistogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        LogHistogram {
+            counts: vec![0; BUCKETS],
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+
+    /// Records one sample in O(1).
+    pub fn record(&mut self, value: u64) {
+        self.counts[index(value)] += 1;
+        self.count += 1;
+        self.sum = self.sum.saturating_add(value);
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+    }
+
+    /// Number of samples recorded.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// `true` when no sample has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Exact smallest sample (0 when empty).
+    pub fn min(&self) -> u64 {
+        if self.is_empty() {
+            0
+        } else {
+            self.min
+        }
+    }
+
+    /// Exact largest sample (0 when empty).
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Saturating sum of all samples.
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Mean sample (0.0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.is_empty() {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// The `p`-th percentile (`0.0 < p <= 1.0`), using the same
+    /// ceil-rank convention as a sorted-vector lookup: the smallest
+    /// bucket whose cumulative count reaches `ceil(count · p)`. The
+    /// result is the bucket's upper bound clamped to the exact observed
+    /// `[min, max]`, so it is never below the true percentile and
+    /// overshoots by less than one sub-bucket (6.25 %).
+    pub fn percentile(&self, p: f64) -> u64 {
+        if self.is_empty() {
+            return 0;
+        }
+        let rank = ((self.count as f64 * p).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for (idx, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return upper(idx).clamp(self.min, self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Folds another histogram into this one.
+    pub fn merge(&mut self, other: &LogHistogram) {
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum = self.sum.saturating_add(other.sum);
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_values_are_exact() {
+        let mut h = LogHistogram::new();
+        for v in 0..16u64 {
+            h.record(v);
+        }
+        for (i, p) in [(0u64, 0.0625), (8, 0.5625), (15, 1.0)] {
+            assert_eq!(h.percentile(p), i);
+        }
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), 15);
+        assert_eq!(h.sum(), 120);
+    }
+
+    #[test]
+    fn bucket_upper_bounds_invert_index() {
+        // upper(index(v)) is the largest member of v's bucket: it is >= v
+        // and maps to the same bucket.
+        for v in
+            (0..=1_000_000u64)
+                .step_by(997)
+                .chain([u64::MAX, u64::MAX / 2, 1 << 40, (1 << 40) + 1])
+        {
+            let idx = index(v);
+            assert!(upper(idx) >= v, "upper({idx}) < {v}");
+            assert_eq!(index(upper(idx)), idx, "v = {v}");
+        }
+    }
+
+    #[test]
+    fn percentiles_match_exact_sort_within_one_sub_bucket() {
+        // Deterministic pseudo-random workload (no external RNG dep).
+        let mut x = 0x9e3779b97f4a7c15u64;
+        let mut samples: Vec<u64> = (0..10_000)
+            .map(|_| {
+                x ^= x << 13;
+                x ^= x >> 7;
+                x ^= x << 17;
+                x % 1_000_000
+            })
+            .collect();
+        let mut h = LogHistogram::new();
+        for &s in &samples {
+            h.record(s);
+        }
+        samples.sort_unstable();
+        for p in [0.5, 0.9, 0.99] {
+            let rank = ((samples.len() as f64 * p).ceil() as usize).max(1) - 1;
+            let exact = samples[rank];
+            let approx = h.percentile(p);
+            assert!(approx >= exact, "p{p}: {approx} < exact {exact}");
+            assert!(
+                approx as f64 <= exact as f64 * (1.0 + 1.0 / 16.0) + 1.0,
+                "p{p}: {approx} overshoots exact {exact}"
+            );
+        }
+        assert_eq!(h.max(), *samples.last().unwrap());
+        assert_eq!(h.min(), samples[0]);
+    }
+
+    #[test]
+    fn percentiles_are_monotone_in_p() {
+        let mut h = LogHistogram::new();
+        for v in [3u64, 17, 170, 1700, 17000] {
+            h.record(v);
+        }
+        let ps = [0.1, 0.3, 0.5, 0.7, 0.9, 1.0];
+        for w in ps.windows(2) {
+            assert!(h.percentile(w[0]) <= h.percentile(w[1]));
+        }
+    }
+
+    #[test]
+    fn merge_equals_recording_everything_in_one() {
+        let mut a = LogHistogram::new();
+        let mut b = LogHistogram::new();
+        let mut all = LogHistogram::new();
+        for v in 0..1000u64 {
+            if v % 3 == 0 {
+                a.record(v * v);
+            } else {
+                b.record(v * v);
+            }
+            all.record(v * v);
+        }
+        a.merge(&b);
+        assert_eq!(a, all);
+    }
+
+    #[test]
+    fn empty_histogram_is_safe() {
+        let h = LogHistogram::new();
+        assert_eq!(h.percentile(0.5), 0);
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), 0);
+        assert_eq!(h.mean(), 0.0);
+        assert!(h.is_empty());
+    }
+}

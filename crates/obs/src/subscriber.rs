@@ -1,0 +1,257 @@
+//! The process-global subscriber.
+//!
+//! Exactly one [`Subscriber`] can be installed at a time; installation is
+//! serialized by a global gate, so concurrent tests that each install one
+//! queue up instead of interleaving. While nothing is installed, every
+//! instrumentation site in the workspace costs a single relaxed atomic
+//! load ([`enabled`]) — no lock, no allocation, no branch beyond it.
+
+use crate::event::Event;
+use crate::metrics::MetricsRegistry;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
+use std::time::Instant;
+
+static ENABLED: AtomicBool = AtomicBool::new(false);
+static GLOBAL: Mutex<Option<Arc<Shared>>> = Mutex::new(None);
+static INSTALL_GATE: Mutex<()> = Mutex::new(());
+
+#[derive(Debug)]
+struct Shared {
+    start: Instant,
+    events: Mutex<Vec<Event>>,
+    metrics: MetricsRegistry,
+}
+
+/// `true` iff a subscriber is installed. The *only* cost of the entire
+/// observability layer when disabled: instrumentation sites check this
+/// first and return immediately.
+#[inline]
+pub fn enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+fn current() -> Option<Arc<Shared>> {
+    GLOBAL
+        .lock()
+        .unwrap_or_else(PoisonError::into_inner)
+        .clone()
+}
+
+/// Emits one event. The closure receives the timestamp (microseconds
+/// since install) and runs only when a subscriber is installed, so
+/// callers pay no allocation when disabled.
+pub fn emit_with(f: impl FnOnce(u64) -> Event) {
+    if !enabled() {
+        return;
+    }
+    let Some(shared) = current() else { return };
+    let ts = shared.start.elapsed().as_micros() as u64;
+    let event = f(ts);
+    shared
+        .events
+        .lock()
+        .unwrap_or_else(PoisonError::into_inner)
+        .push(event);
+}
+
+/// Emits an [`crate::EventKind::Instant`] event with session attribution
+/// taken from the calling thread's context (see [`crate::phase`]).
+pub fn instant(target: &'static str, name: impl Into<String>) {
+    if !enabled() {
+        return;
+    }
+    let name = name.into();
+    let (session, party) = crate::phase::current_session_split();
+    emit_with(|ts| Event {
+        ts_micros: ts,
+        target,
+        name,
+        session,
+        party,
+        phase: crate::phase::current_label_or_empty(),
+        kind: crate::event::EventKind::Instant,
+    });
+}
+
+/// Emits a [`crate::EventKind::Message`] event for one message on a
+/// metered channel, attributed to the calling thread's session and phase.
+/// The designated per-message hook for transports: when disabled it is a
+/// single atomic load, no allocation, no clock read.
+#[inline]
+pub fn message(target: &'static str, dir: crate::event::Direction, bits: u64, clock: u64) {
+    if !enabled() {
+        return;
+    }
+    let (session, party) = crate::phase::current_session_split();
+    emit_with(|ts| Event {
+        ts_micros: ts,
+        target,
+        name: match dir {
+            crate::event::Direction::Sent => "send".to_string(),
+            crate::event::Direction::Received => "recv".to_string(),
+        },
+        session,
+        party,
+        phase: crate::phase::current_label_or_empty(),
+        kind: crate::event::EventKind::Message { dir, bits, clock },
+    });
+}
+
+/// Adds to a counter on the installed subscriber's metrics registry.
+pub fn counter_add(name: &str, v: u64) {
+    if !enabled() {
+        return;
+    }
+    if let Some(shared) = current() {
+        shared.metrics.counter_add(name, v);
+    }
+}
+
+/// Adjusts a gauge on the installed subscriber's metrics registry.
+pub fn gauge_add(name: &str, d: i64) {
+    if !enabled() {
+        return;
+    }
+    if let Some(shared) = current() {
+        shared.metrics.gauge_add(name, d);
+    }
+}
+
+/// Sets a gauge on the installed subscriber's metrics registry.
+pub fn gauge_set(name: &str, v: i64) {
+    if !enabled() {
+        return;
+    }
+    if let Some(shared) = current() {
+        shared.metrics.gauge_set(name, v);
+    }
+}
+
+/// Records a histogram sample on the installed subscriber's metrics
+/// registry.
+pub fn observe(name: &str, value: u64) {
+    if !enabled() {
+        return;
+    }
+    if let Some(shared) = current() {
+        shared.metrics.observe(name, value);
+    }
+}
+
+/// A collector for events and metrics. Clone-cheap handle; call
+/// [`install`](Subscriber::install) to make it the process-global sink.
+#[derive(Debug, Clone)]
+pub struct Subscriber {
+    shared: Arc<Shared>,
+}
+
+impl Default for Subscriber {
+    fn default() -> Self {
+        Subscriber::new()
+    }
+}
+
+impl Subscriber {
+    /// A fresh, empty subscriber (not yet installed).
+    pub fn new() -> Self {
+        Subscriber {
+            shared: Arc::new(Shared {
+                start: Instant::now(),
+                events: Mutex::new(Vec::new()),
+                metrics: MetricsRegistry::new(),
+            }),
+        }
+    }
+
+    /// Installs this subscriber as the process-global sink, blocking
+    /// until any previously installed one is dropped. The returned guard
+    /// uninstalls on drop.
+    pub fn install(&self) -> Installed {
+        let gate = INSTALL_GATE.lock().unwrap_or_else(PoisonError::into_inner);
+        *GLOBAL.lock().unwrap_or_else(PoisonError::into_inner) = Some(Arc::clone(&self.shared));
+        ENABLED.store(true, Ordering::SeqCst);
+        Installed { _gate: gate }
+    }
+
+    /// A copy of every event collected so far, in emission order.
+    pub fn events(&self) -> Vec<Event> {
+        self.shared
+            .events
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .clone()
+    }
+
+    /// Drains the collected events, leaving the buffer empty.
+    pub fn take_events(&self) -> Vec<Event> {
+        std::mem::take(
+            &mut self
+                .shared
+                .events
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner),
+        )
+    }
+
+    /// The subscriber's metrics registry.
+    pub fn metrics(&self) -> &MetricsRegistry {
+        &self.shared.metrics
+    }
+}
+
+/// Guard returned by [`Subscriber::install`]; uninstalls on drop and
+/// holds the install gate so a second installer waits its turn.
+#[derive(Debug)]
+pub struct Installed {
+    _gate: MutexGuard<'static, ()>,
+}
+
+impl Drop for Installed {
+    fn drop(&mut self) {
+        ENABLED.store(false, Ordering::SeqCst);
+        *GLOBAL.lock().unwrap_or_else(PoisonError::into_inner) = None;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::EventKind;
+
+    // Assertions stay inside the installed scope: the install gate
+    // serializes concurrent installers within one test binary, but the
+    // moment the guard drops, a sibling test may install. Post-uninstall
+    // behavior is covered by `tests/global_lifecycle.rs`, which is its
+    // own process.
+    #[test]
+    fn install_emit_drain_lifecycle() {
+        let sub = Subscriber::new();
+        let _g = sub.install();
+        assert!(enabled());
+        instant("t_life", "ping");
+        counter_add("c_total", 2);
+        observe("h", 5);
+        gauge_set("g", -3);
+        gauge_add("g", 1);
+        // Filter to this test's target: while our subscriber is installed,
+        // sibling tests' emissions land here too.
+        let events: Vec<Event> = sub
+            .events()
+            .into_iter()
+            .filter(|e| e.target == "t_life")
+            .collect();
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].name, "ping");
+        assert_eq!(events[0].kind, EventKind::Instant);
+        assert_eq!(sub.metrics().counter("c_total"), 2);
+        assert_eq!(sub.metrics().gauge("g"), -2);
+        assert_eq!(sub.metrics().histogram("h").unwrap().count(), 1);
+        assert!(sub
+            .take_events()
+            .iter()
+            .any(|e| e.target == "t_life" && e.name == "ping"));
+        // Drained: our event is gone (siblings may have emitted since).
+        assert!(!sub.events().iter().any(|e| e.target == "t_life"));
+    }
+}

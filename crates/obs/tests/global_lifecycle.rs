@@ -1,0 +1,44 @@
+//! Post-uninstall behavior of the global subscriber, in its own process:
+//! unit tests inside the crate can only assert while installed (siblings
+//! may install the moment a guard drops), so the disable path is pinned
+//! down here.
+
+use intersect_obs as obs;
+
+#[test]
+fn uninstall_disables_and_discards_cleanly() {
+    assert!(!obs::enabled(), "fresh process: nothing installed");
+
+    // Emissions with no subscriber are silently dropped.
+    obs::instant("life", "before-install");
+    obs::counter_add("c_total", 1);
+    {
+        let span = obs::phase::span("life", "ignored");
+        span.finish(obs::CostDelta::default());
+    }
+
+    let sub = obs::Subscriber::new();
+    {
+        let _g = sub.install();
+        assert!(obs::enabled());
+        obs::instant("life", "during");
+        obs::counter_add("c_total", 2);
+    }
+
+    // Uninstalled again: disabled, and new emissions go nowhere.
+    assert!(!obs::enabled());
+    obs::instant("life", "after-uninstall");
+    obs::counter_add("c_total", 4);
+
+    let events = sub.events();
+    assert_eq!(events.len(), 1, "only the installed-window event landed");
+    assert_eq!(events[0].name, "during");
+    assert_eq!(sub.metrics().counter("c_total"), 2);
+
+    // A second subscriber can take over after the first uninstalls.
+    let sub2 = obs::Subscriber::new();
+    let _g2 = sub2.install();
+    obs::instant("life", "second");
+    assert_eq!(sub2.events().len(), 1);
+    assert_eq!(sub.events().len(), 1, "first subscriber no longer collects");
+}

@@ -1,0 +1,91 @@
+//! The disabled hot path allocates nothing.
+//!
+//! A counting global allocator wraps the system allocator; with no
+//! subscriber installed, every instrumentation entry point — spans,
+//! instants, per-message hooks, metrics — must perform zero allocations.
+//! This is the contract that lets the whole workspace stay instrumented
+//! always-on. Lives in its own integration-test process so no sibling
+//! test can install a subscriber mid-measurement.
+
+use intersect_obs as obs;
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+struct Counting;
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for Counting {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static GLOBAL: Counting = Counting;
+
+fn allocations_during(f: impl FnOnce()) -> u64 {
+    let before = ALLOCS.load(Ordering::SeqCst);
+    f();
+    ALLOCS.load(Ordering::SeqCst) - before
+}
+
+// One test function, not two: the disabled-path measurement requires
+// that no subscriber is installed for its whole extent, and sibling
+// tests in the same binary run concurrently.
+#[test]
+fn disabled_instrumentation_paths_allocate_nothing() {
+    assert!(
+        !obs::enabled(),
+        "this test requires no installed subscriber"
+    );
+
+    // Warm up any lazily initialized thread-locals outside the window.
+    {
+        let g = obs::phase::span("warm", "up");
+        drop(g);
+        obs::message("warm", obs::Direction::Sent, 1, 1);
+    }
+
+    let n = allocations_during(|| {
+        for i in 0..10_000u64 {
+            // The per-message transport hook: the hottest site.
+            obs::message("comm", obs::Direction::Sent, i, i);
+            obs::message("comm", obs::Direction::Received, i, i);
+            // Phase spans around protocol stages.
+            let span = obs::phase::span("core", "verify");
+            span.finish(obs::CostDelta {
+                bits_sent: i,
+                bits_received: i,
+                rounds: 1,
+            });
+            drop(obs::phase::span("core", "noop"));
+            // Instants and metrics.
+            obs::instant("engine", "tick");
+            obs::counter_add("sessions_total", 1);
+            obs::gauge_add("in_flight", 1);
+            obs::observe("latency_micros", i);
+        }
+    });
+    assert_eq!(n, 0, "disabled hot path performed {n} allocations");
+
+    // Sanity check that the counter actually observes this code: the
+    // same sites allocate once a subscriber is installed.
+    let sub = obs::Subscriber::new();
+    let g = sub.install();
+    let n = allocations_during(|| {
+        obs::instant("check", "counted");
+    });
+    assert!(n > 0, "allocator counter failed to observe an emission");
+    drop(g);
+}

@@ -13,4 +13,7 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "==> cargo test --workspace"
 cargo test -q --workspace
 
+echo "==> cargo build --examples"
+cargo build -q --workspace --examples
+
 echo "==> all checks passed"

@@ -33,6 +33,9 @@ struct Options {
     no_wait: bool,
     json: bool,
     quiet: bool,
+    trace_out: Option<String>,
+    chrome_trace: Option<String>,
+    metrics_out: Option<String>,
 }
 
 fn usage() -> ! {
@@ -59,8 +62,13 @@ fn usage() -> ! {
            --no-wait           reject when the queue is full instead of waiting\n\
          \n\
          output:\n\
-           --json              emit the final snapshot as JSON\n\
-           --quiet             suppress per-session result lines"
+           --json              emit the final snapshot as JSON on stdout\n\
+                               (default: markdown tables on stderr)\n\
+           --quiet             suppress per-session result lines\n\
+           --trace-out <path>  write the observability event stream as JSONL\n\
+           --chrome-trace <p>  write a Chrome trace-event JSON file (open in\n\
+                               chrome://tracing or ui.perfetto.dev)\n\
+           --metrics-out <p>   write metrics in Prometheus text format"
     );
     std::process::exit(2);
 }
@@ -90,6 +98,9 @@ fn parse_args() -> Options {
         no_wait: false,
         json: false,
         quiet: false,
+        trace_out: None,
+        chrome_trace: None,
+        metrics_out: None,
     };
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut it = args.iter();
@@ -131,6 +142,9 @@ fn parse_args() -> Options {
             "--no-wait" => opts.no_wait = true,
             "--json" => opts.json = true,
             "--quiet" => opts.quiet = true,
+            "--trace-out" => opts.trace_out = Some(value("--trace-out")),
+            "--chrome-trace" => opts.chrome_trace = Some(value("--chrome-trace")),
+            "--metrics-out" => opts.metrics_out = Some(value("--metrics-out")),
             "--help" | "-h" => usage(),
             other => {
                 eprintln!("unknown argument {other}");
@@ -247,6 +261,14 @@ fn main() -> ExitCode {
         debug_session: opts.debug_session,
     };
 
+    // Tracing is paid for only when asked for: without an export flag no
+    // subscriber is installed and the instrumented hot paths stay at a
+    // single relaxed atomic load.
+    let want_obs =
+        opts.trace_out.is_some() || opts.chrome_trace.is_some() || opts.metrics_out.is_some();
+    let subscriber = want_obs.then(intersect::obs::Subscriber::new);
+    let installed = subscriber.as_ref().map(|s| s.install());
+
     let engine = Engine::start(config);
     let mut invalid = 0u64;
     for req in requests {
@@ -272,26 +294,58 @@ fn main() -> ExitCode {
         }
     }
     let report = engine.finish();
+    drop(installed);
 
+    // stdout carries only machine-parseable output: the per-session
+    // result lines and (with --json) the snapshot. Everything meant for
+    // a human — the markdown snapshot, rejection tallies, export paths —
+    // goes to stderr.
     let stdout = std::io::stdout();
     let mut out = stdout.lock();
     if !opts.quiet {
         for outcome in &report.outcomes {
             print_outcome(&mut out, outcome);
         }
-        let _ = writeln!(out);
     }
     if opts.json {
         let _ = writeln!(out, "{}", report.snapshot.to_json());
     } else {
-        let _ = write!(out, "{}", report.snapshot.to_markdown());
+        eprint!("{}", report.snapshot.to_markdown());
+    }
+    let rejected = report.snapshot.metrics.rejected;
+    if rejected > 0 {
+        eprintln!("{rejected} session(s) rejected by admission control");
     }
     if invalid > 0 {
         eprintln!("{invalid} invalid request(s) skipped");
     }
 
+    let mut io_error = false;
+    if let Some(sub) = &subscriber {
+        let mut export = |path: &str, contents: String| match std::fs::write(path, contents) {
+            Ok(()) => eprintln!("wrote {path}"),
+            Err(e) => {
+                eprintln!("error: cannot write {path}: {e}");
+                io_error = true;
+            }
+        };
+        let events = sub.take_events();
+        if let Some(path) = &opts.trace_out {
+            export(path, intersect::obs::export::jsonl(&events));
+        }
+        if let Some(path) = &opts.chrome_trace {
+            export(path, intersect::obs::export::chrome_trace(&events));
+        }
+        if let Some(path) = &opts.metrics_out {
+            export(
+                path,
+                intersect::obs::export::prometheus(&sub.metrics().snapshot()),
+            );
+        }
+    }
+
     let failed = report.outcomes.iter().any(|o| !o.succeeded());
-    if failed || invalid > 0 {
+    if failed || invalid > 0 || io_error {
         return ExitCode::FAILURE;
     }
     ExitCode::SUCCESS

@@ -38,11 +38,14 @@ fn serves_a_request_file() {
     assert!(stdout.contains("id=1"), "{stdout}");
     assert!(stdout.contains("id=2 protocol=trivial"), "{stdout}");
     assert!(stdout.contains("id=3 protocol=tree:2"), "{stdout}");
-    assert!(
-        stdout.contains("### engine snapshot — 2 workers"),
-        "{stdout}"
-    );
     assert_eq!(stdout.matches(" ok").count(), 3, "{stdout}");
+    // The human-facing snapshot goes to stderr; stdout stays parseable.
+    let stderr = String::from_utf8(out.stderr).unwrap();
+    assert!(!stdout.contains("### engine snapshot"), "{stdout}");
+    assert!(
+        stderr.contains("### engine snapshot — 2 workers"),
+        "{stderr}"
+    );
 }
 
 #[test]
@@ -128,6 +131,136 @@ fn stdin_requests_and_bad_lines_fail_cleanly() {
 }
 
 #[test]
+fn trace_exports_write_structured_files() {
+    let dir = temp_dir("exports");
+    let trace = dir.join("events.jsonl");
+    let chrome = dir.join("trace.json");
+    let metrics = dir.join("metrics.prom");
+    let out = serve()
+        .args([
+            "--batch",
+            "5",
+            "--n",
+            "2^16",
+            "--k",
+            "16",
+            "--workers",
+            "2",
+            "--quiet",
+            "--json",
+            "--trace-out",
+            trace.to_str().unwrap(),
+            "--chrome-trace",
+            chrome.to_str().unwrap(),
+            "--metrics-out",
+            metrics.to_str().unwrap(),
+        ])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stderr = String::from_utf8(out.stderr).unwrap();
+    for path in [&trace, &chrome, &metrics] {
+        assert!(
+            stderr.contains(&format!("wrote {}", path.to_str().unwrap())),
+            "{stderr}"
+        );
+    }
+
+    // stdout is still exactly the JSON snapshot.
+    let snapshot: intersect::engine::EngineSnapshot =
+        serde_json::from_str(&String::from_utf8(out.stdout).unwrap()).unwrap();
+    assert_eq!(snapshot.metrics.completed, 5);
+
+    // JSONL: every line is a JSON object with a timestamp and a kind.
+    let jsonl = std::fs::read_to_string(&trace).unwrap();
+    assert!(!jsonl.is_empty());
+    for line in jsonl.lines() {
+        let v: serde_json::Value = serde_json::from_str(line).unwrap();
+        assert!(v.get("ts_us").is_some(), "{line}");
+        assert!(v.get("kind").is_some(), "{line}");
+    }
+
+    // Chrome trace: a JSON array of records each carrying the fields the
+    // trace viewer requires, with at least one complete span whose args
+    // hold the session's bit accounting.
+    let chrome_text = std::fs::read_to_string(&chrome).unwrap();
+    let records: Vec<serde_json::Value> = serde_json::from_str(&chrome_text).unwrap();
+    assert!(!records.is_empty());
+    for r in &records {
+        for field in ["name", "ph", "ts", "pid", "tid"] {
+            assert!(r.get(field).is_some(), "missing {field}: {r:?}");
+        }
+    }
+    assert!(
+        records.iter().any(|r| {
+            r.get("ph").and_then(|v| v.as_str()) == Some("X")
+                && r.get("name").and_then(|v| v.as_str()) == Some("session")
+                && r.get("args")
+                    .and_then(|a| a.get("bits_sent"))
+                    .and_then(|v| v.as_u64())
+                    .unwrap_or(0)
+                    > 0
+        }),
+        "no engine session span in {chrome_text}"
+    );
+
+    // Prometheus text: the engine counters and latency summary are there.
+    let prom = std::fs::read_to_string(&metrics).unwrap();
+    assert!(
+        prom.contains("# TYPE engine_sessions_completed counter"),
+        "{prom}"
+    );
+    assert!(prom.contains("engine_sessions_completed 5"), "{prom}");
+    assert!(
+        prom.contains("engine_session_latency_micros_count 5"),
+        "{prom}"
+    );
+}
+
+#[test]
+fn rejections_are_reported_on_stderr() {
+    let out = serve()
+        .args([
+            "--batch",
+            "500",
+            "--n",
+            "2^18",
+            "--k",
+            "32",
+            "--workers",
+            "2",
+            "--queue",
+            "1",
+            "--no-wait",
+            "--quiet",
+            "--json",
+        ])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let snapshot: intersect::engine::EngineSnapshot =
+        serde_json::from_str(&String::from_utf8(out.stdout).unwrap()).unwrap();
+    assert_eq!(snapshot.metrics.submitted + snapshot.metrics.rejected, 500);
+    assert!(snapshot.metrics.rejected > 0, "nothing was rejected");
+    let stderr = String::from_utf8(out.stderr).unwrap();
+    assert!(
+        stderr.contains(&format!(
+            "{} session(s) rejected by admission control",
+            snapshot.metrics.rejected
+        )),
+        "{stderr}"
+    );
+}
+
+#[test]
 fn fixed_protocol_pin_applies_to_all_sessions() {
     let out = serve()
         .args([
@@ -149,5 +282,8 @@ fn fixed_protocol_pin_applies_to_all_sessions() {
     );
     let stdout = String::from_utf8(out.stdout).unwrap();
     assert_eq!(stdout.matches("protocol=sqrt").count(), 6, "{stdout}");
-    assert!(stdout.contains("sqrt-fknn"), "{stdout}");
+    // The per-protocol table (with the router's full protocol name) is
+    // part of the stderr snapshot now.
+    let stderr = String::from_utf8(out.stderr).unwrap();
+    assert!(stderr.contains("sqrt-fknn"), "{stderr}");
 }

@@ -48,6 +48,23 @@ impl Value {
         }
     }
 
+    /// Returns the borrowed string if this is a `String` value.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Returns the integer if this value holds a non-negative integer.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::U64(x) => Some(*x),
+            Value::I64(x) => u64::try_from(*x).ok(),
+            _ => None,
+        }
+    }
+
     fn kind(&self) -> &'static str {
         match self {
             Value::Null => "null",
