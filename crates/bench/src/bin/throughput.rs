@@ -1,0 +1,80 @@
+//! Substrate throughput benchmark: sessions/sec, ns/message, and
+//! allocations/message across representative protocols and transports.
+//!
+//! This is the perf-trajectory baseline for the repository: it measures
+//! the *communication substrate* (message hot path, session setup and
+//! teardown, engine scheduling) rather than protocol asymptotics, and
+//! emits a machine-readable `BENCH_throughput.json` so successive PRs
+//! can record before/after numbers.
+//!
+//! ```text
+//! cargo run --release -p intersect-bench --bin throughput -- --out BENCH_throughput.json
+//! cargo run --release -p intersect-bench --bin throughput -- --quick
+//! ```
+//!
+//! A counting global allocator is installed for the whole process, so
+//! the allocations/message figures are exact (process-wide) counts over
+//! the measurement window; each window runs with no other threads
+//! active beyond the session's own pair.
+
+use intersect_bench::throughput::{self, ThroughputReport};
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+struct Counting;
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for Counting {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static GLOBAL: Counting = Counting;
+
+fn allocation_count() -> u64 {
+    ALLOCS.load(Ordering::SeqCst)
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut quick = false;
+    let mut out: Option<String> = None;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--quick" => quick = true,
+            "--out" => match it.next() {
+                Some(path) => out = Some(path.clone()),
+                None => usage(),
+            },
+            _ => usage(),
+        }
+    }
+    let report: ThroughputReport = throughput::run(quick, allocation_count);
+    let json = serde_json::to_string_pretty(&report).expect("report serializes");
+    match out {
+        Some(path) => {
+            std::fs::write(&path, json + "\n").expect("write report");
+            eprintln!("wrote {path}");
+        }
+        None => println!("{json}"),
+    }
+}
+
+fn usage() -> ! {
+    eprintln!("usage: throughput [--quick] [--out <path>]");
+    std::process::exit(2);
+}

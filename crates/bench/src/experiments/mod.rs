@@ -7,6 +7,7 @@ pub mod engine_exp;
 pub mod equality_exp;
 pub mod multiparty_exp;
 pub mod obs_exp;
+pub mod throughput_exp;
 pub mod two_party;
 
 use crate::table::Table;
@@ -116,6 +117,11 @@ pub fn all() -> Vec<Experiment> {
             run: obs_exp::e17,
         },
         Experiment {
+            id: "E18",
+            claim: "Substrate: zero-alloc message path + reused runners; costs bit-identical",
+            run: throughput_exp::e18,
+        },
+        Experiment {
             id: "A1",
             claim: "Ablation: iterated-log degree schedule vs uniform tree",
             run: ablations::a1,
@@ -152,7 +158,7 @@ mod tests {
         let ids: Vec<&str> = all().iter().map(|e| e.id).collect();
         for want in [
             "E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "E12", "E13",
-            "E14", "E15", "E16", "E17", "A1", "A2", "A3", "A4",
+            "E14", "E15", "E16", "E17", "E18", "A1", "A2", "A3", "A4",
         ] {
             assert!(ids.contains(&want), "missing {want}");
         }

@@ -1,0 +1,157 @@
+//! E18: the substrate hot path — zero-allocation messages and reusable
+//! session runners, with bit-exactness asserted against dedicated runs.
+
+use crate::table::{fmt_bits, Table};
+use crate::throughput;
+use intersect_core::api::execute;
+use intersect_engine::prelude::*;
+
+/// E18 — substrate throughput before/after the zero-allocation rework.
+///
+/// Three views: the message hot path (ns/message at widths straddling
+/// the `BitBuf` inline capacity), the session path (spawn-per-session
+/// vs a reused [`SessionRunner`]), and the concurrent engine on the
+/// stress workload — where every session's cost report is re-derived by
+/// a dedicated `run_two_party` run and must match bit for bit.
+///
+/// Exact allocation counts need a process-wide counting allocator, which
+/// only the dedicated `throughput` binary installs; its output is
+/// checked in at `BENCH_throughput.json`, and the zero-allocation claim
+/// itself is pinned by `crates/comm/tests/no_alloc_steady.rs`.
+///
+/// [`SessionRunner`]: intersect_comm::runner::SessionRunner
+pub fn e18(quick: bool) -> Vec<Table> {
+    let rep = throughput::run(quick, || 0);
+
+    let mut messages = Table::new(
+        "E18a — message hot path: ns/message by payload width and transport \
+         (claim: the reused-runner transport serves every width, inline or \
+         spilled, at dedicated-session speed; exact allocs/message are \
+         recorded by the `throughput` binary in BENCH_throughput.json)",
+        &["transport", "bits", "messages", "ns/message"],
+    );
+    for s in &rep.message_path {
+        messages.push_row(vec![
+            s.transport.clone(),
+            s.bits.to_string(),
+            s.messages.to_string(),
+            format!("{:.0}", s.ns_per_message),
+        ]);
+    }
+
+    let mut sessions = Table::new(
+        "E18b — session path: spawn-per-session vs reused runner on an \
+         identical workload (claim: reusing the paired thread removes \
+         thread spawn/teardown from every session)",
+        &[
+            "substrate",
+            "sessions",
+            "ns/session",
+            "sessions/s",
+            "vs spawn",
+        ],
+    );
+    let spawn_ns = rep
+        .session_path
+        .iter()
+        .find(|s| s.label == "spawn_handshake")
+        .map(|s| s.ns_per_session);
+    for s in &rep.session_path {
+        let speedup = match (spawn_ns, s.label.as_str()) {
+            (Some(base), "runner_handshake") => format!("{:.2}x", base / s.ns_per_session),
+            _ => "—".to_string(),
+        };
+        sessions.push_row(vec![
+            s.label.clone(),
+            s.sessions.to_string(),
+            format!("{:.0}", s.ns_per_session),
+            format!("{:.0}", s.sessions_per_sec),
+            speedup,
+        ]);
+    }
+
+    let mut engine = Table::new(
+        "E18c — engine on the stress workload, every session re-derived by \
+         a dedicated run (claim: the runner-per-worker engine is faster and \
+         every cost report stays bit-for-bit identical)",
+        &[
+            "label",
+            "workers",
+            "sessions",
+            "completed",
+            "total bits",
+            "sessions/s",
+            "bit-identical",
+        ],
+    );
+    for s in &rep.engine {
+        engine.push_row(vec![
+            s.label.clone(),
+            s.workers.to_string(),
+            s.sessions.to_string(),
+            s.completed.to_string(),
+            fmt_bits(s.total_bits as f64),
+            format!("{:.0}", s.sessions_per_sec),
+            "—".to_string(),
+        ]);
+    }
+    let parity_sessions = if quick { 120 } else { 600 };
+    let parity = parity_check(parity_sessions);
+    engine.push_row(vec![
+        "engine_vs_dedicated".to_string(),
+        "8".to_string(),
+        parity_sessions.to_string(),
+        parity.completed.to_string(),
+        fmt_bits(parity.total_bits as f64),
+        "—".to_string(),
+        format!("{}/{}", parity.identical, parity_sessions),
+    ]);
+    assert_eq!(
+        parity.identical, parity_sessions,
+        "engine sessions diverged from dedicated runs"
+    );
+
+    vec![messages, sessions, engine]
+}
+
+struct Parity {
+    completed: u64,
+    total_bits: u64,
+    identical: u64,
+}
+
+/// Serves `sessions` stress requests on the engine, then reruns each one
+/// through a dedicated `run_two_party` session and counts how many cost
+/// reports and outputs came out bit-for-bit identical.
+fn parity_check(sessions: u64) -> Parity {
+    let engine = Engine::start(EngineConfig::new(8));
+    for req in throughput::stress_batch(sessions) {
+        engine.submit(req).expect("engine accepts");
+    }
+    let report = engine.finish();
+    let mut identical = 0u64;
+    let mut total_bits = 0u64;
+    for outcome in &report.outcomes {
+        let req = &outcome.request;
+        total_bits += outcome.report.total_bits();
+        let pair = req.input_pair();
+        let reference = execute(
+            outcome.protocol.build(req.spec).as_ref(),
+            req.spec,
+            &pair,
+            req.seed,
+        )
+        .expect("dedicated rerun");
+        if outcome.report == reference.report
+            && outcome.alice.as_ref() == Some(&reference.alice)
+            && outcome.bob.as_ref() == Some(&reference.bob)
+        {
+            identical += 1;
+        }
+    }
+    Parity {
+        completed: report.snapshot.metrics.completed,
+        total_bits,
+        identical,
+    }
+}

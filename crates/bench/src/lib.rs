@@ -21,4 +21,5 @@
 pub mod experiments;
 pub mod measure;
 pub mod table;
+pub mod throughput;
 pub mod workload;

@@ -1,0 +1,471 @@
+//! Substrate throughput measurement: the engine room of every sweep.
+//!
+//! Every experiment in this repository pays the same per-message and
+//! per-session substrate costs thousands of times over; this module
+//! measures those costs directly so optimizations to the hot path have
+//! a recorded trajectory (`BENCH_throughput.json` at the repo root).
+//!
+//! Three layers are measured:
+//!
+//! * **message path** — a single long session exchanging fixed-width
+//!   ping-pong messages: ns/message and (exact, process-wide)
+//!   allocations/message for widths straddling the [`BitBuf`] inline
+//!   capacity.
+//! * **session path** — the cost of standing a session up and tearing
+//!   it down, for the spawn-per-session [`run_two_party`] and for a
+//!   reusable [`SessionRunner`] serving the identical workload.
+//! * **engine** — end-to-end sessions/sec of the concurrent engine on
+//!   the mixed-shape stress workload.
+//!
+//! [`BitBuf`]: intersect_comm::bits::BitBuf
+//! [`run_two_party`]: intersect_comm::runner::run_two_party
+//! [`SessionRunner`]: intersect_comm::runner::SessionRunner
+
+use intersect_comm::bits::BitBuf;
+use intersect_comm::chan::{Chan, Endpoint};
+use intersect_comm::coins::CoinSource;
+use intersect_comm::error::ProtocolError;
+use intersect_comm::runner::{run_two_party, RunConfig, SessionRunner};
+use intersect_core::api::{execute, ProtocolChoice};
+use intersect_core::sets::ProblemSpec;
+use intersect_engine::prelude::*;
+use serde::Serialize;
+use std::time::Instant;
+
+/// Workload sizes for one [`run`] invocation.
+#[derive(Debug, Clone, Copy, Serialize)]
+pub struct RunParams {
+    /// `true` shrinks every loop for smoke testing.
+    pub quick: bool,
+    /// Ping-pong exchanges per message-path window.
+    pub message_iters: u64,
+    /// Sessions per session-path sample.
+    pub sessions: u64,
+    /// Sessions submitted to the engine sample.
+    pub engine_sessions: u64,
+    /// Engine worker count.
+    pub engine_workers: usize,
+}
+
+/// One message-path sample: fixed-width ping-pong inside one session.
+#[derive(Debug, Clone, Serialize)]
+pub struct MessagePathSample {
+    /// Transport used (`spawn` = dedicated `run_two_party` session,
+    /// `runner` = reusable `SessionRunner` session).
+    pub transport: String,
+    /// Payload width in bits.
+    pub bits: usize,
+    /// Messages in the measured window (both directions).
+    pub messages: u64,
+    /// Mean wall-clock nanoseconds per message.
+    pub ns_per_message: f64,
+    /// Exact process-wide heap allocations per message in the window.
+    pub allocs_per_message: f64,
+}
+
+/// One session-path sample: many sessions of the same tiny workload.
+#[derive(Debug, Clone, Serialize)]
+pub struct SessionPathSample {
+    /// Which substrate served the sessions.
+    pub label: String,
+    /// Sessions completed.
+    pub sessions: u64,
+    /// Mean wall-clock nanoseconds per session.
+    pub ns_per_session: f64,
+    /// Sessions per second.
+    pub sessions_per_sec: f64,
+    /// Exact process-wide heap allocations per session.
+    pub allocs_per_session: f64,
+}
+
+/// One engine sample: the concurrent scheduler on a mixed workload.
+#[derive(Debug, Clone, Serialize)]
+pub struct EngineSample {
+    /// Sample label.
+    pub label: String,
+    /// Worker threads.
+    pub workers: usize,
+    /// Sessions served.
+    pub sessions: u64,
+    /// Sessions that completed with agreeing outputs.
+    pub completed: u64,
+    /// Total bits moved (deterministic; must be invariant across
+    /// substrate changes).
+    pub total_bits: u64,
+    /// Wall-clock milliseconds for the whole batch.
+    pub wall_ms: f64,
+    /// Sessions per second.
+    pub sessions_per_sec: f64,
+}
+
+/// The full report serialized into `BENCH_throughput.json`.
+#[derive(Debug, Clone, Serialize)]
+pub struct ThroughputReport {
+    /// Workload sizes used.
+    pub params: RunParams,
+    /// Message-path samples.
+    pub message_path: Vec<MessagePathSample>,
+    /// Session-path samples.
+    pub session_path: Vec<SessionPathSample>,
+    /// Engine samples.
+    pub engine: Vec<EngineSample>,
+    /// The pre-rework numbers, embedded so the report is self-contained.
+    pub before: BaselineReport,
+}
+
+/// Numbers recorded on the tree *before* the zero-allocation rework
+/// (inline `BitBuf` storage, spill recycling, reusable runners), on the
+/// same machine and full-size parameters as the committed report.
+#[derive(Debug, Clone, Serialize)]
+pub struct BaselineReport {
+    /// What these numbers are and where they came from.
+    pub note: &'static str,
+    /// Message-path samples (the seed tree had one transport: a
+    /// dedicated spawn-per-session pair).
+    pub message_path: Vec<MessagePathSample>,
+    /// Session-path samples (no reusable runner existed yet).
+    pub session_path: Vec<SessionPathSample>,
+    /// Engine samples on the identical stress batch.
+    pub engine: Vec<EngineSample>,
+}
+
+/// The seed-tree baseline, captured once with this same harness before
+/// the substrate rework landed. `total_bits` here doubles as the
+/// bit-exactness reference: the after-numbers must reproduce it exactly.
+pub fn seed_baseline() -> BaselineReport {
+    let msg = |bits: usize, ns: f64, allocs: f64| MessagePathSample {
+        transport: "spawn".to_string(),
+        bits,
+        messages: 200_000,
+        ns_per_message: ns,
+        allocs_per_message: allocs,
+    };
+    let session =
+        |label: &str, sessions: u64, ns: f64, per_sec: f64, allocs: f64| SessionPathSample {
+            label: label.to_string(),
+            sessions,
+            ns_per_session: ns,
+            sessions_per_sec: per_sec,
+            allocs_per_session: allocs,
+        };
+    BaselineReport {
+        note: "measured on the pre-rework tree (heap-backed BitBuf, \
+               spawn-per-session everywhere) with this harness at full-size \
+               parameters on the same machine",
+        message_path: vec![
+            msg(8, 1424.8, 0.5),
+            msg(64, 1482.3, 0.5),
+            msg(127, 1532.0, 0.5),
+            msg(128, 1425.9, 0.5),
+            msg(129, 1448.6, 0.5),
+            msg(512, 1456.3, 0.5),
+        ],
+        session_path: vec![
+            session("spawn_handshake", 4_000, 21_539.0, 46_428.0, 9.0),
+            session("spawn_trivial_k8", 1_000, 25_224.0, 39_645.0, 22.0),
+        ],
+        engine: vec![
+            EngineSample {
+                label: "engine_stress".to_string(),
+                workers: 8,
+                sessions: 2_400,
+                completed: 2_396,
+                total_bits: 1_708_291,
+                wall_ms: 352.0,
+                sessions_per_sec: 6_811.0,
+            },
+            EngineSample {
+                label: "engine_stress_2w".to_string(),
+                workers: 2,
+                sessions: 2_400,
+                completed: 2_396,
+                total_bits: 1_708_291,
+                wall_ms: 297.0,
+                sessions_per_sec: 8_069.0,
+            },
+        ],
+    }
+}
+
+/// The mixed-shape batch of the engine stress test (`crates/engine/
+/// tests/stress.rs`), reproduced here so the throughput numbers are
+/// measured on the exact workload the bit-exactness claim covers.
+pub fn stress_batch(count: u64) -> Vec<SessionRequest> {
+    let shapes = [
+        (1u64 << 16, 8u64),
+        (1 << 16, 16),
+        (1 << 18, 32),
+        (1 << 20, 64),
+        (1 << 18, 16),
+        (1 << 20, 32),
+    ];
+    let overrides = [
+        ProtocolChoice::Trivial,
+        ProtocolChoice::OneRound,
+        ProtocolChoice::Tree(2),
+        ProtocolChoice::TreeLogStar,
+        ProtocolChoice::TreePipelined(2),
+        ProtocolChoice::Sqrt,
+        ProtocolChoice::IbltReconcile,
+    ];
+    (0..count)
+        .map(|id| {
+            let (n, k) = shapes[(id % shapes.len() as u64) as usize];
+            let overlap = (id % (k + 1)) as usize;
+            let mut req = SessionRequest::new(id, ProblemSpec::new(n, k), overlap);
+            req.seed = id.wrapping_mul(0x9e37_79b9_7f4a_7c15) ^ 0xdead_beef;
+            if id % 5 == 0 {
+                req.protocol = Some(overrides[(id / 5 % overrides.len() as u64) as usize]);
+            }
+            req
+        })
+        .collect()
+}
+
+/// Ping-pong alice half: `iters` exchanges of `bits`-bit messages, with
+/// a warm-up prefix excluded from the counter window.
+fn ping_pong_alice(
+    chan: &mut dyn Chan,
+    bits: usize,
+    iters: u64,
+    count: fn() -> u64,
+) -> Result<(u64, u64, Instant, Instant), ProtocolError> {
+    let payload = |i: u64| {
+        let mut m = BitBuf::with_capacity(bits);
+        let mut left = bits;
+        while left > 0 {
+            let take = left.min(64);
+            let v = if take == 64 {
+                i.wrapping_mul(0x9e37_79b9_7f4a_7c15)
+            } else {
+                i % (1 << take)
+            };
+            m.push_bits(v, take);
+            left -= take;
+        }
+        m
+    };
+    for i in 0..64 {
+        chan.send(payload(i))?;
+        chan.recv()?;
+    }
+    let a0 = count();
+    let t0 = Instant::now();
+    for i in 0..iters {
+        chan.send(payload(i))?;
+        chan.recv()?;
+    }
+    let t1 = Instant::now();
+    let a1 = count();
+    Ok((a0, a1, t0, t1))
+}
+
+/// Ping-pong bob half: echo everything back.
+fn ping_pong_bob(chan: &mut dyn Chan, bits: usize, iters: u64) -> Result<(), ProtocolError> {
+    for _ in 0..(64 + iters) {
+        let m = chan.recv()?;
+        debug_assert_eq!(m.len(), bits);
+        chan.send(m)?;
+    }
+    Ok(())
+}
+
+fn message_sample(
+    transport: &str,
+    bits: usize,
+    iters: u64,
+    window: (u64, u64, Instant, Instant),
+) -> MessagePathSample {
+    let (a0, a1, t0, t1) = window;
+    let messages = 2 * iters;
+    MessagePathSample {
+        transport: transport.to_string(),
+        bits,
+        messages,
+        ns_per_message: t1.duration_since(t0).as_nanos() as f64 / messages as f64,
+        allocs_per_message: (a1 - a0) as f64 / messages as f64,
+    }
+}
+
+fn message_path(iters: u64, count: fn() -> u64) -> Vec<MessagePathSample> {
+    let widths = [8usize, 64, 127, 128, 129, 512];
+    let mut out = Vec::new();
+    for &bits in &widths {
+        let run = run_two_party(
+            &RunConfig::with_seed(1),
+            |chan, _| ping_pong_alice(chan, bits, iters, count),
+            |chan, _| ping_pong_bob(chan, bits, iters),
+        )
+        .expect("ping-pong session");
+        out.push(message_sample("spawn", bits, iters, run.alice));
+    }
+    let mut runner = SessionRunner::start();
+    // A first-ever session allocates the runner's own control-channel
+    // backbone concurrently with the window; one throwaway session
+    // establishes it so every measured window starts warm.
+    runner
+        .run(
+            &RunConfig::with_seed(0),
+            |chan: &mut Endpoint, _: &CoinSource| ping_pong_alice(chan, 8, 1, count),
+            |chan: &mut Endpoint, _: &CoinSource| ping_pong_bob(chan, 8, 1),
+        )
+        .expect("runner warmup");
+    for &bits in &widths {
+        let run = runner
+            .run(
+                &RunConfig::with_seed(1),
+                |chan: &mut Endpoint, _: &CoinSource| ping_pong_alice(chan, bits, iters, count),
+                move |chan: &mut Endpoint, _: &CoinSource| ping_pong_bob(chan, bits, iters),
+            )
+            .expect("ping-pong session");
+        out.push(message_sample("runner", bits, iters, run.alice));
+    }
+    out
+}
+
+/// The tiny fixed session used by the session-path samples: one 32-bit
+/// exchange each way, i.e. almost pure setup/teardown cost.
+fn handshake_alice(chan: &mut dyn Chan) -> Result<u64, ProtocolError> {
+    let mut m = BitBuf::with_capacity(32);
+    m.push_bits(0xdead_beef, 32);
+    chan.send(m)?;
+    Ok(chan.recv()?.reader().read_bits(32)?)
+}
+
+fn handshake_bob(chan: &mut dyn Chan) -> Result<(), ProtocolError> {
+    let got = chan.recv()?;
+    chan.send(got)?;
+    Ok(())
+}
+
+fn session_sample(label: &str, sessions: u64, allocs: u64, wall_ns: f64) -> SessionPathSample {
+    SessionPathSample {
+        label: label.to_string(),
+        sessions,
+        ns_per_session: wall_ns / sessions as f64,
+        sessions_per_sec: sessions as f64 / (wall_ns / 1e9),
+        allocs_per_session: allocs as f64 / sessions as f64,
+    }
+}
+
+fn session_path(sessions: u64, count: fn() -> u64) -> Vec<SessionPathSample> {
+    let mut out = Vec::new();
+
+    // Spawn-per-session: what a dedicated run_two_party call costs.
+    let a0 = count();
+    let t0 = Instant::now();
+    for i in 0..sessions {
+        let run = run_two_party(
+            &RunConfig::with_seed(i),
+            |chan, _| handshake_alice(chan),
+            |chan, _| handshake_bob(chan),
+        )
+        .expect("handshake");
+        assert_eq!(run.alice, 0xdead_beef);
+    }
+    let wall = t0.elapsed().as_nanos() as f64;
+    out.push(session_sample(
+        "spawn_handshake",
+        sessions,
+        count() - a0,
+        wall,
+    ));
+
+    // Reused runner: the same sessions on one long-lived thread pair.
+    let mut runner = SessionRunner::start();
+    for i in 0..64 {
+        runner
+            .run(
+                &RunConfig::with_seed(i),
+                |chan: &mut Endpoint, _: &CoinSource| handshake_alice(chan),
+                |chan: &mut Endpoint, _: &CoinSource| handshake_bob(chan),
+            )
+            .expect("warmup handshake");
+    }
+    let a0 = count();
+    let t0 = Instant::now();
+    for i in 0..sessions {
+        let run = runner
+            .run(
+                &RunConfig::with_seed(i),
+                |chan: &mut Endpoint, _: &CoinSource| handshake_alice(chan),
+                |chan: &mut Endpoint, _: &CoinSource| handshake_bob(chan),
+            )
+            .expect("handshake");
+        assert_eq!(run.alice, 0xdead_beef);
+    }
+    let wall = t0.elapsed().as_nanos() as f64;
+    out.push(session_sample(
+        "runner_handshake",
+        sessions,
+        count() - a0,
+        wall,
+    ));
+
+    // A real protocol session (trivial exchange, k = 8): how much of a
+    // small-but-genuine session is substrate overhead.
+    let spec = ProblemSpec::new(1 << 16, 8);
+    let real = sessions / 4;
+    let protocol = ProtocolChoice::Trivial.build(spec);
+    let requests: Vec<SessionRequest> = (0..real)
+        .map(|id| {
+            let mut req = SessionRequest::new(id, spec, (id % 9) as usize);
+            req.seed = id.wrapping_mul(0x9e37_79b9) + 1;
+            req
+        })
+        .collect();
+    let a0 = count();
+    let t0 = Instant::now();
+    for req in &requests {
+        let pair = req.input_pair();
+        execute(protocol.as_ref(), spec, &pair, req.seed).expect("trivial session");
+    }
+    let wall = t0.elapsed().as_nanos() as f64;
+    out.push(session_sample("spawn_trivial_k8", real, count() - a0, wall));
+
+    out
+}
+
+fn engine_samples(sessions: u64, workers: usize) -> Vec<EngineSample> {
+    let mut out = Vec::new();
+    for (label, workers) in [("engine_stress", workers), ("engine_stress_2w", 2)] {
+        let engine = Engine::start(EngineConfig::new(workers));
+        let t0 = Instant::now();
+        for req in stress_batch(sessions) {
+            engine.submit(req).expect("engine accepts");
+        }
+        let report = engine.finish();
+        let wall = t0.elapsed();
+        let m = &report.snapshot.metrics;
+        out.push(EngineSample {
+            label: label.to_string(),
+            workers,
+            sessions,
+            completed: m.completed,
+            total_bits: m.total_bits,
+            wall_ms: wall.as_secs_f64() * 1e3,
+            sessions_per_sec: sessions as f64 / wall.as_secs_f64(),
+        });
+    }
+    out
+}
+
+/// Runs every sample. `count` reads the process-wide allocation counter
+/// installed by the calling binary (the library cannot install a global
+/// allocator itself without forcing it on every consumer).
+pub fn run(quick: bool, count: fn() -> u64) -> ThroughputReport {
+    let params = RunParams {
+        quick,
+        message_iters: if quick { 2_000 } else { 100_000 },
+        sessions: if quick { 400 } else { 4_000 },
+        engine_sessions: if quick { 240 } else { 2_400 },
+        engine_workers: 8,
+    };
+    ThroughputReport {
+        params,
+        message_path: message_path(params.message_iters, count),
+        session_path: session_path(params.sessions, count),
+        engine: engine_samples(params.engine_sessions, params.engine_workers),
+        before: seed_baseline(),
+    }
+}

@@ -1,0 +1,58 @@
+//! Golden-table bit-exactness: the substrate may change, the science may
+//! not.
+//!
+//! `fixtures/golden_quick.json` holds the quick-mode output tables of
+//! E1, E5 and E6 — every cell derived from seeded protocol runs, so any
+//! change to message framing, session scheduling, or buffer
+//! representation that altered a single transmitted bit or round would
+//! change a cell. The experiments are re-run here and must reproduce the
+//! fixture byte for byte.
+//!
+//! If a deliberate *protocol* change invalidates the fixture, regenerate
+//! it with:
+//!
+//! ```text
+//! cargo run --release -p intersect-bench --bin report -- \
+//!     --exp E1 --exp E5 --exp E6 --quick --json
+//! ```
+//!
+//! keeping only the `id` and `tables` fields.
+
+use intersect_bench::experiments;
+use intersect_bench::table::Table;
+use serde::Deserialize;
+
+#[derive(Debug, Deserialize)]
+struct GoldenEntry {
+    id: String,
+    tables: Vec<Table>,
+}
+
+#[test]
+fn quick_tables_reproduce_the_checked_in_fixture_byte_for_byte() {
+    let golden: Vec<GoldenEntry> =
+        serde_json::from_str(include_str!("fixtures/golden_quick.json")).expect("fixture parses");
+    assert_eq!(
+        golden.iter().map(|e| e.id.as_str()).collect::<Vec<_>>(),
+        ["E1", "E5", "E6"],
+        "fixture covers the expected experiments"
+    );
+    for entry in &golden {
+        let exp = experiments::find(&entry.id).expect("fixture id is registered");
+        let fresh = (exp.run)(true);
+        assert_eq!(
+            fresh.len(),
+            entry.tables.len(),
+            "{}: table count changed",
+            entry.id
+        );
+        for (fresh_t, golden_t) in fresh.iter().zip(&entry.tables) {
+            assert_eq!(
+                serde_json::to_string_pretty(fresh_t).unwrap(),
+                serde_json::to_string_pretty(golden_t).unwrap(),
+                "{}: table no longer byte-identical to the fixture",
+                entry.id
+            );
+        }
+    }
+}

@@ -7,9 +7,29 @@
 //!
 //! Bits are addressed LSB-first: `push_bits(v, w)` appends bit `0` of `v`
 //! first, so a round-trip through `read_bits(w)` returns `v` exactly.
+//!
+//! # Storage
+//!
+//! Buffers up to [`INLINE_BITS`] bits (the vast majority of protocol
+//! messages) live entirely inline — constructing, sending, and dropping
+//! them performs **no heap allocation**. Longer buffers spill their words
+//! to a `Vec<u64>`; when a session's [`crate::pool::SpillPool`] is
+//! installed, spill storage is recycled through it so long messages also
+//! stop allocating in steady state. The representation is invisible to
+//! every consumer: [`Clone`], [`PartialEq`], [`Hash`], and
+//! [`words`](BitBuf::words) agree across inline and spilled buffers that
+//! hold the same bits.
 
 use crate::error::CodecError;
+use crate::pool;
 use std::fmt;
+use std::hash::{Hash, Hasher};
+
+/// Number of bits a [`BitBuf`] stores inline before spilling to the heap.
+pub const INLINE_BITS: usize = 128;
+
+/// Inline storage, in 64-bit words.
+const INLINE_WORDS: usize = INLINE_BITS / 64;
 
 /// An append-only buffer of bits, the payload type of every message.
 ///
@@ -27,27 +47,51 @@ use std::fmt;
 /// assert_eq!(r.read_bits(4).unwrap(), 0b1011);
 /// assert!(r.read_bit().unwrap());
 /// ```
-#[derive(Clone, Default, PartialEq, Eq, Hash)]
+#[derive(Default)]
 pub struct BitBuf {
-    words: Vec<u64>,
     len: usize,
+    /// Authoritative storage while the buffer is inline; unused (and
+    /// zeroed) once spilled. Bits at positions `>= len` are always zero.
+    inline: [u64; INLINE_WORDS],
+    /// Spill storage. The buffer is *spilled* iff this vector has
+    /// nonzero capacity, in which case it holds exactly
+    /// `len.div_ceil(64)` words and `inline` is dead.
+    spill: Vec<u64>,
 }
 
 impl BitBuf {
     /// Creates an empty buffer.
     pub fn new() -> Self {
-        BitBuf {
-            words: Vec::new(),
-            len: 0,
-        }
+        BitBuf::default()
     }
 
     /// Creates an empty buffer with room for `bits` bits.
+    ///
+    /// Up to [`INLINE_BITS`] this allocates nothing; beyond, the spill
+    /// storage is sized once up front (drawn from the session's spill
+    /// pool when one is installed).
     pub fn with_capacity(bits: usize) -> Self {
-        BitBuf {
-            words: Vec::with_capacity(bits.div_ceil(64)),
-            len: 0,
+        if bits <= INLINE_BITS {
+            BitBuf::new()
+        } else {
+            BitBuf {
+                len: 0,
+                inline: [0; INLINE_WORDS],
+                spill: pool::take_words(bits.div_ceil(64)),
+            }
         }
+    }
+
+    /// `true` when the words live on the heap (see the module docs).
+    #[inline]
+    fn spilled(&self) -> bool {
+        self.spill.capacity() != 0
+    }
+
+    /// Words holding `len` bits.
+    #[inline]
+    fn live_words(len: usize) -> usize {
+        len.div_ceil(64)
     }
 
     /// Number of bits in the buffer.
@@ -62,15 +106,7 @@ impl BitBuf {
 
     /// Appends a single bit.
     pub fn push_bit(&mut self, bit: bool) {
-        let word = self.len / 64;
-        let off = self.len % 64;
-        if word == self.words.len() {
-            self.words.push(0);
-        }
-        if bit {
-            self.words[word] |= 1u64 << off;
-        }
-        self.len += 1;
+        self.push_bits(bit as u64, 1);
     }
 
     /// Appends the low `width` bits of `value`, LSB first.
@@ -90,29 +126,62 @@ impl BitBuf {
         if width == 0 {
             return;
         }
+        if !self.spilled() && self.len + width > INLINE_BITS {
+            self.spill_out(self.len + width);
+        }
         let off = self.len % 64;
         let word = self.len / 64;
-        if word == self.words.len() {
-            self.words.push(0);
-        }
-        self.words[word] |= value.checked_shl(off as u32).unwrap_or(0);
-        let spill = off + width;
-        if spill > 64 {
-            // Bits that did not fit in the current word.
-            self.words.push(value >> (64 - off));
+        let lo = value.checked_shl(off as u32).unwrap_or(0);
+        if self.spilled() {
+            if word == self.spill.len() {
+                self.spill.push(0);
+            }
+            self.spill[word] |= lo;
+            if off + width > 64 {
+                // Bits that did not fit in the current word.
+                self.spill.push(value >> (64 - off));
+            }
+        } else {
+            self.inline[word] |= lo;
+            if off + width > 64 {
+                self.inline[word + 1] = value >> (64 - off);
+            }
         }
         self.len += width;
     }
 
+    /// Moves the inline words to spill storage sized for `total_bits`.
+    #[cold]
+    fn spill_out(&mut self, total_bits: usize) {
+        debug_assert!(!self.spilled());
+        let mut spill = pool::take_words(Self::live_words(total_bits).max(2 * INLINE_WORDS));
+        spill.extend_from_slice(&self.inline[..Self::live_words(self.len)]);
+        self.inline = [0; INLINE_WORDS];
+        self.spill = spill;
+    }
+
     /// Appends every bit of `other` to `self`.
     pub fn extend_from(&mut self, other: &BitBuf) {
+        if other.len == 0 {
+            return;
+        }
         // Fast path: word-aligned append.
         if self.len.is_multiple_of(64) {
-            self.words.extend_from_slice(&other.words);
-            self.len += other.len;
-            // Trim any excess capacity-words beyond the new length.
-            let need = self.len.div_ceil(64);
-            self.words.truncate(need);
+            let total = self.len + other.len;
+            if !self.spilled() && total > INLINE_BITS {
+                self.spill_out(total);
+            }
+            if self.spilled() {
+                self.spill.extend_from_slice(other.words());
+                self.len = total;
+                // Trim any excess capacity-words beyond the new length.
+                self.spill.truncate(Self::live_words(self.len));
+            } else {
+                let start = self.len / 64;
+                let words = other.words();
+                self.inline[start..start + words.len()].copy_from_slice(words);
+                self.len = total;
+            }
             return;
         }
         let mut remaining = other.len;
@@ -131,7 +200,7 @@ impl BitBuf {
         if idx >= self.len {
             return None;
         }
-        Some((self.words[idx / 64] >> (idx % 64)) & 1 == 1)
+        Some((self.words()[idx / 64] >> (idx % 64)) & 1 == 1)
     }
 
     /// Reads up to 64 bits starting at bit `start`.
@@ -146,11 +215,12 @@ impl BitBuf {
         if width == 0 {
             return 0;
         }
+        let words = self.words();
         let word = start / 64;
         let off = start % 64;
-        let lo = self.words[word] >> off;
+        let lo = words[word] >> off;
         let value = if off + width > 64 {
-            lo | (self.words[word + 1] << (64 - off))
+            lo | (words[word + 1] << (64 - off))
         } else {
             lo
         };
@@ -169,14 +239,66 @@ impl BitBuf {
     /// The underlying 64-bit words (bits beyond [`len`](Self::len) are zero).
     ///
     /// Intended for word-at-a-time consumers such as fingerprinting; the
-    /// exact word layout is little-endian in bit order and stable.
+    /// exact word layout is little-endian in bit order and stable, and
+    /// identical whether the buffer is inline or spilled.
     pub fn words(&self) -> &[u64] {
-        &self.words
+        if self.spilled() {
+            &self.spill
+        } else {
+            &self.inline[..Self::live_words(self.len)]
+        }
     }
 
     /// Iterates over the bits in order.
     pub fn iter(&self) -> impl Iterator<Item = bool> + '_ {
         (0..self.len).map(move |i| self.get(i).unwrap())
+    }
+}
+
+impl Clone for BitBuf {
+    fn clone(&self) -> Self {
+        if self.len <= INLINE_BITS {
+            // Clones of short buffers are inline even when the source
+            // spilled (e.g. an over-reserved `with_capacity` buffer).
+            let mut inline = [0u64; INLINE_WORDS];
+            inline[..Self::live_words(self.len)].copy_from_slice(self.words());
+            BitBuf {
+                len: self.len,
+                inline,
+                spill: Vec::new(),
+            }
+        } else {
+            let mut spill = pool::take_words(self.spill.len());
+            spill.extend_from_slice(&self.spill);
+            BitBuf {
+                len: self.len,
+                inline: [0; INLINE_WORDS],
+                spill,
+            }
+        }
+    }
+}
+
+impl Drop for BitBuf {
+    fn drop(&mut self) {
+        if self.spill.capacity() != 0 {
+            pool::recycle(std::mem::take(&mut self.spill));
+        }
+    }
+}
+
+impl PartialEq for BitBuf {
+    fn eq(&self, other: &Self) -> bool {
+        self.len == other.len && self.words() == other.words()
+    }
+}
+
+impl Eq for BitBuf {}
+
+impl Hash for BitBuf {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        self.len.hash(state);
+        self.words().hash(state);
     }
 }
 
@@ -406,6 +528,22 @@ mod tests {
         let mut r = a.reader();
         assert_eq!(r.read_bits(64).unwrap(), u64::MAX);
         assert_eq!(r.read_bits(2).unwrap(), 0b11);
+    }
+
+    #[test]
+    fn extend_from_word_aligned_across_the_spill_boundary() {
+        // 64 + 128 bits: starts inline, must spill mid-append.
+        let mut a = BitBuf::new();
+        a.push_bits(u64::MAX, 64);
+        let mut b = BitBuf::new();
+        b.push_bits(0x1111_2222_3333_4444, 64);
+        b.push_bits(0x5555_6666_7777_8888, 64);
+        a.extend_from(&b);
+        assert_eq!(a.len(), 192);
+        let mut r = a.reader();
+        assert_eq!(r.read_bits(64).unwrap(), u64::MAX);
+        assert_eq!(r.read_bits(64).unwrap(), 0x1111_2222_3333_4444);
+        assert_eq!(r.read_bits(64).unwrap(), 0x5555_6666_7777_8888);
     }
 
     #[test]

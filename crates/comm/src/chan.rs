@@ -2,15 +2,25 @@
 
 use crate::bits::BitBuf;
 use crate::error::ProtocolError;
+use crate::pool::SpillPool;
 use crate::stats::ChannelStats;
 use crossbeam_channel::{Receiver, Sender};
+use std::sync::Arc;
 use std::time::Duration;
 
-/// A frame on the wire: a bit payload stamped with the sender's causal clock.
+/// A frame on the wire.
 #[derive(Debug, Clone)]
-pub(crate) struct Frame {
-    pub depth: u64,
-    pub payload: BitBuf,
+pub(crate) enum Frame {
+    /// A protocol message: a bit payload stamped with the sender's
+    /// causal clock.
+    Msg { depth: u64, payload: BitBuf },
+    /// Control frame: the sender's half of the session has completed and
+    /// will transmit nothing further. Unmetered and invisible to
+    /// protocols — on a long-lived reused channel it stands in for the
+    /// endpoint drop that ends a dedicated [`crate::runner::run_two_party`]
+    /// session, so a peer blocked in `recv` observes
+    /// [`ProtocolError::ChannelClosed`] exactly as it would there.
+    Fin,
 }
 
 /// The transport used by every protocol implementation.
@@ -80,6 +90,14 @@ pub struct Endpoint {
     stats: ChannelStats,
     budget: Option<u64>,
     timeout: Duration,
+    /// Set once a [`Frame::Fin`] is received: the peer's half is over, so
+    /// further traffic fails with [`ProtocolError::ChannelClosed`] just as
+    /// it would after a real endpoint drop.
+    peer_done: bool,
+    /// Spill-buffer free list shared with the peer endpoint, so message
+    /// payloads born on one side recycle their storage when dropped on
+    /// the other.
+    pool: Arc<SpillPool>,
 }
 
 impl Endpoint {
@@ -91,12 +109,15 @@ impl Endpoint {
     pub fn pair(budget: Option<u64>, timeout: Duration) -> (Endpoint, Endpoint) {
         let (tx_ab, rx_ab) = crossbeam_channel::unbounded();
         let (tx_ba, rx_ba) = crossbeam_channel::unbounded();
+        let pool = SpillPool::new();
         let a = Endpoint {
             tx: tx_ab,
             rx: rx_ba,
             stats: ChannelStats::default(),
             budget,
             timeout,
+            peer_done: false,
+            pool: Arc::clone(&pool),
         };
         let b = Endpoint {
             tx: tx_ba,
@@ -104,8 +125,39 @@ impl Endpoint {
             stats: ChannelStats::default(),
             budget,
             timeout,
+            peer_done: false,
+            pool,
         };
         (a, b)
+    }
+
+    /// The spill-buffer pool shared by both endpoints of this pair.
+    ///
+    /// Session harnesses [`install`](SpillPool::install) it on the thread
+    /// running each half so long-message storage recycles across the
+    /// channel instead of round-tripping through the allocator.
+    pub fn pool(&self) -> &Arc<SpillPool> {
+        &self.pool
+    }
+
+    /// Restores this endpoint to the state of a fresh [`Endpoint::pair`]
+    /// with the given budget and timeout: counters and round clock
+    /// zeroed, leftover in-flight frames discarded.
+    ///
+    /// Only sound while the peer endpoint is quiescent — the
+    /// [`crate::runner::SessionRunner`] handshake guarantees that.
+    pub(crate) fn reset(&mut self, budget: Option<u64>, timeout: Duration) {
+        while self.rx.try_recv().is_ok() {}
+        self.stats = ChannelStats::default();
+        self.budget = budget;
+        self.timeout = timeout;
+        self.peer_done = false;
+    }
+
+    /// Announces the end of this half's transmissions (see [`Frame::Fin`]).
+    /// Infallible: a genuinely disconnected peer needs no announcement.
+    pub(crate) fn send_fin(&self) {
+        let _ = self.tx.send(Frame::Fin);
     }
 
     fn check_budget(&self) -> Result<(), ProtocolError> {
@@ -120,14 +172,17 @@ impl Endpoint {
 
 impl Chan for Endpoint {
     fn send(&mut self, msg: BitBuf) -> Result<(), ProtocolError> {
-        self.stats.bits_sent += msg.len() as u64;
+        let bits = msg.len() as u64;
+        self.stats.bits_sent += bits;
         self.stats.messages_sent += 1;
         self.check_budget()?;
-        let frame = Frame {
+        if self.peer_done {
+            return Err(ProtocolError::ChannelClosed);
+        }
+        let frame = Frame::Msg {
             depth: self.stats.clock + 1,
             payload: msg,
         };
-        let bits = frame.payload.len() as u64;
         self.tx
             .send(frame)
             .map_err(|_| ProtocolError::ChannelClosed)?;
@@ -141,21 +196,31 @@ impl Chan for Endpoint {
     }
 
     fn recv(&mut self) -> Result<BitBuf, ProtocolError> {
+        if self.peer_done {
+            return Err(ProtocolError::ChannelClosed);
+        }
         let frame = self.rx.recv_timeout(self.timeout).map_err(|e| match e {
             crossbeam_channel::RecvTimeoutError::Timeout => ProtocolError::Timeout,
             crossbeam_channel::RecvTimeoutError::Disconnected => ProtocolError::ChannelClosed,
         })?;
-        self.stats.clock = self.stats.clock.max(frame.depth);
-        self.stats.bits_received += frame.payload.len() as u64;
+        let (depth, payload) = match frame {
+            Frame::Msg { depth, payload } => (depth, payload),
+            Frame::Fin => {
+                self.peer_done = true;
+                return Err(ProtocolError::ChannelClosed);
+            }
+        };
+        self.stats.clock = self.stats.clock.max(depth);
+        self.stats.bits_received += payload.len() as u64;
         self.stats.messages_received += 1;
         self.check_budget()?;
         intersect_obs::message(
             "comm",
             intersect_obs::Direction::Received,
-            frame.payload.len() as u64,
+            payload.len() as u64,
             self.stats.clock,
         );
-        Ok(frame.payload)
+        Ok(payload)
     }
 
     fn stats(&self) -> ChannelStats {
@@ -258,6 +323,71 @@ mod tests {
     fn timeout_is_reported() {
         let (mut a, _b) = Endpoint::pair(None, Duration::from_millis(10));
         assert_eq!(a.recv().unwrap_err(), ProtocolError::Timeout);
+    }
+
+    #[test]
+    fn fin_emulates_a_hangup_after_queued_frames_drain() {
+        let (mut a, mut b) = pair();
+        a.send(msg(5)).unwrap();
+        a.send(msg(3)).unwrap();
+        a.send_fin();
+        // Data queued before the fin still arrives in order …
+        assert_eq!(b.recv().unwrap().len(), 5);
+        assert_eq!(b.recv().unwrap().len(), 3);
+        // … then the channel reads as closed, repeatably, in both directions.
+        assert_eq!(b.recv().unwrap_err(), ProtocolError::ChannelClosed);
+        assert_eq!(b.recv().unwrap_err(), ProtocolError::ChannelClosed);
+        assert_eq!(b.send(msg(1)).unwrap_err(), ProtocolError::ChannelClosed);
+        // Like a real post-drop send, the attempt was still metered.
+        assert_eq!(b.stats().bits_sent, 1);
+        assert_eq!(b.stats().messages_sent, 1);
+    }
+
+    #[test]
+    fn fin_is_unmetered_and_does_not_advance_the_clock() {
+        let (mut a, mut b) = pair();
+        a.send(msg(4)).unwrap();
+        a.send_fin();
+        b.recv().unwrap();
+        let _ = b.recv();
+        assert_eq!(b.stats().bits_received, 4);
+        assert_eq!(b.stats().messages_received, 1);
+        assert_eq!(b.stats().clock, 1);
+        assert_eq!(a.stats().bits_sent, 4);
+        assert_eq!(a.stats().messages_sent, 1);
+    }
+
+    #[test]
+    fn reset_restores_a_fresh_pair_state() {
+        let (mut a, mut b) = pair();
+        a.send(msg(9)).unwrap();
+        b.recv().unwrap();
+        b.send(msg(2)).unwrap();
+        a.send(msg(1)).unwrap(); // left in flight: reset must discard it
+        a.send_fin();
+        b.recv().unwrap();
+        let _ = b.recv(); // observe the fin
+        b.send_fin();
+
+        a.reset(Some(16), Duration::from_secs(5));
+        b.reset(Some(16), Duration::from_secs(5));
+        assert_eq!(a.stats(), ChannelStats::default());
+        assert_eq!(b.stats(), ChannelStats::default());
+
+        // The reused pair behaves exactly like a fresh one, budget included.
+        a.send(msg(10)).unwrap();
+        assert_eq!(b.recv().unwrap().len(), 10);
+        assert_eq!(b.stats().clock, 1);
+        assert!(matches!(
+            a.send(msg(10)).unwrap_err(),
+            ProtocolError::BudgetExceeded { limit_bits: 16 }
+        ));
+    }
+
+    #[test]
+    fn endpoints_share_one_spill_pool() {
+        let (a, b) = pair();
+        assert!(Arc::ptr_eq(a.pool(), b.pool()));
     }
 
     #[test]

@@ -54,19 +54,22 @@ pub mod coins;
 pub mod encode;
 pub mod error;
 pub mod net;
+pub mod pool;
 pub mod runner;
 pub mod stats;
 pub mod trace;
 
 /// The most commonly used items, for glob import.
 pub mod prelude {
-    pub use crate::bits::{bit_width_for, BitBuf, BitReader};
+    pub use crate::bits::{bit_width_for, BitBuf, BitReader, INLINE_BITS};
     pub use crate::chan::{Chan, Endpoint};
     pub use crate::coins::CoinSource;
     pub use crate::error::{CodecError, ProtocolError};
     pub use crate::net::{run_network, NetOutcome, NetworkConfig, PlayerCtx};
+    pub use crate::pool::SpillPool;
     pub use crate::runner::{
-        assemble_report, linked_pair, run_two_party, RunConfig, RunOutcome, Side,
+        assemble_report, linked_pair, run_two_party, RunConfig, RunOutcome, SessionParts,
+        SessionRunner, Side,
     };
     pub use crate::stats::{ChannelStats, CostReport, NetworkReport};
 }

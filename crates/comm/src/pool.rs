@@ -1,0 +1,178 @@
+//! Recycling of spilled message-buffer storage.
+//!
+//! A [`crate::bits::BitBuf`] longer than [`crate::bits::INLINE_BITS`]
+//! spills its words to the heap. In a steady-state session those spill
+//! buffers are born at one party, cross the channel, and die at the
+//! peer — a heap allocation and deallocation per long message. A
+//! [`SpillPool`] breaks that cycle: both endpoints of a session share
+//! one pool (see [`crate::chan::Endpoint::pool`]), every dropped spill
+//! buffer returns its storage to the pool, and every new spill draws
+//! from it, so after a brief warm-up even long messages allocate
+//! nothing.
+//!
+//! The pool is wired to `BitBuf` through a thread-local *active pool*:
+//! session runners ([`crate::runner::run_two_party`] and
+//! [`crate::runner::SessionRunner`]) [`install`](SpillPool::install)
+//! the pair's pool for the duration of each party's half, and `BitBuf`
+//! construction/drop consult it. With no pool installed, behavior is
+//! exactly the global allocator's — `BitBuf` works standalone.
+
+use std::cell::RefCell;
+use std::marker::PhantomData;
+use std::sync::{Arc, Mutex};
+
+/// Spill buffers retained per pool; excess storage returns to the
+/// global allocator. Two parties exchanging long messages keep at most
+/// a handful in flight, so a small shelf captures the steady state.
+const MAX_POOLED: usize = 64;
+
+/// A shared free-list of spill word buffers (see the module docs).
+#[derive(Debug, Default)]
+pub struct SpillPool {
+    shelf: Mutex<Vec<Vec<u64>>>,
+}
+
+impl SpillPool {
+    /// Creates an empty pool behind the `Arc` both endpoints share.
+    pub fn new() -> Arc<SpillPool> {
+        Arc::new(SpillPool::default())
+    }
+
+    /// Makes this pool the calling thread's active pool until the
+    /// returned scope guard drops (the previous active pool, if any, is
+    /// restored — scopes nest).
+    pub fn install(self: &Arc<Self>) -> PoolScope {
+        let prev = ACTIVE.with(|active| active.borrow_mut().replace(Arc::clone(self)));
+        PoolScope {
+            prev,
+            _not_send: PhantomData,
+        }
+    }
+
+    /// Buffers currently shelved (diagnostics and tests).
+    pub fn pooled(&self) -> usize {
+        self.lock().len()
+    }
+
+    fn take(&self, min_words: usize) -> Option<Vec<u64>> {
+        let mut buf = self.lock().pop()?;
+        buf.clear();
+        buf.reserve(min_words);
+        Some(buf)
+    }
+
+    fn put(&self, buf: Vec<u64>) {
+        if buf.capacity() == 0 {
+            return;
+        }
+        let mut shelf = self.lock();
+        if shelf.len() < MAX_POOLED {
+            shelf.push(buf);
+        }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, Vec<Vec<u64>>> {
+        // A panicking protocol half may die while between pool calls;
+        // the shelf holds only plain buffers, so poisoning is harmless.
+        self.shelf.lock().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+thread_local! {
+    static ACTIVE: RefCell<Option<Arc<SpillPool>>> = const { RefCell::new(None) };
+}
+
+/// Scope guard restoring the thread's previous active pool on drop.
+#[derive(Debug)]
+pub struct PoolScope {
+    prev: Option<Arc<SpillPool>>,
+    /// The guard must drop on the thread that created it.
+    _not_send: PhantomData<*const ()>,
+}
+
+impl Drop for PoolScope {
+    fn drop(&mut self) {
+        ACTIVE.with(|active| *active.borrow_mut() = self.prev.take());
+    }
+}
+
+/// Word storage with capacity for at least `min_words`, recycled from
+/// the active pool when one is installed and non-empty.
+pub(crate) fn take_words(min_words: usize) -> Vec<u64> {
+    ACTIVE
+        .with(|active| {
+            active
+                .borrow()
+                .as_ref()
+                .and_then(|pool| pool.take(min_words))
+        })
+        .unwrap_or_else(|| Vec::with_capacity(min_words.max(1)))
+}
+
+/// Returns spent spill storage to the active pool, or frees it when no
+/// pool is installed.
+pub(crate) fn recycle(buf: Vec<u64>) {
+    ACTIVE.with(|active| match active.borrow().as_ref() {
+        Some(pool) => pool.put(buf),
+        None => drop(buf),
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn take_recycles_through_the_active_pool() {
+        let pool = SpillPool::new();
+        let scope = pool.install();
+        let mut v = take_words(8);
+        assert!(v.capacity() >= 8);
+        v.extend_from_slice(&[1, 2, 3]);
+        let cap = v.capacity();
+        recycle(v);
+        assert_eq!(pool.pooled(), 1);
+        let v2 = take_words(4);
+        assert_eq!(v2.capacity(), cap, "recycled the same storage");
+        assert!(v2.is_empty(), "recycled buffers come back cleared");
+        assert_eq!(pool.pooled(), 0);
+        drop(scope);
+    }
+
+    #[test]
+    fn no_active_pool_falls_back_to_plain_allocation() {
+        let v = take_words(8);
+        assert!(v.capacity() >= 8);
+        recycle(v); // must not panic; storage is simply freed
+    }
+
+    #[test]
+    fn scopes_nest_and_restore() {
+        let outer = SpillPool::new();
+        let inner = SpillPool::new();
+        let s1 = outer.install();
+        {
+            let s2 = inner.install();
+            recycle(Vec::with_capacity(4));
+            assert_eq!(inner.pooled(), 1);
+            assert_eq!(outer.pooled(), 0);
+            drop(s2);
+        }
+        recycle(Vec::with_capacity(4));
+        assert_eq!(outer.pooled(), 1);
+        drop(s1);
+        recycle(Vec::with_capacity(4));
+        assert_eq!(outer.pooled(), 1, "uninstalled pool no longer collects");
+    }
+
+    #[test]
+    fn shelf_is_bounded() {
+        let pool = SpillPool::new();
+        let scope = pool.install();
+        for _ in 0..(MAX_POOLED + 10) {
+            recycle(Vec::with_capacity(1));
+        }
+        assert_eq!(pool.pooled(), MAX_POOLED);
+        drop(scope);
+    }
+}

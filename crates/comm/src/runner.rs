@@ -1,9 +1,23 @@
 //! Executes two-party protocols and collects their cost.
+//!
+//! Two execution strategies produce bit-for-bit identical results:
+//!
+//! * [`run_two_party`] — the simple dedicated API: spawns a scoped
+//!   thread for Bob, builds a fresh channel pair, and tears everything
+//!   down when the session ends.
+//! * [`SessionRunner`] — the amortized API: one long-lived paired
+//!   thread and one reusable channel pair serve any number of sessions
+//!   back to back, with no thread spawn and no channel construction per
+//!   session. This is what the engine's worker pool uses.
 
 use crate::chan::{Chan, Endpoint};
 use crate::coins::CoinSource;
 use crate::error::ProtocolError;
-use crate::stats::CostReport;
+use crate::stats::{ChannelStats, CostReport};
+use crossbeam_channel::{Receiver, Sender};
+use std::any::Any;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::thread::JoinHandle;
 use std::time::Duration;
 
 /// Which side of a two-party protocol a piece of code is playing.
@@ -144,6 +158,8 @@ pub struct RunOutcome<A, B> {
 /// If either party returns an error the run fails. When one party's failure
 /// causes the other to observe a closed channel, the original failure is
 /// reported rather than the secondary [`ProtocolError::ChannelClosed`].
+/// A party that *panics* is contained: the panic surfaces as
+/// [`ProtocolError::Internal`] instead of aborting the caller.
 ///
 /// # Examples
 ///
@@ -188,15 +204,30 @@ where
 
     let (res_a, res_b, stats_a, stats_b) = std::thread::scope(|scope| {
         let handle = scope.spawn(move || {
-            let r = bob(&mut ep_b, &coins_b);
+            let _pool = ep_b.pool().clone().install();
+            let r = contain(
+                Side::Bob,
+                catch_unwind(AssertUnwindSafe(|| bob(&mut ep_b, &coins_b))),
+            );
             (r, ep_b.stats())
         });
-        let res_a = alice(&mut ep_a, &coins);
+        let _pool = ep_a.pool().clone().install();
+        let res_a = contain(
+            Side::Alice,
+            catch_unwind(AssertUnwindSafe(|| alice(&mut ep_a, &coins))),
+        );
         let stats_a = ep_a.stats();
         // Drop Alice's endpoint so a blocked Bob sees a hangup rather than a
         // timeout if Alice failed early.
         drop(ep_a);
-        let (res_b, stats_b) = handle.join().expect("bob panicked");
+        let (res_b, stats_b) = handle.join().unwrap_or_else(|payload| {
+            // Unreachable in practice (the closure catches unwinds), but a
+            // panic outside the guard must not take the caller down.
+            (
+                Err(contained_error(Side::Bob, payload)),
+                ChannelStats::default(),
+            )
+        });
         (res_a, res_b, stats_a, stats_b)
     });
 
@@ -205,16 +236,276 @@ where
     match (res_a, res_b) {
         (Ok(alice), Ok(bob)) => Ok(RunOutcome { alice, bob, report }),
         (Err(e), Ok(_)) | (Ok(_), Err(e)) => Err(e),
-        (Err(ea), Err(eb)) => {
-            // Prefer the root cause over a secondary hangup/timeout.
-            let secondary = |e: &ProtocolError| {
-                matches!(e, ProtocolError::ChannelClosed | ProtocolError::Timeout)
-            };
-            if secondary(&ea) && !secondary(&eb) {
-                Err(eb)
-            } else {
-                Err(ea)
+        (Err(ea), Err(eb)) => Err(primary_error(ea, eb)),
+    }
+}
+
+/// The tie-break [`run_two_party`] applies when both halves fail: the
+/// root cause beats a secondary hangup/timeout on the other side; on
+/// equal footing Alice's error wins.
+pub fn primary_error(ea: ProtocolError, eb: ProtocolError) -> ProtocolError {
+    let secondary =
+        |e: &ProtocolError| matches!(e, ProtocolError::ChannelClosed | ProtocolError::Timeout);
+    if secondary(&ea) && !secondary(&eb) {
+        eb
+    } else {
+        ea
+    }
+}
+
+/// Renders a caught panic payload as the contained [`ProtocolError`].
+fn contained_error(side: Side, payload: Box<dyn Any + Send>) -> ProtocolError {
+    let msg = if let Some(s) = payload.downcast_ref::<&str>() {
+        *s
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.as_str()
+    } else {
+        "non-string panic payload"
+    };
+    ProtocolError::Internal(format!("{side} panicked: {msg}"))
+}
+
+/// Collapses a [`catch_unwind`] result: a panicking protocol half
+/// becomes an ordinary [`ProtocolError::Internal`] failure.
+fn contain<T>(
+    side: Side,
+    caught: Result<Result<T, ProtocolError>, Box<dyn Any + Send>>,
+) -> Result<T, ProtocolError> {
+    match caught {
+        Ok(r) => r,
+        Err(payload) => Err(contained_error(side, payload)),
+    }
+}
+
+/// Both halves' individual results plus the session's exact cost —
+/// what [`SessionRunner::run_parts`] returns. Unlike the collapsed
+/// [`RunOutcome`], a caller can see that one half succeeded while the
+/// other failed.
+#[derive(Debug)]
+pub struct SessionParts<A, B> {
+    /// Alice's result.
+    pub alice: Result<A, ProtocolError>,
+    /// Bob's result.
+    pub bob: Result<B, ProtocolError>,
+    /// Exact communication cost, identical to [`run_two_party`]'s.
+    pub report: CostReport,
+}
+
+/// Bob's half, type-erased so one worker thread can serve sessions of
+/// any result type.
+type BobFn = Box<
+    dyn FnOnce(&mut Endpoint, &CoinSource) -> Result<Box<dyn Any + Send>, ProtocolError> + Send,
+>;
+
+struct Job {
+    budget: Option<u64>,
+    timeout: Duration,
+    coins: CoinSource,
+    bob: BobFn,
+}
+
+/// What the worker thread reports back after each session: bob's
+/// type-erased result and his endpoint's final stats.
+type Done = (Result<Box<dyn Any + Send>, ProtocolError>, ChannelStats);
+
+/// A reusable two-party session executor: one long-lived paired thread
+/// and one resettable channel pair serve sessions back to back.
+///
+/// A dedicated [`run_two_party`] call pays a thread spawn, two channel
+/// constructions, and a full teardown per session; at engine scale that
+/// overhead dominates the protocols themselves. A `SessionRunner`
+/// amortizes all of it: [`run`](SessionRunner::run) has the same
+/// contract as `run_two_party` — bit-for-bit identical costs, the same
+/// error tie-break, panic containment on both halves — but steady-state
+/// reuse leaves only the per-session job hand-off.
+///
+/// Between sessions the endpoints are [reset](Endpoint) to fresh-pair
+/// state, and an internal ready handshake orders the resets so no frame
+/// of a new session can be mistaken for residue of the previous one.
+///
+/// # Examples
+///
+/// ```
+/// use intersect_comm::prelude::*;
+///
+/// let mut runner = SessionRunner::start();
+/// for seed in 0..4 {
+///     let out = runner.run(
+///         &RunConfig::with_seed(seed),
+///         |chan, _| {
+///             let mut m = BitBuf::new();
+///             m.push_bits(seed & 0b111, 3);
+///             chan.send(m)?;
+///             Ok(())
+///         },
+///         |chan, _| Ok(chan.recv()?.reader().read_bits(3)?),
+///     )?;
+///     assert_eq!(out.bob, seed & 0b111);
+///     assert_eq!(out.report.total_bits(), 3);
+/// }
+/// # Ok::<(), intersect_comm::error::ProtocolError>(())
+/// ```
+pub struct SessionRunner {
+    ep_a: Endpoint,
+    job_tx: Option<Sender<Job>>,
+    ready_rx: Receiver<()>,
+    done_rx: Receiver<Done>,
+    handle: Option<JoinHandle<()>>,
+    broken: bool,
+}
+
+impl std::fmt::Debug for SessionRunner {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SessionRunner")
+            .field("broken", &self.broken)
+            .finish_non_exhaustive()
+    }
+}
+
+impl SessionRunner {
+    /// Spawns the paired worker thread and connects the reusable
+    /// endpoint pair.
+    pub fn start() -> SessionRunner {
+        let (ep_a, mut ep_b) = Endpoint::pair(None, Duration::from_secs(30));
+        let (job_tx, job_rx) = crossbeam_channel::unbounded::<Job>();
+        let (ready_tx, ready_rx) = crossbeam_channel::unbounded::<()>();
+        let (done_tx, done_rx) = crossbeam_channel::unbounded();
+        let handle = std::thread::spawn(move || {
+            let _pool = ep_b.pool().clone().install();
+            for job in job_rx.iter() {
+                ep_b.reset(job.budget, job.timeout);
+                if ready_tx.send(()).is_err() {
+                    break;
+                }
+                let res = contain(
+                    Side::Bob,
+                    catch_unwind(AssertUnwindSafe(|| (job.bob)(&mut ep_b, &job.coins))),
+                );
+                ep_b.send_fin();
+                if done_tx.send((res, ep_b.stats())).is_err() {
+                    break;
+                }
             }
+        });
+        SessionRunner {
+            ep_a,
+            job_tx: Some(job_tx),
+            ready_rx,
+            done_rx,
+            handle: Some(handle),
+            broken: false,
+        }
+    }
+
+    /// Runs one session, reporting each half's result separately.
+    ///
+    /// Alice executes on the calling thread (and so may borrow from it);
+    /// Bob executes on the runner's paired thread, which is why `FB` must
+    /// be `Send + 'static`. A panicking half is contained as
+    /// [`ProtocolError::Internal`] and the runner stays usable.
+    ///
+    /// # Errors
+    ///
+    /// Fails only if the runner itself is broken (its paired thread
+    /// died); protocol failures are reported inside [`SessionParts`].
+    pub fn run_parts<FA, FB, A, B>(
+        &mut self,
+        cfg: &RunConfig,
+        alice: FA,
+        bob: FB,
+    ) -> Result<SessionParts<A, B>, ProtocolError>
+    where
+        FA: FnOnce(&mut Endpoint, &CoinSource) -> Result<A, ProtocolError>,
+        FB: FnOnce(&mut Endpoint, &CoinSource) -> Result<B, ProtocolError> + Send + 'static,
+        B: Send + 'static,
+    {
+        let job_tx = match (&self.job_tx, self.broken) {
+            (Some(tx), false) => tx,
+            _ => return Err(self.broken_error()),
+        };
+        let coins = CoinSource::from_seed(cfg.seed);
+        let job = Job {
+            budget: cfg.bit_budget,
+            timeout: cfg.timeout,
+            coins: coins.clone(),
+            bob: Box::new(move |ep, c| bob(ep, c).map(|b| Box::new(b) as Box<dyn Any + Send>)),
+        };
+        // Reset order matters: Alice's endpoint first (the peer is
+        // quiescent between sessions), then the job hand-off, then Bob
+        // resets his endpoint *before* acknowledging ready — so neither
+        // reset can swallow a frame of the new session.
+        self.ep_a.reset(cfg.bit_budget, cfg.timeout);
+        if job_tx.send(job).is_err() || self.ready_rx.recv().is_err() {
+            self.broken = true;
+            return Err(self.broken_error());
+        }
+        let res_a = {
+            let _pool = self.ep_a.pool().clone().install();
+            contain(
+                Side::Alice,
+                catch_unwind(AssertUnwindSafe(|| alice(&mut self.ep_a, &coins))),
+            )
+        };
+        self.ep_a.send_fin();
+        let stats_a = self.ep_a.stats();
+        let (res_b, stats_b) = match self.done_rx.recv() {
+            Ok(done) => done,
+            Err(_) => {
+                self.broken = true;
+                return Err(self.broken_error());
+            }
+        };
+        let res_b = res_b.map(|b| {
+            *b.downcast::<B>()
+                .expect("bob's type-erased result matches FB's return type")
+        });
+        Ok(SessionParts {
+            alice: res_a,
+            bob: res_b,
+            report: assemble_report(stats_a, stats_b),
+        })
+    }
+
+    /// Runs one session with the exact contract of [`run_two_party`].
+    ///
+    /// # Errors
+    ///
+    /// As [`run_two_party`]: either half's failure fails the run, with
+    /// the same primary-over-secondary tie-break.
+    pub fn run<FA, FB, A, B>(
+        &mut self,
+        cfg: &RunConfig,
+        alice: FA,
+        bob: FB,
+    ) -> Result<RunOutcome<A, B>, ProtocolError>
+    where
+        FA: FnOnce(&mut Endpoint, &CoinSource) -> Result<A, ProtocolError>,
+        FB: FnOnce(&mut Endpoint, &CoinSource) -> Result<B, ProtocolError> + Send + 'static,
+        B: Send + 'static,
+    {
+        let parts = self.run_parts(cfg, alice, bob)?;
+        match (parts.alice, parts.bob) {
+            (Ok(alice), Ok(bob)) => Ok(RunOutcome {
+                alice,
+                bob,
+                report: parts.report,
+            }),
+            (Err(e), Ok(_)) | (Ok(_), Err(e)) => Err(e),
+            (Err(ea), Err(eb)) => Err(primary_error(ea, eb)),
+        }
+    }
+
+    fn broken_error(&self) -> ProtocolError {
+        ProtocolError::Internal("session runner worker thread died".to_string())
+    }
+}
+
+impl Drop for SessionRunner {
+    fn drop(&mut self) {
+        // Closing the job channel ends the worker loop; then join it.
+        self.job_tx.take();
+        if let Some(handle) = self.handle.take() {
+            let _ = handle.join();
         }
     }
 }
@@ -307,6 +598,156 @@ mod tests {
         )
         .unwrap_err();
         assert!(matches!(err, ProtocolError::BudgetExceeded { .. }));
+    }
+
+    #[test]
+    fn panicking_bob_is_contained_as_an_error() {
+        let err = run_two_party(
+            &RunConfig::with_seed(1),
+            |chan, _| {
+                chan.recv()?;
+                Ok(())
+            },
+            |_, _| -> Result<(), ProtocolError> { panic!("bob exploded") },
+        )
+        .unwrap_err();
+        assert_eq!(
+            err,
+            ProtocolError::Internal("bob panicked: bob exploded".into())
+        );
+    }
+
+    #[test]
+    fn panicking_alice_is_contained_as_an_error() {
+        let err = run_two_party(
+            &RunConfig::with_seed(1),
+            |_, _| -> Result<(), ProtocolError> { panic!("alice exploded") },
+            |chan, _| {
+                chan.recv()?;
+                Ok(())
+            },
+        )
+        .unwrap_err();
+        assert_eq!(
+            err,
+            ProtocolError::Internal("alice panicked: alice exploded".into())
+        );
+    }
+
+    #[test]
+    fn runner_matches_dedicated_runs_across_many_sessions() {
+        let mut runner = SessionRunner::start();
+        for seed in 0..50u64 {
+            let alice = move |chan: &mut Endpoint, _: &CoinSource| {
+                chan.send(bits((seed % 7 + 1) as usize))?;
+                let got = chan.recv()?;
+                chan.send(bits(got.len() + 1))?;
+                Ok(())
+            };
+            let bob = move |chan: &mut Endpoint, _: &CoinSource| {
+                let got = chan.recv()?;
+                chan.send(bits(got.len() + 2))?;
+                Ok(chan.recv()?.len())
+            };
+            let cfg = RunConfig::with_seed(seed);
+            let reused = runner.run(&cfg, alice, bob).unwrap();
+            let dedicated = run_two_party(&cfg, alice, bob).unwrap();
+            assert_eq!(reused.report, dedicated.report, "seed {seed}");
+            assert_eq!(reused.bob, dedicated.bob, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn runner_shares_coins_and_enforces_budgets() {
+        let mut runner = SessionRunner::start();
+        let out = runner
+            .run(
+                &RunConfig::with_seed(99),
+                |_, coins| {
+                    use rand::Rng;
+                    Ok(coins.rng_for("h").gen::<u64>())
+                },
+                |_, coins| {
+                    use rand::Rng;
+                    Ok(coins.rng_for("h").gen::<u64>())
+                },
+            )
+            .unwrap();
+        assert_eq!(out.alice, out.bob);
+
+        let err = runner
+            .run(
+                &RunConfig::with_seed(1).bit_budget(100),
+                |chan, _| -> Result<(), ProtocolError> {
+                    loop {
+                        chan.send(bits(64))?;
+                    }
+                },
+                |chan, _| -> Result<(), ProtocolError> {
+                    loop {
+                        chan.recv()?;
+                    }
+                },
+            )
+            .unwrap_err();
+        assert!(matches!(err, ProtocolError::BudgetExceeded { .. }));
+    }
+
+    #[test]
+    fn runner_survives_a_panicking_session_and_serves_the_next() {
+        let mut runner = SessionRunner::start();
+        let err = runner
+            .run(
+                &RunConfig::with_seed(1),
+                |chan, _| {
+                    chan.recv()?;
+                    Ok(())
+                },
+                |_, _| -> Result<(), ProtocolError> { panic!("poison attempt") },
+            )
+            .unwrap_err();
+        assert_eq!(
+            err,
+            ProtocolError::Internal("bob panicked: poison attempt".into())
+        );
+
+        // The same runner serves a clean session afterwards, from zeroed
+        // counters.
+        let out = runner
+            .run(
+                &RunConfig::with_seed(2),
+                |chan, _| {
+                    chan.send(bits(5))?;
+                    Ok(())
+                },
+                |chan, _| Ok(chan.recv()?.len()),
+            )
+            .unwrap();
+        assert_eq!(out.bob, 5);
+        assert_eq!(out.report.total_bits(), 5);
+        assert_eq!(out.report.rounds, 1);
+    }
+
+    #[test]
+    fn runner_parts_expose_the_surviving_half() {
+        let mut runner = SessionRunner::start();
+        let parts = runner
+            .run_parts(
+                &RunConfig::with_seed(3),
+                |chan, _| {
+                    chan.send(bits(4))?;
+                    Ok("alice done")
+                },
+                |chan, _| -> Result<usize, ProtocolError> {
+                    let got = chan.recv()?;
+                    chan.recv()?; // Alice sends nothing more: hangup
+                    Ok(got.len())
+                },
+            )
+            .unwrap();
+        assert_eq!(parts.alice.unwrap(), "alice done");
+        assert_eq!(parts.bob.unwrap_err(), ProtocolError::ChannelClosed);
+        assert_eq!(parts.report.bits_alice, 4);
     }
 
     #[test]

@@ -1,0 +1,174 @@
+//! Steady-state sessions allocate nothing on the message hot path.
+//!
+//! A counting global allocator wraps the system allocator and a
+//! [`SessionRunner`] serves ping-pong sessions. After warm-up (channel
+//! backbone capacity, spill-pool population), a measurement window of
+//! message exchanges — and even of whole sessions — must perform zero
+//! process-wide heap allocations: inline `BitBuf`s never touch the heap,
+//! and spilled ones recycle their words through the endpoint pair's
+//! pool. Lives in its own integration-test process so no sibling test
+//! can allocate mid-window.
+
+use intersect_comm::prelude::*;
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+struct Counting;
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for Counting {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static GLOBAL: Counting = Counting;
+
+fn count() -> u64 {
+    ALLOCS.load(Ordering::SeqCst)
+}
+
+fn payload(bits: usize, i: u64) -> BitBuf {
+    let mut m = BitBuf::with_capacity(bits);
+    let mut left = bits;
+    while left > 0 {
+        let take = left.min(64);
+        let v = if take == 64 {
+            i.wrapping_mul(0x9e37_79b9_7f4a_7c15)
+        } else {
+            i % (1 << take)
+        };
+        m.push_bits(v, take);
+        left -= take;
+    }
+    m
+}
+
+/// Runs one ping-pong session of `warmup + iters` exchanges and returns
+/// the allocation count across the measured `iters` window.
+fn measure_message_window(runner: &mut SessionRunner, bits: usize, iters: u64) -> u64 {
+    const WARMUP: u64 = 64;
+    let out = runner
+        .run(
+            &RunConfig::with_seed(1),
+            move |chan: &mut Endpoint, _: &CoinSource| {
+                for i in 0..WARMUP {
+                    chan.send(payload(bits, i))?;
+                    chan.recv()?;
+                }
+                let a0 = count();
+                for i in 0..iters {
+                    chan.send(payload(bits, i))?;
+                    let echoed = chan.recv()?;
+                    assert_eq!(echoed.len(), bits);
+                }
+                Ok(count() - a0)
+            },
+            move |chan: &mut Endpoint, _: &CoinSource| {
+                for _ in 0..(WARMUP + iters) {
+                    let m = chan.recv()?;
+                    chan.send(m)?;
+                }
+                Ok(())
+            },
+        )
+        .expect("ping-pong session");
+    out.alice
+}
+
+// One test function, not several: the allocation counter is
+// process-wide, and sibling tests in the same binary run concurrently.
+#[test]
+fn steady_state_messages_and_sessions_allocate_nothing() {
+    let mut runner = SessionRunner::start();
+
+    // One throwaway session to establish the runner's own control
+    // backbone (job/ready/done channel capacity) — a first-ever session
+    // allocates there, concurrently with the measurement window.
+    runner
+        .run(
+            &RunConfig::with_seed(0),
+            |chan: &mut Endpoint, _: &CoinSource| {
+                let mut m = BitBuf::new();
+                m.push_bit(true);
+                chan.send(m)?;
+                Ok(())
+            },
+            |chan: &mut Endpoint, _: &CoinSource| {
+                chan.recv()?;
+                Ok(())
+            },
+        )
+        .expect("runner warmup");
+
+    // ≤ INLINE_BITS: messages must allocate nothing — this is the
+    // headline zero-allocation contract, with no warm-up caveats beyond
+    // the channel backbone itself.
+    for bits in [1, 8, 64, 127, INLINE_BITS] {
+        let n = measure_message_window(&mut runner, bits, 2_000);
+        assert_eq!(
+            n, 0,
+            "{bits}-bit messages performed {n} allocations over 2000 exchanges"
+        );
+    }
+
+    // > INLINE_BITS: spilled messages recycle through the endpoint
+    // pair's pool, so the steady state is also allocation-free.
+    for bits in [INLINE_BITS + 1, 512, 4096] {
+        let n = measure_message_window(&mut runner, bits, 2_000);
+        assert_eq!(
+            n, 0,
+            "{bits}-bit (spilled) messages performed {n} allocations over 2000 exchanges"
+        );
+    }
+
+    // Whole sessions: after a warm-up, a reused runner serves complete
+    // handshake sessions without a single allocation.
+    let handshake_alice = |chan: &mut Endpoint, _: &CoinSource| {
+        let mut m = BitBuf::with_capacity(32);
+        m.push_bits(0xdead_beef, 32);
+        chan.send(m)?;
+        Ok(chan.recv()?.reader().read_bits(32)?)
+    };
+    let handshake_bob = |chan: &mut Endpoint, _: &CoinSource| {
+        let got = chan.recv()?;
+        chan.send(got)?;
+        Ok(())
+    };
+    for seed in 0..64 {
+        runner
+            .run(&RunConfig::with_seed(seed), handshake_alice, handshake_bob)
+            .expect("warmup handshake");
+    }
+    let a0 = count();
+    for seed in 0..200 {
+        let out = runner
+            .run(&RunConfig::with_seed(seed), handshake_alice, handshake_bob)
+            .expect("handshake");
+        assert_eq!(out.alice, 0xdead_beef);
+    }
+    let n = count() - a0;
+    assert_eq!(n, 0, "200 steady-state sessions performed {n} allocations");
+
+    // Sanity check that the counter observes this process: a plain heap
+    // allocation is counted.
+    let a0 = count();
+    let v: Vec<u64> = Vec::with_capacity(32);
+    assert!(
+        count() > a0,
+        "allocator counter failed to observe Vec::with_capacity"
+    );
+    drop(v);
+}

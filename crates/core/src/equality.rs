@@ -184,7 +184,8 @@ impl EqualityTest {
             .collect();
         match side {
             Side::Alice => {
-                let mut msg = BitBuf::new();
+                let mut msg =
+                    BitBuf::with_capacity(fingerprints.iter().map(BitBuf::len).sum::<usize>());
                 for fp in &fingerprints {
                     msg.extend_from(fp);
                 }

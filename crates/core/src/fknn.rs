@@ -172,7 +172,13 @@ impl AmortizedEquality {
         alive: &[usize],
         bits: usize,
     ) -> Result<bool, ProtocolError> {
-        let mut concat = BitBuf::new();
+        // Size once up front: the γ₀ prefix of a length ℓ item costs at
+        // most 2·bitlen(ℓ+1)+1 bits.
+        let cap: usize = alive
+            .iter()
+            .map(|&idx| items[idx].len() + 2 * (usize::BITS as usize) + 1)
+            .sum();
+        let mut concat = BitBuf::with_capacity(cap);
         for &idx in alive {
             // Length-prefix each item so concatenations are unambiguous.
             intersect_comm::encode::put_gamma0(&mut concat, items[idx].len() as u64);
@@ -213,7 +219,7 @@ impl AmortizedEquality {
             .collect();
         match side {
             Side::Alice => {
-                let mut msg = BitBuf::new();
+                let mut msg = BitBuf::with_capacity(fps.len() * ELIM_BITS);
                 for fp in &fps {
                     msg.extend_from(fp);
                 }
@@ -234,7 +240,7 @@ impl AmortizedEquality {
             Side::Bob => {
                 let theirs = chan.recv()?;
                 let mut r = theirs.reader();
-                let mut mask = BitBuf::new();
+                let mut mask = BitBuf::with_capacity(fps.len());
                 let mut dead = Vec::new();
                 for (i, fp) in fps.iter().enumerate() {
                     let other = r.read_buf(ELIM_BITS)?;

@@ -1,45 +1,35 @@
 //! The session scheduler: many concurrent two-party sessions on a
-//! bounded worker pool.
+//! bounded pool of reusable session runners.
 //!
 //! # Architecture
 //!
 //! ```text
 //! submit ──▶ [admission queue, bounded] ──▶ dispatcher ──▶ [work queue] ──▶ W workers
-//!                 │ full? Rejected              │ gates in-flight ≤ M
-//!                 ▼                             ▼
-//!             registry.rejected            half-tasks, enqueued adjacently
+//!                 │ full? Rejected              │ gates in-flight ≤ M        │
+//!                 ▼                             ▼                            ▼
+//!             registry.rejected          whole sessions, FIFO      one SessionRunner each
 //! ```
 //!
-//! Each admitted session becomes **two half-tasks** — Alice's side and
-//! Bob's side of the same protocol run, connected by the same metered
-//! endpoint pair a dedicated [`run_two_party`] call would use — so a
-//! pool of `W` workers multiplexes up to `⌊W/2⌋`-plus-change sessions
-//! without a thread per session.
-//!
-//! # Deadlock freedom
-//!
-//! A half-task blocks inside `recv` until its peer half runs, so naive
-//! scheduling can deadlock (every worker holding a first half). Two
-//! invariants rule that out:
-//!
-//! 1. the dispatcher enqueues the two halves of a session **adjacently**
-//!    into a strict-FIFO work queue, so the set of claimed half-tasks is
-//!    always a queue prefix, which can contain at most one session with
-//!    only one half claimed; and
-//! 2. the pool has at least two workers, so any claimed prefix contains
-//!    a fully-claimed session, which runs to completion (protocol
-//!    timeouts backstop it) and frees a worker to claim the missing
-//!    half at the queue head.
+//! Each worker owns a long-lived [`SessionRunner`]: Alice's half runs on
+//! the worker thread itself and Bob's half on the runner's paired
+//! thread, over a channel pair that is *reset* between sessions rather
+//! than rebuilt. Steady state therefore spawns **zero threads and
+//! builds zero channels per session** — the overhead that dominated the
+//! old spawn-per-session path — and a panicking protocol is contained
+//! by the runner instead of poisoning the pool. Since a worker always
+//! executes a whole session (both halves paired by construction), no
+//! scheduling order can deadlock.
 //!
 //! # Determinism
 //!
-//! Session substrate comes from [`linked_pair`] and costs from
-//! [`assemble_report`] — the exact constructor and fold used by
-//! [`run_two_party`] — and every session gets its own [`CoinSource`]
-//! derived from its request seed, never shared across sessions. A
-//! session served by the engine is therefore bit-for-bit identical to
-//! the same request served by a dedicated `execute` call, and the
-//! deterministic half of the registry is independent of worker count.
+//! A runner session is built from the same primitives as a dedicated
+//! [`intersect_comm::runner::run_two_party`] call — endpoint pairs with
+//! identical metering, a per-session [`CoinSource`] derived from the
+//! request seed, costs folded by [`intersect_comm::runner::assemble_report`]
+//! — so a session
+//! served by the engine is bit-for-bit identical to the same request
+//! served by a dedicated `execute` call, and the deterministic half of
+//! the registry is independent of worker count.
 
 use crate::registry::{EngineSnapshot, Registry};
 use crate::request::SessionRequest;
@@ -48,13 +38,13 @@ use crossbeam_channel::{bounded, unbounded, Receiver, Sender, TrySendError};
 use intersect_comm::chan::{Chan, Endpoint};
 use intersect_comm::coins::CoinSource;
 use intersect_comm::error::ProtocolError;
-use intersect_comm::runner::{assemble_report, linked_pair, RunConfig, Side};
+use intersect_comm::runner::{primary_error, RunConfig, SessionRunner, Side};
 use intersect_comm::stats::{ChannelStats, CostReport};
 use intersect_comm::trace::{Direction, PhaseSummary, Traced};
 use intersect_core::api::{ProtocolChoice, SetIntersection};
 use intersect_core::sets::ElementSet;
 use intersect_obs as obs;
-use std::sync::{Arc, Mutex};
+use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Instant;
 
@@ -186,109 +176,20 @@ pub struct EngineReport {
     pub outcomes: Vec<SessionOutcome>,
 }
 
-/// One side of one session, ready to run on any worker.
-struct HalfTask {
-    side: Side,
-    endpoint: Endpoint,
-    input: ElementSet,
-    coins: CoinSource,
-    shared: Arc<SessionShared>,
-}
-
-/// The result of running one half.
-struct HalfDone {
-    side: Side,
-    result: Result<ElementSet, ProtocolError>,
-    stats: ChannelStats,
-    events: Option<Vec<intersect_comm::trace::TraceEvent>>,
-}
-
-/// State the two halves of a session share; whichever half finishes
-/// second assembles the outcome.
-struct SessionShared {
+/// One admitted session, ready to run whole on any worker.
+struct SessionTask {
     request: SessionRequest,
     choice: ProtocolChoice,
     protocol: Arc<dyn SetIntersection>,
-    admitted_at: Instant,
     traced: bool,
-    first_half: Mutex<Option<HalfDone>>,
+    admitted_at: Instant,
+}
+
+/// Everything a worker needs besides its runner and the work queue.
+struct WorkerCtx {
     registry: Arc<Registry>,
     outcome_tx: Sender<SessionOutcome>,
     done_tx: Sender<()>,
-}
-
-impl SessionShared {
-    fn complete(&self, half: HalfDone) {
-        let earlier = {
-            let mut cell = self.first_half.lock().expect("session cell poisoned");
-            match cell.take() {
-                None => {
-                    *cell = Some(half);
-                    return;
-                }
-                Some(earlier) => earlier,
-            }
-        };
-        self.finish(earlier, half);
-    }
-
-    fn finish(&self, one: HalfDone, two: HalfDone) {
-        let (a, b) = if one.side.is_alice() {
-            (one, two)
-        } else {
-            (two, one)
-        };
-        debug_assert!(a.side.is_alice() && b.side == Side::Bob);
-        let report = assemble_report(a.stats, b.stats);
-        let error = match (&a.result, &b.result) {
-            (Ok(_), Ok(_)) => None,
-            (Err(e), Ok(_)) | (Ok(_), Err(e)) => Some(e.clone()),
-            (Err(ea), Err(eb)) => {
-                // Same tie-break as run_two_party: the root cause beats a
-                // secondary hangup/timeout on the other side.
-                let secondary = |e: &ProtocolError| {
-                    matches!(e, ProtocolError::ChannelClosed | ProtocolError::Timeout)
-                };
-                if secondary(ea) && !secondary(eb) {
-                    Some(eb.clone())
-                } else {
-                    Some(ea.clone())
-                }
-            }
-        };
-        let trace = a.events.as_deref().map(round_summaries);
-        let outcome = SessionOutcome {
-            request: self.request.clone(),
-            protocol: self.choice,
-            protocol_name: self.protocol.name(),
-            alice: a.result.ok(),
-            bob: b.result.ok(),
-            error,
-            report,
-            latency_micros: self.admitted_at.elapsed().as_micros() as u64,
-            trace,
-        };
-        self.registry.record_outcome(
-            &outcome.protocol_name,
-            &report,
-            outcome.succeeded(),
-            outcome.latency_micros,
-        );
-        if outcome.succeeded() {
-            lifecycle("complete", self.request.id);
-            obs::counter_add("engine_sessions_completed", 1);
-        } else {
-            lifecycle("fail", self.request.id);
-            obs::counter_add("engine_sessions_failed", 1);
-        }
-        obs::counter_add("engine_bits_total", report.total_bits());
-        obs::observe("engine_session_latency_micros", outcome.latency_micros);
-        obs::observe("engine_session_bits", report.total_bits());
-        obs::gauge_add("engine_in_flight", -1);
-        let _ = self.outcome_tx.send(outcome);
-        // The dispatcher may already be gone during drain; that's fine.
-        let _ = self.done_tx.send(());
-    }
 }
 
 /// Folds a raw event log into per-round bit totals for the debug dump.
@@ -317,54 +218,125 @@ fn round_summaries(events: &[intersect_comm::trace::TraceEvent]) -> Vec<PhaseSum
     out
 }
 
-fn run_half(task: HalfTask) {
-    let HalfTask {
-        side,
-        endpoint,
-        input,
-        coins,
-        shared,
-    } = task;
-    let spec = shared.request.spec;
-    // Attribute everything this half emits — the session span, the
-    // protocol's phase spans, every per-message event — to its session
-    // and party. The span's delta is the endpoint's final stats, so the
-    // two session spans of a session sum to exactly its CostReport.
+/// Opens the per-half instrumentation exactly as the dedicated path
+/// would see it: a session scope attributing every emission to the
+/// session and party, the busy gauge, and the half's "session" span.
+/// Returns the scope guard and the open span; the caller finishes the
+/// span with the endpoint's final stats so the two session spans of a
+/// session sum to exactly its [`CostReport`].
+fn half_span(session: u64, side: Side) -> (obs::phase::SessionScope, obs::phase::SpanGuard) {
     let party = if side.is_alice() {
         obs::Party::Alice
     } else {
         obs::Party::Bob
     };
-    let _scope = obs::phase::SessionScope::enter(shared.request.id, party);
+    let scope = obs::phase::SessionScope::enter(session, party);
     obs::gauge_add("engine_workers_busy", 1);
-    let session_span = obs::phase::span("engine", "session");
-    let (result, stats, events) = if shared.traced && side.is_alice() {
-        let mut traced = Traced::new(endpoint);
-        let result = shared.protocol.run(&mut traced, &coins, side, spec, &input);
-        let stats = traced.stats();
-        (result, stats, Some(traced.into_events()))
-    } else {
-        let mut endpoint = endpoint;
-        let result = shared
-            .protocol
-            .run(&mut endpoint, &coins, side, spec, &input);
-        let stats = endpoint.stats();
-        (result, stats, None)
-        // endpoint drops here, so a peer blocked mid-protocol sees a
-        // hangup instead of waiting out the timeout.
-    };
-    session_span.finish(obs::CostDelta {
+    (scope, obs::phase::span("engine", "session"))
+}
+
+fn finish_half_span(span: obs::phase::SpanGuard, stats: ChannelStats) {
+    span.finish(obs::CostDelta {
         bits_sent: stats.bits_sent,
         bits_received: stats.bits_received,
         rounds: stats.clock,
     });
     obs::gauge_add("engine_workers_busy", -1);
-    shared.complete(HalfDone {
-        side,
-        result,
-        stats,
-        events,
-    });
+}
+
+/// Runs one whole session on this worker's reusable runner and emits
+/// its outcome.
+fn run_session(runner: &mut SessionRunner, task: SessionTask, ctx: &WorkerCtx) {
+    let SessionTask {
+        request,
+        choice,
+        protocol,
+        traced,
+        admitted_at,
+    } = task;
+    let spec = request.spec;
+    let id = request.id;
+    let pair = request.input_pair();
+    let cfg = RunConfig::with_seed(request.seed);
+
+    // Alice's half runs on this thread, so it can hand the trace log out
+    // through a captured slot; Bob's half runs on the runner's paired
+    // thread and owns its captures.
+    let mut trace_events: Option<Vec<intersect_comm::trace::TraceEvent>> = None;
+    let alice_input = pair.s;
+    let bob_input = pair.t;
+    let protocol_a = Arc::clone(&protocol);
+    let protocol_b = Arc::clone(&protocol);
+    let events_slot = &mut trace_events;
+
+    let parts = runner.run_parts(
+        &cfg,
+        move |ep: &mut Endpoint, coins: &CoinSource| {
+            let (_scope, span) = half_span(id, Side::Alice);
+            let (result, stats) = if traced {
+                let mut tr = Traced::new(ep);
+                let result = protocol_a.run(&mut tr, coins, Side::Alice, spec, &alice_input);
+                let stats = tr.stats();
+                *events_slot = Some(tr.into_events());
+                (result, stats)
+            } else {
+                let result = protocol_a.run(ep, coins, Side::Alice, spec, &alice_input);
+                (result, ep.stats())
+            };
+            finish_half_span(span, stats);
+            result
+        },
+        move |ep: &mut Endpoint, coins: &CoinSource| {
+            let (_scope, span) = half_span(id, Side::Bob);
+            let result = protocol_b.run(ep, coins, Side::Bob, spec, &bob_input);
+            finish_half_span(span, ep.stats());
+            result
+        },
+    );
+
+    let (res_a, res_b, report) = match parts {
+        Ok(parts) => (parts.alice, parts.bob, parts.report),
+        // Runner infrastructure failure: both halves share the blame and
+        // no bits were reliably metered.
+        Err(e) => (Err(e.clone()), Err(e), CostReport::default()),
+    };
+    let error = match (&res_a, &res_b) {
+        (Ok(_), Ok(_)) => None,
+        (Err(e), Ok(_)) | (Ok(_), Err(e)) => Some(e.clone()),
+        (Err(ea), Err(eb)) => Some(primary_error(ea.clone(), eb.clone())),
+    };
+    let trace = trace_events.as_deref().map(round_summaries);
+    let outcome = SessionOutcome {
+        request,
+        protocol: choice,
+        protocol_name: protocol.name(),
+        alice: res_a.ok(),
+        bob: res_b.ok(),
+        error,
+        report,
+        latency_micros: admitted_at.elapsed().as_micros() as u64,
+        trace,
+    };
+    ctx.registry.record_outcome(
+        &outcome.protocol_name,
+        &report,
+        outcome.succeeded(),
+        outcome.latency_micros,
+    );
+    if outcome.succeeded() {
+        lifecycle("complete", outcome.request.id);
+        obs::counter_add("engine_sessions_completed", 1);
+    } else {
+        lifecycle("fail", outcome.request.id);
+        obs::counter_add("engine_sessions_failed", 1);
+    }
+    obs::counter_add("engine_bits_total", report.total_bits());
+    obs::observe("engine_session_latency_micros", outcome.latency_micros);
+    obs::observe("engine_session_bits", report.total_bits());
+    obs::gauge_add("engine_in_flight", -1);
+    let _ = ctx.outcome_tx.send(outcome);
+    // The dispatcher may already be gone during drain; that's fine.
+    let _ = ctx.done_tx.send(());
 }
 
 /// A running session engine. Submit requests from any thread; call
@@ -403,7 +375,7 @@ impl Engine {
         let workers = config.workers.max(2);
         let max_in_flight = config.max_in_flight.max(1);
         let (admit_tx, admit_rx) = bounded::<SessionRequest>(config.queue_capacity.max(1));
-        let (work_tx, work_rx) = unbounded::<HalfTask>();
+        let (work_tx, work_rx) = unbounded::<SessionTask>();
         let (outcome_tx, outcome_rx) = unbounded::<SessionOutcome>();
         let (done_tx, done_rx) = unbounded::<()>();
         let registry = Arc::new(Registry::default());
@@ -411,9 +383,17 @@ impl Engine {
         let worker_handles: Vec<JoinHandle<()>> = (0..workers)
             .map(|_| {
                 let work_rx = work_rx.clone();
+                let ctx = WorkerCtx {
+                    registry: Arc::clone(&registry),
+                    outcome_tx: outcome_tx.clone(),
+                    done_tx: done_tx.clone(),
+                };
                 std::thread::spawn(move || {
+                    // Each worker owns one reusable runner for its whole
+                    // life: zero thread spawns per session in steady state.
+                    let mut runner = SessionRunner::start();
                     for task in work_rx.iter() {
-                        run_half(task);
+                        run_session(&mut runner, task, &ctx);
                     }
                 })
             })
@@ -421,7 +401,6 @@ impl Engine {
         drop(work_rx);
 
         let dispatcher = {
-            let registry = Arc::clone(&registry);
             let policy = config.policy;
             let debug_session = config.debug_session;
             std::thread::spawn(move || {
@@ -439,35 +418,14 @@ impl Engine {
                     lifecycle("route", request.id);
                     obs::gauge_add("engine_in_flight", 1);
                     let protocol: Arc<dyn SetIntersection> = Arc::from(choice.build(request.spec));
-                    let pair = request.input_pair();
-                    // The same substrate constructor run_two_party uses,
-                    // seeded per session: bit-for-bit parity with a
-                    // dedicated single-session run.
-                    let (ep_a, ep_b, coins) = linked_pair(&RunConfig::with_seed(request.seed));
-                    let shared = Arc::new(SessionShared {
+                    let task = SessionTask {
                         traced: debug_session == Some(request.id),
                         request,
                         choice,
                         protocol,
                         admitted_at: Instant::now(),
-                        first_half: Mutex::new(None),
-                        registry: Arc::clone(&registry),
-                        outcome_tx: outcome_tx.clone(),
-                        done_tx: done_tx.clone(),
-                    });
-                    // Both halves enqueued adjacently: see the module docs
-                    // on deadlock freedom.
-                    let half = |side: Side, endpoint, input| HalfTask {
-                        side,
-                        endpoint,
-                        input,
-                        coins: coins.clone(),
-                        shared: Arc::clone(&shared),
                     };
-                    if work_tx.send(half(Side::Alice, ep_a, pair.s)).is_err() {
-                        return;
-                    }
-                    if work_tx.send(half(Side::Bob, ep_b, pair.t)).is_err() {
+                    if work_tx.send(task).is_err() {
                         return;
                     }
                     in_flight += 1;

@@ -16,4 +16,8 @@ cargo test -q --workspace
 echo "==> cargo build --examples"
 cargo build -q --workspace --examples
 
+echo "==> throughput bench smoke (--quick)"
+cargo run -q --release -p intersect-bench --bin throughput -- --quick --out /tmp/throughput_smoke.json
+rm -f /tmp/throughput_smoke.json
+
 echo "==> all checks passed"
