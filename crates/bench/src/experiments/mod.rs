@@ -7,6 +7,7 @@ pub mod engine_exp;
 pub mod equality_exp;
 pub mod multiparty_exp;
 pub mod obs_exp;
+pub mod serve_exp;
 pub mod throughput_exp;
 pub mod two_party;
 
@@ -122,6 +123,11 @@ pub fn all() -> Vec<Experiment> {
             run: throughput_exp::e18,
         },
         Experiment {
+            id: "E19",
+            claim: "Telemetry plane: scrape-under-load changes zero bits; 100% envelope pass rate",
+            run: serve_exp::e19,
+        },
+        Experiment {
             id: "A1",
             claim: "Ablation: iterated-log degree schedule vs uniform tree",
             run: ablations::a1,
@@ -158,7 +164,7 @@ mod tests {
         let ids: Vec<&str> = all().iter().map(|e| e.id).collect();
         for want in [
             "E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "E12", "E13",
-            "E14", "E15", "E16", "E17", "E18", "A1", "A2", "A3", "A4",
+            "E14", "E15", "E16", "E17", "E18", "E19", "A1", "A2", "A3", "A4",
         ] {
             assert!(ids.contains(&want), "missing {want}");
         }

@@ -1,0 +1,222 @@
+//! E19: the live telemetry plane under load — scraping the embedded
+//! HTTP server while the engine serves a batch changes zero
+//! communication bits, costs bounded wall-clock, and the online
+//! conformance monitor passes 100 % of honest sessions (and flags a
+//! deliberately tightened envelope).
+
+use crate::table::{fmt_bits, Table};
+use intersect_core::sets::ProblemSpec;
+use intersect_engine::prelude::*;
+use intersect_engine::EngineConfig;
+use intersect_obs as obs;
+use intersect_obs::conformance::ConformanceConfig;
+use intersect_obs::serve::http_get;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// The same mixed-shape batch across every arm so the deterministic
+/// totals must come out identical whether or not anyone is scraping.
+fn batch(sessions: u64) -> Vec<SessionRequest> {
+    let shapes = [
+        (1u64 << 18, 16u64),
+        (1 << 18, 32),
+        (1 << 20, 64),
+        (1 << 20, 32),
+    ];
+    (0..sessions)
+        .map(|id| {
+            let (n, k) = shapes[(id % shapes.len() as u64) as usize];
+            let mut req = SessionRequest::new(id, ProblemSpec::new(n, k), (k / 3) as usize);
+            req.seed = id.wrapping_mul(0xE19) + 1;
+            req
+        })
+        .collect()
+}
+
+/// What one arm of the experiment produced.
+struct ArmResult {
+    total_bits: u64,
+    wall_secs: f64,
+    completed: u64,
+    checked: u64,
+    violations: u64,
+    scrapes: u64,
+}
+
+/// Runs one batch with conformance checking on, optionally behind a live
+/// telemetry server scraped on a collector-like cadence.
+fn run_arm(sessions: u64, scrape: bool, config: ConformanceConfig) -> ArmResult {
+    let sub = obs::Subscriber::new();
+    let _guard = sub.install();
+    let mut engine_config = EngineConfig::new(4);
+    engine_config.conformance = Some(config);
+    let engine = Engine::start(engine_config);
+
+    let (server, scraper, stop, scrapes) = if scrape {
+        let watch = engine.watch();
+        let health = engine
+            .conformance_monitor()
+            .map(|m| m.health())
+            .unwrap_or_default();
+        let metrics_sub = sub.clone();
+        let profile_sub = sub.clone();
+        let sources = obs::Sources {
+            metrics: Box::new(move || {
+                obs::export::prometheus_with_help(
+                    &metrics_sub.metrics().snapshot(),
+                    &metrics_sub.metrics().help_snapshot(),
+                )
+            }),
+            sessions: Box::new(move || watch.sessions_json()),
+            profile: Box::new(move |w| obs::folded::folded_stacks(&profile_sub.events(), w)),
+            health,
+        };
+        let server = obs::TelemetryServer::start("127.0.0.1:0", sources).expect("bind");
+        let addr = server.local_addr();
+        let stop = Arc::new(AtomicBool::new(false));
+        let scrapes = Arc::new(AtomicU64::new(0));
+        let stop_flag = Arc::clone(&stop);
+        let scrape_count = Arc::clone(&scrapes);
+        let scraper = std::thread::spawn(move || {
+            // A collector's cadence, compressed: a real scraper polls
+            // every 15 s against jobs that run for hours, so even 10 ms
+            // between scrapes of a ~100 ms workload is generous. A busy
+            // loop would instead measure client-side CPU contention
+            // (scraper and engine share this machine's cores), which is
+            // not the serving cost the claim is about.
+            let paths = ["/metrics", "/healthz", "/sessions", "/profile?weight=bits"];
+            let mut i = 0usize;
+            while !stop_flag.load(Ordering::Relaxed) {
+                if http_get(addr, paths[i % paths.len()]).is_ok() {
+                    scrape_count.fetch_add(1, Ordering::Relaxed);
+                }
+                i += 1;
+                std::thread::sleep(std::time::Duration::from_millis(10));
+            }
+        });
+        (Some(server), Some(scraper), Some(stop), Some(scrapes))
+    } else {
+        (None, None, None, None)
+    };
+
+    let start = Instant::now();
+    for req in batch(sessions) {
+        engine.submit(req).expect("engine is accepting");
+    }
+    let report = engine.finish();
+    let wall = start.elapsed().as_secs_f64();
+
+    if let Some(stop) = &stop {
+        stop.store(true, Ordering::Relaxed);
+    }
+    if let Some(handle) = scraper {
+        handle.join().expect("scraper thread");
+    }
+    drop(server);
+
+    let conf = report.conformance.expect("conformance configured");
+    ArmResult {
+        total_bits: report.snapshot.metrics.total_bits,
+        wall_secs: wall,
+        completed: report.snapshot.metrics.completed,
+        checked: conf.checked,
+        violations: conf.violation_count,
+        scrapes: scrapes.map(|s| s.load(Ordering::Relaxed)).unwrap_or(0),
+    }
+}
+
+/// E19 — scrape-under-load: a collector hammering all four endpoints
+/// while the engine serves a batch changes zero bits (asserted), costs a
+/// bounded wall-clock overhead, and the conformance monitor passes every
+/// honest session. A deliberately tightened envelope (slack 0.01) flags
+/// the same workload, proving the monitor can fail.
+pub fn e19(quick: bool) -> Vec<Table> {
+    let sessions = if quick { 80 } else { 400 };
+
+    let mut overhead = Table::new(
+        "E19a — telemetry scrape under load (claim: scraping the live \
+         plane changes zero communication bits and costs a small, bounded \
+         wall-clock overhead)",
+        &[
+            "sessions",
+            "bits idle",
+            "bits scraped",
+            "identical",
+            "wall ms idle",
+            "wall ms scraped",
+            "overhead",
+            "scrapes",
+        ],
+    );
+    // Untimed warm-up so neither arm pays first-touch costs; then take
+    // each arm's best of several repetitions, since a sub-second wall
+    // measurement carries scheduler noise far above the effect size.
+    let reps = if quick { 2 } else { 3 };
+    run_arm(sessions.min(20), false, ConformanceConfig::default());
+    let best = |scrape: bool| {
+        (0..reps)
+            .map(|_| run_arm(sessions, scrape, ConformanceConfig::default()))
+            .min_by(|a, b| a.wall_secs.total_cmp(&b.wall_secs))
+            .expect("at least one rep")
+    };
+    let idle = best(false);
+    let scraped = best(true);
+    assert_eq!(
+        idle.total_bits, scraped.total_bits,
+        "scraping must not change communication"
+    );
+    assert!(
+        scraped.scrapes > 0,
+        "the scraper must actually reach the server"
+    );
+    overhead.push_row(vec![
+        sessions.to_string(),
+        fmt_bits(idle.total_bits as f64),
+        fmt_bits(scraped.total_bits as f64),
+        "yes".to_string(),
+        format!("{:.0}", idle.wall_secs * 1e3),
+        format!("{:.0}", scraped.wall_secs * 1e3),
+        format!(
+            "{:+.1}%",
+            (scraped.wall_secs - idle.wall_secs) / idle.wall_secs * 100.0
+        ),
+        scraped.scrapes.to_string(),
+    ]);
+
+    let mut conformance = Table::new(
+        "E19b — online conformance (claim: every honest session passes its \
+         calibrated envelope at default slack; a near-zero slack flags the \
+         same workload, so the monitor is live)",
+        &["slack", "sessions checked", "violations", "pass rate"],
+    );
+    // Every successfully completed session was checked, and every check
+    // passed: the 100 % envelope pass rate is asserted, not just shown.
+    assert_eq!(scraped.checked, scraped.completed);
+    assert_eq!(
+        scraped.violations, 0,
+        "honest sessions must pass at default slack"
+    );
+    conformance.push_row(vec![
+        "default (3x/4x)".to_string(),
+        scraped.checked.to_string(),
+        scraped.violations.to_string(),
+        "100%".to_string(),
+    ]);
+    let tight = run_arm(sessions.min(40), false, ConformanceConfig::with_slack(0.01));
+    assert!(
+        tight.violations > 0,
+        "a 0.01-slack envelope must flag honest traffic"
+    );
+    conformance.push_row(vec![
+        "0.01 (deliberate)".to_string(),
+        tight.checked.to_string(),
+        tight.violations.to_string(),
+        format!(
+            "{:.0}%",
+            (1.0 - tight.violations.min(tight.checked) as f64 / tight.checked as f64) * 100.0
+        ),
+    ]);
+
+    vec![overhead, conformance]
+}

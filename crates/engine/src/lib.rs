@@ -55,15 +55,17 @@ pub mod request;
 pub mod router;
 pub mod scheduler;
 
-pub use registry::{EngineMetrics, EngineSnapshot, LatencySummary, ProtocolTally};
+pub use registry::{
+    EngineMetrics, EngineSnapshot, EngineWatch, LatencySummary, ProtocolTally, SessionSummary,
+};
 pub use request::SessionRequest;
-pub use router::{route, RoutePolicy};
+pub use router::{route, theory_envelope, RoutePolicy};
 pub use scheduler::{Engine, EngineConfig, EngineReport, SessionOutcome, SubmitError};
 
 /// The most commonly used items, for glob import.
 pub mod prelude {
-    pub use crate::registry::{EngineMetrics, EngineSnapshot, LatencySummary};
+    pub use crate::registry::{EngineMetrics, EngineSnapshot, EngineWatch, LatencySummary};
     pub use crate::request::SessionRequest;
-    pub use crate::router::{route, RoutePolicy};
+    pub use crate::router::{route, theory_envelope, RoutePolicy};
     pub use crate::scheduler::{Engine, EngineConfig, EngineReport, SessionOutcome, SubmitError};
 }

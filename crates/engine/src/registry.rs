@@ -12,8 +12,12 @@
 use intersect_comm::stats::CostReport;
 use intersect_obs::LogHistogram;
 use serde::{Deserialize, Serialize};
-use std::collections::BTreeMap;
-use std::sync::Mutex;
+use std::collections::{BTreeMap, VecDeque};
+use std::sync::{Arc, Mutex};
+
+/// How many recently finished sessions the registry retains for the
+/// `/sessions` endpoint.
+const RECENT_CAP: usize = 64;
 
 /// Aggregate communication cost of all sessions served by one protocol.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
@@ -67,6 +71,24 @@ pub struct LatencySummary {
     pub p99_micros: u64,
     /// Slowest session.
     pub max_micros: u64,
+}
+
+/// A one-line record of a finished session, retained in a bounded ring
+/// for live introspection (`/sessions`).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SessionSummary {
+    /// Client-assigned session id.
+    pub id: u64,
+    /// Display name of the protocol that served it.
+    pub protocol: String,
+    /// Total bits on the wire.
+    pub bits: u64,
+    /// Round complexity.
+    pub rounds: u64,
+    /// Admission-to-outcome latency in microseconds.
+    pub latency_micros: u64,
+    /// `true` iff both parties finished and agreed.
+    pub ok: bool,
 }
 
 /// A point-in-time view of an engine's accounting.
@@ -183,6 +205,7 @@ pub(crate) struct Registry {
 struct RegistryInner {
     metrics: EngineMetrics,
     latency: LogHistogram,
+    recent: VecDeque<SessionSummary>,
 }
 
 impl Registry {
@@ -196,6 +219,7 @@ impl Registry {
 
     pub(crate) fn record_outcome(
         &self,
+        id: u64,
         protocol_name: &str,
         report: &CostReport,
         succeeded: bool,
@@ -216,6 +240,21 @@ impl Registry {
         tally.bits += report.total_bits();
         tally.max_rounds = tally.max_rounds.max(report.rounds);
         inner.latency.record(latency_micros);
+        if inner.recent.len() == RECENT_CAP {
+            inner.recent.pop_front();
+        }
+        inner.recent.push_back(SessionSummary {
+            id,
+            protocol: protocol_name.to_string(),
+            bits: report.total_bits(),
+            rounds: report.rounds,
+            latency_micros,
+            ok: succeeded,
+        });
+    }
+
+    pub(crate) fn recent(&self) -> Vec<SessionSummary> {
+        self.lock().recent.iter().cloned().collect()
     }
 
     pub(crate) fn snapshot(&self, workers: u64) -> EngineSnapshot {
@@ -239,6 +278,43 @@ impl Registry {
     }
 }
 
+/// A cloneable, `'static` handle onto a running (or finished) engine's
+/// registry: the snapshot API the telemetry plane scrapes while workers
+/// are still serving. Obtained from `Engine::watch`; stays valid after
+/// `Engine::finish` consumes the engine itself.
+#[derive(Debug, Clone)]
+pub struct EngineWatch {
+    pub(crate) registry: Arc<Registry>,
+    pub(crate) workers: u64,
+}
+
+impl EngineWatch {
+    /// A live [`EngineSnapshot`] (sessions may still be in flight).
+    pub fn snapshot(&self) -> EngineSnapshot {
+        self.registry.snapshot(self.workers)
+    }
+
+    /// The most recently finished sessions, oldest first (bounded ring).
+    pub fn recent_sessions(&self) -> Vec<SessionSummary> {
+        self.registry.recent()
+    }
+
+    /// The `/sessions` document: the live snapshot plus the recent-session
+    /// ring, as pretty-printed JSON.
+    pub fn sessions_json(&self) -> String {
+        #[derive(Serialize)]
+        struct SessionsDoc {
+            snapshot: EngineSnapshot,
+            recent: Vec<SessionSummary>,
+        }
+        serde_json::to_string_pretty(&SessionsDoc {
+            snapshot: self.snapshot(),
+            recent: self.recent_sessions(),
+        })
+        .expect("sessions document is serializable")
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -259,9 +335,9 @@ mod tests {
             reg.record_submitted();
         }
         reg.record_rejected();
-        reg.record_outcome("tree(r=2)", &sample_report(100, 6), true, 40);
-        reg.record_outcome("tree(r=2)", &sample_report(50, 8), true, 10);
-        reg.record_outcome("sqrt-fknn", &sample_report(30, 40), false, 90);
+        reg.record_outcome(0, "tree(r=2)", &sample_report(100, 6), true, 40);
+        reg.record_outcome(1, "tree(r=2)", &sample_report(50, 8), true, 10);
+        reg.record_outcome(2, "sqrt-fknn", &sample_report(30, 40), false, 90);
         let snap = reg.snapshot(4);
         assert_eq!(snap.workers, 4);
         assert_eq!(snap.metrics.submitted, 3);
@@ -292,10 +368,53 @@ mod tests {
     }
 
     #[test]
+    fn recent_ring_is_bounded_and_ordered() {
+        let reg = Registry::default();
+        for id in 0..(RECENT_CAP as u64 + 10) {
+            reg.record_outcome(id, "trivial", &sample_report(10, 2), true, 1);
+        }
+        let recent = reg.recent();
+        assert_eq!(recent.len(), RECENT_CAP);
+        assert_eq!(recent.first().unwrap().id, 10); // oldest evicted
+        assert_eq!(recent.last().unwrap().id, RECENT_CAP as u64 + 9);
+    }
+
+    #[test]
+    fn watch_serves_live_snapshots_and_sessions_json() {
+        let registry = Arc::new(Registry::default());
+        let watch = EngineWatch {
+            registry: Arc::clone(&registry),
+            workers: 4,
+        };
+        registry.record_submitted();
+        registry.record_outcome(7, "sqrt-fknn", &sample_report(96, 30), true, 55);
+        assert_eq!(watch.snapshot().metrics.completed, 1);
+        assert_eq!(watch.recent_sessions()[0].id, 7);
+        let json = watch.sessions_json();
+        let doc: serde_json::Value = serde_json::from_str(&json).unwrap();
+        let snapshot = doc.get("snapshot").expect("snapshot field");
+        assert_eq!(snapshot.get("workers").unwrap().as_u64(), Some(4));
+        let recent = match doc.get("recent").expect("recent field") {
+            serde_json::Value::Array(items) => items,
+            other => panic!("recent is not an array: {other:?}"),
+        };
+        assert_eq!(recent.len(), 1);
+        assert_eq!(
+            recent[0].get("protocol").unwrap().as_str(),
+            Some("sqrt-fknn")
+        );
+        assert_eq!(recent[0].get("bits").unwrap().as_u64(), Some(96));
+        assert!(matches!(
+            recent[0].get("ok"),
+            Some(serde_json::Value::Bool(true))
+        ));
+    }
+
+    #[test]
     fn snapshot_round_trips_through_json() {
         let reg = Registry::default();
         reg.record_submitted();
-        reg.record_outcome("trivial", &sample_report(64, 2), true, 5);
+        reg.record_outcome(0, "trivial", &sample_report(64, 2), true, 5);
         let snap = reg.snapshot(2);
         let json = snap.to_json();
         let back: EngineSnapshot = serde_json::from_str(&json).unwrap();
@@ -306,7 +425,7 @@ mod tests {
     fn markdown_tables_are_aligned() {
         let reg = Registry::default();
         reg.record_submitted();
-        reg.record_outcome("tree(r=2)", &sample_report(12345, 6), true, 77);
+        reg.record_outcome(0, "tree(r=2)", &sample_report(12345, 6), true, 77);
         let md = reg.snapshot(8).to_markdown();
         assert!(md.starts_with("### engine snapshot — 8 workers"));
         // Within each table, all pipe-rows have equal width (in chars:

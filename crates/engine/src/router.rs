@@ -9,6 +9,8 @@
 
 use crate::request::SessionRequest;
 use intersect_core::api::ProtocolChoice;
+use intersect_core::sets::ProblemSpec;
+use intersect_obs::conformance::{ConformanceConfig, Envelope};
 
 #[cfg(doc)]
 use intersect_core::prelude::PredictedCost;
@@ -83,10 +85,45 @@ pub fn route(request: &SessionRequest, policy: RoutePolicy) -> ProtocolChoice {
         .expect("catalogue is never empty")
 }
 
+/// Additive bits floor on every envelope. The cost model is purely
+/// multiplicative, but sessions carry fixed costs it does not model —
+/// length framing, and sketch minimums like the IBLT's smallest table —
+/// which dominate when the predicted cost is tiny (e.g. reconciliation
+/// at symmetric difference 1). One kilobit covers those without
+/// meaningfully loosening any envelope the model prices in the
+/// thousands of bits.
+const ENVELOPE_FLOOR_BITS: u64 = 1024;
+
+/// Additive rounds floor on every envelope (request/response framing).
+const ENVELOPE_FLOOR_ROUNDS: u64 = 2;
+
+/// Derives the calibrated theoretical envelope for one session: the
+/// cost model's prediction ([`PredictedCost`]) times the configured
+/// slack, plus the additive floors above so tiny instances (where fixed
+/// framing costs dominate) don't flap.
+///
+/// The conformance monitor checks every completed session's
+/// `CostReport` against this envelope; at default slack a violation
+/// means the implementation has drifted from the paper's bounds, not
+/// that the model was coarse.
+pub fn theory_envelope(
+    choice: ProtocolChoice,
+    protocol_name: &str,
+    spec: ProblemSpec,
+    overlap: Option<u64>,
+    config: ConformanceConfig,
+) -> Envelope {
+    let predicted = choice.predicted_cost(spec, overlap);
+    Envelope {
+        protocol: protocol_name.to_string(),
+        max_bits: (predicted.bits * config.bits_slack).ceil() as u64 + ENVELOPE_FLOOR_BITS,
+        max_rounds: (predicted.rounds * config.rounds_slack).ceil() as u64 + ENVELOPE_FLOOR_ROUNDS,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
-    use intersect_core::sets::ProblemSpec;
 
     #[test]
     fn fixed_policy_pins_the_protocol() {
@@ -101,6 +138,47 @@ mod tests {
         req.protocol = Some(ProtocolChoice::Sqrt);
         let got = route(&req, RoutePolicy::Fixed(ProtocolChoice::Basic));
         assert_eq!(got, ProtocolChoice::Sqrt);
+    }
+
+    #[test]
+    fn envelope_scales_with_slack_and_keeps_the_floor() {
+        let spec = ProblemSpec::new(1 << 20, 256);
+        let tight = theory_envelope(
+            ProtocolChoice::Sqrt,
+            "sqrt-fknn",
+            spec,
+            Some(0),
+            ConformanceConfig::with_slack(1.0),
+        );
+        let loose = theory_envelope(
+            ProtocolChoice::Sqrt,
+            "sqrt-fknn",
+            spec,
+            Some(0),
+            ConformanceConfig::with_slack(2.0),
+        );
+        assert_eq!(tight.protocol, "sqrt-fknn");
+        // Doubling the slack doubles the model term (up to ceil rounding);
+        // the additive floors are constant.
+        let doubled = 2 * (tight.max_bits - ENVELOPE_FLOOR_BITS);
+        assert!(loose.max_bits - ENVELOPE_FLOOR_BITS >= doubled.saturating_sub(2));
+        assert!(loose.max_bits - ENVELOPE_FLOOR_BITS <= doubled);
+        assert!(loose.max_rounds >= tight.max_rounds);
+        assert!(
+            tight.max_bits > 2 * ENVELOPE_FLOOR_BITS,
+            "model term must dominate the floor"
+        );
+
+        // Zero slack leaves only the floor: the deliberate-violation knob.
+        let zero = theory_envelope(
+            ProtocolChoice::Sqrt,
+            "sqrt-fknn",
+            spec,
+            Some(0),
+            ConformanceConfig::with_slack(0.0),
+        );
+        assert_eq!(zero.max_bits, ENVELOPE_FLOOR_BITS);
+        assert_eq!(zero.max_rounds, ENVELOPE_FLOOR_ROUNDS);
     }
 
     #[test]

@@ -31,9 +31,9 @@
 //! served by a dedicated `execute` call, and the deterministic half of
 //! the registry is independent of worker count.
 
-use crate::registry::{EngineSnapshot, Registry};
+use crate::registry::{EngineSnapshot, EngineWatch, Registry};
 use crate::request::SessionRequest;
-use crate::router::{route, RoutePolicy};
+use crate::router::{route, theory_envelope, RoutePolicy};
 use crossbeam_channel::{bounded, unbounded, Receiver, Sender, TrySendError};
 use intersect_comm::chan::{Chan, Endpoint};
 use intersect_comm::coins::CoinSource;
@@ -44,6 +44,7 @@ use intersect_comm::trace::{Direction, PhaseSummary, Traced};
 use intersect_core::api::{ProtocolChoice, SetIntersection};
 use intersect_core::sets::ElementSet;
 use intersect_obs as obs;
+use intersect_obs::conformance::{ConformanceConfig, ConformanceMonitor, ConformanceReport};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Instant;
@@ -83,6 +84,12 @@ pub struct EngineConfig {
     /// If set, the session with this id records a phase-by-phase bit
     /// breakdown (from Alice's perspective) into its outcome.
     pub debug_session: Option<u64>,
+    /// If set, every successful session's [`CostReport`] is checked
+    /// against its calibrated theory envelope (see
+    /// [`theory_envelope`]); violations are tallied on the engine's
+    /// [`ConformanceMonitor`] and surface through metrics, events, and
+    /// the shared [`Health`](obs::Health) flag.
+    pub conformance: Option<ConformanceConfig>,
 }
 
 impl EngineConfig {
@@ -95,6 +102,7 @@ impl EngineConfig {
             max_in_flight: workers,
             policy: RoutePolicy::default(),
             debug_session: None,
+            conformance: None,
         }
     }
 }
@@ -174,6 +182,9 @@ pub struct EngineReport {
     pub snapshot: EngineSnapshot,
     /// One outcome per admitted session.
     pub outcomes: Vec<SessionOutcome>,
+    /// Settled conformance tally, present iff the engine was started
+    /// with [`EngineConfig::conformance`] set.
+    pub conformance: Option<ConformanceReport>,
 }
 
 /// One admitted session, ready to run whole on any worker.
@@ -190,6 +201,7 @@ struct WorkerCtx {
     registry: Arc<Registry>,
     outcome_tx: Sender<SessionOutcome>,
     done_tx: Sender<()>,
+    conformance: Option<(ConformanceConfig, Arc<ConformanceMonitor>)>,
 }
 
 /// Folds a raw event log into per-round bit totals for the debug dump.
@@ -318,6 +330,7 @@ fn run_session(runner: &mut SessionRunner, task: SessionTask, ctx: &WorkerCtx) {
         trace,
     };
     ctx.registry.record_outcome(
+        outcome.request.id,
         &outcome.protocol_name,
         &report,
         outcome.succeeded(),
@@ -326,6 +339,18 @@ fn run_session(runner: &mut SessionRunner, task: SessionTask, ctx: &WorkerCtx) {
     if outcome.succeeded() {
         lifecycle("complete", outcome.request.id);
         obs::counter_add("engine_sessions_completed", 1);
+        // The report hook: every successful session is checked against
+        // its calibrated theory envelope the moment it settles.
+        if let Some((config, monitor)) = &ctx.conformance {
+            let envelope = theory_envelope(
+                outcome.protocol,
+                &outcome.protocol_name,
+                outcome.request.spec,
+                Some(outcome.request.overlap as u64),
+                *config,
+            );
+            monitor.check(&envelope, report.total_bits(), report.rounds);
+        }
     } else {
         lifecycle("fail", outcome.request.id);
         obs::counter_add("engine_sessions_failed", 1);
@@ -367,6 +392,59 @@ pub struct Engine {
     workers: usize,
     dispatcher: JoinHandle<()>,
     worker_handles: Vec<JoinHandle<()>>,
+    monitor: Option<Arc<ConformanceMonitor>>,
+}
+
+/// Registers `# HELP` texts for every metric the engine emits, so the
+/// Prometheus exposition is self-describing. No-op while no subscriber
+/// is installed.
+fn describe_engine_metrics() {
+    for (name, help) in [
+        (
+            "engine_sessions_submitted",
+            "Sessions admitted into the queue",
+        ),
+        (
+            "engine_sessions_completed",
+            "Sessions finished with both parties agreeing on the intersection",
+        ),
+        (
+            "engine_sessions_failed",
+            "Sessions finished with a protocol error",
+        ),
+        (
+            "engine_sessions_rejected",
+            "Sessions turned away by admission control (queue full)",
+        ),
+        (
+            "engine_bits_total",
+            "Total bits on the wire across finished sessions",
+        ),
+        (
+            "engine_queue_depth",
+            "Requests waiting in the admission queue",
+        ),
+        ("engine_in_flight", "Sessions currently running on the pool"),
+        (
+            "engine_workers_busy",
+            "Worker threads currently inside a session half",
+        ),
+        (
+            "engine_session_latency_micros",
+            "Admission-to-outcome latency per session, microseconds",
+        ),
+        ("engine_session_bits", "Total bits on the wire per session"),
+        (
+            "conformance_checks_total",
+            "Completed sessions checked against theory envelopes",
+        ),
+        (
+            "conformance_violations_total",
+            "Envelope breaches by protocol and bound (bits or rounds)",
+        ),
+    ] {
+        obs::describe(name, help);
+    }
 }
 
 impl Engine {
@@ -379,6 +457,10 @@ impl Engine {
         let (outcome_tx, outcome_rx) = unbounded::<SessionOutcome>();
         let (done_tx, done_rx) = unbounded::<()>();
         let registry = Arc::new(Registry::default());
+        describe_engine_metrics();
+        let monitor = config
+            .conformance
+            .map(|cfg| (cfg, Arc::new(ConformanceMonitor::new())));
 
         let worker_handles: Vec<JoinHandle<()>> = (0..workers)
             .map(|_| {
@@ -387,6 +469,7 @@ impl Engine {
                     registry: Arc::clone(&registry),
                     outcome_tx: outcome_tx.clone(),
                     done_tx: done_tx.clone(),
+                    conformance: monitor.as_ref().map(|(cfg, m)| (*cfg, Arc::clone(m))),
                 };
                 std::thread::spawn(move || {
                     // Each worker owns one reusable runner for its whole
@@ -440,7 +523,25 @@ impl Engine {
             workers,
             dispatcher,
             worker_handles,
+            monitor: monitor.map(|(_, m)| m),
         }
+    }
+
+    /// A cloneable `'static` handle for the telemetry plane: live
+    /// snapshots and the recent-session ring, scrapeable from another
+    /// thread while workers are still serving.
+    pub fn watch(&self) -> EngineWatch {
+        EngineWatch {
+            registry: Arc::clone(&self.registry),
+            workers: self.workers as u64,
+        }
+    }
+
+    /// The engine's conformance monitor, present iff
+    /// [`EngineConfig::conformance`] was set. `/healthz` keeps the
+    /// monitor's [`Health`](obs::Health) handle.
+    pub fn conformance_monitor(&self) -> Option<Arc<ConformanceMonitor>> {
+        self.monitor.clone()
     }
 
     /// Non-blocking admission: rejects immediately when the queue is full.
@@ -513,6 +614,7 @@ impl Engine {
             workers,
             dispatcher,
             worker_handles,
+            monitor,
         } = self;
         drop(admit_tx);
         dispatcher.join().expect("dispatcher panicked");
@@ -524,6 +626,7 @@ impl Engine {
         EngineReport {
             snapshot: registry.snapshot(workers as u64),
             outcomes,
+            conformance: monitor.map(|m| m.report()),
         }
     }
 }
@@ -640,6 +743,56 @@ mod tests {
                 assert!(outcome.trace.is_none(), "only the flagged session traces");
             }
         }
+    }
+
+    #[test]
+    fn conformance_hook_checks_every_completed_session() {
+        let mut config = EngineConfig::new(2);
+        config.conformance = Some(ConformanceConfig::default());
+        let engine = Engine::start(config);
+        let monitor = engine.conformance_monitor().expect("monitor configured");
+        assert!(monitor.health().ok());
+        for req in mixed_requests(12) {
+            engine.submit(req).unwrap();
+        }
+        let report = engine.finish();
+        let conf = report.conformance.expect("conformance tally present");
+        assert_eq!(conf.checked, 12);
+        assert!(
+            conf.all_conformant(),
+            "default slack must pass honest sessions: {:?}",
+            conf.violations
+        );
+        assert!(monitor.health().ok());
+    }
+
+    #[test]
+    fn zero_slack_flags_every_session_and_degrades_health() {
+        let mut config = EngineConfig::new(2);
+        config.conformance = Some(ConformanceConfig::with_slack(0.0));
+        let engine = Engine::start(config);
+        let health = engine.conformance_monitor().unwrap().health();
+        for req in mixed_requests(4) {
+            engine.submit(req).unwrap();
+        }
+        let report = engine.finish();
+        let conf = report.conformance.unwrap();
+        assert_eq!(conf.checked, 4);
+        assert!(conf.violation_count > 0);
+        assert!(!health.ok());
+    }
+
+    #[test]
+    fn watch_stays_valid_across_finish() {
+        let engine = Engine::start(EngineConfig::new(2));
+        let watch = engine.watch();
+        for req in mixed_requests(3) {
+            engine.submit(req).unwrap();
+        }
+        let report = engine.finish();
+        let snap = watch.snapshot();
+        assert_eq!(snap, report.snapshot);
+        assert_eq!(watch.recent_sessions().len(), 3);
     }
 
     #[test]

@@ -143,32 +143,124 @@ pub fn chrome_trace(events: &[Event]) -> String {
     out
 }
 
+/// Splits a registry key into its base metric name and (if present) the
+/// label body, i.e. `foo{a="b"}` → `("foo", Some("a=\"b\""))`.
+fn split_labels(name: &str) -> (&str, Option<&str>) {
+    match name.split_once('{') {
+        Some((base, rest)) => (base, Some(rest.trim_end_matches('}'))),
+        None => (name, None),
+    }
+}
+
+/// `base` + optional suffix + optional label body + one extra label,
+/// rendered as a complete sample name.
+fn sample_name(
+    base: &str,
+    labels: Option<&str>,
+    suffix: &str,
+    extra: Option<(&str, &str)>,
+) -> String {
+    let mut out = String::with_capacity(base.len() + suffix.len() + 24);
+    out.push_str(base);
+    out.push_str(suffix);
+    let mut body = String::new();
+    if let Some(l) = labels {
+        body.push_str(l);
+    }
+    if let Some((k, v)) = extra {
+        if !body.is_empty() {
+            body.push(',');
+        }
+        let _ = write!(body, "{k}=\"{v}\"");
+    }
+    if !body.is_empty() {
+        out.push('{');
+        out.push_str(&body);
+        out.push('}');
+    }
+    out
+}
+
+/// Escapes a `# HELP` text: backslash and newline, per the exposition
+/// format.
+fn help_escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('\n', "\\n")
+}
+
+/// Renders a metrics snapshot in the Prometheus text exposition format,
+/// without `# HELP` lines. See [`prometheus_with_help`].
+pub fn prometheus(metrics: &BTreeMap<String, Metric>) -> String {
+    prometheus_with_help(metrics, &BTreeMap::new())
+}
+
 /// Renders a metrics snapshot in the Prometheus text exposition format.
 ///
 /// Counters and gauges become single samples; histograms become
 /// summary-style quantiles plus `_count`, `_sum`, `_min`, and `_max`
-/// samples.
-pub fn prometheus(metrics: &BTreeMap<String, Metric>) -> String {
+/// samples. Series whose registry key carries a label body (built with
+/// [`crate::metrics::labeled`]) are grouped under their base name:
+/// `# HELP` (from `help`, keyed by base name) and `# TYPE` are emitted
+/// once per base name, ahead of the first series.
+pub fn prometheus_with_help(
+    metrics: &BTreeMap<String, Metric>,
+    help: &BTreeMap<String, String>,
+) -> String {
     let mut out = String::new();
+    let mut last_base: Option<String> = None;
     for (name, metric) in metrics {
+        let (base, labels) = split_labels(name);
+        if last_base.as_deref() != Some(base) {
+            if let Some(text) = help.get(base) {
+                let _ = writeln!(out, "# HELP {base} {}", help_escape(text));
+            }
+            let kind = match metric {
+                Metric::Counter(_) => "counter",
+                Metric::Gauge(_) => "gauge",
+                Metric::Histogram(_) => "summary",
+            };
+            let _ = writeln!(out, "# TYPE {base} {kind}");
+            last_base = Some(base.to_string());
+        }
         match metric {
             Metric::Counter(v) => {
-                let _ = writeln!(out, "# TYPE {name} counter");
-                let _ = writeln!(out, "{name} {v}");
+                let _ = writeln!(out, "{} {v}", sample_name(base, labels, "", None));
             }
             Metric::Gauge(v) => {
-                let _ = writeln!(out, "# TYPE {name} gauge");
-                let _ = writeln!(out, "{name} {v}");
+                let _ = writeln!(out, "{} {v}", sample_name(base, labels, "", None));
             }
             Metric::Histogram(h) => {
-                let _ = writeln!(out, "# TYPE {name} summary");
                 for (q, label) in [(0.5, "0.5"), (0.9, "0.9"), (0.99, "0.99")] {
-                    let _ = writeln!(out, "{name}{{quantile=\"{label}\"}} {}", h.percentile(q));
+                    let _ = writeln!(
+                        out,
+                        "{} {}",
+                        sample_name(base, labels, "", Some(("quantile", label))),
+                        h.percentile(q)
+                    );
                 }
-                let _ = writeln!(out, "{name}_sum {}", h.sum());
-                let _ = writeln!(out, "{name}_count {}", h.count());
-                let _ = writeln!(out, "{name}_min {}", h.min());
-                let _ = writeln!(out, "{name}_max {}", h.max());
+                let _ = writeln!(
+                    out,
+                    "{} {}",
+                    sample_name(base, labels, "_sum", None),
+                    h.sum()
+                );
+                let _ = writeln!(
+                    out,
+                    "{} {}",
+                    sample_name(base, labels, "_count", None),
+                    h.count()
+                );
+                let _ = writeln!(
+                    out,
+                    "{} {}",
+                    sample_name(base, labels, "_min", None),
+                    h.min()
+                );
+                let _ = writeln!(
+                    out,
+                    "{} {}",
+                    sample_name(base, labels, "_max", None),
+                    h.max()
+                );
             }
         }
     }
@@ -274,5 +366,57 @@ mod tests {
         assert!(text.contains("latency_micros_sum 60"));
         assert!(text.contains("latency_micros_min 10"));
         assert!(text.contains("latency_micros_max 30"));
+    }
+
+    #[test]
+    fn prometheus_emits_help_lines_from_registered_descriptions() {
+        let m = MetricsRegistry::new();
+        m.describe("sessions_total", "sessions admitted\nsince start");
+        m.counter_add("sessions_total", 3);
+        m.counter_add("undocumented_total", 1);
+        let text = prometheus_with_help(&m.snapshot(), &m.help_snapshot());
+        assert!(text.contains("# HELP sessions_total sessions admitted\\nsince start\n"));
+        assert!(text.contains("# TYPE sessions_total counter\nsessions_total 3\n"));
+        // No HELP line for metrics without a description.
+        assert!(!text.contains("# HELP undocumented_total"));
+        assert!(text.contains("# TYPE undocumented_total counter\n"));
+    }
+
+    #[test]
+    fn labeled_series_share_one_type_line_under_their_base_name() {
+        use crate::metrics::labeled;
+        let m = MetricsRegistry::new();
+        m.describe("violations_total", "envelope violations");
+        m.counter_add(&labeled("violations_total", &[("bound", "bits")]), 2);
+        m.counter_add(&labeled("violations_total", &[("bound", "rounds")]), 1);
+        let text = prometheus_with_help(&m.snapshot(), &m.help_snapshot());
+        assert_eq!(text.matches("# TYPE violations_total counter").count(), 1);
+        assert_eq!(text.matches("# HELP violations_total").count(), 1);
+        assert!(text.contains("violations_total{bound=\"bits\"} 2\n"));
+        assert!(text.contains("violations_total{bound=\"rounds\"} 1\n"));
+    }
+
+    #[test]
+    fn label_values_survive_escaping_in_exposition() {
+        use crate::metrics::labeled;
+        let m = MetricsRegistry::new();
+        m.counter_add(&labeled("odd_total", &[("p", "a\"b\\c\nd")]), 7);
+        let text = prometheus(&m.snapshot());
+        assert!(text.contains("odd_total{p=\"a\\\"b\\\\c\\nd\"} 7\n"));
+    }
+
+    #[test]
+    fn labeled_histograms_merge_the_quantile_label() {
+        use crate::metrics::labeled;
+        let m = MetricsRegistry::new();
+        let name = labeled("lat_micros", &[("protocol", "sqrt")]);
+        for v in [10u64, 20, 30] {
+            m.observe(&name, v);
+        }
+        let text = prometheus(&m.snapshot());
+        assert!(text.contains("# TYPE lat_micros summary\n"));
+        assert!(text.contains("lat_micros{protocol=\"sqrt\",quantile=\"0.5\"}"));
+        assert!(text.contains("lat_micros_count{protocol=\"sqrt\"} 3\n"));
+        assert!(text.contains("lat_micros_sum{protocol=\"sqrt\"} 60\n"));
     }
 }

@@ -1,0 +1,252 @@
+//! Folded flamegraph stacks from phase-span events.
+//!
+//! Converts a span event stream into the classic *folded stack* format —
+//! one `path;to;frame weight` line per stack — consumable by
+//! `inferno-flamegraph`, Brendan Gregg's `flamegraph.pl`, or
+//! [speedscope](https://www.speedscope.app). Two weights are available:
+//! wall-clock microseconds and exact bits on the wire, so the same
+//! profile answers both "where does the time go" and "where do the bits
+//! go".
+//!
+//! # Reconstruction
+//!
+//! The subscriber records only span *closes* (name, duration, cost, and
+//! the parent label active at close time). Within one thread spans close
+//! in LIFO order, so nesting is recoverable: when a span named `N`
+//! closes, every already-closed span that named `N` as its parent is one
+//! of its children. The aggregator buckets events by their session/party
+//! attribution (each session half runs on one thread), stitches subtrees
+//! bottom-up, subtracts child totals to get self-weights, and merges the
+//! resulting paths across all sessions.
+//!
+//! Spans whose recorded parent never closes as a span itself (e.g. a
+//! transcript tracer's base label) become roots of their own stacks.
+
+use crate::event::{Event, EventKind};
+use std::collections::BTreeMap;
+
+/// Which per-span weight a folded profile aggregates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Weight {
+    /// Wall-clock span duration, in microseconds.
+    WallMicros,
+    /// Total bits (sent + received) metered inside the span.
+    Bits,
+}
+
+impl Weight {
+    /// A stable lowercase label (used by `/profile?weight=...`).
+    pub fn label(self) -> &'static str {
+        match self {
+            Weight::WallMicros => "wall_micros",
+            Weight::Bits => "bits",
+        }
+    }
+
+    /// Parses the label form; `None` for unknown names.
+    pub fn parse(s: &str) -> Option<Weight> {
+        match s {
+            "wall" | "wall_micros" => Some(Weight::WallMicros),
+            "bits" => Some(Weight::Bits),
+            _ => None,
+        }
+    }
+}
+
+/// A closed subtree waiting for its parent span to close.
+struct Pending {
+    /// The parent label the subtree's root recorded at close time.
+    parent: String,
+    /// `(relative path, self-weight)` for every frame in the subtree.
+    lines: Vec<(String, u64)>,
+    /// Total subtree weight (the root span's full weight).
+    total: u64,
+}
+
+/// Aggregates span events into folded flamegraph stacks.
+///
+/// Returns one `frame;frame;frame weight` line per distinct stack path,
+/// sorted by path, zero-weight paths omitted. Non-span events are
+/// ignored.
+///
+/// # Examples
+///
+/// ```
+/// use intersect_obs as obs;
+/// use intersect_obs::folded::{folded_stacks, Weight};
+///
+/// let sub = obs::Subscriber::new();
+/// let installed = sub.install();
+/// {
+///     let outer = obs::phase::span("demo", "outer");
+///     {
+///         let inner = obs::phase::span("demo", "inner");
+///         inner.finish(obs::CostDelta { bits_sent: 96, bits_received: 0, rounds: 1 });
+///     }
+///     outer.finish(obs::CostDelta { bits_sent: 96, bits_received: 32, rounds: 1 });
+/// }
+/// drop(installed);
+/// let profile = folded_stacks(&sub.events(), Weight::Bits);
+/// assert!(profile.contains("outer;inner 96"));
+/// assert!(profile.contains("outer 32")); // self-weight: 128 − 96
+/// ```
+pub fn folded_stacks(events: &[Event], weight: Weight) -> String {
+    // One reconstruction bucket per (session, party) attribution; the
+    // unattributed bucket collects everything else.
+    let mut buckets: BTreeMap<(u64, u64), Vec<Pending>> = BTreeMap::new();
+    for ev in events {
+        let EventKind::Span { dur_micros, delta } = ev.kind else {
+            continue;
+        };
+        let w = match weight {
+            Weight::WallMicros => dur_micros,
+            Weight::Bits => delta.map(|d| d.total_bits()).unwrap_or(0),
+        };
+        let key = (
+            ev.session.unwrap_or(u64::MAX),
+            ev.party.map(|p| p.index()).unwrap_or(2),
+        );
+        let pending = buckets.entry(key).or_default();
+        // Adopt every already-closed subtree that named this span as its
+        // parent.
+        let mut lines: Vec<(String, u64)> = Vec::new();
+        let mut child_total = 0u64;
+        pending.retain_mut(|p| {
+            if p.parent != ev.name {
+                return true;
+            }
+            child_total += p.total;
+            for (path, self_w) in p.lines.drain(..) {
+                lines.push((format!("{};{path}", ev.name), self_w));
+            }
+            false
+        });
+        lines.push((ev.name.clone(), w.saturating_sub(child_total)));
+        pending.push(Pending {
+            parent: ev.phase.clone(),
+            lines,
+            total: w.max(child_total),
+        });
+    }
+    // Merge identical paths across sessions, parties, and orphaned roots.
+    let mut merged: BTreeMap<String, u64> = BTreeMap::new();
+    for pending in buckets.into_values() {
+        for p in pending {
+            for (path, self_w) in p.lines {
+                *merged.entry(path).or_insert(0) += self_w;
+            }
+        }
+    }
+    let mut out = String::new();
+    for (path, w) in merged {
+        if w > 0 {
+            out.push_str(&path);
+            out.push(' ');
+            out.push_str(&w.to_string());
+            out.push('\n');
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::{CostDelta, Party};
+
+    fn span(name: &str, phase: &str, session: Option<u64>, dur: u64, bits: u64) -> Event {
+        Event {
+            ts_micros: 0,
+            target: "t",
+            name: name.into(),
+            session,
+            party: session.map(|_| Party::Alice),
+            phase: phase.into(),
+            kind: EventKind::Span {
+                dur_micros: dur,
+                delta: Some(CostDelta {
+                    bits_sent: bits,
+                    bits_received: 0,
+                    rounds: 1,
+                }),
+            },
+        }
+    }
+
+    #[test]
+    fn nesting_is_reconstructed_with_self_weights() {
+        // Close order (LIFO): leaf, leaf's sibling, then the root.
+        let events = [
+            span("reduce", "session", Some(1), 30, 8),
+            span("verify", "session", Some(1), 50, 24),
+            span("session", "", Some(1), 100, 40),
+        ];
+        let text = folded_stacks(&events, Weight::WallMicros);
+        assert_eq!(text, "session 20\nsession;reduce 30\nsession;verify 50\n");
+        let bits = folded_stacks(&events, Weight::Bits);
+        assert_eq!(bits, "session 8\nsession;reduce 8\nsession;verify 24\n");
+    }
+
+    #[test]
+    fn deep_nesting_prefixes_whole_subtrees() {
+        let events = [
+            span("c", "b", Some(1), 10, 0),
+            span("b", "a", Some(1), 25, 0),
+            span("a", "", Some(1), 100, 0),
+        ];
+        let text = folded_stacks(&events, Weight::WallMicros);
+        assert_eq!(text, "a 75\na;b 15\na;b;c 10\n");
+    }
+
+    #[test]
+    fn same_name_recursion_nests_instead_of_merging_siblings() {
+        let events = [
+            span("a", "a", Some(1), 10, 0),
+            span("a", "", Some(1), 30, 0),
+        ];
+        let text = folded_stacks(&events, Weight::WallMicros);
+        assert_eq!(text, "a 20\na;a 10\n");
+    }
+
+    #[test]
+    fn sessions_merge_but_do_not_cross_nest() {
+        // Two sessions each run "work" under "session"; the profiles
+        // merge by path. A third, unattributed span stays separate.
+        let events = [
+            span("work", "session", Some(1), 40, 0),
+            span("work", "session", Some(2), 60, 0),
+            span("session", "", Some(1), 50, 0),
+            span("session", "", Some(2), 70, 0),
+            span("startup", "", None, 9, 0),
+        ];
+        let text = folded_stacks(&events, Weight::WallMicros);
+        assert_eq!(text, "session 20\nsession;work 100\nstartup 9\n");
+    }
+
+    #[test]
+    fn orphaned_parents_become_roots_and_zero_weights_are_dropped() {
+        // "setup" is a tracer base label that never closes as a span;
+        // the child becomes its own root. A zero-duration span vanishes.
+        let events = [
+            span("verify", "setup", Some(1), 12, 0),
+            span("noop", "", Some(1), 0, 0),
+        ];
+        let text = folded_stacks(&events, Weight::WallMicros);
+        assert_eq!(text, "verify 12\n");
+    }
+
+    #[test]
+    fn empty_event_streams_fold_to_nothing() {
+        assert_eq!(folded_stacks(&[], Weight::WallMicros), "");
+        assert_eq!(folded_stacks(&[], Weight::Bits), "");
+    }
+
+    #[test]
+    fn weight_labels_round_trip() {
+        for w in [Weight::WallMicros, Weight::Bits] {
+            assert_eq!(Weight::parse(w.label()), Some(w));
+        }
+        assert_eq!(Weight::parse("wall"), Some(Weight::WallMicros));
+        assert_eq!(Weight::parse("calories"), None);
+    }
+}

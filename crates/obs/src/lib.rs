@@ -18,8 +18,11 @@
 //! | [`Subscriber`] | the process-global collector; [`enabled`] is the only cost when nothing is installed |
 //! | [`phase`] | thread-local phase labels and session attribution shared by spans, channels, and `Traced` transcripts |
 //! | [`LogHistogram`] | log-bucketed streaming histogram (≤ 6.25 % relative error, exact below 16) |
-//! | [`MetricsRegistry`] | named counters, gauges, and histograms |
+//! | [`MetricsRegistry`] | named counters, gauges, and histograms (labeled series via [`metrics::labeled`], `# HELP` texts via [`MetricsRegistry::describe`]) |
 //! | [`export`] | JSONL event stream, Chrome `chrome://tracing` JSON, Prometheus text exposition |
+//! | [`serve`] | embedded zero-dependency HTTP server: `/metrics`, `/healthz`, `/sessions`, `/profile` |
+//! | [`folded`] | folded flamegraph stacks (wall-clock or bit weighted) from span events |
+//! | [`conformance`] | online checks of observed costs against calibrated theory envelopes |
 //!
 //! # Examples
 //!
@@ -43,17 +46,22 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod conformance;
 pub mod event;
 pub mod export;
+pub mod folded;
 pub mod histogram;
 pub mod metrics;
 pub mod phase;
+pub mod serve;
 pub mod subscriber;
 
+pub use conformance::{ConformanceConfig, ConformanceMonitor, ConformanceReport, Envelope, Health};
 pub use event::{CostDelta, Direction, Event, EventKind, Party};
 pub use histogram::LogHistogram;
 pub use metrics::{Metric, MetricsRegistry};
+pub use serve::{Sources, TelemetryServer};
 pub use subscriber::{
-    counter_add, emit_with, enabled, gauge_add, gauge_set, instant, message, observe, Installed,
-    Subscriber,
+    counter_add, describe, emit_with, enabled, gauge_add, gauge_set, instant, message, observe,
+    Installed, Subscriber,
 };

@@ -4,6 +4,55 @@ use crate::histogram::LogHistogram;
 use std::collections::BTreeMap;
 use std::sync::Mutex;
 
+/// Escapes a string for use as a Prometheus label *value*: backslash,
+/// double quote, and newline must be escaped per the text exposition
+/// format.
+pub fn label_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Builds a fully-labeled series name — `base{k1="v1",k2="v2"}` — with
+/// label values escaped via [`label_escape`]. Labeled series live in the
+/// registry under this full name; the Prometheus exporter groups them
+/// back under their base name for `# HELP`/`# TYPE` lines.
+///
+/// # Examples
+///
+/// ```
+/// use intersect_obs::metrics::labeled;
+///
+/// let name = labeled("violations_total", &[("protocol", "tree(r=2)"), ("bound", "bits")]);
+/// assert_eq!(name, "violations_total{protocol=\"tree(r=2)\",bound=\"bits\"}");
+/// ```
+pub fn labeled(base: &str, labels: &[(&str, &str)]) -> String {
+    if labels.is_empty() {
+        return base.to_string();
+    }
+    let mut out = String::with_capacity(base.len() + 16 * labels.len());
+    out.push_str(base);
+    out.push('{');
+    for (i, (k, v)) in labels.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(k);
+        out.push_str("=\"");
+        out.push_str(&label_escape(v));
+        out.push('"');
+    }
+    out.push('}');
+    out
+}
+
 /// One named metric.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Metric {
@@ -37,6 +86,7 @@ pub enum Metric {
 #[derive(Debug, Default)]
 pub struct MetricsRegistry {
     inner: Mutex<BTreeMap<String, Metric>>,
+    help: Mutex<BTreeMap<String, String>>,
 }
 
 impl MetricsRegistry {
@@ -47,6 +97,22 @@ impl MetricsRegistry {
 
     fn lock(&self) -> std::sync::MutexGuard<'_, BTreeMap<String, Metric>> {
         self.inner.lock().expect("metrics registry poisoned")
+    }
+
+    /// Registers a `# HELP` description for a metric's *base* name (no
+    /// labels). The Prometheus exporter emits it ahead of the `# TYPE`
+    /// line for every series sharing that base name.
+    pub fn describe(&self, base_name: &str, help: &str) {
+        self.help
+            .lock()
+            .expect("metrics help poisoned")
+            .insert(base_name.to_string(), help.to_string());
+    }
+
+    /// A point-in-time copy of every registered help text, keyed by base
+    /// metric name.
+    pub fn help_snapshot(&self) -> BTreeMap<String, String> {
+        self.help.lock().expect("metrics help poisoned").clone()
     }
 
     /// Adds to a counter, creating it at zero on first use.
@@ -136,6 +202,37 @@ mod tests {
         assert_eq!(m.counter("missing"), 0);
         assert_eq!(m.gauge("missing"), 0);
         assert!(m.histogram("missing").is_none());
+    }
+
+    #[test]
+    fn label_values_are_escaped() {
+        assert_eq!(label_escape(r#"a\b"c"#), r#"a\\b\"c"#);
+        assert_eq!(label_escape("line\nbreak"), "line\\nbreak");
+        assert_eq!(
+            labeled("m_total", &[("p", "tree\"x\\y\n")]),
+            "m_total{p=\"tree\\\"x\\\\y\\n\"}"
+        );
+        assert_eq!(labeled("m_total", &[]), "m_total");
+    }
+
+    #[test]
+    fn labeled_series_are_distinct_counters() {
+        let m = MetricsRegistry::new();
+        m.counter_add(&labeled("v_total", &[("bound", "bits")]), 2);
+        m.counter_add(&labeled("v_total", &[("bound", "rounds")]), 1);
+        assert_eq!(m.counter("v_total{bound=\"bits\"}"), 2);
+        assert_eq!(m.counter("v_total{bound=\"rounds\"}"), 1);
+        assert_eq!(m.counter("v_total"), 0);
+    }
+
+    #[test]
+    fn help_texts_are_registered_per_base_name() {
+        let m = MetricsRegistry::new();
+        m.describe("a_total", "things that happened");
+        m.counter_add("a_total", 1);
+        let help = m.help_snapshot();
+        assert_eq!(help["a_total"], "things that happened");
+        assert!(!help.contains_key("missing"));
     }
 
     #[test]

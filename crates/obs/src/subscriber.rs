@@ -128,6 +128,19 @@ pub fn gauge_set(name: &str, v: i64) {
     }
 }
 
+/// Registers a `# HELP` text for a metric base name on the installed
+/// subscriber's registry (see [`MetricsRegistry::describe`]). No-op when
+/// nothing is installed — call it after installing, typically right
+/// where the metric's emission sites are armed.
+pub fn describe(name: &str, help: &str) {
+    if !enabled() {
+        return;
+    }
+    if let Some(shared) = current() {
+        shared.metrics.describe(name, help);
+    }
+}
+
 /// Records a histogram sample on the installed subscriber's metrics
 /// registry.
 pub fn observe(name: &str, value: u64) {

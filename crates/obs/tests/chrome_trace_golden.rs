@@ -1,0 +1,116 @@
+//! Golden test pinning the Chrome trace-event exporter byte-for-byte.
+//!
+//! `chrome://tracing` and Perfetto parse this format strictly; a silent
+//! change in field order, escaping, or the pid/tid mapping would corrupt
+//! every archived trace. The fixture is the exact rendering of a small
+//! event sequence that covers all three event kinds, attributed and
+//! unattributed sessions, a cost delta, JSON escaping, and both message
+//! directions. Regenerate it deliberately (and re-validate in a viewer)
+//! by updating `tests/fixtures/chrome_trace.golden` when the format is
+//! intentionally changed.
+
+use intersect_obs::{CostDelta, Direction, Event, EventKind, Party};
+
+const GOLDEN: &str = include_str!("fixtures/chrome_trace.golden");
+
+fn fixture_events() -> Vec<Event> {
+    vec![
+        // A span with a cost delta, fully attributed.
+        Event {
+            ts_micros: 150,
+            target: "core",
+            name: "verify".into(),
+            session: Some(7),
+            party: Some(Party::Alice),
+            phase: "session".into(),
+            kind: EventKind::Span {
+                dur_micros: 100,
+                delta: Some(CostDelta {
+                    bits_sent: 64,
+                    bits_received: 32,
+                    rounds: 2,
+                }),
+            },
+        },
+        // A span without a delta, Bob's side.
+        Event {
+            ts_micros: 180,
+            target: "core",
+            name: "bucket".into(),
+            session: Some(7),
+            party: Some(Party::Bob),
+            phase: String::new(),
+            kind: EventKind::Span {
+                dur_micros: 30,
+                delta: None,
+            },
+        },
+        // An unattributed instant whose name needs JSON escaping.
+        Event {
+            ts_micros: 200,
+            target: "engine",
+            name: "odd \"quoted\" name\\path".into(),
+            session: None,
+            party: None,
+            phase: String::new(),
+            kind: EventKind::Instant,
+        },
+        // One message in each direction.
+        Event {
+            ts_micros: 210,
+            target: "comm",
+            name: "send".into(),
+            session: Some(7),
+            party: Some(Party::Alice),
+            phase: "session".into(),
+            kind: EventKind::Message {
+                dir: Direction::Sent,
+                bits: 96,
+                clock: 3,
+            },
+        },
+        Event {
+            ts_micros: 211,
+            target: "comm",
+            name: "recv".into(),
+            session: Some(7),
+            party: Some(Party::Bob),
+            phase: "session".into(),
+            kind: EventKind::Message {
+                dir: Direction::Received,
+                bits: 96,
+                clock: 3,
+            },
+        },
+    ]
+}
+
+#[test]
+fn chrome_trace_output_matches_the_golden_fixture_byte_for_byte() {
+    let rendered = intersect_obs::export::chrome_trace(&fixture_events());
+    // Deliberate regeneration path: BLESS=1 cargo test -p intersect-obs
+    // --test chrome_trace_golden rewrites the fixture in the source tree.
+    if std::env::var_os("BLESS").is_some() {
+        let path = concat!(
+            env!("CARGO_MANIFEST_DIR"),
+            "/tests/fixtures/chrome_trace.golden"
+        );
+        std::fs::write(path, format!("{rendered}\n")).expect("write fixture");
+        return;
+    }
+    // The fixture file ends with a newline (POSIX text file); the
+    // exporter's output does not.
+    assert_eq!(
+        rendered,
+        GOLDEN.trim_end_matches('\n'),
+        "chrome_trace output drifted from tests/fixtures/chrome_trace.golden; \
+         if the format change is intentional, re-validate a trace in \
+         chrome://tracing or Perfetto and regenerate it with BLESS=1"
+    );
+}
+
+#[test]
+fn golden_fixture_is_valid_json() {
+    let parsed: Result<serde_json::Value, _> = serde_json::from_str(GOLDEN.trim_end());
+    assert!(parsed.is_ok(), "fixture must stay parseable JSON");
+}

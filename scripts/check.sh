@@ -20,4 +20,7 @@ echo "==> throughput bench smoke (--quick)"
 cargo run -q --release -p intersect-bench --bin throughput -- --quick --out /tmp/throughput_smoke.json
 rm -f /tmp/throughput_smoke.json
 
+echo "==> telemetry plane smoke"
+./scripts/telemetry_smoke.sh
+
 echo "==> all checks passed"

@@ -1,0 +1,89 @@
+#!/usr/bin/env bash
+# Telemetry-plane smoke test: boots `intersect-serve --listen`, scrapes
+# /healthz and /metrics while a batch runs, and verifies both the happy
+# path (healthy, zero violations, clean exit) and the deliberate-violation
+# path (near-zero slack => degraded /healthz and a failing exit code).
+# Run from anywhere; operates on the workspace that contains this script.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BIN=${INTERSECT_SERVE_BIN:-target/debug/intersect-serve}
+if [[ ! -x "$BIN" ]]; then
+  echo "==> building intersect-serve"
+  cargo build -q --bin intersect-serve
+fi
+
+fetch() { # fetch <url> -> body on stdout, returns curl/http status handling
+  curl -sS --max-time 5 "$1"
+}
+
+status_of() { # status_of <url> -> HTTP status code
+  curl -s --max-time 5 -o /dev/null -w "%{http_code}" "$1"
+}
+
+wait_for_addr() { # wait_for_addr <stderr-file> -> prints host:port
+  local file=$1 addr=""
+  for _ in $(seq 1 50); do
+    addr=$(sed -n 's/^telemetry: listening on //p' "$file" | head -n1)
+    [[ -n "$addr" ]] && break
+    sleep 0.1
+  done
+  if [[ -z "$addr" ]]; then
+    echo "telemetry server never announced its address" >&2
+    cat "$file" >&2
+    return 1
+  fi
+  echo "$addr"
+}
+
+tmpdir=$(mktemp -d)
+trap 'rm -rf "$tmpdir"; kill %1 2>/dev/null || true' EXIT
+
+echo "==> happy path: batch under live scrape must stay healthy"
+"$BIN" --batch 24 --listen 127.0.0.1:0 --linger-ms 3000 --quiet \
+  >/dev/null 2>"$tmpdir/serve.err" &
+addr=$(wait_for_addr "$tmpdir/serve.err")
+
+health=$(fetch "http://$addr/healthz")
+[[ "$health" == "ok" ]] || { echo "unexpected /healthz body: $health"; exit 1; }
+
+metrics=$(fetch "http://$addr/metrics")
+grep -q '^# TYPE engine_sessions_submitted counter' <<<"$metrics" \
+  || { echo "/metrics missing engine series"; exit 1; }
+grep -q '^# HELP engine_sessions_submitted ' <<<"$metrics" \
+  || { echo "/metrics missing HELP lines"; exit 1; }
+if grep -q '^conformance_violations_total' <<<"$metrics"; then
+  echo "healthy run reported conformance violations:"; grep '^conformance' <<<"$metrics"
+  exit 1
+fi
+
+fetch "http://$addr/sessions" | grep -q '"snapshot"' \
+  || { echo "/sessions missing snapshot"; exit 1; }
+# The profile endpoint must answer, even if the stacks are still empty.
+code=$(status_of "http://$addr/profile?weight=bits")
+[[ "$code" == "200" ]] || { echo "/profile returned $code"; exit 1; }
+
+wait %1 || { echo "healthy run exited nonzero"; cat "$tmpdir/serve.err"; exit 1; }
+
+echo "==> negative path: near-zero slack must degrade /healthz and fail"
+"$BIN" --batch 8 --listen 127.0.0.1:0 --slack 0.01 --linger-ms 3000 --quiet \
+  >/dev/null 2>"$tmpdir/serve2.err" &
+addr=$(wait_for_addr "$tmpdir/serve2.err")
+
+# Give the batch a moment to finish so violations have been recorded.
+for _ in $(seq 1 50); do
+  code=$(status_of "http://$addr/healthz")
+  [[ "$code" == "503" ]] && break
+  sleep 0.1
+done
+[[ "$code" == "503" ]] || { echo "/healthz never degraded (last: $code)"; exit 1; }
+fetch "http://$addr/healthz" | grep -q 'degraded' \
+  || { echo "degraded /healthz body missing"; exit 1; }
+
+if wait %1; then
+  echo "deliberate-violation run exited zero"; exit 1
+fi
+grep -q 'conformance:.*violation' "$tmpdir/serve2.err" \
+  || { echo "violation summary missing from stderr"; cat "$tmpdir/serve2.err"; exit 1; }
+
+echo "==> telemetry smoke passed"

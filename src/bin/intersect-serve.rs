@@ -36,6 +36,9 @@ struct Options {
     trace_out: Option<String>,
     chrome_trace: Option<String>,
     metrics_out: Option<String>,
+    listen: Option<String>,
+    linger_ms: u64,
+    slack: Option<f64>,
 }
 
 fn usage() -> ! {
@@ -68,7 +71,18 @@ fn usage() -> ! {
            --trace-out <path>  write the observability event stream as JSONL\n\
            --chrome-trace <p>  write a Chrome trace-event JSON file (open in\n\
                                chrome://tracing or ui.perfetto.dev)\n\
-           --metrics-out <p>   write metrics in Prometheus text format"
+           --metrics-out <p>   write metrics in Prometheus text format\n\
+         \n\
+         telemetry plane:\n\
+           --listen <addr>     serve live telemetry over HTTP while the\n\
+                               workload runs (port 0 picks a free port):\n\
+                               /metrics, /healthz, /sessions, /profile\n\
+           --linger-ms <ms>    keep the telemetry server up this long after\n\
+                               the workload drains (default 0)\n\
+           --slack <f>         theory-conformance slack factor on predicted\n\
+                               bits and rounds (default 3x bits / 4x rounds;\n\
+                               checking is on whenever --listen or --slack\n\
+                               is given, and violations fail the run)"
     );
     std::process::exit(2);
 }
@@ -101,6 +115,9 @@ fn parse_args() -> Options {
         trace_out: None,
         chrome_trace: None,
         metrics_out: None,
+        listen: None,
+        linger_ms: 0,
+        slack: None,
     };
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut it = args.iter();
@@ -145,6 +162,9 @@ fn parse_args() -> Options {
             "--trace-out" => opts.trace_out = Some(value("--trace-out")),
             "--chrome-trace" => opts.chrome_trace = Some(value("--chrome-trace")),
             "--metrics-out" => opts.metrics_out = Some(value("--metrics-out")),
+            "--listen" => opts.listen = Some(value("--listen")),
+            "--linger-ms" => opts.linger_ms = int("--linger-ms", value("--linger-ms")),
+            "--slack" => opts.slack = Some(value("--slack").parse().unwrap_or_else(|_| usage())),
             "--help" | "-h" => usage(),
             other => {
                 eprintln!("unknown argument {other}");
@@ -253,23 +273,68 @@ fn main() -> ExitCode {
             }
         },
     };
+    // Conformance checking is armed whenever the telemetry plane is up
+    // (so /healthz means something) or the operator set a slack.
+    let conformance = (opts.listen.is_some() || opts.slack.is_some()).then(|| {
+        opts.slack
+            .map(intersect::obs::ConformanceConfig::with_slack)
+            .unwrap_or_default()
+    });
     let config = EngineConfig {
         workers: opts.workers,
         queue_capacity: opts.queue,
         max_in_flight: opts.in_flight.unwrap_or(opts.workers),
         policy,
         debug_session: opts.debug_session,
+        conformance,
     };
 
-    // Tracing is paid for only when asked for: without an export flag no
-    // subscriber is installed and the instrumented hot paths stay at a
-    // single relaxed atomic load.
-    let want_obs =
-        opts.trace_out.is_some() || opts.chrome_trace.is_some() || opts.metrics_out.is_some();
+    // Tracing is paid for only when asked for: without an export flag or
+    // a live telemetry listener no subscriber is installed and the
+    // instrumented hot paths stay at a single relaxed atomic load.
+    let want_obs = opts.trace_out.is_some()
+        || opts.chrome_trace.is_some()
+        || opts.metrics_out.is_some()
+        || opts.listen.is_some();
     let subscriber = want_obs.then(intersect::obs::Subscriber::new);
     let installed = subscriber.as_ref().map(|s| s.install());
 
     let engine = Engine::start(config);
+    let server = match &opts.listen {
+        Some(addr) => {
+            let watch = engine.watch();
+            let health = engine
+                .conformance_monitor()
+                .map(|m| m.health())
+                .unwrap_or_default();
+            let metrics_sub = subscriber.clone().expect("listen implies a subscriber");
+            let profile_sub = metrics_sub.clone();
+            let sources = intersect::obs::Sources {
+                metrics: Box::new(move || {
+                    intersect::obs::export::prometheus_with_help(
+                        &metrics_sub.metrics().snapshot(),
+                        &metrics_sub.metrics().help_snapshot(),
+                    )
+                }),
+                sessions: Box::new(move || watch.sessions_json()),
+                profile: Box::new(move |w| {
+                    intersect::obs::folded::folded_stacks(&profile_sub.events(), w)
+                }),
+                health,
+            };
+            match intersect::obs::TelemetryServer::start(addr, sources) {
+                Ok(server) => {
+                    eprintln!("telemetry: listening on {}", server.local_addr());
+                    Some(server)
+                }
+                Err(e) => {
+                    eprintln!("error: cannot bind {addr}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+        None => None,
+    };
     let mut invalid = 0u64;
     for req in requests {
         let result = if opts.no_wait {
@@ -294,6 +359,14 @@ fn main() -> ExitCode {
         }
     }
     let report = engine.finish();
+    if let Some(server) = server {
+        // Hold the scrape plane open so a collector can observe the
+        // settled state before the process exits.
+        if opts.linger_ms > 0 {
+            std::thread::sleep(std::time::Duration::from_millis(opts.linger_ms));
+        }
+        server.shutdown();
+    }
     drop(installed);
 
     // stdout carries only machine-parseable output: the per-session
@@ -318,6 +391,30 @@ fn main() -> ExitCode {
     }
     if invalid > 0 {
         eprintln!("{invalid} invalid request(s) skipped");
+    }
+    let mut conformance_failed = false;
+    if let Some(conf) = &report.conformance {
+        if conf.all_conformant() {
+            eprintln!(
+                "conformance: {} session(s) checked, all within envelope",
+                conf.checked
+            );
+        } else {
+            conformance_failed = true;
+            eprintln!(
+                "conformance: {} violation(s) across {} checked session(s)",
+                conf.violation_count, conf.checked
+            );
+            for v in conf.violations.iter().take(8) {
+                eprintln!(
+                    "  {}: observed {} {} > limit {}",
+                    v.protocol,
+                    v.observed,
+                    v.bound.label(),
+                    v.limit
+                );
+            }
+        }
     }
 
     let mut io_error = false;
@@ -345,7 +442,7 @@ fn main() -> ExitCode {
     }
 
     let failed = report.outcomes.iter().any(|o| !o.succeeded());
-    if failed || invalid > 0 || io_error {
+    if failed || invalid > 0 || io_error || conformance_failed {
         return ExitCode::FAILURE;
     }
     ExitCode::SUCCESS
