@@ -128,6 +128,11 @@ pub fn all() -> Vec<Experiment> {
             run: serve_exp::e19,
         },
         Experiment {
+            id: "E20",
+            claim: "Prepared plans: warm-cached and batched sessions beat cold; bits invariant",
+            run: throughput_exp::e20,
+        },
+        Experiment {
             id: "A1",
             claim: "Ablation: iterated-log degree schedule vs uniform tree",
             run: ablations::a1,
@@ -164,7 +169,7 @@ mod tests {
         let ids: Vec<&str> = all().iter().map(|e| e.id).collect();
         for want in [
             "E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "E12", "E13",
-            "E14", "E15", "E16", "E17", "E18", "E19", "A1", "A2", "A3", "A4",
+            "E14", "E15", "E16", "E17", "E18", "E19", "E20", "A1", "A2", "A3", "A4",
         ] {
             assert!(ids.contains(&want), "missing {want}");
         }

@@ -114,6 +114,109 @@ pub fn e18(quick: bool) -> Vec<Table> {
     vec![messages, sessions, engine]
 }
 
+/// The PR-3 `runner_handshake` throughput recorded in
+/// `BENCH_throughput.json` when the reusable runner landed: the baseline
+/// the prepared/batched path is claimed to beat by ≥ 1.5×.
+const PR3_RUNNER_HANDSHAKE_PER_SEC: f64 = 128_689.04;
+
+/// E20 — prepared plans and the batch path: cold vs warm-cached session
+/// throughput per protocol, and the 64-deep batch submission path
+/// against the PR-3 reusable-runner baseline.
+///
+/// Two tables. E20a sweeps one protocol per plan shape (trivial
+/// fallback, one-round hash family, tree layout, √k buckets) across
+/// execution paths at two layers — dedicated spawn with in-run parameter
+/// derivation (`cold_spawn`, the seed path), one cached plan over the
+/// warm thread-local runner (`warm_cached`), 64-deep batches
+/// (`warm_batch64`), and the same contrast through the engine scheduler
+/// (`engine_cold` invalidates the plan cache before every submission).
+/// Bit totals are asserted invariant across paths inside the harness:
+/// caching and batching move work, never bits. E20b measures the
+/// handshake session path and compares the batch row against the PR-3
+/// `runner_handshake` baseline with a claimed-vs-measured column; exact
+/// allocs/session come from the counting-allocator `throughput` binary
+/// (`BENCH_throughput.json`).
+pub fn e20(quick: bool) -> Vec<Table> {
+    let sessions = if quick { 200 } else { 2_000 };
+    let samples = throughput::prepared_samples(sessions, 8, || 0);
+
+    let mut per_protocol = Table::new(
+        "E20a — cold vs warm-cached session throughput per protocol \
+         (claim: one cached plan serves every same-shape session; the \
+         warm and batch paths beat re-deriving parameters per session, \
+         and every path moves identical bits — asserted in-harness; \
+         exact allocs/session are recorded by the `throughput` binary in \
+         BENCH_throughput.json)",
+        &[
+            "layer",
+            "protocol",
+            "path",
+            "sessions",
+            "ns/session",
+            "sessions/s",
+            "total bits",
+            "vs cold",
+        ],
+    );
+    for s in &samples {
+        let cold = samples
+            .iter()
+            .find(|c| {
+                c.layer == s.layer
+                    && c.protocol == s.protocol
+                    && (c.path == "cold_spawn" || c.path == "engine_cold")
+            })
+            .map(|c| c.ns_per_session);
+        let speedup = match cold {
+            Some(base) if base != s.ns_per_session => {
+                format!("{:.2}x", base / s.ns_per_session)
+            }
+            _ => "—".to_string(),
+        };
+        per_protocol.push_row(vec![
+            s.layer.clone(),
+            s.protocol.clone(),
+            s.path.clone(),
+            s.sessions.to_string(),
+            format!("{:.0}", s.ns_per_session),
+            format!("{:.0}", s.sessions_per_sec),
+            fmt_bits(s.total_bits as f64),
+            speedup,
+        ]);
+    }
+
+    let handshake_sessions = if quick { 400 } else { 4_000 };
+    let mut batch = Table::new(
+        "E20b — the batch submission path on the handshake workload vs \
+         the PR-3 reusable-runner baseline (claimed: ≥ 1.50x the recorded \
+         128,689 sessions/s)",
+        &[
+            "substrate",
+            "sessions",
+            "ns/session",
+            "sessions/s",
+            "vs PR-3 runner baseline",
+        ],
+    );
+    for s in throughput::session_path(handshake_sessions, || 0) {
+        let vs_baseline = if s.label == "runner_handshake" || s.label == "runner_handshake_batch64"
+        {
+            format!("{:.2}x", s.sessions_per_sec / PR3_RUNNER_HANDSHAKE_PER_SEC)
+        } else {
+            "—".to_string()
+        };
+        batch.push_row(vec![
+            s.label.clone(),
+            s.sessions.to_string(),
+            format!("{:.0}", s.ns_per_session),
+            format!("{:.0}", s.sessions_per_sec),
+            vs_baseline,
+        ]);
+    }
+
+    vec![per_protocol, batch]
+}
+
 struct Parity {
     completed: u64,
     total_bits: u64,

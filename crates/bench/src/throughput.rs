@@ -25,10 +25,12 @@ use intersect_comm::bits::BitBuf;
 use intersect_comm::chan::{Chan, Endpoint};
 use intersect_comm::coins::CoinSource;
 use intersect_comm::error::ProtocolError;
-use intersect_comm::runner::{run_two_party, RunConfig, SessionRunner};
+use intersect_comm::runner::{run_two_party, RunConfig, SessionRunner, Side};
 use intersect_core::api::{execute, ProtocolChoice};
-use intersect_core::sets::ProblemSpec;
+use intersect_core::prepared::{execute_prepared, execute_prepared_batch};
+use intersect_core::sets::{InputPair, ProblemSpec};
 use intersect_engine::prelude::*;
+use rand::SeedableRng;
 use serde::Serialize;
 use std::time::Instant;
 
@@ -98,6 +100,31 @@ pub struct EngineSample {
     pub sessions_per_sec: f64,
 }
 
+/// One prepared-path sample: the same protocol workload served cold
+/// (parameters re-derived per session) or warm (one cached plan).
+#[derive(Debug, Clone, Serialize)]
+pub struct PreparedSample {
+    /// `executor` (direct prepared execution) or `engine` (through the
+    /// scheduler, plan cache and registry).
+    pub layer: String,
+    /// Protocol under test.
+    pub protocol: String,
+    /// Execution path (`cold_spawn`, `warm_cached`, `warm_batch64`,
+    /// `engine_cold`, `engine_warm`, `engine_batch64`).
+    pub path: String,
+    /// Sessions completed.
+    pub sessions: u64,
+    /// Mean wall-clock nanoseconds per session.
+    pub ns_per_session: f64,
+    /// Sessions per second.
+    pub sessions_per_sec: f64,
+    /// Exact process-wide heap allocations per session.
+    pub allocs_per_session: f64,
+    /// Total bits moved — must be invariant across paths: caching and
+    /// batching may move work, never bits.
+    pub total_bits: u64,
+}
+
 /// The full report serialized into `BENCH_throughput.json`.
 #[derive(Debug, Clone, Serialize)]
 pub struct ThroughputReport {
@@ -109,6 +136,8 @@ pub struct ThroughputReport {
     pub session_path: Vec<SessionPathSample>,
     /// Engine samples.
     pub engine: Vec<EngineSample>,
+    /// Prepared-plan samples: cold vs warm-cached, per protocol.
+    pub prepared: Vec<PreparedSample>,
     /// The pre-rework numbers, embedded so the report is self-contained.
     pub before: BaselineReport,
 }
@@ -348,7 +377,9 @@ fn session_sample(label: &str, sessions: u64, allocs: u64, wall_ns: f64) -> Sess
     }
 }
 
-fn session_path(sessions: u64, count: fn() -> u64) -> Vec<SessionPathSample> {
+/// The session-path samples (also reported standalone by E20, which
+/// compares the batch row against the recorded PR-3 baseline).
+pub fn session_path(sessions: u64, count: fn() -> u64) -> Vec<SessionPathSample> {
     let mut out = Vec::new();
 
     // Spawn-per-session: what a dedicated run_two_party call costs.
@@ -402,6 +433,33 @@ fn session_path(sessions: u64, count: fn() -> u64) -> Vec<SessionPathSample> {
         wall,
     ));
 
+    // Batched: the identical handshake sessions in 64-deep batches over
+    // the same warm runner — one dispatch, one fin-rendezvous, and one
+    // result round-trip per 64 sessions instead of per session.
+    let seeds: Vec<u64> = (0..sessions).collect();
+    let a0 = count();
+    let t0 = Instant::now();
+    for chunk in seeds.chunks(64) {
+        let parts = runner
+            .run_batch_parts(
+                &RunConfig::with_seed(chunk[0]),
+                chunk,
+                |_, chan: &mut Endpoint, _: &CoinSource| handshake_alice(chan),
+                |_, chan: &mut Endpoint, _: &CoinSource| handshake_bob(chan),
+            )
+            .expect("batch handshake");
+        for p in &parts {
+            assert_eq!(*p.alice.as_ref().expect("alice half"), 0xdead_beef);
+        }
+    }
+    let wall = t0.elapsed().as_nanos() as f64;
+    out.push(session_sample(
+        "runner_handshake_batch64",
+        sessions,
+        count() - a0,
+        wall,
+    ));
+
     // A real protocol session (trivial exchange, k = 8): how much of a
     // small-but-genuine session is substrate overhead.
     let spec = ProblemSpec::new(1 << 16, 8);
@@ -423,6 +481,190 @@ fn session_path(sessions: u64, count: fn() -> u64) -> Vec<SessionPathSample> {
     let wall = t0.elapsed().as_nanos() as f64;
     out.push(session_sample("spawn_trivial_k8", real, count() - a0, wall));
 
+    out
+}
+
+/// The protocols the cold-vs-warm comparison covers: one per plan shape
+/// (trivial fallback, one-round hash family, tree layout, √k buckets).
+pub fn prepared_protocols() -> Vec<ProtocolChoice> {
+    vec![
+        ProtocolChoice::Trivial,
+        ProtocolChoice::OneRound,
+        ProtocolChoice::TreeLogStar,
+        ProtocolChoice::Sqrt,
+    ]
+}
+
+fn prepared_workload(sessions: u64, spec: ProblemSpec) -> (Vec<InputPair>, Vec<u64>) {
+    let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(0x2020);
+    let pairs = (0..sessions)
+        .map(|i| {
+            InputPair::random_with_overlap(&mut rng, spec, spec.k as usize, (i % spec.k) as usize)
+        })
+        .collect();
+    let seeds = (0..sessions)
+        .map(|i| i.wrapping_mul(0x9e37_79b9_7f4a_7c15) ^ 0xfeed)
+        .collect();
+    (pairs, seeds)
+}
+
+/// Cold vs warm-cached execution, per protocol, at two layers.
+///
+/// *Executor* layer: `cold_spawn` is the seed path — a dedicated
+/// `run_two_party` pair per session, parameters re-derived inside
+/// `SetIntersection::run`; `warm_cached` executes one cached plan per
+/// session over the thread-local warm runner; `warm_batch64` submits the
+/// same sessions 64 at a time. *Engine* layer: the same contrast through
+/// the scheduler — `engine_cold` invalidates the plan cache before every
+/// submission, `engine_warm` serves singles from a warm cache, and
+/// `engine_batch64` uses the batch submission path.
+///
+/// `total_bits` must agree across all paths of a protocol: preparation
+/// and caching move work, never bits.
+pub fn prepared_samples(sessions: u64, workers: usize, count: fn() -> u64) -> Vec<PreparedSample> {
+    let spec = ProblemSpec::new(1 << 18, 32);
+    let (pairs, seeds) = prepared_workload(sessions, spec);
+    let cache = PlanCache::new();
+    let mut out = Vec::new();
+
+    let sample =
+        |layer: &str, protocol: String, path: &str, allocs: u64, wall_ns: f64, total_bits: u64| {
+            PreparedSample {
+                layer: layer.to_string(),
+                protocol,
+                path: path.to_string(),
+                sessions,
+                ns_per_session: wall_ns / sessions as f64,
+                sessions_per_sec: sessions as f64 / (wall_ns / 1e9),
+                allocs_per_session: allocs as f64 / sessions as f64,
+                total_bits,
+            }
+        };
+
+    for choice in prepared_protocols() {
+        let proto = choice.build(spec);
+
+        // Executor / cold: dedicated spawn, in-run parameter derivation.
+        let mut bits = 0u64;
+        let a0 = count();
+        let t0 = Instant::now();
+        for (pair, &seed) in pairs.iter().zip(&seeds) {
+            let run = run_two_party(
+                &RunConfig::with_seed(seed),
+                |chan, coins| proto.run(chan, coins, Side::Alice, spec, &pair.s),
+                |chan, coins| proto.run(chan, coins, Side::Bob, spec, &pair.t),
+            )
+            .expect("cold session");
+            bits += run.report.total_bits();
+        }
+        let wall = t0.elapsed().as_nanos() as f64;
+        let cold_bits = bits;
+        out.push(sample(
+            "executor",
+            proto.name(),
+            "cold_spawn",
+            count() - a0,
+            wall,
+            cold_bits,
+        ));
+
+        // Executor / warm: one cached plan, thread-local warm runner.
+        let plan = cache.get_or_prepare(choice, spec);
+        let mut bits = 0u64;
+        let a0 = count();
+        let t0 = Instant::now();
+        for (pair, &seed) in pairs.iter().zip(&seeds) {
+            let run = execute_prepared(&plan, pair, seed).expect("warm session");
+            bits += run.report.total_bits();
+        }
+        let wall = t0.elapsed().as_nanos() as f64;
+        assert_eq!(bits, cold_bits, "{choice}: warm path moved different bits");
+        out.push(sample(
+            "executor",
+            proto.name(),
+            "warm_cached",
+            count() - a0,
+            wall,
+            bits,
+        ));
+
+        // Executor / batch: the same sessions, 64 per submission.
+        let mut bits = 0u64;
+        let a0 = count();
+        let t0 = Instant::now();
+        for (pair_chunk, seed_chunk) in pairs.chunks(64).zip(seeds.chunks(64)) {
+            for run in execute_prepared_batch(&plan, pair_chunk, seed_chunk).expect("batch") {
+                bits += run.expect("batch session").report.total_bits();
+            }
+        }
+        let wall = t0.elapsed().as_nanos() as f64;
+        assert_eq!(bits, cold_bits, "{choice}: batch path moved different bits");
+        out.push(sample(
+            "executor",
+            proto.name(),
+            "warm_batch64",
+            count() - a0,
+            wall,
+            bits,
+        ));
+
+        // Engine layer: the same per-protocol workload through the
+        // scheduler. Requests regenerate their inputs from the seed, so
+        // the workload differs from the executor one above — the
+        // invariant to watch is cold vs warm vs batch WITHIN the layer.
+        let requests = |base: u64| -> Vec<SessionRequest> {
+            (0..sessions)
+                .map(|id| {
+                    let mut req = SessionRequest::new(base + id, spec, (id % spec.k) as usize);
+                    req.protocol = Some(choice);
+                    req
+                })
+                .collect()
+        };
+        let mut engine_bits = Vec::new();
+        for path in ["engine_cold", "engine_warm", "engine_batch64"] {
+            let engine = Engine::start(EngineConfig::new(workers));
+            if path != "engine_cold" {
+                // Warm the cache before the window opens.
+                engine.plan_cache().get_or_prepare(choice, spec);
+            }
+            let a0 = count();
+            let t0 = Instant::now();
+            match path {
+                "engine_batch64" => {
+                    for chunk in requests(0).chunks(64) {
+                        engine.submit_batch(chunk.to_vec()).expect("batch accepted");
+                    }
+                }
+                _ => {
+                    for req in requests(0) {
+                        if path == "engine_cold" {
+                            engine.plan_cache().invalidate();
+                        }
+                        engine.submit(req).expect("session accepted");
+                    }
+                }
+            }
+            let report = engine.finish();
+            let wall = t0.elapsed().as_nanos() as f64;
+            let allocs = count() - a0;
+            let m = &report.snapshot.metrics;
+            assert_eq!(m.completed, sessions, "{choice} {path}: sessions failed");
+            engine_bits.push(m.total_bits);
+            out.push(sample(
+                "engine",
+                proto.name(),
+                path,
+                allocs,
+                wall,
+                m.total_bits,
+            ));
+        }
+        assert!(
+            engine_bits.windows(2).all(|w| w[0] == w[1]),
+            "{choice}: engine paths moved different bits"
+        );
+    }
     out
 }
 
@@ -466,6 +708,11 @@ pub fn run(quick: bool, count: fn() -> u64) -> ThroughputReport {
         message_path: message_path(params.message_iters, count),
         session_path: session_path(params.sessions, count),
         engine: engine_samples(params.engine_sessions, params.engine_workers),
+        prepared: prepared_samples(
+            if quick { 200 } else { 2_000 },
+            params.engine_workers,
+            count,
+        ),
         before: seed_baseline(),
     }
 }

@@ -1,0 +1,165 @@
+//! Prepared-plan bit-exactness: the parameter phase may be hoisted and
+//! cached, the transcript may not change.
+//!
+//! The `prepared` module's contract is that for every protocol,
+//! `plan.execute(chan, coins, side, input)` transmits **byte-identical**
+//! messages to a cold `SetIntersection::run` on the same channel with
+//! the same coins. This test checks the contract exhaustively over the
+//! catalogue — every [`ProtocolChoice`] at `k ∈ {16, 64, 256}` — and
+//! through the engine's plan cache, so the plan under test is the shared
+//! cached copy, not a fresh one:
+//!
+//! - every payload either party moves, byte for byte (a recording
+//!   [`Chan`] wrapper on both sides);
+//! - the [`CostReport`] (bits per direction, messages, rounds);
+//! - both parties' output sets;
+//! - and the warm-runner path ([`execute_prepared`]) agrees with both.
+
+use intersect_comm::bits::BitBuf;
+use intersect_comm::chan::Chan;
+use intersect_comm::coins::CoinSource;
+use intersect_comm::error::ProtocolError;
+use intersect_comm::runner::{run_two_party, RunConfig, Side};
+use intersect_comm::stats::{ChannelStats, CostReport};
+use intersect_core::prelude::*;
+use intersect_engine::plan_cache::PlanCache;
+use rand::SeedableRng;
+use std::sync::Arc;
+
+/// One party's view of a transcript: direction plus exact payload.
+type Transcript = Vec<(Side, BitBuf)>;
+
+/// A [`Chan`] adapter that logs every payload it moves, byte for byte.
+/// Unlike `intersect_comm::trace::Traced` (sizes and labels only), this
+/// keeps the bits themselves, which is what bit-exactness is about.
+struct Recording<C> {
+    inner: C,
+    side: Side,
+    log: Transcript,
+}
+
+impl<C: Chan> Recording<C> {
+    fn new(inner: C, side: Side) -> Self {
+        Recording {
+            inner,
+            side,
+            log: Vec::new(),
+        }
+    }
+}
+
+impl<C: Chan> Chan for Recording<C> {
+    fn send(&mut self, msg: BitBuf) -> Result<(), ProtocolError> {
+        self.log.push((self.side, msg.clone()));
+        self.inner.send(msg)
+    }
+
+    fn recv(&mut self) -> Result<BitBuf, ProtocolError> {
+        let msg = self.inner.recv()?;
+        self.log.push((self.side.peer(), msg.clone()));
+        Ok(msg)
+    }
+
+    fn stats(&self) -> ChannelStats {
+        self.inner.stats()
+    }
+}
+
+struct RecordedRun {
+    alice: ElementSet,
+    bob: ElementSet,
+    report: CostReport,
+    transcript_a: Transcript,
+    transcript_b: Transcript,
+}
+
+/// Runs one session over a dedicated pair with recording channels on
+/// both sides; `party` is either `SetIntersection::run` or
+/// `PreparedProtocol::execute` partially applied.
+fn record<F>(seed: u64, pair: &InputPair, party: F) -> RecordedRun
+where
+    F: Fn(&mut dyn Chan, &CoinSource, Side, &ElementSet) -> Result<ElementSet, ProtocolError>
+        + Sync,
+{
+    let party = &party;
+    let out = run_two_party(
+        &RunConfig::with_seed(seed),
+        |chan, coins| {
+            let mut rec = Recording::new(&mut *chan, Side::Alice);
+            let set = party(&mut rec, coins, Side::Alice, &pair.s)?;
+            Ok((set, rec.log))
+        },
+        |chan, coins| {
+            let mut rec = Recording::new(&mut *chan, Side::Bob);
+            let set = party(&mut rec, coins, Side::Bob, &pair.t)?;
+            Ok((set, rec.log))
+        },
+    )
+    .expect("session infrastructure");
+    RecordedRun {
+        alice: out.alice.0,
+        bob: out.bob.0,
+        report: out.report,
+        transcript_a: out.alice.1,
+        transcript_b: out.bob.1,
+    }
+}
+
+#[test]
+fn cached_plans_transmit_byte_identical_transcripts_across_the_catalogue() {
+    let cache = PlanCache::new();
+    for choice in ProtocolChoice::all(3) {
+        for k in [16u64, 64, 256] {
+            let spec = ProblemSpec::new(1 << 20, k);
+            // Distinct inputs and coins per cell, both deterministic.
+            let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(k ^ 0xbeef);
+            let pair = InputPair::random_with_overlap(&mut rng, spec, k as usize, (k / 4) as usize);
+            let seed = 1000 + k;
+
+            let proto = choice.build(spec);
+            let cold = record(seed, &pair, |chan, coins, side, input| {
+                proto.run(chan, coins, side, spec, input)
+            });
+
+            cache.get_or_prepare(choice, spec); // warm the entry…
+            let plan = cache.get_or_prepare(choice, spec); // …then take the cached copy
+            let plan_ref = &plan;
+            let warm = record(seed, &pair, |chan, coins, side, input| {
+                plan_ref.execute(chan, coins, side, input)
+            });
+
+            let cell = format!("{choice} k={k}");
+            assert_eq!(
+                cold.transcript_a, warm.transcript_a,
+                "{cell}: Alice's transcript changed"
+            );
+            assert_eq!(
+                cold.transcript_b, warm.transcript_b,
+                "{cell}: Bob's transcript changed"
+            );
+            assert_eq!(cold.report, warm.report, "{cell}: cost report changed");
+            assert_eq!(
+                (cold.alice, cold.bob),
+                (warm.alice.clone(), warm.bob.clone()),
+                "{cell}: outputs changed"
+            );
+
+            // The warm-runner entry point drives the same plan through a
+            // reused SessionRunner; it must agree with the dedicated pair.
+            let runner = execute_prepared(&Arc::clone(&plan), &pair, seed)
+                .expect("prepared execution succeeds");
+            assert_eq!(runner.report, warm.report, "{cell}: runner cost differs");
+            assert_eq!(
+                (runner.alice, runner.bob),
+                (warm.alice, warm.bob),
+                "{cell}: runner outputs differ"
+            );
+        }
+    }
+    let stats = cache.stats();
+    assert_eq!(
+        stats.hits + stats.misses,
+        2 * stats.entries,
+        "each catalogue cell looked up twice: one miss, one hit"
+    );
+}

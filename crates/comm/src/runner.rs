@@ -231,13 +231,12 @@ where
         (res_a, res_b, stats_a, stats_b)
     });
 
-    let report = assemble_report(stats_a, stats_b);
-
-    match (res_a, res_b) {
-        (Ok(alice), Ok(bob)) => Ok(RunOutcome { alice, bob, report }),
-        (Err(e), Ok(_)) | (Ok(_), Err(e)) => Err(e),
-        (Err(ea), Err(eb)) => Err(primary_error(ea, eb)),
+    SessionParts {
+        alice: res_a,
+        bob: res_b,
+        report: assemble_report(stats_a, stats_b),
     }
+    .collapse()
 }
 
 /// The tie-break [`run_two_party`] applies when both halves fail: the
@@ -263,6 +262,16 @@ fn contained_error(side: Side, payload: Box<dyn Any + Send>) -> ProtocolError {
         "non-string panic payload"
     };
     ProtocolError::Internal(format!("{side} panicked: {msg}"))
+}
+
+/// Recovers Bob's concrete result from the worker's type-erased report.
+fn downcast_bob<B: 'static>(
+    res: Result<Box<dyn Any + Send>, ProtocolError>,
+) -> Result<B, ProtocolError> {
+    res.map(|b| {
+        *b.downcast::<B>()
+            .expect("bob's type-erased result matches FB's return type")
+    })
 }
 
 /// Collapses a [`catch_unwind`] result: a panicking protocol half
@@ -291,22 +300,67 @@ pub struct SessionParts<A, B> {
     pub report: CostReport,
 }
 
+impl<A, B> SessionParts<A, B> {
+    /// Collapses the two halves into [`run_two_party`]'s contract: both
+    /// succeed or the run fails, with [`primary_error`] breaking a
+    /// double failure. This is the single tie-break site shared by
+    /// every execution path.
+    pub fn collapse(self) -> Result<RunOutcome<A, B>, ProtocolError> {
+        match (self.alice, self.bob) {
+            (Ok(alice), Ok(bob)) => Ok(RunOutcome {
+                alice,
+                bob,
+                report: self.report,
+            }),
+            (Err(e), Ok(_)) | (Ok(_), Err(e)) => Err(e),
+            (Err(ea), Err(eb)) => Err(primary_error(ea, eb)),
+        }
+    }
+}
+
 /// Bob's half, type-erased so one worker thread can serve sessions of
 /// any result type.
 type BobFn = Box<
     dyn FnOnce(&mut Endpoint, &CoinSource) -> Result<Box<dyn Any + Send>, ProtocolError> + Send,
 >;
 
+/// Bob's halves for a batch. The first argument is the session's index
+/// within its batch.
+type BatchBobFn = Box<
+    dyn FnMut(usize, &mut Endpoint, &CoinSource) -> Result<Box<dyn Any + Send>, ProtocolError>
+        + Send,
+>;
+
+/// What one job asks the worker thread to run.
+///
+/// `Single` is kept distinct from a one-element `Batch` deliberately:
+/// the single-session hot path stays free of per-session heap
+/// allocations (no coin vector, no result vector — a zero-sized Bob
+/// closure boxes for free), which the steady-state no-alloc test pins.
+enum JobKind {
+    /// One session: Bob's half and its coin source.
+    Single(CoinSource, BobFn),
+    /// Back-to-back sessions separated by fin rendezvous, one coin
+    /// source each.
+    Batch(Vec<CoinSource>, BatchBobFn),
+}
+
 struct Job {
     budget: Option<u64>,
     timeout: Duration,
-    coins: CoinSource,
-    bob: BobFn,
+    kind: JobKind,
 }
 
-/// What the worker thread reports back after each session: bob's
-/// type-erased result and his endpoint's final stats.
-type Done = (Result<Box<dyn Any + Send>, ProtocolError>, ChannelStats);
+/// Bob's type-erased result and his endpoint's final stats for one
+/// session.
+type SessionDone = (Result<Box<dyn Any + Send>, ProtocolError>, ChannelStats);
+
+/// What the worker thread reports back after each job. A `Batch` report
+/// is shorter than the batch if the worker lost rendezvous mid-batch.
+enum Done {
+    Single(SessionDone),
+    Batch(Vec<SessionDone>),
+}
 
 /// A reusable two-party session executor: one long-lived paired thread
 /// and one resettable channel pair serve sessions back to back.
@@ -373,16 +427,44 @@ impl SessionRunner {
         let handle = std::thread::spawn(move || {
             let _pool = ep_b.pool().clone().install();
             for job in job_rx.iter() {
+                // Full reset (drain included) only at a job boundary,
+                // ordered by the ready handshake; inside a batch the fin
+                // rendezvous separates sessions instead.
                 ep_b.reset(job.budget, job.timeout);
                 if ready_tx.send(()).is_err() {
                     break;
                 }
-                let res = contain(
-                    Side::Bob,
-                    catch_unwind(AssertUnwindSafe(|| (job.bob)(&mut ep_b, &job.coins))),
-                );
-                ep_b.send_fin();
-                if done_tx.send((res, ep_b.stats())).is_err() {
+                let done = match job.kind {
+                    JobKind::Single(coins, bob) => {
+                        let res = contain(
+                            Side::Bob,
+                            catch_unwind(AssertUnwindSafe(|| bob(&mut ep_b, &coins))),
+                        );
+                        ep_b.send_fin();
+                        Done::Single((res, ep_b.stats()))
+                    }
+                    JobKind::Batch(coins, mut bob) => {
+                        let mut results = Vec::with_capacity(coins.len());
+                        for (i, c) in coins.iter().enumerate() {
+                            if i > 0 {
+                                ep_b.rearm(job.budget, job.timeout);
+                            }
+                            let res = contain(
+                                Side::Bob,
+                                catch_unwind(AssertUnwindSafe(|| bob(i, &mut ep_b, c))),
+                            );
+                            ep_b.send_fin();
+                            results.push((res, ep_b.stats()));
+                            if ep_b.drain_to_fin().is_err() {
+                                // Lost rendezvous: report the short batch
+                                // so the caller retires this runner.
+                                break;
+                            }
+                        }
+                        Done::Batch(results)
+                    }
+                };
+                if done_tx.send(done).is_err() {
                     break;
                 }
             }
@@ -419,51 +501,139 @@ impl SessionRunner {
         FB: FnOnce(&mut Endpoint, &CoinSource) -> Result<B, ProtocolError> + Send + 'static,
         B: Send + 'static,
     {
+        let coins = CoinSource::from_seed(cfg.seed);
+        let kind = JobKind::Single(
+            coins.clone(),
+            Box::new(move |ep, c| bob(ep, c).map(|b| Box::new(b) as Box<dyn Any + Send>)),
+        );
+        self.begin_job(cfg, kind)?;
+        let (res_a, stats_a) = {
+            let _pool = self.ep_a.pool().clone().install();
+            let res = contain(
+                Side::Alice,
+                catch_unwind(AssertUnwindSafe(|| alice(&mut self.ep_a, &coins))),
+            );
+            self.ep_a.send_fin();
+            (res, self.ep_a.stats())
+        };
+        let (res_b, stats_b) = match self.done_rx.recv() {
+            Ok(Done::Single(done)) => done,
+            _ => {
+                self.broken = true;
+                return Err(self.broken_error());
+            }
+        };
+        Ok(SessionParts {
+            alice: res_a,
+            bob: downcast_bob::<B>(res_b),
+            report: assemble_report(stats_a, stats_b),
+        })
+    }
+
+    /// Runs a batch of back-to-back sessions over the warm pair: one
+    /// job hand-off and one ready handshake for the whole batch, then
+    /// one coin-source reseed (from `seeds[i]`) per session. Sessions
+    /// are separated by an unmetered fin rendezvous instead of a full
+    /// reset, so per-session overhead is two control frames.
+    ///
+    /// Each session is bit-for-bit identical to a dedicated
+    /// [`run_two_party`] call with `RunConfig { seed: seeds[i], ..cfg }`
+    /// running the same closures: counters restart from zero and the
+    /// budget re-applies per session. Failures are contained per
+    /// session — one failed session leaves the rest of the batch
+    /// untouched.
+    ///
+    /// # Errors
+    ///
+    /// Fails only if the runner itself breaks (worker thread death, or
+    /// a lost mid-batch rendezvous after a receive timeout); per-session
+    /// protocol failures are reported inside each [`SessionParts`].
+    pub fn run_batch_parts<FA, FB, A, B>(
+        &mut self,
+        cfg: &RunConfig,
+        seeds: &[u64],
+        mut alice: FA,
+        mut bob: FB,
+    ) -> Result<Vec<SessionParts<A, B>>, ProtocolError>
+    where
+        FA: FnMut(usize, &mut Endpoint, &CoinSource) -> Result<A, ProtocolError>,
+        FB: FnMut(usize, &mut Endpoint, &CoinSource) -> Result<B, ProtocolError> + Send + 'static,
+        B: Send + 'static,
+    {
+        if seeds.is_empty() {
+            return Ok(Vec::new());
+        }
+        let coins: Vec<CoinSource> = seeds.iter().map(|&s| CoinSource::from_seed(s)).collect();
+        let kind = JobKind::Batch(
+            coins.clone(),
+            Box::new(move |i, ep, c| bob(i, ep, c).map(|b| Box::new(b) as Box<dyn Any + Send>)),
+        );
+        self.begin_job(cfg, kind)?;
+        let mut halves: Vec<(Result<A, ProtocolError>, ChannelStats)> =
+            Vec::with_capacity(coins.len());
+        let mut desynced = false;
+        {
+            let _pool = self.ep_a.pool().clone().install();
+            for (i, c) in coins.iter().enumerate() {
+                if i > 0 {
+                    self.ep_a.rearm(cfg.bit_budget, cfg.timeout);
+                }
+                let res = contain(
+                    Side::Alice,
+                    catch_unwind(AssertUnwindSafe(|| alice(i, &mut self.ep_a, c))),
+                );
+                self.ep_a.send_fin();
+                halves.push((res, self.ep_a.stats()));
+                if self.ep_a.drain_to_fin().is_err() {
+                    desynced = true;
+                    break;
+                }
+            }
+        }
+        // Every worker-side blocking operation is timeout-bounded, so
+        // the batch report always arrives (possibly short).
+        let done = match self.done_rx.recv() {
+            Ok(Done::Batch(done)) => done,
+            _ => {
+                self.broken = true;
+                return Err(self.broken_error());
+            }
+        };
+        if desynced || done.len() != halves.len() {
+            self.broken = true;
+            return Err(self.broken_error());
+        }
+        Ok(halves
+            .into_iter()
+            .zip(done)
+            .map(|((res_a, stats_a), (res_b, stats_b))| SessionParts {
+                alice: res_a,
+                bob: downcast_bob::<B>(res_b),
+                report: assemble_report(stats_a, stats_b),
+            })
+            .collect())
+    }
+
+    /// Shared job kickoff: reset order matters — Alice's endpoint first
+    /// (the peer is quiescent between jobs), then the job hand-off,
+    /// then Bob resets his endpoint *before* acknowledging ready — so
+    /// neither reset can swallow a frame of the new job.
+    fn begin_job(&mut self, cfg: &RunConfig, kind: JobKind) -> Result<(), ProtocolError> {
         let job_tx = match (&self.job_tx, self.broken) {
             (Some(tx), false) => tx,
             _ => return Err(self.broken_error()),
         };
-        let coins = CoinSource::from_seed(cfg.seed);
         let job = Job {
             budget: cfg.bit_budget,
             timeout: cfg.timeout,
-            coins: coins.clone(),
-            bob: Box::new(move |ep, c| bob(ep, c).map(|b| Box::new(b) as Box<dyn Any + Send>)),
+            kind,
         };
-        // Reset order matters: Alice's endpoint first (the peer is
-        // quiescent between sessions), then the job hand-off, then Bob
-        // resets his endpoint *before* acknowledging ready — so neither
-        // reset can swallow a frame of the new session.
         self.ep_a.reset(cfg.bit_budget, cfg.timeout);
         if job_tx.send(job).is_err() || self.ready_rx.recv().is_err() {
             self.broken = true;
             return Err(self.broken_error());
         }
-        let res_a = {
-            let _pool = self.ep_a.pool().clone().install();
-            contain(
-                Side::Alice,
-                catch_unwind(AssertUnwindSafe(|| alice(&mut self.ep_a, &coins))),
-            )
-        };
-        self.ep_a.send_fin();
-        let stats_a = self.ep_a.stats();
-        let (res_b, stats_b) = match self.done_rx.recv() {
-            Ok(done) => done,
-            Err(_) => {
-                self.broken = true;
-                return Err(self.broken_error());
-            }
-        };
-        let res_b = res_b.map(|b| {
-            *b.downcast::<B>()
-                .expect("bob's type-erased result matches FB's return type")
-        });
-        Ok(SessionParts {
-            alice: res_a,
-            bob: res_b,
-            report: assemble_report(stats_a, stats_b),
-        })
+        Ok(())
     }
 
     /// Runs one session with the exact contract of [`run_two_party`].
@@ -471,7 +641,8 @@ impl SessionRunner {
     /// # Errors
     ///
     /// As [`run_two_party`]: either half's failure fails the run, with
-    /// the same primary-over-secondary tie-break.
+    /// the same primary-over-secondary tie-break
+    /// ([`SessionParts::collapse`]).
     pub fn run<FA, FB, A, B>(
         &mut self,
         cfg: &RunConfig,
@@ -483,16 +654,7 @@ impl SessionRunner {
         FB: FnOnce(&mut Endpoint, &CoinSource) -> Result<B, ProtocolError> + Send + 'static,
         B: Send + 'static,
     {
-        let parts = self.run_parts(cfg, alice, bob)?;
-        match (parts.alice, parts.bob) {
-            (Ok(alice), Ok(bob)) => Ok(RunOutcome {
-                alice,
-                bob,
-                report: parts.report,
-            }),
-            (Err(e), Ok(_)) | (Ok(_), Err(e)) => Err(e),
-            (Err(ea), Err(eb)) => Err(primary_error(ea, eb)),
-        }
+        self.run_parts(cfg, alice, bob)?.collapse()
     }
 
     fn broken_error(&self) -> ProtocolError {
@@ -748,6 +910,166 @@ mod tests {
         assert_eq!(parts.alice.unwrap(), "alice done");
         assert_eq!(parts.bob.unwrap_err(), ProtocolError::ChannelClosed);
         assert_eq!(parts.report.bits_alice, 4);
+    }
+
+    #[test]
+    fn primary_error_orders_transport_below_protocol_failures() {
+        use ProtocolError::*;
+        // A secondary transport symptom (hangup/timeout) loses to the
+        // root-cause protocol failure, whichever side raised it.
+        let proto = || InvalidInput("bad set".to_string());
+        assert_eq!(primary_error(ChannelClosed, proto()), proto());
+        assert_eq!(primary_error(Timeout, proto()), proto());
+        assert_eq!(primary_error(proto(), ChannelClosed), proto());
+        assert_eq!(primary_error(proto(), Timeout), proto());
+        // Two transport errors: Alice's wins.
+        assert_eq!(primary_error(ChannelClosed, Timeout), ChannelClosed);
+        assert_eq!(primary_error(Timeout, ChannelClosed), Timeout);
+        // Two protocol errors: Alice's wins.
+        assert_eq!(
+            primary_error(Internal("a".into()), Internal("b".into())),
+            Internal("a".into())
+        );
+    }
+
+    #[test]
+    fn collapse_applies_the_shared_tie_break() {
+        let parts = |a: Result<(), ProtocolError>, b: Result<(), ProtocolError>| SessionParts {
+            alice: a,
+            bob: b,
+            report: CostReport::default(),
+        };
+        assert!(parts(Ok(()), Ok(())).collapse().is_ok());
+        let boom = ProtocolError::InvalidInput("boom".to_string());
+        assert_eq!(
+            parts(Err(ProtocolError::ChannelClosed), Err(boom.clone()))
+                .collapse()
+                .unwrap_err(),
+            boom
+        );
+        assert_eq!(
+            parts(Ok(()), Err(boom.clone())).collapse().unwrap_err(),
+            boom
+        );
+    }
+
+    #[test]
+    fn batch_sessions_match_dedicated_runs_bit_for_bit() {
+        let alice = |i: usize, chan: &mut Endpoint, _: &CoinSource| {
+            chan.send(bits(i % 7 + 1))?;
+            let got = chan.recv()?;
+            chan.send(bits(got.len() + 1))?;
+            Ok(())
+        };
+        let bob = |i: usize, chan: &mut Endpoint, _: &CoinSource| {
+            let got = chan.recv()?;
+            chan.send(bits(got.len() + 2 + i % 3))?;
+            Ok(chan.recv()?.len())
+        };
+        let seeds: Vec<u64> = (0..32).collect();
+        let mut runner = SessionRunner::start();
+        let batch = runner
+            .run_batch_parts(&RunConfig::default(), &seeds, alice, bob)
+            .unwrap();
+        assert_eq!(batch.len(), seeds.len());
+        for (i, parts) in batch.into_iter().enumerate() {
+            let cfg = RunConfig::with_seed(seeds[i]);
+            let dedicated = run_two_party(
+                &cfg,
+                |chan, c| alice(i, chan, c),
+                move |chan: &mut Endpoint, c: &CoinSource| bob(i, chan, c),
+            )
+            .unwrap();
+            assert_eq!(parts.report, dedicated.report, "session {i}");
+            assert_eq!(parts.bob.unwrap(), dedicated.bob, "session {i}");
+        }
+    }
+
+    #[test]
+    fn batch_shares_coins_per_session_seed() {
+        let mut runner = SessionRunner::start();
+        let seeds = [11u64, 12, 13];
+        let batch = runner
+            .run_batch_parts(
+                &RunConfig::default(),
+                &seeds,
+                |_, _, coins: &CoinSource| {
+                    use rand::Rng;
+                    Ok(coins.rng_for("h").gen::<u64>())
+                },
+                |_, _, coins: &CoinSource| {
+                    use rand::Rng;
+                    Ok(coins.rng_for("h").gen::<u64>())
+                },
+            )
+            .unwrap();
+        let values: Vec<u64> = batch
+            .into_iter()
+            .map(|p| {
+                let (a, b) = (p.alice.unwrap(), p.bob.unwrap());
+                assert_eq!(a, b, "both sides draw from the session seed");
+                a
+            })
+            .collect();
+        // Distinct seeds give distinct common random strings.
+        assert_ne!(values[0], values[1]);
+        assert_ne!(values[1], values[2]);
+    }
+
+    #[test]
+    fn batch_contains_per_session_failures() {
+        let mut runner = SessionRunner::start();
+        let batch = runner
+            .run_batch_parts(
+                &RunConfig::default(),
+                &[0, 1, 2],
+                |_, chan: &mut Endpoint, _| {
+                    chan.send(bits(4))?;
+                    Ok(())
+                },
+                |i, chan: &mut Endpoint, _| {
+                    if i == 1 {
+                        panic!("session one explodes");
+                    }
+                    Ok(chan.recv()?.len())
+                },
+            )
+            .unwrap();
+        assert_eq!(batch[0].bob.as_ref().unwrap(), &4);
+        assert_eq!(
+            batch[1].bob.as_ref().unwrap_err(),
+            &ProtocolError::Internal("bob panicked: session one explodes".into())
+        );
+        // The failed middle session leaves the next one pristine.
+        assert_eq!(batch[2].bob.as_ref().unwrap(), &4);
+        assert_eq!(batch[2].report.total_bits(), 4);
+        assert_eq!(batch[2].report.rounds, 1);
+        // And the runner itself stays healthy.
+        let out = runner
+            .run(
+                &RunConfig::with_seed(9),
+                |chan, _| {
+                    chan.send(bits(2))?;
+                    Ok(())
+                },
+                |chan, _| Ok(chan.recv()?.len()),
+            )
+            .unwrap();
+        assert_eq!(out.bob, 2);
+    }
+
+    #[test]
+    fn empty_batch_is_a_no_op() {
+        let mut runner = SessionRunner::start();
+        let batch: Vec<SessionParts<(), ()>> = runner
+            .run_batch_parts(
+                &RunConfig::default(),
+                &[],
+                |_, _, _| Ok(()),
+                |_, _, _| Ok(()),
+            )
+            .unwrap();
+        assert!(batch.is_empty());
     }
 
     #[test]

@@ -59,9 +59,15 @@ impl<P> Amplified<P> {
     }
 }
 
-impl<P: SetIntersection> SetIntersection for Amplified<P> {
+impl<P: SetIntersection + Clone + 'static> SetIntersection for Amplified<P> {
     fn name(&self) -> String {
         format!("amplified({})", self.inner.name())
+    }
+
+    // The attempt loop re-parameterizes per repetition, so there is
+    // nothing input-independent to hoist.
+    fn prepare(&self, spec: ProblemSpec) -> std::sync::Arc<dyn crate::prepared::PreparedProtocol> {
+        std::sync::Arc::new(crate::prepared::FallbackPlan::new(self.clone(), spec))
     }
 
     fn run(

@@ -4,6 +4,7 @@
 use crate::basic::BasicIntersection;
 use crate::hw07::HwDisjointness;
 use crate::one_round::OneRoundHash;
+use crate::prepared::{FallbackPlan, PreparedProtocol};
 use crate::sets::{ElementSet, InputPair, ProblemSpec};
 use crate::sqrt::SqrtProtocol;
 use crate::st13::SparseDisjointness;
@@ -13,8 +14,9 @@ use crate::trivial::TrivialExchange;
 use intersect_comm::chan::Chan;
 use intersect_comm::coins::CoinSource;
 use intersect_comm::error::ProtocolError;
-use intersect_comm::runner::{run_two_party, RunConfig, Side};
+use intersect_comm::runner::Side;
 use intersect_comm::stats::CostReport;
+use std::sync::Arc;
 
 /// A two-party protocol computing `S ∩ T`.
 ///
@@ -38,6 +40,17 @@ pub trait SetIntersection: Send + Sync + std::fmt::Debug {
         spec: ProblemSpec,
         input: &ElementSet,
     ) -> Result<ElementSet, ProtocolError>;
+
+    /// Performs the input-independent parameter phase for `spec` once —
+    /// hash-family primes, tree shapes, round/error schedules — and
+    /// returns a plan whose
+    /// [`execute`](crate::prepared::PreparedProtocol::execute) replays
+    /// the bit-exchanging phase for any input.
+    ///
+    /// Prepared executions are bit-identical to [`run`](Self::run) given
+    /// the same coins: preparation hoists only deterministic, RNG-free
+    /// work.
+    fn prepare(&self, spec: ProblemSpec) -> Arc<dyn PreparedProtocol>;
 }
 
 /// A two-party protocol deciding whether `S ∩ T = ∅`.
@@ -75,6 +88,10 @@ impl<P: SetIntersection + ?Sized> SetIntersection for Box<P> {
     ) -> Result<ElementSet, ProtocolError> {
         (**self).run(chan, coins, side, spec, input)
     }
+
+    fn prepare(&self, spec: ProblemSpec) -> Arc<dyn PreparedProtocol> {
+        (**self).prepare(spec)
+    }
 }
 
 impl<P: SetIntersection + ?Sized> SetIntersection for &P {
@@ -91,6 +108,10 @@ impl<P: SetIntersection + ?Sized> SetIntersection for &P {
         input: &ElementSet,
     ) -> Result<ElementSet, ProtocolError> {
         (**self).run(chan, coins, side, spec, input)
+    }
+
+    fn prepare(&self, spec: ProblemSpec) -> Arc<dyn PreparedProtocol> {
+        (**self).prepare(spec)
     }
 }
 
@@ -109,6 +130,12 @@ impl SetIntersection for TrivialExchange {
     ) -> Result<ElementSet, ProtocolError> {
         TrivialExchange::run(self, chan, &coins.fork("trivial"), side, spec, input)
     }
+
+    // The trivial exchange derives no parameters: the fallback plan (an
+    // identity preparation) is already optimal.
+    fn prepare(&self, spec: ProblemSpec) -> Arc<dyn PreparedProtocol> {
+        Arc::new(FallbackPlan::new(*self, spec))
+    }
 }
 
 impl SetIntersection for OneRoundHash {
@@ -125,6 +152,10 @@ impl SetIntersection for OneRoundHash {
         input: &ElementSet,
     ) -> Result<ElementSet, ProtocolError> {
         OneRoundHash::run(self, chan, &coins.fork("one-round"), side, spec, input)
+    }
+
+    fn prepare(&self, spec: ProblemSpec) -> Arc<dyn PreparedProtocol> {
+        Arc::new(self.plan(spec))
     }
 }
 
@@ -143,6 +174,10 @@ impl SetIntersection for BasicIntersection {
     ) -> Result<ElementSet, ProtocolError> {
         BasicIntersection::run(self, chan, &coins.fork("basic"), side, spec, input)
     }
+
+    fn prepare(&self, spec: ProblemSpec) -> Arc<dyn PreparedProtocol> {
+        Arc::new(self.plan(spec))
+    }
 }
 
 impl SetIntersection for TreeProtocol {
@@ -159,6 +194,10 @@ impl SetIntersection for TreeProtocol {
         input: &ElementSet,
     ) -> Result<ElementSet, ProtocolError> {
         TreeProtocol::run(self, chan, &coins.fork("tree"), side, spec, input)
+    }
+
+    fn prepare(&self, spec: ProblemSpec) -> Arc<dyn PreparedProtocol> {
+        Arc::new(self.plan(spec))
     }
 }
 
@@ -177,6 +216,10 @@ impl SetIntersection for PipelinedTree {
     ) -> Result<ElementSet, ProtocolError> {
         PipelinedTree::run(self, chan, &coins.fork("tree-pipelined"), side, spec, input)
     }
+
+    fn prepare(&self, spec: ProblemSpec) -> Arc<dyn PreparedProtocol> {
+        Arc::new(self.plan(spec))
+    }
 }
 
 impl SetIntersection for SqrtProtocol {
@@ -193,6 +236,10 @@ impl SetIntersection for SqrtProtocol {
         input: &ElementSet,
     ) -> Result<ElementSet, ProtocolError> {
         SqrtProtocol::run(self, chan, &coins.fork("sqrt"), side, spec, input)
+    }
+
+    fn prepare(&self, spec: ProblemSpec) -> Arc<dyn PreparedProtocol> {
+        Arc::new(self.plan(spec))
     }
 }
 
@@ -253,7 +300,9 @@ impl<P: SetIntersection> SetDisjointness for DisjointnessViaIntersection<P> {
 }
 
 /// The protocol catalogue, for building by name in harnesses and CLIs.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+///
+/// `Hash + Eq` so `(ProtocolChoice, ProblemSpec)` can key a plan cache.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum ProtocolChoice {
     /// Deterministic one-exchange optimal-code transfer.
     Trivial,
@@ -382,8 +431,15 @@ impl IntersectionRun {
     }
 }
 
-/// Runs `protocol` on `(pair.s, pair.t)` over an in-process channel with
-/// shared seed `seed`, returning both outputs and the exact cost.
+/// Runs `protocol` on `(pair.s, pair.t)` over this thread's warm
+/// session runner with shared seed `seed`, returning both outputs and
+/// the exact cost.
+///
+/// Internally this is `protocol.prepare(spec)` followed by
+/// [`execute_prepared`](crate::prepared::execute_prepared) — the same
+/// (and only) execution path the engine scheduler and batch submission
+/// use. Transcripts are bit-identical to a dedicated
+/// [`run_two_party`](intersect_comm::runner::run_two_party) pair.
 ///
 /// # Errors
 ///
@@ -410,21 +466,14 @@ pub fn execute(
     pair: &InputPair,
     seed: u64,
 ) -> Result<IntersectionRun, ProtocolError> {
-    let out = run_two_party(
-        &RunConfig::with_seed(seed),
-        |chan, coins| protocol.run(chan, coins, Side::Alice, spec, &pair.s),
-        |chan, coins| protocol.run(chan, coins, Side::Bob, spec, &pair.t),
-    )?;
-    Ok(IntersectionRun {
-        alice: out.alice,
-        bob: out.bob,
-        report: out.report,
-    })
+    let plan = protocol.prepare(spec);
+    crate::prepared::execute_prepared(&plan, pair, seed)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use intersect_comm::runner::{run_two_party, RunConfig};
     use rand::SeedableRng;
     use rand_chacha::ChaCha8Rng;
 

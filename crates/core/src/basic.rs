@@ -16,6 +16,7 @@
 //! the two outputs are *equal*, they both equal `S ∩ T`, so one equality
 //! test certifies a correct intersection.
 
+use crate::prepared::PreparedProtocol;
 use crate::sets::{ElementSet, ProblemSpec};
 use intersect_comm::bits::BitBuf;
 use intersect_comm::chan::Chan;
@@ -23,7 +24,7 @@ use intersect_comm::coins::CoinSource;
 use intersect_comm::encode::{get_gamma0, put_gamma0, RiceSubsetCodec};
 use intersect_comm::error::ProtocolError;
 use intersect_comm::runner::Side;
-use intersect_hash::pairwise::PairwiseHash;
+use intersect_hash::pairwise::PairwiseFamily;
 
 /// `Basic-Intersection` with tunable one-sided failure probability.
 ///
@@ -76,6 +77,18 @@ impl BasicIntersection {
         t.clamp(16, cap)
     }
 
+    /// Derives the input-independent parameters for `spec`: the hash
+    /// family's field prime over the universe. The per-instance range
+    /// `t` depends on runtime input sizes and stays in the execution
+    /// phase.
+    pub fn plan(&self, spec: ProblemSpec) -> BasicPlan {
+        BasicPlan {
+            proto: *self,
+            spec,
+            family: PairwiseFamily::new(spec.n.max(1)),
+        }
+    }
+
     /// Runs the protocol on one input per party; see [module docs](self).
     ///
     /// # Errors
@@ -109,10 +122,39 @@ impl BasicIntersection {
         &self,
         chan: &mut dyn Chan,
         coins: &CoinSource,
+        side: Side,
+        spec: ProblemSpec,
+        inputs: &[ElementSet],
+    ) -> Result<Vec<ElementSet>, ProtocolError> {
+        self.run_batch_with(
+            &PairwiseFamily::new(spec.n.max(1)),
+            chan,
+            coins,
+            side,
+            spec,
+            inputs,
+        )
+    }
+
+    /// [`run_batch`](Self::run_batch) with the hash family's field
+    /// prime already found — the prepared-path hot variant. The family
+    /// must cover the universe `spec.n.max(1)`; sampling from it draws
+    /// exactly the bits the cold path draws, so transcripts are
+    /// byte-identical.
+    ///
+    /// # Errors
+    ///
+    /// Fails on transport errors or malformed peer messages.
+    pub(crate) fn run_batch_with(
+        &self,
+        family: &PairwiseFamily,
+        chan: &mut dyn Chan,
+        coins: &CoinSource,
         _side: Side,
         spec: ProblemSpec,
         inputs: &[ElementSet],
     ) -> Result<Vec<ElementSet>, ProtocolError> {
+        debug_assert_eq!(family.universe(), spec.n.max(1));
         for input in inputs {
             spec.validate(input).map_err(ProtocolError::InvalidInput)?;
         }
@@ -148,7 +190,7 @@ impl BasicIntersection {
         for (i, input) in inputs.iter().enumerate() {
             let m = input.len() as u64 + their_sizes[i];
             let t = self.hash_range(m);
-            let h = PairwiseHash::sample(&mut coins.fork_index(i as u64).rng(), spec.n.max(1), t);
+            let h = family.sample(&mut coins.fork_index(i as u64).rng(), t);
             let mut hashed: Vec<u64> = input.iter().map(|x| h.eval(x)).collect();
             hashed.sort_unstable();
             hashed.dedup();
@@ -173,6 +215,47 @@ impl BasicIntersection {
         }
         hashes_span.finish(chan.stats().delta_since(&before));
         Ok(outputs)
+    }
+}
+
+/// [`BasicIntersection`] with the universe's field prime already found.
+#[derive(Debug, Clone)]
+pub struct BasicPlan {
+    proto: BasicIntersection,
+    spec: ProblemSpec,
+    family: PairwiseFamily,
+}
+
+impl PreparedProtocol for BasicPlan {
+    fn name(&self) -> String {
+        crate::api::SetIntersection::name(&self.proto)
+    }
+
+    fn spec(&self) -> ProblemSpec {
+        self.spec
+    }
+
+    fn execute(
+        &self,
+        chan: &mut dyn Chan,
+        coins: &CoinSource,
+        side: Side,
+        input: &ElementSet,
+    ) -> Result<ElementSet, ProtocolError> {
+        // Same fork label as the `SetIntersection` impl, so prepared
+        // and cold executions draw identical coins.
+        Ok(self
+            .proto
+            .run_batch_with(
+                &self.family,
+                chan,
+                &coins.fork("basic"),
+                side,
+                self.spec,
+                std::slice::from_ref(input),
+            )?
+            .pop()
+            .expect("one output per input"))
     }
 }
 

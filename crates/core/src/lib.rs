@@ -24,6 +24,7 @@
 //! | [`amplify`] | §4 | success `1 − 2^{-k}` by repeat-until-certified |
 //! | [`reduction`] | Fact 2.1 | `EQ^n_k` via any intersection protocol |
 //! | [`reconcile`] | baseline (post-paper practice) | IBLT set reconciliation: `O(d·log n)` for difference `d` |
+//! | [`prepared`] | — | two-phase plans: parameter derivation split from execution |
 //! | [`api`] | — | object-safe traits, catalogue, executor |
 //!
 //! # Examples
@@ -63,6 +64,7 @@ pub mod hw07;
 pub mod iterlog;
 pub mod newman;
 pub mod one_round;
+pub mod prepared;
 pub mod reconcile;
 pub mod reduction;
 pub mod sets;
@@ -98,6 +100,9 @@ pub mod prelude {
     pub use crate::iterlog::{iter_log, log_star};
     pub use crate::newman::PrivateCoin;
     pub use crate::one_round::OneRoundHash;
+    pub use crate::prepared::{
+        execute_prepared, execute_prepared_batch, FallbackPlan, PreparedProtocol,
+    };
     pub use crate::reconcile::IbltReconcile;
     pub use crate::sets::{ElementSet, InputPair, ProblemSpec};
     pub use crate::sqrt::SqrtProtocol;

@@ -71,9 +71,15 @@ impl<P> PrivateCoin<P> {
     }
 }
 
-impl<P: SetIntersection> SetIntersection for PrivateCoin<P> {
+impl<P: SetIntersection + Clone + 'static> SetIntersection for PrivateCoin<P> {
     fn name(&self) -> String {
         format!("private-coin({})", self.inner.name())
+    }
+
+    // The reduction is sampled from Alice's private coins at run time, so
+    // there is nothing input-independent to hoist.
+    fn prepare(&self, spec: ProblemSpec) -> std::sync::Arc<dyn crate::prepared::PreparedProtocol> {
+        std::sync::Arc::new(crate::prepared::FallbackPlan::new(self.clone(), spec))
     }
 
     fn run(

@@ -13,13 +13,14 @@
 //! `O(k log(n/k))` exchange as `n/k` varies.
 
 use crate::iterlog::ceil_log2;
+use crate::prepared::PreparedProtocol;
 use crate::sets::{ElementSet, ProblemSpec};
 use intersect_comm::chan::Chan;
 use intersect_comm::coins::CoinSource;
 use intersect_comm::encode::RiceSubsetCodec;
 use intersect_comm::error::ProtocolError;
 use intersect_comm::runner::Side;
-use intersect_hash::pairwise::PairwiseHash;
+use intersect_hash::pairwise::PairwiseFamily;
 
 /// The one-round (plus optional echo) hashing protocol.
 ///
@@ -73,6 +74,21 @@ impl OneRoundHash {
             .min(spec.n.max(16))
     }
 
+    /// Derives the input-independent parameters for `spec`: the
+    /// fingerprint range and the hash family's field prime.
+    pub fn plan(&self, spec: ProblemSpec) -> OneRoundPlan {
+        let range = self.hash_range(spec);
+        OneRoundPlan {
+            proto: *self,
+            spec,
+            range,
+            // When the range covers the whole universe, skip hashing
+            // entirely: the identity is collision-free and strictly
+            // cheaper on the wire.
+            family: (range < spec.n).then(|| PairwiseFamily::new(spec.n.max(1))),
+        }
+    }
+
     /// Runs the protocol; see [module docs](self).
     ///
     /// # Errors
@@ -86,19 +102,36 @@ impl OneRoundHash {
         spec: ProblemSpec,
         input: &ElementSet,
     ) -> Result<ElementSet, ProtocolError> {
+        self.plan(spec).execute_with(chan, coins, side, input)
+    }
+}
+
+/// [`OneRoundHash`] with the fingerprint range and hash family fixed.
+#[derive(Debug, Clone)]
+pub struct OneRoundPlan {
+    proto: OneRoundHash,
+    spec: ProblemSpec,
+    range: u64,
+    family: Option<PairwiseFamily>,
+}
+
+impl OneRoundPlan {
+    /// The bit-exchanging phase, with `coins` already forked to the
+    /// protocol's namespace.
+    fn execute_with(
+        &self,
+        chan: &mut dyn Chan,
+        coins: &CoinSource,
+        side: Side,
+        input: &ElementSet,
+    ) -> Result<ElementSet, ProtocolError> {
+        let spec = self.spec;
         spec.validate(input).map_err(ProtocolError::InvalidInput)?;
-        let range = self.hash_range(spec);
-        // When the range covers the whole universe, skip hashing entirely:
-        // the identity is collision-free and strictly cheaper on the wire.
-        let g = if range >= spec.n {
-            None
-        } else {
-            Some(PairwiseHash::sample(
-                &mut coins.fork("g").rng(),
-                spec.n.max(1),
-                range,
-            ))
-        };
+        let range = self.range;
+        let g = self
+            .family
+            .as_ref()
+            .map(|family| family.sample(&mut coins.fork("g").rng(), range));
         let g = move |x: u64| match &g {
             Some(h) => h.eval(x),
             None => x,
@@ -115,7 +148,7 @@ impl OneRoundHash {
         let out = match side {
             Side::Alice => {
                 chan.send(codec.encode(&my_hashes(input)))?;
-                if self.echo {
+                if self.proto.echo {
                     let reply = chan.recv()?;
                     let candidates: std::collections::HashSet<u64> =
                         codec.decode(&mut reply.reader())?.into_iter().collect();
@@ -129,7 +162,7 @@ impl OneRoundHash {
                 let s_hashes: std::collections::HashSet<u64> =
                     codec.decode(&mut theirs.reader())?.into_iter().collect();
                 let candidates = input.filtered(|y| s_hashes.contains(&g(y)));
-                if self.echo {
+                if self.proto.echo {
                     chan.send(codec.encode(&my_hashes(&candidates)))?;
                 }
                 candidates
@@ -137,6 +170,28 @@ impl OneRoundHash {
         };
         span.finish(chan.stats().delta_since(&before));
         Ok(out)
+    }
+}
+
+impl PreparedProtocol for OneRoundPlan {
+    fn name(&self) -> String {
+        crate::api::SetIntersection::name(&self.proto)
+    }
+
+    fn spec(&self) -> ProblemSpec {
+        self.spec
+    }
+
+    fn execute(
+        &self,
+        chan: &mut dyn Chan,
+        coins: &CoinSource,
+        side: Side,
+        input: &ElementSet,
+    ) -> Result<ElementSet, ProtocolError> {
+        // Same fork label as the `SetIntersection` impl, so prepared
+        // and cold executions draw identical coins.
+        self.execute_with(chan, &coins.fork("one-round"), side, input)
     }
 }
 

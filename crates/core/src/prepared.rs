@@ -1,0 +1,301 @@
+//! Two-phase protocol execution: input-independent *preparation* split
+//! from the input-dependent *bit-exchanging* phase.
+//!
+//! Every protocol in the paper decomposes the same way: a parameter
+//! phase that depends only on `(n, k, δ)` — hash-family selection
+//! (Section 3's `H : [n] → [N]` and `h : [N] → [k]` setups reduce to a
+//! deterministic field-prime search once the universe is fixed), tree
+//! layouts, per-stage error schedules — and an execution phase that
+//! actually exchanges bits. [`SetIntersection::prepare`] performs the
+//! parameter phase once and returns an [`Arc<dyn PreparedProtocol>`]
+//! whose [`execute`](PreparedProtocol::execute) can be replayed for many
+//! inputs, shared across threads, and cached by `(protocol, spec)`.
+//!
+//! **Bit-exactness is the contract**: for every plan,
+//! `plan.execute(chan, coins, side, input)` transmits byte-identical
+//! messages — and therefore produces identical outputs and
+//! [`CostReport`]s — to `SetIntersection::run(&proto, chan, coins, side,
+//! spec, input)`. This holds because preparation hoists only
+//! deterministic, RNG-free work (prime searches, tree shapes, error
+//! schedules); every random draw still happens in execution order from
+//! the same coin forks.
+//!
+//! [`execute_prepared`] and [`execute_prepared_batch`] drive plans
+//! through a thread-local warm [`SessionRunner`], so the dedicated-pair
+//! path, the engine scheduler, and batch submission all share one
+//! execution path (same spawn, handshake, and error tie-break).
+
+use crate::api::SetIntersection;
+use crate::sets::{ElementSet, InputPair, ProblemSpec};
+use intersect_comm::chan::Chan;
+use intersect_comm::coins::CoinSource;
+use intersect_comm::error::ProtocolError;
+use intersect_comm::runner::{RunConfig, SessionParts, SessionRunner, Side};
+use std::cell::RefCell;
+use std::sync::Arc;
+
+/// A protocol with its input-independent parameters already derived.
+///
+/// Obtained from [`SetIntersection::prepare`]; holds everything the
+/// execution phase needs (hash families with their field primes, tree
+/// shapes, error schedules) so repeated executions skip re-derivation.
+///
+/// Implementations apply the same coin-fork labels as the protocol's
+/// [`SetIntersection::run`] impl, so a prepared execution is
+/// bit-identical to a cold one given the same `coins`.
+pub trait PreparedProtocol: Send + Sync + std::fmt::Debug {
+    /// The underlying protocol's name (matches [`SetIntersection::name`]).
+    fn name(&self) -> String;
+
+    /// The problem spec this plan was prepared for.
+    fn spec(&self) -> ProblemSpec;
+
+    /// Runs the bit-exchanging phase for one party.
+    ///
+    /// # Errors
+    ///
+    /// Fails on invalid inputs or transport errors, exactly as the
+    /// protocol's [`SetIntersection::run`] would.
+    fn execute(
+        &self,
+        chan: &mut dyn Chan,
+        coins: &CoinSource,
+        side: Side,
+        input: &ElementSet,
+    ) -> Result<ElementSet, ProtocolError>;
+}
+
+/// A plan for protocols whose parameters are input- or
+/// transcript-dependent (attempt loops that resize tables, private-coin
+/// wrappers that sample the reduction at run time): preparation is the
+/// identity and execution delegates to [`SetIntersection::run`], which
+/// is bit-exact by construction.
+#[derive(Debug, Clone)]
+pub struct FallbackPlan<P> {
+    proto: P,
+    spec: ProblemSpec,
+}
+
+impl<P: SetIntersection + Clone + 'static> FallbackPlan<P> {
+    /// Wraps `proto` as a no-op plan for `spec`.
+    pub fn new(proto: P, spec: ProblemSpec) -> Self {
+        FallbackPlan { proto, spec }
+    }
+}
+
+impl<P: SetIntersection + Clone + 'static> PreparedProtocol for FallbackPlan<P> {
+    fn name(&self) -> String {
+        self.proto.name()
+    }
+
+    fn spec(&self) -> ProblemSpec {
+        self.spec
+    }
+
+    fn execute(
+        &self,
+        chan: &mut dyn Chan,
+        coins: &CoinSource,
+        side: Side,
+        input: &ElementSet,
+    ) -> Result<ElementSet, ProtocolError> {
+        self.proto.run(chan, coins, side, self.spec, input)
+    }
+}
+
+thread_local! {
+    /// One warm [`SessionRunner`] per thread: [`execute_prepared`] and
+    /// [`execute_prepared_batch`] reuse its paired thread and channel
+    /// pair across calls instead of spawning per session.
+    static LOCAL_RUNNER: RefCell<Option<SessionRunner>> = const { RefCell::new(None) };
+}
+
+fn run_once(
+    runner: &mut SessionRunner,
+    cfg: &RunConfig,
+    plan: &Arc<dyn PreparedProtocol>,
+    pair: &InputPair,
+) -> Result<SessionParts<ElementSet, ElementSet>, ProtocolError> {
+    let plan_b = Arc::clone(plan);
+    let t = pair.t.clone();
+    runner.run_parts(
+        cfg,
+        |chan, coins| plan.execute(chan, coins, Side::Alice, &pair.s),
+        move |chan, coins| plan_b.execute(chan, coins, Side::Bob, &t),
+    )
+}
+
+fn run_batch_once(
+    runner: &mut SessionRunner,
+    cfg: &RunConfig,
+    seeds: &[u64],
+    plan: &Arc<dyn PreparedProtocol>,
+    pairs: &[InputPair],
+) -> Result<Vec<SessionParts<ElementSet, ElementSet>>, ProtocolError> {
+    let plan_b = Arc::clone(plan);
+    let ts: Vec<ElementSet> = pairs.iter().map(|p| p.t.clone()).collect();
+    runner.run_batch_parts(
+        cfg,
+        seeds,
+        |i, chan, coins| plan.execute(chan, coins, Side::Alice, &pairs[i].s),
+        move |i, chan, coins| plan_b.execute(chan, coins, Side::Bob, &ts[i]),
+    )
+}
+
+/// Reclaims a healthy thread-local runner (starting one on first use or
+/// after a worker death) and hands it to `f`. If `f`'s first attempt
+/// reports runner breakage, the runner is replaced and `f` retried once
+/// — infrastructure failures are not protocol failures.
+fn with_local_runner<T>(
+    mut f: impl FnMut(&mut SessionRunner) -> Result<T, ProtocolError>,
+) -> Result<T, ProtocolError> {
+    LOCAL_RUNNER.with(|cell| {
+        let mut slot = cell.borrow_mut();
+        let runner = slot.get_or_insert_with(SessionRunner::start);
+        match f(runner) {
+            Ok(v) => Ok(v),
+            Err(_) => {
+                let runner = slot.insert(SessionRunner::start());
+                f(runner)
+            }
+        }
+    })
+}
+
+/// The output of one prepared session, mirroring
+/// [`IntersectionRun`](crate::api::IntersectionRun)'s collapse rules.
+type SessionResult = Result<crate::api::IntersectionRun, ProtocolError>;
+
+fn collapse(parts: SessionParts<ElementSet, ElementSet>) -> SessionResult {
+    let out = parts.collapse()?;
+    Ok(crate::api::IntersectionRun {
+        alice: out.alice,
+        bob: out.bob,
+        report: out.report,
+    })
+}
+
+/// Runs a prepared plan on `(pair.s, pair.t)` with shared seed `seed`
+/// over this thread's warm [`SessionRunner`] — the single execution
+/// path behind [`execute`](crate::api::execute).
+///
+/// Bit-for-bit identical to a dedicated
+/// [`run_two_party`](intersect_comm::runner::run_two_party) call running
+/// the protocol cold with the same seed.
+///
+/// # Errors
+///
+/// Propagates protocol failures with
+/// [`run_two_party`](intersect_comm::runner::run_two_party)'s tie-break.
+///
+/// # Examples
+///
+/// ```
+/// use intersect_core::prelude::*;
+/// use intersect_core::prepared::execute_prepared;
+/// use rand::SeedableRng;
+///
+/// let spec = ProblemSpec::new(1 << 30, 16);
+/// let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(1);
+/// let pair = InputPair::random_with_overlap(&mut rng, spec, 16, 5);
+/// let plan = TreeProtocol::log_star(spec.k).prepare(spec);
+/// let warm = execute_prepared(&plan, &pair, 7)?;
+/// let cold = execute(&TreeProtocol::log_star(spec.k), spec, &pair, 7)?;
+/// assert_eq!(warm, cold);
+/// # Ok::<(), intersect_comm::error::ProtocolError>(())
+/// ```
+pub fn execute_prepared(
+    plan: &Arc<dyn PreparedProtocol>,
+    pair: &InputPair,
+    seed: u64,
+) -> SessionResult {
+    let cfg = RunConfig::with_seed(seed);
+    collapse(with_local_runner(|runner| {
+        run_once(runner, &cfg, plan, pair)
+    })?)
+}
+
+/// Runs `pairs.len()` same-plan sessions back-to-back over this
+/// thread's warm runner: one job hand-off for the whole batch, one
+/// coin-source reseed (from `seeds[i]`) per session. Session `i` is
+/// bit-identical to `execute_prepared(plan, &pairs[i], seeds[i])`, and
+/// a per-session protocol failure surfaces in that session's slot
+/// without disturbing the rest.
+///
+/// # Panics
+///
+/// Panics if `seeds.len() != pairs.len()`.
+///
+/// # Errors
+///
+/// Fails only on infrastructure breakage (after one replace-and-retry).
+pub fn execute_prepared_batch(
+    plan: &Arc<dyn PreparedProtocol>,
+    pairs: &[InputPair],
+    seeds: &[u64],
+) -> Result<Vec<SessionResult>, ProtocolError> {
+    assert_eq!(seeds.len(), pairs.len(), "one seed per input pair");
+    let cfg = RunConfig::with_seed(seeds.first().copied().unwrap_or(0));
+    let parts = with_local_runner(|runner| run_batch_once(runner, &cfg, seeds, plan, pairs))?;
+    Ok(parts.into_iter().map(collapse).collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::api::{execute, ProtocolChoice};
+    use crate::tree::TreeProtocol;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn fallback_plan_matches_cold_run() {
+        let spec = ProblemSpec::new(1 << 20, 16);
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let pair = InputPair::random_with_overlap(&mut rng, spec, 16, 6);
+        let proto = crate::reconcile::IbltReconcile::default();
+        let plan = proto.prepare(spec);
+        let warm = execute_prepared(&plan, &pair, 3).unwrap();
+        let cold = execute(&proto, spec, &pair, 3).unwrap();
+        assert_eq!(warm, cold);
+    }
+
+    #[test]
+    fn every_catalogue_plan_reports_name_and_spec() {
+        let spec = ProblemSpec::new(1 << 20, 32);
+        for choice in ProtocolChoice::all(3) {
+            let proto = choice.build(spec);
+            let plan = proto.prepare(spec);
+            assert_eq!(plan.name(), proto.name(), "{choice}");
+            assert_eq!(plan.spec(), spec, "{choice}");
+        }
+    }
+
+    #[test]
+    fn one_plan_serves_many_inputs() {
+        let spec = ProblemSpec::new(1 << 30, 32);
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        let plan = TreeProtocol::log_star(spec.k).prepare(spec);
+        for seed in 0..8 {
+            let pair = InputPair::random_with_overlap(&mut rng, spec, 32, seed as usize % 32);
+            let run = execute_prepared(&plan, &pair, seed).unwrap();
+            assert!(run.matches(&pair.ground_truth()), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn batch_sessions_match_individual_prepared_runs() {
+        let spec = ProblemSpec::new(1 << 30, 64);
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let plan = TreeProtocol::new(2).prepare(spec);
+        let pairs: Vec<InputPair> = (0..6)
+            .map(|i| InputPair::random_with_overlap(&mut rng, spec, 64, 8 * i))
+            .collect();
+        let seeds: Vec<u64> = (100..106).collect();
+        let batched = execute_prepared_batch(&plan, &pairs, &seeds).unwrap();
+        for ((pair, &seed), batch_run) in pairs.iter().zip(&seeds).zip(batched) {
+            let solo = execute_prepared(&plan, pair, seed).unwrap();
+            assert_eq!(batch_run.unwrap(), solo);
+        }
+    }
+}

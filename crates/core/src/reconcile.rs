@@ -302,6 +302,12 @@ impl SetIntersection for IbltReconcile {
         "iblt-reconcile".to_string()
     }
 
+    // Table sizes double on peel failure — transcript-dependent, so
+    // nothing input-independent can be hoisted.
+    fn prepare(&self, spec: ProblemSpec) -> std::sync::Arc<dyn crate::prepared::PreparedProtocol> {
+        std::sync::Arc::new(crate::prepared::FallbackPlan::new(*self, spec))
+    }
+
     fn run(
         &self,
         chan: &mut dyn Chan,

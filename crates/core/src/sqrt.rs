@@ -22,6 +22,7 @@
 //! simultaneous exchange — absorbed in the `O(k)` total).
 
 use crate::fknn::AmortizedEquality;
+use crate::prepared::PreparedProtocol;
 use crate::sets::{ElementSet, ProblemSpec};
 use intersect_comm::bits::BitBuf;
 use intersect_comm::chan::Chan;
@@ -29,7 +30,7 @@ use intersect_comm::coins::CoinSource;
 use intersect_comm::encode::{get_gamma0, put_gamma0};
 use intersect_comm::error::ProtocolError;
 use intersect_comm::runner::Side;
-use intersect_hash::pairwise::PairwiseHash;
+use intersect_hash::pairwise::PairwiseFamily;
 use std::collections::HashMap;
 
 /// The bucketed amortized-equality intersection protocol.
@@ -83,6 +84,21 @@ impl SqrtProtocol {
         n.clamp(1 << 28, 1 << 61)
     }
 
+    /// Derives the input-independent parameters for `spec`: the reduced
+    /// universe and the field primes for the reduction and bucket hash
+    /// families.
+    pub fn plan(&self, spec: ProblemSpec) -> SqrtPlan {
+        let k = spec.k.max(2);
+        let big_n = self.reduced_universe(k);
+        SqrtPlan {
+            proto: *self,
+            spec,
+            big_n,
+            reduce_family: (spec.n > big_n).then(|| PairwiseFamily::new(spec.n)),
+            bucket_family: PairwiseFamily::new(big_n),
+        }
+    }
+
     /// Runs the protocol; both parties output the recovered intersection.
     ///
     /// # Errors
@@ -96,31 +112,61 @@ impl SqrtProtocol {
         spec: ProblemSpec,
         input: &ElementSet,
     ) -> Result<ElementSet, ProtocolError> {
+        self.plan(spec).execute_with(chan, coins, side, input)
+    }
+}
+
+/// [`SqrtProtocol`] with the reduced universe and hash families fixed.
+#[derive(Debug, Clone)]
+pub struct SqrtPlan {
+    proto: SqrtProtocol,
+    spec: ProblemSpec,
+    big_n: u64,
+    reduce_family: Option<PairwiseFamily>,
+    bucket_family: PairwiseFamily,
+}
+
+impl SqrtPlan {
+    /// The bit-exchanging phase, with `coins` already forked to the
+    /// protocol's namespace.
+    fn execute_with(
+        &self,
+        chan: &mut dyn Chan,
+        coins: &CoinSource,
+        side: Side,
+        input: &ElementSet,
+    ) -> Result<ElementSet, ProtocolError> {
+        let spec = self.spec;
         spec.validate(input).map_err(ProtocolError::InvalidInput)?;
         let k = spec.k.max(2);
 
         // Step 1: universe reduction (shared coins; free).
         let reduce_span = intersect_obs::phase::span("core", "reduce");
         let before = chan.stats();
-        let big_n = self.reduced_universe(k);
-        let (work_set, back_map) = if spec.n <= big_n {
-            let map: HashMap<u64, u64> = input.iter().map(|x| (x, x)).collect();
-            (input.clone(), map)
-        } else {
-            let h_big = PairwiseHash::sample(&mut coins.fork("reduce").rng(), spec.n, big_n);
-            let mut map = HashMap::with_capacity(input.len());
-            for x in input.iter() {
-                map.entry(h_big.eval(x)).or_insert(x);
+        let big_n = self.big_n;
+        let (work_set, back_map) = match &self.reduce_family {
+            None => {
+                let map: HashMap<u64, u64> = input.iter().map(|x| (x, x)).collect();
+                (input.clone(), map)
             }
-            let set: ElementSet = map.keys().copied().collect();
-            (set, map)
+            Some(family) => {
+                let h_big = family.sample(&mut coins.fork("reduce").rng(), big_n);
+                let mut map = HashMap::with_capacity(input.len());
+                for x in input.iter() {
+                    map.entry(h_big.eval(x)).or_insert(x);
+                }
+                let set: ElementSet = map.keys().copied().collect();
+                (set, map)
+            }
         };
         reduce_span.finish(chan.stats().delta_since(&before));
 
         // Step 2: bucket into k preimages (plus the size-vector exchange).
         let bucket_span = intersect_obs::phase::span("core", "bucket");
         let before = chan.stats();
-        let bucket_hash = PairwiseHash::sample(&mut coins.fork("bucket").rng(), big_n, k);
+        let bucket_hash = self
+            .bucket_family
+            .sample(&mut coins.fork("bucket").rng(), k);
         let mut buckets: Vec<Vec<u64>> = vec![Vec::new(); k as usize];
         for x in work_set.iter() {
             buckets[bucket_hash.eval(x) as usize].push(x);
@@ -176,6 +222,7 @@ impl SqrtProtocol {
         let verify_span = intersect_obs::phase::span("core", "verify");
         let before = chan.stats();
         let verdicts = self
+            .proto
             .equality
             .run(chan, &coins.fork("eqk"), side, &instances)?;
         verify_span.finish(chan.stats().delta_since(&before));
@@ -193,6 +240,28 @@ impl SqrtProtocol {
             .into_iter()
             .map(|m| *back_map.get(&m).expect("output is a subset of the input"))
             .collect())
+    }
+}
+
+impl PreparedProtocol for SqrtPlan {
+    fn name(&self) -> String {
+        crate::api::SetIntersection::name(&self.proto)
+    }
+
+    fn spec(&self) -> ProblemSpec {
+        self.spec
+    }
+
+    fn execute(
+        &self,
+        chan: &mut dyn Chan,
+        coins: &CoinSource,
+        side: Side,
+        input: &ElementSet,
+    ) -> Result<ElementSet, ProtocolError> {
+        // Same fork label as the `SetIntersection` impl, so prepared
+        // and cold executions draw identical coins.
+        self.execute_with(chan, &coins.fork("sqrt"), side, input)
     }
 }
 

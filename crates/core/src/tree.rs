@@ -31,13 +31,14 @@
 use crate::basic::BasicIntersection;
 use crate::equality::{encode_for_equality, EqualityTest};
 use crate::iterlog::{ceil_log2, iter_log};
+use crate::prepared::PreparedProtocol;
 use crate::sets::{ElementSet, ProblemSpec};
 use intersect_comm::bits::BitBuf;
 use intersect_comm::chan::Chan;
 use intersect_comm::coins::CoinSource;
 use intersect_comm::error::ProtocolError;
 use intersect_comm::runner::Side;
-use intersect_hash::pairwise::PairwiseHash;
+use intersect_hash::pairwise::PairwiseFamily;
 use std::collections::HashMap;
 
 /// How the tree's level degrees are chosen — the paper's schedule, or a
@@ -150,6 +151,33 @@ impl TreeProtocol {
         }
     }
 
+    /// Derives every input-independent parameter for `spec` — the
+    /// reduced universe and both hash families' field primes, the tree
+    /// shape, and the per-stage error schedule — so repeated executions
+    /// skip straight to the bit-exchanging phase.
+    pub fn plan(&self, spec: ProblemSpec) -> TreePlan {
+        let k = spec.k.max(2);
+        let big_n = self.reduced_universe(k);
+        TreePlan {
+            proto: *self,
+            spec,
+            big_n,
+            reduce_family: (spec.n > big_n).then(|| PairwiseFamily::new(spec.n)),
+            reduced_spec: ProblemSpec {
+                n: big_n,
+                k: spec.k,
+            },
+            reduced_family: PairwiseFamily::new(big_n),
+            shape: TreeShape::build(self.stages, k, self.degree_policy),
+            stage_bits: (0..self.stages)
+                .map(|stage| self.stage_error_bits(stage, k))
+                .collect(),
+            r1_bits: ((self.reduction_exponent.saturating_sub(2)).max(1) as usize
+                * ceil_log2(k) as usize)
+                .max(4),
+        }
+    }
+
     /// Runs the protocol; both parties output their recovered intersection
     /// (equal to `S ∩ T` with probability `1 − 1/poly(k)`).
     ///
@@ -164,52 +192,92 @@ impl TreeProtocol {
         spec: ProblemSpec,
         input: &ElementSet,
     ) -> Result<ElementSet, ProtocolError> {
-        spec.validate(input).map_err(ProtocolError::InvalidInput)?;
-        let k = spec.k.max(2);
+        self.plan(spec).execute_with(chan, coins, side, input)
+    }
+}
 
-        // Phase 1: universe reduction [n] -> [N], N = k^c. Shared coins, no
-        // communication. Collisions inside one party's own set are merged
-        // (kept as the smallest original element) — part of the 1/poly(k)
-        // failure budget.
+/// [`TreeProtocol`] with every input-independent parameter derived:
+/// hash families (field primes found), tree shape, error schedule.
+#[derive(Debug, Clone)]
+pub struct TreePlan {
+    pub(crate) proto: TreeProtocol,
+    pub(crate) spec: ProblemSpec,
+    pub(crate) big_n: u64,
+    /// `Some` iff the universe actually shrinks (`spec.n > big_n`).
+    pub(crate) reduce_family: Option<PairwiseFamily>,
+    pub(crate) reduced_spec: ProblemSpec,
+    /// Family over the reduced universe `[big_n]`: bucket hashing and
+    /// every `Basic-Intersection` repair draw from it.
+    pub(crate) reduced_family: PairwiseFamily,
+    pub(crate) shape: TreeShape,
+    pub(crate) stage_bits: Vec<usize>,
+    pub(crate) r1_bits: usize,
+}
+
+impl TreePlan {
+    /// Phase 1: universe reduction [n] -> [N], N = k^c. Shared coins, no
+    /// communication. Collisions inside one party's own set are merged
+    /// (kept as the smallest original element) — part of the 1/poly(k)
+    /// failure budget.
+    pub(crate) fn reduce(
+        &self,
+        coins: &CoinSource,
+        input: &ElementSet,
+    ) -> (ElementSet, HashMap<u64, u64>) {
+        match &self.reduce_family {
+            None => {
+                let map: HashMap<u64, u64> = input.iter().map(|x| (x, x)).collect();
+                (input.clone(), map)
+            }
+            Some(family) => {
+                let h_big = family.sample(&mut coins.fork("reduce").rng(), self.big_n);
+                let mut map = HashMap::with_capacity(input.len());
+                for x in input.iter() {
+                    map.entry(h_big.eval(x)).or_insert(x);
+                }
+                let set: ElementSet = map.keys().copied().collect();
+                (set, map)
+            }
+        }
+    }
+
+    /// The bit-exchanging phase, with `coins` already forked to the
+    /// protocol's namespace.
+    pub(crate) fn execute_with(
+        &self,
+        chan: &mut dyn Chan,
+        coins: &CoinSource,
+        side: Side,
+        input: &ElementSet,
+    ) -> Result<ElementSet, ProtocolError> {
+        self.spec
+            .validate(input)
+            .map_err(ProtocolError::InvalidInput)?;
+
         let reduce_span = intersect_obs::phase::span("core", "reduce");
         let before = chan.stats();
-        let big_n = self.reduced_universe(k);
-        let (work_set, back_map) = if spec.n <= big_n {
-            let map: HashMap<u64, u64> = input.iter().map(|x| (x, x)).collect();
-            (input.clone(), map)
-        } else {
-            let h_big = PairwiseHash::sample(&mut coins.fork("reduce").rng(), spec.n, big_n);
-            let mut map = HashMap::with_capacity(input.len());
-            for x in input.iter() {
-                map.entry(h_big.eval(x)).or_insert(x);
-            }
-            let set: ElementSet = map.keys().copied().collect();
-            (set, map)
-        };
-        let reduced_spec = ProblemSpec {
-            n: big_n,
-            k: spec.k,
-        };
+        let (work_set, back_map) = self.reduce(coins, input);
         reduce_span.finish(chan.stats().delta_since(&before));
 
         // Special case r = 1: the direct k^c-range hash exchange.
-        let mapped = if self.stages == 1 {
+        let mapped = if self.proto.stages == 1 {
             let basic_span = intersect_obs::phase::span("core", "basic");
             let before = chan.stats();
-            let error_bits = ((self.reduction_exponent.saturating_sub(2)).max(1) as usize
-                * ceil_log2(k) as usize)
-                .max(4);
-            let out = BasicIntersection::new(error_bits).run(
-                chan,
-                &coins.fork("r1"),
-                side,
-                reduced_spec,
-                &work_set,
-            )?;
+            let out = BasicIntersection::new(self.r1_bits)
+                .run_batch_with(
+                    &self.reduced_family,
+                    chan,
+                    &coins.fork("r1"),
+                    side,
+                    self.reduced_spec,
+                    std::slice::from_ref(&work_set),
+                )?
+                .pop()
+                .expect("one output per input");
             basic_span.finish(chan.stats().delta_since(&before));
             out
         } else {
-            self.run_tree(chan, coins, side, reduced_spec, &work_set)?
+            self.run_tree(chan, coins, side, &work_set)?
         };
 
         // Map back to original element values.
@@ -225,16 +293,18 @@ impl TreeProtocol {
         chan: &mut dyn Chan,
         coins: &CoinSource,
         side: Side,
-        spec: ProblemSpec,
         work_set: &ElementSet,
     ) -> Result<ElementSet, ProtocolError> {
+        let spec = self.reduced_spec;
         let k = spec.k.max(2);
-        let shape = TreeShape::build(self.stages, k, self.degree_policy);
+        let shape = &self.shape;
 
         // Phase 2: bucket into k leaves.
         let bucket_span = intersect_obs::phase::span("core", "bucket");
         let before = chan.stats();
-        let bucket_hash = PairwiseHash::sample(&mut coins.fork("bucket").rng(), spec.n, k);
+        let bucket_hash = self
+            .reduced_family
+            .sample(&mut coins.fork("bucket").rng(), k);
         let mut buckets: Vec<Vec<u64>> = vec![Vec::new(); k as usize];
         for x in work_set.iter() {
             buckets[bucket_hash.eval(x) as usize].push(x);
@@ -249,8 +319,8 @@ impl TreeProtocol {
         bucket_span.finish(chan.stats().delta_since(&before));
 
         // Phase 3: r stages of verify-then-repair.
-        for stage in 0..self.stages {
-            let error_bits = self.stage_error_bits(stage, k);
+        for stage in 0..self.proto.stages {
+            let error_bits = self.stage_bits[stage as usize];
             let stage_coins = coins.fork(&format!("stage{stage}"));
 
             // Verify: one parallel equality batch over this level's nodes.
@@ -292,7 +362,8 @@ impl TreeProtocol {
                 .iter()
                 .map(|&leaf| assignments[leaf].clone())
                 .collect();
-            let repaired = BasicIntersection::new(error_bits).run_batch(
+            let repaired = BasicIntersection::new(error_bits).run_batch_with(
+                &self.reduced_family,
                 chan,
                 &stage_coins.fork("basic"),
                 side,
@@ -310,6 +381,28 @@ impl TreeProtocol {
             .into_iter()
             .flat_map(|a| a.iter().collect::<Vec<_>>())
             .collect())
+    }
+}
+
+impl PreparedProtocol for TreePlan {
+    fn name(&self) -> String {
+        crate::api::SetIntersection::name(&self.proto)
+    }
+
+    fn spec(&self) -> ProblemSpec {
+        self.spec
+    }
+
+    fn execute(
+        &self,
+        chan: &mut dyn Chan,
+        coins: &CoinSource,
+        side: Side,
+        input: &ElementSet,
+    ) -> Result<ElementSet, ProtocolError> {
+        // Same fork label as the `SetIntersection` impl, so prepared
+        // and cold executions draw identical coins.
+        self.execute_with(chan, &coins.fork("tree"), side, input)
     }
 }
 

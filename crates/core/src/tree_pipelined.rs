@@ -31,16 +31,15 @@
 use crate::basic::BasicIntersection;
 use crate::equality::{encode_for_equality, fingerprint};
 use crate::iterlog::{ceil_log2, iter_log};
+use crate::prepared::PreparedProtocol;
 use crate::sets::{ElementSet, ProblemSpec};
-use crate::tree::{DegreePolicy, ErrorPolicy, TreeProtocol, TreeShape};
+use crate::tree::{DegreePolicy, ErrorPolicy, TreePlan, TreeProtocol};
 use intersect_comm::bits::{BitBuf, BitReader};
 use intersect_comm::chan::Chan;
 use intersect_comm::coins::CoinSource;
 use intersect_comm::encode::{get_gamma0, put_gamma0, RiceSubsetCodec};
 use intersect_comm::error::ProtocolError;
 use intersect_comm::runner::Side;
-use intersect_hash::pairwise::PairwiseHash;
-use std::collections::HashMap;
 
 /// The pipelined verification-tree protocol: Algorithm 1 in `2r + 1`
 /// messages.
@@ -121,6 +120,20 @@ impl PipelinedTree {
         }
     }
 
+    /// Derives every input-independent parameter for `spec`, reusing
+    /// the plain tree's plan (the two protocols share their reduction,
+    /// bucket, and repair families plus the tree shape).
+    pub fn plan(&self, spec: ProblemSpec) -> PipelinedPlan {
+        let k = spec.k.max(2);
+        PipelinedPlan {
+            proto: *self,
+            plain: self.as_plain().plan(spec),
+            stage_bits: (0..self.stages)
+                .map(|stage| self.stage_error_bits(stage, k))
+                .collect(),
+        }
+    }
+
     /// Runs the protocol; semantics identical to [`TreeProtocol::run`].
     ///
     /// # Errors
@@ -134,31 +147,42 @@ impl PipelinedTree {
         spec: ProblemSpec,
         input: &ElementSet,
     ) -> Result<ElementSet, ProtocolError> {
+        self.plan(spec).execute_with(chan, coins, side, input)
+    }
+}
+
+/// [`PipelinedTree`] with every input-independent parameter derived;
+/// wraps the plain [`TreePlan`] whose families and shape it shares.
+#[derive(Debug, Clone)]
+pub struct PipelinedPlan {
+    proto: PipelinedTree,
+    plain: TreePlan,
+    stage_bits: Vec<usize>,
+}
+
+impl PipelinedPlan {
+    /// The bit-exchanging phase, with `coins` already forked to the
+    /// protocol's namespace.
+    fn execute_with(
+        &self,
+        chan: &mut dyn Chan,
+        coins: &CoinSource,
+        side: Side,
+        input: &ElementSet,
+    ) -> Result<ElementSet, ProtocolError> {
+        let spec = self.plain.spec;
         spec.validate(input).map_err(ProtocolError::InvalidInput)?;
-        let k = spec.k.max(2);
 
         // Universe reduction and r = 1 degenerate to the plain protocol.
-        if self.stages == 1 {
-            return self.as_plain().run(chan, coins, side, spec, input);
+        if self.proto.stages == 1 {
+            return self.plain.execute_with(chan, coins, side, input);
         }
         let reduce_span = intersect_obs::phase::span("core", "reduce");
         let before = chan.stats();
-        let big_n = self.as_plain().reduced_universe(k);
-        let (work_set, back_map) = if spec.n <= big_n {
-            let map: HashMap<u64, u64> = input.iter().map(|x| (x, x)).collect();
-            (input.clone(), map)
-        } else {
-            let h_big = PairwiseHash::sample(&mut coins.fork("reduce").rng(), spec.n, big_n);
-            let mut map = HashMap::with_capacity(input.len());
-            for x in input.iter() {
-                map.entry(h_big.eval(x)).or_insert(x);
-            }
-            let set: ElementSet = map.keys().copied().collect();
-            (set, map)
-        };
+        let (work_set, back_map) = self.plain.reduce(coins, input);
         reduce_span.finish(chan.stats().delta_since(&before));
 
-        let mapped = self.run_pipeline(chan, coins, side, big_n, k, &work_set)?;
+        let mapped = self.run_pipeline(chan, coins, side, &work_set)?;
         Ok(mapped
             .iter()
             .map(|m| *back_map.get(&m).expect("output is a subset of the input"))
@@ -171,14 +195,16 @@ impl PipelinedTree {
         chan: &mut dyn Chan,
         coins: &CoinSource,
         side: Side,
-        big_n: u64,
-        k: u64,
         work_set: &ElementSet,
     ) -> Result<ElementSet, ProtocolError> {
-        let shape = TreeShape::build(self.stages, k, self.degree_policy);
+        let k = self.plain.spec.k.max(2);
+        let shape = &self.plain.shape;
         let bucket_span = intersect_obs::phase::span("core", "bucket");
         let before = chan.stats();
-        let bucket_hash = PairwiseHash::sample(&mut coins.fork("bucket").rng(), big_n, k);
+        let bucket_hash = self
+            .plain
+            .reduced_family
+            .sample(&mut coins.fork("bucket").rng(), k);
         let mut buckets: Vec<Vec<u64>> = vec![Vec::new(); k as usize];
         for x in work_set.iter() {
             buckets[bucket_hash.eval(x) as usize].push(x);
@@ -218,12 +244,12 @@ impl PipelinedTree {
                 .collect::<Vec<BitBuf>>()
         };
 
-        for stage in 0..self.stages {
+        for stage in 0..self.proto.stages {
             let stage_span = intersect_obs::phase::span("core", "stage");
             let before = chan.stats();
-            let err_bits = self.stage_error_bits(stage, k);
+            let err_bits = self.stage_bits[stage as usize];
             let prev_err_bits = if stage > 0 {
-                self.stage_error_bits(stage - 1, k)
+                self.stage_bits[stage as usize - 1]
             } else {
                 0
             };
@@ -249,7 +275,6 @@ impl PipelinedTree {
                             &peer_sizes,
                             &mut my_reported,
                             &repair_coins,
-                            big_n,
                             prev_err_bits,
                         );
                     }
@@ -286,7 +311,6 @@ impl PipelinedTree {
                         &mut peer_sizes,
                         &my_reported,
                         &coins.fork(&format!("prepair{stage}")),
-                        big_n,
                         err_bits,
                     )?;
                 }
@@ -306,7 +330,6 @@ impl PipelinedTree {
                             &mut peer_sizes,
                             &my_reported,
                             &repair_coins,
-                            big_n,
                             prev_err_bits,
                         )?;
                     }
@@ -340,7 +363,6 @@ impl PipelinedTree {
                         &peer_sizes,
                         &mut my_reported,
                         &coins.fork(&format!("prepair{stage}")),
-                        big_n,
                         err_bits,
                     );
                     chan.send(reply)?;
@@ -353,8 +375,8 @@ impl PipelinedTree {
         // so Bob can complete his repairs too.
         let flush_span = intersect_obs::phase::span("core", "flush");
         let before = chan.stats();
-        let last_err = self.stage_error_bits(self.stages - 1, k);
-        let flush_coins = coins.fork(&format!("prepair{}", self.stages - 1));
+        let last_err = self.stage_bits[self.proto.stages as usize - 1];
+        let flush_coins = coins.fork(&format!("prepair{}", self.proto.stages - 1));
         match side {
             Side::Alice => {
                 if !pending.is_empty() {
@@ -366,7 +388,6 @@ impl PipelinedTree {
                         &peer_sizes,
                         &mut my_reported,
                         &flush_coins,
-                        big_n,
                         last_err,
                     );
                     chan.send(msg)?;
@@ -383,7 +404,6 @@ impl PipelinedTree {
                         &mut peer_sizes,
                         &my_reported,
                         &flush_coins,
-                        big_n,
                         last_err,
                     )?;
                 }
@@ -411,7 +431,6 @@ impl PipelinedTree {
         peer_sizes: &[u64],
         my_reported: &mut [u64],
         repair_coins: &CoinSource,
-        big_n: u64,
         err_bits: usize,
     ) {
         let basic = BasicIntersection::new(err_bits.max(1));
@@ -421,7 +440,10 @@ impl PipelinedTree {
             my_reported[leaf] = mine.len() as u64;
             let m = mine.len() as u64 + peer_sizes[leaf];
             let t = basic.hash_range(m);
-            let h = PairwiseHash::sample(&mut repair_coins.fork_index(leaf as u64).rng(), big_n, t);
+            let h = self
+                .plain
+                .reduced_family
+                .sample(&mut repair_coins.fork_index(leaf as u64).rng(), t);
             let mut hashed: Vec<u64> = mine.iter().map(|x| h.eval(x)).collect();
             hashed.sort_unstable();
             hashed.dedup();
@@ -443,7 +465,6 @@ impl PipelinedTree {
         peer_sizes: &mut [u64],
         my_reported: &[u64],
         repair_coins: &CoinSource,
-        big_n: u64,
         err_bits: usize,
     ) -> Result<(), ProtocolError> {
         let basic = BasicIntersection::new(err_bits.max(1));
@@ -451,7 +472,10 @@ impl PipelinedTree {
             let peer_size = get_gamma0(r)?;
             let m = peer_size + my_reported[leaf];
             let t = basic.hash_range(m);
-            let h = PairwiseHash::sample(&mut repair_coins.fork_index(leaf as u64).rng(), big_n, t);
+            let h = self
+                .plain
+                .reduced_family
+                .sample(&mut repair_coins.fork_index(leaf as u64).rng(), t);
             let codec = RiceSubsetCodec::new(t, peer_size.max(1));
             let their_hashed = codec.decode(r)?;
             let lookup: std::collections::HashSet<u64> = their_hashed.into_iter().collect();
@@ -459,6 +483,28 @@ impl PipelinedTree {
             peer_sizes[leaf] = peer_size;
         }
         Ok(())
+    }
+}
+
+impl PreparedProtocol for PipelinedPlan {
+    fn name(&self) -> String {
+        crate::api::SetIntersection::name(&self.proto)
+    }
+
+    fn spec(&self) -> ProblemSpec {
+        self.plain.spec
+    }
+
+    fn execute(
+        &self,
+        chan: &mut dyn Chan,
+        coins: &CoinSource,
+        side: Side,
+        input: &ElementSet,
+    ) -> Result<ElementSet, ProtocolError> {
+        // Same fork label as the `SetIntersection` impl, so prepared
+        // and cold executions draw identical coins.
+        self.execute_with(chan, &coins.fork("tree-pipelined"), side, input)
     }
 }
 

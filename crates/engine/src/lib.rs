@@ -50,11 +50,13 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod plan_cache;
 pub mod registry;
 pub mod request;
 pub mod router;
 pub mod scheduler;
 
+pub use plan_cache::{PlanCache, PlanCacheStats};
 pub use registry::{
     EngineMetrics, EngineSnapshot, EngineWatch, LatencySummary, ProtocolTally, SessionSummary,
 };
@@ -64,6 +66,7 @@ pub use scheduler::{Engine, EngineConfig, EngineReport, SessionOutcome, SubmitEr
 
 /// The most commonly used items, for glob import.
 pub mod prelude {
+    pub use crate::plan_cache::{PlanCache, PlanCacheStats};
     pub use crate::registry::{EngineMetrics, EngineSnapshot, EngineWatch, LatencySummary};
     pub use crate::request::SessionRequest;
     pub use crate::router::{route, theory_envelope, RoutePolicy};

@@ -1,0 +1,268 @@
+//! A concurrent cache of prepared protocol plans, keyed by
+//! `(ProtocolChoice, ProblemSpec)`.
+//!
+//! Preparation (`SetIntersection::prepare`) hoists every
+//! input-independent derivation a protocol needs — hash-family field
+//! primes, tree layouts, per-stage error schedules. Those depend only on
+//! the protocol's parameters and the problem spec, so an engine serving
+//! many sessions of the same shape should derive them once. This cache
+//! makes that sharing safe and observable:
+//!
+//! - **Sharded**: keys hash onto independent `RwLock` shards, so
+//!   concurrent lookups from the dispatcher and scrape threads never
+//!   contend on one lock.
+//! - **Generation-tagged**: [`invalidate`](PlanCache::invalidate) bumps
+//!   a global generation; entries stamped with an older generation are
+//!   never served again, even if a racing insert lands after the clear.
+//! - **Counted**: hits, misses, and live entries surface through
+//!   [`stats`](PlanCache::stats) and as `engine_plan_cache_*` metrics on
+//!   `/metrics`.
+//!
+//! Sharing plans never changes transcripts: a prepared execution is
+//! bit-identical to a cold run (the `prepared` module's contract), so a
+//! cache hit affects latency only.
+
+use intersect_core::api::{ProtocolChoice, SetIntersection};
+use intersect_core::prepared::PreparedProtocol;
+use intersect_core::sets::ProblemSpec;
+use intersect_obs as obs;
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, RwLock};
+
+/// Shard count: a small power of two is plenty — the map is tiny (one
+/// entry per distinct workload shape); sharding is about lock traffic.
+const SHARDS: usize = 16;
+
+#[derive(Debug)]
+struct Entry {
+    generation: u64,
+    plan: Arc<dyn PreparedProtocol>,
+}
+
+type Shard = RwLock<HashMap<(ProtocolChoice, ProblemSpec), Entry>>;
+
+/// Point-in-time counters for a [`PlanCache`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PlanCacheStats {
+    /// Lookups served from a live entry.
+    pub hits: u64,
+    /// Lookups that had to run the parameter phase.
+    pub misses: u64,
+    /// Live entries across all shards.
+    pub entries: u64,
+    /// Invalidation generation (starts at 0).
+    pub generation: u64,
+}
+
+/// A sharded, generation-tagged map from `(protocol, spec)` to its
+/// prepared plan. Shared by the engine dispatcher (every routed session)
+/// and any embedder that wants warm plans (e.g. batch submitters).
+///
+/// # Examples
+///
+/// ```
+/// use intersect_core::api::ProtocolChoice;
+/// use intersect_core::sets::ProblemSpec;
+/// use intersect_engine::plan_cache::PlanCache;
+///
+/// let cache = PlanCache::new();
+/// let spec = ProblemSpec::new(1 << 20, 32);
+/// let a = cache.get_or_prepare(ProtocolChoice::TreeLogStar, spec);
+/// let b = cache.get_or_prepare(ProtocolChoice::TreeLogStar, spec);
+/// assert!(std::sync::Arc::ptr_eq(&a, &b)); // second lookup is a hit
+/// assert_eq!(cache.stats().hits, 1);
+/// assert_eq!(cache.stats().misses, 1);
+/// ```
+#[derive(Debug)]
+pub struct PlanCache {
+    shards: Vec<Shard>,
+    generation: AtomicU64,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl Default for PlanCache {
+    fn default() -> Self {
+        PlanCache::new()
+    }
+}
+
+impl PlanCache {
+    /// An empty cache.
+    pub fn new() -> PlanCache {
+        PlanCache {
+            shards: (0..SHARDS).map(|_| RwLock::new(HashMap::new())).collect(),
+            generation: AtomicU64::new(0),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    fn shard(&self, key: &(ProtocolChoice, ProblemSpec)) -> &Shard {
+        let mut h = std::collections::hash_map::DefaultHasher::new();
+        key.hash(&mut h);
+        &self.shards[(h.finish() as usize) % SHARDS]
+    }
+
+    /// Returns the cached plan for `(choice, spec)`, running the
+    /// parameter phase (under an `engine/prepare` span) on first use or
+    /// after an invalidation.
+    pub fn get_or_prepare(
+        &self,
+        choice: ProtocolChoice,
+        spec: ProblemSpec,
+    ) -> Arc<dyn PreparedProtocol> {
+        let key = (choice, spec);
+        let generation = self.generation.load(Ordering::Acquire);
+        let shard = self.shard(&key);
+        if let Some(entry) = shard.read().expect("plan cache poisoned").get(&key) {
+            if entry.generation == generation {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                obs::counter_add("engine_plan_cache_hits", 1);
+                return Arc::clone(&entry.plan);
+            }
+        }
+        // Prepare under the write lock: preparation is a short,
+        // deterministic derivation, and holding the lock means a burst of
+        // same-shape sessions runs it exactly once.
+        let mut guard = shard.write().expect("plan cache poisoned");
+        if let Some(entry) = guard.get(&key) {
+            if entry.generation == generation {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                obs::counter_add("engine_plan_cache_hits", 1);
+                return Arc::clone(&entry.plan);
+            }
+        }
+        let span = obs::phase::span("engine", "prepare");
+        let plan = choice.build(spec).prepare(spec);
+        span.finish(obs::CostDelta::default());
+        let stale = guard
+            .insert(
+                key,
+                Entry {
+                    generation,
+                    plan: Arc::clone(&plan),
+                },
+            )
+            .is_some();
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        obs::counter_add("engine_plan_cache_misses", 1);
+        if !stale {
+            obs::gauge_add("engine_plan_cache_entries", 1);
+        }
+        plan
+    }
+
+    /// Drops every cached plan and bumps the generation, so entries a
+    /// racing lookup inserted under the old generation are never served.
+    pub fn invalidate(&self) {
+        self.generation.fetch_add(1, Ordering::AcqRel);
+        let mut evicted = 0i64;
+        for shard in &self.shards {
+            let mut guard = shard.write().expect("plan cache poisoned");
+            evicted += guard.len() as i64;
+            guard.clear();
+        }
+        obs::gauge_add("engine_plan_cache_entries", -evicted);
+    }
+
+    /// Live entries across all shards.
+    pub fn entries(&self) -> u64 {
+        self.shards
+            .iter()
+            .map(|s| s.read().expect("plan cache poisoned").len() as u64)
+            .sum()
+    }
+
+    /// Current hit/miss/entry counters.
+    pub fn stats(&self) -> PlanCacheStats {
+        PlanCacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            entries: self.entries(),
+            generation: self.generation.load(Ordering::Acquire),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn caches_by_protocol_and_spec() {
+        let cache = PlanCache::new();
+        let spec_a = ProblemSpec::new(1 << 20, 32);
+        let spec_b = ProblemSpec::new(1 << 24, 32);
+        let p1 = cache.get_or_prepare(ProtocolChoice::TreeLogStar, spec_a);
+        let p2 = cache.get_or_prepare(ProtocolChoice::TreeLogStar, spec_a);
+        let p3 = cache.get_or_prepare(ProtocolChoice::TreeLogStar, spec_b);
+        let p4 = cache.get_or_prepare(ProtocolChoice::Sqrt, spec_a);
+        assert!(Arc::ptr_eq(&p1, &p2));
+        assert!(!Arc::ptr_eq(&p1, &p3));
+        assert!(!Arc::ptr_eq(&p1, &p4));
+        let stats = cache.stats();
+        assert_eq!(stats.hits, 1);
+        assert_eq!(stats.misses, 3);
+        assert_eq!(stats.entries, 3);
+    }
+
+    #[test]
+    fn invalidation_reprepares_and_bumps_generation() {
+        let cache = PlanCache::new();
+        let spec = ProblemSpec::new(1 << 20, 16);
+        let before = cache.get_or_prepare(ProtocolChoice::Tree(2), spec);
+        cache.invalidate();
+        assert_eq!(cache.entries(), 0);
+        let after = cache.get_or_prepare(ProtocolChoice::Tree(2), spec);
+        assert!(!Arc::ptr_eq(&before, &after));
+        let stats = cache.stats();
+        assert_eq!(stats.generation, 1);
+        assert_eq!(stats.misses, 2);
+    }
+
+    #[test]
+    fn concurrent_lookups_agree_on_one_plan() {
+        let cache = Arc::new(PlanCache::new());
+        let spec = ProblemSpec::new(1 << 30, 64);
+        let plans: Vec<_> = std::thread::scope(|s| {
+            (0..8)
+                .map(|_| {
+                    let cache = Arc::clone(&cache);
+                    s.spawn(move || cache.get_or_prepare(ProtocolChoice::TreeLogStar, spec))
+                })
+                .collect::<Vec<_>>()
+                .into_iter()
+                .map(|h| h.join().unwrap())
+                .collect()
+        });
+        assert!(plans.windows(2).all(|w| Arc::ptr_eq(&w[0], &w[1])));
+        let stats = cache.stats();
+        assert_eq!(stats.misses, 1, "parameter phase ran exactly once");
+        assert_eq!(stats.hits, 7);
+        assert_eq!(stats.entries, 1);
+    }
+
+    #[test]
+    fn cached_plans_execute_bit_identically_to_cold_runs() {
+        use intersect_core::prelude::*;
+        use rand::SeedableRng;
+        let cache = PlanCache::new();
+        let spec = ProblemSpec::new(1 << 24, 32);
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(5);
+        let pair = InputPair::random_with_overlap(&mut rng, spec, 32, 9);
+        for choice in [
+            ProtocolChoice::OneRound,
+            ProtocolChoice::TreeLogStar,
+            ProtocolChoice::Sqrt,
+        ] {
+            cache.get_or_prepare(choice, spec); // warm the entry
+            let plan = cache.get_or_prepare(choice, spec);
+            let warm = execute_prepared(&plan, &pair, 11).unwrap();
+            let cold = execute(choice.build(spec).as_ref(), spec, &pair, 11).unwrap();
+            assert_eq!(warm, cold, "{choice}");
+        }
+    }
+}

@@ -31,6 +31,7 @@
 //! served by a dedicated `execute` call, and the deterministic half of
 //! the registry is independent of worker count.
 
+use crate::plan_cache::PlanCache;
 use crate::registry::{EngineSnapshot, EngineWatch, Registry};
 use crate::request::SessionRequest;
 use crate::router::{route, theory_envelope, RoutePolicy};
@@ -41,8 +42,9 @@ use intersect_comm::error::ProtocolError;
 use intersect_comm::runner::{primary_error, RunConfig, SessionRunner, Side};
 use intersect_comm::stats::{ChannelStats, CostReport};
 use intersect_comm::trace::{Direction, PhaseSummary, Traced};
-use intersect_core::api::{ProtocolChoice, SetIntersection};
-use intersect_core::sets::ElementSet;
+use intersect_core::api::ProtocolChoice;
+use intersect_core::prepared::PreparedProtocol;
+use intersect_core::sets::{ElementSet, InputPair};
 use intersect_obs as obs;
 use intersect_obs::conformance::{ConformanceConfig, ConformanceMonitor, ConformanceReport};
 use std::sync::Arc;
@@ -187,13 +189,36 @@ pub struct EngineReport {
     pub conformance: Option<ConformanceReport>,
 }
 
-/// One admitted session, ready to run whole on any worker.
+/// One admitted session, ready to run whole on any worker. Carries the
+/// prepared plan from the shared [`PlanCache`], not a bare protocol:
+/// parameter derivation already happened at dispatch.
 struct SessionTask {
     request: SessionRequest,
     choice: ProtocolChoice,
-    protocol: Arc<dyn SetIntersection>,
+    plan: Arc<dyn PreparedProtocol>,
     traced: bool,
     admitted_at: Instant,
+}
+
+/// One admitted batch: `B` same-spec sessions that run back-to-back on
+/// one worker's warm runner, sharing a single plan-cache lookup.
+struct BatchTask {
+    requests: Vec<SessionRequest>,
+    choice: ProtocolChoice,
+    plan: Arc<dyn PreparedProtocol>,
+    admitted_at: Instant,
+}
+
+/// What the dispatcher hands to workers.
+enum WorkItem {
+    Single(SessionTask),
+    Batch(BatchTask),
+}
+
+/// What clients hand to the admission queue.
+enum Submission {
+    Single(SessionRequest),
+    Batch(Vec<SessionRequest>),
 }
 
 /// Everything a worker needs besides its runner and the work queue.
@@ -256,77 +281,36 @@ fn finish_half_span(span: obs::phase::SpanGuard, stats: ChannelStats) {
     obs::gauge_add("engine_workers_busy", -1);
 }
 
-/// Runs one whole session on this worker's reusable runner and emits
-/// its outcome.
-fn run_session(runner: &mut SessionRunner, task: SessionTask, ctx: &WorkerCtx) {
-    let SessionTask {
-        request,
-        choice,
-        protocol,
-        traced,
-        admitted_at,
-    } = task;
-    let spec = request.spec;
-    let id = request.id;
-    let pair = request.input_pair();
-    let cfg = RunConfig::with_seed(request.seed);
-
-    // Alice's half runs on this thread, so it can hand the trace log out
-    // through a captured slot; Bob's half runs on the runner's paired
-    // thread and owns its captures.
-    let mut trace_events: Option<Vec<intersect_comm::trace::TraceEvent>> = None;
-    let alice_input = pair.s;
-    let bob_input = pair.t;
-    let protocol_a = Arc::clone(&protocol);
-    let protocol_b = Arc::clone(&protocol);
-    let events_slot = &mut trace_events;
-
-    let parts = runner.run_parts(
-        &cfg,
-        move |ep: &mut Endpoint, coins: &CoinSource| {
-            let (_scope, span) = half_span(id, Side::Alice);
-            let (result, stats) = if traced {
-                let mut tr = Traced::new(ep);
-                let result = protocol_a.run(&mut tr, coins, Side::Alice, spec, &alice_input);
-                let stats = tr.stats();
-                *events_slot = Some(tr.into_events());
-                (result, stats)
-            } else {
-                let result = protocol_a.run(ep, coins, Side::Alice, spec, &alice_input);
-                (result, ep.stats())
-            };
-            finish_half_span(span, stats);
-            result
-        },
-        move |ep: &mut Endpoint, coins: &CoinSource| {
-            let (_scope, span) = half_span(id, Side::Bob);
-            let result = protocol_b.run(ep, coins, Side::Bob, spec, &bob_input);
-            finish_half_span(span, ep.stats());
-            result
-        },
-    );
-
-    let (res_a, res_b, report) = match parts {
-        Ok(parts) => (parts.alice, parts.bob, parts.report),
-        // Runner infrastructure failure: both halves share the blame and
-        // no bits were reliably metered.
-        Err(e) => (Err(e.clone()), Err(e), CostReport::default()),
-    };
+/// Settles one session: folds its halves into a [`SessionOutcome`],
+/// records it everywhere an outcome is accounted (registry, lifecycle
+/// events, metrics, conformance), and streams it out. Shared by the
+/// single-session and batch paths, so both settle identically.
+#[allow(clippy::too_many_arguments)]
+fn emit_outcome(
+    ctx: &WorkerCtx,
+    request: SessionRequest,
+    choice: ProtocolChoice,
+    protocol_name: String,
+    res_a: Result<ElementSet, ProtocolError>,
+    res_b: Result<ElementSet, ProtocolError>,
+    report: CostReport,
+    latency_micros: u64,
+    trace: Option<Vec<PhaseSummary>>,
+) {
     let error = match (&res_a, &res_b) {
         (Ok(_), Ok(_)) => None,
         (Err(e), Ok(_)) | (Ok(_), Err(e)) => Some(e.clone()),
         (Err(ea), Err(eb)) => Some(primary_error(ea.clone(), eb.clone())),
     };
-    let trace = trace_events.as_deref().map(round_summaries);
     let outcome = SessionOutcome {
         request,
         protocol: choice,
-        protocol_name: protocol.name(),
+        protocol_name,
         alice: res_a.ok(),
         bob: res_b.ok(),
         error,
         report,
-        latency_micros: admitted_at.elapsed().as_micros() as u64,
+        latency_micros,
         trace,
     };
     ctx.registry.record_outcome(
@@ -360,7 +344,147 @@ fn run_session(runner: &mut SessionRunner, task: SessionTask, ctx: &WorkerCtx) {
     obs::observe("engine_session_bits", report.total_bits());
     obs::gauge_add("engine_in_flight", -1);
     let _ = ctx.outcome_tx.send(outcome);
+}
+
+/// Runs one whole session on this worker's reusable runner and emits
+/// its outcome.
+fn run_session(runner: &mut SessionRunner, task: SessionTask, ctx: &WorkerCtx) {
+    let SessionTask {
+        request,
+        choice,
+        plan,
+        traced,
+        admitted_at,
+    } = task;
+    let id = request.id;
+    let pair = request.input_pair();
+    let cfg = RunConfig::with_seed(request.seed);
+
+    // Alice's half runs on this thread, so it can hand the trace log out
+    // through a captured slot; Bob's half runs on the runner's paired
+    // thread and owns its captures.
+    let mut trace_events: Option<Vec<intersect_comm::trace::TraceEvent>> = None;
+    let alice_input = pair.s;
+    let bob_input = pair.t;
+    let plan_a = Arc::clone(&plan);
+    let plan_b = Arc::clone(&plan);
+    let events_slot = &mut trace_events;
+
+    let parts = runner.run_parts(
+        &cfg,
+        move |ep: &mut Endpoint, coins: &CoinSource| {
+            let (_scope, span) = half_span(id, Side::Alice);
+            let (result, stats) = if traced {
+                let mut tr = Traced::new(ep);
+                let result = plan_a.execute(&mut tr, coins, Side::Alice, &alice_input);
+                let stats = tr.stats();
+                *events_slot = Some(tr.into_events());
+                (result, stats)
+            } else {
+                let result = plan_a.execute(ep, coins, Side::Alice, &alice_input);
+                (result, ep.stats())
+            };
+            finish_half_span(span, stats);
+            result
+        },
+        move |ep: &mut Endpoint, coins: &CoinSource| {
+            let (_scope, span) = half_span(id, Side::Bob);
+            let result = plan_b.execute(ep, coins, Side::Bob, &bob_input);
+            finish_half_span(span, ep.stats());
+            result
+        },
+    );
+
+    let (res_a, res_b, report) = match parts {
+        Ok(parts) => (parts.alice, parts.bob, parts.report),
+        // Runner infrastructure failure: both halves share the blame and
+        // no bits were reliably metered.
+        Err(e) => (Err(e.clone()), Err(e), CostReport::default()),
+    };
+    let trace = trace_events.as_deref().map(round_summaries);
+    emit_outcome(
+        ctx,
+        request,
+        choice,
+        plan.name(),
+        res_a,
+        res_b,
+        report,
+        admitted_at.elapsed().as_micros() as u64,
+        trace,
+    );
     // The dispatcher may already be gone during drain; that's fine.
+    let _ = ctx.done_tx.send(());
+}
+
+/// One finished session from a batch: each party's output and the cost report.
+type SessionResults = (
+    Result<ElementSet, ProtocolError>,
+    Result<ElementSet, ProtocolError>,
+    CostReport,
+);
+
+/// Runs a whole batch back-to-back on this worker's runner: one job
+/// hand-off, one warm channel pair, one coin-source reseed per session.
+/// Session `i` is bit-identical to the same request served alone.
+fn run_batch_session(runner: &mut SessionRunner, task: BatchTask, ctx: &WorkerCtx) {
+    let BatchTask {
+        requests,
+        choice,
+        plan,
+        admitted_at,
+    } = task;
+    let pairs: Vec<InputPair> = requests.iter().map(|r| r.input_pair()).collect();
+    let seeds: Vec<u64> = requests.iter().map(|r| r.seed).collect();
+    let ids: Vec<u64> = requests.iter().map(|r| r.id).collect();
+    let cfg = RunConfig::with_seed(seeds[0]);
+    let plan_a = Arc::clone(&plan);
+    let plan_b = Arc::clone(&plan);
+    let bob_inputs: Vec<ElementSet> = pairs.iter().map(|p| p.t.clone()).collect();
+    let ids_b = ids.clone();
+
+    let parts = runner.run_batch_parts(
+        &cfg,
+        &seeds,
+        |i, ep: &mut Endpoint, coins: &CoinSource| {
+            let (_scope, span) = half_span(ids[i], Side::Alice);
+            let result = plan_a.execute(ep, coins, Side::Alice, &pairs[i].s);
+            finish_half_span(span, ep.stats());
+            result
+        },
+        move |i, ep: &mut Endpoint, coins: &CoinSource| {
+            let (_scope, span) = half_span(ids_b[i], Side::Bob);
+            let result = plan_b.execute(ep, coins, Side::Bob, &bob_inputs[i]);
+            finish_half_span(span, ep.stats());
+            result
+        },
+    );
+
+    let sessions: Vec<SessionResults> = match parts {
+        Ok(parts) => parts
+            .into_iter()
+            .map(|p| (p.alice, p.bob, p.report))
+            .collect(),
+        // Runner infrastructure failure fails the whole batch.
+        Err(e) => requests
+            .iter()
+            .map(|_| (Err(e.clone()), Err(e.clone()), CostReport::default()))
+            .collect(),
+    };
+    let latency_micros = admitted_at.elapsed().as_micros() as u64;
+    for (request, (res_a, res_b, report)) in requests.into_iter().zip(sessions) {
+        emit_outcome(
+            ctx,
+            request,
+            choice,
+            plan.name(),
+            res_a,
+            res_b,
+            report,
+            latency_micros,
+            None,
+        );
+    }
     let _ = ctx.done_tx.send(());
 }
 
@@ -386,9 +510,10 @@ fn run_session(runner: &mut SessionRunner, task: SessionTask, ctx: &WorkerCtx) {
 /// ```
 #[derive(Debug)]
 pub struct Engine {
-    admit_tx: Sender<SessionRequest>,
+    admit_tx: Sender<Submission>,
     outcome_rx: Receiver<SessionOutcome>,
     registry: Arc<Registry>,
+    cache: Arc<PlanCache>,
     workers: usize,
     dispatcher: JoinHandle<()>,
     worker_handles: Vec<JoinHandle<()>>,
@@ -435,6 +560,22 @@ fn describe_engine_metrics() {
         ),
         ("engine_session_bits", "Total bits on the wire per session"),
         (
+            "engine_plan_cache_hits",
+            "Plan-cache lookups served from a live prepared plan",
+        ),
+        (
+            "engine_plan_cache_misses",
+            "Plan-cache lookups that ran the parameter phase",
+        ),
+        (
+            "engine_plan_cache_entries",
+            "Prepared plans currently cached by (protocol, spec)",
+        ),
+        (
+            "engine_batch_depth",
+            "Sessions per admitted batch submission",
+        ),
+        (
             "conformance_checks_total",
             "Completed sessions checked against theory envelopes",
         ),
@@ -452,11 +593,12 @@ impl Engine {
     pub fn start(config: EngineConfig) -> Engine {
         let workers = config.workers.max(2);
         let max_in_flight = config.max_in_flight.max(1);
-        let (admit_tx, admit_rx) = bounded::<SessionRequest>(config.queue_capacity.max(1));
-        let (work_tx, work_rx) = unbounded::<SessionTask>();
+        let (admit_tx, admit_rx) = bounded::<Submission>(config.queue_capacity.max(1));
+        let (work_tx, work_rx) = unbounded::<WorkItem>();
         let (outcome_tx, outcome_rx) = unbounded::<SessionOutcome>();
         let (done_tx, done_rx) = unbounded::<()>();
         let registry = Arc::new(Registry::default());
+        let cache = Arc::new(PlanCache::new());
         describe_engine_metrics();
         let monitor = config
             .conformance
@@ -475,8 +617,11 @@ impl Engine {
                     // Each worker owns one reusable runner for its whole
                     // life: zero thread spawns per session in steady state.
                     let mut runner = SessionRunner::start();
-                    for task in work_rx.iter() {
-                        run_session(&mut runner, task, &ctx);
+                    for item in work_rx.iter() {
+                        match item {
+                            WorkItem::Single(task) => run_session(&mut runner, task, &ctx),
+                            WorkItem::Batch(task) => run_batch_session(&mut runner, task, &ctx),
+                        }
                     }
                 })
             })
@@ -486,29 +631,58 @@ impl Engine {
         let dispatcher = {
             let policy = config.policy;
             let debug_session = config.debug_session;
+            let cache = Arc::clone(&cache);
             std::thread::spawn(move || {
                 let mut in_flight = 0usize;
-                for request in admit_rx.iter() {
-                    lifecycle("admit", request.id);
-                    obs::gauge_add("engine_queue_depth", -1);
+                for submission in admit_rx.iter() {
                     while in_flight >= max_in_flight {
                         if done_rx.recv().is_err() {
                             return; // all workers gone
                         }
                         in_flight -= 1;
                     }
-                    let choice = route(&request, policy);
-                    lifecycle("route", request.id);
-                    obs::gauge_add("engine_in_flight", 1);
-                    let protocol: Arc<dyn SetIntersection> = Arc::from(choice.build(request.spec));
-                    let task = SessionTask {
-                        traced: debug_session == Some(request.id),
-                        request,
-                        choice,
-                        protocol,
-                        admitted_at: Instant::now(),
+                    let item = match submission {
+                        Submission::Single(request) => {
+                            lifecycle("admit", request.id);
+                            obs::gauge_add("engine_queue_depth", -1);
+                            let choice = route(&request, policy);
+                            lifecycle("route", request.id);
+                            // One cache lookup replaces per-session
+                            // parameter derivation; a miss prepares once
+                            // for every later session of this shape.
+                            let plan = cache.get_or_prepare(choice, request.spec);
+                            obs::gauge_add("engine_in_flight", 1);
+                            WorkItem::Single(SessionTask {
+                                traced: debug_session == Some(request.id),
+                                request,
+                                choice,
+                                plan,
+                                admitted_at: Instant::now(),
+                            })
+                        }
+                        Submission::Batch(requests) => {
+                            for request in &requests {
+                                lifecycle("admit", request.id);
+                            }
+                            obs::gauge_add("engine_queue_depth", -(requests.len() as i64));
+                            // submit_batch guarantees a uniform spec and
+                            // override, so the first request routes for all.
+                            let choice = route(&requests[0], policy);
+                            for request in &requests {
+                                lifecycle("route", request.id);
+                            }
+                            let plan = cache.get_or_prepare(choice, requests[0].spec);
+                            obs::gauge_add("engine_in_flight", requests.len() as i64);
+                            obs::observe("engine_batch_depth", requests.len() as u64);
+                            WorkItem::Batch(BatchTask {
+                                requests,
+                                choice,
+                                plan,
+                                admitted_at: Instant::now(),
+                            })
+                        }
                     };
-                    if work_tx.send(task).is_err() {
+                    if work_tx.send(item).is_err() {
                         return;
                     }
                     in_flight += 1;
@@ -520,6 +694,7 @@ impl Engine {
             admit_tx,
             outcome_rx,
             registry,
+            cache,
             workers,
             dispatcher,
             worker_handles,
@@ -554,7 +729,7 @@ impl Engine {
     pub fn try_submit(&self, request: SessionRequest) -> Result<(), SubmitError> {
         request.validate().map_err(SubmitError::Invalid)?;
         let id = request.id;
-        match self.admit_tx.try_send(request) {
+        match self.admit_tx.try_send(Submission::Single(request)) {
             Ok(()) => {
                 self.registry.record_submitted();
                 lifecycle("submit", id);
@@ -582,13 +757,58 @@ impl Engine {
         request.validate().map_err(SubmitError::Invalid)?;
         let id = request.id;
         self.admit_tx
-            .send(request)
+            .send(Submission::Single(request))
             .map_err(|_| SubmitError::Rejected { queue_full: false })?;
         self.registry.record_submitted();
         lifecycle("submit", id);
         obs::counter_add("engine_sessions_submitted", 1);
         obs::gauge_add("engine_queue_depth", 1);
         Ok(())
+    }
+
+    /// Blocking batch admission: `requests.len()` same-spec sessions
+    /// that will run back-to-back on one worker's warm runner with a
+    /// single plan-cache lookup, one coin-source reseed per session.
+    /// Each session settles as its own [`SessionOutcome`], bit-identical
+    /// to the same request submitted alone; the batch occupies one
+    /// in-flight slot.
+    ///
+    /// # Errors
+    ///
+    /// [`SubmitError::Invalid`] if the batch is empty, any request is
+    /// infeasible, or the requests disagree on spec or protocol
+    /// override; [`SubmitError::Rejected`] only on shutdown.
+    pub fn submit_batch(&self, requests: Vec<SessionRequest>) -> Result<(), SubmitError> {
+        let first = requests
+            .first()
+            .ok_or_else(|| SubmitError::Invalid("empty batch".into()))?;
+        let (spec, protocol) = (first.spec, first.protocol);
+        for request in &requests {
+            request.validate().map_err(SubmitError::Invalid)?;
+            if request.spec != spec || request.protocol != protocol {
+                return Err(SubmitError::Invalid(
+                    "batch requests must share one spec and protocol override".into(),
+                ));
+            }
+        }
+        let ids: Vec<u64> = requests.iter().map(|r| r.id).collect();
+        self.admit_tx
+            .send(Submission::Batch(requests))
+            .map_err(|_| SubmitError::Rejected { queue_full: false })?;
+        for id in &ids {
+            self.registry.record_submitted();
+            lifecycle("submit", *id);
+        }
+        obs::counter_add("engine_sessions_submitted", ids.len() as u64);
+        obs::gauge_add("engine_queue_depth", ids.len() as i64);
+        Ok(())
+    }
+
+    /// The engine's shared plan cache: dispatch goes through it, and
+    /// embedders may share it (or call
+    /// [`invalidate`](PlanCache::invalidate) after reconfiguration).
+    pub fn plan_cache(&self) -> Arc<PlanCache> {
+        Arc::clone(&self.cache)
     }
 
     /// A live view of the aggregate metrics (sessions may still be in
@@ -611,6 +831,7 @@ impl Engine {
             admit_tx,
             outcome_rx,
             registry,
+            cache: _,
             workers,
             dispatcher,
             worker_handles,
@@ -677,6 +898,74 @@ mod tests {
             assert_eq!(outcome.alice.as_ref().unwrap(), &pair.ground_truth());
             assert_eq!(outcome.report, reference.report, "session {}", req.id);
         }
+    }
+
+    #[test]
+    fn batch_submissions_settle_bit_identically_to_singles() {
+        let spec = ProblemSpec::new(1 << 18, 32);
+        let requests: Vec<SessionRequest> = (0..16)
+            .map(|id| {
+                let mut req = SessionRequest::new(id, spec, (id % 33) as usize);
+                req.seed = id * 7 + 1;
+                req
+            })
+            .collect();
+
+        let engine = Engine::start(EngineConfig::new(2));
+        engine.submit_batch(requests.clone()).unwrap();
+        let batched = engine.finish();
+
+        let engine = Engine::start(EngineConfig::new(2));
+        for req in requests {
+            engine.submit(req).unwrap();
+        }
+        let singles = engine.finish();
+
+        assert_eq!(batched.outcomes.len(), 16);
+        for (b, s) in batched.outcomes.iter().zip(&singles.outcomes) {
+            assert!(b.succeeded(), "session {} failed in batch", b.request.id);
+            assert_eq!(b.report, s.report, "session {}", b.request.id);
+            assert_eq!(b.alice, s.alice, "session {}", b.request.id);
+            assert_eq!(b.protocol, s.protocol, "session {}", b.request.id);
+        }
+        // The deterministic half of the snapshot is identical too.
+        assert_eq!(batched.snapshot.metrics, singles.snapshot.metrics);
+    }
+
+    #[test]
+    fn mixed_spec_batches_are_rejected_as_invalid() {
+        let engine = Engine::start(EngineConfig::new(2));
+        let batch = vec![
+            SessionRequest::new(0, ProblemSpec::new(1 << 16, 16), 4),
+            SessionRequest::new(1, ProblemSpec::new(1 << 18, 16), 4),
+        ];
+        assert!(matches!(
+            engine.submit_batch(batch),
+            Err(SubmitError::Invalid(_))
+        ));
+        assert!(matches!(
+            engine.submit_batch(Vec::new()),
+            Err(SubmitError::Invalid(_))
+        ));
+        let report = engine.finish();
+        assert_eq!(report.snapshot.metrics.submitted, 0);
+    }
+
+    #[test]
+    fn plan_cache_is_shared_across_sessions() {
+        let engine = Engine::start(EngineConfig::new(2));
+        let cache = engine.plan_cache();
+        for req in mixed_requests(16) {
+            engine.submit(req).unwrap();
+        }
+        let report = engine.finish();
+        assert_eq!(report.outcomes.len(), 16);
+        let stats = cache.stats();
+        // 16 sessions over 4 workload shapes: one parameter derivation
+        // per shape, everything else a hit.
+        assert_eq!(stats.hits + stats.misses, 16);
+        assert_eq!(stats.misses, 4, "{stats:?}");
+        assert_eq!(stats.entries, 4, "{stats:?}");
     }
 
     #[test]

@@ -38,6 +38,78 @@ pub struct PairwiseHash {
     range: u64,
 }
 
+/// A reusable handle on the Carter–Wegman family over one universe.
+///
+/// Constructing the family performs the input-independent work — the
+/// deterministic search for the field prime `p ≥ universe` — once, so a
+/// prepared protocol can sample many functions (one per session) without
+/// re-running the primality search. Sampling draws exactly the same
+/// random bits as [`PairwiseHash::sample`]: the prime search consumes no
+/// randomness, so a function sampled through a family is bit-identical
+/// to one sampled directly from the same RNG state.
+///
+/// # Examples
+///
+/// ```
+/// use intersect_hash::pairwise::{PairwiseFamily, PairwiseHash};
+/// use rand::SeedableRng;
+///
+/// let family = PairwiseFamily::new(1_000_000);
+/// let mut rng_a = rand_chacha::ChaCha8Rng::seed_from_u64(1);
+/// let mut rng_b = rng_a.clone();
+/// assert_eq!(
+///     family.sample(&mut rng_a, 64),
+///     PairwiseHash::sample(&mut rng_b, 1_000_000, 64),
+/// );
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PairwiseFamily {
+    universe: u64,
+    p: u64,
+}
+
+impl PairwiseFamily {
+    /// Fixes the universe and finds the field prime.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `universe == 0`.
+    pub fn new(universe: u64) -> Self {
+        assert!(universe > 0, "universe must be non-empty");
+        PairwiseFamily {
+            universe,
+            p: PairwiseHash::field_prime(universe),
+        }
+    }
+
+    /// Samples a function `[universe] → [range]`, drawing the seed pair
+    /// `(a, b)` from `rng` exactly as [`PairwiseHash::sample`] does.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `range == 0`.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R, range: u64) -> PairwiseHash {
+        assert!(range > 0, "range must be non-empty");
+        PairwiseHash {
+            p: self.p,
+            a: rng.gen_range(1..self.p),
+            b: rng.gen_range(0..self.p),
+            universe: self.universe,
+            range,
+        }
+    }
+
+    /// The universe bound `n`.
+    pub fn universe(&self) -> u64 {
+        self.universe
+    }
+
+    /// The field prime `p`.
+    pub fn prime(&self) -> u64 {
+        self.p
+    }
+}
+
 impl PairwiseHash {
     /// The field prime used for a given universe: the smallest prime
     /// `≥ universe` (so that `x ↦ x` is injective into the field).
@@ -53,14 +125,7 @@ impl PairwiseHash {
     pub fn sample<R: Rng + ?Sized>(rng: &mut R, universe: u64, range: u64) -> Self {
         assert!(universe > 0, "universe must be non-empty");
         assert!(range > 0, "range must be non-empty");
-        let p = Self::field_prime(universe);
-        PairwiseHash {
-            p,
-            a: rng.gen_range(1..p),
-            b: rng.gen_range(0..p),
-            universe,
-            range,
-        }
+        PairwiseFamily::new(universe).sample(rng, range)
     }
 
     /// Evaluates the hash.
@@ -261,5 +326,25 @@ mod tests {
     fn eval_outside_universe_panics() {
         let h = PairwiseHash::sample(&mut rng(1), 100, 10);
         h.eval(100);
+    }
+
+    #[test]
+    fn family_sampling_matches_direct_sampling_bit_for_bit() {
+        // A family handle hoists only the (deterministic) prime search;
+        // the RNG sequence must be untouched, even across many draws.
+        for universe in [2u64, 97, 1 << 20, (1 << 40) + 5] {
+            let family = PairwiseFamily::new(universe);
+            let mut via_family = rng(9);
+            let mut direct = rng(9);
+            for range in [1u64, 7, 64, universe] {
+                assert_eq!(
+                    family.sample(&mut via_family, range),
+                    PairwiseHash::sample(&mut direct, universe, range),
+                    "universe {universe}, range {range}"
+                );
+            }
+            assert_eq!(family.prime(), PairwiseHash::field_prime(universe));
+            assert_eq!(family.universe(), universe);
+        }
     }
 }

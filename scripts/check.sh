@@ -10,6 +10,9 @@ cargo fmt --all --check
 echo "==> cargo clippy --workspace -- -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
 
+echo "==> prepared-plan bit-exactness (quick profile)"
+cargo test -q -p intersect-bench --test prepared_exactness
+
 echo "==> cargo test --workspace"
 cargo test -q --workspace
 

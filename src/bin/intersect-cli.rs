@@ -4,7 +4,7 @@
 //!
 //! ```text
 //! intersect-cli --a alice.txt --b bob.txt [--protocol tree] [--rounds 3]
-//!               [--universe 2^40] [--seed 7] [--quiet]
+//!               [--universe 2^40] [--seed 7] [--repeat 100] [--quiet]
 //! ```
 //!
 //! Set files contain one non-negative integer per line (decimal or
@@ -21,6 +21,7 @@ struct Options {
     rounds: u32,
     universe: Option<u64>,
     seed: u64,
+    repeat: u64,
     quiet: bool,
 }
 
@@ -35,6 +36,11 @@ fn usage() -> ! {
            --universe <n>      universe size (default: smallest power of two\n\
                                above the largest element; accepts 2^<e>)\n\
            --seed <s>          shared-randomness seed (default 0)\n\
+           --repeat <N>        run N sessions with the same spec: repeat 0\n\
+                               replays the file inputs, later repeats draw\n\
+                               fresh random pairs of the same shape; the\n\
+                               protocol is prepared once and every session\n\
+                               reuses the plan (default 1)\n\
            --quiet             print only the intersection elements"
     );
     std::process::exit(2);
@@ -59,6 +65,7 @@ fn parse_args() -> Options {
         rounds: 0,
         universe: None,
         seed: 0,
+        repeat: 1,
         quiet: false,
     };
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -82,6 +89,11 @@ fn parse_args() -> Options {
                 opts.universe = Some(parse_u64(&value("--universe")).unwrap_or_else(|| usage()))
             }
             "--seed" => opts.seed = parse_u64(&value("--seed")).unwrap_or_else(|| usage()),
+            "--repeat" => {
+                opts.repeat = parse_u64(&value("--repeat"))
+                    .filter(|&n| n >= 1)
+                    .unwrap_or_else(|| usage())
+            }
             "--quiet" => opts.quiet = true,
             "--help" | "-h" => usage(),
             other => {
@@ -163,8 +175,37 @@ fn main() -> ExitCode {
     };
 
     let pair = InputPair { s, t };
-    let run = match execute(protocol.as_ref(), spec, &pair, opts.seed) {
-        Ok(run) => run,
+    let plan = protocol.prepare(spec);
+    let started = std::time::Instant::now();
+    let results = if opts.repeat == 1 {
+        vec![execute_prepared(&plan, &pair, opts.seed)]
+    } else {
+        // Repeat 0 replays the file inputs (bit-identical to a single run
+        // with the same seed); later repeats draw fresh pairs of the same
+        // shape. One prepared plan and one warm runner serve all sessions.
+        let overlap = pair
+            .ground_truth()
+            .len()
+            .max((2 * spec.k).saturating_sub(spec.n) as usize)
+            .min(spec.k as usize);
+        let mut pairs = vec![pair.clone()];
+        let mut seeds = vec![opts.seed];
+        for i in 1..opts.repeat {
+            let seed = opts.seed.wrapping_add(i);
+            pairs.push(SessionRequest::new(seed, spec, overlap).input_pair());
+            seeds.push(seed);
+        }
+        match execute_prepared_batch(&plan, &pairs, &seeds) {
+            Ok(results) => results,
+            Err(e) => {
+                eprintln!("protocol error: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    };
+    let elapsed = started.elapsed();
+    let run = match &results[0] {
+        Ok(run) => run.clone(),
         Err(e) => {
             eprintln!("protocol error: {e}");
             return ExitCode::FAILURE;
@@ -195,6 +236,22 @@ fn main() -> ExitCode {
             run.report.messages,
             run.report.rounds,
         );
+        if opts.repeat > 1 {
+            let ok: Vec<_> = results.iter().filter_map(|r| r.as_ref().ok()).collect();
+            let failed = results.len() - ok.len();
+            let total_bits: u64 = ok.iter().map(|r| r.report.total_bits()).sum();
+            let mean_bits = total_bits / ok.len().max(1) as u64;
+            let per_sec = results.len() as f64 / elapsed.as_secs_f64().max(1e-9);
+            eprintln!(
+                "# repeat: {} sessions over one prepared plan ({} ok, {} failed), \
+                 mean {} bits/session, {:.0} sessions/s",
+                results.len(),
+                ok.len(),
+                failed,
+                mean_bits,
+                per_sec,
+            );
+        }
     }
     ExitCode::SUCCESS
 }
