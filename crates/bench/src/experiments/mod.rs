@@ -6,6 +6,7 @@ pub mod apps_exp;
 pub mod engine_exp;
 pub mod equality_exp;
 pub mod multiparty_exp;
+pub mod net_exp;
 pub mod obs_exp;
 pub mod serve_exp;
 pub mod throughput_exp;
@@ -133,6 +134,11 @@ pub fn all() -> Vec<Experiment> {
             run: throughput_exp::e20,
         },
         Experiment {
+            id: "E21",
+            claim: "Network transport: remote sessions bit-identical to in-process; throughput vs connections",
+            run: net_exp::e21,
+        },
+        Experiment {
             id: "A1",
             claim: "Ablation: iterated-log degree schedule vs uniform tree",
             run: ablations::a1,
@@ -169,7 +175,7 @@ mod tests {
         let ids: Vec<&str> = all().iter().map(|e| e.id).collect();
         for want in [
             "E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "E12", "E13",
-            "E14", "E15", "E16", "E17", "E18", "E19", "E20", "A1", "A2", "A3", "A4",
+            "E14", "E15", "E16", "E17", "E18", "E19", "E20", "E21", "A1", "A2", "A3", "A4",
         ] {
             assert!(ids.contains(&want), "missing {want}");
         }

@@ -1,0 +1,124 @@
+//! E21: the framed network transport changes zero bits — a remote
+//! session's transcript and cost report are identical to the same
+//! session run in process, for every catalogue protocol, plus the
+//! throughput/latency profile of the transport at several connection
+//! counts.
+
+use crate::table::{fmt_bits, Table};
+use crate::throughput::network_samples;
+use intersect_comm::runner::{run_two_party, RunConfig, Side};
+use intersect_comm::stats::CostReport;
+use intersect_comm::trace::{TraceEvent, Traced};
+use intersect_core::api::ProtocolChoice;
+use intersect_core::sets::ProblemSpec;
+use intersect_engine::SessionRequest;
+use intersect_net::prelude::*;
+
+/// The canonical request for one (protocol, k) cell. The client ships
+/// only this line; both sides regenerate the inputs from the seed.
+fn request(id: u64, k: u64, choice: ProtocolChoice) -> SessionRequest {
+    let spec = ProblemSpec::new(1 << 20, k);
+    let mut req = SessionRequest::new(id, spec, (k / 3) as usize);
+    req.seed = id.wrapping_mul(0xE21) + 3;
+    req.protocol = Some(choice);
+    req
+}
+
+/// The in-process reference: the identical plan over a dedicated
+/// endpoint pair, with Alice's transcript recorded.
+fn reference(req: &SessionRequest, choice: ProtocolChoice) -> (CostReport, Vec<TraceEvent>) {
+    let plan = choice.build(req.spec).prepare(req.spec);
+    let pair = req.input_pair();
+    let out = run_two_party(
+        &RunConfig::with_seed(req.seed),
+        |chan, coins| {
+            let mut traced = Traced::new(&mut *chan);
+            let set = plan.execute(&mut traced, coins, Side::Alice, &pair.s)?;
+            Ok((set, traced.into_events()))
+        },
+        |chan, coins| plan.execute(chan, coins, Side::Bob, &pair.t),
+    )
+    .expect("in-process reference run");
+    (out.report, out.alice.1)
+}
+
+/// E21: remote sessions are bit-identical to in-process runs across the
+/// catalogue; transport throughput scales with connection count.
+pub fn e21(quick: bool) -> Vec<Table> {
+    let ks: &[u64] = if quick { &[16, 64] } else { &[16, 64, 256] };
+
+    let mut identity = Table::new(
+        "E21a: remote vs in-process, full catalogue (bit-identity over TCP loopback)",
+        &[
+            "protocol",
+            "k",
+            "bits",
+            "messages",
+            "rounds",
+            "report",
+            "transcript",
+            "output",
+        ],
+    );
+    let mut server = NetServer::start(NetServerConfig::new(
+        EndpointAddr::parse("tcp:127.0.0.1:0").expect("endpoint"),
+    ))
+    .expect("bind loopback server");
+    let client =
+        intersect_net::NetClient::connect(&server.local_addr().to_string()).expect("connect");
+    let mut id = 0u64;
+    let mut all_identical = true;
+    for choice in ProtocolChoice::all(3) {
+        for &k in ks {
+            id += 1;
+            let req = request(id, k, choice);
+            let (remote, remote_events) = client.run_traced(&req).expect("remote session");
+            let (ref_report, ref_events) = reference(&req, choice);
+            let truth = req.input_pair().ground_truth();
+            let report_ok = remote.report == ref_report;
+            let transcript_ok = remote_events == ref_events;
+            let output_ok = remote.matches(&truth);
+            all_identical &= report_ok && transcript_ok && output_ok;
+            let mark = |ok: bool| if ok { "identical" } else { "DIFFERS" }.to_string();
+            identity.push_row(vec![
+                choice.to_string(),
+                k.to_string(),
+                fmt_bits(remote.report.total_bits() as f64),
+                remote.report.messages.to_string(),
+                remote.report.rounds.to_string(),
+                mark(report_ok),
+                mark(transcript_ok),
+                if output_ok { "correct" } else { "WRONG" }.to_string(),
+            ]);
+        }
+    }
+    drop(client);
+    let summary = server.shutdown();
+    assert!(all_identical, "remote run diverged from in-process run");
+    assert_eq!(summary.sessions_failed, 0, "remote sessions failed");
+
+    let mut throughput = Table::new(
+        "E21b: transport throughput vs connection count (closed loop, 8 workers, \
+         loopback TCP, k = 64 routed sessions; one machine runs both sides, so \
+         latency is framing/demux overhead, not network)",
+        &[
+            "connections",
+            "sessions",
+            "sessions/s",
+            "p50 latency (us)",
+            "p99 latency (us)",
+            "total bits",
+        ],
+    );
+    for s in network_samples(if quick { 48 } else { 240 }) {
+        throughput.push_row(vec![
+            s.connections.to_string(),
+            s.sessions.to_string(),
+            format!("{:.0}", s.sessions_per_sec),
+            s.latency_us_p50.to_string(),
+            s.latency_us_p99.to_string(),
+            fmt_bits(s.total_bits as f64),
+        ]);
+    }
+    vec![identity, throughput]
+}

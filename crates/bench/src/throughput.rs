@@ -125,6 +125,27 @@ pub struct PreparedSample {
     pub total_bits: u64,
 }
 
+/// One network-transport sample: closed-loop remote sessions over the
+/// framed TCP transport (loopback) at a given connection count.
+#[derive(Debug, Clone, Serialize)]
+pub struct NetworkSample {
+    /// Multiplexed connections shared by the workers.
+    pub connections: usize,
+    /// Closed-loop worker threads driving the connections.
+    pub concurrency: usize,
+    /// Sessions completed.
+    pub sessions: u64,
+    /// Sessions per second.
+    pub sessions_per_sec: f64,
+    /// Median end-to-end session latency in microseconds.
+    pub latency_us_p50: u64,
+    /// 99th-percentile end-to-end session latency in microseconds.
+    pub latency_us_p99: u64,
+    /// Total protocol bits moved — must be invariant across connection
+    /// counts: the transport carries bits, it never changes them.
+    pub total_bits: u64,
+}
+
 /// The full report serialized into `BENCH_throughput.json`.
 #[derive(Debug, Clone, Serialize)]
 pub struct ThroughputReport {
@@ -138,6 +159,8 @@ pub struct ThroughputReport {
     pub engine: Vec<EngineSample>,
     /// Prepared-plan samples: cold vs warm-cached, per protocol.
     pub prepared: Vec<PreparedSample>,
+    /// Network-transport samples: remote sessions over loopback TCP.
+    pub network: Vec<NetworkSample>,
     /// The pre-rework numbers, embedded so the report is self-contained.
     pub before: BaselineReport,
 }
@@ -668,6 +691,91 @@ pub fn prepared_samples(sessions: u64, workers: usize, count: fn() -> u64) -> Ve
     out
 }
 
+/// Remote sessions over the framed TCP transport on loopback: the same
+/// routed session workload at several connection counts, closed-loop.
+///
+/// These numbers are transport overhead on one machine (server, clients
+/// and workers share the host), not a network study: they bound the
+/// framing/demux cost, and `total_bits` must not move with the
+/// connection count.
+pub fn network_samples(sessions: u64) -> Vec<NetworkSample> {
+    use intersect_net::prelude::*;
+    use std::sync::atomic::{AtomicU64, Ordering};
+    use std::sync::{Arc, Mutex};
+
+    let concurrency = 8usize;
+    let spec = ProblemSpec::new(1 << 20, 64);
+    let mut out: Vec<NetworkSample> = Vec::new();
+    for connections in [1usize, 2, 4, 8] {
+        let mut server = NetServer::start(NetServerConfig::new(
+            EndpointAddr::parse("tcp:127.0.0.1:0").expect("endpoint"),
+        ))
+        .expect("bind loopback server");
+        let addr = server.local_addr().to_string();
+        let clients: Vec<Arc<intersect_net::NetClient>> = (0..connections)
+            .map(|_| Arc::new(intersect_net::NetClient::connect(&addr).expect("connect")))
+            .collect();
+
+        let next = Arc::new(AtomicU64::new(0));
+        let bits = Arc::new(AtomicU64::new(0));
+        let latencies = Arc::new(Mutex::new(Vec::with_capacity(sessions as usize)));
+        let t0 = Instant::now();
+        let workers: Vec<_> = (0..concurrency)
+            .map(|_| {
+                let clients = clients.clone();
+                let next = Arc::clone(&next);
+                let bits = Arc::clone(&bits);
+                let latencies = Arc::clone(&latencies);
+                std::thread::spawn(move || loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= sessions {
+                        return;
+                    }
+                    let mut req = SessionRequest::new(i, spec, (i % (spec.k + 1)) as usize);
+                    req.seed = i.wrapping_mul(0x9e37_79b9_7f4a_7c15) ^ 0xbeef;
+                    let s0 = Instant::now();
+                    let run = clients[i as usize % clients.len()]
+                        .run(&req)
+                        .expect("remote session");
+                    let micros = s0.elapsed().as_micros() as u64;
+                    bits.fetch_add(run.report.total_bits(), Ordering::Relaxed);
+                    latencies.lock().unwrap().push(micros);
+                })
+            })
+            .collect();
+        for w in workers {
+            w.join().expect("worker");
+        }
+        let wall = t0.elapsed();
+        drop(clients);
+        server.shutdown();
+
+        let mut lat = Arc::try_unwrap(latencies)
+            .expect("workers joined")
+            .into_inner()
+            .unwrap();
+        lat.sort_unstable();
+        let pick = |p: f64| lat[((p * (lat.len() - 1) as f64).round() as usize).min(lat.len() - 1)];
+        let total_bits = bits.load(Ordering::Relaxed);
+        if let Some(first) = out.first() {
+            assert_eq!(
+                first.total_bits, total_bits,
+                "transport moved different bits at {connections} connections"
+            );
+        }
+        out.push(NetworkSample {
+            connections,
+            concurrency,
+            sessions,
+            sessions_per_sec: sessions as f64 / wall.as_secs_f64(),
+            latency_us_p50: pick(0.50),
+            latency_us_p99: pick(0.99),
+            total_bits,
+        });
+    }
+    out
+}
+
 fn engine_samples(sessions: u64, workers: usize) -> Vec<EngineSample> {
     let mut out = Vec::new();
     for (label, workers) in [("engine_stress", workers), ("engine_stress_2w", 2)] {
@@ -713,6 +821,7 @@ pub fn run(quick: bool, count: fn() -> u64) -> ThroughputReport {
             params.engine_workers,
             count,
         ),
+        network: network_samples(if quick { 64 } else { 400 }),
         before: seed_baseline(),
     }
 }

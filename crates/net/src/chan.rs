@@ -1,0 +1,199 @@
+//! [`Chan`] over a framed socket: the remote counterpart of the
+//! in-process [`Endpoint`](intersect_comm::chan::Endpoint).
+//!
+//! A [`RemoteChan`] meters exactly what the in-process endpoint meters —
+//! payload bits and message counts on [`WireFrame::Msg`] frames only,
+//! causal depth stamped as `clock + 1` on send and folded in with `max`
+//! on receive — so a protocol half executed over a socket produces a
+//! [`ChannelStats`] bit-identical to the same half executed in process.
+//! Framing bytes (length prefixes, type tags, session ids) are
+//! transport overhead, visible in `net_frame_bytes_total` but never in
+//! `ChannelStats`: the paper's cost model counts protocol bits, and the
+//! wire format is built so the two ledgers stay separable.
+
+use crate::frame::{write_frame, WireFrame};
+use crate::transport::Stream;
+use crossbeam_channel::Receiver;
+use intersect_comm::bits::BitBuf;
+use intersect_comm::chan::Chan;
+use intersect_comm::error::ProtocolError;
+use intersect_comm::stats::ChannelStats;
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+/// The write half of a connection, shared by every session multiplexed
+/// onto it. One frame is written per lock acquisition, so frames from
+/// concurrent sessions interleave but never tear.
+pub(crate) type SharedWriter = Arc<Mutex<Stream>>;
+
+/// What a connection's reader thread delivers to one session.
+#[derive(Debug)]
+pub(crate) enum SessionEvent {
+    /// Server accepted the session and routed it to the named protocol.
+    Accept(String),
+    /// A protocol message.
+    Msg {
+        /// Sender's causal depth.
+        depth: u64,
+        /// The payload.
+        payload: BitBuf,
+    },
+    /// The peer's half of the session is over.
+    Fin,
+    /// Server half completed: final counters plus its output.
+    Done {
+        /// Server-side channel counters.
+        stats: ChannelStats,
+        /// Server party's computed intersection.
+        result: Vec<u64>,
+    },
+    /// The peer reported a session failure.
+    Error(String),
+    /// The connection itself went away.
+    Closed,
+}
+
+/// One session's channel over a multiplexed connection.
+#[derive(Debug)]
+pub(crate) struct RemoteChan {
+    session: u64,
+    writer: SharedWriter,
+    rx: Receiver<SessionEvent>,
+    stats: ChannelStats,
+    peer_done: bool,
+    timeout: Duration,
+    budget: Option<u64>,
+}
+
+impl RemoteChan {
+    pub(crate) fn new(
+        session: u64,
+        writer: SharedWriter,
+        rx: Receiver<SessionEvent>,
+        timeout: Duration,
+        budget: Option<u64>,
+    ) -> RemoteChan {
+        RemoteChan {
+            session,
+            writer,
+            rx,
+            stats: ChannelStats::default(),
+            peer_done: false,
+            timeout,
+            budget,
+        }
+    }
+
+    fn check_budget(&self) -> Result<(), ProtocolError> {
+        if let Some(limit) = self.budget {
+            if self.stats.total_bits() > limit {
+                return Err(ProtocolError::BudgetExceeded { limit_bits: limit });
+            }
+        }
+        Ok(())
+    }
+
+    fn next_event(&self) -> Result<SessionEvent, ProtocolError> {
+        self.rx.recv_timeout(self.timeout).map_err(|e| match e {
+            crossbeam_channel::RecvTimeoutError::Timeout => ProtocolError::Timeout,
+            crossbeam_channel::RecvTimeoutError::Disconnected => ProtocolError::ChannelClosed,
+        })
+    }
+
+    /// Consumes post-protocol events until the peer's [`SessionEvent::Done`].
+    ///
+    /// # Errors
+    ///
+    /// Surfaces peer-reported failures, connection loss, and timeouts.
+    pub(crate) fn wait_done(&mut self) -> Result<(ChannelStats, Vec<u64>), ProtocolError> {
+        loop {
+            match self.next_event()? {
+                SessionEvent::Fin => self.peer_done = true,
+                SessionEvent::Done { stats, result } => return Ok((stats, result)),
+                SessionEvent::Error(msg) => {
+                    return Err(ProtocolError::Internal(format!(
+                        "remote peer failed: {msg}"
+                    )))
+                }
+                SessionEvent::Closed => return Err(ProtocolError::ChannelClosed),
+                SessionEvent::Msg { .. } | SessionEvent::Accept(_) => {
+                    return Err(ProtocolError::Internal(
+                        "unexpected frame after session completion".into(),
+                    ))
+                }
+            }
+        }
+    }
+}
+
+impl Chan for RemoteChan {
+    fn send(&mut self, msg: BitBuf) -> Result<(), ProtocolError> {
+        // Metering mirrors `Endpoint::send` exactly: count first, then
+        // budget-check, then fail if the peer is gone — so a send into a
+        // closed session leaves the same counter trail either way.
+        let bits = msg.len() as u64;
+        self.stats.bits_sent += bits;
+        self.stats.messages_sent += 1;
+        self.check_budget()?;
+        if self.peer_done {
+            return Err(ProtocolError::ChannelClosed);
+        }
+        let frame = WireFrame::Msg {
+            session: self.session,
+            depth: self.stats.clock + 1,
+            payload: msg,
+        };
+        let mut w = self.writer.lock().expect("connection writer poisoned");
+        write_frame(&mut *w, &frame).map_err(|_| ProtocolError::ChannelClosed)?;
+        drop(w);
+        intersect_obs::message(
+            "net",
+            intersect_obs::Direction::Sent,
+            bits,
+            self.stats.clock,
+        );
+        Ok(())
+    }
+
+    fn recv(&mut self) -> Result<BitBuf, ProtocolError> {
+        if self.peer_done {
+            return Err(ProtocolError::ChannelClosed);
+        }
+        match self.next_event()? {
+            SessionEvent::Msg { depth, payload } => {
+                self.stats.clock = self.stats.clock.max(depth);
+                self.stats.bits_received += payload.len() as u64;
+                self.stats.messages_received += 1;
+                self.check_budget()?;
+                intersect_obs::message(
+                    "net",
+                    intersect_obs::Direction::Received,
+                    payload.len() as u64,
+                    self.stats.clock,
+                );
+                Ok(payload)
+            }
+            SessionEvent::Fin => {
+                self.peer_done = true;
+                Err(ProtocolError::ChannelClosed)
+            }
+            SessionEvent::Closed => Err(ProtocolError::ChannelClosed),
+            SessionEvent::Error(msg) => Err(ProtocolError::Internal(format!(
+                "remote peer failed: {msg}"
+            ))),
+            // An Accept still queued ahead of the first message has
+            // already been consumed by the open handshake; seeing one
+            // here means a peer bug, not a transport fault.
+            SessionEvent::Accept(_) => Err(ProtocolError::Internal(
+                "unexpected accept frame mid-session".into(),
+            )),
+            SessionEvent::Done { .. } => Err(ProtocolError::Internal(
+                "peer completed while a message was expected".into(),
+            )),
+        }
+    }
+
+    fn stats(&self) -> ChannelStats {
+        self.stats
+    }
+}

@@ -1,0 +1,309 @@
+//! The remote client: the in-process session API over a socket.
+//!
+//! A [`NetClient`] owns one connection and multiplexes any number of
+//! concurrent sessions onto it — [`NetClient::run`] takes `&self`, so
+//! wrapping the client in an [`Arc`] and calling it from many threads
+//! drives many interleaved sessions over a single stream. The client
+//! executes the Alice half of the routed protocol locally over a
+//! [`RemoteChan`], regenerating the session's inputs from the request
+//! seed exactly as the server does, and assembles the final
+//! [`CostReport`] from its own counters plus the server's
+//! [`WireFrame::Done`] counters with the same `assemble_report` the
+//! in-process runner uses — which is what makes remote reports
+//! bit-identical to local ones (experiment E21).
+
+use crate::chan::{RemoteChan, SessionEvent, SharedWriter};
+use crate::frame::{read_frame, write_frame, WireFrame};
+use crate::metrics;
+use crate::transport::{EndpointAddr, Stream};
+use crossbeam_channel::Sender;
+use intersect_comm::chan::Chan;
+use intersect_comm::coins::CoinSource;
+use intersect_comm::error::ProtocolError;
+use intersect_comm::runner::{assemble_report, Side};
+use intersect_comm::stats::CostReport;
+use intersect_comm::trace::{TraceEvent, Traced};
+use intersect_core::api::ProtocolChoice;
+use intersect_core::sets::ElementSet;
+use intersect_engine::{PlanCache, SessionRequest};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// The outcome of one remote session.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RemoteRun {
+    /// The protocol the server routed the session to.
+    pub protocol: ProtocolChoice,
+    /// This side's (Alice's) output.
+    pub alice: ElementSet,
+    /// The server side's (Bob's) output, echoed in the Done frame.
+    pub bob: ElementSet,
+    /// Exact communication cost, assembled from both endpoints'
+    /// counters exactly as the in-process runner assembles it.
+    pub report: CostReport,
+}
+
+impl RemoteRun {
+    /// `true` iff both parties produced exactly `expected`.
+    pub fn matches(&self, expected: &ElementSet) -> bool {
+        self.alice == *expected && self.bob == *expected
+    }
+}
+
+type SessionMap = Arc<Mutex<HashMap<u64, Sender<SessionEvent>>>>;
+
+/// One connection to a transport server.
+#[derive(Debug)]
+pub struct NetClient {
+    writer: SharedWriter,
+    sessions: SessionMap,
+    next_id: AtomicU64,
+    cache: PlanCache,
+    timeout: Duration,
+    stream: Stream,
+    reader: Mutex<Option<JoinHandle<()>>>,
+    goodbye: Arc<AtomicBool>,
+}
+
+impl NetClient {
+    /// Connects to `tcp:ADDR` or `unix:PATH`.
+    ///
+    /// # Errors
+    ///
+    /// Rejects malformed endpoint syntax and propagates connect errors.
+    pub fn connect(endpoint: &str) -> Result<NetClient, String> {
+        let addr = EndpointAddr::parse(endpoint)?;
+        Self::connect_addr(&addr).map_err(|e| format!("cannot connect to {addr}: {e}"))
+    }
+
+    /// Connects to an already-parsed endpoint.
+    ///
+    /// # Errors
+    ///
+    /// Propagates connect failures.
+    pub fn connect_addr(addr: &EndpointAddr) -> std::io::Result<NetClient> {
+        metrics::describe_net_metrics();
+        let stream = Stream::connect(addr)?;
+        let reader_stream = stream.try_clone()?;
+        let writer_stream = stream.try_clone()?;
+        metrics::connection_delta(1);
+        let sessions: SessionMap = Arc::new(Mutex::new(HashMap::new()));
+        let goodbye = Arc::new(AtomicBool::new(false));
+        let reader_sessions = Arc::clone(&sessions);
+        let reader_goodbye = Arc::clone(&goodbye);
+        let reader = std::thread::spawn(move || {
+            reader_loop(reader_stream, reader_sessions, reader_goodbye);
+        });
+        Ok(NetClient {
+            writer: Arc::new(Mutex::new(writer_stream)),
+            sessions,
+            next_id: AtomicU64::new(1),
+            cache: PlanCache::new(),
+            timeout: Duration::from_secs(30),
+            stream,
+            reader: Mutex::new(Some(reader)),
+            goodbye: Arc::clone(&goodbye),
+        })
+    }
+
+    /// `true` once the server has said goodbye (drain in progress).
+    pub fn server_said_goodbye(&self) -> bool {
+        self.goodbye.load(Ordering::Acquire)
+    }
+
+    /// Runs one session remotely, blocking this thread until it
+    /// completes. Safe to call concurrently from many threads: sessions
+    /// interleave on the shared connection.
+    ///
+    /// # Errors
+    ///
+    /// Surfaces request validation failures as
+    /// [`ProtocolError::InvalidInput`], server-side refusals and
+    /// failures as [`ProtocolError::Internal`], and transport loss as
+    /// [`ProtocolError::ChannelClosed`] / [`ProtocolError::Timeout`].
+    pub fn run(&self, req: &SessionRequest) -> Result<RemoteRun, ProtocolError> {
+        self.run_inner(req, false).map(|(run, _)| run)
+    }
+
+    /// Like [`run`](Self::run), but also records the client-side message
+    /// transcript (direction, bits, causal clock, phase label of every
+    /// message) — the evidence E21 compares against in-process runs.
+    ///
+    /// # Errors
+    ///
+    /// As for [`run`](Self::run).
+    pub fn run_traced(
+        &self,
+        req: &SessionRequest,
+    ) -> Result<(RemoteRun, Vec<TraceEvent>), ProtocolError> {
+        self.run_inner(req, true)
+    }
+
+    fn run_inner(
+        &self,
+        req: &SessionRequest,
+        traced: bool,
+    ) -> Result<(RemoteRun, Vec<TraceEvent>), ProtocolError> {
+        req.validate().map_err(ProtocolError::InvalidInput)?;
+        let wire_id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        let (tx, rx) = crossbeam_channel::unbounded();
+        self.sessions
+            .lock()
+            .expect("session map poisoned")
+            .insert(wire_id, tx);
+        metrics::session_opened();
+        let result = self.run_registered(req, wire_id, rx, traced);
+        self.sessions
+            .lock()
+            .expect("session map poisoned")
+            .remove(&wire_id);
+        metrics::session_closed();
+        result
+    }
+
+    fn run_registered(
+        &self,
+        req: &SessionRequest,
+        wire_id: u64,
+        rx: crossbeam_channel::Receiver<SessionEvent>,
+        traced: bool,
+    ) -> Result<(RemoteRun, Vec<TraceEvent>), ProtocolError> {
+        {
+            let mut w = self.writer.lock().expect("connection writer poisoned");
+            write_frame(
+                &mut *w,
+                &WireFrame::Open {
+                    session: wire_id,
+                    line: req.to_line(),
+                },
+            )
+            .map_err(|_| ProtocolError::ChannelClosed)?;
+        }
+
+        // The open handshake: the server answers with the routed
+        // protocol before its half sends any message.
+        let choice: ProtocolChoice = match rx.recv_timeout(self.timeout).map_err(|e| match e {
+            crossbeam_channel::RecvTimeoutError::Timeout => ProtocolError::Timeout,
+            crossbeam_channel::RecvTimeoutError::Disconnected => ProtocolError::ChannelClosed,
+        })? {
+            SessionEvent::Accept(name) => name
+                .parse()
+                .map_err(|e: String| ProtocolError::Internal(format!("bad accept: {e}")))?,
+            SessionEvent::Error(msg) => {
+                return Err(ProtocolError::Internal(format!("server refused: {msg}")))
+            }
+            SessionEvent::Closed => return Err(ProtocolError::ChannelClosed),
+            other => {
+                return Err(ProtocolError::Internal(format!(
+                    "expected accept, got {other:?}"
+                )))
+            }
+        };
+
+        let plan = self.cache.get_or_prepare(choice, req.spec);
+        let pair = req.input_pair();
+        let coins = CoinSource::from_seed(req.seed);
+        let mut chan = RemoteChan::new(wire_id, Arc::clone(&self.writer), rx, self.timeout, None);
+
+        let (alice, events) = if traced {
+            let mut tchan = Traced::new(&mut chan);
+            let out = plan.execute(&mut tchan, &coins, Side::Alice, &pair.s);
+            let events = tchan.into_events();
+            (out, events)
+        } else {
+            (
+                plan.execute(&mut chan, &coins, Side::Alice, &pair.s),
+                Vec::new(),
+            )
+        };
+
+        // Announce this half's end whether it succeeded or not, so the
+        // server side can release the session promptly.
+        {
+            let mut w = self.writer.lock().expect("connection writer poisoned");
+            let _ = write_frame(&mut *w, &WireFrame::Fin { session: wire_id });
+        }
+        let alice = alice?;
+
+        let (server_stats, result) = chan.wait_done()?;
+        let report = assemble_report(chan.stats(), server_stats);
+        Ok((
+            RemoteRun {
+                protocol: choice,
+                alice,
+                bob: ElementSet::from_sorted(result),
+                report,
+            },
+            events,
+        ))
+    }
+
+    /// Tells the server this client will open no further sessions.
+    pub fn goodbye(&self) {
+        let mut w = self.writer.lock().expect("connection writer poisoned");
+        let _ = write_frame(&mut *w, &WireFrame::Goodbye);
+    }
+}
+
+impl Drop for NetClient {
+    fn drop(&mut self) {
+        self.stream.shutdown();
+        if let Some(t) = self.reader.lock().expect("reader handle poisoned").take() {
+            let _ = t.join();
+        }
+        metrics::connection_delta(-1);
+    }
+}
+
+fn reader_loop(mut stream: Stream, sessions: SessionMap, goodbye: Arc<AtomicBool>) {
+    // Any read error or clean EOF ends the loop; sessions then see Closed.
+    while let Ok(Some(frame)) = read_frame(&mut stream) {
+        let event = match frame {
+            WireFrame::Accept { session, protocol } => {
+                Some((session, SessionEvent::Accept(protocol)))
+            }
+            WireFrame::Msg {
+                session,
+                depth,
+                payload,
+            } => Some((session, SessionEvent::Msg { depth, payload })),
+            WireFrame::Fin { session } => Some((session, SessionEvent::Fin)),
+            WireFrame::Done {
+                session,
+                stats,
+                result,
+            } => Some((session, SessionEvent::Done { stats, result })),
+            WireFrame::Error { session, message } => {
+                if session == 0 {
+                    // Connection-level error: every live session
+                    // is affected.
+                    let map = sessions.lock().expect("session map poisoned");
+                    for tx in map.values() {
+                        let _ = tx.send(SessionEvent::Error(message.clone()));
+                    }
+                    None
+                } else {
+                    Some((session, SessionEvent::Error(message)))
+                }
+            }
+            WireFrame::Goodbye => {
+                goodbye.store(true, Ordering::Release);
+                None
+            }
+            // Client-role frames arriving at a client: ignore.
+            WireFrame::Open { .. } => None,
+        };
+        if let Some((session, event)) = event {
+            if let Some(tx) = sessions.lock().expect("session map poisoned").get(&session) {
+                let _ = tx.send(event);
+            }
+        }
+    }
+    let map = sessions.lock().expect("session map poisoned");
+    for tx in map.values() {
+        let _ = tx.send(SessionEvent::Closed);
+    }
+}

@@ -1,0 +1,535 @@
+//! The wire format: length-prefixed frames multiplexing many sessions
+//! over one byte stream.
+//!
+//! Every frame is `u32` little-endian body length followed by the body;
+//! every body starts with a one-byte frame type and the `u64` session id
+//! it belongs to. Protocol messages ([`WireFrame::Msg`]) carry the
+//! sender's causal depth, the payload's **exact bit length**, and the
+//! payload packed into `ceil(bits/8)` bytes — so the receiving channel
+//! can meter precisely the bits the in-process [`Endpoint`] would have
+//! metered, never a byte-rounded approximation.
+//!
+//! ```text
+//! +--------------+----------------------------------------------+
+//! | len: u32 LE  | body (len bytes)                             |
+//! +--------------+----------------------------------------------+
+//! body := type: u8 | session: u64 LE | type-specific fields
+//!
+//! Open    1  line: UTF-8 SessionRequest line ("id=.. n=.. k=..")
+//! Accept  2  protocol: UTF-8 ProtocolChoice name
+//! Msg     3  depth: u64 | payload_bits: u64 | payload: ceil(bits/8) bytes
+//! Fin     4  (empty) — sender's half of the session is over
+//! Done    5  ChannelStats: 5 × u64 | result_len: u32 | elems: u64 × len
+//! Error   6  message: UTF-8
+//! Goodbye 7  (empty, session 0) — connection-level farewell on drain
+//! ```
+//!
+//! Decoding is total: any byte sequence either yields a frame or a
+//! descriptive [`FrameError`]; malformed input (oversized length prefix,
+//! truncated body, unknown type, nonzero padding bits, trailing garbage)
+//! must never panic. The property tests in `tests/frame_roundtrip.rs`
+//! drive both directions.
+
+use intersect_comm::bits::BitBuf;
+use intersect_comm::stats::ChannelStats;
+use std::io::{self, Read, Write};
+
+/// Hard cap on the body length a peer may announce. Protocol payloads
+/// are a few kilobits (the whole point of the paper is that they are
+/// small); 16 MiB leaves three orders of magnitude of headroom while
+/// bounding what a broken or hostile peer can make us buffer.
+pub const MAX_BODY_BYTES: u32 = 1 << 24;
+
+/// Frame type tags on the wire.
+const T_OPEN: u8 = 1;
+const T_ACCEPT: u8 = 2;
+const T_MSG: u8 = 3;
+const T_FIN: u8 = 4;
+const T_DONE: u8 = 5;
+const T_ERROR: u8 = 6;
+const T_GOODBYE: u8 = 7;
+
+/// One frame of the session-multiplexed wire protocol.
+#[derive(Debug, Clone, PartialEq)]
+pub enum WireFrame {
+    /// Client → server: open session `session` described by a
+    /// [`SessionRequest`](intersect_engine::SessionRequest) line.
+    Open {
+        /// Connection-scoped session id chosen by the client.
+        session: u64,
+        /// The request in [`SessionRequest::to_line`] format.
+        line: String,
+    },
+    /// Server → client: session accepted and routed to `protocol`.
+    Accept {
+        /// Echoed session id.
+        session: u64,
+        /// The routed [`ProtocolChoice`](intersect_core::api::ProtocolChoice),
+        /// in its `FromStr`-parseable rendering.
+        protocol: String,
+    },
+    /// A protocol message: the only metered frame.
+    Msg {
+        /// Session this payload belongs to.
+        session: u64,
+        /// Sender's causal depth (`clock + 1` at send time), exactly as
+        /// the in-process [`Endpoint`](intersect_comm::chan::Endpoint)
+        /// stamps it.
+        depth: u64,
+        /// The payload, preserving its exact bit length.
+        payload: BitBuf,
+    },
+    /// The sender's half of `session` is over; unmetered, mirrors the
+    /// in-process `Frame::Fin`.
+    Fin {
+        /// Session being finished.
+        session: u64,
+    },
+    /// Server → client: the server half completed. Carries the server
+    /// endpoint's final counters (so the client can assemble the exact
+    /// [`CostReport`](intersect_comm::stats::CostReport) via
+    /// `assemble_report`) and the server's output set for verification.
+    Done {
+        /// Echoed session id.
+        session: u64,
+        /// The server-side channel counters at completion.
+        stats: ChannelStats,
+        /// The server party's computed intersection.
+        result: Vec<u64>,
+    },
+    /// A session-level failure; `session == 0` means connection-level.
+    Error {
+        /// Session the error pertains to (0 for the connection).
+        session: u64,
+        /// Human-readable description.
+        message: String,
+    },
+    /// Connection-level farewell: the sender will initiate no further
+    /// sessions and the receiver should expect the stream to close once
+    /// in-flight sessions drain.
+    Goodbye,
+}
+
+impl WireFrame {
+    /// The session id this frame addresses (0 for [`WireFrame::Goodbye`]).
+    pub fn session(&self) -> u64 {
+        match self {
+            WireFrame::Open { session, .. }
+            | WireFrame::Accept { session, .. }
+            | WireFrame::Msg { session, .. }
+            | WireFrame::Fin { session }
+            | WireFrame::Done { session, .. }
+            | WireFrame::Error { session, .. } => *session,
+            WireFrame::Goodbye => 0,
+        }
+    }
+}
+
+/// Why a frame could not be read or decoded.
+#[derive(Debug)]
+pub enum FrameError {
+    /// The underlying stream failed.
+    Io(io::Error),
+    /// The stream ended inside a frame (a clean end *between* frames is
+    /// reported as `Ok(None)` by [`read_frame`]).
+    Truncated,
+    /// The length prefix exceeded [`MAX_BODY_BYTES`].
+    Oversized {
+        /// The announced body length.
+        len: u32,
+    },
+    /// The body violated the format (bad type tag, short body, nonzero
+    /// padding bits, non-UTF-8 text, trailing bytes…).
+    Malformed(&'static str),
+}
+
+impl std::fmt::Display for FrameError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FrameError::Io(e) => write!(f, "transport i/o failure: {e}"),
+            FrameError::Truncated => write!(f, "stream ended mid-frame"),
+            FrameError::Oversized { len } => {
+                write!(f, "frame body of {len} bytes exceeds cap {MAX_BODY_BYTES}")
+            }
+            FrameError::Malformed(what) => write!(f, "malformed frame: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for FrameError {}
+
+impl From<io::Error> for FrameError {
+    fn from(e: io::Error) -> Self {
+        if e.kind() == io::ErrorKind::UnexpectedEof {
+            FrameError::Truncated
+        } else {
+            FrameError::Io(e)
+        }
+    }
+}
+
+fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+/// Encodes one frame, including its length prefix.
+pub fn encode(frame: &WireFrame) -> Vec<u8> {
+    let mut body = Vec::with_capacity(32);
+    match frame {
+        WireFrame::Open { session, line } => {
+            body.push(T_OPEN);
+            put_u64(&mut body, *session);
+            body.extend_from_slice(line.as_bytes());
+        }
+        WireFrame::Accept { session, protocol } => {
+            body.push(T_ACCEPT);
+            put_u64(&mut body, *session);
+            body.extend_from_slice(protocol.as_bytes());
+        }
+        WireFrame::Msg {
+            session,
+            depth,
+            payload,
+        } => {
+            body.push(T_MSG);
+            put_u64(&mut body, *session);
+            put_u64(&mut body, *depth);
+            put_u64(&mut body, payload.len() as u64);
+            let bytes = payload.len().div_ceil(8);
+            body.reserve(bytes);
+            let mut written = 0usize;
+            for word in payload.words() {
+                let take = (bytes - written).min(8);
+                body.extend_from_slice(&word.to_le_bytes()[..take]);
+                written += take;
+                if written == bytes {
+                    break;
+                }
+            }
+        }
+        WireFrame::Fin { session } => {
+            body.push(T_FIN);
+            put_u64(&mut body, *session);
+        }
+        WireFrame::Done {
+            session,
+            stats,
+            result,
+        } => {
+            body.push(T_DONE);
+            put_u64(&mut body, *session);
+            put_u64(&mut body, stats.bits_sent);
+            put_u64(&mut body, stats.bits_received);
+            put_u64(&mut body, stats.messages_sent);
+            put_u64(&mut body, stats.messages_received);
+            put_u64(&mut body, stats.clock);
+            put_u32(&mut body, result.len() as u32);
+            for e in result {
+                put_u64(&mut body, *e);
+            }
+        }
+        WireFrame::Error { session, message } => {
+            body.push(T_ERROR);
+            put_u64(&mut body, *session);
+            body.extend_from_slice(message.as_bytes());
+        }
+        WireFrame::Goodbye => {
+            body.push(T_GOODBYE);
+            put_u64(&mut body, 0);
+        }
+    }
+    debug_assert!(body.len() as u64 <= MAX_BODY_BYTES as u64);
+    let mut out = Vec::with_capacity(4 + body.len());
+    put_u32(&mut out, body.len() as u32);
+    out.extend_from_slice(&body);
+    out
+}
+
+/// A cursor over a frame body with bounds-checked readers.
+struct Cursor<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn new(bytes: &'a [u8]) -> Self {
+        Cursor { bytes, pos: 0 }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], FrameError> {
+        if self.pos + n > self.bytes.len() {
+            return Err(FrameError::Malformed("body shorter than declared fields"));
+        }
+        let s = &self.bytes[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    fn u8(&mut self) -> Result<u8, FrameError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u32(&mut self) -> Result<u32, FrameError> {
+        let b = self.take(4)?;
+        Ok(u32::from_le_bytes(b.try_into().expect("4 bytes")))
+    }
+
+    fn u64(&mut self) -> Result<u64, FrameError> {
+        let b = self.take(8)?;
+        Ok(u64::from_le_bytes(b.try_into().expect("8 bytes")))
+    }
+
+    fn rest_utf8(&mut self) -> Result<String, FrameError> {
+        let rest = &self.bytes[self.pos..];
+        self.pos = self.bytes.len();
+        std::str::from_utf8(rest)
+            .map(str::to_owned)
+            .map_err(|_| FrameError::Malformed("text field is not UTF-8"))
+    }
+
+    fn finish(&self) -> Result<(), FrameError> {
+        if self.pos != self.bytes.len() {
+            return Err(FrameError::Malformed("trailing bytes after frame body"));
+        }
+        Ok(())
+    }
+}
+
+/// Decodes one frame body (the bytes after the length prefix).
+pub fn decode_body(body: &[u8]) -> Result<WireFrame, FrameError> {
+    let mut c = Cursor::new(body);
+    let tag = c.u8()?;
+    let session = c.u64()?;
+    let frame = match tag {
+        T_OPEN => WireFrame::Open {
+            session,
+            line: c.rest_utf8()?,
+        },
+        T_ACCEPT => WireFrame::Accept {
+            session,
+            protocol: c.rest_utf8()?,
+        },
+        T_MSG => {
+            let depth = c.u64()?;
+            let bits64 = c.u64()?;
+            // A payload longer than the frame cap in *bytes* cannot be
+            // genuine; reject before any usize conversion can overflow.
+            if bits64 > (MAX_BODY_BYTES as u64) * 8 {
+                return Err(FrameError::Malformed("payload bit length exceeds cap"));
+            }
+            let bits = bits64 as usize;
+            let bytes = c.take(bits.div_ceil(8))?;
+            // Padding bits above `bits` must be zero: the encoder never
+            // sets them, so a nonzero pad means corruption.
+            if !bits.is_multiple_of(8) {
+                let pad = bytes[bytes.len() - 1] >> (bits % 8);
+                if pad != 0 {
+                    return Err(FrameError::Malformed("nonzero padding bits in payload"));
+                }
+            }
+            let mut payload = BitBuf::with_capacity(bits);
+            for (i, chunk) in bytes.chunks(8).enumerate() {
+                let mut word = [0u8; 8];
+                word[..chunk.len()].copy_from_slice(chunk);
+                let word = u64::from_le_bytes(word);
+                let width = (bits - i * 64).min(64);
+                payload.push_bits(word, width);
+            }
+            WireFrame::Msg {
+                session,
+                depth,
+                payload,
+            }
+        }
+        T_FIN => WireFrame::Fin { session },
+        T_DONE => {
+            let stats = ChannelStats {
+                bits_sent: c.u64()?,
+                bits_received: c.u64()?,
+                messages_sent: c.u64()?,
+                messages_received: c.u64()?,
+                clock: c.u64()?,
+            };
+            let len = c.u32()? as usize;
+            if len > (MAX_BODY_BYTES as usize) / 8 {
+                return Err(FrameError::Malformed("result length exceeds cap"));
+            }
+            let mut result = Vec::with_capacity(len);
+            for _ in 0..len {
+                result.push(c.u64()?);
+            }
+            WireFrame::Done {
+                session,
+                stats,
+                result,
+            }
+        }
+        T_ERROR => WireFrame::Error {
+            session,
+            message: c.rest_utf8()?,
+        },
+        T_GOODBYE => WireFrame::Goodbye,
+        _ => return Err(FrameError::Malformed("unknown frame type")),
+    };
+    c.finish()?;
+    Ok(frame)
+}
+
+/// Reads one length-prefixed frame from `r`.
+///
+/// Returns `Ok(None)` on a clean end-of-stream at a frame boundary;
+/// inside a frame the same condition is [`FrameError::Truncated`].
+///
+/// # Errors
+///
+/// Propagates stream failures and decode failures; see [`FrameError`].
+pub fn read_frame(r: &mut impl Read) -> Result<Option<WireFrame>, FrameError> {
+    let mut len_bytes = [0u8; 4];
+    let mut got = 0usize;
+    while got < 4 {
+        match r.read(&mut len_bytes[got..]) {
+            Ok(0) => {
+                if got == 0 {
+                    return Ok(None);
+                }
+                return Err(FrameError::Truncated);
+            }
+            Ok(n) => got += n,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(e.into()),
+        }
+    }
+    let len = u32::from_le_bytes(len_bytes);
+    if len > MAX_BODY_BYTES {
+        return Err(FrameError::Oversized { len });
+    }
+    let mut body = vec![0u8; len as usize];
+    r.read_exact(&mut body)?;
+    let frame = decode_body(&body)?;
+    crate::metrics::frame_observed("rx", 4 + len as u64);
+    Ok(Some(frame))
+}
+
+/// Writes one frame (length prefix included) and flushes.
+///
+/// # Errors
+///
+/// Propagates stream failures.
+pub fn write_frame(w: &mut impl Write, frame: &WireFrame) -> io::Result<()> {
+    let bytes = encode(frame);
+    w.write_all(&bytes)?;
+    w.flush()?;
+    crate::metrics::frame_observed("tx", bytes.len() as u64);
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip(frame: WireFrame) {
+        let bytes = encode(&frame);
+        let mut r = &bytes[..];
+        let back = read_frame(&mut r).unwrap().unwrap();
+        assert_eq!(back, frame);
+        assert!(read_frame(&mut r).unwrap().is_none(), "stream consumed");
+    }
+
+    #[test]
+    fn all_frame_types_round_trip() {
+        let mut payload = BitBuf::new();
+        payload.push_bits(0b1_0110, 5);
+        round_trip(WireFrame::Open {
+            session: 7,
+            line: "id=7 n=1024 k=8".into(),
+        });
+        round_trip(WireFrame::Accept {
+            session: 7,
+            protocol: "tree-log-star".into(),
+        });
+        round_trip(WireFrame::Msg {
+            session: 7,
+            depth: 3,
+            payload,
+        });
+        round_trip(WireFrame::Fin { session: 7 });
+        round_trip(WireFrame::Done {
+            session: 7,
+            stats: ChannelStats {
+                bits_sent: 1,
+                bits_received: 2,
+                messages_sent: 3,
+                messages_received: 4,
+                clock: 5,
+            },
+            result: vec![9, 11, 13],
+        });
+        round_trip(WireFrame::Error {
+            session: 0,
+            message: "nope".into(),
+        });
+        round_trip(WireFrame::Goodbye);
+    }
+
+    #[test]
+    fn empty_payload_round_trips() {
+        round_trip(WireFrame::Msg {
+            session: 1,
+            depth: 1,
+            payload: BitBuf::new(),
+        });
+    }
+
+    #[test]
+    fn oversized_length_prefix_is_rejected() {
+        let mut bytes = Vec::new();
+        put_u32(&mut bytes, MAX_BODY_BYTES + 1);
+        bytes.extend_from_slice(&[0; 16]);
+        let err = read_frame(&mut &bytes[..]).unwrap_err();
+        assert!(matches!(err, FrameError::Oversized { .. }), "{err:?}");
+    }
+
+    #[test]
+    fn truncated_frames_are_rejected() {
+        let full = encode(&WireFrame::Fin { session: 3 });
+        for cut in 1..full.len() {
+            let err = read_frame(&mut &full[..cut]).unwrap_err();
+            assert!(matches!(err, FrameError::Truncated), "cut={cut} {err:?}");
+        }
+    }
+
+    #[test]
+    fn nonzero_padding_is_rejected() {
+        let mut payload = BitBuf::new();
+        payload.push_bits(0b101, 3);
+        let mut bytes = encode(&WireFrame::Msg {
+            session: 1,
+            depth: 1,
+            payload,
+        });
+        *bytes.last_mut().unwrap() |= 0b1000; // set a bit above len=3
+        let err = read_frame(&mut &bytes[..]).unwrap_err();
+        assert!(matches!(err, FrameError::Malformed(_)), "{err:?}");
+    }
+
+    #[test]
+    fn unknown_type_and_trailing_bytes_are_rejected() {
+        let mut body = vec![99u8];
+        put_u64(&mut body, 1);
+        assert!(matches!(
+            decode_body(&body),
+            Err(FrameError::Malformed("unknown frame type"))
+        ));
+        let mut ok = vec![T_FIN];
+        put_u64(&mut ok, 1);
+        ok.push(0xFF);
+        assert!(matches!(
+            decode_body(&ok),
+            Err(FrameError::Malformed("trailing bytes after frame body"))
+        ));
+    }
+}

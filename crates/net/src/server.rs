@@ -1,0 +1,510 @@
+//! The transport server: accepts connections, demultiplexes many
+//! concurrent sessions per connection, and runs each session's server
+//! half over the same router and plan cache the in-process engine uses.
+//!
+//! One thread accepts; one thread per connection reads and demuxes
+//! frames into per-session queues; one thread per active session runs
+//! the server (Bob) half of the routed protocol against a
+//! [`RemoteChan`]. Writes from concurrent sessions share the
+//! connection's write half under a mutex, one frame per acquisition.
+//!
+//! Shutdown is a drain, not a drop: [`NetServer::shutdown`] stops
+//! admitting, waits for in-flight sessions to finish (bounded by the
+//! configured drain window), sends [`WireFrame::Goodbye`] on every live
+//! connection, and only then closes the sockets — so a SIGTERM during a
+//! burst never kills a session mid-round.
+
+use crate::chan::{RemoteChan, SessionEvent, SharedWriter};
+use crate::frame::{read_frame, write_frame, FrameError, WireFrame};
+use crate::metrics;
+use crate::transport::{EndpointAddr, Listener, Stream};
+use crossbeam_channel::Sender;
+use intersect_comm::chan::Chan;
+use intersect_comm::coins::CoinSource;
+use intersect_comm::runner::Side;
+use intersect_engine::{route, PlanCache, RoutePolicy, SessionRequest};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Server configuration.
+#[derive(Debug, Clone)]
+pub struct NetServerConfig {
+    /// Where to listen.
+    pub endpoint: EndpointAddr,
+    /// Routing policy for requests without a per-line protocol override.
+    pub policy: RoutePolicy,
+    /// Cap on sessions executing concurrently across all connections;
+    /// opens beyond it are refused with a clean error frame.
+    pub max_active_sessions: usize,
+    /// Per-receive timeout of each session's channel.
+    pub session_timeout: Duration,
+    /// How long [`NetServer::shutdown`] waits for in-flight sessions.
+    pub drain_timeout: Duration,
+}
+
+impl NetServerConfig {
+    /// Defaults: auto routing, 256 concurrent sessions, 30 s receives,
+    /// 10 s drain.
+    pub fn new(endpoint: EndpointAddr) -> NetServerConfig {
+        NetServerConfig {
+            endpoint,
+            policy: RoutePolicy::default(),
+            max_active_sessions: 256,
+            session_timeout: Duration::from_secs(30),
+            drain_timeout: Duration::from_secs(10),
+        }
+    }
+}
+
+/// Counters the server accumulated over its lifetime.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NetSummary {
+    /// Connections accepted.
+    pub connections: u64,
+    /// Sessions that ran to completion.
+    pub sessions_served: u64,
+    /// Sessions that failed with a protocol error.
+    pub sessions_failed: u64,
+    /// Session opens refused (draining, capacity, malformed).
+    pub sessions_rejected: u64,
+}
+
+struct ConnCtl {
+    writer: SharedWriter,
+    stream: Stream,
+}
+
+struct Shared {
+    policy: RoutePolicy,
+    cache: PlanCache,
+    max_active: usize,
+    timeout: Duration,
+    draining: AtomicBool,
+    active: AtomicU64,
+    connections: AtomicU64,
+    served: AtomicU64,
+    failed: AtomicU64,
+    rejected: AtomicU64,
+    conns: Mutex<HashMap<u64, ConnCtl>>,
+    conn_threads: Mutex<Vec<JoinHandle<()>>>,
+}
+
+/// A running transport server. Dropping it shuts it down (with drain).
+#[derive(Debug)]
+pub struct NetServer {
+    local: EndpointAddr,
+    shared: Arc<Shared>,
+    drain: Duration,
+    accept_thread: Option<JoinHandle<()>>,
+    stopped: bool,
+}
+
+impl std::fmt::Debug for Shared {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "Shared(active={}, draining={})",
+            self.active.load(Ordering::Relaxed),
+            self.draining.load(Ordering::Relaxed)
+        )
+    }
+}
+
+impl NetServer {
+    /// Binds the endpoint and starts accepting.
+    ///
+    /// # Errors
+    ///
+    /// Propagates bind failures.
+    pub fn start(config: NetServerConfig) -> std::io::Result<NetServer> {
+        metrics::describe_net_metrics();
+        let listener = Listener::bind(&config.endpoint)?;
+        let local = listener.local_addr();
+        let shared = Arc::new(Shared {
+            policy: config.policy,
+            cache: PlanCache::new(),
+            max_active: config.max_active_sessions.max(1),
+            timeout: config.session_timeout,
+            draining: AtomicBool::new(false),
+            active: AtomicU64::new(0),
+            connections: AtomicU64::new(0),
+            served: AtomicU64::new(0),
+            failed: AtomicU64::new(0),
+            rejected: AtomicU64::new(0),
+            conns: Mutex::new(HashMap::new()),
+            conn_threads: Mutex::new(Vec::new()),
+        });
+        let accept_shared = Arc::clone(&shared);
+        let accept_thread = std::thread::spawn(move || accept_loop(listener, accept_shared));
+        Ok(NetServer {
+            local,
+            shared,
+            drain: config.drain_timeout,
+            accept_thread: Some(accept_thread),
+            stopped: false,
+        })
+    }
+
+    /// The endpoint actually bound (real port for `tcp:…:0`).
+    pub fn local_addr(&self) -> &EndpointAddr {
+        &self.local
+    }
+
+    /// Sessions currently executing.
+    pub fn active_sessions(&self) -> u64 {
+        self.shared.active.load(Ordering::Acquire)
+    }
+
+    /// Lifetime counters so far.
+    pub fn summary(&self) -> NetSummary {
+        NetSummary {
+            connections: self.shared.connections.load(Ordering::Relaxed),
+            sessions_served: self.shared.served.load(Ordering::Relaxed),
+            sessions_failed: self.shared.failed.load(Ordering::Relaxed),
+            sessions_rejected: self.shared.rejected.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Drains and stops: refuses new sessions, waits (up to the drain
+    /// window) for in-flight ones, says [`WireFrame::Goodbye`] on every
+    /// live connection, closes sockets, and joins every thread.
+    pub fn shutdown(&mut self) -> NetSummary {
+        if self.stopped {
+            return self.summary();
+        }
+        self.stopped = true;
+        self.shared.draining.store(true, Ordering::Release);
+
+        // Drain: in-flight sessions keep their connections and finish.
+        let deadline = Instant::now() + self.drain;
+        while self.shared.active.load(Ordering::Acquire) > 0 && Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(2));
+        }
+
+        // Farewell on every live connection, then unblock its reader.
+        {
+            let conns = self.shared.conns.lock().expect("conn registry poisoned");
+            for ctl in conns.values() {
+                if let Ok(mut w) = ctl.writer.lock() {
+                    let _ = write_frame(&mut *w, &WireFrame::Goodbye);
+                }
+                ctl.stream.shutdown();
+            }
+        }
+
+        // Unblock the accept loop with a throwaway connection; it checks
+        // the draining flag before serving what it accepted.
+        let _ = Stream::connect(&self.local);
+        if let Some(t) = self.accept_thread.take() {
+            let _ = t.join();
+        }
+        let threads: Vec<JoinHandle<()>> = std::mem::take(
+            &mut *self
+                .shared
+                .conn_threads
+                .lock()
+                .expect("conn threads poisoned"),
+        );
+        for t in threads {
+            let _ = t.join();
+        }
+        self.summary()
+    }
+}
+
+impl Drop for NetServer {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn accept_loop(listener: Listener, shared: Arc<Shared>) {
+    let mut next_conn = 0u64;
+    loop {
+        let stream = match listener.accept() {
+            Ok(s) => s,
+            Err(_) => {
+                if shared.draining.load(Ordering::Acquire) {
+                    break;
+                }
+                continue;
+            }
+        };
+        if shared.draining.load(Ordering::Acquire) {
+            stream.shutdown();
+            break;
+        }
+        next_conn += 1;
+        let conn_id = next_conn;
+        shared.connections.fetch_add(1, Ordering::Relaxed);
+        metrics::connection_delta(1);
+        let conn_shared = Arc::clone(&shared);
+        let handle = std::thread::spawn(move || {
+            conn_loop(conn_id, stream, conn_shared);
+        });
+        shared
+            .conn_threads
+            .lock()
+            .expect("conn threads poisoned")
+            .push(handle);
+    }
+    listener.cleanup();
+}
+
+type SessionMap = Arc<Mutex<HashMap<u64, Sender<SessionEvent>>>>;
+
+fn conn_loop(conn_id: u64, stream: Stream, shared: Arc<Shared>) {
+    let writer: SharedWriter = match stream.try_clone() {
+        Ok(w) => Arc::new(Mutex::new(w)),
+        Err(_) => {
+            metrics::connection_delta(-1);
+            return;
+        }
+    };
+    if let Ok(ctl_stream) = stream.try_clone() {
+        shared.conns.lock().expect("conn registry poisoned").insert(
+            conn_id,
+            ConnCtl {
+                writer: Arc::clone(&writer),
+                stream: ctl_stream,
+            },
+        );
+    }
+    let sessions: SessionMap = Arc::new(Mutex::new(HashMap::new()));
+    let mut session_threads: Vec<JoinHandle<()>> = Vec::new();
+    let mut reader = stream;
+
+    loop {
+        match read_frame(&mut reader) {
+            Ok(Some(frame)) => {
+                handle_frame(frame, &shared, &writer, &sessions, &mut session_threads)
+            }
+            // Clean end-of-stream at a frame boundary: client is done.
+            Ok(None) => break,
+            Err(FrameError::Io(_)) | Err(FrameError::Truncated) => break,
+            // A framing violation poisons the byte stream (we can no
+            // longer find the next frame boundary): report and hang up.
+            Err(e) => {
+                let mut w = writer.lock().expect("connection writer poisoned");
+                let _ = write_frame(
+                    &mut *w,
+                    &WireFrame::Error {
+                        session: 0,
+                        message: format!("protocol violation: {e}"),
+                    },
+                );
+                break;
+            }
+        }
+    }
+
+    // Whatever is still registered sees the connection close...
+    {
+        let map = sessions.lock().expect("session map poisoned");
+        for tx in map.values() {
+            let _ = tx.send(SessionEvent::Closed);
+        }
+    }
+    // ...and every session half is joined before the connection retires.
+    for t in session_threads {
+        let _ = t.join();
+    }
+    shared
+        .conns
+        .lock()
+        .expect("conn registry poisoned")
+        .remove(&conn_id);
+    metrics::connection_delta(-1);
+}
+
+fn refuse(writer: &SharedWriter, shared: &Shared, session: u64, message: String) {
+    shared.rejected.fetch_add(1, Ordering::Relaxed);
+    metrics::session_rejected();
+    let mut w = writer.lock().expect("connection writer poisoned");
+    let _ = write_frame(&mut *w, &WireFrame::Error { session, message });
+}
+
+fn handle_frame(
+    frame: WireFrame,
+    shared: &Arc<Shared>,
+    writer: &SharedWriter,
+    sessions: &SessionMap,
+    session_threads: &mut Vec<JoinHandle<()>>,
+) {
+    match frame {
+        WireFrame::Open { session, line } => {
+            if shared.draining.load(Ordering::Acquire) {
+                refuse(writer, shared, session, "server is draining".into());
+                return;
+            }
+            let req = match SessionRequest::parse_line(&line) {
+                Ok(Some(req)) => req,
+                Ok(None) => {
+                    refuse(writer, shared, session, "empty request line".into());
+                    return;
+                }
+                Err(e) => {
+                    refuse(writer, shared, session, format!("bad request: {e}"));
+                    return;
+                }
+            };
+            if sessions
+                .lock()
+                .expect("session map poisoned")
+                .contains_key(&session)
+            {
+                refuse(writer, shared, session, "session id already open".into());
+                return;
+            }
+            // Reserve a slot; opens beyond the cap are refused rather
+            // than queued so the client sees backpressure explicitly.
+            let reserved = shared
+                .active
+                .fetch_update(Ordering::AcqRel, Ordering::Acquire, |a| {
+                    (a < shared.max_active as u64).then_some(a + 1)
+                })
+                .is_ok();
+            if !reserved {
+                refuse(writer, shared, session, "server at session capacity".into());
+                return;
+            }
+            let choice = route(&req, shared.policy);
+            let plan = shared.cache.get_or_prepare(choice, req.spec);
+            let (tx, rx) = crossbeam_channel::unbounded();
+            sessions
+                .lock()
+                .expect("session map poisoned")
+                .insert(session, tx);
+            metrics::session_opened();
+            {
+                let mut w = writer.lock().expect("connection writer poisoned");
+                if write_frame(
+                    &mut *w,
+                    &WireFrame::Accept {
+                        session,
+                        protocol: choice.to_string(),
+                    },
+                )
+                .is_err()
+                {
+                    drop(w);
+                    sessions
+                        .lock()
+                        .expect("session map poisoned")
+                        .remove(&session);
+                    shared.active.fetch_sub(1, Ordering::AcqRel);
+                    metrics::session_closed();
+                    return;
+                }
+            }
+            let run_shared = Arc::clone(shared);
+            let run_writer = Arc::clone(writer);
+            let run_sessions = Arc::clone(sessions);
+            session_threads.push(std::thread::spawn(move || {
+                let chan =
+                    RemoteChan::new(session, run_writer.clone(), rx, run_shared.timeout, None);
+                run_session(session, req, plan, chan, &run_writer, &run_shared);
+                run_sessions
+                    .lock()
+                    .expect("session map poisoned")
+                    .remove(&session);
+                run_shared.active.fetch_sub(1, Ordering::AcqRel);
+                metrics::session_closed();
+            }));
+        }
+        WireFrame::Msg {
+            session,
+            depth,
+            payload,
+        } => {
+            let delivered = sessions
+                .lock()
+                .expect("session map poisoned")
+                .get(&session)
+                .map(|tx| tx.send(SessionEvent::Msg { depth, payload }).is_ok())
+                .unwrap_or(false);
+            if !delivered {
+                let mut w = writer.lock().expect("connection writer poisoned");
+                let _ = write_frame(
+                    &mut *w,
+                    &WireFrame::Error {
+                        session,
+                        message: format!("unknown session id {session}"),
+                    },
+                );
+            }
+        }
+        WireFrame::Fin { session } => {
+            // A fin for a session that already completed and removed
+            // itself is a benign race, not an error.
+            if let Some(tx) = sessions.lock().expect("session map poisoned").get(&session) {
+                let _ = tx.send(SessionEvent::Fin);
+            }
+        }
+        // A client farewell: nothing to do — the stream's EOF ends the
+        // connection once its sessions drain.
+        WireFrame::Goodbye => {}
+        // Client-side error report: surface to the session if it is
+        // still live, otherwise drop it.
+        WireFrame::Error { session, message } => {
+            if let Some(tx) = sessions.lock().expect("session map poisoned").get(&session) {
+                let _ = tx.send(SessionEvent::Error(message));
+            }
+        }
+        // Frames only a server sends, arriving at the server: a peer
+        // bug. Answer with an error so the client can diagnose.
+        WireFrame::Accept { session, .. } | WireFrame::Done { session, .. } => {
+            let mut w = writer.lock().expect("connection writer poisoned");
+            let _ = write_frame(
+                &mut *w,
+                &WireFrame::Error {
+                    session,
+                    message: "unexpected server-role frame".into(),
+                },
+            );
+        }
+    }
+}
+
+fn run_session(
+    session: u64,
+    req: SessionRequest,
+    plan: std::sync::Arc<dyn intersect_core::prepared::PreparedProtocol>,
+    mut chan: RemoteChan,
+    writer: &SharedWriter,
+    shared: &Shared,
+) {
+    let pair = req.input_pair();
+    let coins = CoinSource::from_seed(req.seed);
+    match plan.execute(&mut chan, &coins, Side::Bob, &pair.t) {
+        Ok(out) => {
+            shared.served.fetch_add(1, Ordering::Relaxed);
+            let mut w = writer.lock().expect("connection writer poisoned");
+            // Fin first (the half is over, mirroring the in-process
+            // endpoint's fin-on-drop), then the counters and result.
+            let _ = write_frame(&mut *w, &WireFrame::Fin { session });
+            let _ = write_frame(
+                &mut *w,
+                &WireFrame::Done {
+                    session,
+                    stats: chan.stats(),
+                    result: out.as_slice().to_vec(),
+                },
+            );
+        }
+        Err(e) => {
+            shared.failed.fetch_add(1, Ordering::Relaxed);
+            let mut w = writer.lock().expect("connection writer poisoned");
+            let _ = write_frame(
+                &mut *w,
+                &WireFrame::Error {
+                    session,
+                    message: e.to_string(),
+                },
+            );
+        }
+    }
+}

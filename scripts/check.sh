@@ -26,4 +26,7 @@ rm -f /tmp/throughput_smoke.json
 echo "==> telemetry plane smoke"
 ./scripts/telemetry_smoke.sh
 
+echo "==> network transport smoke"
+./scripts/net_smoke.sh
+
 echo "==> all checks passed"

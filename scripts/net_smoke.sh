@@ -1,0 +1,55 @@
+#!/usr/bin/env bash
+# Network-transport smoke test: boots `intersect-serve --transport` on a
+# free TCP port, drives it with a loadgen burst from a separate process,
+# and verifies nonzero completed sessions, a SIGTERM drain that reports
+# every session served, and clean exits on both sides.
+# Run from anywhere; operates on the workspace that contains this script.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+SERVE_BIN=${INTERSECT_SERVE_BIN:-target/debug/intersect-serve}
+LOADGEN_BIN=${INTERSECT_LOADGEN_BIN:-target/debug/loadgen}
+if [[ ! -x "$SERVE_BIN" || ! -x "$LOADGEN_BIN" ]]; then
+  echo "==> building intersect-serve and loadgen"
+  cargo build -q --bin intersect-serve --bin loadgen
+fi
+
+tmpdir=$(mktemp -d)
+trap 'rm -rf "$tmpdir"; kill %1 2>/dev/null || true' EXIT
+
+echo "==> boot transport server on a free port"
+"$SERVE_BIN" --transport tcp:127.0.0.1:0 2>"$tmpdir/serve.err" &
+
+addr=""
+for _ in $(seq 1 50); do
+  addr=$(sed -n 's/^transport: listening on //p' "$tmpdir/serve.err" | head -n1)
+  [[ -n "$addr" ]] && break
+  sleep 0.1
+done
+if [[ -z "$addr" ]]; then
+  echo "transport server never announced its address" >&2
+  cat "$tmpdir/serve.err" >&2
+  exit 1
+fi
+echo "    listening on $addr"
+
+echo "==> loadgen burst: 64 sessions, 6 workers, 2 connections"
+"$LOADGEN_BIN" --endpoint "$addr" --sessions 64 --concurrency 6 \
+  --connections 2 --k 64 | tee "$tmpdir/loadgen.out"
+
+completed=$(sed -n 's/^completed=\([0-9]*\) .*/\1/p' "$tmpdir/loadgen.out")
+[[ "$completed" == "64" ]] \
+  || { echo "expected 64 completed sessions, got: ${completed:-none}"; exit 1; }
+grep -q 'failed=0 ' "$tmpdir/loadgen.out" \
+  || { echo "loadgen reported failures"; exit 1; }
+
+echo "==> SIGTERM must drain and exit cleanly"
+kill -TERM %1
+if ! wait %1; then
+  echo "server exited nonzero after SIGTERM"; cat "$tmpdir/serve.err"; exit 1
+fi
+grep -q 'transport summary: connections=2 served=64 failed=0 rejected=0' \
+  "$tmpdir/serve.err" \
+  || { echo "unexpected drain summary:"; cat "$tmpdir/serve.err"; exit 1; }
+
+echo "==> network transport smoke passed"

@@ -20,6 +20,7 @@ use std::process::ExitCode;
 struct Options {
     file: Option<String>,
     batch: Option<u64>,
+    transport: Option<String>,
     n: u64,
     k: u64,
     overlap: Option<usize>,
@@ -53,6 +54,16 @@ fn usage() -> ! {
            --k <k>             batch cardinality bound (default 64)\n\
            --overlap <o>       batch intersection size (default k/4)\n\
            --seed <s>          batch base seed; session i uses s + i (default 1)\n\
+         \n\
+         network transport (see crates/net):\n\
+           --transport <ep>    serve remote clients instead of reading\n\
+                               request lines: tcp:HOST:PORT or unix:PATH\n\
+                               (tcp port 0 picks a free port; the bound\n\
+                               address is printed to stderr). Runs until\n\
+                               SIGINT/SIGTERM, then drains in-flight\n\
+                               sessions before exiting. --protocol,\n\
+                               --round-penalty and --in-flight apply;\n\
+                               --listen serves net_* metrics live\n\
          \n\
          engine:\n\
            --workers <w>       worker threads (default 4, min 2)\n\
@@ -99,6 +110,7 @@ fn parse_args() -> Options {
     let mut opts = Options {
         file: None,
         batch: None,
+        transport: None,
         n: 1 << 20,
         k: 64,
         overlap: None,
@@ -140,6 +152,7 @@ fn parse_args() -> Options {
         match arg.as_str() {
             "--file" => opts.file = Some(value("--file")),
             "--batch" => opts.batch = Some(int("--batch", value("--batch"))),
+            "--transport" => opts.transport = Some(value("--transport")),
             "--n" => opts.n = int("--n", value("--n")),
             "--k" => opts.k = int("--k", value("--k")),
             "--overlap" => opts.overlap = Some(int("--overlap", value("--overlap")) as usize),
@@ -219,6 +232,147 @@ fn requests(opts: &Options) -> Result<Vec<SessionRequest>, String> {
     Ok(out)
 }
 
+/// Shutdown flag flipped from the signal handler. Signal dispositions
+/// are process-wide; storing into an atomic is async-signal-safe.
+#[cfg(unix)]
+mod sig {
+    use std::sync::atomic::{AtomicBool, Ordering};
+
+    pub static SHUTDOWN: AtomicBool = AtomicBool::new(false);
+
+    extern "C" {
+        fn signal(signum: i32, handler: extern "C" fn(i32)) -> usize;
+    }
+
+    extern "C" fn on_signal(_signum: i32) {
+        SHUTDOWN.store(true, Ordering::SeqCst);
+    }
+
+    pub fn install() {
+        const SIGINT: i32 = 2;
+        const SIGTERM: i32 = 15;
+        unsafe {
+            signal(SIGINT, on_signal);
+            signal(SIGTERM, on_signal);
+        }
+    }
+
+    pub fn requested() -> bool {
+        SHUTDOWN.load(Ordering::SeqCst)
+    }
+}
+
+#[cfg(not(unix))]
+mod sig {
+    pub fn install() {}
+    pub fn requested() -> bool {
+        false
+    }
+}
+
+/// `--transport` mode: serve remote clients over the framed transport
+/// plane until a shutdown signal arrives, then drain and report.
+fn run_transport(spec: &str, opts: &Options, policy: RoutePolicy) -> ExitCode {
+    let endpoint = match intersect::net::EndpointAddr::parse(spec) {
+        Ok(e) => e,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let want_obs = opts.metrics_out.is_some() || opts.listen.is_some();
+    let subscriber = want_obs.then(intersect::obs::Subscriber::new);
+    let installed = subscriber.as_ref().map(|s| s.install());
+
+    let mut config = intersect::net::NetServerConfig::new(endpoint);
+    config.policy = policy;
+    if let Some(cap) = opts.in_flight {
+        config.max_active_sessions = cap;
+    }
+    let mut server = match intersect::net::NetServer::start(config) {
+        Ok(server) => server,
+        Err(e) => {
+            eprintln!("error: cannot bind {spec}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    // Machine-parseable (scripts scrape it for the picked port), mirrors
+    // the telemetry plane's "listening on" line.
+    eprintln!("transport: listening on {}", server.local_addr());
+
+    let telemetry = match &opts.listen {
+        Some(addr) => {
+            let metrics_sub = subscriber.clone().expect("listen implies a subscriber");
+            let profile_sub = metrics_sub.clone();
+            let sources = intersect::obs::Sources {
+                metrics: Box::new(move || {
+                    intersect::obs::export::prometheus_with_help(
+                        &metrics_sub.metrics().snapshot(),
+                        &metrics_sub.metrics().help_snapshot(),
+                    )
+                }),
+                // No engine in transport mode; remote sessions are
+                // visible through the net_* metrics instead.
+                sessions: Box::new(|| "[]".to_string()),
+                profile: Box::new(move |w| {
+                    intersect::obs::folded::folded_stacks(&profile_sub.events(), w)
+                }),
+                health: Default::default(),
+            };
+            match intersect::obs::TelemetryServer::start(addr, sources) {
+                Ok(server) => {
+                    eprintln!("telemetry: listening on {}", server.local_addr());
+                    Some(server)
+                }
+                Err(e) => {
+                    eprintln!("error: cannot bind {addr}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+        None => None,
+    };
+
+    sig::install();
+    while !sig::requested() {
+        std::thread::sleep(std::time::Duration::from_millis(25));
+    }
+    eprintln!("transport: shutdown signal received, draining");
+    let summary = server.shutdown();
+    eprintln!(
+        "transport summary: connections={} served={} failed={} rejected={}",
+        summary.connections,
+        summary.sessions_served,
+        summary.sessions_failed,
+        summary.sessions_rejected,
+    );
+
+    if let Some(server) = telemetry {
+        if opts.linger_ms > 0 {
+            std::thread::sleep(std::time::Duration::from_millis(opts.linger_ms));
+        }
+        server.shutdown();
+    }
+    drop(installed);
+
+    if let (Some(path), Some(sub)) = (&opts.metrics_out, &subscriber) {
+        let text = intersect::obs::export::prometheus(&sub.metrics().snapshot());
+        match std::fs::write(path, text) {
+            Ok(()) => eprintln!("wrote {path}"),
+            Err(e) => {
+                eprintln!("error: cannot write {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    if summary.sessions_failed > 0 {
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}
+
 fn print_outcome(out: &mut impl std::io::Write, outcome: &SessionOutcome) {
     let status = if outcome.succeeded() {
         "ok".to_string()
@@ -253,14 +407,6 @@ fn print_outcome(out: &mut impl std::io::Write, outcome: &SessionOutcome) {
 
 fn main() -> ExitCode {
     let opts = parse_args();
-    let requests = match requests(&opts) {
-        Ok(reqs) => reqs,
-        Err(e) => {
-            eprintln!("error: {e}");
-            return ExitCode::FAILURE;
-        }
-    };
-
     let policy = match &opts.protocol {
         None => RoutePolicy::Auto {
             round_penalty: opts.round_penalty,
@@ -272,6 +418,17 @@ fn main() -> ExitCode {
                 return ExitCode::FAILURE;
             }
         },
+    };
+    // Transport mode takes requests from the wire, not stdin.
+    if let Some(spec) = &opts.transport {
+        return run_transport(spec, &opts, policy);
+    }
+    let requests = match requests(&opts) {
+        Ok(reqs) => reqs,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
     };
     // Conformance checking is armed whenever the telemetry plane is up
     // (so /healthz means something) or the operator set a slack.

@@ -1,0 +1,259 @@
+//! Drive a remote `intersect-serve --transport` endpoint with a
+//! configurable open-loop or closed-loop session workload, from a
+//! separate process, and report throughput and latency percentiles.
+//!
+//! ```text
+//! loadgen --endpoint tcp:127.0.0.1:4000 --sessions 500 --concurrency 8
+//! ```
+//!
+//! Workers share `--connections` multiplexed connections and pull
+//! session indices from a global counter, so the mix exercises the
+//! server's per-connection demultiplexer, not just its accept loop.
+//! With `--rate` the launch of session `i` is paced to `i / rate`
+//! seconds after start (open loop); without it workers run closed-loop
+//! at the configured concurrency.
+
+use intersect::core::api::ProtocolChoice;
+use intersect::core::sets::ProblemSpec;
+use intersect::engine::SessionRequest;
+use intersect::net::NetClient;
+use std::process::ExitCode;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+struct Options {
+    endpoint: String,
+    sessions: u64,
+    concurrency: usize,
+    connections: usize,
+    rate: f64,
+    n: u64,
+    k: u64,
+    overlap: Option<usize>,
+    seed: u64,
+    protocol: Option<ProtocolChoice>,
+    json: bool,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: loadgen --endpoint <ep> [options]\n\
+         \n\
+           --endpoint <ep>     server endpoint: tcp:HOST:PORT or unix:PATH\n\
+           --sessions <s>      total sessions to run (default 200)\n\
+           --concurrency <c>   worker threads (default 8)\n\
+           --connections <c>   multiplexed connections shared by the\n\
+                               workers (default 1)\n\
+           --rate <r>          target arrival rate in sessions/s; 0 means\n\
+                               closed-loop, as fast as workers allow\n\
+                               (default 0)\n\
+           --n <n>             universe size (default 2^20; accepts 2^<e>)\n\
+           --k <k>             cardinality bound (default 64)\n\
+           --overlap <o>       intersection size (default k/4)\n\
+           --seed <s>          base seed; session i uses s + i (default 1)\n\
+           --protocol <name>   pin sessions to one protocol (default:\n\
+                               server-side routing)\n\
+           --json              emit the summary as JSON on stdout"
+    );
+    std::process::exit(2);
+}
+
+fn parse_u64(s: &str) -> Option<u64> {
+    if let Some(exp) = s.strip_prefix("2^") {
+        let e: u32 = exp.parse().ok()?;
+        return 1u64.checked_shl(e);
+    }
+    s.parse().ok()
+}
+
+fn parse_args() -> Options {
+    let mut opts = Options {
+        endpoint: String::new(),
+        sessions: 200,
+        concurrency: 8,
+        connections: 1,
+        rate: 0.0,
+        n: 1 << 20,
+        k: 64,
+        overlap: None,
+        seed: 1,
+        protocol: None,
+        json: false,
+    };
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut value = |name: &str| -> String {
+            match it.next() {
+                Some(v) => v.clone(),
+                None => {
+                    eprintln!("missing value for {name}");
+                    usage()
+                }
+            }
+        };
+        let int = |name: &str, v: String| -> u64 {
+            parse_u64(&v).unwrap_or_else(|| {
+                eprintln!("bad integer for {name}: {v:?}");
+                usage()
+            })
+        };
+        match arg.as_str() {
+            "--endpoint" => opts.endpoint = value("--endpoint"),
+            "--sessions" => opts.sessions = int("--sessions", value("--sessions")),
+            "--concurrency" => {
+                opts.concurrency = int("--concurrency", value("--concurrency")) as usize
+            }
+            "--connections" => {
+                opts.connections = int("--connections", value("--connections")) as usize
+            }
+            "--rate" => opts.rate = value("--rate").parse().unwrap_or_else(|_| usage()),
+            "--n" => opts.n = int("--n", value("--n")),
+            "--k" => opts.k = int("--k", value("--k")),
+            "--overlap" => opts.overlap = Some(int("--overlap", value("--overlap")) as usize),
+            "--seed" => opts.seed = int("--seed", value("--seed")),
+            "--protocol" => match value("--protocol").parse() {
+                Ok(choice) => opts.protocol = Some(choice),
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    usage()
+                }
+            },
+            "--json" => opts.json = true,
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("unknown argument {other}");
+                usage()
+            }
+        }
+    }
+    if opts.endpoint.is_empty() {
+        eprintln!("--endpoint is required");
+        usage()
+    }
+    if opts.concurrency == 0 || opts.connections == 0 {
+        eprintln!("--concurrency and --connections must be positive");
+        usage()
+    }
+    opts
+}
+
+fn percentile(sorted: &[u64], p: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let rank = (p * (sorted.len() - 1) as f64).round() as usize;
+    sorted[rank.min(sorted.len() - 1)]
+}
+
+fn main() -> ExitCode {
+    let opts = parse_args();
+    let spec = ProblemSpec::new(opts.n, opts.k.clamp(1, opts.n));
+    let overlap = opts.overlap.unwrap_or((opts.k / 4) as usize);
+
+    let clients: Vec<Arc<NetClient>> = (0..opts.connections)
+        .map(|_| match NetClient::connect(&opts.endpoint) {
+            Ok(client) => Arc::new(client),
+            Err(e) => {
+                eprintln!("error: cannot connect to {}: {e}", opts.endpoint);
+                std::process::exit(1);
+            }
+        })
+        .collect();
+
+    let next = Arc::new(AtomicU64::new(0));
+    let failed = Arc::new(AtomicU64::new(0));
+    let latencies = Arc::new(Mutex::new(Vec::with_capacity(opts.sessions as usize)));
+    let start = Instant::now();
+
+    let workers: Vec<_> = (0..opts.concurrency)
+        .map(|_| {
+            let clients = clients.clone();
+            let next = Arc::clone(&next);
+            let failed = Arc::clone(&failed);
+            let latencies = Arc::clone(&latencies);
+            let protocol = opts.protocol;
+            let (sessions, rate, seed) = (opts.sessions, opts.rate, opts.seed);
+            std::thread::spawn(move || loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= sessions {
+                    return;
+                }
+                if rate > 0.0 {
+                    // Open loop: session i launches at i / rate seconds.
+                    let due = Duration::from_secs_f64(i as f64 / rate);
+                    if let Some(wait) = due.checked_sub(start.elapsed()) {
+                        std::thread::sleep(wait);
+                    }
+                }
+                let mut req = SessionRequest::new(i, spec, overlap);
+                req.seed = seed.wrapping_add(i);
+                req.protocol = protocol;
+                let t0 = Instant::now();
+                match clients[i as usize % clients.len()].run(&req) {
+                    Ok(run) => {
+                        // A wrong intersection is a failure even if the
+                        // transport was happy.
+                        if run.matches(&req.input_pair().ground_truth()) {
+                            let micros = t0.elapsed().as_micros() as u64;
+                            latencies.lock().unwrap().push(micros);
+                        } else {
+                            eprintln!("session {i}: wrong intersection");
+                            failed.fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
+                    Err(e) => {
+                        eprintln!("session {i}: {e}");
+                        failed.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+            })
+        })
+        .collect();
+    for w in workers {
+        let _ = w.join();
+    }
+    let elapsed = start.elapsed();
+    for client in &clients {
+        client.goodbye();
+    }
+
+    let mut lat = Arc::try_unwrap(latencies)
+        .expect("workers joined")
+        .into_inner()
+        .unwrap();
+    lat.sort_unstable();
+    let completed = lat.len() as u64;
+    let failed = failed.load(Ordering::Relaxed);
+    let per_s = completed as f64 / elapsed.as_secs_f64().max(1e-9);
+    let (min, p50, p90, p99, max) = (
+        lat.first().copied().unwrap_or(0),
+        percentile(&lat, 0.50),
+        percentile(&lat, 0.90),
+        percentile(&lat, 0.99),
+        lat.last().copied().unwrap_or(0),
+    );
+
+    if opts.json {
+        println!(
+            "{{\"completed\":{completed},\"failed\":{failed},\"elapsed_s\":{:.6},\
+             \"sessions_per_s\":{per_s:.1},\"latency_us\":{{\"min\":{min},\
+             \"p50\":{p50},\"p90\":{p90},\"p99\":{p99},\"max\":{max}}}}}",
+            elapsed.as_secs_f64(),
+        );
+    } else {
+        println!(
+            "completed={completed} failed={failed} elapsed_s={:.3} sessions_per_s={per_s:.1}",
+            elapsed.as_secs_f64(),
+        );
+        println!(
+            "latency_us min={min} p50={p50} p90={p90} p99={p99} max={max} ({} connections, {} workers)",
+            opts.connections, opts.concurrency,
+        );
+    }
+    if failed > 0 {
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}

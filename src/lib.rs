@@ -23,6 +23,8 @@
 //! * [`apps`] — joins, similarity statistics, duplicate detection.
 //! * [`engine`] — the concurrent session engine (scheduler, router,
 //!   aggregate metrics; see the `intersect-serve` binary).
+//! * [`net`] — the framed network transport plane (remote sessions over
+//!   TCP/Unix sockets, bit-identical to in-process runs).
 //! * [`obs`] — structured tracing and metrics across all of the above
 //!   (spans carrying bit/round deltas, streaming histograms, exporters).
 //!
@@ -52,6 +54,7 @@ pub use intersect_comm as comm;
 pub use intersect_core as core;
 pub use intersect_engine as engine;
 pub use intersect_multiparty as multiparty;
+pub use intersect_net as net;
 pub use intersect_obs as obs;
 
 /// Re-export of the hashing substrate.
