@@ -3,6 +3,7 @@
 
 pub mod ablations;
 pub mod apps_exp;
+pub mod calib_exp;
 pub mod engine_exp;
 pub mod equality_exp;
 pub mod multiparty_exp;
@@ -139,6 +140,11 @@ pub fn all() -> Vec<Experiment> {
             run: net_exp::e21,
         },
         Experiment {
+            id: "E22",
+            claim: "Control loop: 8x-miscalibrated router re-converges from residuals; zero flaps; bits exact",
+            run: calib_exp::e22,
+        },
+        Experiment {
             id: "A1",
             claim: "Ablation: iterated-log degree schedule vs uniform tree",
             run: ablations::a1,
@@ -175,7 +181,7 @@ mod tests {
         let ids: Vec<&str> = all().iter().map(|e| e.id).collect();
         for want in [
             "E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "E12", "E13",
-            "E14", "E15", "E16", "E17", "E18", "E19", "E20", "E21", "A1", "A2", "A3", "A4",
+            "E14", "E15", "E16", "E17", "E18", "E19", "E20", "E21", "E22", "A1", "A2", "A3", "A4",
         ] {
             assert!(ids.contains(&want), "missing {want}");
         }

@@ -71,6 +71,7 @@ fn run_arm(sessions: u64, scrape: bool, config: ConformanceConfig) -> ArmResult 
             sessions: Box::new(move || watch.sessions_json()),
             profile: Box::new(move |w| obs::folded::folded_stacks(&profile_sub.events(), w)),
             health,
+            ..obs::Sources::empty()
         };
         let server = obs::TelemetryServer::start("127.0.0.1:0", sources).expect("bind");
         let addr = server.local_addr();

@@ -1,0 +1,17 @@
+//! E22 as a tier-1 test: the calibration control loop's three claims —
+//! residual-driven recovery from an 8× miscalibration within a bounded
+//! session budget, zero routing flaps on honest traffic, and bit-exact
+//! totals with the loop on or off — are asserted inside the experiment
+//! arms themselves; this harness runs them in the quick profile on every
+//! `cargo test`.
+
+use intersect_bench::experiments::calib_exp;
+
+#[test]
+fn e22_control_loop_holds_in_quick_profile() {
+    let tables = calib_exp::e22(true);
+    assert_eq!(tables.len(), 3, "convergence, hysteresis, exactness");
+    for table in &tables {
+        assert!(!table.rows.is_empty(), "every arm reports at least one row");
+    }
+}

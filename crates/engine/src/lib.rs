@@ -61,7 +61,8 @@ pub use registry::{
     EngineMetrics, EngineSnapshot, EngineWatch, LatencySummary, ProtocolTally, SessionSummary,
 };
 pub use request::SessionRequest;
-pub use router::{route, theory_envelope, RoutePolicy};
+pub use router::calibration::{self, CalibrationConfig, CalibrationSnapshot, Calibrator};
+pub use router::{route, route_calibrated, theory_envelope, RoutePolicy};
 pub use scheduler::{Engine, EngineConfig, EngineReport, SessionOutcome, SubmitError};
 
 /// The most commonly used items, for glob import.
@@ -69,6 +70,7 @@ pub mod prelude {
     pub use crate::plan_cache::{PlanCache, PlanCacheStats};
     pub use crate::registry::{EngineMetrics, EngineSnapshot, EngineWatch, LatencySummary};
     pub use crate::request::SessionRequest;
-    pub use crate::router::{route, theory_envelope, RoutePolicy};
+    pub use crate::router::calibration::{CalibrationConfig, CalibrationSnapshot, Calibrator};
+    pub use crate::router::{route, route_calibrated, theory_envelope, RoutePolicy};
     pub use crate::scheduler::{Engine, EngineConfig, EngineReport, SessionOutcome, SubmitError};
 }

@@ -1,0 +1,624 @@
+//! Online router recalibration from observed cost residuals.
+//!
+//! The paper fixes the *shape* of every protocol's cost curve — `O(k)`
+//! bits in `O(√k)` rounds, `O(k·log^{(r)} k)` within `O(r)` rounds —
+//! but the constants in [`PredictedCost`] are machine-dependent fits.
+//! A constant that drifts (new hardware, a regressed encoder, an
+//! adversarial workload) silently makes the router rank candidates by a
+//! wrong model and pick losing protocols forever: the conformance
+//! monitor *sees* the gap between predicted and actual cost, but until
+//! this module nothing ever fed it back.
+//!
+//! The [`Calibrator`] closes that loop. Every completed session folds a
+//! **residual** — the ratio of observed to predicted bits (and rounds) —
+//! into a per-`(protocol, k-bucket)` EWMA. A hysteresis band separates
+//! the EWMA estimate from the **applied** correction factor the router
+//! actually multiplies into its [`PredictedCost`] comparisons: the
+//! applied factor only snaps to the estimate once the estimate leaves
+//! the band, so boundary residuals cannot flap the routing decision,
+//! and every routing-relevant change is a counted
+//! `router_recalibration_total` event. Entries that receive no traffic
+//! decay geometrically toward the theory prior (factor 1.0), which is
+//! what lets a *miscalibrated* entry — one whose inflated factor
+//! de-routed its protocol, starving it of residuals — recover: the
+//! stale correction fades, the protocol wins routing again, and fresh
+//! residuals either confirm the theory constant or re-learn the drift.
+//!
+//! A correction that settles far from 1.0 on real samples is **drift**:
+//! the implementation and the calibrated model disagree persistently.
+//! That flips the shared [`Health`] to degraded (the same state
+//! `/healthz` serves for conformance violations) and emits a
+//! `router_drift_total` event, because a routing table running on
+//! corrections instead of theory is an operator-visible condition, not
+//! a silent adaptation.
+//!
+//! Corrections never touch protocol *execution* — a session's
+//! transcript is bit-identical whether or not calibration is enabled;
+//! only which protocol the auto-router picks can change. Conformance
+//! envelopes also stay pinned to the uncorrected theory prediction:
+//! calibration adapts routing, not the definition of correctness.
+
+use intersect_core::api::ProtocolChoice;
+use intersect_core::cost::PredictedCost;
+use intersect_obs as obs;
+use intersect_obs::conformance::Health;
+use intersect_obs::metrics::labeled;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
+
+/// Buckets a cardinality bound `k` by its binary order of magnitude:
+/// bucket `b` covers `[2^b, 2^{b+1})`. Residuals are keyed per bucket
+/// because the fitted constants err differently at different scales —
+/// a correction learned at `k = 16` says little about `k = 4096`.
+pub fn k_bucket(k: u64) -> u32 {
+    k.max(1).ilog2()
+}
+
+/// The display label for a bucket (`2^b`), used on metric labels and in
+/// the `/calibration` table.
+pub fn bucket_label(bucket: u32) -> String {
+    format!("2^{bucket}")
+}
+
+/// Tuning knobs for the feedback loop.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CalibrationConfig {
+    /// EWMA weight on each new residual (in log-space). Higher adapts
+    /// faster but is noisier.
+    pub alpha: f64,
+    /// Per-fold geometric decay toward factor 1.0 for entries that did
+    /// *not* receive the residual. This is the forgetting that lets a
+    /// de-routed (hence unsampled) protocol's stale correction fade and
+    /// the protocol re-enter routing.
+    pub decay: f64,
+    /// Hysteresis band half-width, as a ratio: the applied factor only
+    /// snaps to the EWMA estimate once `max(e/a, a/e) > enter_band`
+    /// where `e` is the estimate and `a` the applied factor. Residuals
+    /// that keep the estimate inside the band change nothing.
+    pub enter_band: f64,
+    /// An applied factor beyond `[1/drift_band, drift_band]` (with at
+    /// least [`min_samples`](CalibrationConfig::min_samples) real
+    /// residuals behind it) declares drift and degrades [`Health`].
+    pub drift_band: f64,
+    /// Samples required before an entry can declare drift; injected
+    /// priors carry zero samples and so never degrade health by
+    /// themselves.
+    pub min_samples: u64,
+}
+
+impl Default for CalibrationConfig {
+    fn default() -> Self {
+        CalibrationConfig {
+            alpha: 0.2,
+            decay: 0.98,
+            enter_band: 1.25,
+            drift_band: 2.0,
+            min_samples: 16,
+        }
+    }
+}
+
+/// Correction factors the router multiplies into one candidate's
+/// predicted cost. `(1.0, 1.0)` means "trust the theory constant".
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Correction {
+    /// Multiplier on predicted bits.
+    pub bits: f64,
+    /// Multiplier on predicted rounds.
+    pub rounds: f64,
+}
+
+impl Correction {
+    /// The identity correction.
+    pub const NONE: Correction = Correction {
+        bits: 1.0,
+        rounds: 1.0,
+    };
+}
+
+/// One entry of the calibration table. All factors are stored in
+/// log-space internally; this is the exported linear view.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CalEntrySnapshot {
+    /// Display name of the protocol (`ProtocolChoice` rendering).
+    pub protocol: String,
+    /// k-bucket index (`k ∈ [2^bucket, 2^{bucket+1})`).
+    pub k_bucket: u32,
+    /// Real residuals folded into this entry (injections not counted).
+    pub samples: u64,
+    /// Current EWMA estimate of observed/predicted bits.
+    pub bits_estimate: f64,
+    /// The bits factor routing actually uses (behind the hysteresis band).
+    pub bits_applied: f64,
+    /// Current EWMA estimate of observed/predicted rounds.
+    pub rounds_estimate: f64,
+    /// The rounds factor routing actually uses.
+    pub rounds_applied: f64,
+    /// Times the applied factors snapped to the estimate.
+    pub recalibrations: u64,
+    /// `true` while the applied factor sits outside the drift band on
+    /// real samples.
+    pub drifting: bool,
+}
+
+/// A point-in-time copy of the whole calibration table, served on
+/// `/calibration` and rendered by `intersect-top`.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct CalibrationSnapshot {
+    /// One row per `(protocol, k-bucket)` pair that has ever been
+    /// sampled or injected, sorted by protocol name then bucket.
+    pub entries: Vec<CalEntrySnapshot>,
+}
+
+impl CalibrationSnapshot {
+    /// Renders the table as pretty-printed JSON (the `/calibration`
+    /// endpoint body).
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("calibration snapshot is serializable")
+    }
+}
+
+/// Internal per-key state; factors in log-space (`0.0` = factor 1).
+#[derive(Debug, Clone, Copy, Default)]
+struct CalEntry {
+    bits_est: f64,
+    bits_applied: f64,
+    rounds_est: f64,
+    rounds_applied: f64,
+    samples: u64,
+    recalibrations: u64,
+    drifting: bool,
+}
+
+/// What one fold decided to announce, gathered under the lock and
+/// emitted after it is released (obs hooks never run under the mutex).
+/// Recalibrations carry their own `(protocol, bucket)` because decay
+/// snaps hit entries other than the folded key.
+struct FoldEffects {
+    recalibrated: Vec<(ProtocolChoice, u32, &'static str, f64)>,
+    drifted: bool,
+    applied_bits: f64,
+    bits_ratio: f64,
+    rounds_ratio: f64,
+}
+
+/// The feedback controller: folds completed-session residuals and hands
+/// the router corrected costs.
+///
+/// # Examples
+///
+/// ```
+/// use intersect_core::api::ProtocolChoice;
+/// use intersect_core::cost::PredictedCost;
+/// use intersect_engine::calibration::{CalibrationConfig, Calibrator};
+///
+/// let cal = Calibrator::new(CalibrationConfig::default());
+/// let predicted = PredictedCost { bits: 1000.0, rounds: 10.0 };
+/// // Sessions keep costing ~4x the prediction: the correction climbs.
+/// for _ in 0..64 {
+///     cal.fold(ProtocolChoice::Sqrt, 256, predicted, 4000, 10);
+/// }
+/// let c = cal.correction(ProtocolChoice::Sqrt, 256);
+/// assert!(c.bits > 2.0, "learned factor {:.2}", c.bits);
+/// assert!(!cal.health().ok(), "persistent 4x drift degrades health");
+/// ```
+#[derive(Debug)]
+pub struct Calibrator {
+    config: CalibrationConfig,
+    health: Arc<Health>,
+    entries: Mutex<HashMap<(ProtocolChoice, u32), CalEntry>>,
+}
+
+/// Registers `# HELP` texts for the calibration metrics (no-op without
+/// an installed subscriber).
+pub fn describe_calibration_metrics() {
+    for (name, help) in [
+        (
+            "router_recalibration_total",
+            "Applied correction-factor snaps by protocol, k-bucket, and bound",
+        ),
+        (
+            "router_drift_total",
+            "Entries whose applied correction left the drift band on real samples",
+        ),
+        (
+            "router_correction_factor_milli",
+            "Applied bits correction factor x1000 by protocol and k-bucket",
+        ),
+        (
+            "router_residual_bits_permille",
+            "Observed/predicted bits ratio x1000 per completed session",
+        ),
+        (
+            "router_residual_rounds_permille",
+            "Observed/predicted rounds ratio x1000 per completed session",
+        ),
+    ] {
+        obs::describe(name, help);
+    }
+}
+
+impl Calibrator {
+    /// A calibrator with its own fresh health flag.
+    pub fn new(config: CalibrationConfig) -> Self {
+        Calibrator::with_health(config, Arc::new(Health::default()))
+    }
+
+    /// A calibrator reporting drift on a shared health flag (the engine
+    /// passes the conformance monitor's, so `/healthz` covers both).
+    pub fn with_health(config: CalibrationConfig, health: Arc<Health>) -> Self {
+        Calibrator {
+            config,
+            health,
+            entries: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// The health flag drift reports land on.
+    pub fn health(&self) -> Arc<Health> {
+        Arc::clone(&self.health)
+    }
+
+    /// Seeds a prior correction factor for one `(protocol, k-bucket)`
+    /// entry — the deliberate-miscalibration knob used by E22 and
+    /// `--miscalibrate`. Carries no samples, so it cannot declare drift
+    /// until real residuals confirm it.
+    pub fn inject(&self, choice: ProtocolChoice, bucket: u32, factor: f64) {
+        let log = factor.max(1e-6).ln();
+        let mut entries = self.lock();
+        let entry = entries.entry((choice, bucket)).or_default();
+        entry.bits_est = log;
+        entry.bits_applied = log;
+    }
+
+    /// The correction factors routing should apply to this candidate.
+    pub fn correction(&self, choice: ProtocolChoice, k: u64) -> Correction {
+        let entries = self.lock();
+        match entries.get(&(choice, k_bucket(k))) {
+            Some(e) => Correction {
+                bits: e.bits_applied.exp(),
+                rounds: e.rounds_applied.exp(),
+            },
+            None => Correction::NONE,
+        }
+    }
+
+    /// Folds one completed session's residual: updates the sampled
+    /// entry's EWMA, decays every other entry toward the theory prior,
+    /// applies the hysteresis gate, and checks for drift. Metrics and
+    /// events are emitted after the table lock is released.
+    pub fn fold(
+        &self,
+        choice: ProtocolChoice,
+        k: u64,
+        predicted: PredictedCost,
+        observed_bits: u64,
+        observed_rounds: u64,
+    ) {
+        let bits_ratio = observed_bits as f64 / predicted.bits.max(1.0);
+        let rounds_ratio = observed_rounds as f64 / predicted.rounds.max(1.0);
+        // Ratios are clamped to a sane window so one pathological
+        // session cannot catapult the EWMA.
+        let bits_log = bits_ratio.clamp(1.0 / 64.0, 64.0).ln();
+        let rounds_log = rounds_ratio.clamp(1.0 / 64.0, 64.0).ln();
+        let bucket = k_bucket(k);
+        let cfg = self.config;
+        let enter = cfg.enter_band.ln();
+        let drift = cfg.drift_band.ln();
+
+        let effects = {
+            let mut entries = self.lock();
+            let mut recalibrated = Vec::new();
+            // Forgetting: every entry that did not produce this residual
+            // relaxes toward the theory prior. This is what re-admits a
+            // protocol whose stale correction de-routed it.
+            for (key, entry) in entries.iter_mut() {
+                if *key != (choice, bucket) {
+                    entry.bits_est *= cfg.decay;
+                    entry.rounds_est *= cfg.decay;
+                    // The applied factor follows through the same
+                    // hysteresis gate as sampled updates, and decay
+                    // snaps are announced like any other: recovery from
+                    // a miscalibration happens mostly on this path.
+                    if (entry.bits_est - entry.bits_applied).abs() > enter {
+                        entry.bits_applied = entry.bits_est;
+                        entry.recalibrations += 1;
+                        recalibrated.push((key.0, key.1, "bits", entry.bits_applied.exp()));
+                    }
+                    if (entry.rounds_est - entry.rounds_applied).abs() > enter {
+                        entry.rounds_applied = entry.rounds_est;
+                        entry.recalibrations += 1;
+                        recalibrated.push((key.0, key.1, "rounds", entry.rounds_applied.exp()));
+                    }
+                }
+            }
+            let entry = entries.entry((choice, bucket)).or_default();
+            entry.samples += 1;
+            entry.bits_est = (1.0 - cfg.alpha) * entry.bits_est + cfg.alpha * bits_log;
+            entry.rounds_est = (1.0 - cfg.alpha) * entry.rounds_est + cfg.alpha * rounds_log;
+
+            if (entry.bits_est - entry.bits_applied).abs() > enter {
+                entry.bits_applied = entry.bits_est;
+                entry.recalibrations += 1;
+                recalibrated.push((choice, bucket, "bits", entry.bits_applied.exp()));
+            }
+            if (entry.rounds_est - entry.rounds_applied).abs() > enter {
+                entry.rounds_applied = entry.rounds_est;
+                entry.recalibrations += 1;
+                recalibrated.push((choice, bucket, "rounds", entry.rounds_applied.exp()));
+            }
+            let out_of_band =
+                entry.bits_applied.abs() > drift || entry.rounds_applied.abs() > drift;
+            let drifted = out_of_band && entry.samples >= cfg.min_samples && !entry.drifting;
+            if drifted {
+                entry.drifting = true;
+            } else if !out_of_band {
+                entry.drifting = false;
+            }
+            FoldEffects {
+                recalibrated,
+                drifted,
+                applied_bits: entry.bits_applied.exp(),
+                bits_ratio,
+                rounds_ratio,
+            }
+        };
+
+        if !obs::enabled() && !effects.drifted {
+            return;
+        }
+        let protocol = choice.to_string();
+        let bucket_name = bucket_label(bucket);
+        let labels: &[(&str, &str)] = &[("protocol", &protocol), ("k_bucket", &bucket_name)];
+        obs::observe(
+            &labeled("router_residual_bits_permille", labels),
+            (effects.bits_ratio * 1000.0) as u64,
+        );
+        obs::observe(
+            &labeled("router_residual_rounds_permille", labels),
+            (effects.rounds_ratio * 1000.0) as u64,
+        );
+        obs::gauge_set(
+            &labeled("router_correction_factor_milli", labels),
+            (effects.applied_bits * 1000.0) as i64,
+        );
+        for (snap_choice, snap_bucket, bound, factor) in &effects.recalibrated {
+            let snap_protocol = snap_choice.to_string();
+            let snap_bucket_name = bucket_label(*snap_bucket);
+            obs::counter_add(
+                &labeled(
+                    "router_recalibration_total",
+                    &[
+                        ("protocol", &snap_protocol),
+                        ("k_bucket", &snap_bucket_name),
+                        ("bound", bound),
+                    ],
+                ),
+                1,
+            );
+            obs::instant(
+                "router",
+                format!(
+                    "recalibration protocol={snap_protocol} k_bucket={snap_bucket_name} \
+                     bound={bound} factor={factor:.3}"
+                ),
+            );
+        }
+        if effects.drifted {
+            self.health.record_drift(1);
+            obs::counter_add(&labeled("router_drift_total", labels), 1);
+            obs::instant(
+                "router",
+                format!(
+                    "drift protocol={protocol} k_bucket={bucket_name} \
+                     factor={:.3}",
+                    effects.applied_bits
+                ),
+            );
+        }
+    }
+
+    /// A copy of the calibration table, sorted by protocol then bucket.
+    pub fn snapshot(&self) -> CalibrationSnapshot {
+        let entries = self.lock();
+        let mut rows: Vec<CalEntrySnapshot> = entries
+            .iter()
+            .map(|((choice, bucket), e)| CalEntrySnapshot {
+                protocol: choice.to_string(),
+                k_bucket: *bucket,
+                samples: e.samples,
+                bits_estimate: e.bits_est.exp(),
+                bits_applied: e.bits_applied.exp(),
+                rounds_estimate: e.rounds_est.exp(),
+                rounds_applied: e.rounds_applied.exp(),
+                recalibrations: e.recalibrations,
+                drifting: e.drifting,
+            })
+            .collect();
+        rows.sort_by(|a, b| (&a.protocol, a.k_bucket).cmp(&(&b.protocol, b.k_bucket)));
+        CalibrationSnapshot { entries: rows }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, HashMap<(ProtocolChoice, u32), CalEntry>> {
+        self.entries.lock().expect("calibration table poisoned")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn predicted() -> PredictedCost {
+        PredictedCost {
+            bits: 1000.0,
+            rounds: 10.0,
+        }
+    }
+
+    #[test]
+    fn k_buckets_cover_powers_of_two() {
+        assert_eq!(k_bucket(1), 0);
+        assert_eq!(k_bucket(2), 1);
+        assert_eq!(k_bucket(3), 1);
+        assert_eq!(k_bucket(64), 6);
+        assert_eq!(k_bucket(127), 6);
+        assert_eq!(k_bucket(128), 7);
+        assert_eq!(bucket_label(6), "2^6");
+    }
+
+    #[test]
+    fn residuals_from_different_buckets_stay_separate() {
+        let cal = Calibrator::new(CalibrationConfig::default());
+        for _ in 0..64 {
+            cal.fold(ProtocolChoice::Sqrt, 64, predicted(), 4000, 10);
+        }
+        assert!(cal.correction(ProtocolChoice::Sqrt, 64).bits > 2.0);
+        // Same protocol, different scale: untouched.
+        assert_eq!(cal.correction(ProtocolChoice::Sqrt, 4096), Correction::NONE);
+        // Same bucket, different protocol: untouched.
+        assert_eq!(
+            cal.correction(ProtocolChoice::Trivial, 64),
+            Correction::NONE
+        );
+        // k = 127 shares the 2^6 bucket with k = 64.
+        assert!(cal.correction(ProtocolChoice::Sqrt, 127).bits > 2.0);
+    }
+
+    #[test]
+    fn ewma_converges_to_the_observed_ratio() {
+        let cal = Calibrator::new(CalibrationConfig::default());
+        for _ in 0..64 {
+            cal.fold(ProtocolChoice::Sqrt, 256, predicted(), 3000, 20);
+        }
+        let snap = cal.snapshot();
+        let entry = &snap.entries[0];
+        assert!((entry.bits_estimate - 3.0).abs() < 0.2, "{entry:?}");
+        assert!((entry.rounds_estimate - 2.0).abs() < 0.2, "{entry:?}");
+        // The applied factor trails the estimate by at most one
+        // hysteresis band (1.25x) by construction.
+        assert!(
+            entry.bits_applied > 3.0 / 1.3 && entry.bits_applied <= 3.1,
+            "{entry:?}"
+        );
+        assert_eq!(entry.samples, 64);
+    }
+
+    #[test]
+    fn boundary_residuals_inside_the_band_never_recalibrate() {
+        let cal = Calibrator::new(CalibrationConfig::default());
+        // Alternating residuals at ±20%: the EWMA wobbles strictly
+        // inside the 1.25x band around the applied factor 1.0, so the
+        // applied factor must never move.
+        for i in 0..200 {
+            let bits = if i % 2 == 0 { 1200 } else { 830 };
+            cal.fold(ProtocolChoice::Sqrt, 256, predicted(), bits, 10);
+        }
+        let entry = &cal.snapshot().entries[0];
+        assert_eq!(entry.recalibrations, 0, "{entry:?}");
+        assert_eq!(entry.bits_applied, 1.0);
+        assert!(cal.health().ok());
+    }
+
+    #[test]
+    fn leaving_the_band_snaps_the_applied_factor_once() {
+        let cal = Calibrator::new(CalibrationConfig::default());
+        // A sustained 1.8x residual must eventually pull the EWMA out of
+        // the band and snap the applied factor; once snapped and
+        // re-centered, the same residual stream causes no further snaps.
+        for _ in 0..64 {
+            cal.fold(ProtocolChoice::Sqrt, 256, predicted(), 1800, 10);
+        }
+        let entry = &cal.snapshot().entries[0];
+        assert!(entry.bits_applied > 1.4, "{entry:?}");
+        assert!(
+            entry.recalibrations >= 1 && entry.recalibrations <= 3,
+            "hysteresis should snap a handful of times, not per-residual: {entry:?}"
+        );
+        let before = entry.recalibrations;
+        for _ in 0..100 {
+            cal.fold(ProtocolChoice::Sqrt, 256, predicted(), 1800, 10);
+        }
+        assert_eq!(
+            cal.snapshot().entries[0].recalibrations,
+            before,
+            "steady residuals at the settled factor must not flap"
+        );
+    }
+
+    #[test]
+    fn persistent_drift_degrades_shared_health() {
+        let health = Arc::new(Health::default());
+        let cal = Calibrator::with_health(CalibrationConfig::default(), Arc::clone(&health));
+        for i in 0..CalibrationConfig::default().min_samples {
+            cal.fold(ProtocolChoice::Sqrt, 256, predicted(), 4000, 10);
+            if i + 1 < CalibrationConfig::default().min_samples {
+                assert!(health.ok(), "drift must wait for min_samples");
+            }
+        }
+        // 4x residuals push the applied factor past the 2x drift band.
+        for _ in 0..32 {
+            cal.fold(ProtocolChoice::Sqrt, 256, predicted(), 4000, 10);
+        }
+        assert!(!health.ok());
+        assert_eq!(health.drifts(), 1, "drift is declared once, not per-fold");
+        assert!(cal.snapshot().entries[0].drifting);
+    }
+
+    #[test]
+    fn injected_priors_decay_back_to_the_theory_constant() {
+        let cal = Calibrator::new(CalibrationConfig::default());
+        cal.inject(ProtocolChoice::Sqrt, 8, 8.0);
+        assert!((cal.correction(ProtocolChoice::Sqrt, 256).bits - 8.0).abs() < 1e-9);
+        // Traffic lands on a different protocol; every fold decays the
+        // unsampled sqrt entry toward 1.0.
+        for _ in 0..300 {
+            cal.fold(ProtocolChoice::Trivial, 256, predicted(), 1000, 10);
+        }
+        let c = cal.correction(ProtocolChoice::Sqrt, 256);
+        assert!(c.bits < 1.1, "stale prior must fade: {:.3}", c.bits);
+        // An injected prior alone never declares drift (zero samples).
+        assert!(cal.health().ok());
+    }
+
+    #[test]
+    fn snapshot_is_sorted_and_round_trips() {
+        let cal = Calibrator::new(CalibrationConfig::default());
+        cal.fold(ProtocolChoice::Trivial, 16, predicted(), 1000, 10);
+        cal.fold(ProtocolChoice::Sqrt, 256, predicted(), 1000, 10);
+        cal.fold(ProtocolChoice::Sqrt, 16, predicted(), 1000, 10);
+        let snap = cal.snapshot();
+        let keys: Vec<(String, u32)> = snap
+            .entries
+            .iter()
+            .map(|e| (e.protocol.clone(), e.k_bucket))
+            .collect();
+        let mut sorted = keys.clone();
+        sorted.sort();
+        assert_eq!(keys, sorted);
+        let back: CalibrationSnapshot = serde_json::from_str(&snap.to_json()).unwrap();
+        assert_eq!(back, snap);
+    }
+
+    #[test]
+    fn fold_emits_metrics_on_an_installed_subscriber() {
+        let sub = obs::Subscriber::new();
+        let _g = sub.install();
+        let cal = Calibrator::new(CalibrationConfig::default());
+        for _ in 0..64 {
+            cal.fold(ProtocolChoice::Sqrt, 256, predicted(), 1800, 10);
+        }
+        let recal = sub.metrics().counter(
+            "router_recalibration_total{protocol=\"sqrt\",k_bucket=\"2^8\",bound=\"bits\"}",
+        );
+        assert!(recal >= 1, "recalibration counter missing");
+        let gauge = sub
+            .metrics()
+            .gauge("router_correction_factor_milli{protocol=\"sqrt\",k_bucket=\"2^8\"}");
+        assert!(gauge > 1400, "gauge {gauge}");
+        assert!(sub
+            .events()
+            .iter()
+            .any(|e| e.target == "router" && e.name.starts_with("recalibration")));
+    }
+}

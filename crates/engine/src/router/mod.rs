@@ -7,7 +7,10 @@
 //! single protocol engine-wide, and any request can override the router
 //! per session.
 
+pub mod calibration;
+
 use crate::request::SessionRequest;
+use calibration::Calibrator;
 use intersect_core::api::ProtocolChoice;
 use intersect_core::sets::ProblemSpec;
 use intersect_obs::conformance::{ConformanceConfig, Envelope};
@@ -39,7 +42,7 @@ impl Default for RoutePolicy {
 /// Deepest tree round budget the auto-router will consider. `log* k` for
 /// any feasible `k` is at most 5, so budget 4 plus the explicit
 /// [`ProtocolChoice::TreeLogStar`] entry covers the whole useful range.
-const MAX_TREE_ROUNDS: u32 = 4;
+pub const MAX_TREE_ROUNDS: u32 = 4;
 
 /// Resolves a request to the protocol that will serve it.
 ///
@@ -66,6 +69,20 @@ const MAX_TREE_ROUNDS: u32 = 4;
 /// assert_eq!(route(&pinned, RoutePolicy::default()), ProtocolChoice::Trivial);
 /// ```
 pub fn route(request: &SessionRequest, policy: RoutePolicy) -> ProtocolChoice {
+    route_calibrated(request, policy, None)
+}
+
+/// [`route`] with an optional calibration table: each candidate's
+/// predicted bits and rounds are multiplied by the learned correction
+/// factors for its `(protocol, k-bucket)` before ranking, so sustained
+/// cost residuals can change which protocol wins a regime. Pins and
+/// per-request overrides still take precedence — calibration only
+/// reorders the auto-router's argmin.
+pub fn route_calibrated(
+    request: &SessionRequest,
+    policy: RoutePolicy,
+    calibrator: Option<&Calibrator>,
+) -> ProtocolChoice {
     if let Some(choice) = request.protocol {
         return choice;
     }
@@ -77,7 +94,12 @@ pub fn route(request: &SessionRequest, policy: RoutePolicy) -> ProtocolChoice {
     ProtocolChoice::all(MAX_TREE_ROUNDS)
         .into_iter()
         .map(|choice| {
-            let cost = choice.predicted_cost(request.spec, overlap);
+            let mut cost = choice.predicted_cost(request.spec, overlap);
+            if let Some(cal) = calibrator {
+                let c = cal.correction(choice, request.spec.k);
+                cost.bits *= c.bits;
+                cost.rounds *= c.rounds;
+            }
             (choice, cost.score(round_penalty))
         })
         .min_by(|a, b| a.1.total_cmp(&b.1))
@@ -205,6 +227,34 @@ mod tests {
         assert_eq!(
             route(&warm, RoutePolicy::default()),
             ProtocolChoice::IbltReconcile
+        );
+    }
+
+    #[test]
+    fn calibration_corrections_can_change_the_routing_choice() {
+        use calibration::{k_bucket, CalibrationConfig, Calibrator};
+
+        let req = SessionRequest::new(1, ProblemSpec::new(1 << 30, 1 << 12), 0);
+        let policy = RoutePolicy::default();
+        let uncorrected = route(&req, policy);
+        assert_eq!(uncorrected, ProtocolChoice::Sqrt);
+
+        // An empty table changes nothing.
+        let cal = Calibrator::new(CalibrationConfig::default());
+        assert_eq!(route_calibrated(&req, policy, Some(&cal)), uncorrected);
+
+        // A learned 8x bits correction on the winner dethrones it.
+        cal.inject(uncorrected, k_bucket(req.spec.k), 8.0);
+        let corrected = route_calibrated(&req, policy, Some(&cal));
+        assert_ne!(corrected, uncorrected);
+
+        // Pins and per-request overrides still bypass the table.
+        let mut pinned = req.clone();
+        pinned.protocol = Some(uncorrected);
+        assert_eq!(route_calibrated(&pinned, policy, Some(&cal)), uncorrected);
+        assert_eq!(
+            route_calibrated(&req, RoutePolicy::Fixed(uncorrected), Some(&cal)),
+            uncorrected
         );
     }
 }

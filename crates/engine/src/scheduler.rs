@@ -34,7 +34,8 @@
 use crate::plan_cache::PlanCache;
 use crate::registry::{EngineSnapshot, EngineWatch, Registry};
 use crate::request::SessionRequest;
-use crate::router::{route, theory_envelope, RoutePolicy};
+use crate::router::calibration::{describe_calibration_metrics, CalibrationConfig, Calibrator};
+use crate::router::{route_calibrated, theory_envelope, RoutePolicy};
 use crossbeam_channel::{bounded, unbounded, Receiver, Sender, TrySendError};
 use intersect_comm::chan::{Chan, Endpoint};
 use intersect_comm::coins::CoinSource;
@@ -92,6 +93,13 @@ pub struct EngineConfig {
     /// [`ConformanceMonitor`] and surface through metrics, events, and
     /// the shared [`Health`](obs::Health) flag.
     pub conformance: Option<ConformanceConfig>,
+    /// If set, every successful session's cost residual
+    /// (observed/predicted bits and rounds) is folded into the engine's
+    /// [`Calibrator`], and the auto-router ranks candidates by
+    /// *corrected* predicted costs — so persistent drift can change
+    /// which protocol a regime routes to. Conformance envelopes stay
+    /// pinned to the uncorrected theory prediction.
+    pub calibration: Option<CalibrationConfig>,
 }
 
 impl EngineConfig {
@@ -105,6 +113,7 @@ impl EngineConfig {
             policy: RoutePolicy::default(),
             debug_session: None,
             conformance: None,
+            calibration: None,
         }
     }
 }
@@ -227,6 +236,7 @@ struct WorkerCtx {
     outcome_tx: Sender<SessionOutcome>,
     done_tx: Sender<()>,
     conformance: Option<(ConformanceConfig, Arc<ConformanceMonitor>)>,
+    calibration: Option<Arc<Calibrator>>,
 }
 
 /// Folds a raw event log into per-round bit totals for the debug dump.
@@ -334,6 +344,21 @@ fn emit_outcome(
                 *config,
             );
             monitor.check(&envelope, report.total_bits(), report.rounds);
+        }
+        // The feedback hook: the same observed costs, folded as a
+        // residual against the *uncorrected* prediction so the router
+        // learns where the cost model's constants are off.
+        if let Some(calibrator) = &ctx.calibration {
+            let predicted = outcome
+                .protocol
+                .predicted_cost(outcome.request.spec, Some(outcome.request.overlap as u64));
+            calibrator.fold(
+                outcome.protocol,
+                outcome.request.spec.k,
+                predicted,
+                report.total_bits(),
+                report.rounds,
+            );
         }
     } else {
         lifecycle("fail", outcome.request.id);
@@ -518,6 +543,7 @@ pub struct Engine {
     dispatcher: JoinHandle<()>,
     worker_handles: Vec<JoinHandle<()>>,
     monitor: Option<Arc<ConformanceMonitor>>,
+    calibrator: Option<Arc<Calibrator>>,
 }
 
 /// Registers `# HELP` texts for every metric the engine emits, so the
@@ -586,6 +612,7 @@ fn describe_engine_metrics() {
     ] {
         obs::describe(name, help);
     }
+    describe_calibration_metrics();
 }
 
 impl Engine {
@@ -603,6 +630,15 @@ impl Engine {
         let monitor = config
             .conformance
             .map(|cfg| (cfg, Arc::new(ConformanceMonitor::new())));
+        // The calibrator shares the conformance monitor's health flag
+        // when both are armed, so `/healthz` reports drift and
+        // violations through one signal.
+        let calibrator = config.calibration.map(|cfg| {
+            Arc::new(match &monitor {
+                Some((_, m)) => Calibrator::with_health(cfg, m.health()),
+                None => Calibrator::new(cfg),
+            })
+        });
 
         let worker_handles: Vec<JoinHandle<()>> = (0..workers)
             .map(|_| {
@@ -612,6 +648,7 @@ impl Engine {
                     outcome_tx: outcome_tx.clone(),
                     done_tx: done_tx.clone(),
                     conformance: monitor.as_ref().map(|(cfg, m)| (*cfg, Arc::clone(m))),
+                    calibration: calibrator.clone(),
                 };
                 std::thread::spawn(move || {
                     // Each worker owns one reusable runner for its whole
@@ -632,6 +669,7 @@ impl Engine {
             let policy = config.policy;
             let debug_session = config.debug_session;
             let cache = Arc::clone(&cache);
+            let calibrator = calibrator.clone();
             std::thread::spawn(move || {
                 let mut in_flight = 0usize;
                 for submission in admit_rx.iter() {
@@ -645,7 +683,7 @@ impl Engine {
                         Submission::Single(request) => {
                             lifecycle("admit", request.id);
                             obs::gauge_add("engine_queue_depth", -1);
-                            let choice = route(&request, policy);
+                            let choice = route_calibrated(&request, policy, calibrator.as_deref());
                             lifecycle("route", request.id);
                             // One cache lookup replaces per-session
                             // parameter derivation; a miss prepares once
@@ -667,7 +705,8 @@ impl Engine {
                             obs::gauge_add("engine_queue_depth", -(requests.len() as i64));
                             // submit_batch guarantees a uniform spec and
                             // override, so the first request routes for all.
-                            let choice = route(&requests[0], policy);
+                            let choice =
+                                route_calibrated(&requests[0], policy, calibrator.as_deref());
                             for request in &requests {
                                 lifecycle("route", request.id);
                             }
@@ -699,6 +738,7 @@ impl Engine {
             dispatcher,
             worker_handles,
             monitor: monitor.map(|(_, m)| m),
+            calibrator,
         }
     }
 
@@ -717,6 +757,16 @@ impl Engine {
     /// monitor's [`Health`](obs::Health) handle.
     pub fn conformance_monitor(&self) -> Option<Arc<ConformanceMonitor>> {
         self.monitor.clone()
+    }
+
+    /// The engine's router calibrator, present iff
+    /// [`EngineConfig::calibration`] was set. The telemetry plane's
+    /// `/calibration` endpoint serves its
+    /// [`snapshot`](Calibrator::snapshot), and embedders can
+    /// [`inject`](Calibrator::inject) deliberate miscalibrations to
+    /// exercise the feedback loop.
+    pub fn calibrator(&self) -> Option<Arc<Calibrator>> {
+        self.calibrator.clone()
     }
 
     /// Non-blocking admission: rejects immediately when the queue is full.
@@ -836,6 +886,7 @@ impl Engine {
             dispatcher,
             worker_handles,
             monitor,
+            calibrator: _,
         } = self;
         drop(admit_tx);
         dispatcher.join().expect("dispatcher panicked");

@@ -130,17 +130,18 @@ impl ConformanceReport {
 }
 
 /// Shared liveness/health state: `ok` until the first conformance
-/// violation, degraded afterwards. The telemetry plane's `/healthz`
-/// endpoint serves it.
+/// violation or router-calibration drift, degraded afterwards. The
+/// telemetry plane's `/healthz` endpoint serves it.
 #[derive(Debug, Default)]
 pub struct Health {
     violations: AtomicU64,
+    drifts: AtomicU64,
 }
 
 impl Health {
-    /// `true` while no violation has been recorded.
+    /// `true` while neither a violation nor a drift has been recorded.
     pub fn ok(&self) -> bool {
-        self.violations() == 0
+        self.violations() == 0 && self.drifts() == 0
     }
 
     /// Number of violations recorded so far.
@@ -148,9 +149,22 @@ impl Health {
         self.violations.load(Ordering::Relaxed)
     }
 
+    /// Number of calibration-drift declarations recorded so far.
+    pub fn drifts(&self) -> u64 {
+        self.drifts.load(Ordering::Relaxed)
+    }
+
     /// Records `n` violations (flips [`ok`](Health::ok) to false).
     pub fn record_violations(&self, n: u64) {
         self.violations.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Records `n` calibration drifts (flips [`ok`](Health::ok) to
+    /// false). Drift means a router correction factor settled
+    /// persistently far from the theory constant — the cost model and
+    /// the implementation disagree, which an operator should see.
+    pub fn record_drift(&self, n: u64) {
+        self.drifts.fetch_add(n, Ordering::Relaxed);
     }
 }
 

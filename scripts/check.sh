@@ -29,4 +29,7 @@ echo "==> telemetry plane smoke"
 echo "==> network transport smoke"
 ./scripts/net_smoke.sh
 
+echo "==> intersect-top dashboard smoke"
+./scripts/tui_smoke.sh
+
 echo "==> all checks passed"

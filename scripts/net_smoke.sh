@@ -34,14 +34,22 @@ fi
 echo "    listening on $addr"
 
 echo "==> loadgen burst: 64 sessions, 6 workers, 2 connections"
+# The human summary goes to stderr; --json puts exactly one parseable
+# line on stdout — both contracts are asserted here.
 "$LOADGEN_BIN" --endpoint "$addr" --sessions 64 --concurrency 6 \
-  --connections 2 --k 64 | tee "$tmpdir/loadgen.out"
+  --connections 2 --k 64 --json \
+  >"$tmpdir/loadgen.json" 2>"$tmpdir/loadgen.err"
+cat "$tmpdir/loadgen.err"
 
-completed=$(sed -n 's/^completed=\([0-9]*\) .*/\1/p' "$tmpdir/loadgen.out")
+[[ $(wc -l <"$tmpdir/loadgen.json") == "1" ]] \
+  || { echo "--json must emit exactly one stdout line"; cat "$tmpdir/loadgen.json"; exit 1; }
+grep -q '"completed":64' "$tmpdir/loadgen.json" \
+  || { echo "expected 64 completed sessions:"; cat "$tmpdir/loadgen.json"; exit 1; }
+grep -q '"failed":0' "$tmpdir/loadgen.json" \
+  || { echo "loadgen reported failures"; cat "$tmpdir/loadgen.json"; exit 1; }
+completed=$(sed -n 's/^completed=\([0-9]*\) .*/\1/p' "$tmpdir/loadgen.err")
 [[ "$completed" == "64" ]] \
-  || { echo "expected 64 completed sessions, got: ${completed:-none}"; exit 1; }
-grep -q 'failed=0 ' "$tmpdir/loadgen.out" \
-  || { echo "loadgen reported failures"; exit 1; }
+  || { echo "human summary missing from stderr, got: ${completed:-none}"; exit 1; }
 
 echo "==> SIGTERM must drain and exit cleanly"
 kill -TERM %1

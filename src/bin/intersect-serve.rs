@@ -40,6 +40,8 @@ struct Options {
     listen: Option<String>,
     linger_ms: u64,
     slack: Option<f64>,
+    calibrate: bool,
+    miscalibrate: Vec<(intersect::core::api::ProtocolChoice, f64)>,
 }
 
 fn usage() -> ! {
@@ -87,13 +89,22 @@ fn usage() -> ! {
          telemetry plane:\n\
            --listen <addr>     serve live telemetry over HTTP while the\n\
                                workload runs (port 0 picks a free port):\n\
-                               /metrics, /healthz, /sessions, /profile\n\
+                               /metrics, /healthz, /sessions, /profile,\n\
+                               /calibration, /version\n\
            --linger-ms <ms>    keep the telemetry server up this long after\n\
                                the workload drains (default 0)\n\
            --slack <f>         theory-conformance slack factor on predicted\n\
                                bits and rounds (default 3x bits / 4x rounds;\n\
                                checking is on whenever --listen or --slack\n\
-                               is given, and violations fail the run)"
+                               is given, and violations fail the run)\n\
+           --calibrate         fold completed-session cost residuals back\n\
+                               into the router (EWMA correction factors per\n\
+                               protocol and k-bucket, hysteresis-gated);\n\
+                               the live table is served on /calibration\n\
+           --miscalibrate <p=f> seed protocol p's correction factor to f in\n\
+                               every k-bucket before serving (repeatable) —\n\
+                               the deliberate-drift knob for exercising the\n\
+                               feedback loop; implies --calibrate"
     );
     std::process::exit(2);
 }
@@ -130,6 +141,8 @@ fn parse_args() -> Options {
         listen: None,
         linger_ms: 0,
         slack: None,
+        calibrate: false,
+        miscalibrate: Vec::new(),
     };
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut it = args.iter();
@@ -178,6 +191,25 @@ fn parse_args() -> Options {
             "--listen" => opts.listen = Some(value("--listen")),
             "--linger-ms" => opts.linger_ms = int("--linger-ms", value("--linger-ms")),
             "--slack" => opts.slack = Some(value("--slack").parse().unwrap_or_else(|_| usage())),
+            "--calibrate" => opts.calibrate = true,
+            "--miscalibrate" => {
+                let spec = value("--miscalibrate");
+                let parsed = spec.split_once('=').and_then(|(proto, factor)| {
+                    let choice = proto.parse().ok()?;
+                    let factor: f64 = factor.parse().ok()?;
+                    (factor > 0.0).then_some((choice, factor))
+                });
+                match parsed {
+                    Some(inject) => {
+                        opts.miscalibrate.push(inject);
+                        opts.calibrate = true;
+                    }
+                    None => {
+                        eprintln!("bad --miscalibrate {spec:?}; expected <protocol>=<factor>");
+                        usage()
+                    }
+                }
+            }
             "--help" | "-h" => usage(),
             other => {
                 eprintln!("unknown argument {other}");
@@ -284,6 +316,9 @@ fn run_transport(spec: &str, opts: &Options, policy: RoutePolicy) -> ExitCode {
     let want_obs = opts.metrics_out.is_some() || opts.listen.is_some();
     let subscriber = want_obs.then(intersect::obs::Subscriber::new);
     let installed = subscriber.as_ref().map(|s| s.install());
+    if want_obs {
+        intersect::version::register_build_info();
+    }
 
     let mut config = intersect::net::NetServerConfig::new(endpoint);
     config.policy = policy;
@@ -318,7 +353,9 @@ fn run_transport(spec: &str, opts: &Options, policy: RoutePolicy) -> ExitCode {
                 profile: Box::new(move |w| {
                     intersect::obs::folded::folded_stacks(&profile_sub.events(), w)
                 }),
+                version: Box::new(intersect::version::version_json),
                 health: Default::default(),
+                ..intersect::obs::Sources::empty()
             };
             match intersect::obs::TelemetryServer::start(addr, sources) {
                 Ok(server) => {
@@ -437,6 +474,9 @@ fn main() -> ExitCode {
             .map(intersect::obs::ConformanceConfig::with_slack)
             .unwrap_or_default()
     });
+    let calibration = opts
+        .calibrate
+        .then(intersect::engine::CalibrationConfig::default);
     let config = EngineConfig {
         workers: opts.workers,
         queue_capacity: opts.queue,
@@ -444,6 +484,7 @@ fn main() -> ExitCode {
         policy,
         debug_session: opts.debug_session,
         conformance,
+        calibration,
     };
 
     // Tracing is paid for only when asked for: without an export flag or
@@ -456,14 +497,31 @@ fn main() -> ExitCode {
     let subscriber = want_obs.then(intersect::obs::Subscriber::new);
     let installed = subscriber.as_ref().map(|s| s.install());
 
+    if want_obs {
+        intersect::version::register_build_info();
+    }
+
     let engine = Engine::start(config);
+    // The deliberate-drift knob: seed the requested correction factors
+    // into every k-bucket before any traffic, so the feedback loop has
+    // something to converge away from.
+    if let Some(calibrator) = engine.calibrator() {
+        for (choice, factor) in &opts.miscalibrate {
+            for bucket in 0..=40 {
+                calibrator.inject(*choice, bucket, *factor);
+            }
+            eprintln!("calibration: seeded {choice} correction factor {factor} in all k-buckets");
+        }
+    }
     let server = match &opts.listen {
         Some(addr) => {
             let watch = engine.watch();
             let health = engine
-                .conformance_monitor()
-                .map(|m| m.health())
+                .calibrator()
+                .map(|c| c.health())
+                .or_else(|| engine.conformance_monitor().map(|m| m.health()))
                 .unwrap_or_default();
+            let calibrator = engine.calibrator();
             let metrics_sub = subscriber.clone().expect("listen implies a subscriber");
             let profile_sub = metrics_sub.clone();
             let sources = intersect::obs::Sources {
@@ -477,6 +535,11 @@ fn main() -> ExitCode {
                 profile: Box::new(move |w| {
                     intersect::obs::folded::folded_stacks(&profile_sub.events(), w)
                 }),
+                calibration: Box::new(move || match &calibrator {
+                    Some(cal) => cal.snapshot().to_json(),
+                    None => "{}".to_string(),
+                }),
+                version: Box::new(intersect::version::version_json),
                 health,
             };
             match intersect::obs::TelemetryServer::start(addr, sources) {

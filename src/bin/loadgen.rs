@@ -54,7 +54,9 @@ fn usage() -> ! {
            --seed <s>          base seed; session i uses s + i (default 1)\n\
            --protocol <name>   pin sessions to one protocol (default:\n\
                                server-side routing)\n\
-           --json              emit the summary as JSON on stdout"
+           --json              emit the summary as one JSON line on\n\
+                               stdout (the human summary always goes to\n\
+                               stderr, so stdout stays machine-parseable)"
     );
     std::process::exit(2);
 }
@@ -235,21 +237,23 @@ fn main() -> ExitCode {
         lat.last().copied().unwrap_or(0),
     );
 
+    // The human-readable summary always goes to stderr so stdout stays
+    // clean for machine consumers: with --json, stdout carries exactly
+    // one parseable line (`loadgen --json | jq .` works in a pipeline).
+    eprintln!(
+        "completed={completed} failed={failed} elapsed_s={:.3} sessions_per_s={per_s:.1}",
+        elapsed.as_secs_f64(),
+    );
+    eprintln!(
+        "latency_us min={min} p50={p50} p90={p90} p99={p99} max={max} ({} connections, {} workers)",
+        opts.connections, opts.concurrency,
+    );
     if opts.json {
         println!(
             "{{\"completed\":{completed},\"failed\":{failed},\"elapsed_s\":{:.6},\
              \"sessions_per_s\":{per_s:.1},\"latency_us\":{{\"min\":{min},\
              \"p50\":{p50},\"p90\":{p90},\"p99\":{p99},\"max\":{max}}}}}",
             elapsed.as_secs_f64(),
-        );
-    } else {
-        println!(
-            "completed={completed} failed={failed} elapsed_s={:.3} sessions_per_s={per_s:.1}",
-            elapsed.as_secs_f64(),
-        );
-        println!(
-            "latency_us min={min} p50={p50} p90={p90} p99={p99} max={max} ({} connections, {} workers)",
-            opts.connections, opts.concurrency,
         );
     }
     if failed > 0 {

@@ -49,6 +49,9 @@
 
 #![warn(missing_docs)]
 
+pub mod tui;
+pub mod version;
+
 pub use intersect_apps as apps;
 pub use intersect_comm as comm;
 pub use intersect_core as core;

@@ -1,0 +1,296 @@
+//! The frame renderer: a pure `AppState → String` function.
+//!
+//! No terminal control codes live here — the binary wraps frames in the
+//! ANSI alternate screen; this module only lays out text. That split is
+//! what makes the golden-frame test possible: the same bytes render in
+//! CI, in a pipe, and on an operator's terminal.
+
+use crate::tui::state::{AppState, CalRow};
+
+const BLOCKS: [char; 8] = ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+
+/// Renders a sparkline of `values` scaled to their own maximum, at most
+/// `width` characters wide (the most recent values win when truncating).
+/// All-zero (or empty) input renders as baseline blocks.
+pub fn sparkline(values: &[f64], width: usize) -> String {
+    if width == 0 {
+        return String::new();
+    }
+    let tail = &values[values.len().saturating_sub(width)..];
+    let max = tail.iter().copied().fold(0.0_f64, f64::max);
+    tail.iter()
+        .map(|&v| {
+            if max <= 0.0 {
+                BLOCKS[0]
+            } else {
+                let idx = ((v / max) * (BLOCKS.len() - 1) as f64).round() as usize;
+                BLOCKS[idx.min(BLOCKS.len() - 1)]
+            }
+        })
+        .collect()
+}
+
+/// Human-scales a bit count, matching the bench tables' convention.
+fn fmt_bits(bits: u64) -> String {
+    let b = bits as f64;
+    if b >= 1e9 {
+        format!("{:.2} Gbit", b / 1e9)
+    } else if b >= 1e6 {
+        format!("{:.2} Mbit", b / 1e6)
+    } else if b >= 1e3 {
+        format!("{:.2} Kbit", b / 1e3)
+    } else {
+        format!("{bits} bit")
+    }
+}
+
+fn hit_rate(hits: u64, misses: u64) -> String {
+    let total = hits + misses;
+    if total == 0 {
+        "n/a".to_string()
+    } else {
+        format!("{:.1}%", hits as f64 / total as f64 * 100.0)
+    }
+}
+
+/// Clips a line to `width` characters (by chars, not bytes — sparkline
+/// blocks are multi-byte) and pushes it with a trailing newline.
+fn push_line(out: &mut String, width: usize, line: &str) {
+    out.extend(line.chars().take(width));
+    out.push('\n');
+}
+
+fn calibration_row(row: &CalRow) -> String {
+    format!(
+        "  {:<14} {:>6} {:>8} {:>9.3} {:>9.3} {:>9.3} {:>6} {}",
+        row.protocol,
+        row.bucket,
+        row.samples,
+        row.bits_estimate,
+        row.bits_applied,
+        row.rounds_applied,
+        row.recalibrations,
+        if row.drifting { "DRIFT" } else { "ok" },
+    )
+}
+
+/// Renders one full frame at the given character width. Pure: equal
+/// states render equal frames.
+pub fn render(state: &AppState, width: usize) -> String {
+    let mut out = String::new();
+    let w = width.max(40);
+
+    let title = if state.version_line.is_empty() {
+        "intersect-top".to_string()
+    } else {
+        format!("intersect-top — {}", state.version_line)
+    };
+    let tick = format!("tick {}", state.ticks);
+    let pad = w.saturating_sub(title.chars().count() + tick.len());
+    push_line(&mut out, w, &format!("{title}{}{tick}", " ".repeat(pad)));
+    let health = if state.scrape_failures > 0 {
+        format!(
+            "health: unreachable ({} failed poll(s))",
+            state.scrape_failures
+        )
+    } else {
+        format!("health: {}", state.health_line)
+    };
+    push_line(&mut out, w, &health);
+    push_line(&mut out, w, &"─".repeat(w));
+
+    let spark_w = w.saturating_sub(26).min(crate::tui::state::HISTORY);
+    let rate = state.throughput.last().copied().unwrap_or(0.0);
+    push_line(
+        &mut out,
+        w,
+        &format!(
+            "throughput {:>8.1}/s  {}",
+            rate,
+            sparkline(&state.throughput, spark_w)
+        ),
+    );
+    let p99: Vec<f64> = state.p99_history.iter().map(|&v| v as f64).collect();
+    push_line(
+        &mut out,
+        w,
+        &format!(
+            "p99 {:>11} us  {}",
+            state.latency.p99,
+            sparkline(&p99, spark_w)
+        ),
+    );
+    push_line(
+        &mut out,
+        w,
+        &format!(
+            "latency us: p50 {}  p90 {}  p99 {}  max {}",
+            state.latency.p50, state.latency.p90, state.latency.p99, state.latency.max
+        ),
+    );
+    push_line(
+        &mut out,
+        w,
+        &format!(
+            "sessions: completed {}  failed {}  rejected {}  bits {}  workers {}",
+            state.completed,
+            state.failed,
+            state.rejected,
+            fmt_bits(state.total_bits),
+            state.workers
+        ),
+    );
+    push_line(&mut out, w, "");
+
+    push_line(
+        &mut out,
+        w,
+        &format!(
+            "per-protocol (envelope: {} checks, {} violations)",
+            state.conformance_checks, state.conformance_violations
+        ),
+    );
+    push_line(
+        &mut out,
+        w,
+        &format!(
+            "  {:<18} {:>9} {:>12} {:>10} {:>10}",
+            "protocol", "sessions", "bits", "max rounds", "violations"
+        ),
+    );
+    if state.per_protocol.is_empty() {
+        push_line(&mut out, w, "  (no sessions yet)");
+    }
+    for row in &state.per_protocol {
+        push_line(
+            &mut out,
+            w,
+            &format!(
+                "  {:<18} {:>9} {:>12} {:>10} {:>10}",
+                row.name,
+                row.sessions,
+                fmt_bits(row.bits),
+                row.max_rounds,
+                row.violations
+            ),
+        );
+    }
+    let (hits, misses, entries) = state.plan_cache;
+    push_line(
+        &mut out,
+        w,
+        &format!(
+            "plan cache: {} hits / {} misses ({} hit rate), {} entries",
+            hits,
+            misses,
+            hit_rate(hits, misses),
+            entries
+        ),
+    );
+    push_line(&mut out, w, "");
+
+    push_line(
+        &mut out,
+        w,
+        &format!(
+            "calibration ({} recalibrations, {} drifts)",
+            state.recalibrations, state.drifts
+        ),
+    );
+    if state.calibration.is_empty() {
+        push_line(&mut out, w, "  (calibration disabled or no entries)");
+    } else {
+        push_line(
+            &mut out,
+            w,
+            &format!(
+                "  {:<14} {:>6} {:>8} {:>9} {:>9} {:>9} {:>6} state",
+                "protocol", "bucket", "samples", "bits est", "applied", "rounds", "recal"
+            ),
+        );
+        for row in &state.calibration {
+            push_line(&mut out, w, &calibration_row(row));
+        }
+    }
+    push_line(&mut out, w, "");
+
+    push_line(&mut out, w, "recent sessions");
+    if state.recent.is_empty() {
+        push_line(&mut out, w, "  (none)");
+    }
+    for row in &state.recent {
+        push_line(
+            &mut out,
+            w,
+            &format!(
+                "  #{:<6} {:<18} {:>12} {:>3} rounds  {}",
+                row.id,
+                row.protocol,
+                fmt_bits(row.bits),
+                row.rounds,
+                if row.ok { "ok" } else { "FAIL" }
+            ),
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tui::scrape::Sample;
+
+    #[test]
+    fn sparkline_scales_to_its_own_maximum() {
+        let s = sparkline(&[0.0, 1.0, 2.0, 4.0], 8);
+        assert_eq!(s, "▁▃▅█");
+        assert_eq!(sparkline(&[0.0, 0.0], 8), "▁▁");
+        assert_eq!(sparkline(&[], 8), "");
+        // Truncation keeps the most recent points.
+        assert_eq!(sparkline(&[9.0, 1.0, 2.0], 2), "▅█");
+    }
+
+    #[test]
+    fn bits_formatting_scales() {
+        assert_eq!(fmt_bits(512), "512 bit");
+        assert_eq!(fmt_bits(12_345), "12.35 Kbit");
+        assert_eq!(fmt_bits(3_400_000), "3.40 Mbit");
+        assert_eq!(fmt_bits(7_100_000_000), "7.10 Gbit");
+    }
+
+    #[test]
+    fn render_is_pure_and_respects_width() {
+        let mut state = AppState::default();
+        let sample = Sample::from_bodies("", "{}", "{}", "{}", Some((200, "ok\n")));
+        state.reduce(&sample, 1.0);
+        let a = render(&state, 72);
+        let b = render(&state, 72);
+        assert_eq!(a, b, "equal states must render equal frames");
+        assert!(a.lines().all(|l| l.chars().count() <= 72));
+        assert!(a.contains("health: ok"));
+        assert!(a.contains("(calibration disabled or no entries)"));
+    }
+
+    #[test]
+    fn render_shows_drift_and_calibration_rows() {
+        let mut state = AppState::default();
+        let calibration = "{\"entries\":[{\"protocol\":\"sqrt-fknn\",\"k_bucket\":5,\
+                           \"samples\":64,\"bits_estimate\":2.9,\"bits_applied\":2.5,\
+                           \"rounds_estimate\":1.0,\"rounds_applied\":1.0,\
+                           \"recalibrations\":2,\"drifting\":true}]}";
+        let sample = Sample::from_bodies(
+            "router_recalibration_total{protocol=\"sqrt-fknn\",k_bucket=\"2^5\",bound=\"bits\"} 2\n\
+             router_drift_total{protocol=\"sqrt-fknn\",k_bucket=\"2^5\"} 1\n",
+            "{}",
+            calibration,
+            "{}",
+            Some((503, "degraded: 1 calibration drift(s)\n")),
+        );
+        state.reduce(&sample, 1.0);
+        let frame = render(&state, 100);
+        assert!(frame.contains("calibration (2 recalibrations, 1 drifts)"));
+        assert!(frame.contains("DRIFT"));
+        assert!(frame.contains("2^5"));
+        assert!(frame.contains("health: degraded: 1 calibration drift(s)"));
+    }
+}

@@ -1,0 +1,367 @@
+//! The dashboard's application state and its reducer.
+//!
+//! [`AppState::reduce`] is the only place telemetry becomes UI state:
+//! it folds one [`Sample`] plus the elapsed time since the previous one
+//! into counters, derived rates, and bounded history rings. It is a
+//! pure function of `(state, sample, elapsed)` — no clocks, no sockets —
+//! which is what makes frames reproducible from fixtures.
+
+use crate::tui::scrape::Sample;
+use serde_json::Value;
+
+/// How many points the throughput/latency sparklines retain.
+pub const HISTORY: usize = 48;
+
+/// One protocol's row in the per-protocol panel.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProtocolRow {
+    /// Display name (registry key).
+    pub name: String,
+    /// Sessions served.
+    pub sessions: u64,
+    /// Total bits across those sessions.
+    pub bits: u64,
+    /// Worst observed round count.
+    pub max_rounds: u64,
+    /// Conformance envelope breaches attributed to this protocol.
+    pub violations: u64,
+}
+
+/// One `(protocol, k-bucket)` row of the calibration panel.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CalRow {
+    /// Protocol display name.
+    pub protocol: String,
+    /// Bucket label (`2^b`).
+    pub bucket: String,
+    /// Real residuals folded.
+    pub samples: u64,
+    /// EWMA estimate of observed/predicted bits.
+    pub bits_estimate: f64,
+    /// The bits factor routing actually applies.
+    pub bits_applied: f64,
+    /// The rounds factor routing actually applies.
+    pub rounds_applied: f64,
+    /// Hysteresis snaps so far.
+    pub recalibrations: u64,
+    /// Currently outside the drift band.
+    pub drifting: bool,
+}
+
+/// Latency percentiles from the last sample, microseconds.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct LatencyView {
+    /// Median.
+    pub p50: u64,
+    /// 90th percentile.
+    pub p90: u64,
+    /// 99th percentile.
+    pub p99: u64,
+    /// Worst observed.
+    pub max: u64,
+}
+
+/// A recently finished session (tail of the `/sessions` ring).
+#[derive(Debug, Clone, PartialEq)]
+pub struct RecentRow {
+    /// Session id.
+    pub id: u64,
+    /// Protocol that served it.
+    pub protocol: String,
+    /// Bits on the wire.
+    pub bits: u64,
+    /// Rounds used.
+    pub rounds: u64,
+    /// Both parties agreed.
+    pub ok: bool,
+}
+
+/// Everything the renderer draws. Updated exclusively by
+/// [`reduce`](AppState::reduce).
+#[derive(Debug, Clone, Default)]
+pub struct AppState {
+    /// Samples folded so far.
+    pub ticks: u64,
+    /// Consecutive polls in which no endpoint answered.
+    pub scrape_failures: u64,
+    /// Header identity, e.g. `intersect 0.1.0 (release, catalogue 12)`.
+    pub version_line: String,
+    /// `ok`, the degraded detail, or `unreachable`.
+    pub health_line: String,
+    /// Worker threads reported by the engine.
+    pub workers: u64,
+    /// Completed session count (cumulative).
+    pub completed: u64,
+    /// Failed session count.
+    pub failed: u64,
+    /// Rejected-by-admission count.
+    pub rejected: u64,
+    /// Total bits on the wire.
+    pub total_bits: u64,
+    /// Sessions/s per tick, oldest first (sparkline source).
+    pub throughput: Vec<f64>,
+    /// p99 latency per tick, microseconds (sparkline source).
+    pub p99_history: Vec<u64>,
+    /// Last sample's latency percentiles.
+    pub latency: LatencyView,
+    /// Per-protocol tallies, sorted by name.
+    pub per_protocol: Vec<ProtocolRow>,
+    /// Plan-cache counters `(hits, misses, entries)`.
+    pub plan_cache: (u64, u64, u64),
+    /// Calibration table rows, in `/calibration` order.
+    pub calibration: Vec<CalRow>,
+    /// Total hysteresis snaps across all entries.
+    pub recalibrations: u64,
+    /// Total drift declarations.
+    pub drifts: u64,
+    /// Envelope checks performed.
+    pub conformance_checks: u64,
+    /// Envelope breaches.
+    pub conformance_violations: u64,
+    /// Tail of the recent-session ring, newest last.
+    pub recent: Vec<RecentRow>,
+}
+
+fn as_u64(v: &Value) -> u64 {
+    v.as_u64().unwrap_or(0)
+}
+
+impl AppState {
+    /// Folds one sample into the state. `elapsed_secs` is the wall time
+    /// since the previous sample (used only for the throughput rate);
+    /// pass any fixed positive value when replaying fixtures.
+    pub fn reduce(&mut self, sample: &Sample, elapsed_secs: f64) {
+        self.ticks += 1;
+        if !sample.reachable {
+            self.scrape_failures += 1;
+            self.health_line = "unreachable".to_string();
+            // Telemetry gone: the rate is unknown, not zero-and-flat.
+            push_capped(&mut self.throughput, 0.0);
+            push_capped(&mut self.p99_history, 0);
+            return;
+        }
+        self.scrape_failures = 0;
+
+        if let Some(v) = &sample.version {
+            self.version_line = format!(
+                "intersect {} ({}, catalogue {})",
+                v["version"].as_str().unwrap_or("?"),
+                v["profile"].as_str().unwrap_or("?"),
+                as_u64(&v["catalogue_size"]),
+            );
+        }
+        self.health_line = match &sample.health {
+            Some((200, _)) => "ok".to_string(),
+            Some((_, body)) => body
+                .lines()
+                .collect::<Vec<_>>()
+                .join("; ")
+                .trim()
+                .to_string(),
+            None => "unknown".to_string(),
+        };
+
+        if let Some(doc) = &sample.sessions {
+            let snap = &doc["snapshot"];
+            let metrics = &snap["metrics"];
+            self.workers = as_u64(&snap["workers"]);
+            let completed = as_u64(&metrics["completed"]);
+            let rate = (completed.saturating_sub(self.completed)) as f64 / elapsed_secs.max(1e-9);
+            push_capped(&mut self.throughput, rate);
+            self.completed = completed;
+            self.failed = as_u64(&metrics["failed"]);
+            self.rejected = as_u64(&metrics["rejected"]);
+            self.total_bits = as_u64(&metrics["total_bits"]);
+            let latency = &snap["latency"];
+            self.latency = LatencyView {
+                p50: as_u64(&latency["p50_micros"]),
+                p90: as_u64(&latency["p90_micros"]),
+                p99: as_u64(&latency["p99_micros"]),
+                max: as_u64(&latency["max_micros"]),
+            };
+            push_capped(&mut self.p99_history, self.latency.p99);
+
+            self.per_protocol = metrics["per_protocol"]
+                .as_object()
+                .map(|map| {
+                    map.iter()
+                        .map(|(name, tally)| ProtocolRow {
+                            name: name.clone(),
+                            sessions: as_u64(&tally["sessions"]),
+                            bits: as_u64(&tally["bits"]),
+                            max_rounds: as_u64(&tally["max_rounds"]),
+                            violations: protocol_violations(sample, name),
+                        })
+                        .collect()
+                })
+                .unwrap_or_default();
+
+            self.recent = doc["recent"]
+                .as_array()
+                .map(|rows| {
+                    rows.iter()
+                        .rev()
+                        .take(5)
+                        .rev()
+                        .map(|r| RecentRow {
+                            id: as_u64(&r["id"]),
+                            protocol: r["protocol"].as_str().unwrap_or("?").to_string(),
+                            bits: as_u64(&r["bits"]),
+                            rounds: as_u64(&r["rounds"]),
+                            ok: r["ok"].as_bool().unwrap_or(false),
+                        })
+                        .collect()
+                })
+                .unwrap_or_default();
+        }
+
+        self.plan_cache = (
+            sample.metric("engine_plan_cache_hits") as u64,
+            sample.metric("engine_plan_cache_misses") as u64,
+            sample.metric("engine_plan_cache_entries") as u64,
+        );
+        self.recalibrations = sample.metric_sum("router_recalibration_total") as u64;
+        self.drifts = sample.metric_sum("router_drift_total") as u64;
+        self.conformance_checks = sample.metric_sum("conformance_checks_total") as u64;
+        self.conformance_violations = sample.metric_sum("conformance_violations_total") as u64;
+
+        if let Some(table) = &sample.calibration {
+            self.calibration = table["entries"]
+                .as_array()
+                .map(|rows| {
+                    rows.iter()
+                        .map(|e| CalRow {
+                            protocol: e["protocol"].as_str().unwrap_or("?").to_string(),
+                            bucket: format!("2^{}", as_u64(&e["k_bucket"])),
+                            samples: as_u64(&e["samples"]),
+                            bits_estimate: e["bits_estimate"].as_f64().unwrap_or(1.0),
+                            bits_applied: e["bits_applied"].as_f64().unwrap_or(1.0),
+                            rounds_applied: e["rounds_applied"].as_f64().unwrap_or(1.0),
+                            recalibrations: as_u64(&e["recalibrations"]),
+                            drifting: e["drifting"].as_bool().unwrap_or(false),
+                        })
+                        .collect()
+                })
+                .unwrap_or_default();
+        }
+    }
+}
+
+/// Conformance breaches attributed to one protocol, summed over bounds.
+fn protocol_violations(sample: &Sample, protocol: &str) -> u64 {
+    let prefix = format!("conformance_violations_total{{protocol=\"{protocol}\"");
+    sample
+        .metrics
+        .iter()
+        .filter(|(k, _)| k.starts_with(&prefix))
+        .map(|(_, v)| *v as u64)
+        .sum()
+}
+
+fn push_capped<T>(history: &mut Vec<T>, value: T) {
+    history.push(value);
+    if history.len() > HISTORY {
+        history.remove(0);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sessions_doc(completed: u64, p99: u64) -> String {
+        format!(
+            "{{\"snapshot\":{{\"workers\":4,\"metrics\":{{\"submitted\":{c},\
+             \"completed\":{c},\"failed\":0,\"rejected\":0,\"total_bits\":12345,\
+             \"total_messages\":99,\"rounds_histogram\":{{}},\
+             \"per_protocol\":{{\"sqrt-fknn\":{{\"sessions\":{c},\"bits\":12345,\
+             \"max_rounds\":40}}}}}},\"latency\":{{\"min_micros\":10,\
+             \"p50_micros\":100,\"p90_micros\":200,\"p99_micros\":{p99},\
+             \"max_micros\":900}}}},\"recent\":[{{\"id\":7,\
+             \"protocol\":\"sqrt-fknn\",\"bits\":512,\"rounds\":40,\
+             \"latency_micros\":88,\"ok\":true}}]}}",
+            c = completed,
+            p99 = p99,
+        )
+    }
+
+    #[test]
+    fn reduce_computes_throughput_from_completed_deltas() {
+        let mut state = AppState::default();
+        let s1 = Sample::from_bodies("", &sessions_doc(100, 500), "{}", "{}", Some((200, "ok\n")));
+        let s2 = Sample::from_bodies("", &sessions_doc(150, 700), "{}", "{}", Some((200, "ok\n")));
+        state.reduce(&s1, 1.0);
+        state.reduce(&s2, 2.0);
+        assert_eq!(state.ticks, 2);
+        assert_eq!(state.completed, 150);
+        assert_eq!(state.throughput, vec![100.0, 25.0]);
+        assert_eq!(state.p99_history, vec![500, 700]);
+        assert_eq!(state.latency.p99, 700);
+        assert_eq!(state.per_protocol.len(), 1);
+        assert_eq!(state.per_protocol[0].sessions, 150);
+        assert_eq!(state.recent.len(), 1);
+        assert!(state.recent[0].ok);
+        assert_eq!(state.health_line, "ok");
+    }
+
+    #[test]
+    fn unreachable_samples_count_failures_without_clearing_state() {
+        let mut state = AppState::default();
+        let live = Sample::from_bodies("", &sessions_doc(10, 100), "{}", "{}", Some((200, "ok\n")));
+        state.reduce(&live, 1.0);
+        let dead = Sample::default();
+        state.reduce(&dead, 1.0);
+        state.reduce(&dead, 1.0);
+        assert_eq!(state.scrape_failures, 2);
+        assert_eq!(state.health_line, "unreachable");
+        assert_eq!(state.completed, 10, "stale data beats no data");
+        assert_eq!(state.throughput.len(), 3);
+    }
+
+    #[test]
+    fn calibration_and_router_metrics_flow_through() {
+        let mut state = AppState::default();
+        let metrics = "engine_plan_cache_hits 90\nengine_plan_cache_misses 10\n\
+                       engine_plan_cache_entries 4\n\
+                       router_recalibration_total{protocol=\"sqrt-fknn\",k_bucket=\"2^8\",bound=\"bits\"} 2\n\
+                       router_drift_total{protocol=\"sqrt-fknn\",k_bucket=\"2^8\"} 1\n\
+                       conformance_checks_total 100\n\
+                       conformance_violations_total{protocol=\"sqrt-fknn\",bound=\"bits\"} 3\n";
+        let calibration = "{\"entries\":[{\"protocol\":\"sqrt-fknn\",\"k_bucket\":8,\
+                           \"samples\":64,\"bits_estimate\":2.9,\"bits_applied\":2.5,\
+                           \"rounds_estimate\":1.0,\"rounds_applied\":1.0,\
+                           \"recalibrations\":2,\"drifting\":true}]}";
+        let sample = Sample::from_bodies(
+            metrics,
+            &sessions_doc(5, 50),
+            calibration,
+            "{\"version\":\"0.1.0\",\"catalogue_size\":12,\"profile\":\"release\"}",
+            Some((503, "degraded: 1 calibration drift(s)\n")),
+        );
+        state.reduce(&sample, 1.0);
+        assert_eq!(state.plan_cache, (90, 10, 4));
+        assert_eq!(state.recalibrations, 2);
+        assert_eq!(state.drifts, 1);
+        assert_eq!(state.conformance_violations, 3);
+        assert_eq!(state.per_protocol[0].violations, 3);
+        assert_eq!(state.calibration.len(), 1);
+        assert_eq!(state.calibration[0].bucket, "2^8");
+        assert!(state.calibration[0].drifting);
+        assert_eq!(
+            state.version_line,
+            "intersect 0.1.0 (release, catalogue 12)"
+        );
+        assert_eq!(state.health_line, "degraded: 1 calibration drift(s)");
+    }
+
+    #[test]
+    fn history_rings_stay_bounded() {
+        let mut state = AppState::default();
+        let sample = Sample::from_bodies("", &sessions_doc(1, 1), "{}", "{}", Some((200, "ok\n")));
+        for _ in 0..(HISTORY + 20) {
+            state.reduce(&sample, 1.0);
+        }
+        assert_eq!(state.throughput.len(), HISTORY);
+        assert_eq!(state.p99_history.len(), HISTORY);
+    }
+}

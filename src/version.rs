@@ -1,0 +1,87 @@
+//! Build identity for the telemetry plane.
+//!
+//! Scrapes and TUI captures are only comparable when they are labelled
+//! with what produced them; this module is the one place that identity
+//! is defined. The `/version` endpoint serves [`version_json`] and the
+//! `build_info` gauge puts the same identity on `/metrics` (value 1,
+//! identity in the labels — the standard Prometheus idiom).
+
+use intersect_core::api::ProtocolChoice;
+use intersect_engine::router::MAX_TREE_ROUNDS;
+use intersect_obs as obs;
+use intersect_obs::metrics::labeled;
+
+/// The facade crate's version (all workspace members share it).
+pub const VERSION: &str = env!("CARGO_PKG_VERSION");
+
+/// `"debug"` or `"release"` — which profile this binary was built with.
+pub fn build_profile() -> &'static str {
+    if cfg!(debug_assertions) {
+        "debug"
+    } else {
+        "release"
+    }
+}
+
+/// Number of protocols the auto-router considers (the catalogue at the
+/// router's tree-round budget).
+pub fn catalogue_size() -> usize {
+    ProtocolChoice::all(MAX_TREE_ROUNDS).len()
+}
+
+/// The `/version` endpoint body: crate version, catalogue size, and
+/// build profile as one JSON object.
+pub fn version_json() -> String {
+    format!(
+        "{{\"version\":\"{}\",\"catalogue_size\":{},\"profile\":\"{}\"}}",
+        VERSION,
+        catalogue_size(),
+        build_profile()
+    )
+}
+
+/// Sets the `build_info` gauge (value 1, identity in the labels) on the
+/// installed metrics registry and registers its `# HELP` text. Call
+/// once after installing a subscriber; a no-op without one.
+pub fn register_build_info() {
+    obs::describe(
+        "build_info",
+        "Build identity: constant 1 labelled with version and profile",
+    );
+    obs::gauge_set(
+        &labeled(
+            "build_info",
+            &[("version", VERSION), ("profile", build_profile())],
+        ),
+        1,
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn version_json_is_parseable_and_complete() {
+        let v: serde_json::Value = serde_json::from_str(&version_json()).unwrap();
+        assert_eq!(v["version"].as_str(), Some(VERSION));
+        assert_eq!(v["catalogue_size"].as_u64(), Some(catalogue_size() as u64));
+        let profile = v["profile"].as_str();
+        assert!(profile == Some("debug") || profile == Some("release"));
+        assert!(catalogue_size() >= 8, "catalogue shrank?");
+    }
+
+    #[test]
+    fn build_info_gauge_lands_on_the_registry() {
+        let sub = intersect_obs::Subscriber::new();
+        let _g = sub.install();
+        register_build_info();
+        let key = format!(
+            "build_info{{version=\"{}\",profile=\"{}\"}}",
+            VERSION,
+            build_profile()
+        );
+        assert_eq!(sub.metrics().gauge(&key), 1);
+        assert!(sub.metrics().help_snapshot().contains_key("build_info"));
+    }
+}

@@ -1,0 +1,156 @@
+//! Lint for the `/metrics` exposition: every series the system exports
+//! under live traffic must carry `# HELP` and `# TYPE` headers for its
+//! family, and no family or sample may appear twice.
+//!
+//! The workload below is chosen to light up every metric family the
+//! serve path can emit — engine counters, plan cache, conformance,
+//! calibration (including a forced recalibration so the labelled
+//! `router_*` counters exist), and the `build_info` identity gauge. A
+//! metric registered without a matching `describe` call fails this test;
+//! so does a `describe` for a family that no longer exists.
+
+use intersect::engine::calibration::k_bucket;
+use intersect::engine::prelude::*;
+use intersect::engine::{CalibrationConfig, EngineConfig};
+use intersect::obs;
+use intersect_core::sets::ProblemSpec;
+use std::collections::BTreeSet;
+
+/// Drives a small mixed workload with conformance + calibration armed
+/// and a deliberate miscalibration (so recalibration/drift counters
+/// fire), then renders the exposition exactly as `/metrics` would.
+fn live_exposition() -> String {
+    let sub = obs::Subscriber::new();
+    let _guard = sub.install();
+    intersect::version::register_build_info();
+
+    let mut config = EngineConfig::new(2);
+    config.conformance = Some(Default::default());
+    config.calibration = Some(CalibrationConfig::default());
+    let engine = Engine::start(config);
+    let calibrator = engine.calibrator().expect("calibration armed");
+    // An 8x inflation on the disjoint regime's winner guarantees at
+    // least one hysteresis snap while the residuals fold it back.
+    calibrator.inject(
+        intersect::core::api::ProtocolChoice::Sqrt,
+        k_bucket(1 << 10),
+        8.0,
+    );
+    for id in 0..48u64 {
+        let (k, overlap) = if id % 2 == 0 { (1 << 10, 0) } else { (64, 60) };
+        let mut req = SessionRequest::new(id, ProblemSpec::new(1 << 30, k), overlap);
+        req.seed = id + 1;
+        engine.submit(req).expect("engine is accepting");
+    }
+    engine.finish();
+
+    // Honest traffic never drifts, so fold sustained 4x residuals through
+    // a standalone calibrator to light up the drift counter family too.
+    let drifty = intersect::engine::Calibrator::new(CalibrationConfig::default());
+    let choice = intersect::core::api::ProtocolChoice::OneRound;
+    let spec = ProblemSpec::new(1 << 20, 256);
+    let predicted = choice.predicted_cost(spec, None);
+    for _ in 0..24 {
+        drifty.fold(
+            choice,
+            spec.k,
+            predicted,
+            (predicted.bits * 4.0) as u64,
+            (predicted.rounds * 4.0).ceil() as u64,
+        );
+    }
+
+    obs::export::prometheus_with_help(&sub.metrics().snapshot(), &sub.metrics().help_snapshot())
+}
+
+/// The family a sample belongs to: its base name, except that summary
+/// component samples (`X_sum`, `X_count`, `X_min`, `X_max`) belong to
+/// the summary family `X` they were rendered from.
+fn family_of<'a>(base: &'a str, summaries: &BTreeSet<String>) -> &'a str {
+    for suffix in ["_sum", "_count", "_min", "_max"] {
+        if let Some(stem) = base.strip_suffix(suffix) {
+            if summaries.contains(stem) {
+                return stem;
+            }
+        }
+    }
+    base
+}
+
+#[test]
+fn every_exported_series_has_help_and_type_and_no_duplicates() {
+    let text = live_exposition();
+    assert!(!text.is_empty(), "the workload must export metrics");
+
+    let mut helped = BTreeSet::new();
+    let mut typed = BTreeSet::new();
+    let mut summaries = BTreeSet::new();
+    let mut samples = BTreeSet::new();
+
+    for line in text.lines() {
+        if let Some(rest) = line.strip_prefix("# HELP ") {
+            let name = rest.split_whitespace().next().expect("HELP names a family");
+            assert!(helped.insert(name.to_string()), "duplicate # HELP {name}");
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("# TYPE ") {
+            let mut parts = rest.split_whitespace();
+            let name = parts.next().expect("TYPE names a family");
+            let kind = parts.next().expect("TYPE carries a kind");
+            assert!(
+                ["counter", "gauge", "summary"].contains(&kind),
+                "unknown TYPE kind {kind} for {name}"
+            );
+            assert!(typed.insert(name.to_string()), "duplicate # TYPE {name}");
+            if kind == "summary" {
+                summaries.insert(name.to_string());
+            }
+            continue;
+        }
+        assert!(!line.starts_with('#'), "unexpected comment: {line}");
+        let key = line
+            .split_whitespace()
+            .next()
+            .unwrap_or_else(|| panic!("malformed sample line: {line:?}"));
+        assert!(samples.insert(key.to_string()), "duplicate sample {key}");
+
+        let base = key.split('{').next().expect("split never yields empty");
+        let family = family_of(base, &summaries);
+        assert!(
+            typed.contains(family),
+            "series {key} has no # TYPE for family {family}"
+        );
+        assert!(
+            helped.contains(family),
+            "series {key} has no # HELP for family {family} — \
+             register one with MetricsRegistry::describe"
+        );
+    }
+
+    // No orphaned headers: every described family exported something.
+    for family in &helped {
+        let has_sample = samples.iter().any(|key| {
+            let base = key.split('{').next().expect("non-empty");
+            family_of(base, &summaries) == family.as_str()
+        });
+        assert!(
+            has_sample,
+            "# HELP {family} has no samples in this workload"
+        );
+    }
+
+    // The families this PR is specifically about must be present.
+    for expected in [
+        "build_info",
+        "router_recalibration_total",
+        "router_drift_total",
+        "router_correction_factor_milli",
+        "router_residual_bits_permille",
+        "conformance_checks_total",
+    ] {
+        assert!(
+            typed.contains(expected),
+            "expected family {expected} missing from the exposition"
+        );
+    }
+}
