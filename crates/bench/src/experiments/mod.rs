@@ -145,6 +145,11 @@ pub fn all() -> Vec<Experiment> {
             run: calib_exp::e22,
         },
         Experiment {
+            id: "E23",
+            claim: "Pair streams: setup bits amortize across sessions; pipelined blocks beat the batch baseline",
+            run: throughput_exp::e23,
+        },
+        Experiment {
             id: "A1",
             claim: "Ablation: iterated-log degree schedule vs uniform tree",
             run: ablations::a1,
@@ -181,7 +186,8 @@ mod tests {
         let ids: Vec<&str> = all().iter().map(|e| e.id).collect();
         for want in [
             "E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "E12", "E13",
-            "E14", "E15", "E16", "E17", "E18", "E19", "E20", "E21", "E22", "A1", "A2", "A3", "A4",
+            "E14", "E15", "E16", "E17", "E18", "E19", "E20", "E21", "E22", "E23", "A1", "A2", "A3",
+            "A4",
         ] {
             assert!(ids.contains(&want), "missing {want}");
         }

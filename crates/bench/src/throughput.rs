@@ -146,6 +146,58 @@ pub struct NetworkSample {
     pub total_bits: u64,
 }
 
+/// One amortized-path sample: the identical 64-deep workload served
+/// with a per-session fin-rendezvous (`batch64`) or pipelined on a pair
+/// stream with rendezvous only at the block boundary (`stream64`).
+#[derive(Debug, Clone, Serialize)]
+pub struct AmortizedSample {
+    /// Workload × submission path: `runner_{workload}_{path}` for
+    /// workload ∈ {`handshake` (ping-pong), `exchange` (simultaneous),
+    /// `oneway` (one-message sketch shape)} and path ∈ {`batch64`,
+    /// `stream64`}.
+    pub label: String,
+    /// Sessions completed.
+    pub sessions: u64,
+    /// Mean wall-clock nanoseconds per session.
+    pub ns_per_session: f64,
+    /// Sessions per second.
+    pub sessions_per_sec: f64,
+    /// Throughput relative to the recorded PR-5
+    /// `runner_handshake_batch64` baseline.
+    pub speedup_vs_pr5: f64,
+}
+
+/// One point of the Newman setup-amortization curve: private-coin
+/// overhead (universe reduction + session seed, Theorem 3.1) paid once
+/// per pair instead of once per session.
+#[derive(Debug, Clone, Serialize)]
+pub struct AmortizedBitsPoint {
+    /// Streamed sessions sharing one `PairRandomness` state.
+    pub sessions: u64,
+    /// Total bits moved by the whole stream.
+    pub total_bits: u64,
+    /// `total_bits / sessions` — must bend below the one-shot cost.
+    pub amortized_bits_per_session: f64,
+    /// What the same session costs one-shot (setup re-paid every time).
+    pub one_shot_bits_per_session: f64,
+}
+
+/// The `amortized` section of `BENCH_throughput.json`: streamed
+/// pair-scoped sessions vs the PR-5 batch baseline, plus the
+/// setup-bits amortization curve.
+#[derive(Debug, Clone, Serialize)]
+pub struct AmortizedReport {
+    /// The PR-5 `runner_handshake_batch64` sessions/s recorded in the
+    /// committed report when the batch path landed.
+    pub baseline_pr5_sessions_per_s: f64,
+    /// Batch-vs-stream throughput on the handshake (ping-pong,
+    /// latency-coupled) and exchange (simultaneous, pipelinable)
+    /// workloads.
+    pub throughput: Vec<AmortizedSample>,
+    /// Newman private-coin setup amortization over stream length.
+    pub newman_setup: Vec<AmortizedBitsPoint>,
+}
+
 /// The full report serialized into `BENCH_throughput.json`.
 #[derive(Debug, Clone, Serialize)]
 pub struct ThroughputReport {
@@ -161,6 +213,9 @@ pub struct ThroughputReport {
     pub prepared: Vec<PreparedSample>,
     /// Network-transport samples: remote sessions over loopback TCP.
     pub network: Vec<NetworkSample>,
+    /// Pair-stream amortization: batch vs stream throughput and the
+    /// setup-bits curve.
+    pub amortized: AmortizedReport,
     /// The pre-rework numbers, embedded so the report is self-contained.
     pub before: BaselineReport,
 }
@@ -507,6 +562,195 @@ pub fn session_path(sessions: u64, count: fn() -> u64) -> Vec<SessionPathSample>
     out
 }
 
+/// The PR-5 `runner_handshake_batch64` sessions/s recorded in the
+/// committed `BENCH_throughput.json` when the batch submission path
+/// landed: the baseline the pair-stream path is measured against.
+pub const PR5_BATCH64_PER_SEC: f64 = 202_600.0;
+
+/// The simultaneous-exchange session half: send this side's word, then
+/// receive the peer's. Unlike the handshake ping-pong there is no
+/// serialization between the directions, so streamed sessions pipeline.
+fn exchange_half(chan: &mut dyn Chan, word: u64) -> Result<u64, ProtocolError> {
+    let mut m = BitBuf::with_capacity(32);
+    m.push_bits(word & 0xffff_ffff, 32);
+    chan.send(m)?;
+    Ok(chan.recv()?.reader().read_bits(32)?)
+}
+
+/// Batch vs stream throughput on one warm runner, 64 sessions per
+/// submission either way. The batch path pays a fin-rendezvous per
+/// session; the stream path rearms the endpoints between sessions and
+/// rendezvouses once per block, so the two halves pipeline — as deep as
+/// the workload's dataflow allows. Three workloads bound the effect:
+/// the handshake ping-pong serializes on every echo, the simultaneous
+/// exchange overlaps the directions, and the one-way workload (the
+/// shape of a one-message sketch stream, cf. E13) never blocks the
+/// sending half at all.
+pub fn amortized_samples(sessions: u64) -> Vec<AmortizedSample> {
+    let mut runner = SessionRunner::start();
+    for i in 0..64 {
+        runner
+            .run(
+                &RunConfig::with_seed(i),
+                |chan: &mut Endpoint, _: &CoinSource| handshake_alice(chan),
+                |chan: &mut Endpoint, _: &CoinSource| handshake_bob(chan),
+            )
+            .expect("warmup handshake");
+    }
+    let seeds: Vec<u64> = (0..sessions).collect();
+    let mut out = Vec::new();
+    for (label, streamed, workload) in [
+        ("runner_handshake_batch64", false, "handshake"),
+        ("runner_handshake_stream64", true, "handshake"),
+        ("runner_exchange_batch64", false, "exchange"),
+        ("runner_exchange_stream64", true, "exchange"),
+        ("runner_oneway_batch64", false, "oneway"),
+        ("runner_oneway_stream64", true, "oneway"),
+    ] {
+        let t0 = Instant::now();
+        for chunk in seeds.chunks(64) {
+            let cfg = RunConfig::with_seed(chunk[0]);
+            let alice = |i: usize, chan: &mut Endpoint, _: &CoinSource| match workload {
+                "handshake" => handshake_alice(chan),
+                "exchange" => exchange_half(chan, i as u64),
+                _ => {
+                    // One-way: send and move on — nothing blocks this
+                    // half, so streamed sessions pipeline arbitrarily
+                    // deep (the shape of a one-message sketch stream).
+                    let mut m = BitBuf::with_capacity(32);
+                    m.push_bits(i as u64 & 0xffff_ffff, 32);
+                    chan.send(m)?;
+                    Ok(i as u64)
+                }
+            };
+            let bob = move |i: usize, chan: &mut Endpoint, _: &CoinSource| match workload {
+                "handshake" => handshake_bob(chan).map(|()| 0),
+                "exchange" => exchange_half(chan, !(i as u64)),
+                _ => Ok(chan.recv()?.reader().read_bits(32)?),
+            };
+            let parts = if streamed {
+                runner.run_stream_parts(&cfg, chunk, alice, bob)
+            } else {
+                runner.run_batch_parts(&cfg, chunk, alice, bob)
+            }
+            .expect("amortized block");
+            for (i, p) in parts.iter().enumerate() {
+                match workload {
+                    "handshake" => {
+                        assert_eq!(
+                            *p.alice.as_ref().expect("alice half"),
+                            0xdead_beef,
+                            "{label}"
+                        )
+                    }
+                    "exchange" => assert_eq!(
+                        *p.alice.as_ref().expect("alice half"),
+                        !(i as u64) & 0xffff_ffff,
+                        "{label}"
+                    ),
+                    _ => assert_eq!(
+                        *p.bob.as_ref().expect("bob half"),
+                        i as u64 & 0xffff_ffff,
+                        "{label}"
+                    ),
+                }
+            }
+        }
+        let wall = t0.elapsed().as_nanos() as f64;
+        let per_sec = sessions as f64 / (wall / 1e9);
+        out.push(AmortizedSample {
+            label: label.to_string(),
+            sessions,
+            ns_per_session: wall / sessions as f64,
+            sessions_per_sec: per_sec,
+            speedup_vs_pr5: per_sec / PR5_BATCH64_PER_SEC,
+        });
+    }
+    out
+}
+
+/// The Newman setup-amortization curve: `N` private-coin sessions
+/// streamed over one `PairRandomness` state vs `N` one-shot sessions.
+/// The universe reduction and session seed cross the wire in session 0
+/// only, so amortized bits/session must decrease in `N` and sit below
+/// the one-shot cost for every `N ≥ 2`.
+pub fn amortized_bits_curve() -> Vec<AmortizedBitsPoint> {
+    use intersect_core::api::SetIntersection;
+    use intersect_core::newman::PrivateCoin;
+    use intersect_core::trivial::TrivialExchange;
+
+    let spec = ProblemSpec::new(1 << 20, 16);
+    let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(0x5eed);
+    let pair = InputPair::random_with_overlap(&mut rng, spec, 16, 4);
+    let truth = pair.ground_truth();
+    let proto = PrivateCoin::new(TrivialExchange::default());
+    let one = run_two_party(
+        &RunConfig::with_seed(7),
+        |chan, coins| proto.run(chan, coins, Side::Alice, spec, &pair.s),
+        |chan, coins| proto.run(chan, coins, Side::Bob, spec, &pair.t),
+    )
+    .expect("one-shot newman session");
+    assert_eq!(one.alice, truth, "one-shot session must be correct");
+    let one_bits = one.report.total_bits();
+
+    [1u64, 2, 4, 8, 16, 32]
+        .iter()
+        .map(|&n| {
+            let run = run_two_party(
+                &RunConfig::with_seed(7),
+                |chan, coins| {
+                    let mut state = None;
+                    let mut out = None;
+                    for _ in 0..n {
+                        out = Some(proto.run_streamed(
+                            chan,
+                            coins,
+                            Side::Alice,
+                            spec,
+                            &pair.s,
+                            &mut state,
+                        )?);
+                    }
+                    Ok(out.expect("n >= 1"))
+                },
+                |chan, coins| {
+                    let mut state = None;
+                    let mut out = None;
+                    for _ in 0..n {
+                        out = Some(proto.run_streamed(
+                            chan,
+                            coins,
+                            Side::Bob,
+                            spec,
+                            &pair.t,
+                            &mut state,
+                        )?);
+                    }
+                    Ok(out.expect("n >= 1"))
+                },
+            )
+            .expect("streamed newman sessions");
+            assert_eq!(run.alice, truth, "streamed sessions must stay correct");
+            let total = run.report.total_bits();
+            AmortizedBitsPoint {
+                sessions: n,
+                total_bits: total,
+                amortized_bits_per_session: total as f64 / n as f64,
+                one_shot_bits_per_session: one_bits as f64,
+            }
+        })
+        .collect()
+}
+
+/// The `amortized` report section: throughput rows plus the setup curve.
+pub fn amortized_report(sessions: u64) -> AmortizedReport {
+    AmortizedReport {
+        baseline_pr5_sessions_per_s: PR5_BATCH64_PER_SEC,
+        throughput: amortized_samples(sessions),
+        newman_setup: amortized_bits_curve(),
+    }
+}
+
 /// The protocols the cold-vs-warm comparison covers: one per plan shape
 /// (trivial fallback, one-round hash family, tree layout, √k buckets).
 pub fn prepared_protocols() -> Vec<ProtocolChoice> {
@@ -822,6 +1066,7 @@ pub fn run(quick: bool, count: fn() -> u64) -> ThroughputReport {
             count,
         ),
         network: network_samples(if quick { 64 } else { 400 }),
+        amortized: amortized_report(params.sessions),
         before: seed_baseline(),
     }
 }

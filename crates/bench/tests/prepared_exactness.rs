@@ -163,3 +163,53 @@ fn cached_plans_transmit_byte_identical_transcripts_across_the_catalogue() {
         "each catalogue cell looked up twice: one miss, one hit"
     );
 }
+
+/// The pair-stream contract: session `i` of a stream is **bit-identical**
+/// to a one-shot prepared run with the pure derived seed
+/// `stream_session_seed(pair_seed, i)` — streaming amortizes setup, it
+/// never changes what crosses the wire. Checked over the whole catalogue
+/// at `k ∈ {16, 64, 256}` with several distinct-input sessions per pair.
+#[test]
+fn streamed_sessions_match_one_shot_prepared_runs_across_the_catalogue() {
+    use intersect_comm::coins::stream_session_seed;
+
+    let cache = PlanCache::new();
+    for choice in ProtocolChoice::all(3) {
+        for k in [16u64, 64, 256] {
+            let spec = ProblemSpec::new(1 << 20, k);
+            let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(k ^ 0x57ee);
+            let pairs: Vec<InputPair> = (0..4)
+                .map(|i| {
+                    InputPair::random_with_overlap(
+                        &mut rng,
+                        spec,
+                        k as usize,
+                        ((k / 4 + i) % (k + 1)) as usize,
+                    )
+                })
+                .collect();
+
+            let plan = cache.get_or_prepare(choice, spec);
+            let pair_seed = 0xab00 + k;
+            let ctx = PairContext::new(Arc::clone(&plan), pair_seed);
+            let streamed = execute_prepared_stream(&ctx, &pairs).expect("stream executes");
+            assert_eq!(streamed.len(), pairs.len());
+
+            for (i, (pair, run)) in pairs.iter().zip(&streamed).enumerate() {
+                let cell = format!("{choice} k={k} session={i}");
+                let run = run.as_ref().unwrap_or_else(|e| panic!("{cell}: {e}"));
+                let one_shot =
+                    execute_prepared(&plan, pair, stream_session_seed(pair_seed, i as u64))
+                        .unwrap_or_else(|e| panic!("{cell} one-shot: {e}"));
+                assert_eq!(run.report, one_shot.report, "{cell}: cost report differs");
+                assert_eq!(run.alice, one_shot.alice, "{cell}: alice output differs");
+                assert_eq!(run.bob, one_shot.bob, "{cell}: bob output differs");
+            }
+            assert_eq!(
+                ctx.sessions(),
+                pairs.len() as u64,
+                "{choice} k={k}: context must account every drawn session"
+            );
+        }
+    }
+}

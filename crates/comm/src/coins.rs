@@ -129,6 +129,126 @@ impl CoinSource {
     }
 }
 
+/// The seed of stream session `index` for a pair whose correlated
+/// randomness is rooted at `pair_seed`.
+///
+/// A *stream* is many sessions run by one client pair off a single
+/// shared root. Deriving each session's common random string as a pure
+/// function of `(pair_seed, index)` is what makes cross-session
+/// amortization exact: a streamed session is bit-identical to a
+/// one-shot run seeded with `stream_session_seed(pair_seed, index)`,
+/// so precomputing blocks of these seeds (and anything sampled from
+/// them) off the hot path can never change a transcript.
+///
+/// # Examples
+///
+/// ```
+/// use intersect_comm::coins::{stream_session_seed, CoinSource};
+///
+/// let s = stream_session_seed(42, 7);
+/// // Pure: the same pair and index always yield the same seed …
+/// assert_eq!(s, stream_session_seed(42, 7));
+/// // … and the derived coins match a one-shot source with that seed.
+/// assert_eq!(CoinSource::from_seed(s), CoinSource::from_seed(s));
+/// assert_ne!(s, stream_session_seed(42, 8));
+/// assert_ne!(s, stream_session_seed(43, 7));
+/// ```
+pub fn stream_session_seed(pair_seed: u64, index: u64) -> u64 {
+    CoinSource::from_seed(pair_seed)
+        .fork("stream")
+        .fork_index(index)
+        .mix64(index, 0x73_74_72_65_61_6d) // "stream"
+}
+
+/// How many session seeds a [`CoinBlock`] pre-derives per refill.
+pub const COIN_BLOCK_LEN: usize = 64;
+
+/// A pre-forked block of per-session coin seeds for one client pair.
+///
+/// The offline/online split: a pair context fills a whole block of
+/// [`stream_session_seed`]s in one step (the *offline* phase), and the
+/// per-session hot path only indexes into it. When a session index
+/// falls outside the current block the block refills deterministically
+/// — the seeds depend only on `(pair_seed, index)`, never on refill
+/// history — and the refill is counted (`coin_block_refills_total`).
+///
+/// # Examples
+///
+/// ```
+/// use intersect_comm::coins::{stream_session_seed, CoinBlock, COIN_BLOCK_LEN};
+///
+/// let mut block = CoinBlock::new(9);
+/// assert_eq!(block.session_seed(3), stream_session_seed(9, 3));
+/// // Jumping far ahead refills, deterministically.
+/// let far = 10 * COIN_BLOCK_LEN as u64 + 5;
+/// assert_eq!(block.session_seed(far), stream_session_seed(9, far));
+/// assert_eq!(block.refills(), 1);
+/// ```
+#[derive(Debug, Clone)]
+pub struct CoinBlock {
+    pair_seed: u64,
+    base: u64,
+    seeds: Vec<u64>,
+    refills: u64,
+}
+
+impl CoinBlock {
+    /// Pre-derives the first block of session seeds for `pair_seed`.
+    pub fn new(pair_seed: u64) -> CoinBlock {
+        let mut block = CoinBlock {
+            pair_seed,
+            base: 0,
+            seeds: Vec::with_capacity(COIN_BLOCK_LEN),
+            refills: 0,
+        };
+        block.fill(0);
+        block
+    }
+
+    fn fill(&mut self, base: u64) {
+        self.base = base;
+        self.seeds.clear();
+        self.seeds.extend(
+            (base..base.saturating_add(COIN_BLOCK_LEN as u64))
+                .map(|i| stream_session_seed(self.pair_seed, i)),
+        );
+    }
+
+    /// The seed of stream session `index`, refilling the block if the
+    /// index lies outside it. Always equals
+    /// `stream_session_seed(self.pair_seed(), index)`.
+    pub fn session_seed(&mut self, index: u64) -> u64 {
+        if index < self.base || index >= self.base + self.seeds.len() as u64 {
+            self.fill(index - index % COIN_BLOCK_LEN as u64);
+            self.refills += 1;
+            intersect_obs::counter_add("coin_block_refills_total", 1);
+        }
+        self.seeds[(index - self.base) as usize]
+    }
+
+    /// The seeds of sessions `start .. start + count`, in order.
+    pub fn take(&mut self, start: u64, count: usize) -> Vec<u64> {
+        (start..start + count as u64)
+            .map(|i| self.session_seed(i))
+            .collect()
+    }
+
+    /// The pair seed this block derives from.
+    pub fn pair_seed(&self) -> u64 {
+        self.pair_seed
+    }
+
+    /// First session index of the current block.
+    pub fn base(&self) -> u64 {
+        self.base
+    }
+
+    /// How many times the block has refilled since construction.
+    pub fn refills(&self) -> u64 {
+        self.refills
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -187,6 +307,44 @@ mod tests {
     fn fork_is_pure() {
         let root = CoinSource::from_seed(11);
         assert_eq!(root.fork("same"), root.fork("same"));
+    }
+
+    #[test]
+    fn stream_seeds_are_pure_and_distinct() {
+        let mut seen = std::collections::HashSet::new();
+        for i in 0..1000u64 {
+            let s = stream_session_seed(77, i);
+            assert_eq!(s, stream_session_seed(77, i), "pure at {i}");
+            assert!(seen.insert(s), "collision at {i}");
+        }
+        assert_ne!(stream_session_seed(1, 0), stream_session_seed(2, 0));
+    }
+
+    #[test]
+    fn coin_block_matches_direct_derivation_across_refills() {
+        let mut block = CoinBlock::new(5);
+        // In-block, sequential, random-access, and far-jump indices all
+        // agree with the pure derivation.
+        for i in [0u64, 3, 63, 64, 65, 200, 1, 4096, 4097] {
+            assert_eq!(block.session_seed(i), stream_session_seed(5, i), "{i}");
+        }
+        assert!(block.refills() >= 4, "jumps must refill");
+        // Refill history never perturbs the seeds.
+        let mut fresh = CoinBlock::new(5);
+        assert_eq!(fresh.session_seed(4097), block.session_seed(4097));
+    }
+
+    #[test]
+    fn coin_block_take_is_contiguous_and_refill_counted() {
+        let mut block = CoinBlock::new(11);
+        let seeds = block.take(60, 10); // spans a block boundary
+        assert_eq!(seeds.len(), 10);
+        for (j, &s) in seeds.iter().enumerate() {
+            assert_eq!(s, stream_session_seed(11, 60 + j as u64));
+        }
+        assert_eq!(block.refills(), 1, "crossed into the next block once");
+        assert_eq!(block.pair_seed(), 11);
+        assert_eq!(block.base(), 64);
     }
 
     #[test]

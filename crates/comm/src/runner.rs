@@ -343,6 +343,11 @@ enum JobKind {
     /// Back-to-back sessions separated by fin rendezvous, one coin
     /// source each.
     Batch(Vec<CoinSource>, BatchBobFn),
+    /// Pipelined sessions with **no** per-session rendezvous: counters
+    /// rearm between sessions but neither side waits for the other, so
+    /// a side can run ahead and amortize wakeups over many sessions.
+    /// One fin each way closes the whole stream.
+    Stream(Vec<CoinSource>, BatchBobFn),
 }
 
 struct Job {
@@ -360,6 +365,9 @@ type SessionDone = (Result<Box<dyn Any + Send>, ProtocolError>, ChannelStats);
 enum Done {
     Single(SessionDone),
     Batch(Vec<SessionDone>),
+    /// Stream results plus whether the worker finished every session
+    /// and saw the peer's closing fin (`clean`).
+    Stream(Vec<SessionDone>, bool),
 }
 
 /// A reusable two-party session executor: one long-lived paired thread
@@ -462,6 +470,29 @@ impl SessionRunner {
                             }
                         }
                         Done::Batch(results)
+                    }
+                    JobKind::Stream(coins, mut bob) => {
+                        let mut results = Vec::with_capacity(coins.len());
+                        for (i, c) in coins.iter().enumerate() {
+                            if i > 0 {
+                                ep_b.rearm(job.budget, job.timeout);
+                            }
+                            let res = contain(
+                                Side::Bob,
+                                catch_unwind(AssertUnwindSafe(|| bob(i, &mut ep_b, c))),
+                            );
+                            let failed = res.is_err();
+                            results.push((res, ep_b.stats()));
+                            if failed {
+                                // A failed session desynchronizes an
+                                // unfenced stream: abort the rest.
+                                break;
+                            }
+                        }
+                        // One rendezvous closes the whole stream.
+                        ep_b.send_fin();
+                        let clean = results.len() == coins.len() && ep_b.drain_to_fin().is_ok();
+                        Done::Stream(results, clean)
                     }
                 };
                 if done_tx.send(done).is_err() {
@@ -612,6 +643,116 @@ impl SessionRunner {
                 report: assemble_report(stats_a, stats_b),
             })
             .collect())
+    }
+
+    /// Runs a *stream* of back-to-back sessions over the warm pair with
+    /// **no per-session rendezvous**: sessions are separated only by a
+    /// counter rearm, so neither side waits for the other between
+    /// sessions. Protocols whose halves don't strictly alternate (a
+    /// side sends before it receives) pipeline across the pair — one
+    /// thread wakeup then covers a burst of sessions instead of two
+    /// context switches per session, which is where the streamed-batch
+    /// throughput win comes from. One fin each way closes the stream.
+    ///
+    /// Exactness is unchanged: session `i` is bit-for-bit identical to
+    /// a dedicated [`run_two_party`] with `RunConfig { seed: seeds[i],
+    /// ..cfg }` — counters rearm from zero per session, each side's
+    /// sends stamp depths from its own per-session clock, and receive
+    /// metering happens at `recv` time, after the receiver's own rearm,
+    /// so every bit lands in the right session no matter how far the
+    /// peer ran ahead.
+    ///
+    /// The price of dropping the fence is failure isolation: a session
+    /// that fails on either side desynchronizes the stream, so the
+    /// stream **aborts** at the first failure. The returned vector is
+    /// then shorter than `seeds` (it ends with the failing session as
+    /// observed by both sides, possibly truncated) and the runner is
+    /// marked [broken](Self::is_broken) — callers retire it and fall
+    /// back to the fenced batch path for the remainder.
+    ///
+    /// # Errors
+    ///
+    /// Fails only if the runner infrastructure itself breaks (worker
+    /// thread death); protocol failures surface as described above.
+    pub fn run_stream_parts<FA, FB, A, B>(
+        &mut self,
+        cfg: &RunConfig,
+        seeds: &[u64],
+        mut alice: FA,
+        mut bob: FB,
+    ) -> Result<Vec<SessionParts<A, B>>, ProtocolError>
+    where
+        FA: FnMut(usize, &mut Endpoint, &CoinSource) -> Result<A, ProtocolError>,
+        FB: FnMut(usize, &mut Endpoint, &CoinSource) -> Result<B, ProtocolError> + Send + 'static,
+        B: Send + 'static,
+    {
+        if seeds.is_empty() {
+            return Ok(Vec::new());
+        }
+        let coins: Vec<CoinSource> = seeds.iter().map(|&s| CoinSource::from_seed(s)).collect();
+        let kind = JobKind::Stream(
+            coins.clone(),
+            Box::new(move |i, ep, c| bob(i, ep, c).map(|b| Box::new(b) as Box<dyn Any + Send>)),
+        );
+        self.begin_job(cfg, kind)?;
+        let mut halves: Vec<(Result<A, ProtocolError>, ChannelStats)> =
+            Vec::with_capacity(coins.len());
+        {
+            let _pool = self.ep_a.pool().clone().install();
+            for (i, c) in coins.iter().enumerate() {
+                if i > 0 {
+                    self.ep_a.rearm(cfg.bit_budget, cfg.timeout);
+                }
+                let res = contain(
+                    Side::Alice,
+                    catch_unwind(AssertUnwindSafe(|| alice(i, &mut self.ep_a, c))),
+                );
+                let failed = res.is_err();
+                halves.push((res, self.ep_a.stats()));
+                if failed {
+                    break;
+                }
+            }
+            self.ep_a.send_fin();
+            if halves.len() != coins.len() || self.ep_a.drain_to_fin().is_err() {
+                self.broken = true;
+            }
+        }
+        // The worker's blocking operations are timeout-bounded, so the
+        // stream report always arrives (possibly short and unclean).
+        let done = match self.done_rx.recv() {
+            Ok(Done::Stream(done, clean)) => {
+                if !clean {
+                    self.broken = true;
+                }
+                done
+            }
+            _ => {
+                self.broken = true;
+                return Err(self.broken_error());
+            }
+        };
+        if done.len() != halves.len() {
+            self.broken = true;
+        }
+        let n = done.len().min(halves.len());
+        Ok(halves
+            .into_iter()
+            .take(n)
+            .zip(done.into_iter().take(n))
+            .map(|((res_a, stats_a), (res_b, stats_b))| SessionParts {
+                alice: res_a,
+                bob: downcast_bob::<B>(res_b),
+                report: assemble_report(stats_a, stats_b),
+            })
+            .collect())
+    }
+
+    /// `true` once the runner has lost its paired thread or stream/batch
+    /// synchronization; a broken runner refuses further jobs and must be
+    /// replaced.
+    pub fn is_broken(&self) -> bool {
+        self.broken
     }
 
     /// Shared job kickoff: reset order matters — Alice's endpoint first
@@ -1056,6 +1197,150 @@ mod tests {
             )
             .unwrap();
         assert_eq!(out.bob, 2);
+    }
+
+    #[test]
+    fn stream_sessions_match_dedicated_runs_bit_for_bit() {
+        // An alternating handshake: the strictest shape for the
+        // no-rendezvous path because every recv really waits.
+        let alice = |i: usize, chan: &mut Endpoint, _: &CoinSource| {
+            chan.send(bits(i % 7 + 1))?;
+            let got = chan.recv()?;
+            chan.send(bits(got.len() + 1))?;
+            Ok(())
+        };
+        let bob = |i: usize, chan: &mut Endpoint, _: &CoinSource| {
+            let got = chan.recv()?;
+            chan.send(bits(got.len() + 2 + i % 3))?;
+            Ok(chan.recv()?.len())
+        };
+        let seeds: Vec<u64> = (0..32).collect();
+        let mut runner = SessionRunner::start();
+        let stream = runner
+            .run_stream_parts(&RunConfig::default(), &seeds, alice, bob)
+            .unwrap();
+        assert!(!runner.is_broken());
+        assert_eq!(stream.len(), seeds.len());
+        for (i, parts) in stream.into_iter().enumerate() {
+            let cfg = RunConfig::with_seed(seeds[i]);
+            let dedicated = run_two_party(
+                &cfg,
+                |chan, c| alice(i, chan, c),
+                move |chan: &mut Endpoint, c: &CoinSource| bob(i, chan, c),
+            )
+            .unwrap();
+            assert_eq!(parts.report, dedicated.report, "session {i}");
+            assert_eq!(parts.bob.unwrap(), dedicated.bob, "session {i}");
+        }
+    }
+
+    #[test]
+    fn stream_pipelines_simultaneous_exchange() {
+        // Both sides send before they receive: sessions pipeline (a side
+        // can run arbitrarily far ahead), yet rearm-at-sender plus
+        // meter-at-recv keeps every session's report exact.
+        let alice = |i: usize, chan: &mut Endpoint, _: &CoinSource| {
+            chan.send(bits(i % 5 + 1))?;
+            Ok(chan.recv()?.len())
+        };
+        let bob = |i: usize, chan: &mut Endpoint, _: &CoinSource| {
+            chan.send(bits(i % 3 + 2))?;
+            Ok(chan.recv()?.len())
+        };
+        let seeds: Vec<u64> = (100..164).collect();
+        let mut runner = SessionRunner::start();
+        let stream = runner
+            .run_stream_parts(&RunConfig::default(), &seeds, alice, bob)
+            .unwrap();
+        assert!(!runner.is_broken());
+        assert_eq!(stream.len(), seeds.len());
+        for (i, parts) in stream.into_iter().enumerate() {
+            let dedicated = run_two_party(
+                &RunConfig::with_seed(seeds[i]),
+                |chan, c| alice(i, chan, c),
+                move |chan: &mut Endpoint, c: &CoinSource| bob(i, chan, c),
+            )
+            .unwrap();
+            assert_eq!(parts.report, dedicated.report, "session {i}");
+            assert_eq!(parts.alice.unwrap(), dedicated.alice, "session {i}");
+            assert_eq!(parts.bob.unwrap(), dedicated.bob, "session {i}");
+        }
+    }
+
+    #[test]
+    fn stream_handles_one_way_sessions_with_alice_far_ahead() {
+        // Alice never receives, so she finishes the whole stream before
+        // Bob wakes: the closing fin must not be mistaken for data and
+        // every session's bits must still land in the right slot.
+        let alice = |i: usize, chan: &mut Endpoint, _: &CoinSource| {
+            chan.send(bits(i % 9 + 1))?;
+            Ok(())
+        };
+        let bob = |_: usize, chan: &mut Endpoint, _: &CoinSource| Ok(chan.recv()?.len());
+        let seeds: Vec<u64> = (0..48).collect();
+        let mut runner = SessionRunner::start();
+        let stream = runner
+            .run_stream_parts(&RunConfig::default(), &seeds, alice, bob)
+            .unwrap();
+        assert!(!runner.is_broken());
+        assert_eq!(stream.len(), seeds.len());
+        for (i, parts) in stream.into_iter().enumerate() {
+            assert_eq!(parts.bob.unwrap(), i % 9 + 1, "session {i}");
+            assert_eq!(parts.report.total_bits(), (i % 9 + 1) as u64);
+            assert_eq!(parts.report.rounds, 1);
+        }
+    }
+
+    #[test]
+    fn stream_aborts_at_first_failure_and_marks_runner_broken() {
+        let mut runner = SessionRunner::start();
+        let stream = runner
+            .run_stream_parts(
+                &RunConfig::default(),
+                &[0, 1, 2, 3],
+                |_, chan: &mut Endpoint, _| {
+                    chan.send(bits(4))?;
+                    Ok(chan.recv()?.len())
+                },
+                |i, chan: &mut Endpoint, _| {
+                    if i == 1 {
+                        return Err(ProtocolError::InvalidInput("session one bails".into()));
+                    }
+                    let got = chan.recv()?;
+                    chan.send(bits(got.len()))?;
+                    Ok(got.len())
+                },
+            )
+            .unwrap();
+        // Session 0 completed; session 1 failed on Bob's side; the
+        // stream aborted before sessions 2 and 3.
+        assert!(stream.len() < 4, "aborted stream is short");
+        assert!(stream[0].bob.is_ok());
+        assert!(runner.is_broken(), "an aborted stream retires the runner");
+        // A broken runner refuses the next job instead of hanging.
+        let err = runner
+            .run(
+                &RunConfig::with_seed(9),
+                |_, _| Ok(()),
+                |_, _| -> Result<(), ProtocolError> { Ok(()) },
+            )
+            .unwrap_err();
+        assert!(matches!(err, ProtocolError::Internal(_)));
+    }
+
+    #[test]
+    fn empty_stream_is_a_no_op() {
+        let mut runner = SessionRunner::start();
+        let stream: Vec<SessionParts<(), ()>> = runner
+            .run_stream_parts(
+                &RunConfig::default(),
+                &[],
+                |_, _, _| Ok(()),
+                |_, _, _| Ok(()),
+            )
+            .unwrap();
+        assert!(stream.is_empty());
+        assert!(!runner.is_broken());
     }
 
     #[test]

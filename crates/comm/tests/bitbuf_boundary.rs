@@ -7,8 +7,14 @@
 //! an allocation detail, never an observable.
 
 use intersect_comm::bits::{BitBuf, INLINE_BITS};
+use intersect_comm::chan::{Chan, Endpoint};
+use intersect_comm::coins::CoinSource;
+use intersect_comm::error::ProtocolError;
+use intersect_comm::runner::{RunConfig, SessionRunner};
 use std::collections::hash_map::DefaultHasher;
 use std::hash::{Hash, Hasher};
+use std::sync::Arc;
+use std::time::Duration;
 
 /// A deterministic bit pattern long enough to cross the boundary.
 fn pattern_bit(seed: u64, i: usize) -> bool {
@@ -155,6 +161,130 @@ fn reader_read_buf_crosses_the_boundary() {
     }
     for i in 0..second.len() {
         assert_eq!(second.get(i), Some(pattern_bit(21, INLINE_BITS - 1 + i)));
+    }
+}
+
+#[test]
+fn endpoint_pairs_recycle_spill_storage_through_the_shared_pool() {
+    // The pair's SpillPool is the reclaim path for spilled payloads:
+    // with it installed, dropping a spilled buffer shelves its storage
+    // (never leaks), re-spilling draws the same storage back (never
+    // double-recycles — the shelf count goes 0 → 1 → 0), and bits read
+    // from recycled storage are exact.
+    let (a, _b) = Endpoint::pair(None, Duration::from_secs(1));
+    let pool = Arc::clone(a.pool());
+    let scope = pool.install();
+    assert_eq!(pool.pooled(), 0);
+
+    let spilled = build(9, 3 * INLINE_BITS, 0);
+    drop(spilled);
+    assert_eq!(pool.pooled(), 1, "dropped spill storage must shelve");
+
+    let recycled = build(9, 3 * INLINE_BITS, 0);
+    assert_eq!(pool.pooled(), 0, "re-spilling must draw from the shelf");
+    for i in 0..recycled.len() {
+        assert_eq!(
+            recycled.get(i),
+            Some(pattern_bit(9, i)),
+            "bit {i} corrupted on recycled storage"
+        );
+    }
+
+    // An inline buffer has no spill storage and must not touch the pool.
+    drop(build(9, INLINE_BITS - 1, 0));
+    assert_eq!(pool.pooled(), 0);
+    drop(recycled);
+    assert_eq!(pool.pooled(), 1);
+    drop(scope);
+}
+
+/// Property test for the satellite contract: interleaved
+/// `Endpoint::reset`/`rearm` (driven through every reuse path of one
+/// `SessionRunner` — single runs, 64-style batches, pair streams) plus
+/// spill/reclaim through the shared pool never corrupts a payload. Each
+/// session moves payloads whose widths straddle `INLINE_BITS` from both
+/// sides of the boundary, and every echoed payload is compared to the
+/// deterministic pattern it was built from — a leak, double-recycle, or
+/// stale frame surviving a reset would surface as a mismatch or hang.
+#[test]
+fn interleaved_session_resets_and_spill_reclaim_stay_exact() {
+    let mut runner = SessionRunner::start();
+    for seed in 0..8u64 {
+        let mut state = seed.wrapping_mul(0x2545_f491_4f6c_dd1d) | 1;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        for round in 0..6u64 {
+            let depth = 1 + (next() % 5) as usize;
+            // Widths hug the inline→spill boundary from both sides so
+            // consecutive sessions keep migrating storage between the
+            // inline representation and the pool.
+            let widths: Vec<usize> = (0..depth)
+                .map(|_| match next() % 4 {
+                    0 => (next() % 64) as usize,
+                    1 => INLINE_BITS - 1 - (next() % 3) as usize,
+                    2 => INLINE_BITS + (next() % 3) as usize,
+                    _ => 2 * INLINE_BITS + (next() % 200) as usize,
+                })
+                .collect();
+            let pattern_seeds: Vec<u64> = (0..depth as u64)
+                .map(|i| seed * 1000 + round * 10 + i)
+                .collect();
+            let seeds: Vec<u64> = pattern_seeds.clone();
+
+            fn echo_bob(chan: &mut Endpoint, _: &CoinSource) -> Result<(), ProtocolError> {
+                let msg = chan.recv()?;
+                chan.send(msg)?;
+                Ok(())
+            }
+            let alice = |i: usize, chan: &mut Endpoint, _: &CoinSource| {
+                let sent = build(pattern_seeds[i], widths[i], 0);
+                chan.send(sent.clone())?;
+                let echo = chan.recv()?;
+                Ok(echo == sent)
+            };
+            let bob = |_: usize, chan: &mut Endpoint, coins: &CoinSource| echo_bob(chan, coins);
+
+            let cell = format!("seed {seed}, round {round}, depth {depth}");
+            let exact: Vec<bool> = match next() % 3 {
+                // Single run: full reset (drains the queue) per session.
+                0 => seeds
+                    .iter()
+                    .enumerate()
+                    .map(|(i, &s)| {
+                        runner
+                            .run(
+                                &RunConfig::with_seed(s),
+                                |chan: &mut Endpoint, c: &CoinSource| alice(i, chan, c),
+                                echo_bob,
+                            )
+                            .expect(&cell)
+                            .alice
+                    })
+                    .collect(),
+                // Batch: rearm + per-session fin rendezvous.
+                1 => runner
+                    .run_batch_parts(&RunConfig::with_seed(seeds[0]), &seeds, alice, bob)
+                    .expect(&cell)
+                    .into_iter()
+                    .map(|p| p.alice.expect(&cell))
+                    .collect(),
+                // Stream: rearm only, rendezvous at the block boundary.
+                _ => runner
+                    .run_stream_parts(&RunConfig::with_seed(seeds[0]), &seeds, alice, bob)
+                    .expect(&cell)
+                    .into_iter()
+                    .map(|p| p.alice.expect(&cell))
+                    .collect(),
+            };
+            assert_eq!(exact.len(), depth, "{cell}: session lost");
+            for (i, ok) in exact.iter().enumerate() {
+                assert!(ok, "{cell}: session {i} echoed a corrupted payload");
+            }
+        }
     }
 }
 

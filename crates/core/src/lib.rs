@@ -101,7 +101,8 @@ pub mod prelude {
     pub use crate::newman::PrivateCoin;
     pub use crate::one_round::OneRoundHash;
     pub use crate::prepared::{
-        execute_prepared, execute_prepared_batch, FallbackPlan, PreparedProtocol,
+        execute_prepared, execute_prepared_batch, execute_prepared_stream, FallbackPlan,
+        PairContext, PreparedProtocol, SessionCtx,
     };
     pub use crate::reconcile::IbltReconcile;
     pub use crate::sets::{ElementSet, InputPair, ProblemSpec};

@@ -13,14 +13,16 @@
 //! `O(k log(n/k))` exchange as `n/k` varies.
 
 use crate::iterlog::ceil_log2;
-use crate::prepared::PreparedProtocol;
+use crate::prepared::{PreparedProtocol, SessionCtx};
 use crate::sets::{ElementSet, ProblemSpec};
 use intersect_comm::chan::Chan;
 use intersect_comm::coins::CoinSource;
 use intersect_comm::encode::RiceSubsetCodec;
 use intersect_comm::error::ProtocolError;
 use intersect_comm::runner::Side;
-use intersect_hash::pairwise::PairwiseFamily;
+use intersect_hash::pairwise::{PairwiseFamily, PairwiseHash};
+use std::any::Any;
+use std::sync::Arc;
 
 /// The one-round (plus optional echo) hashing protocol.
 ///
@@ -125,13 +127,27 @@ impl OneRoundPlan {
         side: Side,
         input: &ElementSet,
     ) -> Result<ElementSet, ProtocolError> {
-        let spec = self.spec;
-        spec.validate(input).map_err(ProtocolError::InvalidInput)?;
-        let range = self.range;
         let g = self
             .family
             .as_ref()
-            .map(|family| family.sample(&mut coins.fork("g").rng(), range));
+            .map(|family| family.sample(&mut coins.fork("g").rng(), self.range));
+        self.execute_with_g(chan, g, side, input)
+    }
+
+    /// The bit-exchanging phase with the shared hash already drawn —
+    /// either just now ([`execute_with`](Self::execute_with)) or ahead
+    /// of time by [`presample`](PreparedProtocol::presample) from the
+    /// same coin fork.
+    fn execute_with_g(
+        &self,
+        chan: &mut dyn Chan,
+        g: Option<PairwiseHash>,
+        side: Side,
+        input: &ElementSet,
+    ) -> Result<ElementSet, ProtocolError> {
+        let spec = self.spec;
+        spec.validate(input).map_err(ProtocolError::InvalidInput)?;
+        let range = self.range;
         let g = move |x: u64| match &g {
             Some(h) => h.eval(x),
             None => x,
@@ -173,6 +189,13 @@ impl OneRoundPlan {
     }
 }
 
+/// One shared hash per session of a streamed block, drawn off the hot
+/// path from exactly the coin forks execution would use.
+#[derive(Debug)]
+struct OneRoundPresample {
+    g: Vec<PairwiseHash>,
+}
+
 impl PreparedProtocol for OneRoundPlan {
     fn name(&self) -> String {
         crate::api::SetIntersection::name(&self.proto)
@@ -192,6 +215,39 @@ impl PreparedProtocol for OneRoundPlan {
         // Same fork label as the `SetIntersection` impl, so prepared
         // and cold executions draw identical coins.
         self.execute_with(chan, &coins.fork("one-round"), side, input)
+    }
+
+    fn presample(&self, seeds: &[u64]) -> Option<Arc<dyn Any + Send + Sync>> {
+        // Replays, per seed, the exact draw `execute` would make online:
+        // fork "one-round" (the prepared entry point) then "g".
+        let family = self.family.as_ref()?;
+        let g = seeds
+            .iter()
+            .map(|&s| {
+                let mut rng = CoinSource::from_seed(s).fork("one-round").fork("g").rng();
+                family.sample(&mut rng, self.range)
+            })
+            .collect();
+        Some(Arc::new(OneRoundPresample { g }))
+    }
+
+    fn execute_in(
+        &self,
+        ctx: &SessionCtx<'_>,
+        chan: &mut dyn Chan,
+        coins: &CoinSource,
+        side: Side,
+        input: &ElementSet,
+    ) -> Result<ElementSet, ProtocolError> {
+        match ctx
+            .presampled
+            .and_then(|p| p.downcast_ref::<OneRoundPresample>())
+        {
+            Some(pre) if ctx.slot < pre.g.len() => {
+                self.execute_with_g(chan, Some(pre.g[ctx.slot].clone()), side, input)
+            }
+            _ => self.execute(chan, coins, side, input),
+        }
     }
 }
 
@@ -290,6 +346,29 @@ mod tests {
         assert_eq!(b.as_slice(), &[3]);
         assert_eq!(report.messages, 1);
         assert_eq!(report.rounds, 1);
+    }
+
+    #[test]
+    fn presampled_stream_matches_online_one_shot_runs() {
+        use crate::api::SetIntersection;
+        use crate::prepared::{execute_prepared, execute_prepared_stream, PairContext};
+        use intersect_comm::coins::stream_session_seed;
+        // n ≫ range, so the plan carries a hash family and the stream
+        // path really exercises presample + execute_in.
+        let spec = ProblemSpec::new(1 << 40, 32);
+        let proto = OneRoundHash::new(20);
+        let plan = proto.prepare(spec);
+        let ctx = PairContext::new(Arc::clone(&plan), 0xabcd);
+        let mut rng = ChaCha8Rng::seed_from_u64(9);
+        let pairs: Vec<InputPair> = (0..6)
+            .map(|i| InputPair::random_with_overlap(&mut rng, spec, 32, 5 * (i % 3)))
+            .collect();
+        let streamed = execute_prepared_stream(&ctx, &pairs).unwrap();
+        for (i, (pair, run)) in pairs.iter().zip(streamed).enumerate() {
+            let seed = stream_session_seed(0xabcd, i as u64);
+            let solo = execute_prepared(&plan, pair, seed).unwrap();
+            assert_eq!(run.unwrap(), solo, "session {i}");
+        }
     }
 
     #[test]

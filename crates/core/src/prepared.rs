@@ -28,11 +28,14 @@
 use crate::api::SetIntersection;
 use crate::sets::{ElementSet, InputPair, ProblemSpec};
 use intersect_comm::chan::Chan;
-use intersect_comm::coins::CoinSource;
+use intersect_comm::coins::{CoinBlock, CoinSource};
 use intersect_comm::error::ProtocolError;
 use intersect_comm::runner::{RunConfig, SessionParts, SessionRunner, Side};
+use intersect_hash::reduce::ModPrimeReduction;
+use std::any::Any;
 use std::cell::RefCell;
-use std::sync::Arc;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
 
 /// A protocol with its input-independent parameters already derived.
 ///
@@ -63,6 +66,179 @@ pub trait PreparedProtocol: Send + Sync + std::fmt::Debug {
         side: Side,
         input: &ElementSet,
     ) -> Result<ElementSet, ProtocolError>;
+
+    /// Precomputes the protocol's per-session shared-randomness artefacts
+    /// for a block of session seeds, off the hot path — the *offline*
+    /// half of the offline/online split.
+    ///
+    /// The contract mirrors [`execute`](Self::execute)'s bit-exactness:
+    /// whatever is presampled here must be drawn from exactly the coin
+    /// forks that `execute` would draw in execution order, so a streamed
+    /// session consuming slot `i` of the returned artefact behaves
+    /// bit-identically to a one-shot session seeded with `seeds[i]`.
+    ///
+    /// The default returns `None`: execution derives everything online,
+    /// as before. Plans whose per-session derivation is expensive (hash
+    /// sampling over a planned field prime, say) override this.
+    fn presample(&self, _seeds: &[u64]) -> Option<Arc<dyn Any + Send + Sync>> {
+        None
+    }
+
+    /// Runs the bit-exchanging phase for one party *inside a stream*,
+    /// given the session's [`SessionCtx`] (its stream position and the
+    /// block artefact from [`presample`](Self::presample)).
+    ///
+    /// The default ignores the context and delegates to
+    /// [`execute`](Self::execute) — correct for every plan, since
+    /// presampling is only ever a relocation of the same random draws.
+    ///
+    /// # Errors
+    ///
+    /// As [`execute`](Self::execute).
+    fn execute_in(
+        &self,
+        _ctx: &SessionCtx<'_>,
+        chan: &mut dyn Chan,
+        coins: &CoinSource,
+        side: Side,
+        input: &ElementSet,
+    ) -> Result<ElementSet, ProtocolError> {
+        self.execute(chan, coins, side, input)
+    }
+}
+
+/// Where one streamed session sits inside its pair's stream, plus the
+/// block-level artefact its plan presampled. Both parties construct the
+/// same context for the same session, so presampled draws stay shared.
+#[derive(Debug, Clone, Copy)]
+pub struct SessionCtx<'a> {
+    /// Global session index within the pair's stream (monotone across
+    /// submissions; drives the pair's [`CoinBlock`] seed derivation).
+    pub index: u64,
+    /// Index within the current submission's presample block: slot `i`
+    /// of the artefact belongs to this session.
+    pub slot: usize,
+    /// The artefact returned by [`PreparedProtocol::presample`] for this
+    /// submission, if the plan presamples at all.
+    pub presampled: Option<&'a (dyn Any + Send + Sync)>,
+}
+
+/// Per-client-pair correlated-randomness context: the *offline* state
+/// one pair of parties accumulates so that each *online* session does as
+/// little shared-randomness work as possible.
+///
+/// A `PairContext` owns
+///
+/// * the pair's prepared plan (shared with the plan cache),
+/// * a pre-forked [`CoinBlock`] handing out per-session seeds
+///   `stream_session_seed(pair_seed, i)` with deterministic refill, and
+/// * lazily computed universe-reduction state: a pair-scoped
+///   [`ModPrimeReduction`] both parties derive from the pair seed alone,
+///   with no transmission (the paper's Theorem 3.1 reduction moved
+///   wholly off the wire for pairs with shared setup).
+///
+/// Sessions are numbered by a monotone counter ([`take_block`]
+/// (Self::take_block)), so session `i` of a pair is bit-identical to a
+/// one-shot run seeded with `stream_session_seed(pair_seed, i)` no
+/// matter how sessions are batched into submissions. The `generation`
+/// tag mirrors the plan cache's invalidation scheme: bumping the cache
+/// generation orphans old contexts without touching in-flight streams.
+#[derive(Debug)]
+pub struct PairContext {
+    plan: Arc<dyn PreparedProtocol>,
+    pair_seed: u64,
+    generation: u64,
+    next: AtomicU64,
+    coins: Mutex<CoinBlock>,
+    reduction: OnceLock<Option<ModPrimeReduction>>,
+}
+
+impl PairContext {
+    /// Builds the context for one pair: `pair_seed` is the pair's stable
+    /// identity (both parties must agree on it out of band).
+    pub fn new(plan: Arc<dyn PreparedProtocol>, pair_seed: u64) -> Self {
+        Self::with_generation(plan, pair_seed, 0)
+    }
+
+    /// As [`new`](Self::new), tagged with a cache generation.
+    pub fn with_generation(
+        plan: Arc<dyn PreparedProtocol>,
+        pair_seed: u64,
+        generation: u64,
+    ) -> Self {
+        PairContext {
+            plan,
+            pair_seed,
+            generation,
+            next: AtomicU64::new(0),
+            coins: Mutex::new(CoinBlock::new(pair_seed)),
+            reduction: OnceLock::new(),
+        }
+    }
+
+    /// The pair's prepared plan.
+    pub fn plan(&self) -> &Arc<dyn PreparedProtocol> {
+        &self.plan
+    }
+
+    /// The spec the pair's plan was prepared for.
+    pub fn spec(&self) -> ProblemSpec {
+        self.plan.spec()
+    }
+
+    /// The pair's stable seed identity.
+    pub fn pair_seed(&self) -> u64 {
+        self.pair_seed
+    }
+
+    /// The cache generation this context was created under.
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
+    /// How many sessions this pair has claimed so far.
+    pub fn sessions(&self) -> u64 {
+        self.next.load(Ordering::Relaxed)
+    }
+
+    /// Claims the next `count` session indices and returns their
+    /// pre-forked seeds: `(base, seeds)` with `seeds[i] =
+    /// stream_session_seed(pair_seed, base + i)`, served from the
+    /// pair's [`CoinBlock`] (refilling deterministically as needed).
+    pub fn take_block(&self, count: usize) -> (u64, Vec<u64>) {
+        let base = self.next.fetch_add(count as u64, Ordering::Relaxed);
+        let seeds = self
+            .coins
+            .lock()
+            .expect("pair coin block lock")
+            .take(base, count);
+        (base, seeds)
+    }
+
+    /// How many times the pair's coin block has refilled.
+    pub fn coin_refills(&self) -> u64 {
+        self.coins.lock().expect("pair coin block lock").refills()
+    }
+
+    /// The pair-scoped universe reduction, computed once from the pair
+    /// seed: `Some` when the spec's universe exceeds the reduction
+    /// window (so reducing helps), `None` for already-small universes.
+    /// Both parties of the pair derive the identical reduction with
+    /// zero transmitted bits.
+    pub fn reduction(&self) -> Option<&ModPrimeReduction> {
+        let spec = self.spec();
+        self.reduction
+            .get_or_init(|| {
+                let (_lo, hi) = ModPrimeReduction::window(spec.n, spec.k);
+                (spec.n > hi).then(|| {
+                    let mut rng = CoinSource::from_seed(self.pair_seed)
+                        .fork("pair/reduction")
+                        .rng();
+                    ModPrimeReduction::sample(&mut rng, spec.n, spec.k)
+                })
+            })
+            .as_ref()
+    }
 }
 
 /// A plan for protocols whose parameters are input- or
@@ -139,6 +315,41 @@ fn run_batch_once(
         seeds,
         |i, chan, coins| plan.execute(chan, coins, Side::Alice, &pairs[i].s),
         move |i, chan, coins| plan_b.execute(chan, coins, Side::Bob, &ts[i]),
+    )
+}
+
+fn run_stream_once(
+    runner: &mut SessionRunner,
+    cfg: &RunConfig,
+    base: u64,
+    seeds: &[u64],
+    plan: &Arc<dyn PreparedProtocol>,
+    pre: Option<&Arc<dyn Any + Send + Sync>>,
+    pairs: &[InputPair],
+) -> Result<Vec<SessionParts<ElementSet, ElementSet>>, ProtocolError> {
+    let plan_b = Arc::clone(plan);
+    let pre_a = pre.cloned();
+    let pre_b = pre.cloned();
+    let ts: Vec<ElementSet> = pairs.iter().map(|p| p.t.clone()).collect();
+    runner.run_stream_parts(
+        cfg,
+        seeds,
+        |i, chan, coins| {
+            let ctx = SessionCtx {
+                index: base + i as u64,
+                slot: i,
+                presampled: pre_a.as_deref(),
+            };
+            plan.execute_in(&ctx, chan, coins, Side::Alice, &pairs[i].s)
+        },
+        move |i, chan, coins| {
+            let ctx = SessionCtx {
+                index: base + i as u64,
+                slot: i,
+                presampled: pre_b.as_deref(),
+            };
+            plan_b.execute_in(&ctx, chan, coins, Side::Bob, &ts[i])
+        },
     )
 }
 
@@ -240,6 +451,51 @@ pub fn execute_prepared_batch(
     Ok(parts.into_iter().map(collapse).collect())
 }
 
+/// Runs `pairs.len()` streamed sessions for one pair over this thread's
+/// warm runner: session seeds come from the pair's [`CoinBlock`], the
+/// plan [presamples](PreparedProtocol::presample) its per-session
+/// artefacts for the whole block up front, and sessions run over the
+/// **no-rendezvous** stream path
+/// ([`run_stream_parts`](SessionRunner::run_stream_parts)) so
+/// pipelining protocols amortize thread wakeups across the block.
+///
+/// Session `i` of the block is bit-identical to
+/// `execute_prepared(ctx.plan(), &pairs[i],
+/// stream_session_seed(ctx.pair_seed(), base + i))` — the seeds are pure
+/// functions of the pair seed and the session index, and presampling
+/// only relocates the same coin-fork draws. If the stream aborts
+/// mid-block (a session failed, desynchronizing the unfenced channel),
+/// the unreached suffix is transparently re-run through the fenced
+/// one-shot path with the same seeds, so the caller always gets
+/// `pairs.len()` results with identical bits either way.
+///
+/// # Errors
+///
+/// Fails only on runner infrastructure breakage; per-session protocol
+/// failures surface in that session's slot.
+pub fn execute_prepared_stream(
+    ctx: &PairContext,
+    pairs: &[InputPair],
+) -> Result<Vec<SessionResult>, ProtocolError> {
+    if pairs.is_empty() {
+        return Ok(Vec::new());
+    }
+    let (base, seeds) = ctx.take_block(pairs.len());
+    let pre = ctx.plan().presample(&seeds);
+    let cfg = RunConfig::with_seed(seeds[0]);
+    let parts = with_local_runner(|runner| {
+        run_stream_once(runner, &cfg, base, &seeds, ctx.plan(), pre.as_ref(), pairs)
+    })?;
+    let mut out: Vec<SessionResult> = parts.into_iter().map(collapse).collect();
+    // An aborted stream returns short: finish the suffix one-shot. The
+    // seeds are the same pure functions of (pair_seed, index), so the
+    // fallback sessions are bit-identical to their streamed versions.
+    for i in out.len()..pairs.len() {
+        out.push(execute_prepared(ctx.plan(), &pairs[i], seeds[i]));
+    }
+    Ok(out)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -281,6 +537,63 @@ mod tests {
             let run = execute_prepared(&plan, &pair, seed).unwrap();
             assert!(run.matches(&pair.ground_truth()), "seed {seed}");
         }
+    }
+
+    #[test]
+    fn streamed_sessions_match_seed_derived_one_shot_runs() {
+        use intersect_comm::coins::stream_session_seed;
+        let spec = ProblemSpec::new(1 << 30, 64);
+        let mut rng = ChaCha8Rng::seed_from_u64(4);
+        let plan = TreeProtocol::new(2).prepare(spec);
+        let ctx = PairContext::new(Arc::clone(&plan), 0xfeed);
+        let pairs: Vec<InputPair> = (0..5)
+            .map(|i| InputPair::random_with_overlap(&mut rng, spec, 64, 10 * i))
+            .collect();
+        let streamed = execute_prepared_stream(&ctx, &pairs).unwrap();
+        assert_eq!(streamed.len(), pairs.len());
+        for (i, (pair, run)) in pairs.iter().zip(streamed).enumerate() {
+            let seed = stream_session_seed(0xfeed, i as u64);
+            let solo = execute_prepared(&plan, pair, seed).unwrap();
+            assert_eq!(run.unwrap(), solo, "session {i}");
+        }
+    }
+
+    #[test]
+    fn pair_context_indices_are_monotone_across_submissions() {
+        use intersect_comm::coins::stream_session_seed;
+        let spec = ProblemSpec::new(1 << 30, 32);
+        let mut rng = ChaCha8Rng::seed_from_u64(5);
+        let plan = TreeProtocol::log_star(spec.k).prepare(spec);
+        let ctx = PairContext::new(Arc::clone(&plan), 7);
+        let pairs: Vec<InputPair> = (0..4)
+            .map(|_| InputPair::random_with_overlap(&mut rng, spec, 32, 16))
+            .collect();
+        // Two submissions over the same context: sessions keep numbering
+        // from where the previous block stopped.
+        let first = execute_prepared_stream(&ctx, &pairs[..2]).unwrap();
+        let second = execute_prepared_stream(&ctx, &pairs[2..]).unwrap();
+        assert_eq!(ctx.sessions(), 4);
+        for (i, run) in first.into_iter().chain(second).enumerate() {
+            let seed = stream_session_seed(7, i as u64);
+            let solo = execute_prepared(&plan, &pairs[i], seed).unwrap();
+            assert_eq!(run.unwrap(), solo, "session {i}");
+        }
+    }
+
+    #[test]
+    fn pair_context_reduction_is_pair_deterministic() {
+        let spec = ProblemSpec::new(1 << 40, 64);
+        let plan = TreeProtocol::new(2).prepare(spec);
+        let a = PairContext::new(Arc::clone(&plan), 42);
+        let b = PairContext::new(Arc::clone(&plan), 42);
+        let c = PairContext::new(Arc::clone(&plan), 43);
+        let ra = a.reduction().expect("2^40 universe reduces");
+        assert_eq!(Some(ra), b.reduction(), "same pair seed, same reduction");
+        assert_ne!(Some(ra), c.reduction(), "distinct pairs draw independently");
+        // Small universes don't reduce.
+        let small = ProblemSpec::new(1 << 10, 4);
+        let ctx = PairContext::new(TreeProtocol::new(2).prepare(small), 42);
+        assert!(ctx.reduction().is_none());
     }
 
     #[test]

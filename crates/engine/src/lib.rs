@@ -50,12 +50,14 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod pair_context;
 pub mod plan_cache;
 pub mod registry;
 pub mod request;
 pub mod router;
 pub mod scheduler;
 
+pub use pair_context::{PairContextCache, PairContextStats};
 pub use plan_cache::{PlanCache, PlanCacheStats};
 pub use registry::{
     EngineMetrics, EngineSnapshot, EngineWatch, LatencySummary, ProtocolTally, SessionSummary,
@@ -63,14 +65,17 @@ pub use registry::{
 pub use request::SessionRequest;
 pub use router::calibration::{self, CalibrationConfig, CalibrationSnapshot, Calibrator};
 pub use router::{route, route_calibrated, theory_envelope, RoutePolicy};
-pub use scheduler::{Engine, EngineConfig, EngineReport, SessionOutcome, SubmitError};
+pub use scheduler::{Engine, EngineConfig, EngineReport, SessionOutcome, StreamId, SubmitError};
 
 /// The most commonly used items, for glob import.
 pub mod prelude {
+    pub use crate::pair_context::{PairContextCache, PairContextStats};
     pub use crate::plan_cache::{PlanCache, PlanCacheStats};
     pub use crate::registry::{EngineMetrics, EngineSnapshot, EngineWatch, LatencySummary};
     pub use crate::request::SessionRequest;
     pub use crate::router::calibration::{CalibrationConfig, CalibrationSnapshot, Calibrator};
     pub use crate::router::{route, route_calibrated, theory_envelope, RoutePolicy};
-    pub use crate::scheduler::{Engine, EngineConfig, EngineReport, SessionOutcome, SubmitError};
+    pub use crate::scheduler::{
+        Engine, EngineConfig, EngineReport, SessionOutcome, StreamId, SubmitError,
+    };
 }

@@ -28,6 +28,14 @@ pub struct SessionRequest {
     /// Per-session protocol override; `None` defers to the engine's
     /// routing policy.
     pub protocol: Option<ProtocolChoice>,
+    /// Client-pair identity for streamed sessions: sessions sharing a
+    /// `pair` reuse that pair's precomputed randomness context.
+    pub pair: Option<u64>,
+    /// Index of this session within its pair's stream. Together with
+    /// `pair` it pins the session's coin seed to
+    /// `stream_session_seed(pair, stream)`, making a streamed session
+    /// reproducible standalone.
+    pub stream: Option<u64>,
 }
 
 impl SessionRequest {
@@ -40,6 +48,29 @@ impl SessionRequest {
             size: spec.k as usize,
             overlap,
             protocol: None,
+            pair: None,
+            stream: None,
+        }
+    }
+
+    /// Tags the request as session `stream` of pair `pair`'s stream.
+    pub fn in_stream(mut self, pair: u64, stream: u64) -> Self {
+        self.pair = Some(pair);
+        self.stream = Some(stream);
+        self
+    }
+
+    /// The session's common-random-string seed: for a streamed session
+    /// (both `pair` and `stream` set) the pair-derived
+    /// [`stream_session_seed`](intersect_comm::coins::stream_session_seed),
+    /// else the request's own `seed`. Every execution path — engine
+    /// worker, remote server, one-shot audit rerun — derives the seed
+    /// through this one method, which is what makes a streamed session
+    /// bit-identical to its standalone rerun.
+    pub fn coin_seed(&self) -> u64 {
+        match (self.pair, self.stream) {
+            (Some(pair), Some(stream)) => intersect_comm::coins::stream_session_seed(pair, stream),
+            _ => self.seed,
         }
     }
 
@@ -119,6 +150,8 @@ impl SessionRequest {
         let mut size = None;
         let mut overlap = 0usize;
         let mut protocol = None;
+        let mut pair = None;
+        let mut stream = None;
         for token in line.split_whitespace() {
             let (key, value) = token
                 .split_once('=')
@@ -134,6 +167,8 @@ impl SessionRequest {
                 "size" => size = Some(int()? as usize),
                 "overlap" => overlap = int()? as usize,
                 "protocol" => protocol = Some(value.parse::<ProtocolChoice>()?),
+                "pair" => pair = Some(int()?),
+                "stream" => stream = Some(int()?),
                 other => return Err(format!("unknown key {other:?}")),
             }
         }
@@ -150,6 +185,8 @@ impl SessionRequest {
             size: size.unwrap_or(k as usize),
             overlap,
             protocol,
+            pair,
+            stream,
         };
         req.validate()?;
         Ok(Some(req))
@@ -163,6 +200,12 @@ impl SessionRequest {
         );
         if let Some(p) = self.protocol {
             out.push_str(&format!(" protocol={p}"));
+        }
+        if let Some(pair) = self.pair {
+            out.push_str(&format!(" pair={pair}"));
+        }
+        if let Some(stream) = self.stream {
+            out.push_str(&format!(" stream={stream}"));
         }
         out
     }
@@ -186,6 +229,20 @@ mod tests {
         req.protocol = Some(ProtocolChoice::TreePipelined(3));
         let parsed = SessionRequest::parse_line(&req.to_line()).unwrap().unwrap();
         assert_eq!(parsed, req);
+    }
+
+    #[test]
+    fn stream_tags_round_trip_and_pin_the_coin_seed() {
+        let spec = ProblemSpec::new(1 << 20, 64);
+        let req = SessionRequest::new(9, spec, 16).in_stream(0xbeef, 3);
+        let parsed = SessionRequest::parse_line(&req.to_line()).unwrap().unwrap();
+        assert_eq!(parsed, req);
+        assert_eq!(
+            parsed.coin_seed(),
+            intersect_comm::coins::stream_session_seed(0xbeef, 3)
+        );
+        // Plain requests keep using their own seed.
+        assert_eq!(SessionRequest::new(9, spec, 16).coin_seed(), 9);
     }
 
     #[test]

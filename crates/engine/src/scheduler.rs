@@ -31,12 +31,15 @@
 //! served by a dedicated `execute` call, and the deterministic half of
 //! the registry is independent of worker count.
 
+use crate::pair_context::PairContextCache;
 use crate::plan_cache::PlanCache;
 use crate::registry::{EngineSnapshot, EngineWatch, Registry};
 use crate::request::SessionRequest;
 use crate::router::calibration::{describe_calibration_metrics, CalibrationConfig, Calibrator};
 use crate::router::{route_calibrated, theory_envelope, RoutePolicy};
-use crossbeam_channel::{bounded, unbounded, Receiver, Sender, TrySendError};
+use crossbeam_channel::{
+    bounded, unbounded, Receiver, RecvTimeoutError, Sender, TryRecvError, TrySendError,
+};
 use intersect_comm::chan::{Chan, Endpoint};
 use intersect_comm::coins::CoinSource;
 use intersect_comm::error::ProtocolError;
@@ -44,13 +47,14 @@ use intersect_comm::runner::{primary_error, RunConfig, SessionRunner, Side};
 use intersect_comm::stats::{ChannelStats, CostReport};
 use intersect_comm::trace::{Direction, PhaseSummary, Traced};
 use intersect_core::api::ProtocolChoice;
-use intersect_core::prepared::PreparedProtocol;
+use intersect_core::prepared::{PairContext, PreparedProtocol, SessionCtx};
 use intersect_core::sets::{ElementSet, InputPair};
 use intersect_obs as obs;
 use intersect_obs::conformance::{ConformanceConfig, ConformanceMonitor, ConformanceReport};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// Emits a session-lifecycle instant (`submit`, `reject`, `admit`,
 /// `route`, `complete`, `fail`) attributed to a session id from a thread
@@ -218,16 +222,43 @@ struct BatchTask {
     admitted_at: Instant,
 }
 
+/// One admitted stream submission: same-spec sessions of one client
+/// pair, pipelined on the pair's affine worker with coin seeds drawn
+/// from the pair's [`PairContext`].
+struct StreamTask {
+    requests: Vec<SessionRequest>,
+    pair: u64,
+    choice: ProtocolChoice,
+    ctx: Arc<PairContext>,
+    admitted_at: Instant,
+}
+
 /// What the dispatcher hands to workers.
 enum WorkItem {
     Single(SessionTask),
     Batch(BatchTask),
+    Stream(StreamTask),
 }
 
 /// What clients hand to the admission queue.
 enum Submission {
     Single(SessionRequest),
     Batch(Vec<SessionRequest>),
+    Stream(u64, Vec<SessionRequest>),
+}
+
+/// A handle for one pair's session stream, from [`Engine::open_stream`].
+///
+/// Carries the client-pair identity whose [`PairContext`] every
+/// [`submit_stream`](Engine::submit_stream) through this handle reuses,
+/// plus an engine-assigned ordinal for metrics and debugging.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct StreamId {
+    /// The client-pair identity; sessions of one pair share correlated
+    /// randomness and land on the same affine worker.
+    pub pair: u64,
+    /// Engine-assigned stream ordinal (monotone per engine).
+    pub stream: u64,
 }
 
 /// Everything a worker needs besides its runner and the work queue.
@@ -383,7 +414,9 @@ fn run_session(runner: &mut SessionRunner, task: SessionTask, ctx: &WorkerCtx) {
     } = task;
     let id = request.id;
     let pair = request.input_pair();
-    let cfg = RunConfig::with_seed(request.seed);
+    // `coin_seed`, not `seed`: a stream-tagged request resubmitted alone
+    // must reproduce its streamed transcript bit for bit.
+    let cfg = RunConfig::with_seed(request.coin_seed());
 
     // Alice's half runs on this thread, so it can hand the trace log out
     // through a captured slot; Bob's half runs on the runner's paired
@@ -460,7 +493,7 @@ fn run_batch_session(runner: &mut SessionRunner, task: BatchTask, ctx: &WorkerCt
         admitted_at,
     } = task;
     let pairs: Vec<InputPair> = requests.iter().map(|r| r.input_pair()).collect();
-    let seeds: Vec<u64> = requests.iter().map(|r| r.seed).collect();
+    let seeds: Vec<u64> = requests.iter().map(|r| r.coin_seed()).collect();
     let ids: Vec<u64> = requests.iter().map(|r| r.id).collect();
     let cfg = RunConfig::with_seed(seeds[0]);
     let plan_a = Arc::clone(&plan);
@@ -513,6 +546,132 @@ fn run_batch_session(runner: &mut SessionRunner, task: BatchTask, ctx: &WorkerCt
     let _ = ctx.done_tx.send(());
 }
 
+/// Runs one streamed submission on the pair's affine worker: coin seeds
+/// drawn from the pair's [`PairContext`], input-independent randomness
+/// presampled off the hot path, and the sessions pipelined without
+/// per-session rendezvous. Session `stream = i` is bit-identical to the
+/// tagged request served alone (the coin seed is the same pure function
+/// of `(pair, i)` either way).
+fn run_stream_session(runner: &mut SessionRunner, task: StreamTask, ctx: &WorkerCtx) {
+    let StreamTask {
+        mut requests,
+        pair,
+        choice,
+        ctx: pair_ctx,
+        admitted_at,
+    } = task;
+    let count = requests.len();
+    // The offline phase's output: this block's stream indices and their
+    // pre-derived coin seeds. Tag each request with its index so its
+    // outcome is auditable by a standalone rerun.
+    let (base, seeds) = pair_ctx.take_block(count);
+    for (i, req) in requests.iter_mut().enumerate() {
+        req.pair = Some(pair);
+        req.stream = Some(base + i as u64);
+    }
+    let plan = Arc::clone(pair_ctx.plan());
+    let presampled = plan.presample(&seeds);
+    let pairs: Vec<InputPair> = requests.iter().map(|r| r.input_pair()).collect();
+    let ids: Vec<u64> = requests.iter().map(|r| r.id).collect();
+    let cfg = RunConfig::with_seed(seeds[0]);
+    let plan_a = Arc::clone(&plan);
+    let plan_b = Arc::clone(&plan);
+    let pre_a = presampled.clone();
+    let pre_b = presampled;
+    let bob_inputs: Vec<ElementSet> = pairs.iter().map(|p| p.t.clone()).collect();
+    let ids_b = ids.clone();
+
+    let parts = runner.run_stream_parts(
+        &cfg,
+        &seeds,
+        |i, ep: &mut Endpoint, coins: &CoinSource| {
+            let (_scope, span) = half_span(ids[i], Side::Alice);
+            let sctx = SessionCtx {
+                index: base + i as u64,
+                slot: i,
+                presampled: pre_a.as_deref(),
+            };
+            let result = plan_a.execute_in(&sctx, ep, coins, Side::Alice, &pairs[i].s);
+            finish_half_span(span, ep.stats());
+            result
+        },
+        move |i, ep: &mut Endpoint, coins: &CoinSource| {
+            let (_scope, span) = half_span(ids_b[i], Side::Bob);
+            let sctx = SessionCtx {
+                index: base + i as u64,
+                slot: i,
+                presampled: pre_b.as_deref(),
+            };
+            let result = plan_b.execute_in(&sctx, ep, coins, Side::Bob, &bob_inputs[i]);
+            finish_half_span(span, ep.stats());
+            result
+        },
+    );
+
+    let mut sessions: Vec<SessionResults> = match parts {
+        Ok(parts) => parts
+            .into_iter()
+            .map(|p| (p.alice, p.bob, p.report))
+            .collect(),
+        // Runner infrastructure failure fails the whole submission.
+        Err(e) => requests
+            .iter()
+            .map(|_| (Err(e.clone()), Err(e.clone()), CostReport::default()))
+            .collect(),
+    };
+    // A stream aborts at its first failing session; serve the rest
+    // one-shot on a fresh runner. Coin seeds are pure, so the reruns are
+    // bit-identical to the sessions the stream would have run.
+    if sessions.len() < count {
+        if runner.is_broken() {
+            *runner = SessionRunner::start();
+        }
+        for i in sessions.len()..count {
+            let plan_a = Arc::clone(&plan);
+            let plan_b = Arc::clone(&plan);
+            let cfg = RunConfig::with_seed(seeds[i]);
+            let alice_input = pairs[i].s.clone();
+            let bob_input = pairs[i].t.clone();
+            let id = ids[i];
+            let res = runner.run_parts(
+                &cfg,
+                move |ep: &mut Endpoint, coins: &CoinSource| {
+                    let (_scope, span) = half_span(id, Side::Alice);
+                    let result = plan_a.execute(ep, coins, Side::Alice, &alice_input);
+                    finish_half_span(span, ep.stats());
+                    result
+                },
+                move |ep: &mut Endpoint, coins: &CoinSource| {
+                    let (_scope, span) = half_span(id, Side::Bob);
+                    let result = plan_b.execute(ep, coins, Side::Bob, &bob_input);
+                    finish_half_span(span, ep.stats());
+                    result
+                },
+            );
+            sessions.push(match res {
+                Ok(p) => (p.alice, p.bob, p.report),
+                Err(e) => (Err(e.clone()), Err(e), CostReport::default()),
+            });
+        }
+    }
+    obs::counter_add("engine_stream_sessions_total", count as u64);
+    let latency_micros = admitted_at.elapsed().as_micros() as u64;
+    for (request, (res_a, res_b, report)) in requests.into_iter().zip(sessions) {
+        emit_outcome(
+            ctx,
+            request,
+            choice,
+            plan.name(),
+            res_a,
+            res_b,
+            report,
+            latency_micros,
+            None,
+        );
+    }
+    let _ = ctx.done_tx.send(());
+}
+
 /// A running session engine. Submit requests from any thread; call
 /// [`finish`](Engine::finish) to drain and collect the outcomes.
 ///
@@ -539,6 +698,8 @@ pub struct Engine {
     outcome_rx: Receiver<SessionOutcome>,
     registry: Arc<Registry>,
     cache: Arc<PlanCache>,
+    pair_contexts: Arc<PairContextCache>,
+    streams_opened: AtomicU64,
     workers: usize,
     dispatcher: JoinHandle<()>,
     worker_handles: Vec<JoinHandle<()>>,
@@ -602,6 +763,34 @@ fn describe_engine_metrics() {
             "Sessions per admitted batch submission",
         ),
         (
+            "pair_context_hits",
+            "Pair-context lookups served from a live context",
+        ),
+        (
+            "pair_context_misses",
+            "Pair-context lookups that ran the offline phase",
+        ),
+        (
+            "pair_context_entries",
+            "Pair randomness contexts currently cached by (pair, protocol, spec)",
+        ),
+        (
+            "coin_block_refills_total",
+            "Pair coin-block refills: a stream outran its presampled seed block",
+        ),
+        (
+            "engine_streams_opened_total",
+            "Pair streams opened via Engine::open_stream",
+        ),
+        (
+            "engine_stream_sessions_total",
+            "Sessions served through pair streams",
+        ),
+        (
+            "engine_stream_depth",
+            "Sessions per admitted stream submission",
+        ),
+        (
             "conformance_checks_total",
             "Completed sessions checked against theory envelopes",
         ),
@@ -626,6 +815,7 @@ impl Engine {
         let (done_tx, done_rx) = unbounded::<()>();
         let registry = Arc::new(Registry::default());
         let cache = Arc::new(PlanCache::new());
+        let pair_contexts = Arc::new(PairContextCache::new());
         describe_engine_metrics();
         let monitor = config
             .conformance
@@ -640,8 +830,15 @@ impl Engine {
             })
         });
 
-        let worker_handles: Vec<JoinHandle<()>> = (0..workers)
-            .map(|_| {
+        // Each worker also owns a private queue for pair-affine stream
+        // work: the dispatcher routes a pair's streams to worker
+        // `pair % workers`, so a pair's sessions always find the same
+        // warm runner.
+        let (stream_txs, stream_rxs): (Vec<Sender<WorkItem>>, Vec<Receiver<WorkItem>>) =
+            (0..workers).map(|_| unbounded::<WorkItem>()).unzip();
+        let worker_handles: Vec<JoinHandle<()>> = stream_rxs
+            .into_iter()
+            .map(|stream_rx| {
                 let work_rx = work_rx.clone();
                 let ctx = WorkerCtx {
                     registry: Arc::clone(&registry),
@@ -654,10 +851,57 @@ impl Engine {
                     // Each worker owns one reusable runner for its whole
                     // life: zero thread spawns per session in steady state.
                     let mut runner = SessionRunner::start();
-                    for item in work_rx.iter() {
+                    let mut shared_open = true;
+                    let mut affine_open = true;
+                    while shared_open || affine_open {
+                        // Drain pair-affine stream work first; when both
+                        // queues are live, poll the shared queue with a
+                        // short timeout so neither starves. The vendored
+                        // channel has no `select!`, hence the poll loop.
+                        let item = if !affine_open {
+                            match work_rx.recv() {
+                                Ok(item) => Some(item),
+                                Err(_) => {
+                                    shared_open = false;
+                                    None
+                                }
+                            }
+                        } else if !shared_open {
+                            match stream_rx.recv() {
+                                Ok(item) => Some(item),
+                                Err(_) => {
+                                    affine_open = false;
+                                    None
+                                }
+                            }
+                        } else {
+                            match stream_rx.try_recv() {
+                                Ok(item) => Some(item),
+                                Err(TryRecvError::Disconnected) => {
+                                    affine_open = false;
+                                    None
+                                }
+                                Err(TryRecvError::Empty) => {
+                                    match work_rx.recv_timeout(Duration::from_millis(1)) {
+                                        Ok(item) => Some(item),
+                                        Err(RecvTimeoutError::Timeout) => None,
+                                        Err(RecvTimeoutError::Disconnected) => {
+                                            shared_open = false;
+                                            None
+                                        }
+                                    }
+                                }
+                            }
+                        };
                         match item {
-                            WorkItem::Single(task) => run_session(&mut runner, task, &ctx),
-                            WorkItem::Batch(task) => run_batch_session(&mut runner, task, &ctx),
+                            Some(WorkItem::Single(task)) => run_session(&mut runner, task, &ctx),
+                            Some(WorkItem::Batch(task)) => {
+                                run_batch_session(&mut runner, task, &ctx)
+                            }
+                            Some(WorkItem::Stream(task)) => {
+                                run_stream_session(&mut runner, task, &ctx)
+                            }
+                            None => {}
                         }
                     }
                 })
@@ -669,6 +913,7 @@ impl Engine {
             let policy = config.policy;
             let debug_session = config.debug_session;
             let cache = Arc::clone(&cache);
+            let pair_contexts = Arc::clone(&pair_contexts);
             let calibrator = calibrator.clone();
             std::thread::spawn(move || {
                 let mut in_flight = 0usize;
@@ -720,8 +965,45 @@ impl Engine {
                                 admitted_at: Instant::now(),
                             })
                         }
+                        Submission::Stream(pair, requests) => {
+                            for request in &requests {
+                                lifecycle("admit", request.id);
+                            }
+                            obs::gauge_add("engine_queue_depth", -(requests.len() as i64));
+                            // submit_stream guarantees a uniform spec and
+                            // override, so the first request routes for all.
+                            let choice =
+                                route_calibrated(&requests[0], policy, calibrator.as_deref());
+                            for request in &requests {
+                                lifecycle("route", request.id);
+                            }
+                            // One context lookup replaces the pair's
+                            // offline phase; a miss forks the pair's coin
+                            // block and reduction slot once for every
+                            // later stream of this pair.
+                            let ctx =
+                                pair_contexts.get_or_create(pair, choice, requests[0].spec, &cache);
+                            obs::gauge_add("engine_in_flight", requests.len() as i64);
+                            obs::observe("engine_stream_depth", requests.len() as u64);
+                            WorkItem::Stream(StreamTask {
+                                requests,
+                                pair,
+                                choice,
+                                ctx,
+                                admitted_at: Instant::now(),
+                            })
+                        }
                     };
-                    if work_tx.send(item).is_err() {
+                    // Streams go to the pair's affine worker; everything
+                    // else to the shared queue.
+                    let sent = match item {
+                        WorkItem::Stream(task) => {
+                            let target = (task.pair as usize) % stream_txs.len();
+                            stream_txs[target].send(WorkItem::Stream(task))
+                        }
+                        other => work_tx.send(other),
+                    };
+                    if sent.is_err() {
                         return;
                     }
                     in_flight += 1;
@@ -734,6 +1016,8 @@ impl Engine {
             outcome_rx,
             registry,
             cache,
+            pair_contexts,
+            streams_opened: AtomicU64::new(0),
             workers,
             dispatcher,
             worker_handles,
@@ -854,11 +1138,72 @@ impl Engine {
         Ok(())
     }
 
+    /// Opens a session stream for client pair `pair`. Streams are
+    /// lightweight handles: opening one allocates nothing — the pair's
+    /// [`PairContext`] materializes (or is reused) when the first
+    /// [`submit_stream`](Engine::submit_stream) is dispatched.
+    pub fn open_stream(&self, pair: u64) -> StreamId {
+        let stream = self.streams_opened.fetch_add(1, Ordering::Relaxed);
+        obs::counter_add("engine_streams_opened_total", 1);
+        StreamId { pair, stream }
+    }
+
+    /// Blocking stream admission: `requests.len()` same-spec sessions of
+    /// one client pair, pipelined on the pair's affine worker with coin
+    /// seeds drawn from the pair's [`PairContext`]. Each session settles
+    /// as its own [`SessionOutcome`] whose request carries `pair`/`stream`
+    /// tags, bit-identical to that tagged request submitted alone; the
+    /// submission occupies one in-flight slot.
+    ///
+    /// # Errors
+    ///
+    /// [`SubmitError::Invalid`] if the submission is empty, any request
+    /// is infeasible, or the requests disagree on spec or protocol
+    /// override; [`SubmitError::Rejected`] only on shutdown.
+    pub fn submit_stream(
+        &self,
+        stream: StreamId,
+        requests: Vec<SessionRequest>,
+    ) -> Result<(), SubmitError> {
+        let first = requests
+            .first()
+            .ok_or_else(|| SubmitError::Invalid("empty stream submission".into()))?;
+        let (spec, protocol) = (first.spec, first.protocol);
+        for request in &requests {
+            request.validate().map_err(SubmitError::Invalid)?;
+            if request.spec != spec || request.protocol != protocol {
+                return Err(SubmitError::Invalid(
+                    "stream requests must share one spec and protocol override".into(),
+                ));
+            }
+        }
+        let ids: Vec<u64> = requests.iter().map(|r| r.id).collect();
+        self.admit_tx
+            .send(Submission::Stream(stream.pair, requests))
+            .map_err(|_| SubmitError::Rejected { queue_full: false })?;
+        for id in &ids {
+            self.registry.record_submitted();
+            lifecycle("submit", *id);
+        }
+        obs::counter_add("engine_sessions_submitted", ids.len() as u64);
+        obs::gauge_add("engine_queue_depth", ids.len() as i64);
+        Ok(())
+    }
+
     /// The engine's shared plan cache: dispatch goes through it, and
     /// embedders may share it (or call
     /// [`invalidate`](PlanCache::invalidate) after reconfiguration).
     pub fn plan_cache(&self) -> Arc<PlanCache> {
         Arc::clone(&self.cache)
+    }
+
+    /// The engine's pair-context cache: streamed dispatch goes through
+    /// it, and embedders may inspect hit rates or call
+    /// [`invalidate`](PairContextCache::invalidate) after
+    /// reconfiguration (pair streams resume from fresh contexts with
+    /// unchanged coin-seed derivations).
+    pub fn pair_contexts(&self) -> Arc<PairContextCache> {
+        Arc::clone(&self.pair_contexts)
     }
 
     /// A live view of the aggregate metrics (sessions may still be in
@@ -882,6 +1227,8 @@ impl Engine {
             outcome_rx,
             registry,
             cache: _,
+            pair_contexts: _,
+            streams_opened: _,
             workers,
             dispatcher,
             worker_handles,
@@ -981,6 +1328,116 @@ mod tests {
         }
         // The deterministic half of the snapshot is identical too.
         assert_eq!(batched.snapshot.metrics, singles.snapshot.metrics);
+    }
+
+    #[test]
+    fn streamed_sessions_match_tagged_one_shot_reruns_bit_for_bit() {
+        let spec = ProblemSpec::new(1 << 18, 32);
+        let make = |id: u64| {
+            let mut req = SessionRequest::new(id, spec, (id % 33) as usize);
+            req.seed = id * 11 + 3;
+            req
+        };
+        let engine = Engine::start(EngineConfig::new(2));
+        let stream = engine.open_stream(0xbeef);
+        engine
+            .submit_stream(stream, (0..8).map(make).collect())
+            .unwrap();
+        engine
+            .submit_stream(stream, (8..16).map(make).collect())
+            .unwrap();
+        let report = engine.finish();
+        assert_eq!(report.outcomes.len(), 16);
+        for (i, outcome) in report.outcomes.iter().enumerate() {
+            let req = &outcome.request;
+            assert!(outcome.succeeded(), "session {} failed", req.id);
+            // Both submissions hit one monotone stream of the pair.
+            assert_eq!(req.pair, Some(0xbeef));
+            assert_eq!(req.stream, Some(i as u64));
+            // The tagged request reproduces its streamed transcript in a
+            // dedicated run: inputs from `seed`, coins from `coin_seed`.
+            let pair = req.input_pair();
+            let reference = execute(
+                outcome.protocol.build(spec).as_ref(),
+                spec,
+                &pair,
+                req.coin_seed(),
+            )
+            .unwrap();
+            assert_eq!(outcome.alice.as_ref().unwrap(), &pair.ground_truth());
+            assert_eq!(outcome.report, reference.report, "session {}", req.id);
+        }
+    }
+
+    #[test]
+    fn stream_tagged_singles_reuse_the_streamed_coin_seed() {
+        // A streamed session resubmitted alone (tags intact) must settle
+        // with the identical transcript — the audit path for streams.
+        let spec = ProblemSpec::new(1 << 18, 32);
+        let req = SessionRequest::new(5, spec, 9).in_stream(0xbeef, 5);
+
+        let engine = Engine::start(EngineConfig::new(2));
+        let stream = engine.open_stream(0xbeef);
+        let batch: Vec<SessionRequest> =
+            (0..6).map(|id| SessionRequest::new(id, spec, 9)).collect();
+        engine.submit_stream(stream, batch).unwrap();
+        let streamed = engine.finish();
+
+        let engine = Engine::start(EngineConfig::new(2));
+        engine.submit(req).unwrap();
+        let single = engine.finish();
+
+        let s = &streamed.outcomes[5];
+        let o = &single.outcomes[0];
+        assert_eq!(s.request, o.request);
+        assert_eq!(s.report, o.report);
+        assert_eq!(s.alice, o.alice);
+    }
+
+    #[test]
+    fn pair_contexts_are_cached_across_stream_submissions() {
+        let spec = ProblemSpec::new(1 << 18, 32);
+        let engine = Engine::start(EngineConfig::new(2));
+        let contexts = engine.pair_contexts();
+        let stream = engine.open_stream(1);
+        for round in 0..3 {
+            let batch: Vec<SessionRequest> = (round * 4..round * 4 + 4)
+                .map(|id| SessionRequest::new(id, spec, 4))
+                .collect();
+            engine.submit_stream(stream, batch).unwrap();
+        }
+        let other = engine.open_stream(2);
+        engine
+            .submit_stream(other, vec![SessionRequest::new(100, spec, 4)])
+            .unwrap();
+        let report = engine.finish();
+        assert_eq!(report.outcomes.len(), 13);
+        assert!(report.outcomes.iter().all(|o| o.succeeded()));
+        let stats = contexts.stats();
+        // One offline phase per pair; later submissions hit.
+        assert_eq!(stats.misses, 2, "{stats:?}");
+        assert_eq!(stats.hits, 2, "{stats:?}");
+        assert_eq!(stats.entries, 2, "{stats:?}");
+    }
+
+    #[test]
+    fn mixed_spec_stream_submissions_are_rejected_as_invalid() {
+        let engine = Engine::start(EngineConfig::new(2));
+        let stream = engine.open_stream(7);
+        let batch = vec![
+            SessionRequest::new(0, ProblemSpec::new(1 << 16, 16), 4),
+            SessionRequest::new(1, ProblemSpec::new(1 << 18, 16), 4),
+        ];
+        assert!(matches!(
+            engine.submit_stream(stream, batch),
+            Err(SubmitError::Invalid(_))
+        ));
+        assert!(matches!(
+            engine.submit_stream(stream, Vec::new()),
+            Err(SubmitError::Invalid(_))
+        ));
+        let report = engine.finish();
+        assert_eq!(report.snapshot.metrics.submitted, 0);
     }
 
     #[test]

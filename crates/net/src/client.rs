@@ -205,7 +205,10 @@ impl NetClient {
 
         let plan = self.cache.get_or_prepare(choice, req.spec);
         let pair = req.input_pair();
-        let coins = CoinSource::from_seed(req.seed);
+        // `coin_seed`, not `seed`: for a stream-tagged request both
+        // halves derive the pair's shared randomness from the same pure
+        // `stream_session_seed(pair, stream)`.
+        let coins = CoinSource::from_seed(req.coin_seed());
         let mut chan = RemoteChan::new(wire_id, Arc::clone(&self.writer), rx, self.timeout, None);
 
         let (alice, events) = if traced {

@@ -22,7 +22,7 @@ use crossbeam_channel::Sender;
 use intersect_comm::chan::Chan;
 use intersect_comm::coins::CoinSource;
 use intersect_comm::runner::Side;
-use intersect_engine::{route, PlanCache, RoutePolicy, SessionRequest};
+use intersect_engine::{route, PairContextCache, PlanCache, RoutePolicy, SessionRequest};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
@@ -80,6 +80,7 @@ struct ConnCtl {
 struct Shared {
     policy: RoutePolicy,
     cache: PlanCache,
+    pair_contexts: PairContextCache,
     max_active: usize,
     timeout: Duration,
     draining: AtomicBool,
@@ -126,6 +127,7 @@ impl NetServer {
         let shared = Arc::new(Shared {
             policy: config.policy,
             cache: PlanCache::new(),
+            pair_contexts: PairContextCache::new(),
             max_active: config.max_active_sessions.max(1),
             timeout: config.session_timeout,
             draining: AtomicBool::new(false),
@@ -372,7 +374,20 @@ fn handle_frame(
                 return;
             }
             let choice = route(&req, shared.policy);
-            let plan = shared.cache.get_or_prepare(choice, req.spec);
+            // A stream-tagged open (`pair=`/`stream=` on the request
+            // line) goes through the pair-context cache, so remote
+            // streams share the pair's offline randomness state and its
+            // hit rate shows up on `/metrics`.
+            let plan = match req.pair {
+                Some(pair) if req.stream.is_some() => {
+                    let ctx =
+                        shared
+                            .pair_contexts
+                            .get_or_create(pair, choice, req.spec, &shared.cache);
+                    Arc::clone(ctx.plan())
+                }
+                _ => shared.cache.get_or_prepare(choice, req.spec),
+            };
             let (tx, rx) = crossbeam_channel::unbounded();
             sessions
                 .lock()
@@ -478,7 +493,10 @@ fn run_session(
     shared: &Shared,
 ) {
     let pair = req.input_pair();
-    let coins = CoinSource::from_seed(req.seed);
+    // `coin_seed`, not `seed`: a stream-tagged remote session must share
+    // the pair-derived common random string with its client half and
+    // with any standalone audit rerun.
+    let coins = CoinSource::from_seed(req.coin_seed());
     match plan.execute(&mut chan, &coins, Side::Bob, &pair.t) {
         Ok(out) => {
             shared.served.fetch_add(1, Ordering::Relaxed);

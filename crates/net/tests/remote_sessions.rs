@@ -42,7 +42,9 @@ fn reference(
 ) {
     let plan = choice.build(req.spec).prepare(req.spec);
     let pair = req.input_pair();
-    let cfg = RunConfig::with_seed(req.seed);
+    // `coin_seed` collapses to `seed` for untagged requests and to the
+    // pair-derived stream seed for stream-tagged ones.
+    let cfg = RunConfig::with_seed(req.coin_seed());
     let out = run_two_party(
         &cfg,
         |chan, coins| {
@@ -83,6 +85,32 @@ fn remote_run_is_bit_identical_to_in_process() {
     drop(client);
     let summary = server.shutdown();
     assert_eq!(summary.sessions_served, 4);
+    assert_eq!(summary.sessions_failed, 0);
+}
+
+#[test]
+fn stream_tagged_remote_sessions_share_pair_randomness_and_stay_exact() {
+    let mut server = start_tcp_server();
+    let client = NetClient::connect(&server.local_addr().to_string()).unwrap();
+    // One client pair streaming several sessions: each request line
+    // carries pair=/stream= tags, so both halves derive their common
+    // randomness from stream_session_seed(pair, i) — and a standalone
+    // reference run of the tagged request reproduces the transcript.
+    for i in 0..6u64 {
+        let req = request(40 + i, 32, Some(ProtocolChoice::TreeLogStar)).in_stream(0xfeed, i);
+        assert_ne!(req.coin_seed(), req.seed, "tags must move the coin seed");
+        let (remote, events) = client.run_traced(&req).expect("streamed remote session");
+        let (ref_alice, ref_bob, ref_report, ref_events) =
+            reference(&req, ProtocolChoice::TreeLogStar);
+        assert_eq!(remote.alice, ref_alice, "session {i}: alice output");
+        assert_eq!(remote.bob, ref_bob, "session {i}: bob output");
+        assert!(remote.matches(&req.input_pair().ground_truth()));
+        assert_eq!(remote.report, ref_report, "session {i}: cost report");
+        assert_eq!(events, ref_events, "session {i}: transcript");
+    }
+    drop(client);
+    let summary = server.shutdown();
+    assert_eq!(summary.sessions_served, 6);
     assert_eq!(summary.sessions_failed, 0);
 }
 

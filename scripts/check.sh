@@ -23,6 +23,9 @@ echo "==> throughput bench smoke (--quick)"
 cargo run -q --release -p intersect-bench --bin throughput -- --quick --out /tmp/throughput_smoke.json
 rm -f /tmp/throughput_smoke.json
 
+echo "==> E23 pair-stream amortization smoke (--quick)"
+cargo run -q --release -p intersect-bench --bin report -- --exp E23 --quick >/dev/null
+
 echo "==> telemetry plane smoke"
 ./scripts/telemetry_smoke.sh
 

@@ -50,13 +50,30 @@ grep -q '"failed":0' "$tmpdir/loadgen.json" \
 completed=$(sed -n 's/^completed=\([0-9]*\) .*/\1/p' "$tmpdir/loadgen.err")
 [[ "$completed" == "64" ]] \
   || { echo "human summary missing from stderr, got: ${completed:-none}"; exit 1; }
+grep -q '"streams":0' "$tmpdir/loadgen.json" \
+  || { echo "one-shot burst must report streams=0"; cat "$tmpdir/loadgen.json"; exit 1; }
+
+echo "==> loadgen streamed burst: 64 sessions over 4 pair streams"
+"$LOADGEN_BIN" --endpoint "$addr" --sessions 64 --concurrency 6 \
+  --connections 2 --k 64 --streams 4 --json \
+  >"$tmpdir/loadgen_stream.json" 2>"$tmpdir/loadgen_stream.err"
+cat "$tmpdir/loadgen_stream.err"
+
+grep -q '"completed":64' "$tmpdir/loadgen_stream.json" \
+  || { echo "streamed burst must complete all sessions:"; cat "$tmpdir/loadgen_stream.json"; exit 1; }
+grep -q '"streams":4' "$tmpdir/loadgen_stream.json" \
+  || { echo "streamed burst must report streams=4:"; cat "$tmpdir/loadgen_stream.json"; exit 1; }
+grep -q '"amortized_bits_per_session":[0-9]' "$tmpdir/loadgen_stream.json" \
+  || { echo "streamed burst must report amortized bits/session:"; cat "$tmpdir/loadgen_stream.json"; exit 1; }
+grep -q 'amortized_bits_per_session=[0-9]' "$tmpdir/loadgen_stream.err" \
+  || { echo "human summary must carry amortized bits/session"; cat "$tmpdir/loadgen_stream.err"; exit 1; }
 
 echo "==> SIGTERM must drain and exit cleanly"
 kill -TERM %1
 if ! wait %1; then
   echo "server exited nonzero after SIGTERM"; cat "$tmpdir/serve.err"; exit 1
 fi
-grep -q 'transport summary: connections=2 served=64 failed=0 rejected=0' \
+grep -q 'transport summary: connections=4 served=128 failed=0 rejected=0' \
   "$tmpdir/serve.err" \
   || { echo "unexpected drain summary:"; cat "$tmpdir/serve.err"; exit 1; }
 

@@ -22,6 +22,7 @@ struct Options {
     universe: Option<u64>,
     seed: u64,
     repeat: u64,
+    stream: u64,
     quiet: bool,
 }
 
@@ -41,6 +42,12 @@ fn usage() -> ! {
                                fresh random pairs of the same shape; the\n\
                                protocol is prepared once and every session\n\
                                reuses the plan (default 1)\n\
+           --stream <N>        run N sessions as one client-pair stream:\n\
+                               a per-pair context (seeded by --seed)\n\
+                               precomputes correlated randomness once,\n\
+                               session i draws coin seed\n\
+                               stream_session_seed(seed, i); inputs as\n\
+                               with --repeat (default 0: off)\n\
            --quiet             print only the intersection elements"
     );
     std::process::exit(2);
@@ -66,6 +73,7 @@ fn parse_args() -> Options {
         universe: None,
         seed: 0,
         repeat: 1,
+        stream: 0,
         quiet: false,
     };
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -91,6 +99,11 @@ fn parse_args() -> Options {
             "--seed" => opts.seed = parse_u64(&value("--seed")).unwrap_or_else(|| usage()),
             "--repeat" => {
                 opts.repeat = parse_u64(&value("--repeat"))
+                    .filter(|&n| n >= 1)
+                    .unwrap_or_else(|| usage())
+            }
+            "--stream" => {
+                opts.stream = parse_u64(&value("--stream"))
                     .filter(|&n| n >= 1)
                     .unwrap_or_else(|| usage())
             }
@@ -142,6 +155,22 @@ fn build_protocol(opts: &Options, spec: ProblemSpec) -> Result<Box<dyn SetInters
     })
 }
 
+/// Session inputs for multi-session modes: session 0 replays the file
+/// inputs; sessions `1..count` draw fresh random pairs of the same
+/// shape, seeded deterministically off `--seed`.
+fn session_inputs(pair: &InputPair, spec: ProblemSpec, seed: u64, count: u64) -> Vec<InputPair> {
+    let overlap = pair
+        .ground_truth()
+        .len()
+        .max((2 * spec.k).saturating_sub(spec.n) as usize)
+        .min(spec.k as usize);
+    let mut pairs = vec![pair.clone()];
+    for i in 1..count {
+        pairs.push(SessionRequest::new(seed.wrapping_add(i), spec, overlap).input_pair());
+    }
+    pairs
+}
+
 fn main() -> ExitCode {
     let opts = parse_args();
     let (s, t) = match (load_set(&opts.a_path), load_set(&opts.b_path)) {
@@ -177,24 +206,35 @@ fn main() -> ExitCode {
     let pair = InputPair { s, t };
     let plan = protocol.prepare(spec);
     let started = std::time::Instant::now();
-    let results = if opts.repeat == 1 {
+    let mut stream_ctx = None;
+    let results = if opts.stream >= 1 {
+        // One client-pair stream: the context forks the pair's coin
+        // block (session i's coins come from stream_session_seed(seed,
+        // i)) and presamples input-independent randomness once; the
+        // sessions pipeline on one warm runner without per-session
+        // rendezvous. Inputs follow the --repeat convention: session 0
+        // replays the files, later sessions draw fresh pairs.
+        let pairs = session_inputs(&pair, spec, opts.seed, opts.stream);
+        let ctx = PairContext::new(std::sync::Arc::clone(&plan), opts.seed);
+        let out = match execute_prepared_stream(&ctx, &pairs) {
+            Ok(results) => results,
+            Err(e) => {
+                eprintln!("protocol error: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        stream_ctx = Some(ctx);
+        out
+    } else if opts.repeat == 1 {
         vec![execute_prepared(&plan, &pair, opts.seed)]
     } else {
         // Repeat 0 replays the file inputs (bit-identical to a single run
         // with the same seed); later repeats draw fresh pairs of the same
         // shape. One prepared plan and one warm runner serve all sessions.
-        let overlap = pair
-            .ground_truth()
-            .len()
-            .max((2 * spec.k).saturating_sub(spec.n) as usize)
-            .min(spec.k as usize);
-        let mut pairs = vec![pair.clone()];
-        let mut seeds = vec![opts.seed];
-        for i in 1..opts.repeat {
-            let seed = opts.seed.wrapping_add(i);
-            pairs.push(SessionRequest::new(seed, spec, overlap).input_pair());
-            seeds.push(seed);
-        }
+        let pairs = session_inputs(&pair, spec, opts.seed, opts.repeat);
+        let seeds: Vec<u64> = (0..opts.repeat)
+            .map(|i| opts.seed.wrapping_add(i))
+            .collect();
         match execute_prepared_batch(&plan, &pairs, &seeds) {
             Ok(results) => results,
             Err(e) => {
@@ -236,14 +276,19 @@ fn main() -> ExitCode {
             run.report.messages,
             run.report.rounds,
         );
-        if opts.repeat > 1 {
+        if results.len() > 1 || stream_ctx.is_some() {
             let ok: Vec<_> = results.iter().filter_map(|r| r.as_ref().ok()).collect();
             let failed = results.len() - ok.len();
             let total_bits: u64 = ok.iter().map(|r| r.report.total_bits()).sum();
             let mean_bits = total_bits / ok.len().max(1) as u64;
             let per_sec = results.len() as f64 / elapsed.as_secs_f64().max(1e-9);
+            let mode = if stream_ctx.is_some() {
+                "stream"
+            } else {
+                "repeat"
+            };
             eprintln!(
-                "# repeat: {} sessions over one prepared plan ({} ok, {} failed), \
+                "# {mode}: {} sessions over one prepared plan ({} ok, {} failed), \
                  mean {} bits/session, {:.0} sessions/s",
                 results.len(),
                 ok.len(),
@@ -251,6 +296,14 @@ fn main() -> ExitCode {
                 mean_bits,
                 per_sec,
             );
+            if let Some(ctx) = &stream_ctx {
+                eprintln!(
+                    "# stream context: pair seed {}, {} sessions drawn, {} coin-block refills",
+                    ctx.pair_seed(),
+                    ctx.sessions(),
+                    ctx.coin_refills(),
+                );
+            }
         }
     }
     ExitCode::SUCCESS

@@ -27,6 +27,7 @@ struct Options {
     sessions: u64,
     concurrency: usize,
     connections: usize,
+    streams: u64,
     rate: f64,
     n: u64,
     k: u64,
@@ -45,6 +46,11 @@ fn usage() -> ! {
            --concurrency <c>   worker threads (default 8)\n\
            --connections <c>   multiplexed connections shared by the\n\
                                workers (default 1)\n\
+           --streams <s>       partition sessions round-robin over s\n\
+                               client-pair streams: session i carries\n\
+                               pair/stream tags so the server reuses the\n\
+                               pair's randomness context (default 0:\n\
+                               untagged one-shot sessions)\n\
            --rate <r>          target arrival rate in sessions/s; 0 means\n\
                                closed-loop, as fast as workers allow\n\
                                (default 0)\n\
@@ -75,6 +81,7 @@ fn parse_args() -> Options {
         sessions: 200,
         concurrency: 8,
         connections: 1,
+        streams: 0,
         rate: 0.0,
         n: 1 << 20,
         k: 64,
@@ -110,6 +117,7 @@ fn parse_args() -> Options {
             "--connections" => {
                 opts.connections = int("--connections", value("--connections")) as usize
             }
+            "--streams" => opts.streams = int("--streams", value("--streams")),
             "--rate" => opts.rate = value("--rate").parse().unwrap_or_else(|_| usage()),
             "--n" => opts.n = int("--n", value("--n")),
             "--k" => opts.k = int("--k", value("--k")),
@@ -166,6 +174,7 @@ fn main() -> ExitCode {
 
     let next = Arc::new(AtomicU64::new(0));
     let failed = Arc::new(AtomicU64::new(0));
+    let total_bits = Arc::new(AtomicU64::new(0));
     let latencies = Arc::new(Mutex::new(Vec::with_capacity(opts.sessions as usize)));
     let start = Instant::now();
 
@@ -174,9 +183,11 @@ fn main() -> ExitCode {
             let clients = clients.clone();
             let next = Arc::clone(&next);
             let failed = Arc::clone(&failed);
+            let total_bits = Arc::clone(&total_bits);
             let latencies = Arc::clone(&latencies);
             let protocol = opts.protocol;
-            let (sessions, rate, seed) = (opts.sessions, opts.rate, opts.seed);
+            let (sessions, rate, seed, streams) =
+                (opts.sessions, opts.rate, opts.seed, opts.streams);
             std::thread::spawn(move || loop {
                 let i = next.fetch_add(1, Ordering::Relaxed);
                 if i >= sessions {
@@ -192,6 +203,13 @@ fn main() -> ExitCode {
                 let mut req = SessionRequest::new(i, spec, overlap);
                 req.seed = seed.wrapping_add(i);
                 req.protocol = protocol;
+                if streams > 0 {
+                    // Round-robin over client-pair streams: session i is
+                    // index i/streams of pair (seed + i%streams)'s
+                    // stream, so the server reuses one randomness
+                    // context per pair.
+                    req = req.in_stream(seed.wrapping_add(i % streams), i / streams);
+                }
                 let t0 = Instant::now();
                 match clients[i as usize % clients.len()].run(&req) {
                     Ok(run) => {
@@ -199,6 +217,7 @@ fn main() -> ExitCode {
                         // transport was happy.
                         if run.matches(&req.input_pair().ground_truth()) {
                             let micros = t0.elapsed().as_micros() as u64;
+                            total_bits.fetch_add(run.report.total_bits(), Ordering::Relaxed);
                             latencies.lock().unwrap().push(micros);
                         } else {
                             eprintln!("session {i}: wrong intersection");
@@ -229,6 +248,8 @@ fn main() -> ExitCode {
     let completed = lat.len() as u64;
     let failed = failed.load(Ordering::Relaxed);
     let per_s = completed as f64 / elapsed.as_secs_f64().max(1e-9);
+    let total_bits = total_bits.load(Ordering::Relaxed);
+    let amortized_bits = total_bits as f64 / (completed.max(1)) as f64;
     let (min, p50, p90, p99, max) = (
         lat.first().copied().unwrap_or(0),
         percentile(&lat, 0.50),
@@ -241,8 +262,10 @@ fn main() -> ExitCode {
     // clean for machine consumers: with --json, stdout carries exactly
     // one parseable line (`loadgen --json | jq .` works in a pipeline).
     eprintln!(
-        "completed={completed} failed={failed} elapsed_s={:.3} sessions_per_s={per_s:.1}",
+        "completed={completed} failed={failed} elapsed_s={:.3} sessions_per_s={per_s:.1} \
+         streams={} amortized_bits_per_session={amortized_bits:.1}",
         elapsed.as_secs_f64(),
+        opts.streams,
     );
     eprintln!(
         "latency_us min={min} p50={p50} p90={p90} p99={p99} max={max} ({} connections, {} workers)",
@@ -251,9 +274,12 @@ fn main() -> ExitCode {
     if opts.json {
         println!(
             "{{\"completed\":{completed},\"failed\":{failed},\"elapsed_s\":{:.6},\
-             \"sessions_per_s\":{per_s:.1},\"latency_us\":{{\"min\":{min},\
+             \"sessions_per_s\":{per_s:.1},\"streams\":{},\
+             \"amortized_bits_per_session\":{amortized_bits:.1},\
+             \"latency_us\":{{\"min\":{min},\
              \"p50\":{p50},\"p90\":{p90},\"p99\":{p99},\"max\":{max}}}}}",
             elapsed.as_secs_f64(),
+            opts.streams,
         );
     }
     if failed > 0 {

@@ -187,6 +187,19 @@ pub fn render(state: &AppState, width: usize) -> String {
             entries
         ),
     );
+    let (phits, pmisses, pentries) = state.pair_context;
+    push_line(
+        &mut out,
+        w,
+        &format!(
+            "pair contexts: {} hits / {} misses ({} hit rate), {} entries, {} coin refills",
+            phits,
+            pmisses,
+            hit_rate(phits, pmisses),
+            pentries,
+            state.coin_refills
+        ),
+    );
     push_line(&mut out, w, "");
 
     push_line(

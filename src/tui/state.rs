@@ -108,6 +108,10 @@ pub struct AppState {
     pub per_protocol: Vec<ProtocolRow>,
     /// Plan-cache counters `(hits, misses, entries)`.
     pub plan_cache: (u64, u64, u64),
+    /// Pair-context cache counters `(hits, misses, entries)`.
+    pub pair_context: (u64, u64, u64),
+    /// Pair coin-block refills (cumulative).
+    pub coin_refills: u64,
     /// Calibration table rows, in `/calibration` order.
     pub calibration: Vec<CalRow>,
     /// Total hysteresis snaps across all entries.
@@ -220,6 +224,12 @@ impl AppState {
             sample.metric("engine_plan_cache_misses") as u64,
             sample.metric("engine_plan_cache_entries") as u64,
         );
+        self.pair_context = (
+            sample.metric("pair_context_hits") as u64,
+            sample.metric("pair_context_misses") as u64,
+            sample.metric("pair_context_entries") as u64,
+        );
+        self.coin_refills = sample.metric("coin_block_refills_total") as u64;
         self.recalibrations = sample.metric_sum("router_recalibration_total") as u64;
         self.drifts = sample.metric_sum("router_drift_total") as u64;
         self.conformance_checks = sample.metric_sum("conformance_checks_total") as u64;
@@ -323,6 +333,8 @@ mod tests {
         let mut state = AppState::default();
         let metrics = "engine_plan_cache_hits 90\nengine_plan_cache_misses 10\n\
                        engine_plan_cache_entries 4\n\
+                       pair_context_hits 30\npair_context_misses 6\n\
+                       pair_context_entries 3\ncoin_block_refills_total 2\n\
                        router_recalibration_total{protocol=\"sqrt-fknn\",k_bucket=\"2^8\",bound=\"bits\"} 2\n\
                        router_drift_total{protocol=\"sqrt-fknn\",k_bucket=\"2^8\"} 1\n\
                        conformance_checks_total 100\n\
@@ -340,6 +352,8 @@ mod tests {
         );
         state.reduce(&sample, 1.0);
         assert_eq!(state.plan_cache, (90, 10, 4));
+        assert_eq!(state.pair_context, (30, 6, 3));
+        assert_eq!(state.coin_refills, 2);
         assert_eq!(state.recalibrations, 2);
         assert_eq!(state.drifts, 1);
         assert_eq!(state.conformance_violations, 3);

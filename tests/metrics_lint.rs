@@ -42,6 +42,19 @@ fn live_exposition() -> String {
         req.seed = id + 1;
         engine.submit(req).expect("engine is accepting");
     }
+    // Two stream submissions on one pair light up the pair-context
+    // families (a miss, then a hit), and 80 sessions outrun the 64-seed
+    // coin block so `coin_block_refills_total` fires too.
+    let spec = ProblemSpec::new(1 << 16, 16);
+    let stream = engine.open_stream(9);
+    for round in 0..2u64 {
+        let batch: Vec<SessionRequest> = (0..40)
+            .map(|i| SessionRequest::new(1_000 + round * 40 + i, spec, 4))
+            .collect();
+        engine
+            .submit_stream(stream, batch)
+            .expect("stream accepted");
+    }
     engine.finish();
 
     // Honest traffic never drifts, so fold sustained 4x residuals through
@@ -147,10 +160,61 @@ fn every_exported_series_has_help_and_type_and_no_duplicates() {
         "router_correction_factor_milli",
         "router_residual_bits_permille",
         "conformance_checks_total",
+        "pair_context_hits",
+        "pair_context_misses",
+        "pair_context_entries",
+        "coin_block_refills_total",
+        "engine_streams_opened_total",
     ] {
         assert!(
             typed.contains(expected),
             "expected family {expected} missing from the exposition"
         );
     }
+}
+
+/// Label values flow into the exposition escaped per the text format:
+/// backslash, double quote, and newline never break a sample line, and
+/// the HELP text for the family escapes backslash and newline too.
+#[test]
+fn labelled_series_escape_hostile_values_in_the_exposition() {
+    let sub = obs::Subscriber::new();
+    let _guard = sub.install();
+
+    obs::describe(
+        "pair_context_evictions_probe",
+        "Lint probe: back\\slash and\nnewline in help",
+    );
+    let hostile = obs::metrics::labeled(
+        "pair_context_evictions_probe",
+        &[("pair", "a\"b\\c\nd"), ("proto", "sqrt")],
+    );
+    obs::counter_add(&hostile, 3);
+
+    let text = obs::export::prometheus_with_help(
+        &sub.metrics().snapshot(),
+        &sub.metrics().help_snapshot(),
+    );
+
+    // Every sample stays on one line: the newline in the label value
+    // must have been escaped at registration time.
+    let sample = text
+        .lines()
+        .find(|l| l.starts_with("pair_context_evictions_probe{"))
+        .expect("labelled sample exported");
+    assert_eq!(
+        sample,
+        "pair_context_evictions_probe{pair=\"a\\\"b\\\\c\\nd\",proto=\"sqrt\"} 3"
+    );
+    // HELP escapes backslash and newline (quotes are legal in HELP).
+    let help = text
+        .lines()
+        .find(|l| l.starts_with("# HELP pair_context_evictions_probe"))
+        .expect("HELP for labelled family");
+    assert_eq!(
+        help,
+        "# HELP pair_context_evictions_probe Lint probe: back\\\\slash and\\nnewline in help"
+    );
+    // TYPE is emitted once for the family, keyed by base name.
+    assert!(text.contains("# TYPE pair_context_evictions_probe counter"));
 }

@@ -65,8 +65,10 @@ fn golden_frame_content_spot_checks() {
     // Session counters from /sessions.
     assert!(frame.contains("completed 240"));
     assert!(frame.contains("workers 4"));
-    // Plan cache and conformance from /metrics.
+    // Plan cache, pair contexts, and conformance from /metrics.
     assert!(frame.contains("180 hits / 20 misses (90.0% hit rate), 6 entries"));
+    assert!(frame
+        .contains("pair contexts: 56 hits / 8 misses (87.5% hit rate), 8 entries, 3 coin refills"));
     assert!(frame.contains("240 checks, 2 violations"));
     // Calibration table from /calibration plus the router counters.
     assert!(frame.contains("calibration (4 recalibrations, 1 drifts)"));
