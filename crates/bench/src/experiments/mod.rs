@@ -11,6 +11,7 @@ pub mod net_exp;
 pub mod obs_exp;
 pub mod serve_exp;
 pub mod throughput_exp;
+pub mod trace_exp;
 pub mod two_party;
 
 use crate::table::Table;
@@ -150,6 +151,11 @@ pub fn all() -> Vec<Experiment> {
             run: throughput_exp::e23,
         },
         Experiment {
+            id: "E24",
+            claim: "Trace plane: tracing-on runs bit-identical; remote spans share one trace id; waterfall tiles latency",
+            run: trace_exp::e24,
+        },
+        Experiment {
             id: "A1",
             claim: "Ablation: iterated-log degree schedule vs uniform tree",
             run: ablations::a1,
@@ -186,8 +192,8 @@ mod tests {
         let ids: Vec<&str> = all().iter().map(|e| e.id).collect();
         for want in [
             "E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "E12", "E13",
-            "E14", "E15", "E16", "E17", "E18", "E19", "E20", "E21", "E22", "E23", "A1", "A2", "A3",
-            "A4",
+            "E14", "E15", "E16", "E17", "E18", "E19", "E20", "E21", "E22", "E23", "E24", "A1",
+            "A2", "A3", "A4",
         ] {
             assert!(ids.contains(&want), "missing {want}");
         }

@@ -1,0 +1,225 @@
+//! E24: the distributed trace plane is free where it must be — minting
+//! trace contexts, entering trace scopes, stamping timelines, and the
+//! always-on flight recorder change zero communication bits — and useful
+//! where it counts: a remote session's client and server spans share one
+//! deterministic trace id, and the per-session waterfall tiles the
+//! client-observed latency.
+//!
+//! Three tables:
+//! - **E24a** runs the full catalogue through the engine twice,
+//!   subscriber off then on (the E17 discipline), and asserts the cost
+//!   reports are bit-identical per (protocol, k).
+//! - **E24b** serves sessions over loopback TCP with a subscriber
+//!   installed and checks that every span either side emits carries the
+//!   trace id minted from `(id, seed)`, and that the client waterfall's
+//!   segments tile its end-to-end latency within the truncation ε.
+//! - **E24c** attributes a routed engine workload's latency to the six
+//!   waterfall segments per k (where does a session's time go).
+
+use crate::table::{fmt_bits, Table};
+use intersect_core::api::ProtocolChoice;
+use intersect_core::sets::ProblemSpec;
+use intersect_engine::prelude::*;
+use intersect_engine::timeline::SEGMENTS;
+use intersect_net::prelude::*;
+use intersect_obs as obs;
+use std::time::Instant;
+
+/// The canonical request for one (protocol, k) cell; both arms and both
+/// transports regenerate identical inputs from this line.
+fn request(id: u64, k: u64, choice: Option<ProtocolChoice>) -> SessionRequest {
+    let spec = ProblemSpec::new(1 << 20, k);
+    let mut req = SessionRequest::new(id, spec, (k / 3) as usize);
+    req.seed = id.wrapping_mul(0xE24) + 7;
+    req.protocol = choice;
+    req
+}
+
+/// Runs every (protocol, k) cell through a fresh engine and returns the
+/// per-cell cost reports in submission order.
+fn engine_pass(ks: &[u64]) -> Vec<(ProtocolChoice, u64, intersect_comm::stats::CostReport)> {
+    let engine = Engine::start(EngineConfig::new(2));
+    let mut cells = Vec::new();
+    let mut id = 0u64;
+    for choice in ProtocolChoice::all(3) {
+        for &k in ks {
+            id += 1;
+            cells.push((id, choice, k));
+            engine
+                .submit(request(id, k, Some(choice)))
+                .expect("engine accepts");
+        }
+    }
+    let report = engine.finish();
+    assert!(
+        report.outcomes.iter().all(|o| o.succeeded()),
+        "catalogue session failed"
+    );
+    cells
+        .into_iter()
+        .map(|(id, choice, k)| {
+            let out = report
+                .outcomes
+                .iter()
+                .find(|o| o.request.id == id)
+                .expect("outcome per submission");
+            (choice, k, out.report)
+        })
+        .collect()
+}
+
+/// E24 — trace-plane identity, stitching, and waterfall attribution.
+pub fn e24(quick: bool) -> Vec<Table> {
+    let ks: &[u64] = if quick { &[16, 64] } else { &[16, 64, 256] };
+
+    // E24a: tracing on vs off, full catalogue, bit identity asserted.
+    let mut identity = Table::new(
+        "E24a: tracing off vs on, full catalogue through the engine \
+         (trace minting, scopes, timelines, and the flight recorder must \
+         change zero communication bits)",
+        &["protocol", "k", "bits off", "bits on", "report"],
+    );
+    let off = engine_pass(ks);
+    let sub = obs::Subscriber::new();
+    let guard = (!obs::enabled()).then(|| sub.install());
+    let on = engine_pass(ks);
+    drop(guard);
+    drop(sub.take_events());
+    let mut all_identical = true;
+    for ((choice, k, report_off), (_, _, report_on)) in off.iter().zip(on.iter()) {
+        let same = report_off == report_on;
+        all_identical &= same;
+        identity.push_row(vec![
+            choice.to_string(),
+            k.to_string(),
+            fmt_bits(report_off.total_bits() as f64),
+            fmt_bits(report_on.total_bits() as f64),
+            if same { "identical" } else { "DIFFERS" }.to_string(),
+        ]);
+    }
+    assert!(all_identical, "tracing changed communication bits");
+
+    // E24b: loopback TCP, one subscriber sees both halves; every span on
+    // either side must carry the trace id minted from (id, seed), and
+    // the client waterfall must tile its end-to-end latency.
+    let mut stitch = Table::new(
+        "E24b: cross-process trace stitching over loopback TCP (client and \
+         server spans share the deterministic trace id; client waterfall \
+         segments tile the end-to-end latency within ε = 1µs/segment)",
+        &[
+            "k",
+            "trace id",
+            "spans",
+            "stitched",
+            "open-wait (us)",
+            "rounds (us)",
+            "drain (us)",
+            "end-to-end (us)",
+            "tiles",
+        ],
+    );
+    let sub = obs::Subscriber::new();
+    let guard = (!obs::enabled()).then(|| sub.install());
+    let mut server = NetServer::start(NetServerConfig::new(
+        EndpointAddr::parse("tcp:127.0.0.1:0").expect("endpoint"),
+    ))
+    .expect("bind loopback server");
+    let client =
+        intersect_net::NetClient::connect(&server.local_addr().to_string()).expect("connect");
+    for (i, &k) in ks.iter().enumerate() {
+        let req = request(1000 + i as u64, k, None);
+        let expected = obs::TraceContext::mint(req.id, req.seed);
+        let t0 = Instant::now();
+        let (run, timeline) = client.run_timed(&req).expect("remote session");
+        let wall = t0.elapsed().as_micros() as u64;
+        assert!(
+            run.matches(&req.input_pair().ground_truth()),
+            "remote session wrong"
+        );
+
+        let events: Vec<obs::Event> = sub
+            .events()
+            .into_iter()
+            .filter(|e| e.session == Some(req.id))
+            .collect();
+        let spans = events
+            .iter()
+            .filter(|e| matches!(e.kind, obs::EventKind::Span { .. }) && e.name == "session")
+            .count();
+        let stitched = spans >= 2
+            && events
+                .iter()
+                .all(|e| e.trace.is_none() || e.trace == Some(expected))
+            && events.iter().any(|e| e.trace == Some(expected));
+        assert!(
+            stitched,
+            "client and server spans must share trace {} (got {spans} session spans)",
+            expected.trace_hex()
+        );
+
+        let total = timeline.total_micros();
+        let segments = timeline.segments();
+        let tiles = segments.iter().map(|(_, us)| us).sum::<u64>() == total
+            && total <= wall + segments.len() as u64;
+        assert!(tiles, "waterfall must tile the end-to-end latency");
+        stitch.push_row(vec![
+            k.to_string(),
+            expected.trace_hex(),
+            spans.to_string(),
+            "shared".to_string(),
+            timeline.open_wait_micros.to_string(),
+            timeline.rounds_execute_micros.to_string(),
+            timeline.drain_micros.to_string(),
+            wall.to_string(),
+            "yes".to_string(),
+        ]);
+    }
+    drop(client);
+    let summary = server.shutdown();
+    assert_eq!(summary.sessions_failed, 0, "remote sessions failed");
+    drop(guard);
+    drop(sub.take_events());
+
+    // E24c: where a routed engine session's latency goes, per k.
+    let sessions_per_k = if quick { 24u64 } else { 96 };
+    let mut attribution = Table::new(
+        "E24c: engine latency waterfall by segment (routed sessions; each \
+         outcome's six segments tile its own span by construction)",
+        &["k", "sessions", "segment", "total (us)", "share"],
+    );
+    for &k in ks {
+        let engine = Engine::start(EngineConfig::new(4));
+        for id in 0..sessions_per_k {
+            engine
+                .submit(request(2000 + id, k, None))
+                .expect("engine accepts");
+        }
+        let report = engine.finish();
+        let mut folded = SessionTimeline::default();
+        // Routed traffic includes Monte Carlo protocols (e.g. one-round
+        // fingerprints) whose rare disagreements are part of the paper's
+        // error budget; every outcome still carries a full timeline, so
+        // attribution folds all of them and only bounds the error rate.
+        let disagreed = report.outcomes.iter().filter(|o| !o.succeeded()).count();
+        assert!(
+            disagreed as u64 <= sessions_per_k / 10,
+            "{disagreed}/{sessions_per_k} routed sessions disagreed at k = {k}"
+        );
+        for out in &report.outcomes {
+            folded.accumulate(&out.timeline);
+        }
+        let grand = folded.total_micros().max(1);
+        for (segment, micros) in folded.segments() {
+            attribution.push_row(vec![
+                k.to_string(),
+                sessions_per_k.to_string(),
+                segment.to_string(),
+                micros.to_string(),
+                format!("{:.1}%", micros as f64 / grand as f64 * 100.0),
+            ]);
+        }
+        assert_eq!(folded.segments().len(), SEGMENTS.len());
+    }
+
+    vec![identity, stitch, attribution]
+}

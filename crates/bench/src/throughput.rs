@@ -198,6 +198,56 @@ pub struct AmortizedReport {
     pub newman_setup: Vec<AmortizedBitsPoint>,
 }
 
+/// One waterfall segment's totals within a workload shape.
+#[derive(Debug, Clone, Serialize)]
+pub struct SegmentMicros {
+    /// Segment name (one of [`intersect_engine::timeline::SEGMENTS`]).
+    pub segment: &'static str,
+    /// Total microseconds spent in this segment across the shape's
+    /// sessions.
+    pub total_micros: u64,
+    /// This segment's share of the shape's total, in [0, 1].
+    pub share: f64,
+}
+
+/// Waterfall attribution for one `(n, k)` workload shape: where the
+/// shape's sessions spend their time, folded over every session of
+/// that shape in the stress batch.
+#[derive(Debug, Clone, Serialize)]
+pub struct AttributionShape {
+    /// Shape label, `n=2^e k=K` as in [`stress_batch`].
+    pub shape: String,
+    /// Sessions of this shape folded into the row.
+    pub sessions: u64,
+    /// Per-segment totals; the six segments tile `total_micros`.
+    pub segments: Vec<SegmentMicros>,
+    /// Sum over all segments (each session's segments tile its own
+    /// span within ε = 1µs of truncation per segment).
+    pub total_micros: u64,
+}
+
+/// Steady-state allocation check for the always-on flight recorder:
+/// after the ring has wrapped once, `record` must be allocation-free.
+#[derive(Debug, Clone, Serialize)]
+pub struct FlightRecorderSample {
+    /// Events recorded inside the counted window.
+    pub events: u64,
+    /// Exact process-wide allocations per recorded event — must be 0
+    /// at steady state (the recorder is five atomic stores).
+    pub allocs_per_event: f64,
+}
+
+/// The `attribution` section of `BENCH_throughput.json`: per-shape
+/// latency waterfalls plus the flight-recorder steady-state
+/// allocation check.
+#[derive(Debug, Clone, Serialize)]
+pub struct AttributionReport {
+    /// Waterfall per workload shape of the stress batch.
+    pub shapes: Vec<AttributionShape>,
+    /// Flight recorder allocations/event at steady state.
+    pub flight_recorder: FlightRecorderSample,
+}
+
 /// The full report serialized into `BENCH_throughput.json`.
 #[derive(Debug, Clone, Serialize)]
 pub struct ThroughputReport {
@@ -216,6 +266,9 @@ pub struct ThroughputReport {
     /// Pair-stream amortization: batch vs stream throughput and the
     /// setup-bits curve.
     pub amortized: AmortizedReport,
+    /// Latency waterfalls per workload shape + flight-recorder
+    /// steady-state allocation check.
+    pub attribution: AttributionReport,
     /// The pre-rework numbers, embedded so the report is self-contained.
     pub before: BaselineReport,
 }
@@ -1044,6 +1097,74 @@ fn engine_samples(sessions: u64, workers: usize) -> Vec<EngineSample> {
     out
 }
 
+/// Folds the stress batch's session timelines into per-shape
+/// waterfalls and measures the flight recorder's steady-state
+/// allocation cost with the process-wide counter.
+fn attribution_report(sessions: u64, workers: usize, count: fn() -> u64) -> AttributionReport {
+    use std::collections::BTreeMap;
+
+    let engine = Engine::start(EngineConfig::new(workers));
+    for req in stress_batch(sessions) {
+        engine.submit(req).expect("engine accepts");
+    }
+    let report = engine.finish();
+
+    // Group outcomes by (n, k); BTreeMap keeps shape order stable.
+    let mut folded: BTreeMap<(u64, u64), (u64, SessionTimeline)> = BTreeMap::new();
+    for out in &report.outcomes {
+        let spec = out.request.spec;
+        let entry = folded.entry((spec.n, spec.k)).or_default();
+        entry.0 += 1;
+        entry.1.accumulate(&out.timeline);
+    }
+    let shapes = folded
+        .into_iter()
+        .map(|((n, k), (sessions, timeline))| {
+            let total = timeline.total_micros();
+            let segments = timeline
+                .segments()
+                .iter()
+                .map(|&(segment, total_micros)| SegmentMicros {
+                    segment,
+                    total_micros,
+                    share: total_micros as f64 / total.max(1) as f64,
+                })
+                .collect();
+            AttributionShape {
+                shape: format!("n=2^{} k={k}", n.trailing_zeros()),
+                sessions,
+                segments,
+                total_micros: total,
+            }
+        })
+        .collect();
+
+    // Flight-recorder steady state: wrap the ring once so every slot
+    // has been written, then count allocations across a recording
+    // window. The engine above is finished (workers joined), so the
+    // counter sees only this thread.
+    let events = 10_000u64;
+    for i in 0..events {
+        intersect_obs::flight::record(intersect_obs::flight::CODE_COMPLETE, i, i, 0);
+    }
+    let a0 = count();
+    for i in 0..events {
+        intersect_obs::flight::record(intersect_obs::flight::CODE_COMPLETE, i, i, 0);
+    }
+    let allocs = count() - a0;
+    assert_eq!(
+        allocs, 0,
+        "flight recorder allocated at steady state ({allocs} allocs / {events} events)"
+    );
+    AttributionReport {
+        shapes,
+        flight_recorder: FlightRecorderSample {
+            events,
+            allocs_per_event: allocs as f64 / events as f64,
+        },
+    }
+}
+
 /// Runs every sample. `count` reads the process-wide allocation counter
 /// installed by the calling binary (the library cannot install a global
 /// allocator itself without forcing it on every consumer).
@@ -1067,6 +1188,7 @@ pub fn run(quick: bool, count: fn() -> u64) -> ThroughputReport {
         ),
         network: network_samples(if quick { 64 } else { 400 }),
         amortized: amortized_report(params.sessions),
+        attribution: attribution_report(params.engine_sessions, params.engine_workers, count),
         before: seed_baseline(),
     }
 }

@@ -56,6 +56,7 @@ pub mod registry;
 pub mod request;
 pub mod router;
 pub mod scheduler;
+pub mod timeline;
 
 pub use pair_context::{PairContextCache, PairContextStats};
 pub use plan_cache::{PlanCache, PlanCacheStats};
@@ -66,6 +67,7 @@ pub use request::SessionRequest;
 pub use router::calibration::{self, CalibrationConfig, CalibrationSnapshot, Calibrator};
 pub use router::{route, route_calibrated, theory_envelope, RoutePolicy};
 pub use scheduler::{Engine, EngineConfig, EngineReport, SessionOutcome, StreamId, SubmitError};
+pub use timeline::SessionTimeline;
 
 /// The most commonly used items, for glob import.
 pub mod prelude {
@@ -78,4 +80,5 @@ pub mod prelude {
     pub use crate::scheduler::{
         Engine, EngineConfig, EngineReport, SessionOutcome, StreamId, SubmitError,
     };
+    pub use crate::timeline::SessionTimeline;
 }

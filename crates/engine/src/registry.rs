@@ -15,8 +15,9 @@ use serde::{Deserialize, Serialize};
 use std::collections::{BTreeMap, VecDeque};
 use std::sync::{Arc, Mutex};
 
-/// How many recently finished sessions the registry retains for the
-/// `/sessions` endpoint.
+/// Default capacity of the recently-finished-session ring retained for
+/// the `/sessions` endpoint; `EngineConfig::ring` (and the
+/// `intersect-serve --ring` flag) override it per engine.
 const RECENT_CAP: usize = 64;
 
 /// Aggregate communication cost of all sessions served by one protocol.
@@ -201,14 +202,39 @@ pub(crate) struct Registry {
     inner: Mutex<RegistryInner>,
 }
 
-#[derive(Debug, Default)]
+#[derive(Debug)]
 struct RegistryInner {
     metrics: EngineMetrics,
     latency: LogHistogram,
     recent: VecDeque<SessionSummary>,
+    recent_cap: usize,
+}
+
+impl Default for RegistryInner {
+    fn default() -> Self {
+        RegistryInner {
+            metrics: EngineMetrics::default(),
+            latency: LogHistogram::default(),
+            recent: VecDeque::new(),
+            recent_cap: RECENT_CAP,
+        }
+    }
 }
 
 impl Registry {
+    /// A registry whose recent-session ring holds `cap` entries
+    /// (clamped to at least 1).
+    pub(crate) fn with_capacity(cap: usize) -> Registry {
+        let registry = Registry::default();
+        registry.lock().recent_cap = cap.max(1);
+        registry
+    }
+
+    /// The recent-session ring's capacity.
+    pub(crate) fn recent_capacity(&self) -> usize {
+        self.lock().recent_cap
+    }
+
     pub(crate) fn record_submitted(&self) {
         self.lock().metrics.submitted += 1;
     }
@@ -240,7 +266,7 @@ impl Registry {
         tally.bits += report.total_bits();
         tally.max_rounds = tally.max_rounds.max(report.rounds);
         inner.latency.record(latency_micros);
-        if inner.recent.len() == RECENT_CAP {
+        while inner.recent.len() >= inner.recent_cap {
             inner.recent.pop_front();
         }
         inner.recent.push_back(SessionSummary {
@@ -299,16 +325,23 @@ impl EngineWatch {
         self.registry.recent()
     }
 
-    /// The `/sessions` document: the live snapshot plus the recent-session
-    /// ring, as pretty-printed JSON.
+    /// The recent-session ring's capacity (`EngineConfig::ring`).
+    pub fn ring(&self) -> usize {
+        self.registry.recent_capacity()
+    }
+
+    /// The `/sessions` document: the live snapshot, the configured ring
+    /// capacity, and the recent-session ring, as pretty-printed JSON.
     pub fn sessions_json(&self) -> String {
         #[derive(Serialize)]
         struct SessionsDoc {
             snapshot: EngineSnapshot,
+            ring: usize,
             recent: Vec<SessionSummary>,
         }
         serde_json::to_string_pretty(&SessionsDoc {
             snapshot: self.snapshot(),
+            ring: self.ring(),
             recent: self.recent_sessions(),
         })
         .expect("sessions document is serializable")
@@ -380,6 +413,19 @@ mod tests {
     }
 
     #[test]
+    fn ring_capacity_is_configurable_and_clamped() {
+        let reg = Registry::with_capacity(3);
+        assert_eq!(reg.recent_capacity(), 3);
+        for id in 0..8 {
+            reg.record_outcome(id, "trivial", &sample_report(10, 2), true, 1);
+        }
+        let recent = reg.recent();
+        assert_eq!(recent.len(), 3);
+        assert_eq!(recent.first().unwrap().id, 5);
+        assert_eq!(Registry::with_capacity(0).recent_capacity(), 1);
+    }
+
+    #[test]
     fn watch_serves_live_snapshots_and_sessions_json() {
         let registry = Arc::new(Registry::default());
         let watch = EngineWatch {
@@ -394,6 +440,7 @@ mod tests {
         let doc: serde_json::Value = serde_json::from_str(&json).unwrap();
         let snapshot = doc.get("snapshot").expect("snapshot field");
         assert_eq!(snapshot.get("workers").unwrap().as_u64(), Some(4));
+        assert_eq!(doc.get("ring").unwrap().as_u64(), Some(64));
         let recent = match doc.get("recent").expect("recent field") {
             serde_json::Value::Array(items) => items,
             other => panic!("recent is not an array: {other:?}"),

@@ -8,6 +8,7 @@
 
 use intersect_core::api::ProtocolChoice;
 use intersect_core::sets::{InputPair, ProblemSpec};
+use intersect_obs::tracing::TraceContext;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 
@@ -36,6 +37,11 @@ pub struct SessionRequest {
     /// `stream_session_seed(pair, stream)`, making a streamed session
     /// reproducible standalone.
     pub stream: Option<u64>,
+    /// Distributed trace context. The engine (or a remote client) mints
+    /// one deterministically from `(id, seed)` at submission when unset,
+    /// and it rides the request line through intersect-net `Open` frames
+    /// so the server's Bob spans join the client's trace.
+    pub trace: Option<TraceContext>,
 }
 
 impl SessionRequest {
@@ -50,7 +56,16 @@ impl SessionRequest {
             protocol: None,
             pair: None,
             stream: None,
+            trace: None,
         }
+    }
+
+    /// The trace context every execution path agrees on for this
+    /// request: the one already carried, or the deterministic mint from
+    /// `(id, seed)`.
+    pub fn trace_context(&self) -> TraceContext {
+        self.trace
+            .unwrap_or_else(|| TraceContext::mint(self.id, self.seed))
     }
 
     /// Tags the request as session `stream` of pair `pair`'s stream.
@@ -152,6 +167,8 @@ impl SessionRequest {
         let mut protocol = None;
         let mut pair = None;
         let mut stream = None;
+        let mut trace = None;
+        let mut span = None;
         for token in line.split_whitespace() {
             let (key, value) = token
                 .split_once('=')
@@ -169,9 +186,27 @@ impl SessionRequest {
                 "protocol" => protocol = Some(value.parse::<ProtocolChoice>()?),
                 "pair" => pair = Some(int()?),
                 "stream" => stream = Some(int()?),
+                "trace" => {
+                    trace = Some(
+                        TraceContext::parse_trace_hex(value)
+                            .ok_or_else(|| format!("bad trace id (want 32 hex): {value:?}"))?,
+                    )
+                }
+                "span" => {
+                    span = Some(
+                        TraceContext::parse_span_hex(value)
+                            .ok_or_else(|| format!("bad span id (want 16 hex): {value:?}"))?,
+                    )
+                }
                 other => return Err(format!("unknown key {other:?}")),
             }
         }
+        let trace = match (trace, span) {
+            (Some(trace_id), Some(span_id)) => Some(TraceContext { trace_id, span_id }),
+            (None, None) => None,
+            (Some(_), None) => return Err("trace= requires a span= token".into()),
+            (None, Some(_)) => return Err("span= requires a trace= token".into()),
+        };
         let n = n.ok_or("missing required key n")?;
         let k = k.ok_or("missing required key k")?;
         if k == 0 || k > n {
@@ -187,6 +222,7 @@ impl SessionRequest {
             protocol,
             pair,
             stream,
+            trace,
         };
         req.validate()?;
         Ok(Some(req))
@@ -206,6 +242,9 @@ impl SessionRequest {
         }
         if let Some(stream) = self.stream {
             out.push_str(&format!(" stream={stream}"));
+        }
+        if let Some(t) = self.trace {
+            out.push_str(&format!(" trace={} span={}", t.trace_hex(), t.span_hex()));
         }
         out
     }
@@ -229,6 +268,32 @@ mod tests {
         req.protocol = Some(ProtocolChoice::TreePipelined(3));
         let parsed = SessionRequest::parse_line(&req.to_line()).unwrap().unwrap();
         assert_eq!(parsed, req);
+    }
+
+    #[test]
+    fn trace_tags_round_trip_and_mint_deterministically() {
+        let spec = ProblemSpec::new(1 << 20, 64);
+        let mut req = SessionRequest::new(9, spec, 16);
+        // Unset trace: the context is minted from (id, seed) on demand.
+        assert_eq!(req.trace_context(), TraceContext::mint(9, 9));
+        assert!(!req.to_line().contains("trace="));
+        // Carried trace: the line round-trips it exactly.
+        req.trace = Some(TraceContext::mint(9, 9));
+        let parsed = SessionRequest::parse_line(&req.to_line()).unwrap().unwrap();
+        assert_eq!(parsed, req);
+        assert_eq!(parsed.trace_context(), TraceContext::mint(9, 9));
+        // Half a context is malformed.
+        assert!(SessionRequest::parse_line(&format!(
+            "n=1024 k=8 trace={}",
+            TraceContext::mint(1, 1).trace_hex()
+        ))
+        .is_err());
+        assert!(SessionRequest::parse_line(&format!(
+            "n=1024 k=8 span={}",
+            TraceContext::mint(1, 1).span_hex()
+        ))
+        .is_err());
+        assert!(SessionRequest::parse_line("n=1024 k=8 trace=zz span=00aa00aa00aa00aa").is_err());
     }
 
     #[test]

@@ -37,6 +37,7 @@ use crate::registry::{EngineSnapshot, EngineWatch, Registry};
 use crate::request::SessionRequest;
 use crate::router::calibration::{describe_calibration_metrics, CalibrationConfig, Calibrator};
 use crate::router::{route_calibrated, theory_envelope, RoutePolicy};
+use crate::timeline::{SessionTimeline, TimelineStamps};
 use crossbeam_channel::{
     bounded, unbounded, Receiver, RecvTimeoutError, Sender, TryRecvError, TrySendError,
 };
@@ -58,8 +59,10 @@ use std::time::{Duration, Instant};
 
 /// Emits a session-lifecycle instant (`submit`, `reject`, `admit`,
 /// `route`, `complete`, `fail`) attributed to a session id from a thread
-/// that holds no [`obs::phase::SessionScope`]. Free when disabled.
-fn lifecycle(name: &'static str, session: u64) {
+/// that holds no [`obs::phase::SessionScope`], carrying the session's
+/// distributed trace context so lifecycle instants stitch into the same
+/// trace as the execution spans. Free when disabled.
+fn lifecycle(name: &'static str, session: u64, trace: Option<obs::TraceContext>) {
     if !obs::enabled() {
         return;
     }
@@ -70,8 +73,20 @@ fn lifecycle(name: &'static str, session: u64) {
         session: Some(session),
         party: None,
         phase: String::new(),
+        trace,
         kind: obs::EventKind::Instant,
     });
+}
+
+/// Stamps the session's deterministic trace context at submission when
+/// the client did not supply one. Minting is a pure function of
+/// `(id, seed)` — no clocks, no global counters — so tracing changes no
+/// bits and a replayed or re-submitted request joins the same trace.
+fn mint_trace(request: &mut SessionRequest) {
+    if request.trace.is_none() {
+        request.trace = Some(obs::TraceContext::mint(request.id, request.seed));
+        obs::counter_add("trace_contexts_minted_total", 1);
+    }
 }
 
 /// Tuning knobs for an [`Engine`].
@@ -104,6 +119,10 @@ pub struct EngineConfig {
     /// which protocol a regime routes to. Conformance envelopes stay
     /// pinned to the uncorrected theory prediction.
     pub calibration: Option<CalibrationConfig>,
+    /// Capacity of the recently-finished-session ring retained for the
+    /// `/sessions` endpoint (clamped to at least 1). Larger rings give
+    /// live dashboards more history at a small memory cost.
+    pub ring: usize,
 }
 
 impl EngineConfig {
@@ -118,6 +137,7 @@ impl EngineConfig {
             debug_session: None,
             conformance: None,
             calibration: None,
+            ring: 64,
         }
     }
 }
@@ -174,6 +194,9 @@ pub struct SessionOutcome {
     pub report: CostReport,
     /// Wall-clock admission-to-outcome latency in microseconds.
     pub latency_micros: u64,
+    /// The session's latency waterfall: submitted-to-settled wall clock
+    /// decomposed into named segments that tile the span.
+    pub timeline: SessionTimeline,
     /// Phase-by-phase bit breakdown, present only for the configured
     /// [`EngineConfig::debug_session`].
     pub trace: Option<Vec<PhaseSummary>>,
@@ -210,6 +233,8 @@ struct SessionTask {
     choice: ProtocolChoice,
     plan: Arc<dyn PreparedProtocol>,
     traced: bool,
+    submitted_at: Instant,
+    dispatched_at: Instant,
     admitted_at: Instant,
 }
 
@@ -219,6 +244,8 @@ struct BatchTask {
     requests: Vec<SessionRequest>,
     choice: ProtocolChoice,
     plan: Arc<dyn PreparedProtocol>,
+    submitted_at: Instant,
+    dispatched_at: Instant,
     admitted_at: Instant,
 }
 
@@ -230,6 +257,8 @@ struct StreamTask {
     pair: u64,
     choice: ProtocolChoice,
     ctx: Arc<PairContext>,
+    submitted_at: Instant,
+    dispatched_at: Instant,
     admitted_at: Instant,
 }
 
@@ -240,11 +269,12 @@ enum WorkItem {
     Stream(StreamTask),
 }
 
-/// What clients hand to the admission queue.
+/// What clients hand to the admission queue, stamped with the moment of
+/// submission so the dispatcher can attribute queue wait.
 enum Submission {
-    Single(SessionRequest),
-    Batch(Vec<SessionRequest>),
-    Stream(u64, Vec<SessionRequest>),
+    Single(SessionRequest, Instant),
+    Batch(Vec<SessionRequest>, Instant),
+    Stream(u64, Vec<SessionRequest>, Instant),
 }
 
 /// A handle for one pair's session stream, from [`Engine::open_stream`].
@@ -298,19 +328,30 @@ fn round_summaries(events: &[intersect_comm::trace::TraceEvent]) -> Vec<PhaseSum
 
 /// Opens the per-half instrumentation exactly as the dedicated path
 /// would see it: a session scope attributing every emission to the
-/// session and party, the busy gauge, and the half's "session" span.
-/// Returns the scope guard and the open span; the caller finishes the
-/// span with the endpoint's final stats so the two session spans of a
-/// session sum to exactly its [`CostReport`].
-fn half_span(session: u64, side: Side) -> (obs::phase::SessionScope, obs::phase::SpanGuard) {
+/// session and party, the session's distributed trace scope (so every
+/// span and message the half emits carries the trace context), the busy
+/// gauge, and the half's "session" span. Returns the scope guards and
+/// the open span; the caller finishes the span with the endpoint's final
+/// stats so the two session spans of a session sum to exactly its
+/// [`CostReport`].
+fn half_span(
+    session: u64,
+    side: Side,
+    trace: Option<obs::TraceContext>,
+) -> (
+    obs::phase::SessionScope,
+    Option<obs::TraceScope>,
+    obs::phase::SpanGuard,
+) {
     let party = if side.is_alice() {
         obs::Party::Alice
     } else {
         obs::Party::Bob
     };
     let scope = obs::phase::SessionScope::enter(session, party);
+    let trace_scope = trace.map(obs::TraceScope::enter);
     obs::gauge_add("engine_workers_busy", 1);
-    (scope, obs::phase::span("engine", "session"))
+    (scope, trace_scope, obs::phase::span("engine", "session"))
 }
 
 fn finish_half_span(span: obs::phase::SpanGuard, stats: ChannelStats) {
@@ -336,6 +377,7 @@ fn emit_outcome(
     res_b: Result<ElementSet, ProtocolError>,
     report: CostReport,
     latency_micros: u64,
+    stamps: TimelineStamps,
     trace: Option<Vec<PhaseSummary>>,
 ) {
     let error = match (&res_a, &res_b) {
@@ -343,6 +385,7 @@ fn emit_outcome(
         (Err(e), Ok(_)) | (Ok(_), Err(e)) => Some(e.clone()),
         (Err(ea), Err(eb)) => Some(primary_error(ea.clone(), eb.clone())),
     };
+    let timeline = stamps.settle();
     let outcome = SessionOutcome {
         request,
         protocol: choice,
@@ -352,6 +395,7 @@ fn emit_outcome(
         error,
         report,
         latency_micros,
+        timeline,
         trace,
     };
     ctx.registry.record_outcome(
@@ -362,8 +406,14 @@ fn emit_outcome(
         outcome.latency_micros,
     );
     if outcome.succeeded() {
-        lifecycle("complete", outcome.request.id);
+        lifecycle("complete", outcome.request.id, outcome.request.trace);
         obs::counter_add("engine_sessions_completed", 1);
+        obs::flight::record(
+            obs::flight::CODE_COMPLETE,
+            outcome.request.id,
+            report.total_bits(),
+            outcome.latency_micros,
+        );
         // The report hook: every successful session is checked against
         // its calibrated theory envelope the moment it settles.
         if let Some((config, monitor)) = &ctx.conformance {
@@ -392,12 +442,26 @@ fn emit_outcome(
             );
         }
     } else {
-        lifecycle("fail", outcome.request.id);
+        lifecycle("fail", outcome.request.id, outcome.request.trace);
         obs::counter_add("engine_sessions_failed", 1);
+        obs::flight::record(
+            obs::flight::CODE_FAIL,
+            outcome.request.id,
+            report.total_bits(),
+            outcome.latency_micros,
+        );
     }
     obs::counter_add("engine_bits_total", report.total_bits());
     obs::observe("engine_session_latency_micros", outcome.latency_micros);
     obs::observe("engine_session_bits", report.total_bits());
+    if obs::enabled() {
+        for (segment, micros) in timeline.segments() {
+            obs::observe(
+                &obs::metrics::labeled("engine_segment_micros", &[("segment", segment)]),
+                micros,
+            );
+        }
+    }
     obs::gauge_add("engine_in_flight", -1);
     let _ = ctx.outcome_tx.send(outcome);
 }
@@ -405,18 +469,23 @@ fn emit_outcome(
 /// Runs one whole session on this worker's reusable runner and emits
 /// its outcome.
 fn run_session(runner: &mut SessionRunner, task: SessionTask, ctx: &WorkerCtx) {
+    let started_at = Instant::now();
     let SessionTask {
         request,
         choice,
         plan,
         traced,
+        submitted_at,
+        dispatched_at,
         admitted_at,
     } = task;
     let id = request.id;
+    let trace_ctx = request.trace;
     let pair = request.input_pair();
     // `coin_seed`, not `seed`: a stream-tagged request resubmitted alone
     // must reproduce its streamed transcript bit for bit.
     let cfg = RunConfig::with_seed(request.coin_seed());
+    let coins_ready_at = Instant::now();
 
     // Alice's half runs on this thread, so it can hand the trace log out
     // through a captured slot; Bob's half runs on the runner's paired
@@ -431,7 +500,7 @@ fn run_session(runner: &mut SessionRunner, task: SessionTask, ctx: &WorkerCtx) {
     let parts = runner.run_parts(
         &cfg,
         move |ep: &mut Endpoint, coins: &CoinSource| {
-            let (_scope, span) = half_span(id, Side::Alice);
+            let (_scope, _trace, span) = half_span(id, Side::Alice, trace_ctx);
             let (result, stats) = if traced {
                 let mut tr = Traced::new(ep);
                 let result = plan_a.execute(&mut tr, coins, Side::Alice, &alice_input);
@@ -446,12 +515,13 @@ fn run_session(runner: &mut SessionRunner, task: SessionTask, ctx: &WorkerCtx) {
             result
         },
         move |ep: &mut Endpoint, coins: &CoinSource| {
-            let (_scope, span) = half_span(id, Side::Bob);
+            let (_scope, _trace, span) = half_span(id, Side::Bob, trace_ctx);
             let result = plan_b.execute(ep, coins, Side::Bob, &bob_input);
             finish_half_span(span, ep.stats());
             result
         },
     );
+    let executed_at = Instant::now();
 
     let (res_a, res_b, report) = match parts {
         Ok(parts) => (parts.alice, parts.bob, parts.report),
@@ -469,6 +539,14 @@ fn run_session(runner: &mut SessionRunner, task: SessionTask, ctx: &WorkerCtx) {
         res_b,
         report,
         admitted_at.elapsed().as_micros() as u64,
+        TimelineStamps {
+            submitted_at,
+            dispatched_at,
+            planned_at: admitted_at,
+            started_at,
+            coins_ready_at,
+            executed_at,
+        },
         trace,
     );
     // The dispatcher may already be gone during drain; that's fine.
@@ -486,37 +564,44 @@ type SessionResults = (
 /// hand-off, one warm channel pair, one coin-source reseed per session.
 /// Session `i` is bit-identical to the same request served alone.
 fn run_batch_session(runner: &mut SessionRunner, task: BatchTask, ctx: &WorkerCtx) {
+    let started_at = Instant::now();
     let BatchTask {
         requests,
         choice,
         plan,
+        submitted_at,
+        dispatched_at,
         admitted_at,
     } = task;
     let pairs: Vec<InputPair> = requests.iter().map(|r| r.input_pair()).collect();
     let seeds: Vec<u64> = requests.iter().map(|r| r.coin_seed()).collect();
     let ids: Vec<u64> = requests.iter().map(|r| r.id).collect();
+    let traces: Vec<Option<obs::TraceContext>> = requests.iter().map(|r| r.trace).collect();
     let cfg = RunConfig::with_seed(seeds[0]);
+    let coins_ready_at = Instant::now();
     let plan_a = Arc::clone(&plan);
     let plan_b = Arc::clone(&plan);
     let bob_inputs: Vec<ElementSet> = pairs.iter().map(|p| p.t.clone()).collect();
     let ids_b = ids.clone();
+    let traces_b = traces.clone();
 
     let parts = runner.run_batch_parts(
         &cfg,
         &seeds,
         |i, ep: &mut Endpoint, coins: &CoinSource| {
-            let (_scope, span) = half_span(ids[i], Side::Alice);
+            let (_scope, _trace, span) = half_span(ids[i], Side::Alice, traces[i]);
             let result = plan_a.execute(ep, coins, Side::Alice, &pairs[i].s);
             finish_half_span(span, ep.stats());
             result
         },
         move |i, ep: &mut Endpoint, coins: &CoinSource| {
-            let (_scope, span) = half_span(ids_b[i], Side::Bob);
+            let (_scope, _trace, span) = half_span(ids_b[i], Side::Bob, traces_b[i]);
             let result = plan_b.execute(ep, coins, Side::Bob, &bob_inputs[i]);
             finish_half_span(span, ep.stats());
             result
         },
     );
+    let executed_at = Instant::now();
 
     let sessions: Vec<SessionResults> = match parts {
         Ok(parts) => parts
@@ -530,6 +615,14 @@ fn run_batch_session(runner: &mut SessionRunner, task: BatchTask, ctx: &WorkerCt
             .collect(),
     };
     let latency_micros = admitted_at.elapsed().as_micros() as u64;
+    let stamps = TimelineStamps {
+        submitted_at,
+        dispatched_at,
+        planned_at: admitted_at,
+        started_at,
+        coins_ready_at,
+        executed_at,
+    };
     for (request, (res_a, res_b, report)) in requests.into_iter().zip(sessions) {
         emit_outcome(
             ctx,
@@ -540,6 +633,7 @@ fn run_batch_session(runner: &mut SessionRunner, task: BatchTask, ctx: &WorkerCt
             res_b,
             report,
             latency_micros,
+            stamps,
             None,
         );
     }
@@ -553,11 +647,14 @@ fn run_batch_session(runner: &mut SessionRunner, task: BatchTask, ctx: &WorkerCt
 /// tagged request served alone (the coin seed is the same pure function
 /// of `(pair, i)` either way).
 fn run_stream_session(runner: &mut SessionRunner, task: StreamTask, ctx: &WorkerCtx) {
+    let started_at = Instant::now();
     let StreamTask {
         mut requests,
         pair,
         choice,
         ctx: pair_ctx,
+        submitted_at,
+        dispatched_at,
         admitted_at,
     } = task;
     let count = requests.len();
@@ -573,19 +670,22 @@ fn run_stream_session(runner: &mut SessionRunner, task: StreamTask, ctx: &Worker
     let presampled = plan.presample(&seeds);
     let pairs: Vec<InputPair> = requests.iter().map(|r| r.input_pair()).collect();
     let ids: Vec<u64> = requests.iter().map(|r| r.id).collect();
+    let traces: Vec<Option<obs::TraceContext>> = requests.iter().map(|r| r.trace).collect();
     let cfg = RunConfig::with_seed(seeds[0]);
+    let coins_ready_at = Instant::now();
     let plan_a = Arc::clone(&plan);
     let plan_b = Arc::clone(&plan);
     let pre_a = presampled.clone();
     let pre_b = presampled;
     let bob_inputs: Vec<ElementSet> = pairs.iter().map(|p| p.t.clone()).collect();
     let ids_b = ids.clone();
+    let traces_b = traces.clone();
 
     let parts = runner.run_stream_parts(
         &cfg,
         &seeds,
         |i, ep: &mut Endpoint, coins: &CoinSource| {
-            let (_scope, span) = half_span(ids[i], Side::Alice);
+            let (_scope, _trace, span) = half_span(ids[i], Side::Alice, traces[i]);
             let sctx = SessionCtx {
                 index: base + i as u64,
                 slot: i,
@@ -596,7 +696,7 @@ fn run_stream_session(runner: &mut SessionRunner, task: StreamTask, ctx: &Worker
             result
         },
         move |i, ep: &mut Endpoint, coins: &CoinSource| {
-            let (_scope, span) = half_span(ids_b[i], Side::Bob);
+            let (_scope, _trace, span) = half_span(ids_b[i], Side::Bob, traces_b[i]);
             let sctx = SessionCtx {
                 index: base + i as u64,
                 slot: i,
@@ -633,16 +733,17 @@ fn run_stream_session(runner: &mut SessionRunner, task: StreamTask, ctx: &Worker
             let alice_input = pairs[i].s.clone();
             let bob_input = pairs[i].t.clone();
             let id = ids[i];
+            let trace_ctx = traces[i];
             let res = runner.run_parts(
                 &cfg,
                 move |ep: &mut Endpoint, coins: &CoinSource| {
-                    let (_scope, span) = half_span(id, Side::Alice);
+                    let (_scope, _trace, span) = half_span(id, Side::Alice, trace_ctx);
                     let result = plan_a.execute(ep, coins, Side::Alice, &alice_input);
                     finish_half_span(span, ep.stats());
                     result
                 },
                 move |ep: &mut Endpoint, coins: &CoinSource| {
-                    let (_scope, span) = half_span(id, Side::Bob);
+                    let (_scope, _trace, span) = half_span(id, Side::Bob, trace_ctx);
                     let result = plan_b.execute(ep, coins, Side::Bob, &bob_input);
                     finish_half_span(span, ep.stats());
                     result
@@ -655,7 +756,16 @@ fn run_stream_session(runner: &mut SessionRunner, task: StreamTask, ctx: &Worker
         }
     }
     obs::counter_add("engine_stream_sessions_total", count as u64);
+    let executed_at = Instant::now();
     let latency_micros = admitted_at.elapsed().as_micros() as u64;
+    let stamps = TimelineStamps {
+        submitted_at,
+        dispatched_at,
+        planned_at: admitted_at,
+        started_at,
+        coins_ready_at,
+        executed_at,
+    };
     for (request, (res_a, res_b, report)) in requests.into_iter().zip(sessions) {
         emit_outcome(
             ctx,
@@ -666,6 +776,7 @@ fn run_stream_session(runner: &mut SessionRunner, task: StreamTask, ctx: &Worker
             res_b,
             report,
             latency_micros,
+            stamps,
             None,
         );
     }
@@ -798,6 +909,14 @@ fn describe_engine_metrics() {
             "conformance_violations_total",
             "Envelope breaches by protocol and bound (bits or rounds)",
         ),
+        (
+            "trace_contexts_minted_total",
+            "Distributed trace contexts minted at submission (one per untagged session)",
+        ),
+        (
+            "engine_segment_micros",
+            "Per-session latency by waterfall segment (admit-queue, plan-cache, wire-wait, coin-refill, rounds-execute, drain)",
+        ),
     ] {
         obs::describe(name, help);
     }
@@ -813,7 +932,7 @@ impl Engine {
         let (work_tx, work_rx) = unbounded::<WorkItem>();
         let (outcome_tx, outcome_rx) = unbounded::<SessionOutcome>();
         let (done_tx, done_rx) = unbounded::<()>();
-        let registry = Arc::new(Registry::default());
+        let registry = Arc::new(Registry::with_capacity(config.ring));
         let cache = Arc::new(PlanCache::new());
         let pair_contexts = Arc::new(PairContextCache::new());
         describe_engine_metrics();
@@ -924,12 +1043,13 @@ impl Engine {
                         }
                         in_flight -= 1;
                     }
+                    let dispatched_at = Instant::now();
                     let item = match submission {
-                        Submission::Single(request) => {
-                            lifecycle("admit", request.id);
+                        Submission::Single(request, submitted_at) => {
+                            lifecycle("admit", request.id, request.trace);
                             obs::gauge_add("engine_queue_depth", -1);
                             let choice = route_calibrated(&request, policy, calibrator.as_deref());
-                            lifecycle("route", request.id);
+                            lifecycle("route", request.id, request.trace);
                             // One cache lookup replaces per-session
                             // parameter derivation; a miss prepares once
                             // for every later session of this shape.
@@ -940,12 +1060,14 @@ impl Engine {
                                 request,
                                 choice,
                                 plan,
+                                submitted_at,
+                                dispatched_at,
                                 admitted_at: Instant::now(),
                             })
                         }
-                        Submission::Batch(requests) => {
+                        Submission::Batch(requests, submitted_at) => {
                             for request in &requests {
-                                lifecycle("admit", request.id);
+                                lifecycle("admit", request.id, request.trace);
                             }
                             obs::gauge_add("engine_queue_depth", -(requests.len() as i64));
                             // submit_batch guarantees a uniform spec and
@@ -953,7 +1075,7 @@ impl Engine {
                             let choice =
                                 route_calibrated(&requests[0], policy, calibrator.as_deref());
                             for request in &requests {
-                                lifecycle("route", request.id);
+                                lifecycle("route", request.id, request.trace);
                             }
                             let plan = cache.get_or_prepare(choice, requests[0].spec);
                             obs::gauge_add("engine_in_flight", requests.len() as i64);
@@ -962,12 +1084,14 @@ impl Engine {
                                 requests,
                                 choice,
                                 plan,
+                                submitted_at,
+                                dispatched_at,
                                 admitted_at: Instant::now(),
                             })
                         }
-                        Submission::Stream(pair, requests) => {
+                        Submission::Stream(pair, requests, submitted_at) => {
                             for request in &requests {
-                                lifecycle("admit", request.id);
+                                lifecycle("admit", request.id, request.trace);
                             }
                             obs::gauge_add("engine_queue_depth", -(requests.len() as i64));
                             // submit_stream guarantees a uniform spec and
@@ -975,7 +1099,7 @@ impl Engine {
                             let choice =
                                 route_calibrated(&requests[0], policy, calibrator.as_deref());
                             for request in &requests {
-                                lifecycle("route", request.id);
+                                lifecycle("route", request.id, request.trace);
                             }
                             // One context lookup replaces the pair's
                             // offline phase; a miss forks the pair's coin
@@ -990,6 +1114,8 @@ impl Engine {
                                 pair,
                                 choice,
                                 ctx,
+                                submitted_at,
+                                dispatched_at,
                                 admitted_at: Instant::now(),
                             })
                         }
@@ -1060,21 +1186,27 @@ impl Engine {
     /// [`SubmitError::Rejected`] with `queue_full: true` under
     /// backpressure, and [`SubmitError::Invalid`] for infeasible requests
     /// (which never reach the queue).
-    pub fn try_submit(&self, request: SessionRequest) -> Result<(), SubmitError> {
+    pub fn try_submit(&self, mut request: SessionRequest) -> Result<(), SubmitError> {
         request.validate().map_err(SubmitError::Invalid)?;
+        mint_trace(&mut request);
         let id = request.id;
-        match self.admit_tx.try_send(Submission::Single(request)) {
+        let trace = request.trace;
+        match self
+            .admit_tx
+            .try_send(Submission::Single(request, Instant::now()))
+        {
             Ok(()) => {
                 self.registry.record_submitted();
-                lifecycle("submit", id);
+                lifecycle("submit", id, trace);
                 obs::counter_add("engine_sessions_submitted", 1);
                 obs::gauge_add("engine_queue_depth", 1);
                 Ok(())
             }
             Err(TrySendError::Full(_)) => {
                 self.registry.record_rejected();
-                lifecycle("reject", id);
+                lifecycle("reject", id, trace);
                 obs::counter_add("engine_sessions_rejected", 1);
+                obs::flight::record(obs::flight::CODE_REJECT, id, 0, 0);
                 Err(SubmitError::Rejected { queue_full: true })
             }
             Err(TrySendError::Disconnected(_)) => Err(SubmitError::Rejected { queue_full: false }),
@@ -1087,14 +1219,16 @@ impl Engine {
     ///
     /// [`SubmitError::Invalid`] for infeasible requests;
     /// [`SubmitError::Rejected`] only if the engine is shutting down.
-    pub fn submit(&self, request: SessionRequest) -> Result<(), SubmitError> {
+    pub fn submit(&self, mut request: SessionRequest) -> Result<(), SubmitError> {
         request.validate().map_err(SubmitError::Invalid)?;
+        mint_trace(&mut request);
         let id = request.id;
+        let trace = request.trace;
         self.admit_tx
-            .send(Submission::Single(request))
+            .send(Submission::Single(request, Instant::now()))
             .map_err(|_| SubmitError::Rejected { queue_full: false })?;
         self.registry.record_submitted();
-        lifecycle("submit", id);
+        lifecycle("submit", id, trace);
         obs::counter_add("engine_sessions_submitted", 1);
         obs::gauge_add("engine_queue_depth", 1);
         Ok(())
@@ -1112,29 +1246,31 @@ impl Engine {
     /// [`SubmitError::Invalid`] if the batch is empty, any request is
     /// infeasible, or the requests disagree on spec or protocol
     /// override; [`SubmitError::Rejected`] only on shutdown.
-    pub fn submit_batch(&self, requests: Vec<SessionRequest>) -> Result<(), SubmitError> {
+    pub fn submit_batch(&self, mut requests: Vec<SessionRequest>) -> Result<(), SubmitError> {
         let first = requests
             .first()
             .ok_or_else(|| SubmitError::Invalid("empty batch".into()))?;
         let (spec, protocol) = (first.spec, first.protocol);
-        for request in &requests {
+        for request in &mut requests {
             request.validate().map_err(SubmitError::Invalid)?;
             if request.spec != spec || request.protocol != protocol {
                 return Err(SubmitError::Invalid(
                     "batch requests must share one spec and protocol override".into(),
                 ));
             }
+            mint_trace(request);
         }
-        let ids: Vec<u64> = requests.iter().map(|r| r.id).collect();
+        let tags: Vec<(u64, Option<obs::TraceContext>)> =
+            requests.iter().map(|r| (r.id, r.trace)).collect();
         self.admit_tx
-            .send(Submission::Batch(requests))
+            .send(Submission::Batch(requests, Instant::now()))
             .map_err(|_| SubmitError::Rejected { queue_full: false })?;
-        for id in &ids {
+        for (id, trace) in &tags {
             self.registry.record_submitted();
-            lifecycle("submit", *id);
+            lifecycle("submit", *id, *trace);
         }
-        obs::counter_add("engine_sessions_submitted", ids.len() as u64);
-        obs::gauge_add("engine_queue_depth", ids.len() as i64);
+        obs::counter_add("engine_sessions_submitted", tags.len() as u64);
+        obs::gauge_add("engine_queue_depth", tags.len() as i64);
         Ok(())
     }
 
@@ -1163,30 +1299,32 @@ impl Engine {
     pub fn submit_stream(
         &self,
         stream: StreamId,
-        requests: Vec<SessionRequest>,
+        mut requests: Vec<SessionRequest>,
     ) -> Result<(), SubmitError> {
         let first = requests
             .first()
             .ok_or_else(|| SubmitError::Invalid("empty stream submission".into()))?;
         let (spec, protocol) = (first.spec, first.protocol);
-        for request in &requests {
+        for request in &mut requests {
             request.validate().map_err(SubmitError::Invalid)?;
             if request.spec != spec || request.protocol != protocol {
                 return Err(SubmitError::Invalid(
                     "stream requests must share one spec and protocol override".into(),
                 ));
             }
+            mint_trace(request);
         }
-        let ids: Vec<u64> = requests.iter().map(|r| r.id).collect();
+        let tags: Vec<(u64, Option<obs::TraceContext>)> =
+            requests.iter().map(|r| (r.id, r.trace)).collect();
         self.admit_tx
-            .send(Submission::Stream(stream.pair, requests))
+            .send(Submission::Stream(stream.pair, requests, Instant::now()))
             .map_err(|_| SubmitError::Rejected { queue_full: false })?;
-        for id in &ids {
+        for (id, trace) in &tags {
             self.registry.record_submitted();
-            lifecycle("submit", *id);
+            lifecycle("submit", *id, *trace);
         }
-        obs::counter_add("engine_sessions_submitted", ids.len() as u64);
-        obs::gauge_add("engine_queue_depth", ids.len() as i64);
+        obs::counter_add("engine_sessions_submitted", tags.len() as u64);
+        obs::gauge_add("engine_queue_depth", tags.len() as i64);
         Ok(())
     }
 
@@ -1577,6 +1715,72 @@ mod tests {
         assert_eq!(conf.checked, 4);
         assert!(conf.violation_count > 0);
         assert!(!health.ok());
+    }
+
+    #[test]
+    fn outcomes_carry_minted_traces_and_tiled_timelines() {
+        let engine = Engine::start(EngineConfig::new(2));
+        for req in mixed_requests(6) {
+            engine.submit(req).unwrap();
+        }
+        let report = engine.finish();
+        assert_eq!(report.outcomes.len(), 6);
+        for outcome in &report.outcomes {
+            // Minting is a pure function of (id, seed): the outcome's
+            // trace context is reproducible from the request alone.
+            let trace = outcome.request.trace.expect("trace minted at submission");
+            assert_eq!(
+                trace,
+                obs::TraceContext::mint(outcome.request.id, outcome.request.seed),
+                "session {}",
+                outcome.request.id
+            );
+            // The waterfall tiles the submitted-to-settled span: the
+            // rounds dominate, and the segment sum covers the whole
+            // admission-to-outcome latency up to per-segment truncation.
+            let t = &outcome.timeline;
+            let sum: u64 = t.segments().iter().map(|(_, micros)| micros).sum();
+            assert_eq!(sum, t.total_micros());
+            assert!(
+                t.rounds_execute_micros > 0,
+                "session {} executed in 0µs",
+                outcome.request.id
+            );
+            assert!(
+                t.total_micros() + 6 >= outcome.latency_micros,
+                "session {}: waterfall {}µs < latency {}µs",
+                outcome.request.id,
+                t.total_micros(),
+                outcome.latency_micros
+            );
+        }
+    }
+
+    #[test]
+    fn client_supplied_trace_contexts_are_preserved() {
+        let spec = ProblemSpec::new(1 << 16, 16);
+        let mut req = SessionRequest::new(3, spec, 4);
+        let supplied = obs::TraceContext::mint(999, 7);
+        req.trace = Some(supplied);
+        let engine = Engine::start(EngineConfig::new(2));
+        engine.submit(req).unwrap();
+        let report = engine.finish();
+        assert_eq!(report.outcomes[0].request.trace, Some(supplied));
+    }
+
+    #[test]
+    fn ring_capacity_reaches_the_watch_and_sessions_doc() {
+        let mut config = EngineConfig::new(2);
+        config.ring = 4;
+        let engine = Engine::start(config);
+        let watch = engine.watch();
+        for req in mixed_requests(10) {
+            engine.submit(req).unwrap();
+        }
+        engine.finish();
+        assert_eq!(watch.ring(), 4);
+        assert_eq!(watch.recent_sessions().len(), 4);
+        assert!(watch.sessions_json().contains("\"ring\": 4"));
     }
 
     #[test]

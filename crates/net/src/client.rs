@@ -26,11 +26,12 @@ use intersect_comm::trace::{TraceEvent, Traced};
 use intersect_core::api::ProtocolChoice;
 use intersect_core::sets::ElementSet;
 use intersect_engine::{PlanCache, SessionRequest};
+use intersect_obs as obs;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// The outcome of one remote session.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -50,6 +51,37 @@ impl RemoteRun {
     /// `true` iff both parties produced exactly `expected`.
     pub fn matches(&self, expected: &ElementSet) -> bool {
         self.alice == *expected && self.bob == *expected
+    }
+}
+
+/// A remote session's client-side latency waterfall: wall clock from
+/// sending the Open frame to assembling the final report, decomposed
+/// into segments that tile the span (up to 1µs truncation per segment).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ClientTimeline {
+    /// Open sent → server's Accept received (routing + handshake RTT).
+    pub open_wait_micros: u64,
+    /// Accept → this half's protocol rounds finished (plan resolution,
+    /// input regeneration, and the rounds themselves).
+    pub rounds_execute_micros: u64,
+    /// Rounds finished → server's Done counters received and the report
+    /// assembled.
+    pub drain_micros: u64,
+}
+
+impl ClientTimeline {
+    /// The waterfall as `(segment, micros)` rows.
+    pub fn segments(&self) -> [(&'static str, u64); 3] {
+        [
+            ("open-wait", self.open_wait_micros),
+            ("rounds-execute", self.rounds_execute_micros),
+            ("drain", self.drain_micros),
+        ]
+    }
+
+    /// Sum of all segments: the Open-to-report span.
+    pub fn total_micros(&self) -> u64 {
+        self.open_wait_micros + self.rounds_execute_micros + self.drain_micros
     }
 }
 
@@ -125,7 +157,22 @@ impl NetClient {
     /// failures as [`ProtocolError::Internal`], and transport loss as
     /// [`ProtocolError::ChannelClosed`] / [`ProtocolError::Timeout`].
     pub fn run(&self, req: &SessionRequest) -> Result<RemoteRun, ProtocolError> {
-        self.run_inner(req, false).map(|(run, _)| run)
+        self.run_inner(req, false).map(|(run, _, _)| run)
+    }
+
+    /// Like [`run`](Self::run), but also returns the session's
+    /// client-side [`ClientTimeline`] — the per-segment latency waterfall
+    /// `loadgen --json` aggregates into its attribution table.
+    ///
+    /// # Errors
+    ///
+    /// As for [`run`](Self::run).
+    pub fn run_timed(
+        &self,
+        req: &SessionRequest,
+    ) -> Result<(RemoteRun, ClientTimeline), ProtocolError> {
+        self.run_inner(req, false)
+            .map(|(run, _, timeline)| (run, timeline))
     }
 
     /// Like [`run`](Self::run), but also records the client-side message
@@ -140,14 +187,23 @@ impl NetClient {
         req: &SessionRequest,
     ) -> Result<(RemoteRun, Vec<TraceEvent>), ProtocolError> {
         self.run_inner(req, true)
+            .map(|(run, events, _)| (run, events))
     }
 
     fn run_inner(
         &self,
         req: &SessionRequest,
         traced: bool,
-    ) -> Result<(RemoteRun, Vec<TraceEvent>), ProtocolError> {
+    ) -> Result<(RemoteRun, Vec<TraceEvent>, ClientTimeline), ProtocolError> {
         req.validate().map_err(ProtocolError::InvalidInput)?;
+        // Mint the distributed trace context before the request line hits
+        // the wire, so the server's Bob half joins the same trace. The
+        // mint is the same pure `(id, seed)` function the engine uses.
+        let mut req = req.clone();
+        if req.trace.is_none() {
+            req.trace = Some(req.trace_context());
+            obs::counter_add("trace_contexts_minted_total", 1);
+        }
         let wire_id = self.next_id.fetch_add(1, Ordering::Relaxed);
         let (tx, rx) = crossbeam_channel::unbounded();
         self.sessions
@@ -155,7 +211,7 @@ impl NetClient {
             .expect("session map poisoned")
             .insert(wire_id, tx);
         metrics::session_opened();
-        let result = self.run_registered(req, wire_id, rx, traced);
+        let result = self.run_registered(&req, wire_id, rx, traced);
         self.sessions
             .lock()
             .expect("session map poisoned")
@@ -170,7 +226,8 @@ impl NetClient {
         wire_id: u64,
         rx: crossbeam_channel::Receiver<SessionEvent>,
         traced: bool,
-    ) -> Result<(RemoteRun, Vec<TraceEvent>), ProtocolError> {
+    ) -> Result<(RemoteRun, Vec<TraceEvent>, ClientTimeline), ProtocolError> {
+        let opened_at = Instant::now();
         {
             let mut w = self.writer.lock().expect("connection writer poisoned");
             write_frame(
@@ -203,6 +260,8 @@ impl NetClient {
             }
         };
 
+        let accepted_at = Instant::now();
+
         let plan = self.cache.get_or_prepare(choice, req.spec);
         let pair = req.input_pair();
         // `coin_seed`, not `seed`: for a stream-tagged request both
@@ -211,16 +270,31 @@ impl NetClient {
         let coins = CoinSource::from_seed(req.coin_seed());
         let mut chan = RemoteChan::new(wire_id, Arc::clone(&self.writer), rx, self.timeout, None);
 
-        let (alice, events) = if traced {
-            let mut tchan = Traced::new(&mut chan);
-            let out = plan.execute(&mut tchan, &coins, Side::Alice, &pair.s);
-            let events = tchan.into_events();
-            (out, events)
-        } else {
-            (
-                plan.execute(&mut chan, &coins, Side::Alice, &pair.s),
-                Vec::new(),
-            )
+        // Alice's half carries the session's scopes: every span and
+        // message it emits is attributed to the session and stitched
+        // into the same trace the server's Bob half joins.
+        let (alice, events) = {
+            let _session_scope = obs::phase::SessionScope::enter(req.id, obs::Party::Alice);
+            let _trace_scope = req.trace.map(obs::TraceScope::enter);
+            let span = obs::phase::span("net", "session");
+            let (alice, events) = if traced {
+                let mut tchan = Traced::new(&mut chan);
+                let out = plan.execute(&mut tchan, &coins, Side::Alice, &pair.s);
+                let events = tchan.into_events();
+                (out, events)
+            } else {
+                (
+                    plan.execute(&mut chan, &coins, Side::Alice, &pair.s),
+                    Vec::new(),
+                )
+            };
+            let stats = chan.stats();
+            span.finish(obs::CostDelta {
+                bits_sent: stats.bits_sent,
+                bits_received: stats.bits_received,
+                rounds: stats.clock,
+            });
+            (alice, events)
         };
 
         // Announce this half's end whether it succeeded or not, so the
@@ -229,10 +303,25 @@ impl NetClient {
             let mut w = self.writer.lock().expect("connection writer poisoned");
             let _ = write_frame(&mut *w, &WireFrame::Fin { session: wire_id });
         }
+        let executed_at = Instant::now();
         let alice = alice?;
 
         let (server_stats, result) = chan.wait_done()?;
         let report = assemble_report(chan.stats(), server_stats);
+        let span = |a: Instant, b: Instant| b.saturating_duration_since(a).as_micros() as u64;
+        let timeline = ClientTimeline {
+            open_wait_micros: span(opened_at, accepted_at),
+            rounds_execute_micros: span(accepted_at, executed_at),
+            drain_micros: span(executed_at, Instant::now()),
+        };
+        if obs::enabled() {
+            for (segment, micros) in timeline.segments() {
+                obs::observe(
+                    &obs::metrics::labeled("net_client_segment_micros", &[("segment", segment)]),
+                    micros,
+                );
+            }
+        }
         Ok((
             RemoteRun {
                 protocol: choice,
@@ -241,6 +330,7 @@ impl NetClient {
                 report,
             },
             events,
+            timeline,
         ))
     }
 

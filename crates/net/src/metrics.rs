@@ -39,6 +39,10 @@ pub fn describe_net_metrics() {
             "net_sessions_rejected",
             "Remote session opens refused (malformed, draining, or at capacity)",
         ),
+        (
+            "net_client_segment_micros",
+            "Client-side remote-session latency by waterfall segment (open-wait, rounds-execute, drain)",
+        ),
     ] {
         obs::describe(name, help);
     }

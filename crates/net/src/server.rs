@@ -23,6 +23,7 @@ use intersect_comm::chan::Chan;
 use intersect_comm::coins::CoinSource;
 use intersect_comm::runner::Side;
 use intersect_engine::{route, PairContextCache, PlanCache, RoutePolicy, SessionRequest};
+use intersect_obs as obs;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
@@ -325,6 +326,7 @@ fn conn_loop(conn_id: u64, stream: Stream, shared: Arc<Shared>) {
 fn refuse(writer: &SharedWriter, shared: &Shared, session: u64, message: String) {
     shared.rejected.fetch_add(1, Ordering::Relaxed);
     metrics::session_rejected();
+    obs::flight::record(obs::flight::CODE_REJECT, session, 0, 0);
     let mut w = writer.lock().expect("connection writer poisoned");
     let _ = write_frame(&mut *w, &WireFrame::Error { session, message });
 }
@@ -492,14 +494,34 @@ fn run_session(
     writer: &SharedWriter,
     shared: &Shared,
 ) {
+    // The trace context rides the Open frame's request line; an untagged
+    // line falls back to the same deterministic mint the client (or the
+    // engine) would perform, so both halves land in one trace either way.
+    let trace = req.trace_context();
+    let _session_scope = obs::phase::SessionScope::enter(req.id, obs::Party::Bob);
+    let _trace_scope = obs::TraceScope::enter(trace);
+    let span = obs::phase::span("net", "session");
     let pair = req.input_pair();
     // `coin_seed`, not `seed`: a stream-tagged remote session must share
     // the pair-derived common random string with its client half and
     // with any standalone audit rerun.
     let coins = CoinSource::from_seed(req.coin_seed());
-    match plan.execute(&mut chan, &coins, Side::Bob, &pair.t) {
+    let result = plan.execute(&mut chan, &coins, Side::Bob, &pair.t);
+    let stats = chan.stats();
+    span.finish(obs::CostDelta {
+        bits_sent: stats.bits_sent,
+        bits_received: stats.bits_received,
+        rounds: stats.clock,
+    });
+    match result {
         Ok(out) => {
             shared.served.fetch_add(1, Ordering::Relaxed);
+            obs::flight::record(
+                obs::flight::CODE_COMPLETE,
+                req.id,
+                stats.bits_sent + stats.bits_received,
+                stats.clock,
+            );
             let mut w = writer.lock().expect("connection writer poisoned");
             // Fin first (the half is over, mirroring the in-process
             // endpoint's fin-on-drop), then the counters and result.
@@ -515,6 +537,12 @@ fn run_session(
         }
         Err(e) => {
             shared.failed.fetch_add(1, Ordering::Relaxed);
+            obs::flight::record(
+                obs::flight::CODE_FAIL,
+                req.id,
+                stats.bits_sent + stats.bits_received,
+                stats.clock,
+            );
             let mut w = writer.lock().expect("connection writer poisoned");
             let _ = write_frame(
                 &mut *w,

@@ -244,6 +244,9 @@ impl ConformanceMonitor {
             );
         }
         drop(inner);
+        for &(_, observed, limit) in &breached {
+            crate::flight::record(crate::flight::CODE_CONFORMANCE, 0, observed, limit);
+        }
         if !breached.is_empty() {
             self.health.record_violations(breached.len() as u64);
         }

@@ -112,6 +112,9 @@ pub struct Event {
     /// The protocol phase label active when the event fired (empty when
     /// no phase was active).
     pub phase: String,
+    /// The distributed trace context active when the event fired, when
+    /// the thread was inside a [`crate::tracing::TraceScope`].
+    pub trace: Option<crate::tracing::TraceContext>,
     /// The payload.
     pub kind: EventKind,
 }
@@ -165,6 +168,7 @@ mod tests {
             session: None,
             party: None,
             phase: String::new(),
+            trace: None,
             kind: EventKind::Span {
                 dur_micros: 7,
                 delta: Some(CostDelta::default()),

@@ -49,6 +49,14 @@ pub fn event_json(ev: &Event) -> String {
     if !ev.phase.is_empty() {
         let _ = write!(out, ",\"phase\":\"{}\"", json_escape(&ev.phase));
     }
+    if let Some(t) = ev.trace {
+        let _ = write!(
+            out,
+            ",\"trace\":\"{}\",\"parent_span\":\"{}\"",
+            t.trace_hex(),
+            t.span_hex()
+        );
+    }
     match ev.kind {
         EventKind::Span { dur_micros, delta } => {
             let _ = write!(out, ",\"kind\":\"span\",\"dur_us\":{dur_micros}");
@@ -88,19 +96,73 @@ pub fn jsonl(events: &[Event]) -> String {
 ///
 /// Mapping: sessions become `pid`s (unattributed events use pid 0),
 /// parties become `tid`s (Alice 0, Bob 1, unattributed 2). Spans are
-/// complete events (`"ph":"X"`) carrying their cost delta in `args`;
-/// instants are `"ph":"i"`; messages are counter-style instants with the
-/// payload size in `args`.
+/// complete events (`"ph":"X"`) carrying their cost delta — and, when
+/// the event was trace-attributed, the trace/parent-span hex — in
+/// `args`; instants are `"ph":"i"`; messages are counter-style instants
+/// with the payload size in `args`. Non-empty traces open with `"ph":"M"`
+/// `process_name`/`thread_name` metadata records so stitched
+/// client/server traces are labeled in the viewer.
 pub fn chrome_trace(events: &[Event]) -> String {
+    use std::collections::BTreeSet;
     let mut out = String::from("[");
-    for (i, ev) in events.iter().enumerate() {
-        if i > 0 {
+    let mut first = true;
+    // Metadata records label each (pid, tid) lane; an empty trace stays
+    // exactly "[]".
+    let mut pids = BTreeSet::new();
+    let mut lanes = BTreeSet::new();
+    for ev in events {
+        let pid = ev.session.unwrap_or(0);
+        pids.insert(pid);
+        lanes.insert((pid, ev.party.map(|p| p.index()).unwrap_or(2)));
+    }
+    for pid in &pids {
+        if !first {
             out.push(',');
         }
+        first = false;
+        let label = if *pid == 0 {
+            "unattributed".to_string()
+        } else {
+            format!("session {pid}")
+        };
+        let _ = write!(
+            out,
+            "{{\"name\":\"process_name\",\"ph\":\"M\",\"ts\":0,\"pid\":{pid},\"tid\":0,\
+             \"args\":{{\"name\":\"{label}\"}}}}"
+        );
+    }
+    for (pid, tid) in &lanes {
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        let label = match tid {
+            0 => "alice",
+            1 => "bob",
+            _ => "unattributed",
+        };
+        let _ = write!(
+            out,
+            "{{\"name\":\"thread_name\",\"ph\":\"M\",\"ts\":0,\"pid\":{pid},\"tid\":{tid},\
+             \"args\":{{\"name\":\"{label}\"}}}}"
+        );
+    }
+    for ev in events {
+        if !first {
+            out.push(',');
+        }
+        first = false;
         let pid = ev.session.unwrap_or(0);
         let tid = ev.party.map(|p| p.index()).unwrap_or(2);
         let name = json_escape(&ev.name);
         let cat = json_escape(ev.target);
+        let trace_args = ev.trace.map(|t| {
+            format!(
+                "\"trace\":\"{}\",\"parent_span\":\"{}\"",
+                t.trace_hex(),
+                t.span_hex()
+            )
+        });
         match ev.kind {
             EventKind::Span { dur_micros, delta } => {
                 // Complete events are stamped with their *start* time.
@@ -110,12 +172,22 @@ pub fn chrome_trace(events: &[Event]) -> String {
                     "{{\"name\":\"{name}\",\"cat\":\"{cat}\",\"ph\":\"X\",\
                      \"ts\":{start},\"dur\":{dur_micros},\"pid\":{pid},\"tid\":{tid}"
                 );
+                let mut args = String::new();
                 if let Some(d) = delta {
                     let _ = write!(
-                        out,
-                        ",\"args\":{{\"bits_sent\":{},\"bits_received\":{},\"rounds\":{}}}",
+                        args,
+                        "\"bits_sent\":{},\"bits_received\":{},\"rounds\":{}",
                         d.bits_sent, d.bits_received, d.rounds
                     );
+                }
+                if let Some(t) = trace_args {
+                    if !args.is_empty() {
+                        args.push(',');
+                    }
+                    args.push_str(&t);
+                }
+                if !args.is_empty() {
+                    let _ = write!(out, ",\"args\":{{{args}}}");
                 }
                 out.push('}');
             }
@@ -123,19 +195,28 @@ pub fn chrome_trace(events: &[Event]) -> String {
                 let _ = write!(
                     out,
                     "{{\"name\":\"{name}\",\"cat\":\"{cat}\",\"ph\":\"i\",\"s\":\"t\",\
-                     \"ts\":{},\"pid\":{pid},\"tid\":{tid}}}",
+                     \"ts\":{},\"pid\":{pid},\"tid\":{tid}",
                     ev.ts_micros
                 );
+                if let Some(t) = trace_args {
+                    let _ = write!(out, ",\"args\":{{{t}}}");
+                }
+                out.push('}');
             }
             EventKind::Message { dir, bits, clock } => {
                 let _ = write!(
                     out,
                     "{{\"name\":\"{name}\",\"cat\":\"{cat}\",\"ph\":\"i\",\"s\":\"t\",\
                      \"ts\":{},\"pid\":{pid},\"tid\":{tid},\
-                     \"args\":{{\"dir\":\"{}\",\"bits\":{bits},\"clock\":{clock}}}}}",
+                     \"args\":{{\"dir\":\"{}\",\"bits\":{bits},\"clock\":{clock}",
                     ev.ts_micros,
                     dir.label()
                 );
+                if let Some(t) = trace_args {
+                    out.push(',');
+                    out.push_str(&t);
+                }
+                out.push_str("}}");
             }
         }
     }
@@ -281,6 +362,7 @@ mod tests {
             session: Some(7),
             party: Some(Party::Alice),
             phase: "stage".into(),
+            trace: None,
             kind: EventKind::Span {
                 dur_micros: 100,
                 delta: Some(CostDelta {
@@ -300,6 +382,7 @@ mod tests {
             session: None,
             party: None,
             phase: String::new(),
+            trace: None,
             kind: EventKind::Message {
                 dir: Direction::Sent,
                 bits: 9,
@@ -347,6 +430,38 @@ mod tests {
     #[test]
     fn chrome_trace_of_nothing_is_an_empty_array() {
         assert_eq!(chrome_trace(&[]), "[]");
+    }
+
+    #[test]
+    fn chrome_trace_labels_lanes_and_carries_trace_context() {
+        let ctx = crate::tracing::TraceContext::mint(7, 1);
+        let mut ev = span_event();
+        ev.trace = Some(ctx);
+        let text = chrome_trace(&[ev, message_event()]);
+        // Metadata records label the session pid and each party lane.
+        assert!(text.contains("\"name\":\"process_name\",\"ph\":\"M\",\"ts\":0,\"pid\":7"));
+        assert!(text.contains("\"args\":{\"name\":\"session 7\"}"));
+        assert!(text.contains("\"args\":{\"name\":\"alice\"}"));
+        assert!(text.contains("\"args\":{\"name\":\"unattributed\"}"));
+        // The span's args carry both the cost delta and the trace hex.
+        assert!(text.contains(&format!(
+            "\"rounds\":2,\"trace\":\"{}\",\"parent_span\":\"{}\"",
+            ctx.trace_hex(),
+            ctx.span_hex()
+        )));
+        // The trace-less message keeps its original args shape.
+        assert!(text.contains("\"args\":{\"dir\":\"sent\",\"bits\":9,\"clock\":3}"));
+    }
+
+    #[test]
+    fn event_json_carries_trace_hex_when_attributed() {
+        let ctx = crate::tracing::TraceContext::mint(7, 1);
+        let mut ev = span_event();
+        ev.trace = Some(ctx);
+        let line = event_json(&ev);
+        assert!(line.contains(&format!("\"trace\":\"{}\"", ctx.trace_hex())));
+        assert!(line.contains(&format!("\"parent_span\":\"{}\"", ctx.span_hex())));
+        assert!(!event_json(&span_event()).contains("\"trace\""));
     }
 
     #[test]

@@ -1,0 +1,205 @@
+//! Always-on flight recorder: a fixed-size, lock-free ring of recent
+//! events, allocation-free at steady state.
+//!
+//! The subscriber ([`crate::subscriber`]) is opt-in and heap-backed; the
+//! flight recorder is the opposite: it is *always* recording, cheap
+//! enough to leave on in production, and holds only the recent past. The
+//! store is a small set of sharded rings of fixed slots, each slot five
+//! atomics — timestamp, session, event code, and two payload words — so
+//! [`record`] is a handful of relaxed atomic stores: no locks, no
+//! allocation, no branching on observability state. Threads scatter
+//! across shards via a thread-local shard assignment so concurrent
+//! workers rarely contend on the same write cursor.
+//!
+//! The ring's contents surface as JSONL through [`dump_jsonl`] — on
+//! session error, conformance violation, `SIGQUIT`, or
+//! `GET /flightrecorder` — which is the only path that allocates and the
+//! only one that touches metrics (`flight_recorder_dumps_total`).
+
+use std::sync::atomic::{AtomicU64, AtomicU8, AtomicUsize, Ordering};
+use std::sync::OnceLock;
+use std::time::Instant;
+
+/// Event code: a session settled successfully (`a` = total bits, `b` =
+/// latency in microseconds).
+pub const CODE_COMPLETE: u64 = 1;
+/// Event code: a session failed (`a` = 0, `b` = latency in
+/// microseconds).
+pub const CODE_FAIL: u64 = 2;
+/// Event code: a conformance envelope breach (`a` = observed cost, `b` =
+/// the ceiling it breached).
+pub const CODE_CONFORMANCE: u64 = 3;
+/// Event code: a submission was rejected at admission (`a` = queue
+/// depth hint, `b` = 0).
+pub const CODE_REJECT: u64 = 4;
+
+/// Shard count: threads scatter across these to keep the write cursors
+/// uncontended. Power of two, small enough that a full dump stays tiny.
+const SHARDS: usize = 8;
+/// Slots per shard; the recorder remembers the last
+/// `SHARDS * SLOTS` events overall (approximately, per-shard FIFO).
+const SLOTS: usize = 256;
+
+struct Slot {
+    /// Microseconds since the recorder's epoch, offset by one so zero
+    /// means "never written".
+    ts: AtomicU64,
+    session: AtomicU64,
+    code: AtomicU64,
+    a: AtomicU64,
+    b: AtomicU64,
+}
+
+struct Shard {
+    cursor: AtomicUsize,
+    slots: [Slot; SLOTS],
+}
+
+// Interior mutability is the point here: these consts exist only as
+// array-repeat initializers for the static rings below.
+#[allow(clippy::declare_interior_mutable_const)]
+const EMPTY_SLOT: Slot = Slot {
+    ts: AtomicU64::new(0),
+    session: AtomicU64::new(0),
+    code: AtomicU64::new(0),
+    a: AtomicU64::new(0),
+    b: AtomicU64::new(0),
+};
+#[allow(clippy::declare_interior_mutable_const)]
+const EMPTY_SHARD: Shard = Shard {
+    cursor: AtomicUsize::new(0),
+    slots: [EMPTY_SLOT; SLOTS],
+};
+
+static RINGS: [Shard; SHARDS] = [EMPTY_SHARD; SHARDS];
+static NEXT_SHARD: AtomicU8 = AtomicU8::new(0);
+static EPOCH: OnceLock<Instant> = OnceLock::new();
+
+thread_local! {
+    /// This thread's shard, lazily assigned round-robin; 255 = unset.
+    static SHARD: std::cell::Cell<u8> = const { std::cell::Cell::new(255) };
+}
+
+fn shard_for_thread() -> &'static Shard {
+    let idx = SHARD.with(|c| {
+        let cur = c.get();
+        if cur != 255 {
+            return cur;
+        }
+        let assigned = NEXT_SHARD.fetch_add(1, Ordering::Relaxed) % SHARDS as u8;
+        c.set(assigned);
+        assigned
+    });
+    &RINGS[idx as usize]
+}
+
+fn now_micros() -> u64 {
+    let epoch = EPOCH.get_or_init(Instant::now);
+    // Offset by one so a written slot never carries ts 0 ("empty").
+    (epoch.elapsed().as_micros() as u64).saturating_add(1)
+}
+
+/// Records one event into this thread's ring. Lock-free and
+/// allocation-free: five relaxed atomic stores plus a cursor bump, with
+/// no observability gate — the recorder is always on.
+pub fn record(code: u64, session: u64, a: u64, b: u64) {
+    let shard = shard_for_thread();
+    let at = shard.cursor.fetch_add(1, Ordering::Relaxed) % SLOTS;
+    let slot = &shard.slots[at];
+    // A racing dump may read a torn slot (fields from two events); the
+    // recorder trades that benign imprecision for a lock-free hot path.
+    slot.code.store(0, Ordering::Release);
+    slot.session.store(session, Ordering::Relaxed);
+    slot.a.store(a, Ordering::Relaxed);
+    slot.b.store(b, Ordering::Relaxed);
+    slot.ts.store(now_micros(), Ordering::Relaxed);
+    slot.code.store(code, Ordering::Release);
+}
+
+fn code_name(code: u64) -> &'static str {
+    match code {
+        CODE_COMPLETE => "session-complete",
+        CODE_FAIL => "session-error",
+        CODE_CONFORMANCE => "conformance-violation",
+        CODE_REJECT => "session-rejected",
+        _ => "unknown",
+    }
+}
+
+/// Dumps every recorded event as JSONL, oldest first. This is the cold
+/// path: it allocates freely, and it bumps `flight_recorder_dumps_total`
+/// when a subscriber is installed.
+pub fn dump_jsonl() -> String {
+    crate::describe(
+        "flight_recorder_dumps_total",
+        "Times the flight recorder ring was dumped to JSONL.",
+    );
+    crate::counter_add("flight_recorder_dumps_total", 1);
+    let mut entries: Vec<(u64, u64, u64, u64, u64)> = Vec::new();
+    for shard in &RINGS {
+        for slot in &shard.slots {
+            let code = slot.code.load(Ordering::Acquire);
+            if code == 0 {
+                continue;
+            }
+            entries.push((
+                slot.ts.load(Ordering::Relaxed),
+                code,
+                slot.session.load(Ordering::Relaxed),
+                slot.a.load(Ordering::Relaxed),
+                slot.b.load(Ordering::Relaxed),
+            ));
+        }
+    }
+    entries.sort_unstable();
+    let mut out = String::with_capacity(entries.len() * 96);
+    for (ts, code, session, a, b) in entries {
+        out.push_str(&format!(
+            "{{\"ts_micros\":{},\"event\":\"{}\",\"session\":{},\"a\":{},\"b\":{}}}\n",
+            ts - 1,
+            code_name(code),
+            session,
+            a,
+            b
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn recorded_events_appear_in_the_dump_in_order() {
+        record(CODE_COMPLETE, 9001, 640, 120);
+        record(CODE_FAIL, 9002, 0, 55);
+        record(CODE_CONFORMANCE, 9003, 800, 700);
+        let dump = dump_jsonl();
+        let complete = dump
+            .lines()
+            .position(|l| l.contains("\"session\":9001"))
+            .expect("complete event recorded");
+        let fail = dump
+            .lines()
+            .position(|l| l.contains("\"session\":9002"))
+            .expect("fail event recorded");
+        assert!(complete < fail, "dump is oldest-first");
+        assert!(dump.contains("\"event\":\"session-complete\""));
+        assert!(dump.contains("\"event\":\"session-error\""));
+        assert!(dump.contains("\"event\":\"conformance-violation\""));
+        for line in dump.lines() {
+            let v: Result<serde_json::Value, _> = serde_json::from_str(line);
+            assert!(v.is_ok(), "dump line is valid JSON: {line}");
+        }
+    }
+
+    #[test]
+    fn the_ring_is_bounded() {
+        for i in 0..(SHARDS * SLOTS * 2) as u64 {
+            record(CODE_COMPLETE, 100_000 + i, 1, 1);
+        }
+        let dump = dump_jsonl();
+        assert!(dump.lines().count() <= SHARDS * SLOTS);
+    }
+}

@@ -162,6 +162,7 @@ mod tests {
             session,
             party: session.map(|_| Party::Alice),
             phase: phase.into(),
+            trace: None,
             kind: EventKind::Span {
                 dur_micros: dur,
                 delta: Some(CostDelta {

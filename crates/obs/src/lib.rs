@@ -23,6 +23,8 @@
 //! | [`serve`] | embedded zero-dependency HTTP server: `/metrics`, `/healthz`, `/sessions`, `/profile` |
 //! | [`folded`] | folded flamegraph stacks (wall-clock or bit weighted) from span events |
 //! | [`conformance`] | online checks of observed costs against calibrated theory envelopes |
+//! | [`tracing`] | distributed trace contexts: deterministic 128-bit trace ids stitched across processes via request lines |
+//! | [`flight`] | always-on lock-free flight recorder ring, dumped as JSONL on error, `SIGQUIT`, or `GET /flightrecorder` |
 //!
 //! # Examples
 //!
@@ -49,12 +51,14 @@
 pub mod conformance;
 pub mod event;
 pub mod export;
+pub mod flight;
 pub mod folded;
 pub mod histogram;
 pub mod metrics;
 pub mod phase;
 pub mod serve;
 pub mod subscriber;
+pub mod tracing;
 
 pub use conformance::{ConformanceConfig, ConformanceMonitor, ConformanceReport, Envelope, Health};
 pub use event::{CostDelta, Direction, Event, EventKind, Party};
@@ -65,3 +69,4 @@ pub use subscriber::{
     counter_add, describe, emit_with, enabled, gauge_add, gauge_set, instant, message, observe,
     Installed, Subscriber,
 };
+pub use tracing::{TraceContext, TraceScope};

@@ -131,6 +131,7 @@ fn close(live: LiveSpan, delta: Option<CostDelta>) {
         session,
         party,
         phase: current_label_or_empty(),
+        trace: crate::tracing::current(),
         kind: EventKind::Span { dur_micros, delta },
     });
 }

@@ -3,7 +3,7 @@
 //! Production systems expose their health over a scrape endpoint, not a
 //! file dump. This module serves the live observability plane on a
 //! [`std::net::TcpListener`] — no external crates, one accept thread,
-//! bounded request parsing — with six endpoints:
+//! bounded request parsing — with eight endpoints:
 //!
 //! | Path | Content | Source |
 //! |---|---|---|
@@ -13,6 +13,8 @@
 //! | `/profile` | folded flamegraph stacks (`?weight=wall\|bits`) | [`Sources::profile`] |
 //! | `/calibration` | router correction-factor table as JSON | [`Sources::calibration`] |
 //! | `/version` | build identity (crate version, catalogue size, profile) as JSON | [`Sources::version`] |
+//! | `/trace/<session>` | the session's stitched Chrome trace (404 for unknown sessions) | [`Sources::trace`] |
+//! | `/flightrecorder` | the always-on flight recorder ring as JSONL | [`Sources::flight`] |
 //!
 //! The server renders each response by calling the corresponding source
 //! closure at request time, so scrapes always see current state. Every
@@ -57,6 +59,11 @@ pub struct Sources {
     pub calibration: Box<dyn Fn() -> String + Send + Sync>,
     /// Body for `/version` (JSON build identity).
     pub version: Box<dyn Fn() -> String + Send + Sync>,
+    /// Body for `/trace/<session>`: the session's stitched Chrome trace,
+    /// or `None` when the session is unknown (served as 404).
+    pub trace: Box<dyn Fn(u64) -> Option<String> + Send + Sync>,
+    /// Body for `/flightrecorder` (JSONL dump of the always-on ring).
+    pub flight: Box<dyn Fn() -> String + Send + Sync>,
     /// Health state served by `/healthz`.
     pub health: Arc<Health>,
 }
@@ -80,6 +87,8 @@ impl Sources {
             profile: Box::new(|_| String::new()),
             calibration: Box::new(|| "{}".to_string()),
             version: Box::new(|| "{}".to_string()),
+            trace: Box::new(|_| None),
+            flight: Box::new(crate::flight::dump_jsonl),
             health: Arc::new(Health::default()),
         }
     }
@@ -193,7 +202,17 @@ fn handle_connection(stream: &mut TcpStream, sources: &Sources) -> std::io::Resu
         Some((p, q)) => (p, q),
         None => (target, ""),
     };
-    subscriber::counter_add(&labeled("telemetry_requests_total", &[("path", path)]), 1);
+    // `/trace/<session>` carries an unbounded id in the path; fold it to
+    // one label value so the request counter's cardinality stays fixed.
+    let path_label = if path.starts_with("/trace/") {
+        "/trace"
+    } else {
+        path
+    };
+    subscriber::counter_add(
+        &labeled("telemetry_requests_total", &[("path", path_label)]),
+        1,
+    );
     match path {
         "/metrics" => {
             let body = (sources.metrics)();
@@ -256,6 +275,17 @@ fn handle_connection(stream: &mut TcpStream, sources: &Sources) -> std::io::Resu
                     "text/plain",
                     "unknown weight; use weight=wall or weight=bits\n",
                 ),
+            }
+        }
+        "/flightrecorder" => {
+            let body = (sources.flight)();
+            respond(stream, 200, "OK", "application/x-ndjson", &body)
+        }
+        p if p.starts_with("/trace/") => {
+            let session = p["/trace/".len()..].parse::<u64>().ok();
+            match session.and_then(|id| (sources.trace)(id)) {
+                Some(body) => respond(stream, 200, "OK", "application/json", &body),
+                None => respond(stream, 404, "Not Found", "text/plain", "unknown session\n"),
             }
         }
         _ => respond(stream, 404, "Not Found", "text/plain", "not found\n"),
@@ -345,6 +375,8 @@ mod tests {
             profile: Box::new(|w| format!("root;{} 10\n", w.label())),
             calibration: Box::new(|| "{\"entries\":[]}".to_string()),
             version: Box::new(|| "{\"version\":\"0.1.0-test\"}".to_string()),
+            trace: Box::new(|id| (id == 7).then(|| "[{\"pid\":7}]".to_string())),
+            flight: Box::new(|| "{\"event\":\"session-complete\"}\n".to_string()),
             health,
         }
     }
@@ -384,7 +416,37 @@ mod tests {
         assert_eq!(status, 200);
         assert!(body.contains("0.1.0-test"));
 
+        let (status, body) = http_get(addr, "/trace/7").unwrap();
+        assert_eq!(status, 200);
+        assert_eq!(body, "[{\"pid\":7}]");
+
+        let (status, body) = http_get(addr, "/flightrecorder").unwrap();
+        assert_eq!(status, 200);
+        assert!(body.contains("session-complete"));
+
         server.shutdown();
+    }
+
+    #[test]
+    fn trace_requests_404_on_unknown_or_malformed_sessions_and_fold_the_counter_label() {
+        let sub = crate::Subscriber::new();
+        let _g = sub.install();
+        let health = Arc::new(Health::default());
+        let server =
+            TelemetryServer::start("127.0.0.1:0", test_sources(Arc::clone(&health))).unwrap();
+        let addr = server.local_addr();
+        let (status, _) = http_get(addr, "/trace/8").unwrap();
+        assert_eq!(status, 404);
+        let (status, _) = http_get(addr, "/trace/banana").unwrap();
+        assert_eq!(status, 404);
+        let (status, _) = http_get(addr, "/trace/7").unwrap();
+        assert_eq!(status, 200);
+        // All three requests land on one bounded-cardinality series.
+        assert_eq!(
+            sub.metrics()
+                .counter("telemetry_requests_total{path=\"/trace\"}"),
+            3
+        );
     }
 
     #[test]

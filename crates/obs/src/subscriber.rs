@@ -70,6 +70,7 @@ pub fn instant(target: &'static str, name: impl Into<String>) {
         session,
         party,
         phase: crate::phase::current_label_or_empty(),
+        trace: crate::tracing::current(),
         kind: crate::event::EventKind::Instant,
     });
 }
@@ -94,6 +95,7 @@ pub fn message(target: &'static str, dir: crate::event::Direction, bits: u64, cl
         session,
         party,
         phase: crate::phase::current_label_or_empty(),
+        trace: crate::tracing::current(),
         kind: crate::event::EventKind::Message { dir, bits, clock },
     });
 }

@@ -1,0 +1,157 @@
+//! Distributed trace contexts: a 128-bit trace id plus a 64-bit parent
+//! span id, minted deterministically per session and threaded across
+//! process boundaries.
+//!
+//! The repository's spans were per-process until now: an engine worker's
+//! session halves, or a remote client's Alice half, each attributed only
+//! by `(session, party)`. A [`TraceContext`] stitches them: it is minted
+//! once at session open — a pure function of `(id, seed)`, so every
+//! execution path (engine worker, remote server, standalone audit rerun)
+//! derives the *same* context for the same request — carried on the
+//! request line through intersect-net `Open` frames, and entered as a
+//! thread-local [`TraceScope`] around each half so every event emitted
+//! meanwhile (spans, messages, instants) carries it. Exporters render it
+//! as W3C-style lowercase hex (32 digits for the trace id, 16 for the
+//! span id), which is what the `/trace/<session>` endpoint and the
+//! Chrome-trace exporter surface.
+//!
+//! Determinism matters doubly here: minting from `(id, seed)` only —
+//! never from wall clock or a global counter — keeps tracing-on runs
+//! bit-identical to tracing-off runs (the E17 discipline) and keeps a
+//! stream-tagged request equal to its standalone rerun.
+
+use std::cell::Cell;
+
+/// A distributed trace identity: which trace a session belongs to and
+/// the span that opened it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct TraceContext {
+    /// 128-bit trace id shared by every span of the session, across
+    /// processes.
+    pub trace_id: u128,
+    /// The 64-bit id of the span that opened the session (the client's
+    /// root span); remote halves attach under it.
+    pub span_id: u64,
+}
+
+/// SplitMix64 finalizer: the standard 64-bit avalanche mix.
+fn mix(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+impl TraceContext {
+    /// Mints the deterministic context for a session: a pure function of
+    /// `(id, seed)` and nothing else, so every path that serves the same
+    /// request — engine worker, remote server, standalone rerun — agrees
+    /// on the identity, and minting never perturbs transcripts.
+    pub fn mint(id: u64, seed: u64) -> TraceContext {
+        let hi = mix(id ^ 0x7472_6163_655f_6869); // "trace_hi"
+        let lo = mix(seed.wrapping_add(mix(id)));
+        let trace_id = ((hi as u128) << 64) | lo as u128;
+        TraceContext {
+            trace_id: if trace_id == 0 { 1 } else { trace_id },
+            span_id: mix(hi ^ seed).max(1),
+        }
+    }
+
+    /// The trace id as 32 lowercase hex digits (W3C `traceparent` style).
+    pub fn trace_hex(&self) -> String {
+        format!("{:032x}", self.trace_id)
+    }
+
+    /// The parent span id as 16 lowercase hex digits.
+    pub fn span_hex(&self) -> String {
+        format!("{:016x}", self.span_id)
+    }
+
+    /// Parses a 32-digit hex trace id (as printed by
+    /// [`trace_hex`](Self::trace_hex)); `None` on malformed input.
+    pub fn parse_trace_hex(s: &str) -> Option<u128> {
+        (s.len() == 32).then(|| u128::from_str_radix(s, 16).ok())?
+    }
+
+    /// Parses a 16-digit hex span id; `None` on malformed input.
+    pub fn parse_span_hex(s: &str) -> Option<u64> {
+        (s.len() == 16).then(|| u64::from_str_radix(s, 16).ok())?
+    }
+}
+
+thread_local! {
+    static TRACE: Cell<Option<TraceContext>> = const { Cell::new(None) };
+}
+
+/// The trace context active on this thread, set by [`TraceScope`].
+pub fn current() -> Option<TraceContext> {
+    TRACE.with(|c| c.get())
+}
+
+/// Attributes everything emitted on this thread to one trace for the
+/// scope's lifetime; the previous context is restored on drop (scopes
+/// nest, mirroring [`crate::phase::SessionScope`]).
+#[derive(Debug)]
+#[must_use = "a trace scope attributes events only while it lives"]
+pub struct TraceScope {
+    prev: Option<TraceContext>,
+}
+
+impl TraceScope {
+    /// Enters the scope.
+    pub fn enter(ctx: TraceContext) -> TraceScope {
+        let prev = TRACE.with(|c| c.replace(Some(ctx)));
+        TraceScope { prev }
+    }
+}
+
+impl Drop for TraceScope {
+    fn drop(&mut self) {
+        TRACE.with(|c| c.set(self.prev));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn minting_is_deterministic_and_id_seed_sensitive() {
+        let a = TraceContext::mint(7, 42);
+        assert_eq!(a, TraceContext::mint(7, 42));
+        assert_ne!(a, TraceContext::mint(8, 42));
+        assert_ne!(a, TraceContext::mint(7, 43));
+        assert_ne!(a.trace_id, 0);
+        assert_ne!(a.span_id, 0);
+    }
+
+    #[test]
+    fn hex_round_trips() {
+        let ctx = TraceContext::mint(3, 9);
+        let trace = ctx.trace_hex();
+        let span = ctx.span_hex();
+        assert_eq!(trace.len(), 32);
+        assert_eq!(span.len(), 16);
+        assert_eq!(TraceContext::parse_trace_hex(&trace), Some(ctx.trace_id));
+        assert_eq!(TraceContext::parse_span_hex(&span), Some(ctx.span_id));
+        assert_eq!(TraceContext::parse_trace_hex("xyz"), None);
+        assert_eq!(TraceContext::parse_span_hex(&trace), None);
+    }
+
+    #[test]
+    fn scopes_nest_and_restore() {
+        assert_eq!(current(), None);
+        let outer = TraceContext::mint(1, 1);
+        let inner = TraceContext::mint(2, 2);
+        {
+            let _o = TraceScope::enter(outer);
+            assert_eq!(current(), Some(outer));
+            {
+                let _i = TraceScope::enter(inner);
+                assert_eq!(current(), Some(inner));
+            }
+            assert_eq!(current(), Some(outer));
+        }
+        assert_eq!(current(), None);
+    }
+}

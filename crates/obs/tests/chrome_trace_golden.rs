@@ -4,18 +4,21 @@
 //! change in field order, escaping, or the pid/tid mapping would corrupt
 //! every archived trace. The fixture is the exact rendering of a small
 //! event sequence that covers all three event kinds, attributed and
-//! unattributed sessions, a cost delta, JSON escaping, and both message
-//! directions. Regenerate it deliberately (and re-validate in a viewer)
-//! by updating `tests/fixtures/chrome_trace.golden` when the format is
-//! intentionally changed.
+//! unattributed sessions, a cost delta, JSON escaping, both message
+//! directions, a distributed trace context, and the
+//! `process_name`/`thread_name` metadata records. Regenerate it
+//! deliberately (and re-validate in a viewer) by updating
+//! `tests/fixtures/chrome_trace.golden` when the format is intentionally
+//! changed.
 
-use intersect_obs::{CostDelta, Direction, Event, EventKind, Party};
+use intersect_obs::{CostDelta, Direction, Event, EventKind, Party, TraceContext};
 
 const GOLDEN: &str = include_str!("fixtures/chrome_trace.golden");
 
 fn fixture_events() -> Vec<Event> {
     vec![
-        // A span with a cost delta, fully attributed.
+        // A span with a cost delta, fully attributed, carrying the
+        // session's deterministic trace context.
         Event {
             ts_micros: 150,
             target: "core",
@@ -23,6 +26,7 @@ fn fixture_events() -> Vec<Event> {
             session: Some(7),
             party: Some(Party::Alice),
             phase: "session".into(),
+            trace: Some(TraceContext::mint(7, 1)),
             kind: EventKind::Span {
                 dur_micros: 100,
                 delta: Some(CostDelta {
@@ -40,6 +44,7 @@ fn fixture_events() -> Vec<Event> {
             session: Some(7),
             party: Some(Party::Bob),
             phase: String::new(),
+            trace: None,
             kind: EventKind::Span {
                 dur_micros: 30,
                 delta: None,
@@ -53,6 +58,7 @@ fn fixture_events() -> Vec<Event> {
             session: None,
             party: None,
             phase: String::new(),
+            trace: None,
             kind: EventKind::Instant,
         },
         // One message in each direction.
@@ -63,6 +69,7 @@ fn fixture_events() -> Vec<Event> {
             session: Some(7),
             party: Some(Party::Alice),
             phase: "session".into(),
+            trace: Some(TraceContext::mint(7, 1)),
             kind: EventKind::Message {
                 dir: Direction::Sent,
                 bits: 96,
@@ -76,6 +83,7 @@ fn fixture_events() -> Vec<Event> {
             session: Some(7),
             party: Some(Party::Bob),
             phase: "session".into(),
+            trace: Some(TraceContext::mint(7, 1)),
             kind: EventKind::Message {
                 dir: Direction::Received,
                 bits: 96,

@@ -1,0 +1,74 @@
+//! The flight recorder's hot path allocates nothing.
+//!
+//! The recorder is *always on* — there is no enabled-gate in front of
+//! [`intersect_obs::flight::record`] — so its per-event cost must be a
+//! handful of atomic stores and zero allocations, whether or not a
+//! subscriber is installed. A counting global allocator pins that, in
+//! its own integration-test process so no sibling test's allocations
+//! bleed into the window.
+
+use intersect_obs as obs;
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::cell::Cell;
+
+struct Counting;
+
+// Per-thread counting (const-init `Cell`, so the counter itself never
+// allocates): the harness main thread allocates concurrently while a
+// test runs, and a process-global counter would pick that up.
+thread_local! {
+    static ALLOCS: Cell<u64> = const { Cell::new(0) };
+}
+
+fn bump() {
+    let _ = ALLOCS.try_with(|c| c.set(c.get() + 1));
+}
+
+unsafe impl GlobalAlloc for Counting {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        bump();
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        bump();
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static GLOBAL: Counting = Counting;
+
+fn allocations_during(f: impl FnOnce()) -> u64 {
+    let before = ALLOCS.with(|c| c.get());
+    f();
+    ALLOCS.with(|c| c.get()) - before
+}
+
+#[test]
+fn flight_recorder_records_without_allocating() {
+    // Warm the epoch and this thread's shard assignment outside the
+    // measurement window (both are one-time lazy initializations).
+    obs::flight::record(obs::flight::CODE_COMPLETE, 0, 0, 0);
+
+    let n = allocations_during(|| {
+        for i in 0..10_000u64 {
+            obs::flight::record(obs::flight::CODE_COMPLETE, i, 640, 120);
+            obs::flight::record(obs::flight::CODE_FAIL, i, 0, 55);
+            obs::flight::record(obs::flight::CODE_CONFORMANCE, i, 800, 700);
+        }
+    });
+    assert_eq!(n, 0, "flight recorder hot path performed {n} allocations");
+
+    // The dump is the cold path and is allowed (expected) to allocate;
+    // this also sanity-checks the allocator counter observes this code.
+    let n = allocations_during(|| {
+        let dump = obs::flight::dump_jsonl();
+        assert!(dump.contains("session-complete"));
+    });
+    assert!(n > 0, "allocator counter failed to observe the dump");
+}

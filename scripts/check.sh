@@ -32,6 +32,9 @@ echo "==> telemetry plane smoke"
 echo "==> network transport smoke"
 ./scripts/net_smoke.sh
 
+echo "==> trace plane smoke"
+./scripts/trace_smoke.sh
+
 echo "==> intersect-top dashboard smoke"
 ./scripts/tui_smoke.sh
 

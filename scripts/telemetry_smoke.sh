@@ -57,7 +57,10 @@ if grep -q '^conformance_violations_total' <<<"$metrics"; then
   exit 1
 fi
 
-fetch "http://$addr/sessions" | grep -q '"snapshot"' \
+# Buffer before grepping: grep -q closing the pipe early makes curl
+# exit 23, which pipefail would misread as a failed scrape.
+fetch "http://$addr/sessions" >"$tmpdir/body" \
+  && grep -q '"snapshot"' "$tmpdir/body" \
   || { echo "/sessions missing snapshot"; exit 1; }
 # The profile endpoint must answer, even if the stacks are still empty.
 code=$(status_of "http://$addr/profile?weight=bits")
@@ -77,7 +80,8 @@ for _ in $(seq 1 50); do
   sleep 0.1
 done
 [[ "$code" == "503" ]] || { echo "/healthz never degraded (last: $code)"; exit 1; }
-fetch "http://$addr/healthz" | grep -q 'degraded' \
+fetch "http://$addr/healthz" >"$tmpdir/body" \
+  && grep -q 'degraded' "$tmpdir/body" \
   || { echo "degraded /healthz body missing"; exit 1; }
 
 if wait %1; then

@@ -1,0 +1,108 @@
+#!/usr/bin/env bash
+# Trace-plane smoke test: boots `intersect-serve --transport --listen`,
+# drives it with a loadgen burst from a separate process, and verifies
+# cross-process trace stitching — the server-side session spans on
+# /trace/<id> must carry the exact trace id the client minted (loadgen
+# reports it as trace_sample) — plus the /flightrecorder endpoint and
+# the SIGQUIT stderr dump.
+# Run from anywhere; operates on the workspace that contains this script.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+SERVE_BIN=${INTERSECT_SERVE_BIN:-target/debug/intersect-serve}
+LOADGEN_BIN=${INTERSECT_LOADGEN_BIN:-target/debug/loadgen}
+if [[ ! -x "$SERVE_BIN" || ! -x "$LOADGEN_BIN" ]]; then
+  echo "==> building intersect-serve and loadgen"
+  cargo build -q --bin intersect-serve --bin loadgen
+fi
+
+fetch() { # fetch <url> -> body on stdout
+  curl -sS --max-time 5 "$1"
+}
+
+status_of() { # status_of <url> -> HTTP status code
+  curl -s --max-time 5 -o /dev/null -w "%{http_code}" "$1"
+}
+
+wait_for_addr() { # wait_for_addr <stderr-file> <prefix> -> prints host:port
+  local file=$1 prefix=$2 addr=""
+  for _ in $(seq 1 50); do
+    addr=$(sed -n "s/^$prefix: listening on //p" "$file" | head -n1)
+    [[ -n "$addr" ]] && break
+    sleep 0.1
+  done
+  if [[ -z "$addr" ]]; then
+    echo "$prefix server never announced its address" >&2
+    cat "$file" >&2
+    return 1
+  fi
+  echo "$addr"
+}
+
+tmpdir=$(mktemp -d)
+trap 'rm -rf "$tmpdir"; kill %1 2>/dev/null || true' EXIT
+
+echo "==> boot transport server with a live telemetry plane"
+"$SERVE_BIN" --transport tcp:127.0.0.1:0 --listen 127.0.0.1:0 \
+  2>"$tmpdir/serve.err" &
+transport=$(wait_for_addr "$tmpdir/serve.err" transport)
+telemetry=$(wait_for_addr "$tmpdir/serve.err" telemetry)
+echo "    transport on $transport, telemetry on $telemetry"
+
+echo "==> loadgen burst: 16 sessions with client-side waterfall attribution"
+"$LOADGEN_BIN" --endpoint "$transport" --sessions 16 --concurrency 4 \
+  --k 64 --json >"$tmpdir/loadgen.json" 2>"$tmpdir/loadgen.err"
+cat "$tmpdir/loadgen.err"
+
+grep -q '"completed":16' "$tmpdir/loadgen.json" \
+  || { echo "expected 16 completed sessions:"; cat "$tmpdir/loadgen.json"; exit 1; }
+grep -q '"attribution_us":{"open_wait":[0-9]*,"rounds_execute":[0-9]*,"drain":[0-9]*}' \
+  "$tmpdir/loadgen.json" \
+  || { echo "--json must carry the attribution section:"; cat "$tmpdir/loadgen.json"; exit 1; }
+
+# The client's deterministic trace id for session 0, as loadgen reports it.
+trace_sample=$(sed -n 's/.*"trace_sample":"\([0-9a-f]\{32\}\)".*/\1/p' "$tmpdir/loadgen.json")
+[[ -n "$trace_sample" ]] \
+  || { echo "--json must carry a 32-hex trace_sample:"; cat "$tmpdir/loadgen.json"; exit 1; }
+echo "    client minted trace $trace_sample for session 0"
+
+echo "==> /trace/0 must serve the stitched server spans under the client's trace id"
+[[ "$(status_of "http://$telemetry/trace/0")" == "200" ]] \
+  || { echo "/trace/0 not served"; exit 1; }
+trace_body=$(fetch "http://$telemetry/trace/0")
+echo "$trace_body" | grep -q "\"trace\":\"$trace_sample\"" \
+  || { echo "server spans do not carry the client's trace id $trace_sample:"; \
+       echo "$trace_body"; exit 1; }
+echo "$trace_body" | grep -q '"name":"session"' \
+  || { echo "no session span in /trace/0:"; echo "$trace_body"; exit 1; }
+[[ "$(status_of "http://$telemetry/trace/99999")" == "404" ]] \
+  || { echo "/trace must 404 on unknown sessions"; exit 1; }
+
+echo "==> /flightrecorder must replay the served sessions"
+flight=$(fetch "http://$telemetry/flightrecorder")
+completions=$(echo "$flight" | grep -c 'session-complete' || true)
+[[ "$completions" -ge 16 ]] \
+  || { echo "flight recorder saw $completions completions, want >= 16:"; \
+       echo "$flight"; exit 1; }
+
+echo "==> SIGQUIT must dump the flight recorder to stderr without exiting"
+kill -QUIT %1
+for _ in $(seq 1 50); do
+  grep -q 'flight recorder dump (SIGQUIT)' "$tmpdir/serve.err" && break
+  sleep 0.1
+done
+grep -q 'flight recorder dump (SIGQUIT)' "$tmpdir/serve.err" \
+  || { echo "no SIGQUIT dump on stderr:"; cat "$tmpdir/serve.err"; exit 1; }
+grep -q 'session-complete' "$tmpdir/serve.err" \
+  || { echo "SIGQUIT dump carries no events:"; cat "$tmpdir/serve.err"; exit 1; }
+
+echo "==> SIGTERM must still drain and exit cleanly"
+kill -TERM %1
+if ! wait %1; then
+  echo "server exited nonzero after SIGTERM"; cat "$tmpdir/serve.err"; exit 1
+fi
+grep -q 'transport summary: connections=1 served=16 failed=0 rejected=0' \
+  "$tmpdir/serve.err" \
+  || { echo "unexpected drain summary:"; cat "$tmpdir/serve.err"; exit 1; }
+
+echo "==> trace plane smoke passed"

@@ -43,9 +43,13 @@ echo "==> happy path: headless dashboard against a live calibrated plane"
   >/dev/null 2>"$tmpdir/serve.err" &
 addr=$(wait_for_addr "$tmpdir/serve.err")
 
-fetch "http://$addr/version" | grep -q '"version"' \
+# Buffer bodies before grepping: `fetch | grep -q` lets grep close the
+# pipe at first match, curl exits 23, and pipefail calls that a failure.
+fetch "http://$addr/version" >"$tmpdir/body" \
+  && grep -q '"version"' "$tmpdir/body" \
   || { echo "/version missing version field"; exit 1; }
-fetch "http://$addr/metrics" | grep -q '^build_info{' \
+fetch "http://$addr/metrics" >"$tmpdir/body" \
+  && grep -q '^build_info{' "$tmpdir/body" \
   || { echo "/metrics missing build_info gauge"; exit 1; }
 
 "$TOP_BIN" --endpoint "$addr" --frames 3 --interval-ms 200 --width 100 \
@@ -71,7 +75,8 @@ addr=$(wait_for_addr "$tmpdir/serve2.err")
 # Wait until the batch has folded enough residuals for a hysteresis snap.
 snapped=""
 for _ in $(seq 1 50); do
-  if fetch "http://$addr/metrics" | grep -q '^router_recalibration_total{'; then
+  fetch "http://$addr/metrics" >"$tmpdir/body" || true
+  if grep -q '^router_recalibration_total{' "$tmpdir/body"; then
     snapped=yes
     break
   fi
@@ -81,7 +86,8 @@ done
   || { echo "router_recalibration_total never incremented"; \
        fetch "http://$addr/metrics" | grep '^router' || true; exit 1; }
 
-fetch "http://$addr/calibration" | grep -q '"entries"' \
+fetch "http://$addr/calibration" >"$tmpdir/body" \
+  && grep -q '"entries"' "$tmpdir/body" \
   || { echo "/calibration missing entries"; exit 1; }
 
 "$TOP_BIN" --endpoint "$addr" --once --width 100 >"$tmpdir/frame2.out" \

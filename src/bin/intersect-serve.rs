@@ -27,6 +27,7 @@ struct Options {
     seed: u64,
     workers: usize,
     queue: usize,
+    ring: usize,
     in_flight: Option<usize>,
     protocol: Option<String>,
     round_penalty: f64,
@@ -70,6 +71,8 @@ fn usage() -> ! {
          engine:\n\
            --workers <w>       worker threads (default 4, min 2)\n\
            --queue <c>         admission queue capacity (default 64)\n\
+           --ring <r>          recent-outcome ring capacity surfaced on\n\
+                               /sessions (default 64, min 1)\n\
            --in-flight <m>     max concurrent sessions (default: workers)\n\
            --protocol <name>   pin every session to one protocol (default:\n\
                                cost-model routing; per-line overrides still win)\n\
@@ -90,7 +93,9 @@ fn usage() -> ! {
            --listen <addr>     serve live telemetry over HTTP while the\n\
                                workload runs (port 0 picks a free port):\n\
                                /metrics, /healthz, /sessions, /profile,\n\
-                               /calibration, /version\n\
+                               /calibration, /version, /trace/<id>,\n\
+                               /flightrecorder (SIGQUIT also dumps the\n\
+                               flight recorder to stderr)\n\
            --linger-ms <ms>    keep the telemetry server up this long after\n\
                                the workload drains (default 0)\n\
            --slack <f>         theory-conformance slack factor on predicted\n\
@@ -128,6 +133,7 @@ fn parse_args() -> Options {
         seed: 1,
         workers: 4,
         queue: 64,
+        ring: 64,
         in_flight: None,
         protocol: None,
         round_penalty: 0.0,
@@ -172,6 +178,7 @@ fn parse_args() -> Options {
             "--seed" => opts.seed = int("--seed", value("--seed")),
             "--workers" => opts.workers = int("--workers", value("--workers")) as usize,
             "--queue" => opts.queue = int("--queue", value("--queue")) as usize,
+            "--ring" => opts.ring = int("--ring", value("--ring")) as usize,
             "--in-flight" => {
                 opts.in_flight = Some(int("--in-flight", value("--in-flight")) as usize)
             }
@@ -271,6 +278,7 @@ mod sig {
     use std::sync::atomic::{AtomicBool, Ordering};
 
     pub static SHUTDOWN: AtomicBool = AtomicBool::new(false);
+    pub static DUMP: AtomicBool = AtomicBool::new(false);
 
     extern "C" {
         fn signal(signum: i32, handler: extern "C" fn(i32)) -> usize;
@@ -280,6 +288,10 @@ mod sig {
         SHUTDOWN.store(true, Ordering::SeqCst);
     }
 
+    extern "C" fn on_dump(_signum: i32) {
+        DUMP.store(true, Ordering::SeqCst);
+    }
+
     pub fn install() {
         const SIGINT: i32 = 2;
         const SIGTERM: i32 = 15;
@@ -287,19 +299,45 @@ mod sig {
             signal(SIGINT, on_signal);
             signal(SIGTERM, on_signal);
         }
+        install_dump();
+    }
+
+    /// SIGQUIT only: engine mode wants the flight-recorder dump without
+    /// changing what SIGINT/SIGTERM do to a batch run.
+    pub fn install_dump() {
+        const SIGQUIT: i32 = 3;
+        unsafe {
+            signal(SIGQUIT, on_dump);
+        }
     }
 
     pub fn requested() -> bool {
         SHUTDOWN.load(Ordering::SeqCst)
+    }
+
+    /// True once per SIGQUIT: consumes the dump request.
+    pub fn take_dump() -> bool {
+        DUMP.swap(false, Ordering::SeqCst)
     }
 }
 
 #[cfg(not(unix))]
 mod sig {
     pub fn install() {}
+    pub fn install_dump() {}
     pub fn requested() -> bool {
         false
     }
+    pub fn take_dump() -> bool {
+        false
+    }
+}
+
+/// Writes the flight-recorder ring to stderr, framed so operators can
+/// find it in a busy log (the SIGQUIT / post-mortem path).
+fn dump_flight_recorder(reason: &str) {
+    eprintln!("flight recorder dump ({reason}):");
+    eprint!("{}", intersect::obs::flight::dump_jsonl());
 }
 
 /// `--transport` mode: serve remote clients over the framed transport
@@ -340,6 +378,7 @@ fn run_transport(spec: &str, opts: &Options, policy: RoutePolicy) -> ExitCode {
         Some(addr) => {
             let metrics_sub = subscriber.clone().expect("listen implies a subscriber");
             let profile_sub = metrics_sub.clone();
+            let trace_sub = metrics_sub.clone();
             let sources = intersect::obs::Sources {
                 metrics: Box::new(move || {
                     intersect::obs::export::prometheus_with_help(
@@ -352,6 +391,16 @@ fn run_transport(spec: &str, opts: &Options, policy: RoutePolicy) -> ExitCode {
                 sessions: Box::new(|| "[]".to_string()),
                 profile: Box::new(move |w| {
                     intersect::obs::folded::folded_stacks(&profile_sub.events(), w)
+                }),
+                // Server-half spans only; the client half of the trace
+                // lives in the remote process until stitched offline.
+                trace: Box::new(move |session| {
+                    let events: Vec<_> = trace_sub
+                        .events()
+                        .into_iter()
+                        .filter(|e| e.session == Some(session))
+                        .collect();
+                    (!events.is_empty()).then(|| intersect::obs::export::chrome_trace(&events))
                 }),
                 version: Box::new(intersect::version::version_json),
                 health: Default::default(),
@@ -373,6 +422,9 @@ fn run_transport(spec: &str, opts: &Options, policy: RoutePolicy) -> ExitCode {
 
     sig::install();
     while !sig::requested() {
+        if sig::take_dump() {
+            dump_flight_recorder("SIGQUIT");
+        }
         std::thread::sleep(std::time::Duration::from_millis(25));
     }
     eprintln!("transport: shutdown signal received, draining");
@@ -480,6 +532,7 @@ fn main() -> ExitCode {
     let config = EngineConfig {
         workers: opts.workers,
         queue_capacity: opts.queue,
+        ring: opts.ring,
         max_in_flight: opts.in_flight.unwrap_or(opts.workers),
         policy,
         debug_session: opts.debug_session,
@@ -524,6 +577,7 @@ fn main() -> ExitCode {
             let calibrator = engine.calibrator();
             let metrics_sub = subscriber.clone().expect("listen implies a subscriber");
             let profile_sub = metrics_sub.clone();
+            let trace_sub = metrics_sub.clone();
             let sources = intersect::obs::Sources {
                 metrics: Box::new(move || {
                     intersect::obs::export::prometheus_with_help(
@@ -539,6 +593,15 @@ fn main() -> ExitCode {
                     Some(cal) => cal.snapshot().to_json(),
                     None => "{}".to_string(),
                 }),
+                trace: Box::new(move |session| {
+                    let events: Vec<_> = trace_sub
+                        .events()
+                        .into_iter()
+                        .filter(|e| e.session == Some(session))
+                        .collect();
+                    (!events.is_empty()).then(|| intersect::obs::export::chrome_trace(&events))
+                }),
+                flight: Box::new(intersect::obs::flight::dump_jsonl),
                 version: Box::new(intersect::version::version_json),
                 health,
             };
@@ -555,8 +618,12 @@ fn main() -> ExitCode {
         }
         None => None,
     };
+    sig::install_dump();
     let mut invalid = 0u64;
     for req in requests {
+        if sig::take_dump() {
+            dump_flight_recorder("SIGQUIT");
+        }
         let result = if opts.no_wait {
             engine.try_submit(req)
         } else {
@@ -579,11 +646,21 @@ fn main() -> ExitCode {
         }
     }
     let report = engine.finish();
+    if sig::take_dump() {
+        dump_flight_recorder("SIGQUIT");
+    }
     if let Some(server) = server {
         // Hold the scrape plane open so a collector can observe the
-        // settled state before the process exits.
-        if opts.linger_ms > 0 {
-            std::thread::sleep(std::time::Duration::from_millis(opts.linger_ms));
+        // settled state before the process exits, still answering
+        // SIGQUIT flight-recorder dumps while lingering.
+        let mut remaining = opts.linger_ms;
+        while remaining > 0 {
+            let slice = remaining.min(50);
+            std::thread::sleep(std::time::Duration::from_millis(slice));
+            remaining -= slice;
+            if sig::take_dump() {
+                dump_flight_recorder("SIGQUIT");
+            }
         }
         server.shutdown();
     }
@@ -662,6 +739,15 @@ fn main() -> ExitCode {
     }
 
     let failed = report.outcomes.iter().any(|o| !o.succeeded());
+    // Post-mortem: the flight recorder holds the last moments before a
+    // failure or envelope breach, so surface it while it is still warm.
+    if failed || conformance_failed {
+        dump_flight_recorder(if failed {
+            "session failures"
+        } else {
+            "conformance violations"
+        });
+    }
     if failed || invalid > 0 || io_error || conformance_failed {
         return ExitCode::FAILURE;
     }

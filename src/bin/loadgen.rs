@@ -176,6 +176,11 @@ fn main() -> ExitCode {
     let failed = Arc::new(AtomicU64::new(0));
     let total_bits = Arc::new(AtomicU64::new(0));
     let latencies = Arc::new(Mutex::new(Vec::with_capacity(opts.sessions as usize)));
+    // Waterfall attribution: client-observed segment sums across all
+    // completed sessions (open-wait, rounds-execute, drain).
+    let seg_open = Arc::new(AtomicU64::new(0));
+    let seg_rounds = Arc::new(AtomicU64::new(0));
+    let seg_drain = Arc::new(AtomicU64::new(0));
     let start = Instant::now();
 
     let workers: Vec<_> = (0..opts.concurrency)
@@ -185,6 +190,9 @@ fn main() -> ExitCode {
             let failed = Arc::clone(&failed);
             let total_bits = Arc::clone(&total_bits);
             let latencies = Arc::clone(&latencies);
+            let seg_open = Arc::clone(&seg_open);
+            let seg_rounds = Arc::clone(&seg_rounds);
+            let seg_drain = Arc::clone(&seg_drain);
             let protocol = opts.protocol;
             let (sessions, rate, seed, streams) =
                 (opts.sessions, opts.rate, opts.seed, opts.streams);
@@ -211,13 +219,16 @@ fn main() -> ExitCode {
                     req = req.in_stream(seed.wrapping_add(i % streams), i / streams);
                 }
                 let t0 = Instant::now();
-                match clients[i as usize % clients.len()].run(&req) {
-                    Ok(run) => {
+                match clients[i as usize % clients.len()].run_timed(&req) {
+                    Ok((run, timeline)) => {
                         // A wrong intersection is a failure even if the
                         // transport was happy.
                         if run.matches(&req.input_pair().ground_truth()) {
                             let micros = t0.elapsed().as_micros() as u64;
                             total_bits.fetch_add(run.report.total_bits(), Ordering::Relaxed);
+                            seg_open.fetch_add(timeline.open_wait_micros, Ordering::Relaxed);
+                            seg_rounds.fetch_add(timeline.rounds_execute_micros, Ordering::Relaxed);
+                            seg_drain.fetch_add(timeline.drain_micros, Ordering::Relaxed);
                             latencies.lock().unwrap().push(micros);
                         } else {
                             eprintln!("session {i}: wrong intersection");
@@ -271,13 +282,30 @@ fn main() -> ExitCode {
         "latency_us min={min} p50={p50} p90={p90} p99={p99} max={max} ({} connections, {} workers)",
         opts.connections, opts.concurrency,
     );
+    // Client-side waterfall: where each session's latency went, summed
+    // across completed sessions. The sample trace id is session 0's
+    // deterministic context, so operators can grep it out of the
+    // server's /trace/0 export and confirm cross-process stitching.
+    let (open_us, rounds_us, drain_us) = (
+        seg_open.load(Ordering::Relaxed),
+        seg_rounds.load(Ordering::Relaxed),
+        seg_drain.load(Ordering::Relaxed),
+    );
+    let trace_sample = intersect::obs::TraceContext::mint(0, opts.seed).trace_hex();
+    eprintln!(
+        "attribution_us open_wait={open_us} rounds_execute={rounds_us} drain={drain_us} \
+         trace_sample={trace_sample}"
+    );
     if opts.json {
         println!(
             "{{\"completed\":{completed},\"failed\":{failed},\"elapsed_s\":{:.6},\
              \"sessions_per_s\":{per_s:.1},\"streams\":{},\
              \"amortized_bits_per_session\":{amortized_bits:.1},\
              \"latency_us\":{{\"min\":{min},\
-             \"p50\":{p50},\"p90\":{p90},\"p99\":{p99},\"max\":{max}}}}}",
+             \"p50\":{p50},\"p90\":{p90},\"p99\":{p99},\"max\":{max}}},\
+             \"attribution_us\":{{\"open_wait\":{open_us},\
+             \"rounds_execute\":{rounds_us},\"drain\":{drain_us}}},\
+             \"trace_sample\":\"{trace_sample}\"}}",
             elapsed.as_secs_f64(),
             opts.streams,
         );

@@ -202,6 +202,32 @@ pub fn render(state: &AppState, width: usize) -> String {
     );
     push_line(&mut out, w, "");
 
+    push_line(&mut out, w, "latency waterfall (mean us/session)");
+    if state.waterfall.is_empty() {
+        push_line(&mut out, w, "  (no segment observations yet)");
+    } else {
+        let max_mean = state
+            .waterfall
+            .iter()
+            .map(|row| row.mean_micros)
+            .max()
+            .unwrap_or(0)
+            .max(1);
+        let bar_w = w.saturating_sub(34).clamp(8, 40);
+        for row in &state.waterfall {
+            let filled =
+                ((row.mean_micros as f64 / max_mean as f64) * bar_w as f64).round() as usize;
+            let line = format!(
+                "  {:<14} {:>9} {}",
+                row.name,
+                row.mean_micros,
+                "█".repeat(filled.min(bar_w)),
+            );
+            push_line(&mut out, w, line.trim_end());
+        }
+    }
+    push_line(&mut out, w, "");
+
     push_line(
         &mut out,
         w,
@@ -227,7 +253,15 @@ pub fn render(state: &AppState, width: usize) -> String {
     }
     push_line(&mut out, w, "");
 
-    push_line(&mut out, w, "recent sessions");
+    if state.ring > 0 {
+        push_line(
+            &mut out,
+            w,
+            &format!("recent sessions (ring {})", state.ring),
+        );
+    } else {
+        push_line(&mut out, w, "recent sessions");
+    }
     if state.recent.is_empty() {
         push_line(&mut out, w, "  (none)");
     }
@@ -282,6 +316,32 @@ mod tests {
         assert!(a.lines().all(|l| l.chars().count() <= 72));
         assert!(a.contains("health: ok"));
         assert!(a.contains("(calibration disabled or no entries)"));
+    }
+
+    #[test]
+    fn render_shows_the_waterfall_pane_scaled_to_the_slowest_segment() {
+        let mut state = AppState::default();
+        let metrics = "engine_segment_micros_sum{segment=\"rounds-execute\"} 1000\n\
+                       engine_segment_micros_count{segment=\"rounds-execute\"} 10\n\
+                       engine_segment_micros_sum{segment=\"admit-queue\"} 100\n\
+                       engine_segment_micros_count{segment=\"admit-queue\"} 10\n";
+        let sample = Sample::from_bodies(metrics, "{}", "{}", "{}", Some((200, "ok\n")));
+        state.reduce(&sample, 1.0);
+        let frame = render(&state, 100);
+        assert!(frame.contains("latency waterfall (mean us/session)"));
+        let rounds = frame
+            .lines()
+            .find(|l| l.contains("rounds-execute"))
+            .unwrap();
+        let admit = frame.lines().find(|l| l.contains("admit-queue")).unwrap();
+        let bars = |l: &str| l.chars().filter(|&c| c == '█').count();
+        assert!(
+            bars(rounds) > bars(admit),
+            "slowest segment gets the longest bar"
+        );
+        // An empty waterfall renders the placeholder instead.
+        let empty = render(&AppState::default(), 100);
+        assert!(empty.contains("(no segment observations yet)"));
     }
 
     #[test]

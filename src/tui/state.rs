@@ -61,6 +61,17 @@ pub struct LatencyView {
     pub max: u64,
 }
 
+/// One segment row of the latency-waterfall pane.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SegmentRow {
+    /// Segment name (`admit-queue`, `rounds-execute`, ...).
+    pub name: String,
+    /// Total microseconds attributed to this segment across sessions.
+    pub total_micros: u64,
+    /// Mean microseconds per observed session.
+    pub mean_micros: u64,
+}
+
 /// A recently finished session (tail of the `/sessions` ring).
 #[derive(Debug, Clone, PartialEq)]
 pub struct RecentRow {
@@ -124,6 +135,11 @@ pub struct AppState {
     pub conformance_violations: u64,
     /// Tail of the recent-session ring, newest last.
     pub recent: Vec<RecentRow>,
+    /// Recent-outcome ring capacity reported by `/sessions`.
+    pub ring: u64,
+    /// Latency waterfall: engine segment attribution in canonical
+    /// segment order, empty until segment histograms appear.
+    pub waterfall: Vec<SegmentRow>,
 }
 
 fn as_u64(v: &Value) -> u64 {
@@ -166,6 +182,7 @@ impl AppState {
         };
 
         if let Some(doc) = &sample.sessions {
+            self.ring = as_u64(&doc["ring"]);
             let snap = &doc["snapshot"];
             let metrics = &snap["metrics"];
             self.workers = as_u64(&snap["workers"]);
@@ -230,6 +247,26 @@ impl AppState {
             sample.metric("pair_context_entries") as u64,
         );
         self.coin_refills = sample.metric("coin_block_refills_total") as u64;
+
+        // Latency waterfall: the engine's per-segment summaries, in the
+        // canonical segment order so the pane reads top-to-bottom as a
+        // session's life. Absent until the first segment observation.
+        self.waterfall = intersect_engine::timeline::SEGMENTS
+            .iter()
+            .filter_map(|segment| {
+                let sum = sample.metric(&format!(
+                    "engine_segment_micros_sum{{segment=\"{segment}\"}}"
+                ));
+                let count = sample.metric(&format!(
+                    "engine_segment_micros_count{{segment=\"{segment}\"}}"
+                ));
+                (count > 0.0).then(|| SegmentRow {
+                    name: segment.to_string(),
+                    total_micros: sum as u64,
+                    mean_micros: (sum / count) as u64,
+                })
+            })
+            .collect();
         self.recalibrations = sample.metric_sum("router_recalibration_total") as u64;
         self.drifts = sample.metric_sum("router_drift_total") as u64;
         self.conformance_checks = sample.metric_sum("conformance_checks_total") as u64;
@@ -366,6 +403,27 @@ mod tests {
             "intersect 0.1.0 (release, catalogue 12)"
         );
         assert_eq!(state.health_line, "degraded: 1 calibration drift(s)");
+    }
+
+    #[test]
+    fn waterfall_follows_canonical_segment_order_and_ring_is_reported() {
+        let mut state = AppState::default();
+        let metrics = "engine_segment_micros_sum{segment=\"rounds-execute\"} 1400\n\
+                       engine_segment_micros_count{segment=\"rounds-execute\"} 10\n\
+                       engine_segment_micros_sum{segment=\"admit-queue\"} 200\n\
+                       engine_segment_micros_count{segment=\"admit-queue\"} 10\n\
+                       engine_segment_micros_sum{segment=\"drain\"} 50\n\
+                       engine_segment_micros_count{segment=\"drain\"} 10\n";
+        let doc = format!("{{\"ring\":16,{}", &sessions_doc(5, 50)[1..]);
+        let sample = Sample::from_bodies(metrics, &doc, "{}", "{}", Some((200, "ok\n")));
+        state.reduce(&sample, 1.0);
+        assert_eq!(state.ring, 16);
+        // Canonical order, not alphabetical; segments never observed are
+        // omitted rather than rendered as zero rows.
+        let names: Vec<&str> = state.waterfall.iter().map(|r| r.name.as_str()).collect();
+        assert_eq!(names, vec!["admit-queue", "rounds-execute", "drain"]);
+        assert_eq!(state.waterfall[1].mean_micros, 140);
+        assert_eq!(state.waterfall[1].total_micros, 1400);
     }
 
     #[test]

@@ -57,6 +57,11 @@ fn live_exposition() -> String {
     }
     engine.finish();
 
+    // The flight recorder counts its dumps, so take one dump here to
+    // light up `flight_recorder_dumps_total` (which `dump_jsonl`
+    // self-describes on first use).
+    let _ = obs::flight::dump_jsonl();
+
     // Honest traffic never drifts, so fold sustained 4x residuals through
     // a standalone calibrator to light up the drift counter family too.
     let drifty = intersect::engine::Calibrator::new(CalibrationConfig::default());
@@ -165,6 +170,9 @@ fn every_exported_series_has_help_and_type_and_no_duplicates() {
         "pair_context_entries",
         "coin_block_refills_total",
         "engine_streams_opened_total",
+        "trace_contexts_minted_total",
+        "engine_segment_micros",
+        "flight_recorder_dumps_total",
     ] {
         assert!(
             typed.contains(expected),

@@ -1,0 +1,111 @@
+//! `/profile` coverage under streamed workloads: the folded flamegraph
+//! stacks served for a stream (`open_stream`/`submit_stream`) session
+//! mix must nest protocol phases under the engine's `session` span, with
+//! the stream's offline pair setup as its own root — the same shape a
+//! one-shot workload produces, because streaming changes *when* coins
+//! are sampled, never what executes inside a session half.
+
+use intersect::engine::prelude::*;
+use intersect::obs;
+use intersect::obs::folded::{folded_stacks, Weight};
+use intersect_core::sets::ProblemSpec;
+
+/// Runs a two-round streamed workload under an installed subscriber and
+/// returns the captured event stream.
+fn streamed_events() -> Vec<obs::Event> {
+    let sub = obs::Subscriber::new();
+    let guard = sub.install();
+    let engine = Engine::start(EngineConfig::new(2));
+    let spec = ProblemSpec::new(1 << 16, 32);
+    let stream = engine.open_stream(5);
+    for round in 0..2u64 {
+        let batch: Vec<SessionRequest> = (0..8)
+            .map(|i| SessionRequest::new(round * 8 + i, spec, 8))
+            .collect();
+        engine
+            .submit_stream(stream, batch)
+            .expect("stream accepted");
+    }
+    let report = engine.finish();
+    assert!(
+        report.outcomes.iter().all(|o| o.succeeded()),
+        "streamed sessions must succeed before profiling them"
+    );
+    drop(guard);
+    sub.take_events()
+}
+
+#[test]
+fn streamed_profile_stacks_nest_protocol_phases_under_session_spans() {
+    let events = streamed_events();
+    let wall = folded_stacks(&events, Weight::WallMicros);
+    assert!(!wall.is_empty(), "streamed workload produced no stacks");
+
+    let mut session_rooted = 0usize;
+    let mut nested_phases = 0usize;
+    for line in wall.lines() {
+        let (path, weight) = line.rsplit_once(' ').expect("folded line shape");
+        assert!(weight.parse::<u64>().is_ok(), "non-numeric weight: {line}");
+        let root = path.split(';').next().expect("non-empty path");
+        // Two legal roots under a streamed workload: the per-half
+        // `session` span and the stream's offline `pair_setup` span
+        // (which runs outside any session half by design).
+        assert!(
+            root == "session" || root == "pair_setup",
+            "unexpected stack root {root:?} in {line:?}"
+        );
+        if root == "session" {
+            session_rooted += 1;
+        }
+        // Protocol phases (`reduce`, `bucket`, `verify`, ...) must never
+        // float to the top: anything below a session belongs to it.
+        if path.starts_with("session;") {
+            nested_phases += 1;
+        }
+    }
+    assert!(session_rooted > 0, "no session-rooted stacks:\n{wall}");
+    assert!(
+        nested_phases > 0,
+        "no protocol phase nested under a session:\n{wall}"
+    );
+}
+
+#[test]
+fn streamed_profile_bits_weight_accounts_the_wire_inside_sessions() {
+    let events = streamed_events();
+    let bits = folded_stacks(&events, Weight::Bits);
+    // Bits are metered only inside session halves, so every bit-weighted
+    // stack roots at a session and their sum is the workload's wire cost.
+    let mut total = 0u64;
+    for line in bits.lines() {
+        let (path, weight) = line.rsplit_once(' ').expect("folded line shape");
+        assert!(
+            path.split(';').next() == Some("session"),
+            "bits attributed outside a session: {line:?}"
+        );
+        total += weight.parse::<u64>().expect("numeric weight");
+    }
+    assert!(total > 0, "streamed sessions moved no bits:\n{bits}");
+}
+
+#[test]
+fn profile_endpoint_serves_streamed_stacks_for_both_weights() {
+    let events = streamed_events();
+    let sources = obs::Sources {
+        profile: Box::new(move |w| folded_stacks(&events, w)),
+        ..obs::Sources::empty()
+    };
+    let server = obs::TelemetryServer::start("127.0.0.1:0", sources).expect("bind");
+    let addr = server.local_addr();
+
+    let (status, wall) = obs::serve::http_get(addr, "/profile").expect("GET /profile");
+    assert_eq!(status, 200);
+    assert!(wall.lines().any(|l| l.starts_with("session;")), "{wall}");
+
+    let (status, bits) =
+        obs::serve::http_get(addr, "/profile?weight=bits").expect("GET /profile?weight=bits");
+    assert_eq!(status, 200);
+    assert!(bits.lines().any(|l| l.starts_with("session;")), "{bits}");
+    assert_ne!(wall, bits, "the two weights must aggregate differently");
+    server.shutdown();
+}

@@ -287,3 +287,104 @@ fn fixed_protocol_pin_applies_to_all_sessions() {
     let stderr = String::from_utf8(out.stderr).unwrap();
     assert!(stderr.contains("sqrt-fknn"), "{stderr}");
 }
+
+/// Spawns serve with `--listen`, scrapes the trace plane live, and
+/// checks that `/trace/<id>` stitches the session's spans under its
+/// minted trace id, `/flightrecorder` replays completed sessions, and
+/// `--ring` bounds the `/sessions` recent ring.
+#[test]
+fn live_trace_plane_serves_stitched_traces_and_the_flight_recorder() {
+    use std::io::{BufRead, BufReader};
+
+    let dir = temp_dir("traceplane");
+    let path = dir.join("requests.txt");
+    let mut f = std::fs::File::create(&path).unwrap();
+    for id in 1..=5u64 {
+        writeln!(f, "id={id} n=2^16 k=16 overlap=4 seed={}", id + 10).unwrap();
+    }
+    drop(f);
+
+    let mut child = serve()
+        .args([
+            "--file",
+            path.to_str().unwrap(),
+            "--workers",
+            "2",
+            "--ring",
+            "3",
+            "--quiet",
+            "--json",
+            "--listen",
+            "127.0.0.1:0",
+            "--linger-ms",
+            "30000",
+        ])
+        .stdout(std::process::Stdio::null())
+        .stderr(std::process::Stdio::piped())
+        .spawn()
+        .unwrap();
+
+    let stderr = BufReader::new(child.stderr.take().unwrap());
+    let mut addr: Option<std::net::SocketAddr> = None;
+    for line in stderr.lines() {
+        let line = line.unwrap();
+        if let Some(rest) = line.strip_prefix("telemetry: listening on ") {
+            addr = Some(rest.trim().parse().unwrap());
+            break;
+        }
+    }
+    let addr = addr.expect("serve printed the telemetry address");
+    let get = |path: &str| intersect::obs::serve::http_get(addr, path).unwrap();
+
+    // Wait until all five sessions have drained into the recorder.
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(20);
+    loop {
+        let (status, body) = get("/flightrecorder");
+        assert_eq!(status, 200);
+        if body.matches("session-complete").count() >= 5 {
+            break;
+        }
+        assert!(
+            std::time::Instant::now() < deadline,
+            "flight recorder never saw 5 completions:\n{body}"
+        );
+        std::thread::sleep(std::time::Duration::from_millis(50));
+    }
+
+    // Every flight-recorder line is a self-contained JSON object.
+    let (_, flight) = get("/flightrecorder");
+    for line in flight.lines() {
+        let v: serde_json::Value = serde_json::from_str(line).unwrap();
+        assert!(v.get("event").is_some(), "{line}");
+    }
+
+    // The stitched trace for session 3 carries its deterministic trace
+    // id (a pure function of id and seed) on a session span.
+    let expected = intersect::obs::TraceContext::mint(3, 13).trace_hex();
+    let (status, trace) = get("/trace/3");
+    assert_eq!(status, 200, "{trace}");
+    let records: Vec<serde_json::Value> = serde_json::from_str(&trace).unwrap();
+    assert!(
+        records.iter().any(|r| {
+            r.get("name").and_then(|v| v.as_str()) == Some("session")
+                && r.get("args")
+                    .and_then(|a| a.get("trace"))
+                    .and_then(|v| v.as_str())
+                    == Some(expected.as_str())
+        }),
+        "trace id {expected} not found on a session span in /trace/3:\n{trace}"
+    );
+    // Unknown sessions 404 instead of returning an empty trace.
+    let (status, _) = get("/trace/99999");
+    assert_eq!(status, 404);
+
+    // --ring 3 bounds the recent ring and is echoed in the document.
+    let (status, sessions) = get("/sessions");
+    assert_eq!(status, 200);
+    let doc: serde_json::Value = serde_json::from_str(&sessions).unwrap();
+    assert_eq!(doc["ring"].as_u64(), Some(3), "{sessions}");
+    assert_eq!(doc["recent"].as_array().unwrap().len(), 3, "{sessions}");
+
+    child.kill().unwrap();
+    child.wait().unwrap();
+}

@@ -70,6 +70,13 @@ fn golden_frame_content_spot_checks() {
     assert!(frame
         .contains("pair contexts: 56 hits / 8 misses (87.5% hit rate), 8 entries, 3 coin refills"));
     assert!(frame.contains("240 checks, 2 violations"));
+    // Latency waterfall from the engine segment summaries: canonical
+    // order, slowest segment carries the longest bar.
+    assert!(frame.contains("latency waterfall (mean us/session)"));
+    assert!(frame.contains("rounds-execute"));
+    assert!(frame.contains("admit-queue"));
+    // Recent-session ring capacity from /sessions.
+    assert!(frame.contains("recent sessions (ring 64)"));
     // Calibration table from /calibration plus the router counters.
     assert!(frame.contains("calibration (4 recalibrations, 1 drifts)"));
     assert!(frame.contains("DRIFT"));
