@@ -156,6 +156,11 @@ pub fn all() -> Vec<Experiment> {
             run: trace_exp::e24,
         },
         Experiment {
+            id: "E25",
+            claim: "Party topology: engine-hosted m-party sessions bit-identical to harness runs; throughput vs m at fixed load",
+            run: multiparty_exp::e25,
+        },
+        Experiment {
             id: "A1",
             claim: "Ablation: iterated-log degree schedule vs uniform tree",
             run: ablations::a1,
@@ -192,8 +197,8 @@ mod tests {
         let ids: Vec<&str> = all().iter().map(|e| e.id).collect();
         for want in [
             "E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "E12", "E13",
-            "E14", "E15", "E16", "E17", "E18", "E19", "E20", "E21", "E22", "E23", "E24", "A1",
-            "A2", "A3", "A4",
+            "E14", "E15", "E16", "E17", "E18", "E19", "E20", "E21", "E22", "E23", "E24", "E25",
+            "A1", "A2", "A3", "A4",
         ] {
             assert!(ids.contains(&want), "missing {want}");
         }

@@ -146,6 +146,32 @@ pub struct NetworkSample {
     pub total_bits: u64,
 }
 
+/// One m-party engine sample: a fixed player-slot budget served with
+/// parties of width `m`, so wider meshes get proportionally fewer
+/// sessions and the rows compare at equal total load.
+#[derive(Debug, Clone, Serialize)]
+pub struct MultipartySample {
+    /// Party count.
+    pub m: usize,
+    /// Sessions submitted (player-slot budget / m).
+    pub sessions: u64,
+    /// Sessions that finished with the correct outcome.
+    pub completed: u64,
+    /// End-to-end engine throughput.
+    pub sessions_per_sec: f64,
+    /// Total bits across all sessions' folded [`NetworkReport`]s.
+    ///
+    /// [`NetworkReport`]: intersect_comm::stats::NetworkReport
+    pub total_bits: u64,
+    /// Mean bits per player per session.
+    pub avg_bits_per_player: f64,
+    /// Heaviest per-player load (sent + received) in any session.
+    pub max_bits_per_player: u64,
+    /// `true` iff every engine outcome's report equals a harness-only
+    /// `execute` of the identical request, field for field.
+    pub bit_identical_to_harness: bool,
+}
+
 /// One amortized-path sample: the identical 64-deep workload served
 /// with a per-session fin-rendezvous (`batch64`) or pipelined on a pair
 /// stream with rendezvous only at the block boundary (`stream64`).
@@ -263,6 +289,9 @@ pub struct ThroughputReport {
     pub prepared: Vec<PreparedSample>,
     /// Network-transport samples: remote sessions over loopback TCP.
     pub network: Vec<NetworkSample>,
+    /// Engine-hosted m-party sessions: throughput and per-player bits
+    /// across the party-count sweep at a fixed player-slot budget.
+    pub multiparty: Vec<MultipartySample>,
     /// Pair-stream amortization: batch vs stream throughput and the
     /// setup-bits curve.
     pub amortized: AmortizedReport,
@@ -1073,6 +1102,57 @@ pub fn network_samples(sessions: u64) -> Vec<NetworkSample> {
     out
 }
 
+/// Engine-hosted m-party sessions at a fixed player-slot budget: the
+/// sweep holds `m * sessions` constant so rows compare at equal total
+/// load, and every outcome is checked bit-for-bit against a
+/// harness-only run of the identical request.
+pub fn multiparty_samples(slots: u64) -> Vec<MultipartySample> {
+    use intersect_multiparty::AverageCase;
+
+    let spec = ProblemSpec::new(1 << 16, 16);
+    let mut out = Vec::new();
+    for m in [2usize, 4, 8, 16] {
+        let sessions = (slots / m as u64).max(1);
+        let engine = Engine::start(EngineConfig::new(4));
+        let t0 = Instant::now();
+        for i in 0..sessions {
+            let mut req = MultipartyRequest::new(i, spec, m, 4, MultipartyChoice::AverageCase);
+            req.seed = 0xB25 ^ (i << 8) ^ (m as u64);
+            engine.submit_multiparty(req).expect("engine accepts");
+        }
+        let report = engine.finish();
+        let wall = t0.elapsed();
+        let outcomes = &report.multiparty;
+        assert_eq!(outcomes.len() as u64, sessions, "m={m}: sessions lost");
+        let completed = outcomes.iter().filter(|o| o.succeeded()).count() as u64;
+        let bit_identical = outcomes.iter().all(|o| {
+            let reference = AverageCase::new(o.request.spec, o.request.tree_rounds)
+                .execute(&o.request.player_sets(), o.request.seed)
+                .expect("harness run");
+            o.report == reference.report && o.result.as_ref() == Some(&reference.result)
+        });
+        out.push(MultipartySample {
+            m,
+            sessions,
+            completed,
+            sessions_per_sec: sessions as f64 / wall.as_secs_f64(),
+            total_bits: outcomes.iter().map(|o| o.report.total_bits()).sum(),
+            avg_bits_per_player: outcomes
+                .iter()
+                .map(|o| o.report.average_bits_per_player())
+                .sum::<f64>()
+                / outcomes.len().max(1) as f64,
+            max_bits_per_player: outcomes
+                .iter()
+                .map(|o| o.report.max_bits_per_player())
+                .max()
+                .unwrap_or(0),
+            bit_identical_to_harness: bit_identical,
+        });
+    }
+    out
+}
+
 fn engine_samples(sessions: u64, workers: usize) -> Vec<EngineSample> {
     let mut out = Vec::new();
     for (label, workers) in [("engine_stress", workers), ("engine_stress_2w", 2)] {
@@ -1187,6 +1267,7 @@ pub fn run(quick: bool, count: fn() -> u64) -> ThroughputReport {
             count,
         ),
         network: network_samples(if quick { 64 } else { 400 }),
+        multiparty: multiparty_samples(if quick { 64 } else { 256 }),
         amortized: amortized_report(params.sessions),
         attribution: attribution_report(params.engine_sessions, params.engine_workers, count),
         before: seed_baseline(),

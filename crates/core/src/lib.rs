@@ -70,6 +70,7 @@ pub mod reduction;
 pub mod sets;
 pub mod sqrt;
 pub mod st13;
+pub mod topology;
 pub mod tree;
 pub mod tree_pipelined;
 pub mod trivial;
@@ -108,6 +109,7 @@ pub mod prelude {
     pub use crate::sets::{ElementSet, InputPair, ProblemSpec};
     pub use crate::sqrt::SqrtProtocol;
     pub use crate::st13::SparseDisjointness;
+    pub use crate::topology::{PartyTopology, PreparedTournament, SessionShape, TournamentKind};
     pub use crate::tree::TreeProtocol;
     pub use crate::tree_pipelined::PipelinedTree;
     pub use crate::trivial::TrivialExchange;

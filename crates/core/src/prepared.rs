@@ -27,6 +27,9 @@
 
 use crate::api::SetIntersection;
 use crate::sets::{ElementSet, InputPair, ProblemSpec};
+// The m-party analogue of a prepared plan: the derived tournament
+// schedule the engine caches per `(protocol, spec, m)`.
+pub use crate::topology::PreparedTournament;
 use intersect_comm::chan::Chan;
 use intersect_comm::coins::{CoinBlock, CoinSource};
 use intersect_comm::error::ProtocolError;

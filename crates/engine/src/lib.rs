@@ -50,6 +50,7 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod multiparty;
 pub mod pair_context;
 pub mod plan_cache;
 pub mod registry;
@@ -58,6 +59,7 @@ pub mod router;
 pub mod scheduler;
 pub mod timeline;
 
+pub use multiparty::{MultipartyRequest, MultipartySessionOutcome};
 pub use pair_context::{PairContextCache, PairContextStats};
 pub use plan_cache::{PlanCache, PlanCacheStats};
 pub use registry::{
@@ -71,6 +73,7 @@ pub use timeline::SessionTimeline;
 
 /// The most commonly used items, for glob import.
 pub mod prelude {
+    pub use crate::multiparty::{MultipartyRequest, MultipartySessionOutcome};
     pub use crate::pair_context::{PairContextCache, PairContextStats};
     pub use crate::plan_cache::{PlanCache, PlanCacheStats};
     pub use crate::registry::{EngineMetrics, EngineSnapshot, EngineWatch, LatencySummary};
@@ -81,4 +84,5 @@ pub mod prelude {
         Engine, EngineConfig, EngineReport, SessionOutcome, StreamId, SubmitError,
     };
     pub use crate::timeline::SessionTimeline;
+    pub use intersect_multiparty::choice::MultipartyChoice;
 }

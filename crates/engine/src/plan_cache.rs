@@ -25,6 +25,8 @@
 use intersect_core::api::{ProtocolChoice, SetIntersection};
 use intersect_core::prepared::PreparedProtocol;
 use intersect_core::sets::ProblemSpec;
+use intersect_core::topology::PreparedTournament;
+use intersect_multiparty::choice::MultipartyChoice;
 use intersect_obs as obs;
 use std::collections::HashMap;
 use std::hash::{Hash, Hasher};
@@ -42,6 +44,17 @@ struct Entry {
 }
 
 type Shard = RwLock<HashMap<(ProtocolChoice, ProblemSpec), Entry>>;
+
+#[derive(Debug)]
+struct TournamentEntry {
+    generation: u64,
+    plan: Arc<PreparedTournament>,
+}
+
+/// Tournament plans are keyed by `(protocol, spec, players)` — the spec
+/// fixes the group size (`2k`), the player count fixes the recursion
+/// depth, and the protocol fixes the per-level match shape.
+type TournamentShard = RwLock<HashMap<(MultipartyChoice, ProblemSpec, usize), TournamentEntry>>;
 
 /// Point-in-time counters for a [`PlanCache`].
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -78,6 +91,7 @@ pub struct PlanCacheStats {
 #[derive(Debug)]
 pub struct PlanCache {
     shards: Vec<Shard>,
+    tournaments: TournamentShard,
     generation: AtomicU64,
     hits: AtomicU64,
     misses: AtomicU64,
@@ -94,6 +108,7 @@ impl PlanCache {
     pub fn new() -> PlanCache {
         PlanCache {
             shards: (0..SHARDS).map(|_| RwLock::new(HashMap::new())).collect(),
+            tournaments: RwLock::new(HashMap::new()),
             generation: AtomicU64::new(0),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
@@ -155,6 +170,61 @@ impl PlanCache {
         plan
     }
 
+    /// Returns the cached [`PreparedTournament`] for an `m`-player
+    /// session of `choice` at `spec`, deriving it (under an
+    /// `engine/prepare` span) on first use or after an invalidation.
+    ///
+    /// Tournament plans share the two-party cache's generation tag and
+    /// hit/miss counters: one [`invalidate`](PlanCache::invalidate)
+    /// clears both worlds.
+    pub fn get_or_tournament(
+        &self,
+        choice: MultipartyChoice,
+        spec: ProblemSpec,
+        players: usize,
+    ) -> Arc<PreparedTournament> {
+        let key = (choice, spec, players);
+        let generation = self.generation.load(Ordering::Acquire);
+        if let Some(entry) = self
+            .tournaments
+            .read()
+            .expect("plan cache poisoned")
+            .get(&key)
+        {
+            if entry.generation == generation {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                obs::counter_add("engine_plan_cache_hits", 1);
+                return Arc::clone(&entry.plan);
+            }
+        }
+        let mut guard = self.tournaments.write().expect("plan cache poisoned");
+        if let Some(entry) = guard.get(&key) {
+            if entry.generation == generation {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                obs::counter_add("engine_plan_cache_hits", 1);
+                return Arc::clone(&entry.plan);
+            }
+        }
+        let span = obs::phase::span("engine", "prepare");
+        let plan = Arc::new(choice.plan(spec, players));
+        span.finish(obs::CostDelta::default());
+        let stale = guard
+            .insert(
+                key,
+                TournamentEntry {
+                    generation,
+                    plan: Arc::clone(&plan),
+                },
+            )
+            .is_some();
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        obs::counter_add("engine_plan_cache_misses", 1);
+        if !stale {
+            obs::gauge_add("engine_plan_cache_entries", 1);
+        }
+        plan
+    }
+
     /// Drops every cached plan and bumps the generation, so entries a
     /// racing lookup inserted under the old generation are never served.
     pub fn invalidate(&self) {
@@ -165,15 +235,21 @@ impl PlanCache {
             evicted += guard.len() as i64;
             guard.clear();
         }
+        {
+            let mut guard = self.tournaments.write().expect("plan cache poisoned");
+            evicted += guard.len() as i64;
+            guard.clear();
+        }
         obs::gauge_add("engine_plan_cache_entries", -evicted);
     }
 
-    /// Live entries across all shards.
+    /// Live entries across all shards (tournament plans included).
     pub fn entries(&self) -> u64 {
         self.shards
             .iter()
             .map(|s| s.read().expect("plan cache poisoned").len() as u64)
-            .sum()
+            .sum::<u64>()
+            + self.tournaments.read().expect("plan cache poisoned").len() as u64
     }
 
     /// Current hit/miss/entry counters.
@@ -207,6 +283,27 @@ mod tests {
         assert_eq!(stats.hits, 1);
         assert_eq!(stats.misses, 3);
         assert_eq!(stats.entries, 3);
+    }
+
+    #[test]
+    fn tournament_plans_share_the_cache_and_its_generation() {
+        let cache = PlanCache::new();
+        let spec = ProblemSpec::new(1 << 20, 16);
+        let a = cache.get_or_tournament(MultipartyChoice::WorstCase, spec, 8);
+        let b = cache.get_or_tournament(MultipartyChoice::WorstCase, spec, 8);
+        let c = cache.get_or_tournament(MultipartyChoice::AverageCase, spec, 8);
+        let d = cache.get_or_tournament(MultipartyChoice::WorstCase, spec, 16);
+        assert!(Arc::ptr_eq(&a, &b));
+        assert!(!Arc::ptr_eq(&a, &c));
+        assert!(!Arc::ptr_eq(&a, &d));
+        let stats = cache.stats();
+        assert_eq!(stats.hits, 1);
+        assert_eq!(stats.misses, 3);
+        assert_eq!(stats.entries, 3);
+        cache.invalidate();
+        assert_eq!(cache.entries(), 0);
+        let after = cache.get_or_tournament(MultipartyChoice::WorstCase, spec, 8);
+        assert!(!Arc::ptr_eq(&a, &after));
     }
 
     #[test]

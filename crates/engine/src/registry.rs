@@ -9,7 +9,7 @@
 //! inherently nondeterministic. Tests that pin down engine determinism
 //! compare only the former.
 
-use intersect_comm::stats::CostReport;
+use intersect_comm::stats::{CostReport, NetworkReport};
 use intersect_obs::LogHistogram;
 use serde::{Deserialize, Serialize};
 use std::collections::{BTreeMap, VecDeque};
@@ -51,6 +51,11 @@ pub struct EngineMetrics {
     pub rounds_histogram: BTreeMap<u64, u64>,
     /// Finished sessions grouped by protocol name.
     pub per_protocol: BTreeMap<String, ProtocolTally>,
+    /// Finished m-party sessions keyed by party count `m` (two-party
+    /// sessions are not counted here; `m = 2` means an engine-hosted
+    /// multiparty session that happens to have two players).
+    #[serde(default)]
+    pub multiparty_sessions: BTreeMap<u64, u64>,
 }
 
 /// Wall-clock latency percentiles over finished sessions, in microseconds
@@ -150,6 +155,16 @@ impl EngineSnapshot {
                 .map(|(rounds, count)| vec![rounds.to_string(), count.to_string()])
                 .collect::<Vec<_>>(),
         ));
+        if !m.multiparty_sessions.is_empty() {
+            out.push('\n');
+            out.push_str(&render_table(
+                &["players (m)", "sessions"],
+                &m.multiparty_sessions
+                    .iter()
+                    .map(|(players, count)| vec![players.to_string(), count.to_string()])
+                    .collect::<Vec<_>>(),
+            ));
+        }
         out.push('\n');
         out.push_str(&render_table(
             &["latency min", "p50", "p90", "p99", "max"],
@@ -279,6 +294,47 @@ impl Registry {
         });
     }
 
+    /// Folds one finished m-party session: the aggregate counters see it
+    /// like any other session (bits, messages, rounds, per-protocol
+    /// tally under the `mp/*` name), plus the m-keyed session count.
+    pub(crate) fn record_multiparty(
+        &self,
+        id: u64,
+        protocol_name: &str,
+        players: usize,
+        report: &NetworkReport,
+        succeeded: bool,
+        latency_micros: u64,
+    ) {
+        let mut inner = self.lock();
+        let m = &mut inner.metrics;
+        if succeeded {
+            m.completed += 1;
+        } else {
+            m.failed += 1;
+        }
+        m.total_bits += report.total_bits();
+        m.total_messages += report.messages;
+        *m.rounds_histogram.entry(report.rounds).or_insert(0) += 1;
+        let tally = m.per_protocol.entry(protocol_name.to_string()).or_default();
+        tally.sessions += 1;
+        tally.bits += report.total_bits();
+        tally.max_rounds = tally.max_rounds.max(report.rounds);
+        *m.multiparty_sessions.entry(players as u64).or_insert(0) += 1;
+        inner.latency.record(latency_micros);
+        while inner.recent.len() >= inner.recent_cap {
+            inner.recent.pop_front();
+        }
+        inner.recent.push_back(SessionSummary {
+            id,
+            protocol: protocol_name.to_string(),
+            bits: report.total_bits(),
+            rounds: report.rounds,
+            latency_micros,
+            ok: succeeded,
+        });
+    }
+
     pub(crate) fn recent(&self) -> Vec<SessionSummary> {
         self.lock().recent.iter().cloned().collect()
     }
@@ -391,6 +447,30 @@ mod tests {
         assert_eq!(snap.latency.p90_micros, 90);
         assert_eq!(snap.latency.p99_micros, 90);
         assert_eq!(snap.latency.max_micros, 90);
+    }
+
+    #[test]
+    fn registry_folds_multiparty_outcomes() {
+        let reg = Registry::default();
+        let report = NetworkReport {
+            bits_sent: vec![40, 30, 20, 10],
+            bits_received: vec![25, 25, 25, 25],
+            messages: 12,
+            rounds: 5,
+        };
+        reg.record_multiparty(9, "mp/average", 4, &report, true, 33);
+        reg.record_multiparty(10, "mp/average", 4, &report, false, 35);
+        let snap = reg.snapshot(2);
+        assert_eq!(snap.metrics.completed, 1);
+        assert_eq!(snap.metrics.failed, 1);
+        assert_eq!(snap.metrics.total_bits, 200);
+        assert_eq!(snap.metrics.total_messages, 24);
+        assert_eq!(snap.metrics.rounds_histogram[&5], 2);
+        assert_eq!(snap.metrics.multiparty_sessions[&4], 2);
+        assert_eq!(snap.metrics.per_protocol["mp/average"].sessions, 2);
+        assert!(snap.to_markdown().contains("players (m)"));
+        let back: EngineSnapshot = serde_json::from_str(&snap.to_json()).unwrap();
+        assert_eq!(back, snap);
     }
 
     #[test]

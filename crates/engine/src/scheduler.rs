@@ -31,6 +31,7 @@
 //! served by a dedicated `execute` call, and the deterministic half of
 //! the registry is independent of worker count.
 
+use crate::multiparty::{MultipartyRequest, MultipartySessionOutcome};
 use crate::pair_context::PairContextCache;
 use crate::plan_cache::PlanCache;
 use crate::registry::{EngineSnapshot, EngineWatch, Registry};
@@ -44,14 +45,17 @@ use crossbeam_channel::{
 use intersect_comm::chan::{Chan, Endpoint};
 use intersect_comm::coins::CoinSource;
 use intersect_comm::error::ProtocolError;
+use intersect_comm::net::LinkSet;
 use intersect_comm::runner::{primary_error, RunConfig, SessionRunner, Side};
-use intersect_comm::stats::{ChannelStats, CostReport};
+use intersect_comm::stats::{ChannelStats, CostReport, NetworkReport};
 use intersect_comm::trace::{Direction, PhaseSummary, Traced};
 use intersect_core::api::ProtocolChoice;
 use intersect_core::prepared::{PairContext, PreparedProtocol, SessionCtx};
 use intersect_core::sets::{ElementSet, InputPair};
+use intersect_core::topology::PreparedTournament;
 use intersect_obs as obs;
 use intersect_obs::conformance::{ConformanceConfig, ConformanceMonitor, ConformanceReport};
+use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
@@ -218,8 +222,11 @@ impl SessionOutcome {
 pub struct EngineReport {
     /// Final registry snapshot.
     pub snapshot: EngineSnapshot,
-    /// One outcome per admitted session.
+    /// One outcome per admitted two-party session.
     pub outcomes: Vec<SessionOutcome>,
+    /// One outcome per admitted m-party session (see
+    /// [`Engine::submit_multiparty`]), sorted by request id.
+    pub multiparty: Vec<MultipartySessionOutcome>,
     /// Settled conformance tally, present iff the engine was started
     /// with [`EngineConfig::conformance`] set.
     pub conformance: Option<ConformanceReport>,
@@ -262,11 +269,24 @@ struct StreamTask {
     admitted_at: Instant,
 }
 
+/// One admitted m-party session, ready to run whole on any worker: the
+/// request plus its prepared tournament plan from the shared
+/// [`PlanCache`] (which is also what its conformance envelope derives
+/// from).
+struct MultipartyTask {
+    request: MultipartyRequest,
+    plan: Arc<PreparedTournament>,
+    submitted_at: Instant,
+    dispatched_at: Instant,
+    admitted_at: Instant,
+}
+
 /// What the dispatcher hands to workers.
 enum WorkItem {
     Single(SessionTask),
     Batch(BatchTask),
     Stream(StreamTask),
+    Multiparty(MultipartyTask),
 }
 
 /// What clients hand to the admission queue, stamped with the moment of
@@ -275,6 +295,7 @@ enum Submission {
     Single(SessionRequest, Instant),
     Batch(Vec<SessionRequest>, Instant),
     Stream(u64, Vec<SessionRequest>, Instant),
+    Multiparty(MultipartyRequest, Instant),
 }
 
 /// A handle for one pair's session stream, from [`Engine::open_stream`].
@@ -295,6 +316,7 @@ pub struct StreamId {
 struct WorkerCtx {
     registry: Arc<Registry>,
     outcome_tx: Sender<SessionOutcome>,
+    mp_outcome_tx: Sender<MultipartySessionOutcome>,
     done_tx: Sender<()>,
     conformance: Option<(ConformanceConfig, Arc<ConformanceMonitor>)>,
     calibration: Option<Arc<Calibrator>>,
@@ -783,6 +805,135 @@ fn run_stream_session(runner: &mut SessionRunner, task: StreamTask, ctx: &Worker
     let _ = ctx.done_tx.send(());
 }
 
+/// Runs one whole m-party session on this worker and emits its outcome.
+///
+/// The worker keeps one reusable [`LinkSet`] per party count in `pool`,
+/// *reset* (re-seeded, clocks zeroed) between sessions rather than
+/// rebuilt — the m-party analogue of the two-party [`SessionRunner`]:
+/// steady state builds zero channels per session. All `m` player halves
+/// run on parallel scoped threads with pairwise links, so every
+/// tournament level's matches proceed concurrently; the transcript is
+/// bit-identical to a harness-only `execute` of the same request (same
+/// generated inputs, same common random string, same pair-labeled coin
+/// forks).
+fn run_multiparty_session(
+    pool: &mut HashMap<usize, LinkSet>,
+    task: MultipartyTask,
+    ctx: &WorkerCtx,
+) {
+    let started_at = Instant::now();
+    let MultipartyTask {
+        request,
+        plan,
+        submitted_at,
+        dispatched_at,
+        admitted_at,
+    } = task;
+    let m = request.players;
+    let id = request.id;
+    let choice = request.choice;
+    let sets = request.player_sets();
+    let links = pool
+        .entry(m)
+        .or_insert_with(|| LinkSet::new(m, request.seed, Duration::from_secs(30)));
+    links.reset(request.seed);
+    let coins_ready_at = Instant::now();
+    obs::gauge_add("engine_workers_busy", 1);
+    let spec = request.spec;
+    let tree_rounds = request.tree_rounds;
+    let run = links.run(|pctx| choice.run_player(spec, tree_rounds, pctx, &sets[pctx.id()]));
+    obs::gauge_add("engine_workers_busy", -1);
+    let executed_at = Instant::now();
+
+    let (outputs, report, error) = match run {
+        Ok(out) => (out.outputs, out.report, None),
+        Err(e) => (Vec::new(), NetworkReport::default(), Some(e)),
+    };
+    let holder = outputs.iter().position(|o| o.intersection.is_some());
+    let result = holder.and_then(|h| outputs[h].intersection.clone());
+    let verdicts: Vec<Option<bool>> = outputs.iter().map(|o| o.verdict).collect();
+    let envelope_bits = request.envelope_bits(&plan);
+    let within_envelope = (report.max_bits_per_player() as f64) <= envelope_bits;
+    let latency_micros = admitted_at.elapsed().as_micros() as u64;
+    let timeline = TimelineStamps {
+        submitted_at,
+        dispatched_at,
+        planned_at: admitted_at,
+        started_at,
+        coins_ready_at,
+        executed_at,
+    }
+    .settle();
+    let outcome = MultipartySessionOutcome {
+        request,
+        holder,
+        result,
+        verdicts,
+        error,
+        report,
+        envelope_bits,
+        within_envelope,
+        latency_micros,
+        timeline,
+    };
+    let succeeded = outcome.succeeded();
+    ctx.registry.record_multiparty(
+        id,
+        choice.name(),
+        m,
+        &outcome.report,
+        succeeded,
+        latency_micros,
+    );
+    if succeeded {
+        lifecycle("complete", id, None);
+        obs::counter_add("engine_sessions_completed", 1);
+        obs::flight::record(
+            obs::flight::CODE_COMPLETE,
+            id,
+            outcome.report.total_bits(),
+            latency_micros,
+        );
+    } else {
+        lifecycle("fail", id, None);
+        obs::counter_add("engine_sessions_failed", 1);
+        obs::flight::record(
+            obs::flight::CODE_FAIL,
+            id,
+            outcome.report.total_bits(),
+            latency_micros,
+        );
+    }
+    obs::counter_add(
+        &obs::metrics::labeled("multiparty_sessions_total", &[("m", &m.to_string())]),
+        1,
+    );
+    obs::counter_add("multiparty_bits_total", outcome.report.total_bits());
+    for (sent, received) in outcome
+        .report
+        .bits_sent
+        .iter()
+        .zip(&outcome.report.bits_received)
+    {
+        obs::observe("multiparty_player_bits", sent + received);
+    }
+    if !outcome.within_envelope {
+        obs::counter_add("multiparty_envelope_violations_total", 1);
+    }
+    obs::observe("engine_session_latency_micros", latency_micros);
+    if obs::enabled() {
+        for (segment, micros) in outcome.timeline.segments() {
+            obs::observe(
+                &obs::metrics::labeled("engine_segment_micros", &[("segment", segment)]),
+                micros,
+            );
+        }
+    }
+    obs::gauge_add("engine_in_flight", -1);
+    let _ = ctx.mp_outcome_tx.send(outcome);
+    let _ = ctx.done_tx.send(());
+}
+
 /// A running session engine. Submit requests from any thread; call
 /// [`finish`](Engine::finish) to drain and collect the outcomes.
 ///
@@ -807,6 +958,7 @@ fn run_stream_session(runner: &mut SessionRunner, task: StreamTask, ctx: &Worker
 pub struct Engine {
     admit_tx: Sender<Submission>,
     outcome_rx: Receiver<SessionOutcome>,
+    mp_outcome_rx: Receiver<MultipartySessionOutcome>,
     registry: Arc<Registry>,
     cache: Arc<PlanCache>,
     pair_contexts: Arc<PairContextCache>,
@@ -917,6 +1069,22 @@ fn describe_engine_metrics() {
             "engine_segment_micros",
             "Per-session latency by waterfall segment (admit-queue, plan-cache, wire-wait, coin-refill, rounds-execute, drain)",
         ),
+        (
+            "multiparty_sessions_total",
+            "Engine-hosted m-party sessions finished, labeled by party count m",
+        ),
+        (
+            "multiparty_bits_total",
+            "Total bits on the wire across engine-hosted m-party sessions",
+        ),
+        (
+            "multiparty_player_bits",
+            "Per-player bits (sent + received) per m-party session",
+        ),
+        (
+            "multiparty_envelope_violations_total",
+            "M-party sessions whose heaviest player exceeded the tournament-plan envelope",
+        ),
     ] {
         obs::describe(name, help);
     }
@@ -931,6 +1099,7 @@ impl Engine {
         let (admit_tx, admit_rx) = bounded::<Submission>(config.queue_capacity.max(1));
         let (work_tx, work_rx) = unbounded::<WorkItem>();
         let (outcome_tx, outcome_rx) = unbounded::<SessionOutcome>();
+        let (mp_outcome_tx, mp_outcome_rx) = unbounded::<MultipartySessionOutcome>();
         let (done_tx, done_rx) = unbounded::<()>();
         let registry = Arc::new(Registry::with_capacity(config.ring));
         let cache = Arc::new(PlanCache::new());
@@ -962,6 +1131,7 @@ impl Engine {
                 let ctx = WorkerCtx {
                     registry: Arc::clone(&registry),
                     outcome_tx: outcome_tx.clone(),
+                    mp_outcome_tx: mp_outcome_tx.clone(),
                     done_tx: done_tx.clone(),
                     conformance: monitor.as_ref().map(|(cfg, m)| (*cfg, Arc::clone(m))),
                     calibration: calibrator.clone(),
@@ -970,6 +1140,9 @@ impl Engine {
                     // Each worker owns one reusable runner for its whole
                     // life: zero thread spawns per session in steady state.
                     let mut runner = SessionRunner::start();
+                    // And one reusable link mesh per party count it has
+                    // hosted, reset between m-party sessions.
+                    let mut link_pool: HashMap<usize, LinkSet> = HashMap::new();
                     let mut shared_open = true;
                     let mut affine_open = true;
                     while shared_open || affine_open {
@@ -1019,6 +1192,9 @@ impl Engine {
                             }
                             Some(WorkItem::Stream(task)) => {
                                 run_stream_session(&mut runner, task, &ctx)
+                            }
+                            Some(WorkItem::Multiparty(task)) => {
+                                run_multiparty_session(&mut link_pool, task, &ctx)
                             }
                             None => {}
                         }
@@ -1119,6 +1295,27 @@ impl Engine {
                                 admitted_at: Instant::now(),
                             })
                         }
+                        Submission::Multiparty(request, submitted_at) => {
+                            lifecycle("admit", request.id, None);
+                            obs::gauge_add("engine_queue_depth", -1);
+                            // The tournament plan is derived once per
+                            // (protocol, spec, m) shape and shared; the
+                            // session's conformance envelope reads it too.
+                            let plan = cache.get_or_tournament(
+                                request.choice,
+                                request.spec,
+                                request.players,
+                            );
+                            lifecycle("route", request.id, None);
+                            obs::gauge_add("engine_in_flight", 1);
+                            WorkItem::Multiparty(MultipartyTask {
+                                request,
+                                plan,
+                                submitted_at,
+                                dispatched_at,
+                                admitted_at: Instant::now(),
+                            })
+                        }
                     };
                     // Streams go to the pair's affine worker; everything
                     // else to the shared queue.
@@ -1140,6 +1337,7 @@ impl Engine {
         Engine {
             admit_tx,
             outcome_rx,
+            mp_outcome_rx,
             registry,
             cache,
             pair_contexts,
@@ -1274,6 +1472,33 @@ impl Engine {
         Ok(())
     }
 
+    /// Blocking admission of one m-party session: the engine regenerates
+    /// all `m` input sets from the request, hosts the session on one
+    /// worker's reusable link mesh with the `m` player halves running on
+    /// parallel threads, and settles it as a
+    /// [`MultipartySessionOutcome`] (collected by
+    /// [`finish`](Engine::finish) into [`EngineReport::multiparty`]).
+    /// The session occupies one in-flight slot and is bit-identical to
+    /// the same request served by a harness-only
+    /// [`execute`](intersect_multiparty::AverageCase::execute) call.
+    ///
+    /// # Errors
+    ///
+    /// [`SubmitError::Invalid`] for infeasible requests;
+    /// [`SubmitError::Rejected`] only if the engine is shutting down.
+    pub fn submit_multiparty(&self, request: MultipartyRequest) -> Result<(), SubmitError> {
+        request.validate().map_err(SubmitError::Invalid)?;
+        let id = request.id;
+        self.admit_tx
+            .send(Submission::Multiparty(request, Instant::now()))
+            .map_err(|_| SubmitError::Rejected { queue_full: false })?;
+        self.registry.record_submitted();
+        lifecycle("submit", id, None);
+        obs::counter_add("engine_sessions_submitted", 1);
+        obs::gauge_add("engine_queue_depth", 1);
+        Ok(())
+    }
+
     /// Opens a session stream for client pair `pair`. Streams are
     /// lightweight handles: opening one allocates nothing — the pair's
     /// [`PairContext`] materializes (or is reused) when the first
@@ -1357,12 +1582,18 @@ impl Engine {
         self.outcome_rx.try_iter().collect()
     }
 
+    /// M-party outcomes that have already settled, in completion order.
+    pub fn drain_multiparty_outcomes(&self) -> Vec<MultipartySessionOutcome> {
+        self.mp_outcome_rx.try_iter().collect()
+    }
+
     /// Stops admitting, drains every in-flight session, joins the pool,
     /// and returns the settled report. Outcomes are sorted by request id.
     pub fn finish(self) -> EngineReport {
         let Engine {
             admit_tx,
             outcome_rx,
+            mp_outcome_rx,
             registry,
             cache: _,
             pair_contexts: _,
@@ -1380,9 +1611,12 @@ impl Engine {
         }
         let mut outcomes: Vec<SessionOutcome> = outcome_rx.try_iter().collect();
         outcomes.sort_by_key(|o| o.request.id);
+        let mut multiparty: Vec<MultipartySessionOutcome> = mp_outcome_rx.try_iter().collect();
+        multiparty.sort_by_key(|o| o.request.id);
         EngineReport {
             snapshot: registry.snapshot(workers as u64),
             outcomes,
+            multiparty,
             conformance: monitor.map(|m| m.report()),
         }
     }
@@ -1794,6 +2028,135 @@ mod tests {
         let snap = watch.snapshot();
         assert_eq!(snap, report.snapshot);
         assert_eq!(watch.recent_sessions().len(), 3);
+    }
+
+    #[test]
+    fn multiparty_sessions_match_harness_execute_bit_for_bit() {
+        use intersect_multiparty::choice::MultipartyChoice;
+        use intersect_multiparty::{AverageCase, MultipartyDisjointness, WorstCase};
+
+        let spec = ProblemSpec::new(1 << 16, 16);
+        let engine = Engine::start(EngineConfig::new(2));
+        let mut id = 0u64;
+        let mut expected = Vec::new();
+        for choice in MultipartyChoice::ALL {
+            for m in [2usize, 4, 8] {
+                let mut req = MultipartyRequest::new(id, spec, m, 3, choice);
+                req.seed = id * 31 + 7;
+                expected.push(req.clone());
+                engine.submit_multiparty(req).unwrap();
+                id += 1;
+            }
+        }
+        let report = engine.finish();
+        assert_eq!(report.multiparty.len(), expected.len());
+        assert_eq!(report.snapshot.metrics.completed, expected.len() as u64);
+        assert_eq!(report.snapshot.metrics.multiparty_sessions[&4], 3);
+        for (outcome, req) in report.multiparty.iter().zip(&expected) {
+            assert!(outcome.succeeded(), "session {} failed", req.id);
+            assert!(
+                outcome.within_envelope,
+                "session {}: {} bits/player > envelope {}",
+                req.id,
+                outcome.report.max_bits_per_player(),
+                outcome.envelope_bits
+            );
+            let sets = req.player_sets();
+            let truth = req.ground_truth();
+            match req.choice {
+                MultipartyChoice::AverageCase => {
+                    let reference = AverageCase::new(spec, req.tree_rounds)
+                        .execute(&sets, req.seed)
+                        .unwrap();
+                    assert_eq!(outcome.report, reference.report, "session {}", req.id);
+                    assert_eq!(outcome.result.as_ref(), Some(&reference.result));
+                    assert_eq!(outcome.result.as_ref(), Some(&truth));
+                }
+                MultipartyChoice::WorstCase => {
+                    let reference = WorstCase::new(spec, req.tree_rounds)
+                        .execute(&sets, req.seed)
+                        .unwrap();
+                    assert_eq!(outcome.report, reference.report, "session {}", req.id);
+                    assert_eq!(outcome.result.as_ref(), Some(&reference.result));
+                    assert_eq!(outcome.result.as_ref(), Some(&truth));
+                }
+                MultipartyChoice::Disjointness => {
+                    let reference = MultipartyDisjointness::new(spec, req.tree_rounds)
+                        .execute(&sets, req.seed)
+                        .unwrap();
+                    assert_eq!(outcome.report, reference.report, "session {}", req.id);
+                    assert_eq!(reference.disjoint, truth.is_empty());
+                    assert!(outcome
+                        .verdicts
+                        .iter()
+                        .all(|v| *v == Some(reference.disjoint)));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn multiparty_plans_are_cached_and_pair_path_is_undisturbed() {
+        use intersect_multiparty::choice::MultipartyChoice;
+
+        let spec = ProblemSpec::new(1 << 16, 16);
+        let engine = Engine::start(EngineConfig::new(2));
+        let cache = engine.plan_cache();
+        for id in 0..6 {
+            engine
+                .submit_multiparty(MultipartyRequest::new(
+                    id,
+                    spec,
+                    4,
+                    2,
+                    MultipartyChoice::AverageCase,
+                ))
+                .unwrap();
+        }
+        // Interleave two-party work: both worlds share one engine.
+        for req in mixed_requests(8) {
+            engine.submit(req.clone()).unwrap();
+        }
+        let report = engine.finish();
+        assert_eq!(report.multiparty.len(), 6);
+        assert_eq!(report.outcomes.len(), 8);
+        assert!(report.multiparty.iter().all(|o| o.succeeded()));
+        assert!(report.outcomes.iter().all(|o| o.succeeded()));
+        assert_eq!(report.snapshot.metrics.completed, 14);
+        let stats = cache.stats();
+        // 6 same-shape tournament lookups -> 1 miss; 8 two-party
+        // sessions over 4 shapes -> 4 misses.
+        assert_eq!(stats.misses, 5, "{stats:?}");
+        assert_eq!(stats.hits, 9, "{stats:?}");
+        assert_eq!(stats.entries, 5, "{stats:?}");
+        // The m-party timeline tiles the same six segments.
+        for outcome in &report.multiparty {
+            let t = &outcome.timeline;
+            let sum: u64 = t.segments().iter().map(|(_, micros)| micros).sum();
+            assert_eq!(sum, t.total_micros());
+            assert!(t.rounds_execute_micros > 0);
+        }
+    }
+
+    #[test]
+    fn invalid_multiparty_requests_never_reach_the_queue() {
+        use intersect_multiparty::choice::MultipartyChoice;
+
+        let engine = Engine::start(EngineConfig::new(2));
+        let spec = ProblemSpec::new(1 << 16, 16);
+        let zero = MultipartyRequest::new(0, spec, 0, 2, MultipartyChoice::AverageCase);
+        assert!(matches!(
+            engine.submit_multiparty(zero),
+            Err(SubmitError::Invalid(_))
+        ));
+        let overfull = MultipartyRequest::new(0, spec, 4, 17, MultipartyChoice::AverageCase);
+        assert!(matches!(
+            engine.submit_multiparty(overfull),
+            Err(SubmitError::Invalid(_))
+        ));
+        let report = engine.finish();
+        assert_eq!(report.snapshot.metrics.submitted, 0);
+        assert!(report.multiparty.is_empty());
     }
 
     #[test]

@@ -15,7 +15,7 @@
 
 use crate::common::{certified_pairwise, pair_label, partition, PairwiseConfig};
 use intersect_comm::error::ProtocolError;
-use intersect_comm::net::{run_network, Link, NetworkConfig, PlayerCtx};
+use intersect_comm::net::{run_network, NetworkConfig, PartyCtx};
 use intersect_comm::runner::Side;
 use intersect_comm::stats::NetworkReport;
 use intersect_core::sets::{ElementSet, ProblemSpec};
@@ -72,12 +72,15 @@ impl AverageCase {
     /// Per-player behavior; returns `Some(result)` only at the final
     /// coordinator.
     ///
+    /// Generic over the party context, so the same code drives in-process
+    /// meshes and remote transports.
+    ///
     /// # Errors
     ///
     /// Propagates transport and protocol failures.
-    pub fn run(
+    pub fn run<C: PartyCtx>(
         &self,
-        ctx: &mut PlayerCtx,
+        ctx: &mut C,
         input: &ElementSet,
     ) -> Result<Option<ElementSet>, ProtocolError> {
         self.spec
@@ -120,9 +123,9 @@ impl AverageCase {
 
     /// Coordinator side of one level: all pairwise runs in parallel over
     /// detached links, then the local intersection of the results.
-    fn coordinate(
+    fn coordinate<C: PartyCtx>(
         &self,
-        ctx: &mut PlayerCtx,
+        ctx: &mut C,
         level: usize,
         group: &[usize],
         base: &ElementSet,
@@ -132,12 +135,12 @@ impl AverageCase {
         if members.is_empty() {
             return Ok(base.clone());
         }
-        let mut taken: Vec<(usize, Link)> =
+        let mut taken: Vec<(usize, C::Link)> =
             members.iter().map(|&p| (p, ctx.take_link(p))).collect();
         let coins_root = ctx.coins().clone();
         let spec = self.spec;
         let pairwise = self.pairwise;
-        let results: Vec<(usize, Link, Result<ElementSet, ProtocolError>)> =
+        let results: Vec<(usize, C::Link, Result<ElementSet, ProtocolError>)> =
             std::thread::scope(|scope| {
                 taken
                     .drain(..)

@@ -10,12 +10,10 @@ use intersect_core::api::SetIntersection;
 use intersect_core::sets::{ElementSet, ProblemSpec};
 use intersect_core::tree::TreeProtocol;
 
-/// Splits the active player list into consecutive groups of at most
-/// `group_size` (the paper's "groups of size at most 2k").
-pub fn partition(actives: &[usize], group_size: usize) -> Vec<Vec<usize>> {
-    assert!(group_size >= 2, "groups must pair at least two players");
-    actives.chunks(group_size).map(|c| c.to_vec()).collect()
-}
+// Group partitioning and pair labels are shared with the engine's
+// prepared tournament plans (`intersect_core::topology`); re-exported
+// here so protocol code and plans provably agree on the schedule.
+pub use intersect_core::topology::{pair_label, partition};
 
 /// Parameters of the certified two-party intersection every multi-party
 /// protocol runs along its edges.
@@ -65,13 +63,6 @@ pub fn certified_pairwise(
     proto.run(chan, coins, side, spec, input)
 }
 
-/// A deterministic label for the coins of a pairwise run, identical on
-/// both endpoints.
-pub fn pair_label(scope: &str, level: usize, a: usize, b: usize) -> String {
-    let (lo, hi) = if a < b { (a, b) } else { (b, a) };
-    format!("mp/{scope}/level{level}/{lo}-{hi}")
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -101,5 +92,51 @@ mod tests {
         assert_eq!(cfg.certificate_bits, 128);
         let tiny = ProblemSpec::new(100, 2);
         assert_eq!(PairwiseConfig::for_spec(tiny, 2).certificate_bits, 16);
+    }
+
+    mod properties {
+        use super::super::partition;
+        use proptest::prelude::*;
+
+        proptest! {
+            // The tournament shapes lean on three partition invariants:
+            // every active appears exactly once and in order, no group
+            // exceeds the bound, and only the (possibly odd) tail group
+            // may be smaller.
+            #[test]
+            fn partition_covers_actives_exactly_once(
+                m in 1usize..100,
+                group_size in 2usize..40,
+            ) {
+                let actives: Vec<usize> = (0..m).collect();
+                let groups = partition(&actives, group_size);
+                let flat: Vec<usize> = groups.concat();
+                prop_assert_eq!(flat, actives);
+            }
+
+            #[test]
+            fn partition_respects_group_size_bound(
+                actives in proptest::collection::vec(0usize..10_000, 1..120),
+                group_size in 2usize..40,
+            ) {
+                let groups = partition(&actives, group_size);
+                prop_assert!(groups.iter().all(|g| !g.is_empty()));
+                prop_assert!(groups.iter().all(|g| g.len() <= group_size));
+            }
+
+            #[test]
+            fn partition_odd_tail_is_the_only_short_group(
+                m in 1usize..100,
+                group_size in 2usize..40,
+            ) {
+                let actives: Vec<usize> = (0..m).collect();
+                let groups = partition(&actives, group_size);
+                for g in &groups[..groups.len() - 1] {
+                    prop_assert_eq!(g.len(), group_size);
+                }
+                let tail = groups.last().unwrap();
+                prop_assert_eq!(tail.len(), if m % group_size == 0 { group_size } else { m % group_size });
+            }
+        }
     }
 }

@@ -10,7 +10,7 @@
 use crate::average::AverageCase;
 use intersect_comm::bits::BitBuf;
 use intersect_comm::error::ProtocolError;
-use intersect_comm::net::{run_network, NetworkConfig, PlayerCtx};
+use intersect_comm::net::{run_network, NetworkConfig, PartyCtx};
 use intersect_comm::stats::NetworkReport;
 use intersect_core::sets::{ElementSet, ProblemSpec};
 
@@ -59,10 +59,13 @@ impl MultipartyDisjointness {
     /// Per-player behavior: compute the intersection via Corollary 4.1,
     /// then the final holder broadcasts the 1-bit verdict.
     ///
+    /// Generic over the party context, so the same code drives in-process
+    /// meshes and remote transports.
+    ///
     /// # Errors
     ///
     /// Propagates transport and protocol failures.
-    pub fn run(&self, ctx: &mut PlayerCtx, input: &ElementSet) -> Result<bool, ProtocolError> {
+    pub fn run<C: PartyCtx>(&self, ctx: &mut C, input: &ElementSet) -> Result<bool, ProtocolError> {
         let result = self.inner.run(ctx, input)?;
         // Exactly one player holds Some(result); it broadcasts the verdict.
         match result {

@@ -41,10 +41,12 @@
 #![warn(missing_debug_implementations)]
 
 pub mod average;
+pub mod choice;
 pub mod common;
 pub mod disjointness;
 pub mod worst_case;
 
 pub use average::{AverageCase, MultipartyOutcome};
+pub use choice::{MultipartyChoice, PlayerOutput};
 pub use disjointness::MultipartyDisjointness;
 pub use worst_case::WorstCase;

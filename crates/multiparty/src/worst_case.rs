@@ -22,7 +22,7 @@ use crate::average::MultipartyOutcome;
 use crate::common::{pair_label, partition, PairwiseConfig};
 use intersect_comm::bits::BitBuf;
 use intersect_comm::error::ProtocolError;
-use intersect_comm::net::{run_network, NetworkConfig, PlayerCtx};
+use intersect_comm::net::{run_network, NetworkConfig, PartyCtx};
 use intersect_comm::runner::Side;
 use intersect_core::equality::{encode_for_equality, EqualityTest};
 use intersect_core::sets::{ElementSet, ProblemSpec};
@@ -71,12 +71,15 @@ impl WorstCase {
 
     /// Per-player behavior; returns `Some(result)` only at the final winner.
     ///
+    /// Generic over the party context, so the same code drives in-process
+    /// meshes and remote transports.
+    ///
     /// # Errors
     ///
     /// Propagates transport and protocol failures.
-    pub fn run(
+    pub fn run<C: PartyCtx>(
         &self,
-        ctx: &mut PlayerCtx,
+        ctx: &mut C,
         input: &ElementSet,
     ) -> Result<Option<ElementSet>, ProtocolError> {
         self.spec
@@ -106,9 +109,9 @@ impl WorstCase {
 
     /// Runs one group's (possibly repeated) tournament. Returns
     /// `Some(result)` at the group winner, `None` at eliminated members.
-    fn group_tournament(
+    fn group_tournament<C: PartyCtx>(
         &self,
-        ctx: &mut PlayerCtx,
+        ctx: &mut C,
         level: usize,
         group: &[usize],
         input: &ElementSet,
@@ -168,9 +171,9 @@ impl WorstCase {
     }
 
     /// One tournament match over the plain tree protocol.
-    fn play_match(
+    fn play_match<C: PartyCtx>(
         &self,
-        ctx: &mut PlayerCtx,
+        ctx: &mut C,
         level: usize,
         scope: &str,
         peer: usize,
@@ -186,9 +189,9 @@ impl WorstCase {
 
     /// The apex equality check and verdict broadcast. Every group member
     /// returns the same verdict.
-    fn certify_apex(
+    fn certify_apex<C: PartyCtx>(
         &self,
-        ctx: &mut PlayerCtx,
+        ctx: &mut C,
         level: usize,
         scope: &str,
         group: &[usize],

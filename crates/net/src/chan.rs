@@ -17,7 +17,7 @@ use crossbeam_channel::Receiver;
 use intersect_comm::bits::BitBuf;
 use intersect_comm::chan::Chan;
 use intersect_comm::error::ProtocolError;
-use intersect_comm::stats::ChannelStats;
+use intersect_comm::stats::{ChannelStats, NetworkReport};
 use std::sync::{Arc, Mutex};
 use std::time::Duration;
 
@@ -51,6 +51,33 @@ pub(crate) enum SessionEvent {
     Error(String),
     /// The connection itself went away.
     Closed,
+    /// A multiparty protocol message for the pairwise link to `peer`.
+    MpMsg {
+        /// Mesh player on the other end of the link.
+        peer: usize,
+        /// Sender's causal depth.
+        depth: u64,
+        /// The payload.
+        payload: BitBuf,
+    },
+    /// The remotely driven player's final output (server side only).
+    MpOut {
+        /// Its computed intersection, if it holds one.
+        intersection: Option<Vec<u64>>,
+        /// Its disjointness verdict, if any.
+        verdict: Option<bool>,
+    },
+    /// The whole m-party session completed (client side only).
+    MpDone {
+        /// The player left holding the intersection, if any.
+        holder: Option<usize>,
+        /// The holder's computed global intersection.
+        result: Vec<u64>,
+        /// Per-player disjointness verdicts.
+        verdicts: Vec<Option<bool>>,
+        /// Exact per-player communication and round accounting.
+        report: NetworkReport,
+    },
 }
 
 /// One session's channel over a multiplexed connection.
@@ -121,6 +148,13 @@ impl RemoteChan {
                         "unexpected frame after session completion".into(),
                     ))
                 }
+                SessionEvent::MpMsg { .. }
+                | SessionEvent::MpOut { .. }
+                | SessionEvent::MpDone { .. } => {
+                    return Err(ProtocolError::Internal(
+                        "multiparty frame on a two-party session".into(),
+                    ))
+                }
             }
         }
     }
@@ -189,6 +223,11 @@ impl Chan for RemoteChan {
             )),
             SessionEvent::Done { .. } => Err(ProtocolError::Internal(
                 "peer completed while a message was expected".into(),
+            )),
+            SessionEvent::MpMsg { .. }
+            | SessionEvent::MpOut { .. }
+            | SessionEvent::MpDone { .. } => Err(ProtocolError::Internal(
+                "multiparty frame on a two-party session".into(),
             )),
         }
     }

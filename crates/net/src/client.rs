@@ -16,16 +16,19 @@ use crate::chan::{RemoteChan, SessionEvent, SharedWriter};
 use crate::frame::{read_frame, write_frame, WireFrame};
 use crate::metrics;
 use crate::transport::{EndpointAddr, Stream};
-use crossbeam_channel::Sender;
+use crossbeam_channel::{Receiver, Sender};
+use intersect_comm::bits::BitBuf;
 use intersect_comm::chan::Chan;
 use intersect_comm::coins::CoinSource;
 use intersect_comm::error::ProtocolError;
+use intersect_comm::net::{ClockedChan, PartyCtx, SyncedLink};
 use intersect_comm::runner::{assemble_report, Side};
-use intersect_comm::stats::CostReport;
+use intersect_comm::stats::{ChannelStats, CostReport, NetworkReport};
 use intersect_comm::trace::{TraceEvent, Traced};
 use intersect_core::api::ProtocolChoice;
 use intersect_core::sets::ElementSet;
-use intersect_engine::{PlanCache, SessionRequest};
+use intersect_engine::{MultipartyRequest, PlanCache, SessionRequest};
+use intersect_multiparty::choice::{MultipartyChoice, PlayerOutput};
 use intersect_obs as obs;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -51,6 +54,42 @@ impl RemoteRun {
     /// `true` iff both parties produced exactly `expected`.
     pub fn matches(&self, expected: &ElementSet) -> bool {
         self.alice == *expected && self.bob == *expected
+    }
+}
+
+/// The outcome of one remote m-party session: the driven player's own
+/// output plus the server's folded view of the whole mesh.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RemoteMultipartyRun {
+    /// The protocol the session ran.
+    pub choice: MultipartyChoice,
+    /// The player index this client drove.
+    pub player: usize,
+    /// The driven player's locally computed output.
+    pub output: PlayerOutput,
+    /// The player left holding the intersection, if any.
+    pub holder: Option<usize>,
+    /// The holder's computed global intersection (intersection
+    /// protocols only).
+    pub result: Option<ElementSet>,
+    /// Per-player disjointness verdicts (decision protocols only).
+    pub verdicts: Vec<Option<bool>>,
+    /// Exact per-player communication and round accounting, identical
+    /// to an all-local `LinkSet` run of the same request.
+    pub report: NetworkReport,
+}
+
+impl RemoteMultipartyRun {
+    /// `true` iff the session's outcome agrees with `truth` — the holder
+    /// produced exactly `truth`, or every verdict matched its emptiness.
+    pub fn matches(&self, truth: &ElementSet) -> bool {
+        match self.choice {
+            MultipartyChoice::Disjointness => {
+                !self.verdicts.is_empty()
+                    && self.verdicts.iter().all(|v| *v == Some(truth.is_empty()))
+            }
+            _ => self.result.as_ref() == Some(truth),
+        }
     }
 }
 
@@ -334,10 +373,377 @@ impl NetClient {
         ))
     }
 
+    /// Runs one m-party session with this client driving player
+    /// `req.player` (player 0 if unset) while the server hosts the other
+    /// `m − 1` players on an in-process mesh. Blocks until the whole
+    /// session completes; safe to call concurrently — multiparty and
+    /// two-party sessions interleave on the shared connection.
+    ///
+    /// # Errors
+    ///
+    /// Surfaces request validation failures as
+    /// [`ProtocolError::InvalidInput`], server-side refusals and
+    /// failures as [`ProtocolError::Internal`], and transport loss as
+    /// [`ProtocolError::ChannelClosed`] / [`ProtocolError::Timeout`].
+    pub fn run_multiparty(
+        &self,
+        req: &MultipartyRequest,
+    ) -> Result<RemoteMultipartyRun, ProtocolError> {
+        req.validate().map_err(ProtocolError::InvalidInput)?;
+        let mut req = req.clone();
+        let driven = req.player.unwrap_or(0);
+        req.player = Some(driven);
+        let wire_id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        let (tx, rx) = crossbeam_channel::unbounded();
+        self.sessions
+            .lock()
+            .expect("session map poisoned")
+            .insert(wire_id, tx);
+        metrics::session_opened();
+        let result = self.run_multiparty_registered(&req, driven, wire_id, rx);
+        self.sessions
+            .lock()
+            .expect("session map poisoned")
+            .remove(&wire_id);
+        metrics::session_closed();
+        result
+    }
+
+    fn run_multiparty_registered(
+        &self,
+        req: &MultipartyRequest,
+        driven: usize,
+        wire_id: u64,
+        rx: crossbeam_channel::Receiver<SessionEvent>,
+    ) -> Result<RemoteMultipartyRun, ProtocolError> {
+        {
+            let mut w = self.writer.lock().expect("connection writer poisoned");
+            write_frame(
+                &mut *w,
+                &WireFrame::Open {
+                    session: wire_id,
+                    line: req.to_line(),
+                },
+            )
+            .map_err(|_| ProtocolError::ChannelClosed)?;
+        }
+
+        // The open handshake: the server echoes the multiparty protocol
+        // before any mesh traffic flows.
+        let choice: MultipartyChoice = match rx.recv_timeout(self.timeout).map_err(|e| match e {
+            crossbeam_channel::RecvTimeoutError::Timeout => ProtocolError::Timeout,
+            crossbeam_channel::RecvTimeoutError::Disconnected => ProtocolError::ChannelClosed,
+        })? {
+            SessionEvent::Accept(name) => name
+                .parse()
+                .map_err(|e: String| ProtocolError::Internal(format!("bad accept: {e}")))?,
+            SessionEvent::Error(msg) => {
+                return Err(ProtocolError::Internal(format!("server refused: {msg}")))
+            }
+            SessionEvent::Closed => return Err(ProtocolError::ChannelClosed),
+            other => {
+                return Err(ProtocolError::Internal(format!(
+                    "expected accept, got {other:?}"
+                )))
+            }
+        };
+        if choice != req.choice {
+            return Err(ProtocolError::Internal(format!(
+                "server accepted {choice}, requested {}",
+                req.choice
+            )));
+        }
+
+        // Demux the session's event stream: per-peer payload queues feed
+        // the pairwise links (which protocols may detach onto worker
+        // threads), a control lane carries the terminal outcome. The
+        // router exits after the terminal event — or when this session
+        // unregisters and its event sender drops.
+        let mut peer_txs: Vec<Option<Sender<(u64, BitBuf)>>> =
+            (0..req.players).map(|_| None).collect();
+        let mut links: Vec<Option<RemoteLink>> = (0..req.players).map(|_| None).collect();
+        for peer in (0..req.players).filter(|&p| p != driven) {
+            let (ptx, prx) = crossbeam_channel::unbounded();
+            peer_txs[peer] = Some(ptx);
+            links[peer] = Some(RemoteLink {
+                session: wire_id,
+                peer: peer as u32,
+                writer: Arc::clone(&self.writer),
+                rx: prx,
+                clock: 0,
+                stats: ChannelStats::default(),
+                timeout: self.timeout,
+            });
+        }
+        let (ctl_tx, ctl_rx) = crossbeam_channel::unbounded();
+        std::thread::spawn(move || route_multiparty_events(rx, peer_txs, ctl_tx));
+
+        // The driven player's half, over the same PartyCtx abstraction
+        // the in-process mesh implements — same clock discipline, same
+        // metering, same coins.
+        let sets = req.player_sets();
+        let mut ctx = RemotePartyCtx {
+            id: driven,
+            players: req.players,
+            coins: CoinSource::from_seed(req.seed),
+            links,
+            clock: 0,
+        };
+        let local = {
+            let _session_scope = obs::phase::SessionScope::enter(req.id, obs::Party::Alice);
+            let span = obs::phase::span("net", "mp-session");
+            let local = choice.run_player(req.spec, req.tree_rounds, &mut ctx, &sets[driven]);
+            let stats = ctx.stats();
+            span.finish(obs::CostDelta {
+                bits_sent: stats.bits_sent,
+                bits_received: stats.bits_received,
+                rounds: stats.clock,
+            });
+            local
+        };
+
+        // Hand the output (or the failure) to the server-side proxy so
+        // the mesh can finish and fold the session.
+        let output = match local {
+            Ok(out) => {
+                let mut w = self.writer.lock().expect("connection writer poisoned");
+                write_frame(
+                    &mut *w,
+                    &WireFrame::MpOut {
+                        session: wire_id,
+                        intersection: out.intersection.as_ref().map(|s| s.as_slice().to_vec()),
+                        verdict: out.verdict,
+                    },
+                )
+                .map_err(|_| ProtocolError::ChannelClosed)?;
+                out
+            }
+            Err(e) => {
+                let mut w = self.writer.lock().expect("connection writer poisoned");
+                let _ = write_frame(
+                    &mut *w,
+                    &WireFrame::Error {
+                        session: wire_id,
+                        message: e.to_string(),
+                    },
+                );
+                return Err(e);
+            }
+        };
+
+        // Await the folded session outcome.
+        loop {
+            match ctl_rx.recv_timeout(self.timeout) {
+                Ok(SessionEvent::MpDone {
+                    holder,
+                    result,
+                    verdicts,
+                    report,
+                }) => {
+                    return Ok(RemoteMultipartyRun {
+                        choice,
+                        player: driven,
+                        output,
+                        holder,
+                        result: holder.map(|_| ElementSet::from_sorted(result)),
+                        verdicts,
+                        report,
+                    })
+                }
+                Ok(SessionEvent::Error(msg)) => {
+                    return Err(ProtocolError::Internal(format!(
+                        "remote session failed: {msg}"
+                    )))
+                }
+                Ok(SessionEvent::Closed) => return Err(ProtocolError::ChannelClosed),
+                Ok(_) => continue,
+                Err(crossbeam_channel::RecvTimeoutError::Timeout) => {
+                    return Err(ProtocolError::Timeout)
+                }
+                Err(crossbeam_channel::RecvTimeoutError::Disconnected) => {
+                    return Err(ProtocolError::ChannelClosed)
+                }
+            }
+        }
+    }
+
     /// Tells the server this client will open no further sessions.
     pub fn goodbye(&self) {
         let mut w = self.writer.lock().expect("connection writer poisoned");
         let _ = write_frame(&mut *w, &WireFrame::Goodbye);
+    }
+}
+
+/// One pairwise link of a remotely driven mesh player: the m-party
+/// analogue of [`RemoteChan`]. Meters exactly what the in-process
+/// [`Link`](intersect_comm::net::Link) meters — payload bits and message
+/// counts, causal depth stamped `clock + 1` on send, folded with `max`
+/// on receive — and carries the peer tag that routes the frame onto the
+/// right link of the server-hosted mesh.
+#[derive(Debug)]
+struct RemoteLink {
+    session: u64,
+    peer: u32,
+    writer: SharedWriter,
+    rx: Receiver<(u64, BitBuf)>,
+    clock: u64,
+    stats: ChannelStats,
+    timeout: Duration,
+}
+
+impl Chan for RemoteLink {
+    fn send(&mut self, msg: BitBuf) -> Result<(), ProtocolError> {
+        let bits = msg.len() as u64;
+        self.stats.bits_sent += bits;
+        self.stats.messages_sent += 1;
+        let frame = WireFrame::MpMsg {
+            session: self.session,
+            peer: self.peer,
+            depth: self.clock + 1,
+            payload: msg,
+        };
+        let mut w = self.writer.lock().expect("connection writer poisoned");
+        write_frame(&mut *w, &frame).map_err(|_| ProtocolError::ChannelClosed)?;
+        drop(w);
+        obs::message("net", obs::Direction::Sent, bits, self.clock);
+        Ok(())
+    }
+
+    fn recv(&mut self) -> Result<BitBuf, ProtocolError> {
+        let (depth, payload) = self.rx.recv_timeout(self.timeout).map_err(|e| match e {
+            crossbeam_channel::RecvTimeoutError::Timeout => ProtocolError::Timeout,
+            crossbeam_channel::RecvTimeoutError::Disconnected => ProtocolError::ChannelClosed,
+        })?;
+        self.clock = self.clock.max(depth);
+        self.stats.clock = self.clock;
+        let bits = payload.len() as u64;
+        self.stats.bits_received += bits;
+        self.stats.messages_received += 1;
+        obs::message("net", obs::Direction::Received, bits, self.stats.clock);
+        Ok(payload)
+    }
+
+    fn stats(&self) -> ChannelStats {
+        let mut s = self.stats;
+        s.clock = self.clock;
+        s
+    }
+}
+
+impl ClockedChan for RemoteLink {
+    fn link_clock(&self) -> u64 {
+        self.clock
+    }
+
+    fn fold_clock(&mut self, depth: u64) {
+        self.clock = self.clock.max(depth);
+        self.stats.clock = self.clock;
+    }
+}
+
+/// The remotely driven player's view of the mesh: implements
+/// [`PartyCtx`] with the exact clock discipline of the in-process
+/// [`PlayerCtx`](intersect_comm::net::PlayerCtx) — `take_link` seeds the
+/// link clock from the player clock, `return_link` merges it back — so
+/// the Section 4 protocols run over the wire unchanged and
+/// bit-identically.
+struct RemotePartyCtx {
+    id: usize,
+    players: usize,
+    coins: CoinSource,
+    links: Vec<Option<RemoteLink>>,
+    clock: u64,
+}
+
+impl RemotePartyCtx {
+    /// Aggregate counters over every pairwise link, with the causal
+    /// clock folded across attached links like `PlayerCtx::stats`.
+    fn stats(&self) -> ChannelStats {
+        let mut total = ChannelStats::default();
+        for link in self.links.iter().flatten() {
+            total.bits_sent += link.stats.bits_sent;
+            total.bits_received += link.stats.bits_received;
+            total.messages_sent += link.stats.messages_sent;
+            total.messages_received += link.stats.messages_received;
+            total.clock = total.clock.max(link.clock);
+        }
+        total.clock = total.clock.max(self.clock);
+        total
+    }
+}
+
+impl PartyCtx for RemotePartyCtx {
+    type Link = RemoteLink;
+
+    fn id(&self) -> usize {
+        self.id
+    }
+
+    fn players(&self) -> usize {
+        self.players
+    }
+
+    fn coins(&self) -> &CoinSource {
+        &self.coins
+    }
+
+    fn take_link(&mut self, peer: usize) -> RemoteLink {
+        assert!(peer < self.players, "peer {peer} out of range");
+        assert_ne!(peer, self.id, "no link to self");
+        let mut link = self.links[peer]
+            .take()
+            .unwrap_or_else(|| panic!("link to {peer} already taken"));
+        link.fold_clock(self.clock);
+        link
+    }
+
+    fn return_link(&mut self, peer: usize, link: RemoteLink) {
+        assert!(peer < self.players && self.links[peer].is_none());
+        self.clock = self.clock.max(link.clock);
+        self.links[peer] = Some(link);
+    }
+
+    fn link(&mut self, peer: usize) -> SyncedLink<'_, RemoteLink> {
+        assert!(peer < self.players, "peer {peer} out of range");
+        assert_ne!(peer, self.id, "no link to self");
+        let link = self.links[peer]
+            .as_mut()
+            .unwrap_or_else(|| panic!("link to {peer} is detached"));
+        SyncedLink::new(link, &mut self.clock)
+    }
+}
+
+/// Demuxes one multiparty session's event stream: payloads to their
+/// per-peer link queues, the terminal outcome to the control lane. Runs
+/// until the terminal event or until the session unregisters (its event
+/// sender drops).
+fn route_multiparty_events(
+    rx: Receiver<SessionEvent>,
+    peer_txs: Vec<Option<Sender<(u64, BitBuf)>>>,
+    ctl: Sender<SessionEvent>,
+) {
+    while let Ok(event) = rx.recv() {
+        match event {
+            SessionEvent::MpMsg {
+                peer,
+                depth,
+                payload,
+            } => {
+                // Unknown peers are dropped; the protocol times out and
+                // surfaces the fault on its own link.
+                if let Some(Some(tx)) = peer_txs.get(peer) {
+                    let _ = tx.send((depth, payload));
+                }
+            }
+            terminal @ (SessionEvent::MpDone { .. }
+            | SessionEvent::Error(_)
+            | SessionEvent::Closed) => {
+                let _ = ctl.send(terminal);
+                break;
+            }
+            // Fins and stray two-party frames carry no mesh payload.
+            _ => {}
+        }
     }
 }
 
@@ -386,8 +792,36 @@ fn reader_loop(mut stream: Stream, sessions: SessionMap, goodbye: Arc<AtomicBool
                 goodbye.store(true, Ordering::Release);
                 None
             }
+            WireFrame::MpMsg {
+                session,
+                peer,
+                depth,
+                payload,
+            } => Some((
+                session,
+                SessionEvent::MpMsg {
+                    peer: peer as usize,
+                    depth,
+                    payload,
+                },
+            )),
+            WireFrame::MpDone {
+                session,
+                holder,
+                result,
+                verdicts,
+                report,
+            } => Some((
+                session,
+                SessionEvent::MpDone {
+                    holder: holder.map(|h| h as usize),
+                    result,
+                    verdicts,
+                    report,
+                },
+            )),
             // Client-role frames arriving at a client: ignore.
-            WireFrame::Open { .. } => None,
+            WireFrame::Open { .. } | WireFrame::MpOut { .. } => None,
         };
         if let Some((session, event)) = event {
             if let Some(tx) = sessions.lock().expect("session map poisoned").get(&session) {

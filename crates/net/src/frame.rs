@@ -22,7 +22,22 @@
 //! Done    5  ChannelStats: 5 × u64 | result_len: u32 | elems: u64 × len
 //! Error   6  message: UTF-8
 //! Goodbye 7  (empty, session 0) — connection-level farewell on drain
+//! MpMsg   8  peer: u32 | depth: u64 | payload_bits: u64 | payload
+//! MpOut   9  has_set: u8 | (set_len: u32 | elems)? | verdict: u8
+//! MpDone 10  holder: u32 | result_len: u32 | elems | verdict_count: u32
+//!            | verdicts: u8 × count | players: u32 | bits_sent: u64 × m
+//!            | bits_received: u64 × m | messages: u64 | rounds: u64
 //! ```
+//!
+//! The multiparty frames (8–10) extend the session plane to m-party
+//! sessions where the client drives one player of an m-player mesh the
+//! server hosts: an Open whose request line carries `players=`/`mp=`
+//! keys (the party-count/player-index tag) negotiates such a session,
+//! [`WireFrame::MpMsg`] is its metered protocol message with an explicit
+//! peer tag for pairwise-link routing, [`WireFrame::MpOut`] delivers the
+//! driven player's final output, and [`WireFrame::MpDone`] returns the
+//! folded session outcome with the exact per-player
+//! [`NetworkReport`](intersect_comm::stats::NetworkReport).
 //!
 //! Decoding is total: any byte sequence either yields a frame or a
 //! descriptive [`FrameError`]; malformed input (oversized length prefix,
@@ -31,7 +46,7 @@
 //! drive both directions.
 
 use intersect_comm::bits::BitBuf;
-use intersect_comm::stats::ChannelStats;
+use intersect_comm::stats::{ChannelStats, NetworkReport};
 use std::io::{self, Read, Write};
 
 /// Hard cap on the body length a peer may announce. Protocol payloads
@@ -48,6 +63,13 @@ const T_FIN: u8 = 4;
 const T_DONE: u8 = 5;
 const T_ERROR: u8 = 6;
 const T_GOODBYE: u8 = 7;
+const T_MP_MSG: u8 = 8;
+const T_MP_OUT: u8 = 9;
+const T_MP_DONE: u8 = 10;
+
+/// Cap on the party count a multiparty frame may announce; mirrors the
+/// request-side cap in `MultipartyRequest::validate`.
+const MAX_PLAYERS: u32 = 4096;
 
 /// One frame of the session-multiplexed wire protocol.
 #[derive(Debug, Clone, PartialEq)]
@@ -108,6 +130,47 @@ pub enum WireFrame {
     /// sessions and the receiver should expect the stream to close once
     /// in-flight sessions drain.
     Goodbye,
+    /// A multiparty protocol message: metered exactly like
+    /// [`WireFrame::Msg`], plus the peer index that routes it onto the
+    /// right pairwise link of the server-hosted mesh.
+    MpMsg {
+        /// Session this payload belongs to.
+        session: u64,
+        /// The mesh player on the other end of the pairwise link.
+        peer: u32,
+        /// Sender's causal depth, exactly as the in-process
+        /// [`Link`](intersect_comm::net::Link) stamps it.
+        depth: u64,
+        /// The payload, preserving its exact bit length.
+        payload: BitBuf,
+    },
+    /// Client → server: the driven player's half of the multiparty
+    /// session finished with this output (it doubles as the session's
+    /// Fin: the proxy player returns it into the mesh).
+    MpOut {
+        /// Session being finished.
+        session: u64,
+        /// The driven player's computed intersection, if it holds one.
+        intersection: Option<Vec<u64>>,
+        /// The driven player's disjointness verdict, if any.
+        verdict: Option<bool>,
+    },
+    /// Server → client: the whole m-party session completed. Carries the
+    /// folded outcome plus the exact per-player accounting, so the
+    /// client's view is bit-identical to an in-process `LinkSet` run.
+    MpDone {
+        /// Echoed session id.
+        session: u64,
+        /// The player left holding the intersection, if any.
+        holder: Option<u32>,
+        /// The holder's computed global intersection.
+        result: Vec<u64>,
+        /// Per-player disjointness verdicts (empty slots for players
+        /// that produce none).
+        verdicts: Vec<Option<bool>>,
+        /// Exact per-player communication and round accounting.
+        report: NetworkReport,
+    },
 }
 
 impl WireFrame {
@@ -119,7 +182,10 @@ impl WireFrame {
             | WireFrame::Msg { session, .. }
             | WireFrame::Fin { session }
             | WireFrame::Done { session, .. }
-            | WireFrame::Error { session, .. } => *session,
+            | WireFrame::Error { session, .. }
+            | WireFrame::MpMsg { session, .. }
+            | WireFrame::MpOut { session, .. }
+            | WireFrame::MpDone { session, .. } => *session,
             WireFrame::Goodbye => 0,
         }
     }
@@ -176,6 +242,33 @@ fn put_u64(out: &mut Vec<u8>, v: u64) {
     out.extend_from_slice(&v.to_le_bytes());
 }
 
+/// Writes a payload as `bits: u64 | packed bytes`, preserving the exact
+/// bit length (the packing both [`WireFrame::Msg`] and
+/// [`WireFrame::MpMsg`] use).
+fn put_payload(body: &mut Vec<u8>, payload: &BitBuf) {
+    put_u64(body, payload.len() as u64);
+    let bytes = payload.len().div_ceil(8);
+    body.reserve(bytes);
+    let mut written = 0usize;
+    for word in payload.words() {
+        let take = (bytes - written).min(8);
+        body.extend_from_slice(&word.to_le_bytes()[..take]);
+        written += take;
+        if written == bytes {
+            break;
+        }
+    }
+}
+
+/// Encodes a tri-state verdict in one byte.
+fn verdict_code(v: Option<bool>) -> u8 {
+    match v {
+        None => 0,
+        Some(false) => 1,
+        Some(true) => 2,
+    }
+}
+
 /// Encodes one frame, including its length prefix.
 pub fn encode(frame: &WireFrame) -> Vec<u8> {
     let mut body = Vec::with_capacity(32);
@@ -198,18 +291,7 @@ pub fn encode(frame: &WireFrame) -> Vec<u8> {
             body.push(T_MSG);
             put_u64(&mut body, *session);
             put_u64(&mut body, *depth);
-            put_u64(&mut body, payload.len() as u64);
-            let bytes = payload.len().div_ceil(8);
-            body.reserve(bytes);
-            let mut written = 0usize;
-            for word in payload.words() {
-                let take = (bytes - written).min(8);
-                body.extend_from_slice(&word.to_le_bytes()[..take]);
-                written += take;
-                if written == bytes {
-                    break;
-                }
-            }
+            put_payload(&mut body, payload);
         }
         WireFrame::Fin { session } => {
             body.push(T_FIN);
@@ -240,6 +322,66 @@ pub fn encode(frame: &WireFrame) -> Vec<u8> {
         WireFrame::Goodbye => {
             body.push(T_GOODBYE);
             put_u64(&mut body, 0);
+        }
+        WireFrame::MpMsg {
+            session,
+            peer,
+            depth,
+            payload,
+        } => {
+            body.push(T_MP_MSG);
+            put_u64(&mut body, *session);
+            put_u32(&mut body, *peer);
+            put_u64(&mut body, *depth);
+            put_payload(&mut body, payload);
+        }
+        WireFrame::MpOut {
+            session,
+            intersection,
+            verdict,
+        } => {
+            body.push(T_MP_OUT);
+            put_u64(&mut body, *session);
+            match intersection {
+                Some(elems) => {
+                    body.push(1);
+                    put_u32(&mut body, elems.len() as u32);
+                    for e in elems {
+                        put_u64(&mut body, *e);
+                    }
+                }
+                None => body.push(0),
+            }
+            body.push(verdict_code(*verdict));
+        }
+        WireFrame::MpDone {
+            session,
+            holder,
+            result,
+            verdicts,
+            report,
+        } => {
+            body.push(T_MP_DONE);
+            put_u64(&mut body, *session);
+            put_u32(&mut body, holder.unwrap_or(u32::MAX));
+            put_u32(&mut body, result.len() as u32);
+            for e in result {
+                put_u64(&mut body, *e);
+            }
+            put_u32(&mut body, verdicts.len() as u32);
+            for v in verdicts {
+                body.push(verdict_code(*v));
+            }
+            debug_assert_eq!(report.bits_sent.len(), report.bits_received.len());
+            put_u32(&mut body, report.bits_sent.len() as u32);
+            for b in &report.bits_sent {
+                put_u64(&mut body, *b);
+            }
+            for b in &report.bits_received {
+                put_u64(&mut body, *b);
+            }
+            put_u64(&mut body, report.messages);
+            put_u64(&mut body, report.rounds);
         }
     }
     debug_assert!(body.len() as u64 <= MAX_BODY_BYTES as u64);
@@ -297,6 +439,46 @@ impl<'a> Cursor<'a> {
         }
         Ok(())
     }
+
+    /// Reads a `bits: u64 | packed bytes` payload (see [`put_payload`]),
+    /// rejecting oversized lengths and nonzero padding bits.
+    fn payload(&mut self) -> Result<BitBuf, FrameError> {
+        let bits64 = self.u64()?;
+        // A payload longer than the frame cap in *bytes* cannot be
+        // genuine; reject before any usize conversion can overflow.
+        if bits64 > (MAX_BODY_BYTES as u64) * 8 {
+            return Err(FrameError::Malformed("payload bit length exceeds cap"));
+        }
+        let bits = bits64 as usize;
+        let bytes = self.take(bits.div_ceil(8))?;
+        // Padding bits above `bits` must be zero: the encoder never
+        // sets them, so a nonzero pad means corruption.
+        if !bits.is_multiple_of(8) {
+            let pad = bytes[bytes.len() - 1] >> (bits % 8);
+            if pad != 0 {
+                return Err(FrameError::Malformed("nonzero padding bits in payload"));
+            }
+        }
+        let mut payload = BitBuf::with_capacity(bits);
+        for (i, chunk) in bytes.chunks(8).enumerate() {
+            let mut word = [0u8; 8];
+            word[..chunk.len()].copy_from_slice(chunk);
+            let word = u64::from_le_bytes(word);
+            let width = (bits - i * 64).min(64);
+            payload.push_bits(word, width);
+        }
+        Ok(payload)
+    }
+
+    /// Reads one tri-state verdict byte (see [`verdict_code`]).
+    fn verdict(&mut self) -> Result<Option<bool>, FrameError> {
+        match self.u8()? {
+            0 => Ok(None),
+            1 => Ok(Some(false)),
+            2 => Ok(Some(true)),
+            _ => Err(FrameError::Malformed("unknown verdict code")),
+        }
+    }
 }
 
 /// Decodes one frame body (the bytes after the length prefix).
@@ -315,30 +497,7 @@ pub fn decode_body(body: &[u8]) -> Result<WireFrame, FrameError> {
         },
         T_MSG => {
             let depth = c.u64()?;
-            let bits64 = c.u64()?;
-            // A payload longer than the frame cap in *bytes* cannot be
-            // genuine; reject before any usize conversion can overflow.
-            if bits64 > (MAX_BODY_BYTES as u64) * 8 {
-                return Err(FrameError::Malformed("payload bit length exceeds cap"));
-            }
-            let bits = bits64 as usize;
-            let bytes = c.take(bits.div_ceil(8))?;
-            // Padding bits above `bits` must be zero: the encoder never
-            // sets them, so a nonzero pad means corruption.
-            if !bits.is_multiple_of(8) {
-                let pad = bytes[bytes.len() - 1] >> (bits % 8);
-                if pad != 0 {
-                    return Err(FrameError::Malformed("nonzero padding bits in payload"));
-                }
-            }
-            let mut payload = BitBuf::with_capacity(bits);
-            for (i, chunk) in bytes.chunks(8).enumerate() {
-                let mut word = [0u8; 8];
-                word[..chunk.len()].copy_from_slice(chunk);
-                let word = u64::from_le_bytes(word);
-                let width = (bits - i * 64).min(64);
-                payload.push_bits(word, width);
-            }
+            let payload = c.payload()?;
             WireFrame::Msg {
                 session,
                 depth,
@@ -373,6 +532,91 @@ pub fn decode_body(body: &[u8]) -> Result<WireFrame, FrameError> {
             message: c.rest_utf8()?,
         },
         T_GOODBYE => WireFrame::Goodbye,
+        T_MP_MSG => {
+            let peer = c.u32()?;
+            if peer >= MAX_PLAYERS {
+                return Err(FrameError::Malformed("peer index exceeds player cap"));
+            }
+            let depth = c.u64()?;
+            let payload = c.payload()?;
+            WireFrame::MpMsg {
+                session,
+                peer,
+                depth,
+                payload,
+            }
+        }
+        T_MP_OUT => {
+            let intersection = match c.u8()? {
+                0 => None,
+                1 => {
+                    let len = c.u32()? as usize;
+                    if len > (MAX_BODY_BYTES as usize) / 8 {
+                        return Err(FrameError::Malformed("result length exceeds cap"));
+                    }
+                    let mut elems = Vec::with_capacity(len);
+                    for _ in 0..len {
+                        elems.push(c.u64()?);
+                    }
+                    Some(elems)
+                }
+                _ => return Err(FrameError::Malformed("unknown intersection flag")),
+            };
+            let verdict = c.verdict()?;
+            WireFrame::MpOut {
+                session,
+                intersection,
+                verdict,
+            }
+        }
+        T_MP_DONE => {
+            let holder = match c.u32()? {
+                u32::MAX => None,
+                h if h < MAX_PLAYERS => Some(h),
+                _ => return Err(FrameError::Malformed("holder index exceeds player cap")),
+            };
+            let len = c.u32()? as usize;
+            if len > (MAX_BODY_BYTES as usize) / 8 {
+                return Err(FrameError::Malformed("result length exceeds cap"));
+            }
+            let mut result = Vec::with_capacity(len);
+            for _ in 0..len {
+                result.push(c.u64()?);
+            }
+            let verdict_count = c.u32()?;
+            if verdict_count > MAX_PLAYERS {
+                return Err(FrameError::Malformed("verdict count exceeds player cap"));
+            }
+            let mut verdicts = Vec::with_capacity(verdict_count as usize);
+            for _ in 0..verdict_count {
+                verdicts.push(c.verdict()?);
+            }
+            let players = c.u32()?;
+            if players > MAX_PLAYERS {
+                return Err(FrameError::Malformed("player count exceeds cap"));
+            }
+            let mut report = NetworkReport {
+                bits_sent: Vec::with_capacity(players as usize),
+                bits_received: Vec::with_capacity(players as usize),
+                messages: 0,
+                rounds: 0,
+            };
+            for _ in 0..players {
+                report.bits_sent.push(c.u64()?);
+            }
+            for _ in 0..players {
+                report.bits_received.push(c.u64()?);
+            }
+            report.messages = c.u64()?;
+            report.rounds = c.u64()?;
+            WireFrame::MpDone {
+                session,
+                holder,
+                result,
+                verdicts,
+                report,
+            }
+        }
         _ => return Err(FrameError::Malformed("unknown frame type")),
     };
     c.finish()?;
@@ -473,6 +717,69 @@ mod tests {
             message: "nope".into(),
         });
         round_trip(WireFrame::Goodbye);
+    }
+
+    #[test]
+    fn multiparty_frame_types_round_trip() {
+        let mut payload = BitBuf::new();
+        payload.push_bits(0b110_1001, 7);
+        round_trip(WireFrame::MpMsg {
+            session: 9,
+            peer: 3,
+            depth: 17,
+            payload,
+        });
+        round_trip(WireFrame::MpOut {
+            session: 9,
+            intersection: Some(vec![4, 8, 15]),
+            verdict: None,
+        });
+        round_trip(WireFrame::MpOut {
+            session: 9,
+            intersection: None,
+            verdict: Some(true),
+        });
+        round_trip(WireFrame::MpDone {
+            session: 9,
+            holder: Some(0),
+            result: vec![4, 8, 15],
+            verdicts: vec![None, Some(false), Some(true), None],
+            report: NetworkReport {
+                bits_sent: vec![10, 20, 30, 40],
+                bits_received: vec![40, 30, 20, 10],
+                messages: 12,
+                rounds: 5,
+            },
+        });
+        round_trip(WireFrame::MpDone {
+            session: 10,
+            holder: None,
+            result: vec![],
+            verdicts: vec![Some(true), Some(true)],
+            report: NetworkReport {
+                bits_sent: vec![7, 7],
+                bits_received: vec![7, 7],
+                messages: 2,
+                rounds: 2,
+            },
+        });
+    }
+
+    #[test]
+    fn multiparty_caps_are_enforced() {
+        // A peer index past the player cap poisons the frame.
+        let mut body = vec![T_MP_MSG];
+        put_u64(&mut body, 1);
+        put_u32(&mut body, MAX_PLAYERS);
+        put_u64(&mut body, 1);
+        put_u64(&mut body, 0);
+        assert!(matches!(decode_body(&body), Err(FrameError::Malformed(_))));
+        // An unknown verdict code is rejected, never folded to a bool.
+        let mut body = vec![T_MP_OUT];
+        put_u64(&mut body, 1);
+        body.push(0); // no intersection
+        body.push(9); // bogus verdict code
+        assert!(matches!(decode_body(&body), Err(FrameError::Malformed(_))));
     }
 
     #[test]

@@ -56,13 +56,13 @@ mod chan;
 
 /// The commonly used surface of the transport plane.
 pub mod prelude {
-    pub use crate::client::{ClientTimeline, NetClient, RemoteRun};
+    pub use crate::client::{ClientTimeline, NetClient, RemoteMultipartyRun, RemoteRun};
     pub use crate::frame::{WireFrame, MAX_BODY_BYTES};
     pub use crate::metrics::describe_net_metrics;
     pub use crate::server::{NetServer, NetServerConfig, NetSummary};
     pub use crate::transport::EndpointAddr;
 }
 
-pub use client::{ClientTimeline, NetClient, RemoteRun};
+pub use client::{ClientTimeline, NetClient, RemoteMultipartyRun, RemoteRun};
 pub use server::{NetServer, NetServerConfig, NetSummary};
 pub use transport::EndpointAddr;

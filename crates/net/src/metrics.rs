@@ -43,6 +43,21 @@ pub fn describe_net_metrics() {
             "net_client_segment_micros",
             "Client-side remote-session latency by waterfall segment (open-wait, rounds-execute, drain)",
         ),
+        // The m-party families the server emits when it hosts a mesh
+        // for a remote player. Help texts match `describe_engine_metrics`
+        // exactly — the transport and engine paths feed one family each.
+        (
+            "multiparty_sessions_total",
+            "Engine-hosted m-party sessions finished, labeled by party count m",
+        ),
+        (
+            "multiparty_bits_total",
+            "Total bits on the wire across engine-hosted m-party sessions",
+        ),
+        (
+            "multiparty_player_bits",
+            "Per-player bits (sent + received) per m-party session",
+        ),
     ] {
         obs::describe(name, help);
     }

@@ -18,11 +18,17 @@ use crate::chan::{RemoteChan, SessionEvent, SharedWriter};
 use crate::frame::{read_frame, write_frame, FrameError, WireFrame};
 use crate::metrics;
 use crate::transport::{EndpointAddr, Listener, Stream};
-use crossbeam_channel::Sender;
+use crossbeam_channel::{Receiver, Sender};
 use intersect_comm::chan::Chan;
 use intersect_comm::coins::CoinSource;
+use intersect_comm::error::ProtocolError;
+use intersect_comm::net::{LinkSender, LinkSet, PlayerCtx};
 use intersect_comm::runner::Side;
-use intersect_engine::{route, PairContextCache, PlanCache, RoutePolicy, SessionRequest};
+use intersect_core::sets::ElementSet;
+use intersect_engine::{
+    route, MultipartyRequest, PairContextCache, PlanCache, RoutePolicy, SessionRequest,
+};
+use intersect_multiparty::choice::PlayerOutput;
 use intersect_obs as obs;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -344,6 +350,12 @@ fn handle_frame(
                 refuse(writer, shared, session, "server is draining".into());
                 return;
             }
+            // The party-count tag on the request line is what switches
+            // an Open from the two-party path to a server-hosted mesh.
+            if is_multiparty_line(&line) {
+                open_multiparty(session, &line, shared, writer, sessions, session_threads);
+                return;
+            }
             let req = match SessionRequest::parse_line(&line) {
                 Ok(Some(req)) => req,
                 Ok(None) => {
@@ -437,22 +449,44 @@ fn handle_frame(
             depth,
             payload,
         } => {
-            let delivered = sessions
-                .lock()
-                .expect("session map poisoned")
-                .get(&session)
-                .map(|tx| tx.send(SessionEvent::Msg { depth, payload }).is_ok())
-                .unwrap_or(false);
-            if !delivered {
-                let mut w = writer.lock().expect("connection writer poisoned");
-                let _ = write_frame(
-                    &mut *w,
-                    &WireFrame::Error {
-                        session,
-                        message: format!("unknown session id {session}"),
-                    },
-                );
-            }
+            deliver_or_refuse(
+                writer,
+                sessions,
+                session,
+                SessionEvent::Msg { depth, payload },
+            );
+        }
+        WireFrame::MpMsg {
+            session,
+            peer,
+            depth,
+            payload,
+        } => {
+            deliver_or_refuse(
+                writer,
+                sessions,
+                session,
+                SessionEvent::MpMsg {
+                    peer: peer as usize,
+                    depth,
+                    payload,
+                },
+            );
+        }
+        WireFrame::MpOut {
+            session,
+            intersection,
+            verdict,
+        } => {
+            deliver_or_refuse(
+                writer,
+                sessions,
+                session,
+                SessionEvent::MpOut {
+                    intersection,
+                    verdict,
+                },
+            );
         }
         WireFrame::Fin { session } => {
             // A fin for a session that already completed and removed
@@ -473,7 +507,9 @@ fn handle_frame(
         }
         // Frames only a server sends, arriving at the server: a peer
         // bug. Answer with an error so the client can diagnose.
-        WireFrame::Accept { session, .. } | WireFrame::Done { session, .. } => {
+        WireFrame::Accept { session, .. }
+        | WireFrame::Done { session, .. }
+        | WireFrame::MpDone { session, .. } => {
             let mut w = writer.lock().expect("connection writer poisoned");
             let _ = write_frame(
                 &mut *w,
@@ -484,6 +520,361 @@ fn handle_frame(
             );
         }
     }
+}
+
+/// Routes one mid-session event to its session, or answers with an
+/// unknown-session error if nothing is registered under that id.
+fn deliver_or_refuse(
+    writer: &SharedWriter,
+    sessions: &SessionMap,
+    session: u64,
+    event: SessionEvent,
+) {
+    let delivered = sessions
+        .lock()
+        .expect("session map poisoned")
+        .get(&session)
+        .map(|tx| tx.send(event).is_ok())
+        .unwrap_or(false);
+    if !delivered {
+        let mut w = writer.lock().expect("connection writer poisoned");
+        let _ = write_frame(
+            &mut *w,
+            &WireFrame::Error {
+                session,
+                message: format!("unknown session id {session}"),
+            },
+        );
+    }
+}
+
+/// `true` iff an Open request line carries the multiparty tag — the
+/// `players=`/`mp=` keys only [`MultipartyRequest`] lines use.
+fn is_multiparty_line(line: &str) -> bool {
+    line.split_whitespace()
+        .any(|token| matches!(token.split_once('='), Some(("players" | "mp", _))))
+}
+
+/// Admits one remote m-party session: parses the multiparty request
+/// line, reserves one session slot (the whole mesh counts as one
+/// session), warms the tournament plan cache, answers Accept, and spawns
+/// the session thread hosting the m−1 local players plus the proxy for
+/// the remotely driven one.
+fn open_multiparty(
+    session: u64,
+    line: &str,
+    shared: &Arc<Shared>,
+    writer: &SharedWriter,
+    sessions: &SessionMap,
+    session_threads: &mut Vec<JoinHandle<()>>,
+) {
+    let req = match MultipartyRequest::parse_line(line) {
+        Ok(Some(req)) => req,
+        Ok(None) => {
+            refuse(writer, shared, session, "empty request line".into());
+            return;
+        }
+        Err(e) => {
+            refuse(writer, shared, session, format!("bad request: {e}"));
+            return;
+        }
+    };
+    if sessions
+        .lock()
+        .expect("session map poisoned")
+        .contains_key(&session)
+    {
+        refuse(writer, shared, session, "session id already open".into());
+        return;
+    }
+    let reserved = shared
+        .active
+        .fetch_update(Ordering::AcqRel, Ordering::Acquire, |a| {
+            (a < shared.max_active as u64).then_some(a + 1)
+        })
+        .is_ok();
+    if !reserved {
+        refuse(writer, shared, session, "server at session capacity".into());
+        return;
+    }
+    // Warm the generation-tagged tournament plan cache: repeated opens
+    // of the same (protocol, spec, m) shape hit the cached plan exactly
+    // like engine-hosted sessions do.
+    let _plan = shared
+        .cache
+        .get_or_tournament(req.choice, req.spec, req.players);
+    let (tx, rx) = crossbeam_channel::unbounded();
+    sessions
+        .lock()
+        .expect("session map poisoned")
+        .insert(session, tx);
+    metrics::session_opened();
+    {
+        let mut w = writer.lock().expect("connection writer poisoned");
+        if write_frame(
+            &mut *w,
+            &WireFrame::Accept {
+                session,
+                protocol: req.choice.to_string(),
+            },
+        )
+        .is_err()
+        {
+            drop(w);
+            sessions
+                .lock()
+                .expect("session map poisoned")
+                .remove(&session);
+            shared.active.fetch_sub(1, Ordering::AcqRel);
+            metrics::session_closed();
+            return;
+        }
+    }
+    let run_shared = Arc::clone(shared);
+    let run_writer = Arc::clone(writer);
+    let run_sessions = Arc::clone(sessions);
+    session_threads.push(std::thread::spawn(move || {
+        run_multiparty_session(session, req, rx, &run_writer, &run_shared);
+        run_sessions
+            .lock()
+            .expect("session map poisoned")
+            .remove(&session);
+        run_shared.active.fetch_sub(1, Ordering::AcqRel);
+        metrics::session_closed();
+    }));
+}
+
+/// Hosts one remote m-party session: builds the mesh, runs the m−1
+/// local player halves with inputs regenerated from the request, proxies
+/// the remotely driven player over the wire, and answers with the folded
+/// [`WireFrame::MpDone`] outcome (or an error frame).
+fn run_multiparty_session(
+    session: u64,
+    req: MultipartyRequest,
+    rx: Receiver<SessionEvent>,
+    writer: &SharedWriter,
+    shared: &Shared,
+) {
+    let _session_scope = obs::phase::SessionScope::enter(req.id, obs::Party::Bob);
+    let span = obs::phase::span("net", "mp-session");
+    let driven = req.player.unwrap_or(0);
+    let sets = req.player_sets();
+    let mut links = LinkSet::new(req.players, req.seed, shared.timeout);
+    let outcome = links.run(|pctx| {
+        if pctx.id() == driven {
+            proxy_remote_player(pctx, session, &rx, writer, shared.timeout)
+        } else {
+            req.choice
+                .run_player(req.spec, req.tree_rounds, pctx, &sets[pctx.id()])
+        }
+    });
+    match outcome {
+        Ok(net) => {
+            span.finish(obs::CostDelta {
+                bits_sent: net.report.total_bits(),
+                bits_received: net.report.total_bits(),
+                rounds: net.report.rounds,
+            });
+            shared.served.fetch_add(1, Ordering::Relaxed);
+            obs::flight::record(
+                obs::flight::CODE_COMPLETE,
+                req.id,
+                net.report.total_bits(),
+                net.report.rounds,
+            );
+            if obs::enabled() {
+                let m = req.players.to_string();
+                obs::counter_add(
+                    &obs::metrics::labeled("multiparty_sessions_total", &[("m", &m)]),
+                    1,
+                );
+                obs::counter_add("multiparty_bits_total", net.report.total_bits());
+                // Pooled per-player summary, matching the engine's
+                // family shape: one observation per player per session
+                // keeps the cardinality bounded at any m.
+                for (sent, received) in net.report.bits_sent.iter().zip(&net.report.bits_received) {
+                    obs::observe("multiparty_player_bits", sent + received);
+                }
+            }
+            let mut holder = None;
+            let mut result = Vec::new();
+            let mut verdicts = Vec::with_capacity(req.players);
+            for (i, out) in net.outputs.iter().enumerate() {
+                if holder.is_none() {
+                    if let Some(set) = &out.intersection {
+                        holder = Some(i as u32);
+                        result = set.as_slice().to_vec();
+                    }
+                }
+                verdicts.push(out.verdict);
+            }
+            let mut w = writer.lock().expect("connection writer poisoned");
+            let _ = write_frame(
+                &mut *w,
+                &WireFrame::MpDone {
+                    session,
+                    holder,
+                    result,
+                    verdicts,
+                    report: net.report,
+                },
+            );
+        }
+        Err(e) => {
+            span.finish(obs::CostDelta::default());
+            shared.failed.fetch_add(1, Ordering::Relaxed);
+            obs::flight::record(obs::flight::CODE_FAIL, req.id, 0, 0);
+            let mut w = writer.lock().expect("connection writer poisoned");
+            let _ = write_frame(
+                &mut *w,
+                &WireFrame::Error {
+                    session,
+                    message: e.to_string(),
+                },
+            );
+        }
+    }
+}
+
+/// Represents the remotely driven player inside the server-hosted mesh.
+///
+/// Every pairwise link of the driven player is split into raw halves:
+/// forwarder threads shuttle mesh→wire traffic as [`WireFrame::MpMsg`]
+/// frames (depths stamped by the in-process senders, forwarded
+/// verbatim), while this thread pumps wire→mesh traffic into the
+/// matching [`LinkSender`] halves. The halves meter the driven player's
+/// shared counters exactly like attached links, and the receiver
+/// halves' folded depths merge back into the player clock at the end —
+/// which is what makes the hosted session's [`NetworkReport`]
+/// bit-identical to an all-local run (`split_halves_meter_like_whole_link`
+/// in `intersect-comm` pins the substrate half of that argument).
+fn proxy_remote_player(
+    ctx: &mut PlayerCtx,
+    session: u64,
+    rx: &Receiver<SessionEvent>,
+    writer: &SharedWriter,
+    timeout: Duration,
+) -> Result<PlayerOutput, ProtocolError> {
+    let m = ctx.players();
+    let driven = ctx.id();
+    let stop = AtomicBool::new(false);
+    let mut senders: Vec<Option<LinkSender>> = (0..m).map(|_| None).collect();
+    let mut receivers = Vec::with_capacity(m.saturating_sub(1));
+    for peer in (0..m).filter(|&p| p != driven) {
+        let (tx_half, rx_half) = ctx.take_link(peer).split();
+        senders[peer] = Some(tx_half);
+        receivers.push((peer, rx_half));
+    }
+    let (mut result, receivers) = std::thread::scope(|scope| {
+        let forwarders: Vec<_> = receivers
+            .into_iter()
+            .map(|(peer, mut rx_half)| {
+                let stop = &stop;
+                scope.spawn(move || {
+                    let mut failure = None;
+                    loop {
+                        match rx_half.recv_raw(Duration::from_millis(5)) {
+                            Ok(Some((depth, payload))) => {
+                                let frame = WireFrame::MpMsg {
+                                    session,
+                                    peer: peer as u32,
+                                    depth,
+                                    payload,
+                                };
+                                let mut w = writer.lock().expect("connection writer poisoned");
+                                if write_frame(&mut *w, &frame).is_err() {
+                                    failure = Some(ProtocolError::ChannelClosed);
+                                    break;
+                                }
+                            }
+                            // recv_raw polls: Ok(None) is just "nothing
+                            // yet" — keep draining until told to stop.
+                            Ok(None) => {
+                                if stop.load(Ordering::Acquire) {
+                                    break;
+                                }
+                            }
+                            Err(e) => {
+                                if !stop.load(Ordering::Acquire) {
+                                    failure = Some(e);
+                                }
+                                break;
+                            }
+                        }
+                    }
+                    (rx_half, failure)
+                })
+            })
+            .collect();
+
+        // Pump wire→mesh traffic until the driven player's output (or a
+        // failure) arrives.
+        let result = loop {
+            match rx.recv_timeout(timeout) {
+                Ok(SessionEvent::MpMsg {
+                    peer,
+                    depth,
+                    payload,
+                }) => match senders.get(peer).and_then(Option::as_ref) {
+                    Some(tx) => {
+                        if let Err(e) = tx.send_raw(depth, payload) {
+                            break Err(e);
+                        }
+                    }
+                    None => {
+                        break Err(ProtocolError::Internal(format!(
+                            "message addressed to invalid peer {peer}"
+                        )))
+                    }
+                },
+                Ok(SessionEvent::MpOut {
+                    intersection,
+                    verdict,
+                }) => {
+                    break Ok(PlayerOutput {
+                        intersection: intersection.map(ElementSet::from_sorted),
+                        verdict,
+                    })
+                }
+                Ok(SessionEvent::Error(msg)) => {
+                    break Err(ProtocolError::Internal(format!(
+                        "remote player failed: {msg}"
+                    )))
+                }
+                Ok(SessionEvent::Fin) | Ok(SessionEvent::Closed) => {
+                    break Err(ProtocolError::ChannelClosed)
+                }
+                Ok(_) => {
+                    break Err(ProtocolError::Internal(
+                        "unexpected frame in multiparty session".into(),
+                    ))
+                }
+                Err(crossbeam_channel::RecvTimeoutError::Timeout) => {
+                    break Err(ProtocolError::Timeout)
+                }
+                Err(crossbeam_channel::RecvTimeoutError::Disconnected) => {
+                    break Err(ProtocolError::ChannelClosed)
+                }
+            }
+        };
+        stop.store(true, Ordering::Release);
+        let halves: Vec<_> = forwarders
+            .into_iter()
+            .map(|h| h.join().expect("forwarder panicked"))
+            .collect();
+        (result, halves)
+    });
+    // Merge the receiver halves' folded causal depths back into the
+    // player clock, exactly as `return_link` would for an attached link.
+    for (rx_half, failure) in receivers {
+        ctx.fold_clock(rx_half.clock());
+        if result.is_ok() {
+            if let Some(e) = failure {
+                result = Err(e);
+            }
+        }
+    }
+    result
 }
 
 fn run_session(

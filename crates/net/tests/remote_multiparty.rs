@@ -1,0 +1,171 @@
+//! End-to-end multiparty transport tests: a remote m-party session —
+//! the client driving one player, the server hosting the rest of the
+//! mesh — is bit-identical to the same request run entirely in process
+//! by the multiparty harness. Per-player bit meters, message counts,
+//! and causal round counts must all agree, for every protocol in the
+//! catalogue and every driven player index.
+
+use intersect_engine::prelude::*;
+use intersect_multiparty::{AverageCase, MultipartyDisjointness, WorstCase};
+use intersect_net::prelude::*;
+use std::sync::Arc;
+
+use intersect_core::sets::ProblemSpec;
+
+fn start_tcp_server() -> NetServer {
+    NetServer::start(NetServerConfig::new(
+        EndpointAddr::parse("tcp:127.0.0.1:0").unwrap(),
+    ))
+    .expect("bind server")
+}
+
+fn request(id: u64, players: usize, choice: MultipartyChoice) -> MultipartyRequest {
+    let spec = ProblemSpec::new(1 << 16, 16);
+    let mut req = MultipartyRequest::new(id, spec, players, 2, choice);
+    req.seed = id.wrapping_mul(0x9E37).wrapping_add(13);
+    req
+}
+
+#[test]
+fn remote_multiparty_sessions_are_bit_identical_to_local_runs() {
+    let mut server = start_tcp_server();
+    let client = NetClient::connect(&server.local_addr().to_string()).unwrap();
+    let mut id = 0u64;
+    for choice in MultipartyChoice::ALL {
+        for m in [2usize, 4, 8] {
+            id += 1;
+            let req = request(id, m, choice);
+            let label = format!("{choice} m={m}");
+            let run = client.run_multiparty(&req).expect("remote mp session");
+            let sets = req.player_sets();
+            let truth = req.ground_truth();
+            assert_eq!(run.player, 0, "{label}: driven player defaults to 0");
+            assert!(run.matches(&truth), "{label}: ground truth");
+            match choice {
+                MultipartyChoice::AverageCase => {
+                    let reference = AverageCase::new(req.spec, req.tree_rounds)
+                        .execute(&sets, req.seed)
+                        .unwrap();
+                    assert_eq!(run.report, reference.report, "{label}: report");
+                    assert_eq!(run.result.as_ref(), Some(&reference.result), "{label}");
+                }
+                MultipartyChoice::WorstCase => {
+                    let reference = WorstCase::new(req.spec, req.tree_rounds)
+                        .execute(&sets, req.seed)
+                        .unwrap();
+                    assert_eq!(run.report, reference.report, "{label}: report");
+                    assert_eq!(run.result.as_ref(), Some(&reference.result), "{label}");
+                }
+                MultipartyChoice::Disjointness => {
+                    let reference = MultipartyDisjointness::new(req.spec, req.tree_rounds)
+                        .execute(&sets, req.seed)
+                        .unwrap();
+                    assert_eq!(run.report, reference.report, "{label}: report");
+                    assert!(
+                        run.verdicts.iter().all(|v| *v == Some(reference.disjoint)),
+                        "{label}: verdicts {:?}",
+                        run.verdicts
+                    );
+                }
+            }
+            // The driven player's own holder view agrees with the fold.
+            if run.holder == Some(0) {
+                assert_eq!(
+                    run.output.intersection.as_ref(),
+                    run.result.as_ref(),
+                    "{label}: holder output"
+                );
+            }
+        }
+    }
+    drop(client);
+    let summary = server.shutdown();
+    assert_eq!(summary.sessions_served, 9);
+    assert_eq!(summary.sessions_failed, 0);
+}
+
+#[test]
+fn any_player_index_can_be_driven_remotely() {
+    let mut server = start_tcp_server();
+    let client = NetClient::connect(&server.local_addr().to_string()).unwrap();
+    // Star coordinator (player 0), a mid-mesh member, and the last
+    // player: the transcript must not depend on which seat is remote.
+    for (id, player) in [(21u64, 0usize), (22, 2), (23, 3)] {
+        let mut req = request(id, 4, MultipartyChoice::AverageCase);
+        req.player = Some(player);
+        let run = client.run_multiparty(&req).expect("remote mp session");
+        let reference = AverageCase::new(req.spec, req.tree_rounds)
+            .execute(&req.player_sets(), req.seed)
+            .unwrap();
+        assert_eq!(run.player, player);
+        assert_eq!(run.report, reference.report, "player {player}: report");
+        assert_eq!(
+            run.result.as_ref(),
+            Some(&reference.result),
+            "player {player}: result"
+        );
+        assert!(run.matches(&req.ground_truth()), "player {player}");
+    }
+    drop(client);
+    let summary = server.shutdown();
+    assert_eq!(summary.sessions_served, 3);
+    assert_eq!(summary.sessions_failed, 0);
+}
+
+#[test]
+fn multiparty_and_two_party_sessions_interleave_on_one_connection() {
+    let mut server = start_tcp_server();
+    let client = Arc::new(NetClient::connect(&server.local_addr().to_string()).unwrap());
+    let threads: Vec<_> = (0..4u64)
+        .map(|t| {
+            let client = Arc::clone(&client);
+            std::thread::spawn(move || {
+                for i in 0..2u64 {
+                    if t % 2 == 0 {
+                        let req = request(100 + t * 10 + i, 4, MultipartyChoice::WorstCase);
+                        let run = client.run_multiparty(&req).expect("mp session");
+                        assert!(run.matches(&req.ground_truth()));
+                    } else {
+                        let spec = ProblemSpec::new(1 << 16, 16);
+                        let req = intersect_engine::SessionRequest::new(200 + t * 10 + i, spec, 5);
+                        let run = client.run(&req).expect("two-party session");
+                        assert!(run.matches(&req.input_pair().ground_truth()));
+                    }
+                }
+            })
+        })
+        .collect();
+    for t in threads {
+        t.join().expect("client thread");
+    }
+    drop(client);
+    let summary = server.shutdown();
+    assert_eq!(summary.sessions_served, 8);
+    assert_eq!(summary.sessions_failed, 0);
+    assert_eq!(summary.connections, 1, "one shared connection");
+}
+
+#[test]
+fn malformed_multiparty_open_is_refused_cleanly() {
+    let mut server = start_tcp_server();
+    let client = NetClient::connect(&server.local_addr().to_string()).unwrap();
+    // players over the cap: refused at parse, connection survives.
+    let mut req = request(31, 4, MultipartyChoice::AverageCase);
+    req.players = 5000;
+    let err = client.run_multiparty(&req).unwrap_err();
+    assert!(
+        matches!(err, intersect_comm::error::ProtocolError::InvalidInput(_)),
+        "{err:?}"
+    );
+    // A request that validates locally but is rejected server-side
+    // (unknown protocol name cannot happen via the typed API, so drive
+    // the refusal with a bad overlap through a raw line instead) — the
+    // easy server-side refusal is capacity; here just confirm a good
+    // session still works after the local rejection.
+    let ok = request(32, 2, MultipartyChoice::Disjointness);
+    let run = client.run_multiparty(&ok).expect("session after refusal");
+    assert!(run.matches(&ok.ground_truth()));
+    drop(client);
+    let summary = server.shutdown();
+    assert_eq!(summary.sessions_served, 1);
+}

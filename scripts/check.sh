@@ -26,11 +26,20 @@ rm -f /tmp/throughput_smoke.json
 echo "==> E23 pair-stream amortization smoke (--quick)"
 cargo run -q --release -p intersect-bench --bin report -- --exp E23 --quick >/dev/null
 
+echo "==> multiparty engine-vs-harness bit identity"
+cargo test -q -p intersect-engine --test multiparty_bit_identity
+
+echo "==> E25 party-topology smoke (--quick)"
+cargo run -q --release -p intersect-bench --bin report -- --exp E25 --quick >/dev/null
+
 echo "==> telemetry plane smoke"
 ./scripts/telemetry_smoke.sh
 
 echo "==> network transport smoke"
 ./scripts/net_smoke.sh
+
+echo "==> multiparty transport + metrics smoke"
+./scripts/multiparty_smoke.sh
 
 echo "==> trace plane smoke"
 ./scripts/trace_smoke.sh

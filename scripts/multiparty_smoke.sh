@@ -1,0 +1,71 @@
+#!/usr/bin/env bash
+# Multiparty smoke test: boots `intersect-serve` with both the framed
+# transport and the telemetry listener, drives a burst of remote 4-party
+# sessions with loadgen --players, and asserts the multiparty metric
+# families show up on /metrics with the right party-count label.
+# Run from anywhere; operates on the workspace that contains this script.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+SERVE_BIN=${INTERSECT_SERVE_BIN:-target/debug/intersect-serve}
+LOADGEN_BIN=${INTERSECT_LOADGEN_BIN:-target/debug/loadgen}
+if [[ ! -x "$SERVE_BIN" || ! -x "$LOADGEN_BIN" ]]; then
+  echo "==> building intersect-serve and loadgen"
+  cargo build -q --bin intersect-serve --bin loadgen
+fi
+
+tmpdir=$(mktemp -d)
+trap 'rm -rf "$tmpdir"; kill %1 2>/dev/null || true' EXIT
+
+echo "==> boot transport + telemetry on free ports"
+"$SERVE_BIN" --transport tcp:127.0.0.1:0 --listen 127.0.0.1:0 \
+  2>"$tmpdir/serve.err" &
+
+transport=""
+telemetry=""
+for _ in $(seq 1 50); do
+  transport=$(sed -n 's/^transport: listening on //p' "$tmpdir/serve.err" | head -n1)
+  telemetry=$(sed -n 's/^telemetry: listening on //p' "$tmpdir/serve.err" | head -n1)
+  [[ -n "$transport" && -n "$telemetry" ]] && break
+  sleep 0.1
+done
+if [[ -z "$transport" || -z "$telemetry" ]]; then
+  echo "server never announced both addresses" >&2
+  cat "$tmpdir/serve.err" >&2
+  exit 1
+fi
+echo "    transport $transport, telemetry $telemetry"
+
+echo "==> loadgen: 8 remote 4-party sessions"
+"$LOADGEN_BIN" --endpoint "$transport" --sessions 8 --concurrency 4 \
+  --players 4 --k 64 --json \
+  >"$tmpdir/loadgen.json" 2>"$tmpdir/loadgen.err"
+cat "$tmpdir/loadgen.err"
+grep -q '"completed":8' "$tmpdir/loadgen.json" \
+  || { echo "expected 8 completed multiparty sessions:"; cat "$tmpdir/loadgen.json"; exit 1; }
+grep -q '"players":4' "$tmpdir/loadgen.json" \
+  || { echo "--json must echo players=4:"; cat "$tmpdir/loadgen.json"; exit 1; }
+
+echo "==> /metrics must carry the multiparty families with m=4"
+curl -sS --max-time 5 "http://$telemetry/metrics" >"$tmpdir/metrics"
+grep -q '^multiparty_sessions_total{m="4"} 8$' "$tmpdir/metrics" \
+  || { echo "multiparty_sessions_total{m=\"4\"} missing or wrong:"; \
+       grep '^multiparty' "$tmpdir/metrics" || true; exit 1; }
+grep -q '^# HELP multiparty_sessions_total ' "$tmpdir/metrics" \
+  || { echo "HELP missing for multiparty_sessions_total"; exit 1; }
+grep -q '^multiparty_bits_total [1-9]' "$tmpdir/metrics" \
+  || { echo "multiparty_bits_total missing or zero:"; \
+       grep '^multiparty' "$tmpdir/metrics" || true; exit 1; }
+grep -q '^multiparty_player_bits_count ' "$tmpdir/metrics" \
+  || { echo "multiparty_player_bits summary missing"; exit 1; }
+
+echo "==> SIGTERM must drain and exit cleanly"
+kill -TERM %1
+if ! wait %1; then
+  echo "server exited nonzero after SIGTERM"; cat "$tmpdir/serve.err"; exit 1
+fi
+grep -q 'transport summary: connections=1 served=8 failed=0 rejected=0' \
+  "$tmpdir/serve.err" \
+  || { echo "unexpected drain summary:"; cat "$tmpdir/serve.err"; exit 1; }
+
+echo "==> multiparty smoke passed"

@@ -68,12 +68,27 @@ grep -q '"amortized_bits_per_session":[0-9]' "$tmpdir/loadgen_stream.json" \
 grep -q 'amortized_bits_per_session=[0-9]' "$tmpdir/loadgen_stream.err" \
   || { echo "human summary must carry amortized bits/session"; cat "$tmpdir/loadgen_stream.err"; exit 1; }
 
+echo "==> loadgen multiparty burst: 16 four-party sessions"
+"$LOADGEN_BIN" --endpoint "$addr" --sessions 16 --concurrency 4 \
+  --connections 2 --k 64 --players 4 --json \
+  >"$tmpdir/loadgen_mp.json" 2>"$tmpdir/loadgen_mp.err"
+cat "$tmpdir/loadgen_mp.err"
+
+grep -q '"completed":16' "$tmpdir/loadgen_mp.json" \
+  || { echo "multiparty burst must complete all sessions:"; cat "$tmpdir/loadgen_mp.json"; exit 1; }
+grep -q '"failed":0' "$tmpdir/loadgen_mp.json" \
+  || { echo "multiparty burst reported failures"; cat "$tmpdir/loadgen_mp.json"; exit 1; }
+grep -q '"players":4' "$tmpdir/loadgen_mp.json" \
+  || { echo "--json must echo players=4:"; cat "$tmpdir/loadgen_mp.json"; exit 1; }
+grep -q 'players=4' "$tmpdir/loadgen_mp.err" \
+  || { echo "human summary must echo players=4"; cat "$tmpdir/loadgen_mp.err"; exit 1; }
+
 echo "==> SIGTERM must drain and exit cleanly"
 kill -TERM %1
 if ! wait %1; then
   echo "server exited nonzero after SIGTERM"; cat "$tmpdir/serve.err"; exit 1
 fi
-grep -q 'transport summary: connections=4 served=128 failed=0 rejected=0' \
+grep -q 'transport summary: connections=6 served=144 failed=0 rejected=0' \
   "$tmpdir/serve.err" \
   || { echo "unexpected drain summary:"; cat "$tmpdir/serve.err"; exit 1; }
 

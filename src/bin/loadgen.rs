@@ -15,7 +15,8 @@
 
 use intersect::core::api::ProtocolChoice;
 use intersect::core::sets::ProblemSpec;
-use intersect::engine::SessionRequest;
+use intersect::engine::{MultipartyRequest, SessionRequest};
+use intersect::multiparty::MultipartyChoice;
 use intersect::net::NetClient;
 use std::process::ExitCode;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -28,12 +29,14 @@ struct Options {
     concurrency: usize,
     connections: usize,
     streams: u64,
+    players: usize,
     rate: f64,
     n: u64,
     k: u64,
     overlap: Option<usize>,
     seed: u64,
     protocol: Option<ProtocolChoice>,
+    mp_protocol: MultipartyChoice,
     json: bool,
 }
 
@@ -51,6 +54,10 @@ fn usage() -> ! {
                                pair/stream tags so the server reuses the\n\
                                pair's randomness context (default 0:\n\
                                untagged one-shot sessions)\n\
+           --players <m>       run m-party sessions instead of pair\n\
+                               sessions: the client drives player i%m of\n\
+                               session i, the server hosts the other m-1\n\
+                               players (default 0: two-party sessions)\n\
            --rate <r>          target arrival rate in sessions/s; 0 means\n\
                                closed-loop, as fast as workers allow\n\
                                (default 0)\n\
@@ -58,7 +65,11 @@ fn usage() -> ! {
            --k <k>             cardinality bound (default 64)\n\
            --overlap <o>       intersection size (default k/4)\n\
            --seed <s>          base seed; session i uses s + i (default 1)\n\
-           --protocol <name>   pin sessions to one protocol (default:\n\
+           --protocol <name>   pin sessions to one protocol; with\n\
+                               --players this names a multiparty\n\
+                               protocol (mp/average, mp/worst-case,\n\
+                               mp/disjointness; default mp/average),\n\
+                               otherwise a pair protocol (default:\n\
                                server-side routing)\n\
            --json              emit the summary as one JSON line on\n\
                                stdout (the human summary always goes to\n\
@@ -82,14 +93,17 @@ fn parse_args() -> Options {
         concurrency: 8,
         connections: 1,
         streams: 0,
+        players: 0,
         rate: 0.0,
         n: 1 << 20,
         k: 64,
         overlap: None,
         seed: 1,
         protocol: None,
+        mp_protocol: MultipartyChoice::AverageCase,
         json: false,
     };
+    let mut raw_protocol: Option<String> = None;
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -118,18 +132,16 @@ fn parse_args() -> Options {
                 opts.connections = int("--connections", value("--connections")) as usize
             }
             "--streams" => opts.streams = int("--streams", value("--streams")),
+            "--players" => opts.players = int("--players", value("--players")) as usize,
             "--rate" => opts.rate = value("--rate").parse().unwrap_or_else(|_| usage()),
             "--n" => opts.n = int("--n", value("--n")),
             "--k" => opts.k = int("--k", value("--k")),
             "--overlap" => opts.overlap = Some(int("--overlap", value("--overlap")) as usize),
             "--seed" => opts.seed = int("--seed", value("--seed")),
-            "--protocol" => match value("--protocol").parse() {
-                Ok(choice) => opts.protocol = Some(choice),
-                Err(e) => {
-                    eprintln!("error: {e}");
-                    usage()
-                }
-            },
+            // Resolved after the loop: whether the name is a pair or a
+            // multiparty protocol depends on --players, which may come
+            // later on the command line.
+            "--protocol" => raw_protocol = Some(value("--protocol")),
             "--json" => opts.json = true,
             "--help" | "-h" => usage(),
             other => {
@@ -145,6 +157,33 @@ fn parse_args() -> Options {
     if opts.concurrency == 0 || opts.connections == 0 {
         eprintln!("--concurrency and --connections must be positive");
         usage()
+    }
+    if opts.players == 1 {
+        eprintln!("--players needs at least 2 parties (0 means two-party sessions)");
+        usage()
+    }
+    if opts.players > 0 && opts.streams > 0 {
+        eprintln!("--streams applies to pair sessions only; drop it with --players");
+        usage()
+    }
+    if let Some(name) = raw_protocol {
+        if opts.players >= 2 {
+            match name.parse() {
+                Ok(choice) => opts.mp_protocol = choice,
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    usage()
+                }
+            }
+        } else {
+            match name.parse() {
+                Ok(choice) => opts.protocol = Some(choice),
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    usage()
+                }
+            }
+        }
     }
     opts
 }
@@ -194,8 +233,14 @@ fn main() -> ExitCode {
             let seg_rounds = Arc::clone(&seg_rounds);
             let seg_drain = Arc::clone(&seg_drain);
             let protocol = opts.protocol;
-            let (sessions, rate, seed, streams) =
-                (opts.sessions, opts.rate, opts.seed, opts.streams);
+            let mp_protocol = opts.mp_protocol;
+            let (sessions, rate, seed, streams, players) = (
+                opts.sessions,
+                opts.rate,
+                opts.seed,
+                opts.streams,
+                opts.players,
+            );
             std::thread::spawn(move || loop {
                 let i = next.fetch_add(1, Ordering::Relaxed);
                 if i >= sessions {
@@ -207,6 +252,31 @@ fn main() -> ExitCode {
                     if let Some(wait) = due.checked_sub(start.elapsed()) {
                         std::thread::sleep(wait);
                     }
+                }
+                if players >= 2 {
+                    // m-party session: the client seat rotates over the
+                    // player indices so the burst exercises every proxy
+                    // position, not just the coordinator.
+                    let mut req = MultipartyRequest::new(i, spec, players, overlap, mp_protocol);
+                    req.seed = seed.wrapping_add(i);
+                    req.player = Some(i as usize % players);
+                    let t0 = Instant::now();
+                    match clients[i as usize % clients.len()].run_multiparty(&req) {
+                        Ok(run) if run.matches(&req.ground_truth()) => {
+                            let micros = t0.elapsed().as_micros() as u64;
+                            total_bits.fetch_add(run.report.total_bits(), Ordering::Relaxed);
+                            latencies.lock().unwrap().push(micros);
+                        }
+                        Ok(_) => {
+                            eprintln!("session {i}: wrong multiparty outcome");
+                            failed.fetch_add(1, Ordering::Relaxed);
+                        }
+                        Err(e) => {
+                            eprintln!("session {i}: {e}");
+                            failed.fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
+                    continue;
                 }
                 let mut req = SessionRequest::new(i, spec, overlap);
                 req.seed = seed.wrapping_add(i);
@@ -274,9 +344,10 @@ fn main() -> ExitCode {
     // one parseable line (`loadgen --json | jq .` works in a pipeline).
     eprintln!(
         "completed={completed} failed={failed} elapsed_s={:.3} sessions_per_s={per_s:.1} \
-         streams={} amortized_bits_per_session={amortized_bits:.1}",
+         streams={} players={} amortized_bits_per_session={amortized_bits:.1}",
         elapsed.as_secs_f64(),
         opts.streams,
+        opts.players,
     );
     eprintln!(
         "latency_us min={min} p50={p50} p90={p90} p99={p99} max={max} ({} connections, {} workers)",
@@ -299,7 +370,7 @@ fn main() -> ExitCode {
     if opts.json {
         println!(
             "{{\"completed\":{completed},\"failed\":{failed},\"elapsed_s\":{:.6},\
-             \"sessions_per_s\":{per_s:.1},\"streams\":{},\
+             \"sessions_per_s\":{per_s:.1},\"streams\":{},\"players\":{},\
              \"amortized_bits_per_session\":{amortized_bits:.1},\
              \"latency_us\":{{\"min\":{min},\
              \"p50\":{p50},\"p90\":{p90},\"p99\":{p99},\"max\":{max}}},\
@@ -308,6 +379,7 @@ fn main() -> ExitCode {
              \"trace_sample\":\"{trace_sample}\"}}",
             elapsed.as_secs_f64(),
             opts.streams,
+            opts.players,
         );
     }
     if failed > 0 {

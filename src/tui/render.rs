@@ -232,6 +232,41 @@ pub fn render(state: &AppState, width: usize) -> String {
         &mut out,
         w,
         &format!(
+            "multiparty sessions ({} on the wire, per-player mean {} / max {})",
+            fmt_bits(state.multiparty_bits),
+            fmt_bits(state.multiparty_player_mean_bits),
+            fmt_bits(state.multiparty_player_max_bits),
+        ),
+    );
+    if state.multiparty.is_empty() {
+        push_line(&mut out, w, "  (no m-party sessions yet)");
+    } else {
+        let max_sessions = state
+            .multiparty
+            .iter()
+            .map(|row| row.sessions)
+            .max()
+            .unwrap_or(0)
+            .max(1);
+        let bar_w = w.saturating_sub(26).clamp(8, 40);
+        for row in &state.multiparty {
+            let filled =
+                ((row.sessions as f64 / max_sessions as f64) * bar_w as f64).round() as usize;
+            let line = format!(
+                "  m={:<4} {:>9} {}",
+                row.m,
+                row.sessions,
+                "█".repeat(filled.min(bar_w)),
+            );
+            push_line(&mut out, w, line.trim_end());
+        }
+    }
+    push_line(&mut out, w, "");
+
+    push_line(
+        &mut out,
+        w,
+        &format!(
             "calibration ({} recalibrations, {} drifts)",
             state.recalibrations, state.drifts
         ),

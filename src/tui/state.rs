@@ -72,6 +72,15 @@ pub struct SegmentRow {
     pub mean_micros: u64,
 }
 
+/// One party-count row of the multiparty pane.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MultipartyRow {
+    /// Party count m.
+    pub m: u64,
+    /// Engine-hosted m-party sessions finished at this party count.
+    pub sessions: u64,
+}
+
 /// A recently finished session (tail of the `/sessions` ring).
 #[derive(Debug, Clone, PartialEq)]
 pub struct RecentRow {
@@ -140,6 +149,15 @@ pub struct AppState {
     /// Latency waterfall: engine segment attribution in canonical
     /// segment order, empty until segment histograms appear.
     pub waterfall: Vec<SegmentRow>,
+    /// Multiparty sessions by party count, sorted by m; empty until the
+    /// first m-party session finishes.
+    pub multiparty: Vec<MultipartyRow>,
+    /// Total bits across all multiparty sessions.
+    pub multiparty_bits: u64,
+    /// Mean per-player bits (sent + received) per multiparty session.
+    pub multiparty_player_mean_bits: u64,
+    /// Worst per-player bits observed in any multiparty session.
+    pub multiparty_player_max_bits: u64,
 }
 
 fn as_u64(v: &Value) -> u64 {
@@ -267,6 +285,31 @@ impl AppState {
                 })
             })
             .collect();
+        // Multiparty pane: sessions by party count (labelled counter)
+        // plus the pooled bit meters from the engine's m-party path.
+        self.multiparty = sample
+            .metrics
+            .iter()
+            .filter_map(|(key, value)| {
+                let m = key
+                    .strip_prefix("multiparty_sessions_total{m=\"")?
+                    .strip_suffix("\"}")?;
+                Some(MultipartyRow {
+                    m: m.parse().ok()?,
+                    sessions: *value as u64,
+                })
+            })
+            .collect();
+        self.multiparty.sort_by_key(|row| row.m);
+        self.multiparty_bits = sample.metric("multiparty_bits_total") as u64;
+        let player_sum = sample.metric("multiparty_player_bits_sum");
+        let player_count = sample.metric("multiparty_player_bits_count");
+        self.multiparty_player_mean_bits = if player_count > 0.0 {
+            (player_sum / player_count) as u64
+        } else {
+            0
+        };
+        self.multiparty_player_max_bits = sample.metric("multiparty_player_bits_max") as u64;
         self.recalibrations = sample.metric_sum("router_recalibration_total") as u64;
         self.drifts = sample.metric_sum("router_drift_total") as u64;
         self.conformance_checks = sample.metric_sum("conformance_checks_total") as u64;
@@ -424,6 +467,33 @@ mod tests {
         assert_eq!(names, vec!["admit-queue", "rounds-execute", "drain"]);
         assert_eq!(state.waterfall[1].mean_micros, 140);
         assert_eq!(state.waterfall[1].total_micros, 1400);
+    }
+
+    #[test]
+    fn multiparty_rows_sort_by_party_count_and_fold_bit_meters() {
+        let mut state = AppState::default();
+        let metrics = "multiparty_sessions_total{m=\"8\"} 3\n\
+                       multiparty_sessions_total{m=\"2\"} 24\n\
+                       multiparty_bits_total 412800\n\
+                       multiparty_player_bits_sum 825600\n\
+                       multiparty_player_bits_count 132\n\
+                       multiparty_player_bits_max 9400\n";
+        let sample = Sample::from_bodies(metrics, "{}", "{}", "{}", Some((200, "ok\n")));
+        state.reduce(&sample, 1.0);
+        let rows: Vec<(u64, u64)> = state.multiparty.iter().map(|r| (r.m, r.sessions)).collect();
+        assert_eq!(
+            rows,
+            vec![(2, 24), (8, 3)],
+            "sorted by m, not by scrape order"
+        );
+        assert_eq!(state.multiparty_bits, 412_800);
+        assert_eq!(state.multiparty_player_mean_bits, 6254);
+        assert_eq!(state.multiparty_player_max_bits, 9400);
+        // No multiparty traffic: the pane's inputs reset to empty/zero.
+        let quiet = Sample::from_bodies("", "{}", "{}", "{}", Some((200, "ok\n")));
+        state.reduce(&quiet, 1.0);
+        assert!(state.multiparty.is_empty());
+        assert_eq!(state.multiparty_player_mean_bits, 0);
     }
 
     #[test]

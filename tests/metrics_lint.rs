@@ -55,6 +55,18 @@ fn live_exposition() -> String {
             .submit_stream(stream, batch)
             .expect("stream accepted");
     }
+    // A pair of m-party sessions lights up the multiparty_* families
+    // (sessions-by-m counter, total bits, per-player bit summary).
+    for (id, m) in [(2_000u64, 2usize), (2_001, 4)] {
+        let req = intersect::engine::MultipartyRequest::new(
+            id,
+            spec,
+            m,
+            4,
+            intersect::multiparty::MultipartyChoice::AverageCase,
+        );
+        engine.submit_multiparty(req).expect("engine is accepting");
+    }
     engine.finish();
 
     // The flight recorder counts its dumps, so take one dump here to
@@ -173,6 +185,9 @@ fn every_exported_series_has_help_and_type_and_no_duplicates() {
         "trace_contexts_minted_total",
         "engine_segment_micros",
         "flight_recorder_dumps_total",
+        "multiparty_sessions_total",
+        "multiparty_bits_total",
+        "multiparty_player_bits",
     ] {
         assert!(
             typed.contains(expected),

@@ -75,6 +75,11 @@ fn golden_frame_content_spot_checks() {
     assert!(frame.contains("latency waterfall (mean us/session)"));
     assert!(frame.contains("rounds-execute"));
     assert!(frame.contains("admit-queue"));
+    // Multiparty pane from the multiparty_* families: rows by party
+    // count with the pooled bit meters in the header.
+    assert!(frame.contains("multiparty sessions (412.80 Kbit on the wire"));
+    assert!(frame.contains("m=2           24"));
+    assert!(frame.contains("m=8            3"));
     // Recent-session ring capacity from /sessions.
     assert!(frame.contains("recent sessions (ring 64)"));
     // Calibration table from /calibration plus the router counters.
